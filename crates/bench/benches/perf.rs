@@ -1,0 +1,181 @@
+//! Criterion performance benches over the substrate: the engine and
+//! simulator costs that determine how large a reproduction run can get.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::net::Ipv4Addr;
+
+use underradar_ids::aho::{find_sub, AhoCorasick};
+use underradar_ids::engine::DetectionEngine;
+use underradar_ids::parser::{parse_ruleset, VarTable};
+use underradar_ids::stream::StreamReassembler;
+use underradar_netsim::packet::Packet;
+use underradar_netsim::rng::SimRng;
+use underradar_netsim::time::SimTime;
+use underradar_netsim::wire::tcp::TcpFlags;
+use underradar_protocols::dns::{DnsMessage, DnsName, QType};
+use underradar_surveil::mvr::{Mvr, MvrConfig};
+use underradar_workloads::population::{PopulationConfig, PopulationTraffic};
+
+const SRC: Ipv4Addr = Ipv4Addr::new(10, 0, 1, 2);
+const DST: Ipv4Addr = Ipv4Addr::new(93, 184, 216, 34);
+
+fn sample_payload(len: usize) -> Vec<u8> {
+    // Realistic-ish HTTP filler without any rule keyword.
+    let base = b"GET /articles/weather-report HTTP/1.0\r\nHost: news.example\r\nAccept: text/html\r\n\r\n";
+    base.iter().copied().cycle().take(len).collect()
+}
+
+fn ruleset(n: usize) -> Vec<underradar_ids::rule::Rule> {
+    let mut text = String::new();
+    for i in 0..n {
+        text.push_str(&format!(
+            "alert tcp any any -> any any (msg:\"kw{i}\"; content:\"pattern-{i}-zzz\"; nocase; sid:{};)\n",
+            1000 + i
+        ));
+    }
+    parse_ruleset(&text, &VarTable::new()).expect("bench ruleset parses")
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ids_engine");
+    for rules in [10usize, 100, 500] {
+        let payload = sample_payload(512);
+        group.throughput(Throughput::Bytes(512));
+        group.bench_function(format!("process_512B_{rules}rules"), |b| {
+            let mut engine = DetectionEngine::new(ruleset(rules));
+            let pkt = Packet::tcp(SRC, DST, 40000, 80, 1, 1, TcpFlags::psh_ack(), payload.clone());
+            b.iter(|| engine.process(SimTime::ZERO, std::hint::black_box(&pkt)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_aho_vs_naive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("multipattern");
+    let patterns: Vec<(Vec<u8>, bool)> = (0..200)
+        .map(|i| (format!("needle-{i}-xyz").into_bytes(), false))
+        .collect();
+    let hay = sample_payload(4096);
+    group.throughput(Throughput::Bytes(hay.len() as u64));
+    group.bench_function("aho_corasick_200pat_4KB", |b| {
+        let ac = AhoCorasick::new(&patterns);
+        b.iter(|| ac.matching_patterns(std::hint::black_box(&hay)));
+    });
+    group.bench_function("naive_200pat_4KB", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for (p, nocase) in &patterns {
+                if find_sub(std::hint::black_box(&hay), p, *nocase, 0).is_some() {
+                    hits += 1;
+                }
+            }
+            hits
+        });
+    });
+    group.finish();
+}
+
+fn bench_reassembly(c: &mut Criterion) {
+    c.bench_function("stream_reassembly_100seg", |b| {
+        b.iter_batched(
+            StreamReassembler::new,
+            |mut r| {
+                let syn = Packet::tcp(SRC, DST, 4000, 80, 100, 0, TcpFlags::syn(), vec![]);
+                let syn_ack = Packet::tcp(DST, SRC, 80, 4000, 500, 101, TcpFlags::syn_ack(), vec![]);
+                let ack = Packet::tcp(SRC, DST, 4000, 80, 101, 501, TcpFlags::ack(), vec![]);
+                r.process(&syn);
+                r.process(&syn_ack);
+                r.process(&ack);
+                let mut seq = 101u32;
+                for _ in 0..100 {
+                    let data =
+                        Packet::tcp(SRC, DST, 4000, 80, seq, 501, TcpFlags::psh_ack(), vec![0x61; 64]);
+                    r.process(&data);
+                    seq = seq.wrapping_add(64);
+                }
+                r
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_wire_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codec");
+    let pkt = Packet::tcp(SRC, DST, 40000, 80, 7, 9, TcpFlags::psh_ack(), sample_payload(512));
+    let wire = pkt.to_wire();
+    group.throughput(Throughput::Bytes(wire.len() as u64));
+    group.bench_function("packet_encode_552B", |b| b.iter(|| std::hint::black_box(&pkt).to_wire()));
+    group.bench_function("packet_decode_552B", |b| {
+        b.iter(|| Packet::from_wire(std::hint::black_box(&wire)).expect("decode"))
+    });
+    let query = DnsMessage::query(7, DnsName::parse("mail.example.com").expect("n"), QType::Mx);
+    let qwire = query.encode();
+    group.bench_function("dns_encode", |b| b.iter(|| std::hint::black_box(&query).encode()));
+    group.bench_function("dns_decode", |b| {
+        b.iter(|| DnsMessage::decode(std::hint::black_box(&qwire)).expect("decode"))
+    });
+    group.finish();
+}
+
+fn bench_mvr(c: &mut Criterion) {
+    let mut rng = SimRng::seed_from_u64(1);
+    let stream = PopulationTraffic::generate(&PopulationConfig::default(), &mut rng);
+    c.bench_function("mvr_classify_population_stream", |b| {
+        b.iter_batched(
+            || Mvr::new(MvrConfig::default()),
+            |mut mvr| {
+                for tp in &stream {
+                    mvr.process(tp.time, &tp.packet);
+                }
+                mvr
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_generators(c: &mut Criterion) {
+    c.bench_function("spam_score_100_messages", |b| {
+        use underradar_spam::{measurement_spam, spam_score};
+        b.iter(|| {
+            let mut total = 0.0;
+            for i in 0..100u64 {
+                total += spam_score(std::hint::black_box(&measurement_spam(i, "twitter.com")));
+            }
+            total
+        });
+    });
+    c.bench_function("syria_log_2000_users", |b| {
+        use underradar_workloads::syria::{SyriaLog, SyriaLogConfig};
+        let config = SyriaLogConfig::paper_calibrated(2_000);
+        b.iter(|| {
+            let mut rng = SimRng::seed_from_u64(1);
+            SyriaLog::generate(std::hint::black_box(&config), &mut rng).total_requests()
+        });
+    });
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    use underradar_core::testbed::{Testbed, TestbedConfig};
+    use underradar_core::methods::ddos::DdosProbe;
+    c.bench_function("testbed_ddos_20_samples_end_to_end", |b| {
+        b.iter(|| {
+            let mut tb = Testbed::build(TestbedConfig::default());
+            let target = tb.target("youtube.com").expect("t").web_ip;
+            tb.spawn_on_client(
+                SimTime::ZERO,
+                Box::new(DdosProbe::new(target, "youtube.com", "/", 20)),
+            );
+            tb.run_secs(30);
+            tb.sim.events_processed()
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_engine, bench_aho_vs_naive, bench_reassembly, bench_wire_codec, bench_mvr, bench_generators, bench_simulator
+}
+criterion_main!(benches);

@@ -1,0 +1,4 @@
+//! Regenerates the A1 ablation summary (see DESIGN.md §5).
+fn main() {
+    print!("{}", underradar_bench::experiments::a1_ablations::run());
+}

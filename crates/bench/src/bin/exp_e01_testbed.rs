@@ -1,0 +1,4 @@
+//! Regenerates the e01_testbed experiment report (see DESIGN.md §4).
+fn main() {
+    print!("{}", underradar_bench::experiments::e01_testbed::run());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the e02_scan experiment report (see DESIGN.md §4).
+fn main() {
+    print!("{}", underradar_bench::experiments::e02_scan::run());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the e03_fig2_spam_cdf experiment report (see DESIGN.md §4).
+fn main() {
+    print!("{}", underradar_bench::experiments::e03_fig2_spam_cdf::run());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the e04_gfc_dns experiment report (see DESIGN.md §4).
+fn main() {
+    print!("{}", underradar_bench::experiments::e04_gfc_dns::run());
+}

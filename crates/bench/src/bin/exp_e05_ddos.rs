@@ -1,0 +1,4 @@
+//! Regenerates the e05_ddos experiment report (see DESIGN.md §4).
+fn main() {
+    print!("{}", underradar_bench::experiments::e05_ddos::run());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the e06_fig3a_stateless experiment report (see DESIGN.md §4).
+fn main() {
+    print!("{}", underradar_bench::experiments::e06_fig3a_stateless::run());
+}

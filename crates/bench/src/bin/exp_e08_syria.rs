@@ -1,0 +1,4 @@
+//! Regenerates the e08_syria experiment report (see DESIGN.md §4).
+fn main() {
+    print!("{}", underradar_bench::experiments::e08_syria::run());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the e09_mvr experiment report (see DESIGN.md §4).
+fn main() {
+    print!("{}", underradar_bench::experiments::e09_mvr::run());
+}

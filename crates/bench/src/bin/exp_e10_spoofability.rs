@@ -1,0 +1,4 @@
+//! Regenerates the e10_spoofability experiment report (see DESIGN.md §4).
+fn main() {
+    print!("{}", underradar_bench::experiments::e10_spoofability::run());
+}

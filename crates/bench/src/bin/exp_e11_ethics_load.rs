@@ -1,0 +1,4 @@
+//! Regenerates the e11_ethics_load experiment report (see DESIGN.md §4).
+fn main() {
+    print!("{}", underradar_bench::experiments::e11_ethics_load::run());
+}

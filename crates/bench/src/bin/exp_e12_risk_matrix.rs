@@ -1,0 +1,4 @@
+//! Regenerates the e12_risk_matrix experiment report (see DESIGN.md §4).
+fn main() {
+    print!("{}", underradar_bench::experiments::e12_risk_matrix::run());
+}

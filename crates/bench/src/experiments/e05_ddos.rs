@@ -1,0 +1,111 @@
+//! E5 — §3.1 Method #3: DDoS mimicry.
+//!
+//! "Repeated requests are also advantageous because we can treat each
+//! request as a measurement sample and better determine how content is
+//! being censored. DDoS attacks also significantly differ from typical
+//! user traffic, causing the MVR to discard the traffic more
+//! aggressively."
+//!
+//! Sweep the burst size: small bursts look like browsing (retained,
+//! alertable); large bursts cross the rate classifier and get discarded.
+//! Accuracy is checked per censorship scenario at the large burst size.
+
+use underradar_censor::CensorPolicy;
+use underradar_core::methods::ddos::DdosProbe;
+use underradar_core::risk::RiskReport;
+use underradar_core::testbed::{Testbed, TestbedConfig};
+use underradar_netsim::time::SimTime;
+
+use crate::table::{heading, mark, Table};
+
+fn run_burst(policy: CensorPolicy, path: &str, samples: usize) -> (Testbed, usize) {
+    let mut tb = Testbed::build(TestbedConfig { policy, seed: 11, ..TestbedConfig::default() });
+    let target = tb.target("youtube.com").expect("target").web_ip;
+    let probe = DdosProbe::new(target, "youtube.com", path, samples);
+    let idx = tb.spawn_on_client(SimTime::ZERO, Box::new(probe));
+    tb.run_secs(180);
+    (tb, idx)
+}
+
+/// Run E5 and render its report.
+pub fn run() -> String {
+    let mut out = heading(
+        "E5",
+        "§3.1 Method #3 (DDoS mimicry)",
+        "per-request samples measure censorship; large bursts are MVR-discarded",
+    );
+
+    out.push_str("burst-size sweep (uncensored target):\n");
+    let mut sweep = Table::new(&["samples", "classified DDoS", "MVR discarded pkts", "verdict"]);
+    for samples in [5usize, 20, 60] {
+        let (tb, idx) = run_burst(CensorPolicy::new(), "/watch", samples);
+        let probe = tb.client_task::<DdosProbe>(idx).expect("probe");
+        let ddos_pkts = tb
+            .surveillance()
+            .mvr()
+            .volumes()
+            .iter()
+            .find(|(c, _)| *c == underradar_surveil::TrafficClass::DdosSource)
+            .map(|(_, v)| v.packets)
+            .unwrap_or(0);
+        sweep.row(&[
+            samples.to_string(),
+            mark(ddos_pkts > 0).to_string(),
+            tb.surveillance().stats().discarded.to_string(),
+            probe.verdict().to_string(),
+        ]);
+    }
+    out.push_str(&sweep.render());
+
+    out.push_str("\naccuracy matrix (keyword samples ride on an already-classified flood):\n");
+    let mut acc = Table::new(&["scenario", "ok/reset/refused/timeout", "verdict", "correct", "evades"]);
+    let mut all_pass = true;
+    let scenarios: Vec<(&str, CensorPolicy, &str)> = vec![
+        ("uncensored", CensorPolicy::new(), "/watch"),
+        ("keyword censored", CensorPolicy::new().block_keyword("falun"), "/falun-video"),
+    ];
+    for (name, policy, path) in scenarios {
+        let mut tb =
+            Testbed::build(TestbedConfig { policy, seed: 11, ..TestbedConfig::default() });
+        let target = tb.target("youtube.com").expect("target").web_ip;
+        // Warm-up flood against the front page: by the time the measured
+        // samples fire, the source is already in the discarded DDoS class
+        // ("causing the MVR to discard the traffic more aggressively").
+        tb.spawn_on_client(
+            SimTime::ZERO,
+            Box::new(DdosProbe::new(target, "youtube.com", "/", 60)),
+        );
+        let idx = tb.spawn_on_client(
+            SimTime::ZERO + underradar_netsim::SimDuration::from_secs(5),
+            Box::new(DdosProbe::new(target, "youtube.com", path, 20)),
+        );
+        tb.run_secs(180);
+        let probe = tb.client_task::<DdosProbe>(idx).expect("probe");
+        let verdict = probe.verdict();
+        let report = RiskReport::evaluate(&tb, &verdict);
+        let (ok, reset, refused, timeout) = probe.tally();
+        all_pass &= report.verdict_correct && report.evades();
+        acc.row(&[
+            name.to_string(),
+            format!("{ok}/{reset}/{refused}/{timeout}"),
+            verdict.to_string(),
+            mark(report.verdict_correct).to_string(),
+            mark(report.evades()).to_string(),
+        ]);
+    }
+    out.push_str(&acc.render());
+    out.push_str(&format!(
+        "\nresult: DDoS mimicry accuracy + evasion: {}\n\n",
+        if all_pass { "PASSED" } else { "FAILED" }
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn e5_passes() {
+        let report = super::run();
+        assert!(report.contains("PASSED"), "{report}");
+    }
+}

@@ -1,0 +1,103 @@
+//! E6 — **Figure 3a**: stateless mimicry with spoofed cover traffic.
+//!
+//! "The measurement client can send traffic directly to any DNS server
+//! with the spoofed IP of another device in the AS ... All users in an AS
+//! generate traffic with the same properties, so an IDS that triggers on a
+//! particular measurement behavior may generate false positives for large
+//! numbers of users."
+//!
+//! Sweep the number of cover sources and measure the anonymity set the
+//! surveillance system faces at per-IP and per-/24 attribution
+//! granularity; accuracy is checked against the DNS-injecting censor.
+
+use underradar_censor::CensorPolicy;
+use underradar_core::methods::stateless::StatelessDnsMimicry;
+use underradar_core::testbed::{Testbed, TestbedConfig};
+use underradar_netsim::time::SimTime;
+use underradar_protocols::dns::{DnsName, QType};
+use underradar_spoof::anonymity_set;
+
+use crate::table::{heading, mark, Table};
+
+/// Run E6 and render its report.
+pub fn run() -> String {
+    let mut out = heading(
+        "E6",
+        "Figure 3a (§4.1 stateless mimicry)",
+        "spoofed cover queries make probes appear to come from many hosts",
+    );
+    let mut table = Table::new(&[
+        "cover sources",
+        "verdict",
+        "correct",
+        "anon set (per-IP)",
+        "anon set (per-/24)",
+        "attribution odds",
+    ]);
+    let mut all_pass = true;
+    for cover_count in [0usize, 1, 4, 16, 64] {
+        let policy =
+            CensorPolicy::new().block_domain(&DnsName::parse("twitter.com").expect("n"));
+        let mut tb = Testbed::build(TestbedConfig {
+            policy,
+            cover_hosts: cover_count.min(8), // hosts that physically exist
+            seed: 5,
+            ..TestbedConfig::default()
+        });
+        // Cover *addresses* may outnumber cover hosts (spoofed sources do
+        // not need real machines behind them for stateless protocols).
+        let cover: Vec<std::net::Ipv4Addr> = (0..cover_count)
+            .map(|i| std::net::Ipv4Addr::new(10, 0, 1, 30 + i as u8))
+            .collect();
+        let d = DnsName::parse("twitter.com").expect("n");
+        let probe = StatelessDnsMimicry::new(&d, QType::A, tb.resolver_ip, cover);
+        let idx = tb.spawn_on_client(SimTime::ZERO, Box::new(probe));
+        tb.run_secs(10);
+        let probe = tb.client_task::<StatelessDnsMimicry>(idx).expect("probe");
+        let verdict = probe.verdict();
+        let correct = verdict.is_censored();
+        all_pass &= correct;
+
+        let home = Testbed::home_net();
+        let sources: Vec<std::net::Ipv4Addr> = tb
+            .surveillance()
+            .engine()
+            .log()
+            .all()
+            .iter()
+            .map(|a| a.src)
+            .filter(|s| home.contains(*s))
+            .collect();
+        let per_ip = anonymity_set(&sources, 32);
+        let per_24 = anonymity_set(&sources, 24);
+        all_pass &= per_ip == cover_count + 1;
+        table.row(&[
+            cover_count.to_string(),
+            verdict.to_string(),
+            mark(correct).to_string(),
+            per_ip.to_string(),
+            per_24.to_string(),
+            format!("1/{per_ip}"),
+        ]);
+    }
+    out.push_str(&table.render());
+    out.push_str(
+        "\nnote: with zero cover the client is the lone suspect (odds 1/1, the overt\n\
+         situation); each spoofed source multiplies the suspect pool exactly as Fig 3a\n\
+         intends. Per-/24 attribution collapses the set — the granularity ablation.\n",
+    );
+    out.push_str(&format!(
+        "\nresult: anonymity set grows as cover+1 with accuracy intact: {}\n\n",
+        if all_pass { "PASSED" } else { "FAILED" }
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn e6_passes() {
+        let report = super::run();
+        assert!(report.contains("PASSED"), "{report}");
+    }
+}

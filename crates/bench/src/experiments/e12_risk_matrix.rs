@@ -1,0 +1,263 @@
+//! E12 — the headline comparison (§1/§7): overt vs stealthy measurement
+//! risk under identical surveillance.
+//!
+//! For each method, run its natural censorship scenario and report both
+//! axes: accuracy (verdict vs ground truth) and risk (alerts, attribution,
+//! pursuit, anonymity set). The expected shape: the overt baseline detects
+//! censorship *and* gets attributed; every §3/§4 technique detects the
+//! same censorship while evading.
+//!
+//! A final ablation shows the paper's admitted limitation (§3.2.1): a
+//! surveillance operator willing to write bespoke fingerprinting rules and
+//! spend pre-MVR analysis can re-identify the scanning measurement.
+
+use underradar_censor::CensorPolicy;
+use underradar_core::methods::ddos::DdosProbe;
+use underradar_core::methods::overt::OvertProbe;
+use underradar_core::methods::scan::SynScanProbe;
+use underradar_core::methods::spam::SpamProbe;
+use underradar_core::methods::stateful::{MimicServer, RoutedMimicryNet, StatefulMimicry};
+use underradar_core::methods::stateless::StatelessDnsMimicry;
+use underradar_core::ports::top_ports;
+use underradar_core::risk::RiskReport;
+use underradar_core::testbed::{TargetSite, Testbed, TestbedConfig};
+use underradar_netsim::addr::Cidr;
+use underradar_netsim::host::Host;
+use underradar_netsim::time::{SimDuration, SimTime};
+use underradar_protocols::dns::{DnsName, QType};
+
+use crate::table::{heading, mark, Table};
+
+struct Row {
+    method: &'static str,
+    scenario: &'static str,
+    report: RiskReport,
+}
+
+fn blocked(domain: &str) -> CensorPolicy {
+    CensorPolicy::new().block_domain(&DnsName::parse(domain).expect("n"))
+}
+
+fn overt_row() -> Row {
+    let mut tb = Testbed::build(TestbedConfig { policy: blocked("twitter.com"), ..TestbedConfig::default() });
+    let d = DnsName::parse("twitter.com").expect("n");
+    let idx = tb.spawn_on_client(
+        SimTime::ZERO,
+        Box::new(OvertProbe::new(&d, tb.resolver_ip, tb.collector_ip, "/")),
+    );
+    tb.run_secs(20);
+    let verdict = tb.client_task::<OvertProbe>(idx).expect("p").verdict();
+    Row { method: "overt (OONI-style baseline)", scenario: "dns-block", report: RiskReport::evaluate(&tb, &verdict) }
+}
+
+fn scan_row() -> Row {
+    let target = TargetSite::numbered("twitter.com", 0).web_ip;
+    let policy = CensorPolicy::new().block_ip(Cidr::host(target));
+    let mut tb = Testbed::build(TestbedConfig { policy, ..TestbedConfig::default() });
+    let idx = tb.spawn_on_client(
+        SimTime::ZERO,
+        Box::new(SynScanProbe::new(target, top_ports(60), vec![80])),
+    );
+    tb.run_secs(30);
+    let verdict = tb.client_task::<SynScanProbe>(idx).expect("p").verdict();
+    Row { method: "scan (Method #1)", scenario: "ip-blackhole", report: RiskReport::evaluate(&tb, &verdict) }
+}
+
+fn spam_row() -> Row {
+    let mut tb = Testbed::build(TestbedConfig { policy: blocked("twitter.com"), ..TestbedConfig::default() });
+    let resolver = tb.resolver_ip;
+    // Campaign warm-up earns the spammer label before the measured lookup.
+    for (i, warmup) in ["bbc.com", "example.org", "youtube.com"].iter().enumerate() {
+        let d = DnsName::parse(warmup).expect("n");
+        tb.spawn_on_client(
+            SimTime::ZERO + SimDuration::from_secs(i as u64),
+            Box::new(SpamProbe::new(&d, resolver, i as u64)),
+        );
+    }
+    let d = DnsName::parse("twitter.com").expect("n");
+    let idx = tb.spawn_on_client(
+        SimTime::ZERO + SimDuration::from_secs(10),
+        Box::new(SpamProbe::new(&d, resolver, 9)),
+    );
+    tb.run_secs(40);
+    let verdict = tb.client_task::<SpamProbe>(idx).expect("p").verdict();
+    Row { method: "spam campaign (Method #2)", scenario: "dns-block", report: RiskReport::evaluate(&tb, &verdict) }
+}
+
+fn ddos_row() -> Row {
+    let policy = CensorPolicy::new().block_keyword("falun");
+    let mut tb = Testbed::build(TestbedConfig { policy, ..TestbedConfig::default() });
+    let target = tb.target("youtube.com").expect("t").web_ip;
+    tb.spawn_on_client(SimTime::ZERO, Box::new(DdosProbe::new(target, "youtube.com", "/", 60)));
+    let idx = tb.spawn_on_client(
+        SimTime::ZERO + SimDuration::from_secs(5),
+        Box::new(DdosProbe::new(target, "youtube.com", "/falun-clip", 20)),
+    );
+    tb.run_secs(180);
+    let verdict = tb.client_task::<DdosProbe>(idx).expect("p").verdict();
+    Row { method: "ddos burst (Method #3)", scenario: "keyword-rst", report: RiskReport::evaluate(&tb, &verdict) }
+}
+
+fn stateless_row() -> Row {
+    let mut tb = Testbed::build(TestbedConfig {
+        policy: blocked("twitter.com"),
+        cover_hosts: 8,
+        ..TestbedConfig::default()
+    });
+    let cover: Vec<std::net::Ipv4Addr> =
+        (0..16).map(|i| std::net::Ipv4Addr::new(10, 0, 1, 30 + i as u8)).collect();
+    let d = DnsName::parse("twitter.com").expect("n");
+    let idx = tb.spawn_on_client(
+        SimTime::ZERO,
+        Box::new(StatelessDnsMimicry::new(&d, QType::A, tb.resolver_ip, cover)),
+    );
+    tb.run_secs(10);
+    let verdict = tb.client_task::<StatelessDnsMimicry>(idx).expect("p").verdict();
+    Row { method: "stateless mimicry (Fig 3a)", scenario: "dns-block", report: RiskReport::evaluate(&tb, &verdict) }
+}
+
+fn stateful_row() -> Row {
+    const PORT: u16 = 7443;
+    const ISS: u32 = 0x1212_3434;
+    let policy = CensorPolicy::new().block_keyword("falun");
+    let mut net = RoutedMimicryNet::build(12, policy);
+    net.sim
+        .node_mut::<Host>(net.mserver)
+        .expect("mserver")
+        .spawn_task_at(
+            SimTime::ZERO,
+            Box::new(MimicServer::new(PORT, ISS, Some(RoutedMimicryNet::HOPS_TO_COVER))),
+        );
+    net.sim.node_mut::<Host>(net.client).expect("client").spawn_task_at(
+        SimTime::ZERO,
+        Box::new(StatefulMimicry::new(
+            net.cover_ip,
+            net.mserver_ip,
+            PORT,
+            ISS,
+            b"GET /falun HTTP/1.0\r\n\r\n",
+        )),
+    );
+    net.sim.run_for(SimDuration::from_secs(10)).expect("run");
+    let server = net
+        .sim
+        .node_ref::<Host>(net.mserver)
+        .expect("ms")
+        .task_ref::<MimicServer>(0)
+        .expect("server");
+    let verdict = server.verdict();
+    // Build the risk report by hand (different topology than Testbed).
+    use underradar_censor::TapCensor;
+    use underradar_surveil::system::SurveillanceNode;
+    let censor = net.sim.node_ref::<TapCensor>(net.censor).expect("censor");
+    let surv = net
+        .sim
+        .node_ref::<SurveillanceNode>(net.surveillance)
+        .expect("surv")
+        .system();
+    let censor_triggered = censor.stats().rst_injections > 0;
+    let report = RiskReport {
+        censor_triggered,
+        verdict_correct: verdict.correct_against(censor_triggered),
+        alerts_on_client: surv.alerts_for(net.client_ip),
+        attributed: surv.is_attributed(net.client_ip),
+        pursued: surv.is_pursued(net.client_ip),
+        anonymity_set: {
+            let sources: Vec<std::net::Ipv4Addr> =
+                surv.engine().log().all().iter().map(|a| a.src).collect();
+            if sources.is_empty() {
+                None
+            } else {
+                Some(underradar_spoof::anonymity_set(&sources, 32))
+            }
+        },
+    };
+    Row { method: "stateful mimicry (Fig 3b)", scenario: "keyword-rst", report }
+}
+
+/// Run E12 and render its report.
+pub fn run() -> String {
+    let mut out = heading(
+        "E12",
+        "headline result (§1/§7)",
+        "stealthy techniques match the overt baseline's accuracy without its risk",
+    );
+    let rows = vec![
+        overt_row(),
+        scan_row(),
+        spam_row(),
+        ddos_row(),
+        stateless_row(),
+        stateful_row(),
+    ];
+    let mut table = Table::new(&[
+        "method",
+        "scenario",
+        "correct",
+        "evades",
+        "attributed",
+        "pursued",
+        "anon set",
+    ]);
+    let mut pass = true;
+    for row in &rows {
+        let r = &row.report;
+        table.row(&[
+            row.method.to_string(),
+            row.scenario.to_string(),
+            mark(r.verdict_correct).to_string(),
+            mark(r.evades()).to_string(),
+            mark(r.attributed).to_string(),
+            mark(r.pursued).to_string(),
+            r.anonymity_set.map_or("-".to_string(), |n| n.to_string()),
+        ]);
+        pass &= r.verdict_correct;
+        if row.method.starts_with("overt") {
+            pass &= !r.evades() && r.attributed;
+        } else if row.method.starts_with("stateless") {
+            // Cover traffic trades zero-alerts for a large anonymity set.
+            pass &= r.anonymity_set.map(|n| n >= 17).unwrap_or(false) && !r.attributed;
+        } else {
+            pass &= r.evades() && !r.attributed;
+        }
+    }
+    out.push_str(&table.render());
+
+    // Ablation: bespoke fingerprinting + pre-MVR analysis re-identifies
+    // the scan (the paper's §3.2.1 caveat).
+    let target = TargetSite::numbered("twitter.com", 0).web_ip;
+    let mut tb = Testbed::build(TestbedConfig {
+        policy: CensorPolicy::new().block_ip(Cidr::host(target)),
+        surveillance_alert_first: true,
+        ..TestbedConfig::default()
+    });
+    let idx = tb.spawn_on_client(
+        SimTime::ZERO,
+        Box::new(SynScanProbe::new(target, top_ports(120), vec![80])),
+    );
+    tb.run_secs(60);
+    let verdict = tb.client_task::<SynScanProbe>(idx).expect("p").verdict();
+    let ablation = RiskReport::evaluate(&tb, &verdict);
+    out.push_str(&format!(
+        "\nablation (§3.2.1 caveat): alert-before-MVR surveillance with a generic SYN-fanout\n\
+         rule re-identifies the 120-port scan: evades={} alerts={}\n",
+        mark(ablation.evades()),
+        ablation.alerts_on_client
+    ));
+    pass &= !ablation.evades();
+
+    out.push_str(&format!(
+        "\nresult: headline comparison reproduced (stealthy wins on risk, ties on accuracy): {}\n\n",
+        if pass { "PASSED" } else { "FAILED" }
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn e12_passes() {
+        let report = super::run();
+        assert!(report.contains("PASSED"), "{report}");
+    }
+}

@@ -1,0 +1,36 @@
+//! One module per reproduced table/figure. See `DESIGN.md` §4 for the
+//! experiment ↔ paper mapping.
+
+pub mod a1_ablations;
+pub mod e01_testbed;
+pub mod e02_scan;
+pub mod e03_fig2_spam_cdf;
+pub mod e04_gfc_dns;
+pub mod e05_ddos;
+pub mod e06_fig3a_stateless;
+pub mod e07_fig3b_stateful;
+pub mod e08_syria;
+pub mod e09_mvr;
+pub mod e10_spoofability;
+pub mod e11_ethics_load;
+pub mod e12_risk_matrix;
+
+/// Run every experiment, concatenating reports (used by the `cargo bench`
+/// harness so one command regenerates all tables and figures).
+pub fn run_all() -> String {
+    let mut out = String::new();
+    out.push_str(&e01_testbed::run());
+    out.push_str(&e02_scan::run());
+    out.push_str(&e03_fig2_spam_cdf::run());
+    out.push_str(&e04_gfc_dns::run());
+    out.push_str(&e05_ddos::run());
+    out.push_str(&e06_fig3a_stateless::run());
+    out.push_str(&e07_fig3b_stateful::run());
+    out.push_str(&e08_syria::run());
+    out.push_str(&e09_mvr::run());
+    out.push_str(&e10_spoofability::run());
+    out.push_str(&e11_ethics_load::run());
+    out.push_str(&e12_risk_matrix::run());
+    out.push_str(&a1_ablations::run());
+    out
+}

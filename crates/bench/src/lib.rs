@@ -1,0 +1,18 @@
+#![warn(missing_docs)]
+
+//! # underradar-bench
+//!
+//! Experiment harnesses that regenerate every table and figure of the
+//! paper's evaluation, plus Criterion performance benches over the
+//! substrate.
+//!
+//! Each experiment is a pure function `run() -> String` (deterministic in
+//! its internal seeds) with a thin binary wrapper in `src/bin/` and a
+//! consolidated `cargo bench` harness (`benches/experiments.rs`) that
+//! prints all of them. The experiment ↔ paper mapping lives in
+//! `DESIGN.md` §4 and `EXPERIMENTS.md`.
+
+pub mod experiments;
+pub mod table;
+
+pub use table::Table;

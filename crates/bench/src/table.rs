@@ -1,0 +1,130 @@
+//! Plain-text table rendering for experiment reports.
+
+/// A simple fixed-width table builder.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with column headers.
+    pub fn new(header: &[&str]) -> Table {
+        Table { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Append a row (short rows are padded, long rows truncated to the
+    /// header width).
+    pub fn row(&mut self, cells: &[String]) -> &mut Table {
+        let mut row: Vec<String> = cells.iter().take(self.header.len()).cloned().collect();
+        while row.len() < self.header.len() {
+            row.push(String::new());
+        }
+        self.rows.push(row);
+        self
+    }
+
+    /// Append a row of string slices.
+    pub fn row_str(&mut self, cells: &[&str]) -> &mut Table {
+        let owned: Vec<String> = cells.iter().map(|s| s.to_string()).collect();
+        self.row(&owned)
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                line.push_str(&format!("{:<width$}", cell, width = widths[i] + 2));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().map(|w| w + 2).sum();
+        out.push_str(&"-".repeat(total.saturating_sub(2)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Render an experiment header block.
+pub fn heading(id: &str, paper_ref: &str, claim: &str) -> String {
+    format!(
+        "==============================================================\n\
+         {id} — {paper_ref}\n\
+         paper: {claim}\n\
+         ==============================================================\n"
+    )
+}
+
+/// Format a boolean as a check/cross for table cells.
+pub fn mark(ok: bool) -> &'static str {
+    if ok {
+        "yes"
+    } else {
+        "NO"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(&["method", "evades", "correct"]);
+        t.row_str(&["scan", "yes", "yes"]);
+        t.row_str(&["overt-baseline", "NO", "yes"]);
+        let s = t.render();
+        assert!(s.contains("method"));
+        assert!(s.lines().count() >= 4);
+        // Columns align: "evades" appears at the same offset in all rows.
+        let off = s.lines().next().expect("header").find("evades").expect("col");
+        for line in s.lines().skip(2) {
+            assert!(line.len() > off);
+        }
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn pads_and_truncates_rows() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row_str(&["only-one"]);
+        t.row_str(&["x", "y", "overflow"]);
+        let s = t.render();
+        assert!(!s.contains("overflow"));
+    }
+
+    #[test]
+    fn heading_and_mark() {
+        let h = heading("E3", "Figure 2", "spam scores land in 40..100");
+        assert!(h.contains("E3"));
+        assert!(h.contains("Figure 2"));
+        assert_eq!(mark(true), "yes");
+        assert_eq!(mark(false), "NO");
+    }
+}

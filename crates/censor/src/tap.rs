@@ -1,0 +1,412 @@
+//! The off-path (tap-attached) censor.
+//!
+//! This is the paper's reference censor (§3.2.1): a Snort-like observer on
+//! a switch tap that *injects* packets rather than dropping them — RST
+//! pairs for keyword hits (the Clayton et al. GFC behaviour) and forged
+//! DNS answers for blocked names. Because it is off-path it cannot prevent
+//! packets from flowing; it races the endpoints instead, which is exactly
+//! the behaviour the measurement techniques detect.
+
+use std::any::Any;
+use std::collections::HashSet;
+
+use underradar_ids::stream::{FlowKey, StreamReassembler};
+use underradar_netsim::node::{IfaceId, Node, NodeCtx};
+use underradar_netsim::packet::Packet;
+use underradar_netsim::wire::tcp::TcpFlags;
+
+use crate::dns::DnsInjector;
+use crate::policy::{CensorAction, CensorActionKind, CensorPolicy};
+
+/// Case-insensitive substring test (shared with policy matching).
+pub fn contains_nocase(haystack: &[u8], needle: &[u8]) -> bool {
+    underradar_ids::aho::find_sub(haystack, needle, true, 0).is_some()
+}
+
+/// Counters for the tap censor.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TapCensorStats {
+    /// Packets observed from the tap.
+    pub observed: u64,
+    /// RST pairs injected.
+    pub rst_injections: u64,
+    /// DNS forgeries injected.
+    pub dns_injections: u64,
+}
+
+/// An off-path censor node. Attach its interface 0 to a switch tap port.
+pub struct TapCensor {
+    name: String,
+    policy: CensorPolicy,
+    reassembler: StreamReassembler,
+    injector: DnsInjector,
+    /// (flow, keyword index) pairs already RST — one strike per flow.
+    fired: HashSet<(FlowKey, usize)>,
+    actions: Vec<CensorAction>,
+    stats: TapCensorStats,
+}
+
+impl TapCensor {
+    /// Build from a policy.
+    pub fn new(name: &str, policy: CensorPolicy) -> TapCensor {
+        let injector = DnsInjector::new(&policy);
+        TapCensor {
+            name: name.to_string(),
+            policy,
+            reassembler: StreamReassembler::new(),
+            injector,
+            fired: HashSet::new(),
+            actions: Vec::new(),
+            stats: TapCensorStats::default(),
+        }
+    }
+
+    /// Disable RST-teardown in the censor's own reassembler (ablation: a
+    /// censor that keeps tracking flows after RSTs).
+    pub fn set_rst_teardown(&mut self, on: bool) {
+        self.reassembler.rst_teardown = on;
+    }
+
+    /// Logged censorship actions (ground truth for experiments).
+    pub fn actions(&self) -> &[CensorAction] {
+        &self.actions
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> TapCensorStats {
+        self.stats
+    }
+
+    /// The policy in force.
+    pub fn policy(&self) -> &CensorPolicy {
+        &self.policy
+    }
+
+    fn keyword_hit(&mut self, ctx: &mut NodeCtx<'_>, iface: IfaceId, pkt: &Packet) {
+        let Some(seg) = pkt.as_tcp() else { return };
+        let Some(flow_ctx) = self.reassembler.process(pkt) else { return };
+        if !flow_ctx.appended {
+            return;
+        }
+        for (idx, kw) in self.policy.keywords.iter().enumerate() {
+            if !contains_nocase(&flow_ctx.stream, kw.as_bytes()) {
+                continue;
+            }
+            if !self.fired.insert((flow_ctx.key, idx)) {
+                continue;
+            }
+            // Inject the GFC RST pair: one at each endpoint, sequenced off
+            // the observed segment so both stacks accept them.
+            let next_client_seq = seg.seq.wrapping_add(seg.payload.len() as u32);
+            let rst_to_server = Packet::tcp(
+                pkt.src,
+                pkt.dst,
+                seg.src_port,
+                seg.dst_port,
+                next_client_seq,
+                seg.ack,
+                TcpFlags::rst_ack(),
+                Vec::new(),
+            );
+            let rst_to_client = Packet::tcp(
+                pkt.dst,
+                pkt.src,
+                seg.dst_port,
+                seg.src_port,
+                seg.ack,
+                next_client_seq,
+                TcpFlags::rst_ack(),
+                Vec::new(),
+            );
+            ctx.send(iface, rst_to_server);
+            ctx.send(iface, rst_to_client);
+            self.stats.rst_injections += 1;
+            self.actions.push(CensorAction {
+                time: ctx.now(),
+                kind: CensorActionKind::KeywordRst { keyword: kw.clone() },
+                client: pkt.src,
+            });
+        }
+    }
+}
+
+impl Node for TapCensor {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn receive(&mut self, ctx: &mut NodeCtx<'_>, iface: IfaceId, packet: Packet) {
+        self.stats.observed += 1;
+
+        // DNS injection.
+        if let Some((forged, qname, qtype)) = self.injector.inspect(&self.policy, &packet) {
+            ctx.send(iface, forged);
+            self.stats.dns_injections += 1;
+            self.actions.push(CensorAction {
+                time: ctx.now(),
+                kind: CensorActionKind::DnsInjection {
+                    name: qname,
+                    qtype: qtype.number(),
+                },
+                client: packet.src,
+            });
+        }
+
+        // Keyword RST injection (TCP only).
+        if packet.as_tcp().is_some() {
+            self.keyword_hit(ctx, iface, &packet);
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+    use underradar_netsim::addr::Cidr;
+    use underradar_netsim::host::Host;
+    use underradar_netsim::link::LinkConfig;
+    use underradar_netsim::switch::Switch;
+    use underradar_netsim::time::{SimDuration, SimTime};
+    use underradar_netsim::topology::TopologyBuilder;
+    use underradar_netsim::{ConnId, HostApi, HostTask, NodeId, Simulator, TcpEvent};
+    use underradar_protocols::dns::{DnsMessage, DnsName, QType};
+    use underradar_protocols::http::HttpServer;
+
+    const CLIENT: Ipv4Addr = Ipv4Addr::new(10, 0, 1, 2);
+    const SERVER: Ipv4Addr = Ipv4Addr::new(10, 0, 2, 80);
+
+    /// Figure-1 testbed: client -- switch -- server, censor on a tap.
+    fn testbed(policy: CensorPolicy) -> (Simulator, NodeId, NodeId, NodeId) {
+        let mut topo = TopologyBuilder::new(21);
+        let client = topo.add_host(Host::new("client", CLIENT));
+        let mut server_host = Host::new("server", SERVER);
+        server_host.add_tcp_listener(80, || Box::new(HttpServer::catch_all("<html>page</html>")));
+        let server = topo.add_host(server_host);
+        let censor = topo.add_node(Box::new(TapCensor::new("censor", policy)));
+        let sw = topo.add_switch(Switch::new("ovs"));
+        topo.attach_host(client, CLIENT, sw, LinkConfig::default()).expect("client");
+        topo.attach_host(server, SERVER, sw, LinkConfig::default()).expect("server");
+        // The tap link is faster than the host links so injected packets
+        // win the race, as in the real GFC deployment.
+        topo.attach_tap(censor, sw, LinkConfig::ideal()).expect("tap");
+        (topo.finish(), client, server, censor)
+    }
+
+    /// Client that sends an HTTP request containing a given path.
+    struct HttpProbe {
+        server: Ipv4Addr,
+        path: String,
+        got_reset: bool,
+        response: Vec<u8>,
+        conn: Option<ConnId>,
+    }
+
+    impl HttpProbe {
+        fn new(server: Ipv4Addr, path: &str) -> Self {
+            HttpProbe {
+                server,
+                path: path.to_string(),
+                got_reset: false,
+                response: Vec::new(),
+                conn: None,
+            }
+        }
+    }
+
+    impl HostTask for HttpProbe {
+        fn on_start(&mut self, api: &mut HostApi<'_, '_>) {
+            self.conn = Some(api.tcp_connect(self.server, 80));
+        }
+        fn on_tcp(&mut self, api: &mut HostApi<'_, '_>, conn: ConnId, ev: TcpEvent) {
+            match ev {
+                TcpEvent::Connected => {
+                    let req = format!("GET {} HTTP/1.0\r\nHost: site\r\n\r\n", self.path);
+                    api.tcp_send(conn, req.as_bytes());
+                }
+                TcpEvent::Data(d) => self.response.extend_from_slice(&d),
+                TcpEvent::Reset => self.got_reset = true,
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn keyword_request_gets_rst_both_ways() {
+        let policy = CensorPolicy::new().block_keyword("falun");
+        let (mut sim, client, server, censor) = testbed(policy);
+        sim.node_mut::<Host>(client)
+            .expect("client")
+            .spawn_task_at(SimTime::ZERO, Box::new(HttpProbe::new(SERVER, "/falun-news")));
+        sim.run_for(SimDuration::from_secs(10)).expect("run");
+        let probe = sim.node_ref::<Host>(client).expect("c").task_ref::<HttpProbe>(0).expect("t");
+        assert!(probe.got_reset, "client connection reset by injected RST");
+        let censor_node = sim.node_ref::<TapCensor>(censor).expect("censor");
+        assert_eq!(censor_node.stats().rst_injections, 1);
+        assert!(matches!(
+            censor_node.actions()[0].kind,
+            CensorActionKind::KeywordRst { .. }
+        ));
+        let _ = server;
+    }
+
+    #[test]
+    fn innocuous_request_passes_untouched() {
+        let policy = CensorPolicy::new().block_keyword("falun");
+        let (mut sim, client, _server, censor) = testbed(policy);
+        sim.node_mut::<Host>(client)
+            .expect("client")
+            .spawn_task_at(SimTime::ZERO, Box::new(HttpProbe::new(SERVER, "/weather")));
+        sim.run_for(SimDuration::from_secs(10)).expect("run");
+        let probe = sim.node_ref::<Host>(client).expect("c").task_ref::<HttpProbe>(0).expect("t");
+        assert!(!probe.got_reset);
+        assert!(
+            String::from_utf8_lossy(&probe.response).contains("200 OK"),
+            "got: {}",
+            String::from_utf8_lossy(&probe.response)
+        );
+        assert_eq!(sim.node_ref::<TapCensor>(censor).expect("c").stats().rst_injections, 0);
+    }
+
+    #[test]
+    fn keyword_split_across_segments_still_caught() {
+        // Force segmentation by sending the request in two writes.
+        struct SplitProbe {
+            server: Ipv4Addr,
+            got_reset: bool,
+        }
+        impl HostTask for SplitProbe {
+            fn on_start(&mut self, api: &mut HostApi<'_, '_>) {
+                api.tcp_connect(self.server, 80);
+            }
+            fn on_tcp(&mut self, api: &mut HostApi<'_, '_>, conn: ConnId, ev: TcpEvent) {
+                match ev {
+                    TcpEvent::Connected => {
+                        api.tcp_send(conn, b"GET /fal");
+                        api.tcp_send(conn, b"un HTTP/1.0\r\nHost: s\r\n\r\n");
+                    }
+                    TcpEvent::Reset => self.got_reset = true,
+                    _ => {}
+                }
+            }
+        }
+        let policy = CensorPolicy::new().block_keyword("falun");
+        let (mut sim, client, _server, censor) = testbed(policy);
+        sim.node_mut::<Host>(client)
+            .expect("client")
+            .spawn_task_at(SimTime::ZERO, Box::new(SplitProbe { server: SERVER, got_reset: false }));
+        sim.run_for(SimDuration::from_secs(10)).expect("run");
+        assert!(
+            sim.node_ref::<Host>(client)
+                .expect("c")
+                .task_ref::<SplitProbe>(0)
+                .expect("t")
+                .got_reset,
+            "reassembly caught the split keyword"
+        );
+        assert_eq!(sim.node_ref::<TapCensor>(censor).expect("c").stats().rst_injections, 1);
+    }
+
+    #[test]
+    fn dns_query_for_blocked_name_poisoned() {
+        struct DnsProbe {
+            resolver: Ipv4Addr,
+            qtype: QType,
+            answers: Vec<Ipv4Addr>,
+            responses: u32,
+        }
+        impl HostTask for DnsProbe {
+            fn on_start(&mut self, api: &mut HostApi<'_, '_>) {
+                let port = api.udp_bind(0).expect("bind");
+                let q = DnsMessage::query(7, DnsName::parse("twitter.com").expect("n"), self.qtype);
+                api.udp_send(port, self.resolver, 53, q.encode());
+            }
+            fn on_udp(
+                &mut self,
+                _api: &mut HostApi<'_, '_>,
+                _l: u16,
+                _s: Ipv4Addr,
+                _sp: u16,
+                payload: &[u8],
+            ) {
+                if let Ok(resp) = DnsMessage::decode(payload) {
+                    // First response wins (resolver behaviour).
+                    if self.responses == 0 {
+                        self.answers = resp.a_records();
+                    }
+                    self.responses += 1;
+                }
+            }
+        }
+        let policy = CensorPolicy::new().block_domain(&DnsName::parse("twitter.com").expect("n"));
+        let poison = policy.dns_poison_ip;
+        let (mut sim, client, _server, censor) = testbed(policy);
+        for (at, qtype) in [(0u64, QType::A), (1, QType::Mx)] {
+            sim.node_mut::<Host>(client).expect("c").spawn_task_at(
+                SimTime::ZERO + SimDuration::from_secs(at),
+                Box::new(DnsProbe { resolver: SERVER, qtype, answers: vec![], responses: 0 }),
+            );
+        }
+        sim.run_for(SimDuration::from_secs(10)).expect("run");
+        let host = sim.node_ref::<Host>(client).expect("c");
+        let a_probe = host.task_ref::<DnsProbe>(0).expect("t0");
+        let mx_probe = host.task_ref::<DnsProbe>(1).expect("t1");
+        assert_eq!(a_probe.answers, vec![poison], "A query poisoned");
+        assert_eq!(mx_probe.answers, vec![poison], "MX query answered with bad A — the tell");
+        assert_eq!(sim.node_ref::<TapCensor>(censor).expect("c").stats().dns_injections, 2);
+    }
+
+    #[test]
+    fn one_rst_per_flow_not_per_segment() {
+        struct RepeatProbe {
+            server: Ipv4Addr,
+            resets: u32,
+        }
+        impl HostTask for RepeatProbe {
+            fn on_start(&mut self, api: &mut HostApi<'_, '_>) {
+                api.tcp_connect(self.server, 80);
+            }
+            fn on_tcp(&mut self, api: &mut HostApi<'_, '_>, conn: ConnId, ev: TcpEvent) {
+                match ev {
+                    TcpEvent::Connected => {
+                        api.tcp_send(conn, b"falun one");
+                        api.tcp_send(conn, b"falun two");
+                        api.tcp_send(conn, b"falun three");
+                    }
+                    TcpEvent::Reset => self.resets += 1,
+                    _ => {}
+                }
+            }
+        }
+        let policy = CensorPolicy::new().block_keyword("falun");
+        let (mut sim, client, _server, censor) = testbed(policy);
+        sim.node_mut::<Host>(client)
+            .expect("c")
+            .spawn_task_at(SimTime::ZERO, Box::new(RepeatProbe { server: SERVER, resets: 0 }));
+        sim.run_for(SimDuration::from_secs(10)).expect("run");
+        let stats = sim.node_ref::<TapCensor>(censor).expect("c").stats();
+        assert_eq!(stats.rst_injections, 1, "deduped per flow");
+    }
+
+    #[test]
+    fn blocked_ip_is_not_dropped_by_offpath_censor() {
+        // Off-path censors cannot blackhole; that needs the inline censor.
+        let policy =
+            CensorPolicy::new().block_ip(Cidr::host(SERVER));
+        let (mut sim, client, _server, _censor) = testbed(policy);
+        sim.node_mut::<Host>(client)
+            .expect("c")
+            .spawn_task_at(SimTime::ZERO, Box::new(HttpProbe::new(SERVER, "/x")));
+        sim.run_for(SimDuration::from_secs(10)).expect("run");
+        let probe = sim.node_ref::<Host>(client).expect("c").task_ref::<HttpProbe>(0).expect("t");
+        assert!(!probe.response.is_empty(), "off-path censor cannot drop packets");
+    }
+}

@@ -1,0 +1,22 @@
+//! The measurement techniques.
+//!
+//! Every method is a [`underradar_netsim::HostTask`] that runs on the
+//! measurement client (plus, for stateful mimicry, a cooperating task on
+//! the measurer-controlled server). Methods expose their collected
+//! evidence and a [`crate::verdict::Verdict`] after the simulation runs.
+
+pub mod ddos;
+pub mod hops;
+pub mod overt;
+pub mod scan;
+pub mod spam;
+pub mod stateful;
+pub mod stateless;
+
+pub use ddos::DdosProbe;
+pub use hops::HopProbe;
+pub use overt::OvertProbe;
+pub use scan::SynScanProbe;
+pub use spam::SpamProbe;
+pub use stateful::{MimicServer, StatefulMimicry};
+pub use stateless::{StatelessDnsMimicry, StatelessSynMimicry};

@@ -1,0 +1,386 @@
+//! Method #2 — spam (§3.1).
+//!
+//! "We send spam to (and, hence, perform MX lookups for) censored domains
+//! as a stealthy way to measure DNS and IP censorship. To perform a
+//! measurement, we perform an MX lookup for a domain's mail server, then
+//! look up the mail server's A record. ... If the mail server lookup
+//! succeeds, we initiate an SMTP connection with the IP address and send a
+//! spam message."
+//!
+//! Detection signals:
+//! * the GFC answers **MX queries with bogus A records** (validated by the
+//!   paper against twitter.com/youtube.com) — an MX question answered with
+//!   only A data is flagged as injection;
+//! * conflicting responses to the same query betray a race with the real
+//!   resolver;
+//! * SMTP connect failures distinguish IP/port blocking.
+
+use std::net::Ipv4Addr;
+
+use underradar_netsim::host::{ConnId, HostApi, HostTask};
+use underradar_netsim::stack::tcp::TcpEvent;
+use underradar_netsim::time::SimDuration;
+use underradar_protocols::dns::{DnsMessage, DnsName, QType, Rcode, RecordData};
+use underradar_protocols::smtp::SmtpClientMachine;
+use underradar_spam::measurement_spam;
+
+use crate::verdict::{Mechanism, Verdict};
+
+const TIMER_DNS_TIMEOUT: u64 = 1;
+
+const MX_QUERY_ID: u16 = 0x00aa;
+const A_QUERY_ID: u16 = 0x00ab;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    MxLookup,
+    ALookup,
+    Smtp,
+    Done,
+}
+
+/// One DNS observation (kept for post-run analysis).
+#[derive(Debug, Clone)]
+pub struct DnsObservation {
+    /// Which query it answered (MX or A id).
+    pub query_id: u16,
+    /// A records in the response.
+    pub a_records: Vec<Ipv4Addr>,
+    /// MX exchanges in the response.
+    pub mx_records: Vec<DnsName>,
+    /// Whether the response carried A data for an MX question.
+    pub a_for_mx: bool,
+}
+
+/// A spam-cloaked measurement of one domain.
+pub struct SpamProbe {
+    domain: DnsName,
+    resolver: Ipv4Addr,
+    /// Message variation index (campaigns vary their templates).
+    msg_index: u64,
+    phase: Phase,
+    dns_port: Option<u16>,
+    /// Everything DNS sent back.
+    pub observations: Vec<DnsObservation>,
+    exchange: Option<DnsName>,
+    mx_ip: Option<Ipv4Addr>,
+    conn: Option<ConnId>,
+    machine: Option<SmtpClientMachine>,
+    /// Whether the spam message was accepted by the MX.
+    pub delivered: bool,
+    got_reset: bool,
+    timed_out: bool,
+    refused: bool,
+    nxdomain: bool,
+    dns_timeout: bool,
+}
+
+impl SpamProbe {
+    /// Probe `domain` through `resolver`; `msg_index` varies the template.
+    pub fn new(domain: &DnsName, resolver: Ipv4Addr, msg_index: u64) -> SpamProbe {
+        SpamProbe {
+            domain: domain.clone(),
+            resolver,
+            msg_index,
+            phase: Phase::MxLookup,
+            dns_port: None,
+            observations: Vec::new(),
+            exchange: None,
+            mx_ip: None,
+            conn: None,
+            machine: None,
+            delivered: false,
+            got_reset: false,
+            timed_out: false,
+            refused: false,
+            nxdomain: false,
+            dns_timeout: false,
+        }
+    }
+
+    /// The measurement's conclusion.
+    pub fn verdict(&self) -> Verdict {
+        // Injection tells, in order of strength.
+        if self.observations.iter().any(|o| o.a_for_mx) {
+            return Verdict::Censored(Mechanism::DnsPoison);
+        }
+        // NXDOMAIN racing a real answer for the same query: forged denial.
+        if self.nxdomain && !self.observations.is_empty() {
+            return Verdict::Censored(Mechanism::DnsPoison);
+        }
+        let conflicting = self
+            .observations
+            .iter()
+            .filter(|o| o.query_id == A_QUERY_ID)
+            .map(|o| &o.a_records)
+            .collect::<Vec<_>>();
+        if conflicting.len() > 1 && conflicting.windows(2).any(|w| w[0] != w[1]) {
+            return Verdict::Censored(Mechanism::DnsPoison);
+        }
+        if self.delivered {
+            return Verdict::Reachable;
+        }
+        if self.got_reset {
+            return Verdict::Censored(Mechanism::RstInjection);
+        }
+        if self.timed_out {
+            return Verdict::Censored(Mechanism::Blackhole);
+        }
+        if self.refused {
+            return Verdict::Censored(Mechanism::PortBlocked);
+        }
+        if self.nxdomain || self.dns_timeout {
+            return Verdict::Inconclusive(
+                "mail server lookup failed (possible blackholed mail, §3.1 confounder)"
+                    .to_string(),
+            );
+        }
+        Verdict::Inconclusive("measurement incomplete".to_string())
+    }
+
+    fn observe(&mut self, resp: &DnsMessage) -> DnsObservation {
+        let a_records = resp.a_records();
+        let mx_records: Vec<DnsName> = resp
+            .answers
+            .iter()
+            .filter_map(|r| match &r.data {
+                RecordData::Mx { exchange, .. } => Some(exchange.clone()),
+                _ => None,
+            })
+            .collect();
+        DnsObservation {
+            query_id: resp.id,
+            a_for_mx: resp.id == MX_QUERY_ID && mx_records.is_empty() && !a_records.is_empty(),
+            a_records,
+            mx_records,
+        }
+    }
+}
+
+impl HostTask for SpamProbe {
+    fn on_start(&mut self, api: &mut HostApi<'_, '_>) {
+        let port = api.udp_bind(0).unwrap_or(5353);
+        self.dns_port = Some(port);
+        let q = DnsMessage::query(MX_QUERY_ID, self.domain.clone(), QType::Mx);
+        api.udp_send(port, self.resolver, 53, q.encode());
+        api.set_timer(SimDuration::from_secs(3), TIMER_DNS_TIMEOUT);
+    }
+
+    fn on_udp(
+        &mut self,
+        api: &mut HostApi<'_, '_>,
+        local_port: u16,
+        _src: Ipv4Addr,
+        _src_port: u16,
+        payload: &[u8],
+    ) {
+        if Some(local_port) != self.dns_port {
+            return;
+        }
+        let Ok(resp) = DnsMessage::decode(payload) else { return };
+        if !resp.is_response {
+            return;
+        }
+        if resp.rcode == Rcode::NxDomain {
+            self.nxdomain = true;
+            return;
+        }
+        let obs = self.observe(&resp);
+        let advance = obs.clone();
+        self.observations.push(obs);
+
+        match self.phase {
+            Phase::MxLookup if resp.id == MX_QUERY_ID => {
+                if let Some(exchange) = advance.mx_records.first() {
+                    self.exchange = Some(exchange.clone());
+                    self.phase = Phase::ALookup;
+                    let q = DnsMessage::query(A_QUERY_ID, exchange.clone(), QType::A);
+                    let port = self.dns_port.unwrap_or(5353);
+                    api.udp_send(port, self.resolver, 53, q.encode());
+                }
+                // An A-only answer to the MX question is recorded as
+                // injection evidence; we do not chase the bogus address.
+            }
+            Phase::ALookup if resp.id == A_QUERY_ID => {
+                if let Some(&ip) = advance.a_records.first() {
+                    self.mx_ip = Some(ip);
+                    self.phase = Phase::Smtp;
+                    let msg = measurement_spam(self.msg_index, &self.domain.to_string());
+                    self.machine = Some(SmtpClientMachine::new("probe.client", msg));
+                    self.conn = Some(api.tcp_connect(ip, 25));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_tcp(&mut self, api: &mut HostApi<'_, '_>, conn: ConnId, event: TcpEvent) {
+        if Some(conn) != self.conn {
+            return;
+        }
+        match event {
+            TcpEvent::Data(d) => {
+                if let Some(machine) = &mut self.machine {
+                    let out = machine.on_data(&d);
+                    if !out.is_empty() {
+                        api.tcp_send(conn, &out);
+                    }
+                    if machine.is_done() {
+                        self.delivered = true;
+                        self.phase = Phase::Done;
+                        api.tcp_close(conn);
+                    }
+                }
+            }
+            TcpEvent::Reset => self.got_reset = true,
+            TcpEvent::TimedOut => self.timed_out = true,
+            TcpEvent::Refused => self.refused = true,
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, _api: &mut HostApi<'_, '_>, token: u64) {
+        if token == TIMER_DNS_TIMEOUT && self.phase == Phase::MxLookup {
+            self.dns_timeout = true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::risk::RiskReport;
+    use crate::testbed::{Testbed, TestbedConfig};
+    use underradar_censor::CensorPolicy;
+    use underradar_netsim::addr::Cidr;
+    use underradar_netsim::time::SimTime;
+
+    fn run_spam(policy: CensorPolicy, domain: &str) -> (Testbed, usize) {
+        let mut tb = Testbed::build(TestbedConfig { policy, ..TestbedConfig::default() });
+        let d = DnsName::parse(domain).expect("domain");
+        let idx = tb.spawn_on_client(SimTime::ZERO, Box::new(SpamProbe::new(&d, tb.resolver_ip, 0)));
+        tb.run_secs(30);
+        (tb, idx)
+    }
+
+    #[test]
+    fn clean_path_delivers_spam_and_reads_reachable() {
+        let (tb, idx) = run_spam(CensorPolicy::new(), "twitter.com");
+        let probe = tb.client_task::<SpamProbe>(idx).expect("probe");
+        assert!(probe.delivered);
+        assert_eq!(probe.verdict(), Verdict::Reachable);
+        // The spam really landed at the MX.
+        let inbox = tb.inbox("twitter.com");
+        assert_eq!(inbox.len(), 1);
+        assert!(underradar_spam::is_spam(&inbox[0]), "payload is filter-classified spam");
+    }
+
+    #[test]
+    fn gfc_dns_injection_detected_via_a_for_mx() {
+        // The paper's §3.2.3 validation: bad A responses for MX queries.
+        let policy =
+            CensorPolicy::new().block_domain(&DnsName::parse("twitter.com").expect("n"));
+        let (tb, idx) = run_spam(policy, "twitter.com");
+        let probe = tb.client_task::<SpamProbe>(idx).expect("probe");
+        assert_eq!(probe.verdict(), Verdict::Censored(Mechanism::DnsPoison));
+        assert!(probe.observations.iter().any(|o| o.a_for_mx), "A-for-MX tell observed");
+        assert!(!probe.delivered);
+    }
+
+    #[test]
+    fn nxdomain_style_censor_detected_via_racing_denial() {
+        // ISP-style DNS censorship forges NXDOMAIN; the real resolver's
+        // answer still arrives behind it, and the conflict is the tell.
+        let policy = CensorPolicy::new()
+            .block_domain(&DnsName::parse("twitter.com").expect("n"))
+            .with_dns_nxdomain();
+        let (tb, idx) = run_spam(policy, "twitter.com");
+        let probe = tb.client_task::<SpamProbe>(idx).expect("probe");
+        assert_eq!(probe.verdict(), Verdict::Censored(Mechanism::DnsPoison));
+    }
+
+    #[test]
+    fn blackholed_mx_detected() {
+        let mx = crate::testbed::TargetSite::numbered("twitter.com", 0).mx_ip;
+        let policy = CensorPolicy::new().block_ip(Cidr::host(mx));
+        let (tb, idx) = run_spam(policy, "twitter.com");
+        let probe = tb.client_task::<SpamProbe>(idx).expect("probe");
+        assert_eq!(probe.verdict(), Verdict::Censored(Mechanism::Blackhole));
+    }
+
+    #[test]
+    fn smtp_port_blocking_detected() {
+        let any = Cidr::new(Ipv4Addr::new(0, 0, 0, 0), 0);
+        let policy = CensorPolicy::new().block_port(any, 25);
+        let (tb, idx) = run_spam(policy, "twitter.com");
+        let probe = tb.client_task::<SpamProbe>(idx).expect("probe");
+        // SYNs to port 25 silently dropped -> timeout -> blackhole verdict.
+        assert_eq!(probe.verdict(), Verdict::Censored(Mechanism::Blackhole));
+    }
+
+    #[test]
+    fn spam_probe_verdicts_are_accurate_against_ground_truth() {
+        for (policy, domain, expect_censored) in [
+            (CensorPolicy::new(), "youtube.com", false),
+            (
+                CensorPolicy::new().block_domain(&DnsName::parse("youtube.com").expect("n")),
+                "youtube.com",
+                true,
+            ),
+        ] {
+            let (tb, idx) = run_spam(policy, domain);
+            let probe = tb.client_task::<SpamProbe>(idx).expect("probe");
+            let report = RiskReport::evaluate(&tb, &probe.verdict());
+            assert!(report.verdict_correct, "{domain}: {}", report.summary());
+            assert_eq!(probe.verdict().is_censored(), expect_censored);
+        }
+    }
+
+    #[test]
+    fn campaign_style_probing_evades_surveillance() {
+        // §3.1's cover argument: "if spammers send traffic to every domain
+        // in the .com zone, then they are bound to send traffic to censored
+        // domains; and in these cases, the MVR will discard the traffic."
+        // Warm up by spamming enough benign domains that the classifier
+        // labels the source a spammer, THEN probe the censored one: its
+        // lookups and SMTP traffic are discarded before signatures run.
+        let policy =
+            CensorPolicy::new().block_domain(&DnsName::parse("twitter.com").expect("n"));
+        let mut tb = Testbed::build(TestbedConfig { policy, ..TestbedConfig::default() });
+        let resolver = tb.resolver_ip;
+        for (i, warmup) in ["bbc.com", "example.org", "youtube.com"].iter().enumerate() {
+            let d = DnsName::parse(warmup).expect("domain");
+            tb.spawn_on_client(
+                SimTime::ZERO + SimDuration::from_secs(i as u64),
+                Box::new(SpamProbe::new(&d, resolver, i as u64)),
+            );
+        }
+        let measured = DnsName::parse("twitter.com").expect("domain");
+        let idx = tb.spawn_on_client(
+            SimTime::ZERO + SimDuration::from_secs(10),
+            Box::new(SpamProbe::new(&measured, resolver, 99)),
+        );
+        tb.run_secs(40);
+        let probe = tb.client_task::<SpamProbe>(idx).expect("probe");
+        assert_eq!(probe.verdict(), Verdict::Censored(Mechanism::DnsPoison), "accuracy kept");
+        let report = RiskReport::evaluate(&tb, &probe.verdict());
+        assert!(report.evades(), "campaign cover: {}", report.summary());
+        assert!(!report.attributed);
+        assert!(!report.pursued);
+    }
+
+    #[test]
+    fn lone_probe_without_campaign_cover_is_attributed() {
+        // The contrast case: a single spam probe's MX+A lookups for the
+        // censored domain trip the lookup rule twice — without the
+        // campaign's cover the client is attributable. (This is the §6
+        // point that technique details matter for safety.)
+        let policy =
+            CensorPolicy::new().block_domain(&DnsName::parse("twitter.com").expect("n"));
+        let (tb, idx) = run_spam(policy, "twitter.com");
+        let probe = tb.client_task::<SpamProbe>(idx).expect("probe");
+        let report = RiskReport::evaluate(&tb, &probe.verdict());
+        assert!(!report.evades());
+        assert!(report.attributed, "{}", report.summary());
+    }
+}

@@ -1,0 +1,544 @@
+//! Stateful mimicry with TTL-limited replies (§4.1, Figure 3b).
+//!
+//! For stateful protocols, cover traffic is only possible toward servers
+//! the measurer controls. The client spoofs a whole TCP conversation from
+//! a neighbor address Y:
+//!
+//! 1. `<SRC=Y, SYN>` — spoofed by the measurement client;
+//! 2. `<DST=Y, SYN/ACK>` — the controlled server replies toward Y with a
+//!    **TTL-limited** packet that "dies in the network" after passing the
+//!    surveillance system but before reaching Y;
+//! 3. `<SRC=Y, ACK>` — the client, knowing the server's agreed ISN, ACKs
+//!    blindly; data (carrying the measured keyword) follows the same way.
+//!
+//! The TTL limit solves the *replay problem*: if the SYN/ACK reached the
+//! real Y, Y's kernel would answer RST, killing the server's connection
+//! state and making the censor's reassembler stop looking at the flow.
+//!
+//! Censorship is read from the server side (which the measurer controls):
+//! an injected RST arriving at the server after the keyword segment means
+//! the flow was censored; clean delivery means reachable.
+
+use std::net::Ipv4Addr;
+
+use underradar_netsim::host::{HostApi, HostTask, RawVerdict};
+use underradar_netsim::packet::Packet;
+use underradar_netsim::time::SimDuration;
+use underradar_netsim::wire::tcp::TcpFlags;
+
+use crate::verdict::{Mechanism, Verdict};
+
+/// Events the measurer-controlled server records.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServerEvent {
+    /// A SYN arrived from (addr, port).
+    Syn(Ipv4Addr, u16),
+    /// The blind ACK completed the spoofed handshake.
+    Established,
+    /// Payload bytes arrived.
+    Data(Vec<u8>),
+    /// A RST arrived (either injected by a censor, or the replay problem:
+    /// the spoofed client answered a reply it should never have seen).
+    Rst,
+}
+
+/// The measurer-controlled endpoint (runs on a host outside the censored
+/// network, e.g. "hosted on AWS" per §4.1).
+pub struct MimicServer {
+    /// Port the server answers on.
+    pub port: u16,
+    /// Pre-agreed initial sequence number (lets the client ACK blindly).
+    pub agreed_iss: u32,
+    /// TTL stamped on replies; `None` sends normal TTL (the replay-problem
+    /// configuration).
+    pub reply_ttl: Option<u8>,
+    /// Everything observed, in order.
+    pub events: Vec<ServerEvent>,
+    /// Reassembled payload received from the spoofed flow.
+    pub received: Vec<u8>,
+    rst_seen: bool,
+    expected_seq: Option<u32>,
+}
+
+impl MimicServer {
+    /// A server on `port` with the agreed ISN.
+    pub fn new(port: u16, agreed_iss: u32, reply_ttl: Option<u8>) -> MimicServer {
+        MimicServer {
+            port,
+            agreed_iss,
+            reply_ttl,
+            events: Vec::new(),
+            received: Vec::new(),
+            rst_seen: false,
+            expected_seq: None,
+        }
+    }
+
+    /// Whether the flow was reset.
+    pub fn was_reset(&self) -> bool {
+        self.rst_seen
+    }
+
+    /// Whether any SYN arrived at all.
+    pub fn saw_syn(&self) -> bool {
+        self.events.iter().any(|e| matches!(e, ServerEvent::Syn(..)))
+    }
+
+    /// The measurement verdict, read from the server's point of view.
+    pub fn verdict(&self) -> Verdict {
+        if !self.saw_syn() {
+            return Verdict::Censored(Mechanism::Blackhole);
+        }
+        if self.rst_seen {
+            return Verdict::Censored(Mechanism::RstInjection);
+        }
+        if !self.received.is_empty() {
+            return Verdict::Reachable;
+        }
+        Verdict::Inconclusive("handshake only; no data arrived".to_string())
+    }
+
+    fn reply(&self, api: &mut HostApi<'_, '_>, dst: Ipv4Addr, dst_port: u16, seq: u32, ack: u32, flags: TcpFlags) {
+        let mut pkt = Packet::tcp(api.ip(), dst, self.port, dst_port, seq, ack, flags, vec![]);
+        if let Some(ttl) = self.reply_ttl {
+            pkt = pkt.with_ttl(ttl);
+        }
+        api.raw_send(pkt);
+    }
+}
+
+impl HostTask for MimicServer {
+    fn on_start(&mut self, _api: &mut HostApi<'_, '_>) {}
+
+    fn on_raw(&mut self, api: &mut HostApi<'_, '_>, packet: &Packet) -> RawVerdict {
+        if packet.dst != api.ip() {
+            return RawVerdict::Continue;
+        }
+        let Some(seg) = packet.as_tcp() else { return RawVerdict::Continue };
+        if seg.dst_port != self.port {
+            return RawVerdict::Continue;
+        }
+        if seg.flags.has_rst() {
+            self.rst_seen = true;
+            self.events.push(ServerEvent::Rst);
+            return RawVerdict::Consume;
+        }
+        if seg.flags.has_syn() && !seg.flags.has_ack() {
+            self.events.push(ServerEvent::Syn(packet.src, seg.src_port));
+            self.expected_seq = Some(seg.seq.wrapping_add(1));
+            self.reply(
+                api,
+                packet.src,
+                seg.src_port,
+                self.agreed_iss,
+                seg.seq.wrapping_add(1),
+                TcpFlags::syn_ack(),
+            );
+            return RawVerdict::Consume;
+        }
+        if seg.flags.has_ack() && seg.payload.is_empty() {
+            if seg.ack == self.agreed_iss.wrapping_add(1)
+                && !self.events.contains(&ServerEvent::Established)
+            {
+                self.events.push(ServerEvent::Established);
+            }
+            return RawVerdict::Consume;
+        }
+        if !seg.payload.is_empty() {
+            if Some(seg.seq) == self.expected_seq {
+                self.expected_seq = Some(seg.seq.wrapping_add(seg.payload.len() as u32));
+                self.received.extend_from_slice(&seg.payload);
+            }
+            self.events.push(ServerEvent::Data(seg.payload.clone()));
+            self.reply(
+                api,
+                packet.src,
+                seg.src_port,
+                self.agreed_iss.wrapping_add(1),
+                seg.seq.wrapping_add(seg.payload.len() as u32),
+                TcpFlags::ack(),
+            );
+            return RawVerdict::Consume;
+        }
+        RawVerdict::Consume
+    }
+}
+
+/// The client half: blindly drives the spoofed conversation.
+pub struct StatefulMimicry {
+    /// The address the conversation is spoofed from (a same-AS neighbor).
+    pub spoof_src: Ipv4Addr,
+    /// Source port used in the spoofed flow.
+    pub spoof_sport: u16,
+    /// The controlled server.
+    pub server: Ipv4Addr,
+    /// The server's port.
+    pub server_port: u16,
+    /// Pre-agreed server ISN.
+    pub agreed_iss: u32,
+    /// Our own ISN.
+    pub client_iss: u32,
+    /// The payload whose censorship is being measured.
+    pub payload: Vec<u8>,
+    /// Split the payload into two segments (exercises the censor's
+    /// reassembler).
+    pub split_payload: bool,
+    step: u32,
+}
+
+const STEP_GAP: SimDuration = SimDuration::from_millis(50);
+
+impl StatefulMimicry {
+    /// Build the client half.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        spoof_src: Ipv4Addr,
+        server: Ipv4Addr,
+        server_port: u16,
+        agreed_iss: u32,
+        payload: &[u8],
+    ) -> StatefulMimicry {
+        StatefulMimicry {
+            spoof_src,
+            spoof_sport: 42777,
+            server,
+            server_port,
+            agreed_iss,
+            client_iss: 0x1357_9bdf,
+            payload: payload.to_vec(),
+            split_payload: false,
+            step: 0,
+        }
+    }
+
+    /// Split the payload across two segments (builder style).
+    pub fn with_split_payload(mut self) -> StatefulMimicry {
+        self.split_payload = true;
+        self
+    }
+
+    fn spoofed(&self, seq: u32, ack: u32, flags: TcpFlags, payload: Vec<u8>) -> Packet {
+        Packet::tcp(
+            self.spoof_src,
+            self.server,
+            self.spoof_sport,
+            self.server_port,
+            seq,
+            ack,
+            flags,
+            payload,
+        )
+    }
+}
+
+impl HostTask for StatefulMimicry {
+    fn on_start(&mut self, api: &mut HostApi<'_, '_>) {
+        api.raw_send(self.spoofed(self.client_iss, 0, TcpFlags::syn(), vec![]));
+        api.set_timer(STEP_GAP, 1);
+    }
+
+    fn on_timer(&mut self, api: &mut HostApi<'_, '_>, _token: u64) {
+        self.step += 1;
+        let data_seq = self.client_iss.wrapping_add(1);
+        let srv_ack = self.agreed_iss.wrapping_add(1);
+        match self.step {
+            1 => {
+                // Blind ACK completes the spoofed handshake.
+                api.raw_send(self.spoofed(data_seq, srv_ack, TcpFlags::ack(), vec![]));
+                api.set_timer(STEP_GAP, 2);
+            }
+            2 => {
+                if self.split_payload && self.payload.len() >= 2 {
+                    let mid = self.payload.len() / 2;
+                    let first = self.payload[..mid].to_vec();
+                    api.raw_send(self.spoofed(data_seq, srv_ack, TcpFlags::psh_ack(), first));
+                    api.set_timer(STEP_GAP, 3);
+                } else {
+                    api.raw_send(self.spoofed(
+                        data_seq,
+                        srv_ack,
+                        TcpFlags::psh_ack(),
+                        self.payload.clone(),
+                    ));
+                }
+            }
+            3 => {
+                let mid = self.payload.len() / 2;
+                let rest = self.payload[mid..].to_vec();
+                let seq = data_seq.wrapping_add(mid as u32);
+                api.raw_send(self.spoofed(seq, srv_ack, TcpFlags::psh_ack(), rest));
+            }
+            _ => {}
+        }
+    }
+}
+
+/// A routed topology for the TTL sweep (Fig 3b / experiment E7):
+///
+/// ```text
+/// client, Y (cover) - sw1 - R1 - R2(censor+mvr taps) - R3 - sw2 - mserver
+/// ```
+///
+/// Replies from `mserver` toward Y cross three TTL-decrementing routers;
+/// a reply TTL of exactly 3 passes the taps at R2 and dies at R1.
+pub struct RoutedMimicryNet {
+    /// The simulator.
+    pub sim: underradar_netsim::Simulator,
+    /// The measurement client node.
+    pub client: underradar_netsim::NodeId,
+    /// The spoofed neighbor node.
+    pub cover: underradar_netsim::NodeId,
+    /// The off-path censor (tapped at R2).
+    pub censor: underradar_netsim::NodeId,
+    /// The surveillance system (tapped at R2).
+    pub surveillance: underradar_netsim::NodeId,
+    /// The controlled server node.
+    pub mserver: underradar_netsim::NodeId,
+    /// Client address.
+    pub client_ip: Ipv4Addr,
+    /// Neighbor address used as spoof source.
+    pub cover_ip: Ipv4Addr,
+    /// Server address.
+    pub mserver_ip: Ipv4Addr,
+}
+
+impl RoutedMimicryNet {
+    /// Number of router hops a server reply must survive to reach the
+    /// taps at R2 (inclusive).
+    pub const HOPS_TO_TAP: u8 = 2;
+    /// Number of router hops from the server to the cover client.
+    pub const HOPS_TO_COVER: u8 = 3;
+
+    /// Build the routed network.
+    pub fn build(seed: u64, policy: underradar_censor::CensorPolicy) -> RoutedMimicryNet {
+        use underradar_censor::TapCensor;
+        use underradar_netsim::addr::Cidr;
+        use underradar_netsim::host::Host;
+        use underradar_netsim::link::LinkConfig;
+        use underradar_netsim::switch::Switch;
+        use underradar_netsim::topology::TopologyBuilder;
+        use underradar_surveil::system::{
+            default_surveillance_rules, SurveillanceConfig, SurveillanceNode,
+        };
+
+        let client_ip = Ipv4Addr::new(10, 0, 1, 2);
+        let cover_ip = Ipv4Addr::new(10, 0, 1, 77);
+        let mserver_ip = Ipv4Addr::new(198, 51, 100, 200);
+        let home = Cidr::new(Ipv4Addr::new(10, 0, 0, 0), 8);
+        let world = Cidr::new(Ipv4Addr::new(198, 51, 100, 0), 24);
+
+        let mut topo = TopologyBuilder::new(seed);
+        topo.enable_capture();
+        let client = topo.add_host(Host::new("client", client_ip));
+        let cover = topo.add_host(Host::new("neighbor-y", cover_ip));
+        let mut mserver_host = Host::new("mserver", mserver_ip);
+        // The mimic server task consumes everything addressed to its port;
+        // anything else would draw kernel RSTs that confuse the traces.
+        mserver_host.set_respond_rst(false);
+        let mserver = topo.add_host(mserver_host);
+
+        let censor = topo.add_node(Box::new(TapCensor::new("censor", policy.clone())));
+        let rules = default_surveillance_rules(home, &policy.dns_blocked, &policy.keywords, None);
+        let surveillance =
+            topo.add_node(Box::new(SurveillanceNode::new("mvr", SurveillanceConfig::with_rules(rules))));
+
+        let sw1 = topo.add_switch(Switch::new("sw1"));
+        let r1 = topo.add_switch(Switch::router("r1", Ipv4Addr::new(192, 0, 2, 1)));
+        let r2 = topo.add_switch(Switch::router("r2", Ipv4Addr::new(192, 0, 2, 2)));
+        let r3 = topo.add_switch(Switch::router("r3", Ipv4Addr::new(192, 0, 2, 3)));
+        let sw2 = topo.add_switch(Switch::new("sw2"));
+
+        topo.attach_host(client, client_ip, sw1, LinkConfig::default()).expect("client");
+        topo.attach_host(cover, cover_ip, sw1, LinkConfig::default()).expect("cover");
+        topo.attach_host(mserver, mserver_ip, sw2, LinkConfig::default()).expect("mserver");
+        topo.attach_tap(censor, r2, LinkConfig::ideal()).expect("censor tap");
+        topo.attach_tap(surveillance, r2, LinkConfig::ideal()).expect("mvr tap");
+
+        let (s1_up, r1_down) = topo.trunk(sw1, r1, LinkConfig::default()).expect("sw1-r1");
+        let (r1_up, r2_down) = topo.trunk(r1, r2, LinkConfig::default()).expect("r1-r2");
+        let (r2_up, r3_down) = topo.trunk(r2, r3, LinkConfig::default()).expect("r2-r3");
+        let (r3_up, s2_down) = topo.trunk(r3, sw2, LinkConfig::default()).expect("r3-sw2");
+
+        topo.route(sw1, world, s1_up);
+        topo.route(r1, world, r1_up);
+        topo.route(r1, home, r1_down);
+        topo.route(r2, world, r2_up);
+        topo.route(r2, home, r2_down);
+        topo.route(r3, world, r3_up);
+        topo.route(r3, home, r3_down);
+        topo.route(sw2, home, s2_down);
+
+        RoutedMimicryNet {
+            sim: topo.finish(),
+            client,
+            cover,
+            censor,
+            surveillance,
+            mserver,
+            client_ip,
+            cover_ip,
+            mserver_ip,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use underradar_censor::{CensorPolicy, TapCensor};
+    use underradar_netsim::host::Host;
+    use underradar_netsim::{SimDuration, SimTime};
+
+    const PORT: u16 = 7443;
+    const ISS: u32 = 0xaa55_aa55;
+
+    fn run(
+        policy: CensorPolicy,
+        reply_ttl: Option<u8>,
+        payload: &[u8],
+        split: bool,
+    ) -> RoutedMimicryNet {
+        let mut net = RoutedMimicryNet::build(3, policy);
+        let server = MimicServer::new(PORT, ISS, reply_ttl);
+        net.sim
+            .node_mut::<Host>(net.mserver)
+            .expect("mserver")
+            .spawn_task_at(SimTime::ZERO, Box::new(server));
+        let mut client = StatefulMimicry::new(net.cover_ip, net.mserver_ip, PORT, ISS, payload);
+        if split {
+            client = client.with_split_payload();
+        }
+        net.sim
+            .node_mut::<Host>(net.client)
+            .expect("client")
+            .spawn_task_at(SimTime::ZERO, Box::new(client));
+        net.sim.run_for(SimDuration::from_secs(10)).expect("run");
+        net
+    }
+
+    fn server_of(net: &RoutedMimicryNet) -> &MimicServer {
+        net.sim
+            .node_ref::<Host>(net.mserver)
+            .expect("mserver")
+            .task_ref::<MimicServer>(0)
+            .expect("server task")
+    }
+
+    #[test]
+    fn ttl_limited_flow_completes_without_replay() {
+        let net = run(
+            CensorPolicy::new(),
+            Some(RoutedMimicryNet::HOPS_TO_COVER), // dies after the taps, before Y
+            b"GET /innocuous HTTP/1.0\r\n\r\n",
+            false,
+        );
+        let server = server_of(&net);
+        assert!(server.saw_syn());
+        assert!(!server.was_reset(), "Y never saw the SYN/ACK, so no RST: {:?}", server.events);
+        assert_eq!(server.received, b"GET /innocuous HTTP/1.0\r\n\r\n");
+        assert_eq!(server.verdict(), Verdict::Reachable);
+        // And the cover host truly received nothing.
+        let cover = net.sim.node_ref::<Host>(net.cover).expect("cover");
+        assert_eq!(cover.counters().tcp_in, 0);
+        assert_eq!(cover.counters().rst_sent, 0);
+    }
+
+    #[test]
+    fn unlimited_ttl_triggers_the_replay_problem() {
+        let net = run(CensorPolicy::new(), None, b"GET /x HTTP/1.0\r\n\r\n", false);
+        let server = server_of(&net);
+        assert!(server.was_reset(), "Y's kernel RST killed the flow: {:?}", server.events);
+        let cover = net.sim.node_ref::<Host>(net.cover).expect("cover");
+        assert!(cover.counters().rst_sent >= 1, "the neighbor answered the stray SYN/ACK");
+    }
+
+    #[test]
+    fn keyword_censorship_detected_from_server_side() {
+        let policy = CensorPolicy::new().block_keyword("falun");
+        let net = run(
+            policy,
+            Some(RoutedMimicryNet::HOPS_TO_COVER),
+            b"GET /falun HTTP/1.0\r\n\r\n",
+            false,
+        );
+        let server = server_of(&net);
+        assert!(server.was_reset(), "censor injected RST at the flow: {:?}", server.events);
+        assert_eq!(server.verdict(), Verdict::Censored(Mechanism::RstInjection));
+        let censor = net.sim.node_ref::<TapCensor>(net.censor).expect("censor");
+        assert_eq!(censor.stats().rst_injections, 1);
+        // Ground truth: the censor attributes the action to the *spoofed*
+        // neighbor, not the measurement client.
+        assert_eq!(censor.actions()[0].client, net.cover_ip);
+    }
+
+    #[test]
+    fn split_keyword_still_censored_thanks_to_reassembly() {
+        let policy = CensorPolicy::new().block_keyword("falun");
+        let net = run(
+            policy,
+            Some(RoutedMimicryNet::HOPS_TO_COVER),
+            b"GET /falun HTTP/1.0\r\n\r\n",
+            true,
+        );
+        let server = server_of(&net);
+        assert!(server.was_reset(), "{:?}", server.events);
+    }
+
+    #[test]
+    fn uncensored_keyword_flow_reads_reachable() {
+        let policy = CensorPolicy::new().block_keyword("falun");
+        let net = run(
+            policy,
+            Some(RoutedMimicryNet::HOPS_TO_COVER),
+            b"GET /weather HTTP/1.0\r\n\r\n",
+            false,
+        );
+        let server = server_of(&net);
+        assert_eq!(server.verdict(), Verdict::Reachable);
+        let censor = net.sim.node_ref::<TapCensor>(net.censor).expect("censor");
+        assert_eq!(censor.stats().rst_injections, 0);
+    }
+
+    #[test]
+    fn too_small_ttl_never_reaches_the_taps() {
+        // Reply TTL below the tap distance: the monitors never see the
+        // SYN/ACK, so a censor cannot even observe the flow's reverse path.
+        let net = run(CensorPolicy::new(), Some(1), b"GET /x HTTP/1.0\r\n\r\n", false);
+        let cap = net.sim.capture().expect("capture");
+        let synacks_at_tap = cap
+            .records()
+            .iter()
+            .filter(|r| {
+                r.to_node == net.censor
+                    && r.packet
+                        .as_tcp()
+                        .map(|t| t.flags.has_syn() && t.flags.has_ack())
+                        .unwrap_or(false)
+            })
+            .count();
+        assert_eq!(synacks_at_tap, 0, "SYN/ACK died before the tap");
+        // The flow still "works" from the server's blind perspective.
+        let server = server_of(&net);
+        assert!(!server.received.is_empty());
+    }
+
+    #[test]
+    fn surveillance_attributes_the_neighbor_not_the_client() {
+        let policy = CensorPolicy::new().block_keyword("falun");
+        let net = run(
+            policy,
+            Some(RoutedMimicryNet::HOPS_TO_COVER),
+            b"GET /falun HTTP/1.0\r\n\r\n",
+            false,
+        );
+        use underradar_surveil::system::SurveillanceNode;
+        let surv = net
+            .sim
+            .node_ref::<SurveillanceNode>(net.surveillance)
+            .expect("surveillance")
+            .system();
+        assert_eq!(surv.alerts_for(net.client_ip), 0, "nothing points at the client");
+        // The keyword rule fired — on the spoofed source.
+        assert!(surv.alerts_for(net.cover_ip) > 0);
+    }
+}

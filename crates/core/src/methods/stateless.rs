@@ -1,0 +1,359 @@
+//! Stateless mimicry with IP spoofing (§4.1, Figure 3a).
+//!
+//! "To collect measurements, we conduct measurements directly from our
+//! measurement client while spoofing measurements from other users."
+//!
+//! Two stateless probes:
+//!
+//! * [`StatelessDnsMimicry`] — the Fig 3a picture: one *real* DNS query
+//!   from the client buried among spoofed copies from cover addresses in
+//!   the same AS. All queries look identical to a monitor; responses to
+//!   spoofed sources go to the cover hosts (who silently drop them).
+//! * [`StatelessSynMimicry`] — IP reachability: spoofed SYNs plus one real
+//!   SYN; "if packets are dropped, the SYN/ACK will never arrive,
+//!   otherwise, a RST provides cover traffic" (the host stack answers the
+//!   unexpected SYN/ACK with a RST, and so do the spoofed neighbors).
+
+use std::net::Ipv4Addr;
+
+use underradar_netsim::host::{HostApi, HostTask, RawVerdict};
+use underradar_netsim::packet::Packet;
+use underradar_netsim::time::SimDuration;
+use underradar_netsim::wire::tcp::TcpFlags;
+use underradar_protocols::dns::{DnsMessage, DnsName, QType, Rcode};
+
+use crate::verdict::{Mechanism, Verdict};
+
+const TIMER_DEADLINE: u64 = 1;
+
+/// Spoofed-cover DNS measurement of one name.
+pub struct StatelessDnsMimicry {
+    domain: DnsName,
+    qtype: QType,
+    resolver: Ipv4Addr,
+    /// Addresses to spoof queries from (picked with
+    /// [`underradar_spoof::cover_sources`]).
+    cover: Vec<Ipv4Addr>,
+    dns_port: Option<u16>,
+    /// Responses to *our* real query.
+    pub answers: Vec<Vec<Ipv4Addr>>,
+    /// Whether any response answered an MX question with A-only data.
+    pub a_for_mx: bool,
+    nxdomain: bool,
+    deadline_passed: bool,
+}
+
+impl StatelessDnsMimicry {
+    /// Probe `domain` through `resolver`, spoofing from `cover`.
+    pub fn new(
+        domain: &DnsName,
+        qtype: QType,
+        resolver: Ipv4Addr,
+        cover: Vec<Ipv4Addr>,
+    ) -> StatelessDnsMimicry {
+        StatelessDnsMimicry {
+            domain: domain.clone(),
+            qtype,
+            resolver,
+            cover,
+            dns_port: None,
+            answers: Vec::new(),
+            a_for_mx: false,
+            nxdomain: false,
+            deadline_passed: false,
+        }
+    }
+
+    /// The measurement's conclusion.
+    pub fn verdict(&self) -> Verdict {
+        if self.a_for_mx {
+            return Verdict::Censored(Mechanism::DnsPoison);
+        }
+        if self.answers.len() > 1 && self.answers.windows(2).any(|w| w[0] != w[1]) {
+            return Verdict::Censored(Mechanism::DnsPoison);
+        }
+        if self.nxdomain && !self.answers.is_empty() {
+            // Forged denial racing the real answer.
+            return Verdict::Censored(Mechanism::DnsPoison);
+        }
+        if !self.answers.is_empty() {
+            return Verdict::Reachable;
+        }
+        if self.nxdomain {
+            return Verdict::Inconclusive("NXDOMAIN".to_string());
+        }
+        if self.deadline_passed {
+            return Verdict::Censored(Mechanism::Blackhole);
+        }
+        Verdict::Inconclusive("awaiting responses".to_string())
+    }
+}
+
+impl HostTask for StatelessDnsMimicry {
+    fn on_start(&mut self, api: &mut HostApi<'_, '_>) {
+        let port = api.udp_bind(0).unwrap_or(5353);
+        self.dns_port = Some(port);
+        // Interleave: spoofed queries surround the real one so ordering
+        // carries no signal.
+        let half = self.cover.len() / 2;
+        for (i, &src) in self.cover.iter().enumerate() {
+            let q = DnsMessage::query(0x5000 + i as u16, self.domain.clone(), self.qtype);
+            let pkt = Packet::udp(src, self.resolver, port, 53, q.encode());
+            api.raw_send(pkt);
+            if i + 1 == half {
+                let q = DnsMessage::query(0x4242, self.domain.clone(), self.qtype);
+                api.udp_send(port, self.resolver, 53, q.encode());
+            }
+        }
+        if self.cover.len() < 2 {
+            let q = DnsMessage::query(0x4242, self.domain.clone(), self.qtype);
+            api.udp_send(port, self.resolver, 53, q.encode());
+        }
+        api.set_timer(SimDuration::from_secs(3), TIMER_DEADLINE);
+    }
+
+    fn on_udp(
+        &mut self,
+        _api: &mut HostApi<'_, '_>,
+        local_port: u16,
+        _src: Ipv4Addr,
+        _src_port: u16,
+        payload: &[u8],
+    ) {
+        if Some(local_port) != self.dns_port {
+            return;
+        }
+        let Ok(resp) = DnsMessage::decode(payload) else { return };
+        if resp.id != 0x4242 || !resp.is_response {
+            return;
+        }
+        if resp.rcode == Rcode::NxDomain {
+            self.nxdomain = true;
+            return;
+        }
+        let has_mx = !resp.mx_records().is_empty();
+        let a = resp.a_records();
+        if self.qtype == QType::Mx && !has_mx && !a.is_empty() {
+            self.a_for_mx = true;
+        }
+        self.answers.push(a);
+    }
+
+    fn on_timer(&mut self, _api: &mut HostApi<'_, '_>, token: u64) {
+        if token == TIMER_DEADLINE {
+            self.deadline_passed = true;
+        }
+    }
+}
+
+/// Spoofed-cover SYN reachability measurement of one (address, port).
+pub struct StatelessSynMimicry {
+    target: Ipv4Addr,
+    port: u16,
+    cover: Vec<Ipv4Addr>,
+    own_sport: u16,
+    /// Whether our real SYN was answered with SYN/ACK.
+    pub syn_ack: bool,
+    /// Whether our real SYN was answered with RST (closed port).
+    pub rst: bool,
+    deadline_passed: bool,
+}
+
+impl StatelessSynMimicry {
+    /// Probe `(target, port)` with spoofed company from `cover`.
+    pub fn new(target: Ipv4Addr, port: u16, cover: Vec<Ipv4Addr>) -> StatelessSynMimicry {
+        StatelessSynMimicry {
+            target,
+            port,
+            cover,
+            own_sport: 41000,
+            syn_ack: false,
+            rst: false,
+            deadline_passed: false,
+        }
+    }
+
+    /// The measurement's conclusion.
+    pub fn verdict(&self) -> Verdict {
+        if self.syn_ack {
+            Verdict::Reachable
+        } else if self.rst {
+            Verdict::Censored(Mechanism::RstInjection)
+        } else if self.deadline_passed {
+            Verdict::Censored(Mechanism::Blackhole)
+        } else {
+            Verdict::Inconclusive("awaiting replies".to_string())
+        }
+    }
+}
+
+impl HostTask for StatelessSynMimicry {
+    fn on_start(&mut self, api: &mut HostApi<'_, '_>) {
+        let iss = api.rng().next_u32();
+        for (i, &src) in self.cover.iter().enumerate() {
+            let syn = Packet::tcp(
+                src,
+                self.target,
+                41001 + i as u16,
+                self.port,
+                iss.wrapping_add(i as u32),
+                0,
+                TcpFlags::syn(),
+                vec![],
+            );
+            api.raw_send(syn);
+        }
+        let own = Packet::tcp(
+            api.ip(),
+            self.target,
+            self.own_sport,
+            self.port,
+            iss,
+            0,
+            TcpFlags::syn(),
+            vec![],
+        );
+        api.raw_send(own);
+        api.set_timer(SimDuration::from_secs(3), TIMER_DEADLINE);
+    }
+
+    fn on_raw(&mut self, _api: &mut HostApi<'_, '_>, packet: &Packet) -> RawVerdict {
+        if packet.src != self.target {
+            return RawVerdict::Continue;
+        }
+        let Some(seg) = packet.as_tcp() else { return RawVerdict::Continue };
+        if seg.dst_port != self.own_sport || seg.src_port != self.port {
+            return RawVerdict::Continue;
+        }
+        if seg.flags.has_syn() && seg.flags.has_ack() {
+            self.syn_ack = true;
+            // Let the stack RST it: "a RST provides cover traffic".
+            return RawVerdict::Continue;
+        }
+        if seg.flags.has_rst() {
+            self.rst = true;
+            return RawVerdict::Consume;
+        }
+        RawVerdict::Continue
+    }
+
+    fn on_timer(&mut self, _api: &mut HostApi<'_, '_>, token: u64) {
+        if token == TIMER_DEADLINE {
+            self.deadline_passed = true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::risk::RiskReport;
+    use crate::testbed::{Testbed, TestbedConfig};
+    use underradar_censor::CensorPolicy;
+    use underradar_netsim::addr::Cidr;
+    use underradar_netsim::time::SimTime;
+
+    fn dns_mimicry(policy: CensorPolicy, domain: &str, qtype: QType) -> (Testbed, usize) {
+        let mut tb = Testbed::build(TestbedConfig { policy, ..TestbedConfig::default() });
+        let cover = tb.cover_ips.clone();
+        let d = DnsName::parse(domain).expect("domain");
+        let probe = StatelessDnsMimicry::new(&d, qtype, tb.resolver_ip, cover);
+        let idx = tb.spawn_on_client(SimTime::ZERO, Box::new(probe));
+        tb.run_secs(10);
+        (tb, idx)
+    }
+
+    #[test]
+    fn clean_lookup_reachable() {
+        let (tb, idx) = dns_mimicry(CensorPolicy::new(), "bbc.com", QType::A);
+        let probe = tb.client_task::<StatelessDnsMimicry>(idx).expect("probe");
+        assert_eq!(probe.verdict(), Verdict::Reachable);
+    }
+
+    #[test]
+    fn poisoned_lookup_detected_under_cover() {
+        let policy =
+            CensorPolicy::new().block_domain(&DnsName::parse("twitter.com").expect("n"));
+        let (tb, idx) = dns_mimicry(policy, "twitter.com", QType::A);
+        let probe = tb.client_task::<StatelessDnsMimicry>(idx).expect("probe");
+        assert_eq!(probe.verdict(), Verdict::Censored(Mechanism::DnsPoison));
+    }
+
+    #[test]
+    fn cover_inflates_anonymity_set() {
+        // The point of Fig 3a: the surveillance system's censored-lookup
+        // rule fires for every spoofed source too, so the client hides in
+        // a crowd.
+        let policy =
+            CensorPolicy::new().block_domain(&DnsName::parse("twitter.com").expect("n"));
+        let (tb, idx) = dns_mimicry(policy, "twitter.com", QType::A);
+        let probe = tb.client_task::<StatelessDnsMimicry>(idx).expect("probe");
+        let report = RiskReport::evaluate(&tb, &probe.verdict());
+        let cover_count = tb.cover_ips.len();
+        assert_eq!(
+            report.anonymity_set,
+            Some(cover_count + 1),
+            "client + all cover sources alerted equally: {}",
+            report.summary()
+        );
+        assert!(report.verdict_correct);
+    }
+
+    #[test]
+    fn cover_hosts_silently_drop_responses() {
+        let (tb, _idx) = dns_mimicry(CensorPolicy::new(), "bbc.com", QType::A);
+        // No cover host crashed or answered; their hosts simply dropped
+        // the unexpected DNS responses (no sockets bound).
+        for &node in &tb.cover {
+            let host = tb.sim.node_ref::<underradar_netsim::Host>(node).expect("cover host");
+            assert_eq!(host.counters().rst_sent, 0, "UDP needs no RST");
+        }
+    }
+
+    fn syn_mimicry(policy: CensorPolicy, port: u16) -> (Testbed, usize) {
+        let mut tb = Testbed::build(TestbedConfig { policy, ..TestbedConfig::default() });
+        let target = tb.target("twitter.com").expect("t").web_ip;
+        let cover = tb.cover_ips.clone();
+        let probe = StatelessSynMimicry::new(target, port, cover);
+        let idx = tb.spawn_on_client(SimTime::ZERO, Box::new(probe));
+        tb.run_secs(10);
+        (tb, idx)
+    }
+
+    #[test]
+    fn syn_reachability_open_port() {
+        let (tb, idx) = syn_mimicry(CensorPolicy::new(), 80);
+        let probe = tb.client_task::<StatelessSynMimicry>(idx).expect("probe");
+        assert!(probe.syn_ack);
+        assert_eq!(probe.verdict(), Verdict::Reachable);
+    }
+
+    #[test]
+    fn syn_reachability_blackholed() {
+        let target = crate::testbed::TargetSite::numbered("twitter.com", 0).web_ip;
+        let policy = CensorPolicy::new().block_ip(Cidr::host(target));
+        let (tb, idx) = syn_mimicry(policy, 80);
+        let probe = tb.client_task::<StatelessSynMimicry>(idx).expect("probe");
+        assert_eq!(probe.verdict(), Verdict::Censored(Mechanism::Blackhole));
+    }
+
+    #[test]
+    fn spoofed_neighbors_rst_their_syn_acks() {
+        // Fig 3a's cover behaviour: cover hosts receive SYN/ACKs for SYNs
+        // they never sent and answer with RSTs — indistinguishable from
+        // the client's own kernel behaviour.
+        let (tb, _idx) = syn_mimicry(CensorPolicy::new(), 80);
+        let rst_count: u64 = tb
+            .cover
+            .iter()
+            .map(|&n| {
+                tb.sim
+                    .node_ref::<underradar_netsim::Host>(n)
+                    .expect("cover host")
+                    .counters()
+                    .rst_sent
+            })
+            .sum();
+        assert_eq!(rst_count, tb.cover_ips.len() as u64, "every cover host RSTed");
+    }
+}

@@ -1,0 +1,83 @@
+//! The top TCP ports walked by the scanning method (§3.1 Method #1: "an
+//! nmap SYN scan to the most commonly open 1,000 TCP ports").
+//!
+//! The first entries follow nmap's well-known frequency ordering; the tail
+//! is filled deterministically from the registered-port space so
+//! `top_ports(1000)` yields exactly 1000 distinct ports, most-likely-open
+//! first.
+
+/// The head of nmap's services frequency ordering.
+const TOP_PORTS_HEAD: &[u16] = &[
+    80, 23, 443, 21, 22, 25, 3389, 110, 445, 139, 143, 53, 135, 3306, 8080, 1723, 111, 995, 993,
+    5900, 1025, 587, 8888, 199, 1720, 465, 548, 113, 81, 6001, 10000, 514, 5060, 179, 1026, 2000,
+    8443, 8000, 32768, 554, 26, 1433, 49152, 2001, 515, 8008, 49154, 1027, 5666, 646, 5000, 5631,
+    631, 49153, 8081, 2049, 88, 79, 5800, 106, 2121, 1110, 49155, 6000, 513, 990, 5357, 427,
+    49156, 543, 544, 5101, 144, 7, 389, 8009, 3128, 444, 9999, 5009, 7070, 5190, 3000, 5432,
+    1900, 3986, 13, 1029, 9, 5051, 6646, 49157, 1028, 873, 1755, 2717, 4899, 9100, 119, 37,
+];
+
+/// The `n` most-commonly-open TCP ports, most common first. Values of `n`
+/// beyond 1000 are clamped to 1000.
+pub fn top_ports(n: usize) -> Vec<u16> {
+    let n = n.min(1000);
+    let mut out: Vec<u16> = TOP_PORTS_HEAD.iter().copied().take(n).collect();
+    // Fill deterministically from low registered ports, skipping ones
+    // already present.
+    let mut candidate: u16 = 1;
+    while out.len() < n {
+        if !out.contains(&candidate) {
+            out.push(candidate);
+        }
+        candidate = candidate.wrapping_add(1);
+        if candidate == 0 {
+            break;
+        }
+    }
+    out
+}
+
+/// Rank of a port in the ordering (0 = most common), if in the top 1000.
+pub fn port_rank(port: u16) -> Option<usize> {
+    top_ports(1000).iter().position(|&p| p == port)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn head_order_matches_nmap_intuition() {
+        let ports = top_ports(10);
+        assert_eq!(ports[0], 80);
+        assert_eq!(ports[1], 23);
+        assert_eq!(ports[2], 443);
+        assert!(ports.contains(&22));
+        assert!(ports.contains(&25));
+    }
+
+    #[test]
+    fn thousand_distinct_ports() {
+        let ports = top_ports(1000);
+        assert_eq!(ports.len(), 1000);
+        let mut sorted = ports.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 1000, "all distinct");
+    }
+
+    #[test]
+    fn clamping_and_small_n() {
+        assert_eq!(top_ports(0).len(), 0);
+        assert_eq!(top_ports(1), vec![80]);
+        assert_eq!(top_ports(5000).len(), 1000);
+    }
+
+    #[test]
+    fn ranks() {
+        assert_eq!(port_rank(80), Some(0));
+        assert_eq!(port_rank(443), Some(2));
+        assert!(port_rank(25).expect("25 ranked") < 10);
+        // A port certain to be outside any top-1000 list.
+        assert!(port_rank(61999).is_none());
+    }
+}

@@ -1,0 +1,107 @@
+//! Risk evaluation: the safety half of every experiment.
+//!
+//! §3.2's success criterion: a measurement succeeds if it "can detect
+//! blocking ... without triggering the MVR to log its traffic". The
+//! [`RiskReport`] captures that plus the user-focused escalation chain of
+//! §2.1 (alert → attribution → pursuit) and §4's anonymity-set framing.
+
+use std::net::Ipv4Addr;
+
+use crate::testbed::Testbed;
+use crate::verdict::Verdict;
+
+/// The outcome of one measurement run, on both axes the paper evaluates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RiskReport {
+    /// Ground truth: the censor acted during the run.
+    pub censor_triggered: bool,
+    /// Accuracy: the verdict matches ground truth.
+    pub verdict_correct: bool,
+    /// Alerts the surveillance system attributed to the client's address.
+    pub alerts_on_client: usize,
+    /// The client appears in the analyst's triage queue.
+    pub attributed: bool,
+    /// The client falls within analyst pursuit capacity.
+    pub pursued: bool,
+    /// Distinct in-home sources the surveillance system would have to
+    /// suspect (None when nothing was alerted on). Overt measurement
+    /// yields `Some(1)`; cover traffic inflates this.
+    pub anonymity_set: Option<usize>,
+}
+
+impl RiskReport {
+    /// Evaluate a verdict against the testbed's ground truth and
+    /// surveillance state.
+    pub fn evaluate(tb: &Testbed, verdict: &Verdict) -> RiskReport {
+        let censor_triggered = tb.censor_acted();
+        let surveillance = tb.surveillance();
+        let alerts_on_client = surveillance.alerts_for(tb.client_ip);
+        let home = Testbed::home_net();
+        let alert_sources: Vec<Ipv4Addr> = surveillance
+            .engine()
+            .log()
+            .all()
+            .iter()
+            .map(|a| a.src)
+            .filter(|s| home.contains(*s))
+            .collect();
+        let anonymity_set = if alert_sources.is_empty() {
+            None
+        } else {
+            Some(underradar_spoof::anonymity_set(&alert_sources, 32))
+        };
+        RiskReport {
+            censor_triggered,
+            verdict_correct: verdict.correct_against(censor_triggered),
+            alerts_on_client,
+            attributed: surveillance.is_attributed(tb.client_ip),
+            pursued: surveillance.is_pursued(tb.client_ip),
+            anonymity_set,
+        }
+    }
+
+    /// The paper's evasion criterion: nothing alerted on the client.
+    pub fn evades(&self) -> bool {
+        self.alerts_on_client == 0
+    }
+
+    /// One-line summary for experiment tables.
+    pub fn summary(&self) -> String {
+        format!(
+            "censor={} correct={} evades={} alerts={} attributed={} pursued={} anonset={}",
+            self.censor_triggered,
+            self.verdict_correct,
+            self.evades(),
+            self.alerts_on_client,
+            self.attributed,
+            self.pursued,
+            self.anonymity_set.map_or("-".to_string(), |n| n.to_string()),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testbed::TestbedConfig;
+    use crate::verdict::Mechanism;
+
+    #[test]
+    fn quiet_run_evades_trivially() {
+        let tb = Testbed::build(TestbedConfig::default());
+        let report = RiskReport::evaluate(&tb, &Verdict::Reachable);
+        assert!(!report.censor_triggered);
+        assert!(report.verdict_correct);
+        assert!(report.evades());
+        assert!(!report.attributed);
+        assert_eq!(report.anonymity_set, None);
+        assert!(report.summary().contains("evades=true"));
+    }
+
+    #[test]
+    fn wrong_verdict_scored_incorrect() {
+        let tb = Testbed::build(TestbedConfig::default());
+        let report = RiskReport::evaluate(&tb, &Verdict::Censored(Mechanism::Blackhole));
+        assert!(!report.verdict_correct, "claimed censorship where none happened");
+    }
+}

@@ -1,0 +1,118 @@
+//! Measurement verdicts.
+
+use std::fmt;
+
+/// The censorship mechanism a measurement inferred.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mechanism {
+    /// Connection killed by an injected TCP RST (GFC keyword censorship).
+    RstInjection,
+    /// DNS answer forged (bad A record, possibly for an MX question).
+    DnsPoison,
+    /// Packets silently dropped (IP blackhole): SYNs time out.
+    Blackhole,
+    /// A specific port is blocked while others work.
+    PortBlocked,
+    /// An HTTP request for a blocked URL was killed.
+    UrlBlocked,
+}
+
+impl fmt::Display for Mechanism {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Mechanism::RstInjection => "rst-injection",
+            Mechanism::DnsPoison => "dns-poison",
+            Mechanism::Blackhole => "blackhole",
+            Mechanism::PortBlocked => "port-blocked",
+            Mechanism::UrlBlocked => "url-blocked",
+        };
+        f.write_str(s)
+    }
+}
+
+/// What a measurement concluded about a target.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// Censorship detected, with the inferred mechanism.
+    Censored(Mechanism),
+    /// The target was reachable; no interference observed.
+    Reachable,
+    /// The measurement could not decide (confounders, timeouts without a
+    /// baseline, lost samples).
+    Inconclusive(String),
+}
+
+impl Verdict {
+    /// Whether this verdict claims censorship.
+    pub fn is_censored(&self) -> bool {
+        matches!(self, Verdict::Censored(_))
+    }
+
+    /// Whether this verdict claims reachability.
+    pub fn is_reachable(&self) -> bool {
+        matches!(self, Verdict::Reachable)
+    }
+
+    /// The mechanism, if censored.
+    pub fn mechanism(&self) -> Option<Mechanism> {
+        match self {
+            Verdict::Censored(m) => Some(*m),
+            _ => None,
+        }
+    }
+
+    /// Accuracy scoring: does the verdict match the ground truth
+    /// "the censor acted / did not act"?
+    pub fn correct_against(&self, censored_in_truth: bool) -> bool {
+        match self {
+            Verdict::Censored(_) => censored_in_truth,
+            Verdict::Reachable => !censored_in_truth,
+            Verdict::Inconclusive(_) => false,
+        }
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::Censored(m) => write!(f, "CENSORED ({m})"),
+            Verdict::Reachable => write!(f, "reachable"),
+            Verdict::Inconclusive(why) => write!(f, "inconclusive: {why}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predicates() {
+        let c = Verdict::Censored(Mechanism::RstInjection);
+        assert!(c.is_censored());
+        assert!(!c.is_reachable());
+        assert_eq!(c.mechanism(), Some(Mechanism::RstInjection));
+        let r = Verdict::Reachable;
+        assert!(r.is_reachable());
+        assert_eq!(r.mechanism(), None);
+        let i = Verdict::Inconclusive("lost".into());
+        assert!(!i.is_censored() && !i.is_reachable());
+    }
+
+    #[test]
+    fn accuracy_scoring() {
+        assert!(Verdict::Censored(Mechanism::Blackhole).correct_against(true));
+        assert!(!Verdict::Censored(Mechanism::Blackhole).correct_against(false));
+        assert!(Verdict::Reachable.correct_against(false));
+        assert!(!Verdict::Reachable.correct_against(true));
+        assert!(!Verdict::Inconclusive("x".into()).correct_against(true));
+        assert!(!Verdict::Inconclusive("x".into()).correct_against(false));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Verdict::Censored(Mechanism::DnsPoison).to_string(), "CENSORED (dns-poison)");
+        assert_eq!(Verdict::Reachable.to_string(), "reachable");
+        assert!(Verdict::Inconclusive("few samples".into()).to_string().contains("few samples"));
+    }
+}

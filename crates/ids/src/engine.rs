@@ -1,0 +1,424 @@
+//! The detection engine: rule evaluation over packets and reassembled
+//! streams.
+//!
+//! Architecture mirrors Snort's: a multi-pattern *fast pattern* prefilter
+//! (one Aho–Corasick automaton over each rule's first positive content)
+//! shortlists candidate rules per packet; candidates are then verified
+//! against all header and payload predicates. `pass` rules suppress the
+//! packet entirely (Snort's pass-over-alert ordering). `flow`-qualified
+//! rules match against the reassembled stream rather than the single
+//! segment, with per-flow alert dedup so a keyword firing once does not
+//! re-fire on every later segment of the same flow.
+
+use std::collections::{HashMap, HashSet};
+use std::net::Ipv4Addr;
+
+use underradar_netsim::packet::Packet;
+use underradar_netsim::time::{SimDuration, SimTime};
+
+use crate::aho::AhoCorasick;
+use crate::alert::{Alert, AlertLog};
+use crate::rule::{FlowOption, Rule, RuleAction, ThresholdKind};
+use crate::stream::{Direction, FlowContext, FlowKey, StreamReassembler};
+
+/// Engine statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EngineStats {
+    /// Packets processed.
+    pub packets: u64,
+    /// Rules fully evaluated (post-prefilter).
+    pub evaluations: u64,
+    /// Alerts raised.
+    pub alerts: u64,
+    /// Packets suppressed by `pass` rules.
+    pub passed: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ThresholdState {
+    window_start: SimTime,
+    count: u32,
+    alerted_in_window: u32,
+}
+
+/// A Snort-like detection engine over a fixed ruleset.
+pub struct DetectionEngine {
+    rules: Vec<Rule>,
+    /// Prefilter automaton over fast patterns; `prefilter_rule[i]` is the
+    /// rule index for automaton pattern `i`.
+    prefilter: AhoCorasick,
+    prefilter_rule: Vec<usize>,
+    /// Rules with no usable fast pattern: always evaluated.
+    unfiltered: Vec<usize>,
+    /// Indexes of pass rules (checked first).
+    pass_rules: Vec<usize>,
+    reassembler: StreamReassembler,
+    thresholds: HashMap<(u32, Ipv4Addr), ThresholdState>,
+    flow_alerted: HashSet<(FlowKey, u32)>,
+    log: AlertLog,
+    stats: EngineStats,
+}
+
+impl DetectionEngine {
+    /// Compile an engine from a ruleset.
+    pub fn new(rules: Vec<Rule>) -> DetectionEngine {
+        let mut patterns = Vec::new();
+        let mut prefilter_rule = Vec::new();
+        let mut unfiltered = Vec::new();
+        let mut pass_rules = Vec::new();
+        for (idx, rule) in rules.iter().enumerate() {
+            if rule.action == RuleAction::Pass {
+                pass_rules.push(idx);
+                continue;
+            }
+            match rule.fast_pattern() {
+                Some(c) => {
+                    patterns.push((c.pattern.clone(), c.nocase));
+                    prefilter_rule.push(idx);
+                }
+                None => unfiltered.push(idx),
+            }
+        }
+        DetectionEngine {
+            prefilter: AhoCorasick::new(&patterns),
+            prefilter_rule,
+            unfiltered,
+            pass_rules,
+            rules,
+            reassembler: StreamReassembler::new(),
+            thresholds: HashMap::new(),
+            flow_alerted: HashSet::new(),
+            log: AlertLog::new(),
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// Disable RST-teardown in the reassembler (ablation knob).
+    pub fn set_rst_teardown(&mut self, on: bool) {
+        self.reassembler.rst_teardown = on;
+    }
+
+    /// The alert log.
+    pub fn log(&self) -> &AlertLog {
+        &self.log
+    }
+
+    /// Engine statistics.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Reassembler statistics.
+    pub fn reassembly_stats(&self) -> crate::stream::ReassemblyStats {
+        self.reassembler.stats()
+    }
+
+    /// The compiled rules.
+    pub fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+
+    /// Process one packet; returns the alerts it raised (also appended to
+    /// the log).
+    pub fn process(&mut self, now: SimTime, packet: &Packet) -> Vec<Alert> {
+        self.stats.packets += 1;
+        let flow_ctx = self.reassembler.process(packet);
+
+        // Pass rules win over everything.
+        for &idx in &self.pass_rules {
+            let rule = &self.rules[idx];
+            if Self::rule_matches(rule, packet, flow_ctx.as_ref()) {
+                self.stats.passed += 1;
+                return Vec::new();
+            }
+        }
+
+        // Candidate set: prefilter over packet payload and (for TCP) the
+        // reassembled stream tail, plus rules with no fast pattern.
+        let payload = packet.body.payload();
+        let mut candidates: Vec<usize> = self
+            .prefilter
+            .matching_patterns(payload)
+            .into_iter()
+            .map(|p| self.prefilter_rule[p])
+            .collect();
+        if let Some(ctx) = &flow_ctx {
+            if !ctx.stream.is_empty() {
+                candidates.extend(
+                    self.prefilter
+                        .matching_patterns(&ctx.stream)
+                        .into_iter()
+                        .map(|p| self.prefilter_rule[p]),
+                );
+            }
+        }
+        candidates.extend_from_slice(&self.unfiltered);
+        candidates.sort_unstable();
+        candidates.dedup();
+
+        let mut fired = Vec::new();
+        for idx in candidates {
+            // Split borrow: clone the small rule head info we need.
+            self.stats.evaluations += 1;
+            let rule = &self.rules[idx];
+            if !Self::rule_matches(rule, packet, flow_ctx.as_ref()) {
+                continue;
+            }
+            // Per-flow dedup for stream-matched rules.
+            if !rule.flow.is_empty() {
+                if let Some(ctx) = &flow_ctx {
+                    if !self.flow_alerted.insert((ctx.key, rule.sid)) {
+                        continue;
+                    }
+                }
+            }
+            // Threshold suppression.
+            if let Some(t) = rule.threshold {
+                let track = if t.track_by_src { packet.src } else { packet.dst };
+                let state = self
+                    .thresholds
+                    .entry((rule.sid, track))
+                    .or_insert(ThresholdState { window_start: now, count: 0, alerted_in_window: 0 });
+                if now.saturating_since(state.window_start)
+                    > SimDuration::from_secs(u64::from(t.seconds))
+                {
+                    state.window_start = now;
+                    state.count = 0;
+                    state.alerted_in_window = 0;
+                }
+                state.count += 1;
+                let fire = match t.kind {
+                    ThresholdKind::Limit => state.count <= t.count,
+                    ThresholdKind::Threshold => t.count > 0 && state.count.is_multiple_of(t.count),
+                    ThresholdKind::Both => state.count == t.count,
+                };
+                if !fire {
+                    continue;
+                }
+                state.alerted_in_window += 1;
+            }
+            let rule = &self.rules[idx];
+            let alert = Alert {
+                time: now,
+                sid: rule.sid,
+                msg: rule.msg.clone(),
+                action: rule.action,
+                src: packet.src,
+                src_port: packet.src_port(),
+                dst: packet.dst,
+                dst_port: packet.dst_port(),
+                classtype: rule.classtype.clone(),
+            };
+            self.stats.alerts += 1;
+            self.log.push(alert.clone());
+            fired.push(alert);
+        }
+        fired
+    }
+
+    fn rule_matches(rule: &Rule, packet: &Packet, flow: Option<&FlowContext>) -> bool {
+        if !rule.header_matches(packet) || !rule.flags_match(packet) {
+            return false;
+        }
+        // Flow constraints.
+        if !rule.flow.is_empty() {
+            let Some(ctx) = flow else { return false };
+            for f in &rule.flow {
+                let ok = match f {
+                    FlowOption::Established => ctx.established,
+                    FlowOption::ToServer => ctx.direction == Direction::ToServer,
+                    FlowOption::ToClient => ctx.direction == Direction::ToClient,
+                };
+                if !ok {
+                    return false;
+                }
+            }
+            // Stream-qualified rules match the reassembled stream.
+            return rule.payload_matches(&ctx.stream);
+        }
+        rule.payload_matches(packet.body.payload())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_ruleset, VarTable};
+    use underradar_netsim::wire::tcp::TcpFlags;
+
+    const C: Ipv4Addr = Ipv4Addr::new(10, 0, 1, 2);
+    const S: Ipv4Addr = Ipv4Addr::new(93, 184, 216, 34);
+
+    fn engine(rules_text: &str) -> DetectionEngine {
+        let rules = parse_ruleset(rules_text, &VarTable::new()).expect("rules parse");
+        DetectionEngine::new(rules)
+    }
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs(secs)
+    }
+
+    #[test]
+    fn keyword_rule_fires_on_packet_payload() {
+        let mut e = engine(r#"alert tcp any any -> any 80 (msg:"kw"; content:"falun"; nocase; sid:1;)"#);
+        let pkt = Packet::tcp(C, S, 4000, 80, 0, 0, TcpFlags::psh_ack(), b"GET /FALUN".to_vec());
+        let alerts = e.process(t(0), &pkt);
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(alerts[0].sid, 1);
+        let miss = Packet::tcp(C, S, 4000, 80, 0, 0, TcpFlags::psh_ack(), b"GET /news".to_vec());
+        assert!(e.process(t(0), &miss).is_empty());
+    }
+
+    #[test]
+    fn stream_rule_catches_split_keyword() {
+        let mut e = engine(
+            r#"alert tcp any any -> any 80 (msg:"kw-stream"; flow:established,to_server; content:"falun"; sid:2;)"#,
+        );
+        // Handshake.
+        let syn = Packet::tcp(C, S, 4000, 80, 100, 0, TcpFlags::syn(), vec![]);
+        let syn_ack = Packet::tcp(S, C, 80, 4000, 500, 101, TcpFlags::syn_ack(), vec![]);
+        let ack = Packet::tcp(C, S, 4000, 80, 101, 501, TcpFlags::ack(), vec![]);
+        assert!(e.process(t(0), &syn).is_empty());
+        assert!(e.process(t(0), &syn_ack).is_empty());
+        assert!(e.process(t(0), &ack).is_empty());
+        // Keyword split across two segments: per-segment matching cannot
+        // see it, stream matching can.
+        let d1 = Packet::tcp(C, S, 4000, 80, 101, 501, TcpFlags::psh_ack(), b"GET /fal".to_vec());
+        let d2 = Packet::tcp(C, S, 4000, 80, 109, 501, TcpFlags::psh_ack(), b"un HTTP".to_vec());
+        assert!(e.process(t(0), &d1).is_empty());
+        let alerts = e.process(t(0), &d2);
+        assert_eq!(alerts.len(), 1, "reassembled match");
+        // Dedup: more segments on the same flow do not re-fire.
+        let d3 = Packet::tcp(C, S, 4000, 80, 116, 501, TcpFlags::psh_ack(), b" again falun".to_vec());
+        assert!(e.process(t(0), &d3).is_empty());
+    }
+
+    #[test]
+    fn established_required_rule_ignores_bare_segments() {
+        let mut e = engine(
+            r#"alert tcp any any -> any 80 (msg:"est"; flow:established; content:"x"; sid:3;)"#,
+        );
+        // Data with no observed handshake: flow exists but not established.
+        let d = Packet::tcp(C, S, 4000, 80, 5, 0, TcpFlags::psh_ack(), b"xxx".to_vec());
+        assert!(e.process(t(0), &d).is_empty());
+    }
+
+    #[test]
+    fn pass_rule_suppresses_alerts() {
+        let mut e = engine(
+            "pass tcp 10.0.1.2 any -> any any (msg:\"trusted\"; sid:10;)\n\
+             alert tcp any any -> any 80 (msg:\"kw\"; content:\"falun\"; sid:11;)",
+        );
+        let pkt = Packet::tcp(C, S, 4000, 80, 0, 0, TcpFlags::psh_ack(), b"falun".to_vec());
+        assert!(e.process(t(0), &pkt).is_empty());
+        assert_eq!(e.stats().passed, 1);
+        let other = Packet::tcp(Ipv4Addr::new(10, 0, 1, 3), S, 4000, 80, 0, 0, TcpFlags::psh_ack(), b"falun".to_vec());
+        assert_eq!(e.process(t(0), &other).len(), 1);
+    }
+
+    #[test]
+    fn syn_scan_threshold_fires_at_count() {
+        let mut e = engine(
+            r#"alert tcp any any -> any any (msg:"scan"; flags:S; threshold: type both, track by_src, count 5, seconds 60; sid:20;)"#,
+        );
+        let mut total = 0;
+        for port in 0..10u16 {
+            let syn = Packet::tcp(C, S, 40000 + port, 80 + port, 0, 0, TcpFlags::syn(), vec![]);
+            total += e.process(t(0), &syn).len();
+        }
+        assert_eq!(total, 1, "'both' fires exactly once per window");
+        // New window after expiry: fires again at the 5th SYN.
+        let mut again = 0;
+        for port in 0..5u16 {
+            let syn = Packet::tcp(C, S, 41000 + port, 80 + port, 0, 0, TcpFlags::syn(), vec![]);
+            again += e.process(t(120), &syn).len();
+        }
+        assert_eq!(again, 1);
+    }
+
+    #[test]
+    fn threshold_limit_allows_first_n() {
+        let mut e = engine(
+            r#"alert icmp any any -> any any (msg:"ping"; threshold: type limit, track by_src, count 2, seconds 60; sid:21;)"#,
+        );
+        let ping = Packet::icmp(C, S, underradar_netsim::wire::icmp::IcmpKind::EchoRequest { ident: 1, seq: 1 }, vec![]);
+        let mut fired = 0;
+        for _ in 0..6 {
+            fired += e.process(t(1), &ping).len();
+        }
+        assert_eq!(fired, 2);
+    }
+
+    #[test]
+    fn thresholds_track_sources_independently() {
+        let mut e = engine(
+            r#"alert tcp any any -> any any (msg:"scan"; flags:S; threshold: type both, track by_src, count 3, seconds 60; sid:22;)"#,
+        );
+        let c2 = Ipv4Addr::new(10, 0, 1, 99);
+        let mut fired_c = 0;
+        let mut fired_c2 = 0;
+        for i in 0..3u16 {
+            let p1 = Packet::tcp(C, S, 40000 + i, 80, 0, 0, TcpFlags::syn(), vec![]);
+            let p2 = Packet::tcp(c2, S, 40000 + i, 80, 0, 0, TcpFlags::syn(), vec![]);
+            fired_c += e.process(t(0), &p1).len();
+            fired_c2 += e.process(t(0), &p2).len();
+        }
+        assert_eq!((fired_c, fired_c2), (1, 1), "each source hits its own threshold");
+    }
+
+    #[test]
+    fn rst_injection_rule_and_teardown_interplay() {
+        // A rule watching for server RSTs (how a measurement client's
+        // reference censor is validated) fires on the injected RST.
+        let mut e = engine(
+            r#"alert tcp any 80 -> any any (msg:"rst from server"; flags:R+; sid:30;)"#,
+        );
+        let rst = Packet::tcp(S, C, 80, 4000, 1, 1, TcpFlags::rst_ack(), vec![]);
+        assert_eq!(e.process(t(0), &rst).len(), 1);
+    }
+
+    #[test]
+    fn prefilter_only_evaluates_plausible_rules() {
+        let mut rules_text = String::new();
+        for i in 0..50 {
+            // "-end" suffix keeps patterns from being prefixes of each other
+            // (kw-3 would otherwise also match inside kw-33).
+            rules_text.push_str(&format!(
+                "alert tcp any any -> any any (msg:\"kw{i}\"; content:\"unique-keyword-{i}-end\"; sid:{};)\n",
+                100 + i
+            ));
+        }
+        let mut e = engine(&rules_text);
+        let pkt =
+            Packet::tcp(C, S, 1, 2, 0, 0, TcpFlags::psh_ack(), b"unique-keyword-33-end present".to_vec());
+        let alerts = e.process(t(0), &pkt);
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(alerts[0].sid, 133);
+        // Only the matching rule was fully evaluated.
+        assert_eq!(e.stats().evaluations, 1);
+    }
+
+    #[test]
+    fn udp_and_icmp_rules() {
+        let mut e = engine(
+            "alert udp any any -> any 53 (msg:\"dns q\"; sid:40;)\n\
+             alert icmp any any -> any any (msg:\"icmp\"; sid:41;)",
+        );
+        let dns = Packet::udp(C, S, 5353, 53, b"query".to_vec());
+        let ping = Packet::icmp(C, S, underradar_netsim::wire::icmp::IcmpKind::TimeExceeded, vec![]);
+        assert_eq!(e.process(t(0), &dns)[0].sid, 40);
+        assert_eq!(e.process(t(0), &ping)[0].sid, 41);
+        assert_eq!(e.log().len(), 2);
+    }
+
+    #[test]
+    fn negated_content_rule() {
+        let mut e = engine(
+            r#"alert tcp any any -> any 80 (msg:"no host header"; content:"GET "; content:!"Host:"; sid:50;)"#,
+        );
+        let without = Packet::tcp(C, S, 1, 80, 0, 0, TcpFlags::psh_ack(), b"GET / HTTP/1.0\r\n\r\n".to_vec());
+        let with = Packet::tcp(C, S, 1, 80, 0, 0, TcpFlags::psh_ack(), b"GET / HTTP/1.0\r\nHost: x\r\n\r\n".to_vec());
+        assert_eq!(e.process(t(0), &without).len(), 1);
+        assert!(e.process(t(0), &with).is_empty());
+    }
+}

@@ -1,0 +1,463 @@
+//! TCP stream reassembly for the detection engine.
+//!
+//! Keyword rules must match content that straddles segment boundaries, so
+//! the engine reassembles each TCP flow's byte stream per direction. The
+//! reassembler also encodes the property the paper's stateful mimicry
+//! exploits (§4.1): **on RST the flow is torn down and the engine stops
+//! looking at it** ("upon receiving a reply, a spoofed client would send a
+//! RST, possibly forcing the censorship system's TCP reassembler to stop
+//! looking at the flow"). That behaviour is configurable so the ablation
+//! experiment can turn it off.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use underradar_netsim::packet::{Packet, TcpSegment};
+
+/// Per-direction cap on buffered stream bytes; older bytes are discarded
+/// (the monitor has bounded per-flow memory — §2.1's storage argument).
+pub const MAX_DIR_BUFFER: usize = 8 * 1024;
+
+/// Cap on tracked flows; least-recently-created flows are evicted.
+pub const MAX_FLOWS: usize = 100_000;
+
+/// Canonical flow identifier: endpoint pair ordered so both directions map
+/// to the same key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FlowKey {
+    /// Lower endpoint (by (ip, port) ordering).
+    pub lo: (Ipv4Addr, u16),
+    /// Higher endpoint.
+    pub hi: (Ipv4Addr, u16),
+}
+
+impl FlowKey {
+    /// Build from a packet's endpoints (TCP only).
+    pub fn of(pkt: &Packet, seg: &TcpSegment) -> FlowKey {
+        let a = (pkt.src, seg.src_port);
+        let b = (pkt.dst, seg.dst_port);
+        if a <= b {
+            FlowKey { lo: a, hi: b }
+        } else {
+            FlowKey { lo: b, hi: a }
+        }
+    }
+}
+
+/// Which way a segment is heading relative to the connection initiator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// From the initiator (client) to the responder (server).
+    ToServer,
+    /// From the responder back to the initiator.
+    ToClient,
+}
+
+#[derive(Debug, Default)]
+struct DirBuffer {
+    next_seq: Option<u32>,
+    data: Vec<u8>,
+}
+
+impl DirBuffer {
+    /// Append in-order payload; out-of-order segments are ignored (the
+    /// sender will retransmit). Returns whether bytes were appended.
+    fn push(&mut self, seq: u32, payload: &[u8]) -> bool {
+        if payload.is_empty() {
+            return false;
+        }
+        match self.next_seq {
+            Some(expected) if seq == expected => {
+                self.next_seq = Some(expected.wrapping_add(payload.len() as u32));
+            }
+            Some(_) => return false,
+            None => {
+                // Mid-stream pickup (monitor started late): accept and sync.
+                self.next_seq = Some(seq.wrapping_add(payload.len() as u32));
+            }
+        }
+        self.data.extend_from_slice(payload);
+        if self.data.len() > MAX_DIR_BUFFER {
+            let excess = self.data.len() - MAX_DIR_BUFFER;
+            self.data.drain(..excess);
+        }
+        true
+    }
+}
+
+#[derive(Debug)]
+struct Flow {
+    /// The initiator endpoint (sent the first SYN, or the first segment
+    /// seen for mid-stream pickups).
+    client: (Ipv4Addr, u16),
+    established: bool,
+    syn_seen: bool,
+    synack_seen: bool,
+    c2s: DirBuffer,
+    s2c: DirBuffer,
+}
+
+/// What the reassembler reports about the flow a segment belongs to.
+#[derive(Debug, Clone)]
+pub struct FlowContext {
+    /// The flow key.
+    pub key: FlowKey,
+    /// Direction of this segment.
+    pub direction: Direction,
+    /// Whether the three-way handshake completed.
+    pub established: bool,
+    /// Reassembled bytes in this segment's direction (bounded tail),
+    /// including this segment's payload if it was in order.
+    pub stream: Vec<u8>,
+    /// Whether this segment's payload was appended in order.
+    pub appended: bool,
+}
+
+/// Reassembly statistics (assertable in experiments).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ReassemblyStats {
+    /// Flows created.
+    pub flows_created: u64,
+    /// Flows torn down by RST.
+    pub rst_teardowns: u64,
+    /// Flows completed by FIN.
+    pub fin_teardowns: u64,
+    /// TCP segments processed.
+    pub segments: u64,
+    /// Flows evicted due to the flow-table cap.
+    pub evicted: u64,
+}
+
+/// The stream reassembler.
+#[derive(Debug)]
+pub struct StreamReassembler {
+    flows: HashMap<FlowKey, Flow>,
+    /// Insertion order for eviction.
+    order: Vec<FlowKey>,
+    /// Tear down flows on RST (the real-IDS default, and the paper's
+    /// exploited behaviour). When `false`, RSTs are ignored — the ablation.
+    pub rst_teardown: bool,
+    stats: ReassemblyStats,
+}
+
+impl Default for StreamReassembler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StreamReassembler {
+    /// A reassembler with RST teardown on.
+    pub fn new() -> StreamReassembler {
+        StreamReassembler {
+            flows: HashMap::new(),
+            order: Vec::new(),
+            rst_teardown: true,
+            stats: ReassemblyStats::default(),
+        }
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> ReassemblyStats {
+        self.stats
+    }
+
+    /// Number of currently tracked flows.
+    pub fn flow_count(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Whether a flow is currently tracked.
+    pub fn is_tracked(&self, key: &FlowKey) -> bool {
+        self.flows.contains_key(key)
+    }
+
+    /// Process a TCP packet; returns flow context for rule evaluation, or
+    /// `None` for non-TCP packets.
+    pub fn process(&mut self, pkt: &Packet) -> Option<FlowContext> {
+        let seg = pkt.as_tcp()?;
+        self.stats.segments += 1;
+        let key = FlowKey::of(pkt, seg);
+
+        // RST teardown: report the segment against the dying flow, then
+        // forget it.
+        if seg.flags.has_rst() && self.rst_teardown {
+            let ctx = self.flows.get(&key).map(|flow| FlowContext {
+                key,
+                direction: direction_of(flow, pkt, seg),
+                established: flow.established,
+                stream: buffer_of(flow, pkt, seg).data.clone(),
+                appended: false,
+            });
+            if self.flows.remove(&key).is_some() {
+                self.stats.rst_teardowns += 1;
+            }
+            return Some(ctx.unwrap_or(FlowContext {
+                key,
+                direction: Direction::ToServer,
+                established: false,
+                stream: Vec::new(),
+                appended: false,
+            }));
+        }
+
+        if !self.flows.contains_key(&key) {
+            // New flow. Initiator inference: a bare SYN marks a real open;
+            // otherwise treat the observed sender as the client.
+            self.evict_if_full();
+            let mut flow = Flow {
+                client: (pkt.src, seg.src_port),
+                established: false,
+                syn_seen: seg.flags.has_syn() && !seg.flags.has_ack(),
+                synack_seen: false,
+                c2s: DirBuffer::default(),
+                s2c: DirBuffer::default(),
+            };
+            if flow.syn_seen {
+                flow.c2s.next_seq = Some(seg.seq.wrapping_add(1));
+            }
+            self.flows.insert(key, flow);
+            self.order.push(key);
+            self.stats.flows_created += 1;
+        }
+
+        let flow = self.flows.get_mut(&key).expect("flow just ensured");
+        let direction = direction_of(flow, pkt, seg);
+
+        // Handshake tracking.
+        if seg.flags.has_syn() && seg.flags.has_ack() && direction == Direction::ToClient {
+            flow.synack_seen = true;
+            flow.s2c.next_seq = Some(seg.seq.wrapping_add(1));
+        } else if seg.flags.has_syn() && !seg.flags.has_ack() && direction == Direction::ToServer {
+            flow.syn_seen = true;
+            flow.c2s.next_seq = Some(seg.seq.wrapping_add(1));
+        } else if seg.flags.has_ack() && flow.syn_seen && flow.synack_seen {
+            flow.established = true;
+        }
+
+        let appended = match direction {
+            Direction::ToServer => flow.c2s.push(seg.seq, &seg.payload),
+            Direction::ToClient => flow.s2c.push(seg.seq, &seg.payload),
+        };
+        if appended {
+            let buf = match direction {
+                Direction::ToServer => &mut flow.c2s,
+                Direction::ToClient => &mut flow.s2c,
+            };
+            buf.next_seq = Some(seg.seq.wrapping_add(seg.payload.len() as u32));
+        }
+        // Advance expected seq past FINs so retransmitted FINs don't desync.
+        if seg.flags.has_fin() {
+            let buf = match direction {
+                Direction::ToServer => &mut flow.c2s,
+                Direction::ToClient => &mut flow.s2c,
+            };
+            if let Some(n) = buf.next_seq {
+                let fin_seq = seg.seq.wrapping_add(seg.payload.len() as u32);
+                if fin_seq == n {
+                    buf.next_seq = Some(n.wrapping_add(1));
+                }
+            }
+        }
+
+        // FIN completion does not remove the flow here; long-lived flow
+        // state is bounded by the flow-table cap, and the engine may call
+        // [`StreamReassembler::remove`] when its policy says tracking ends.
+        Some(FlowContext {
+            key,
+            direction,
+            established: flow.established,
+            stream: match direction {
+                Direction::ToServer => flow.c2s.data.clone(),
+                Direction::ToClient => flow.s2c.data.clone(),
+            },
+            appended,
+        })
+    }
+
+    /// Forget a flow (used by the engine after it decides tracking should
+    /// end, e.g. FIN completion policies).
+    pub fn remove(&mut self, key: &FlowKey) {
+        if self.flows.remove(key).is_some() {
+            self.stats.fin_teardowns += 1;
+        }
+    }
+
+    fn evict_if_full(&mut self) {
+        if self.flows.len() < MAX_FLOWS {
+            return;
+        }
+        // Evict oldest still-present flows.
+        while let Some(oldest) = self.order.first().copied() {
+            self.order.remove(0);
+            if self.flows.remove(&oldest).is_some() {
+                self.stats.evicted += 1;
+                break;
+            }
+        }
+    }
+}
+
+fn direction_of(flow: &Flow, pkt: &Packet, seg: &TcpSegment) -> Direction {
+    if (pkt.src, seg.src_port) == flow.client {
+        Direction::ToServer
+    } else {
+        Direction::ToClient
+    }
+}
+
+fn buffer_of<'a>(flow: &'a Flow, pkt: &Packet, seg: &TcpSegment) -> &'a DirBuffer {
+    if (pkt.src, seg.src_port) == flow.client {
+        &flow.c2s
+    } else {
+        &flow.s2c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use underradar_netsim::wire::tcp::TcpFlags;
+
+    const C: Ipv4Addr = Ipv4Addr::new(10, 0, 1, 2);
+    const S: Ipv4Addr = Ipv4Addr::new(10, 0, 2, 2);
+
+    fn pkt(src: Ipv4Addr, dst: Ipv4Addr, sp: u16, dp: u16, seq: u32, flags: TcpFlags, payload: &[u8]) -> Packet {
+        Packet::tcp(src, dst, sp, dp, seq, 0, flags, payload.to_vec())
+    }
+
+    fn handshake(r: &mut StreamReassembler) {
+        let syn = pkt(C, S, 4000, 80, 100, TcpFlags::syn(), b"");
+        let ctx = r.process(&syn).expect("syn ctx");
+        assert_eq!(ctx.direction, Direction::ToServer);
+        assert!(!ctx.established);
+        let syn_ack = pkt(S, C, 80, 4000, 500, TcpFlags::syn_ack(), b"");
+        let ctx = r.process(&syn_ack).expect("synack ctx");
+        assert_eq!(ctx.direction, Direction::ToClient);
+        let ack = pkt(C, S, 4000, 80, 101, TcpFlags::ack(), b"");
+        let ctx = r.process(&ack).expect("ack ctx");
+        assert!(ctx.established, "handshake complete");
+    }
+
+    #[test]
+    fn reassembles_across_segments() {
+        let mut r = StreamReassembler::new();
+        handshake(&mut r);
+        // "falun" split across two segments.
+        let d1 = pkt(C, S, 4000, 80, 101, TcpFlags::psh_ack(), b"GET /fal");
+        let ctx = r.process(&d1).expect("d1");
+        assert!(ctx.appended);
+        assert_eq!(ctx.stream, b"GET /fal");
+        let d2 = pkt(C, S, 4000, 80, 109, TcpFlags::psh_ack(), b"un HTTP/1.0");
+        let ctx = r.process(&d2).expect("d2");
+        assert_eq!(ctx.stream, b"GET /falun HTTP/1.0");
+        assert!(ctx.established);
+    }
+
+    #[test]
+    fn directions_keep_separate_buffers() {
+        let mut r = StreamReassembler::new();
+        handshake(&mut r);
+        let _ = r.process(&pkt(C, S, 4000, 80, 101, TcpFlags::psh_ack(), b"request"));
+        let ctx = r.process(&pkt(S, C, 80, 4000, 501, TcpFlags::psh_ack(), b"response"));
+        let ctx = ctx.expect("ctx");
+        assert_eq!(ctx.direction, Direction::ToClient);
+        assert_eq!(ctx.stream, b"response");
+    }
+
+    #[test]
+    fn out_of_order_segments_ignored_until_retransmit() {
+        let mut r = StreamReassembler::new();
+        handshake(&mut r);
+        let skip = pkt(C, S, 4000, 80, 150, TcpFlags::psh_ack(), b"later");
+        let ctx = r.process(&skip).expect("skip");
+        assert!(!ctx.appended, "gap: not appended");
+        let inorder = pkt(C, S, 4000, 80, 101, TcpFlags::psh_ack(), b"first");
+        let ctx = r.process(&inorder).expect("inorder");
+        assert!(ctx.appended);
+        assert_eq!(ctx.stream, b"first");
+    }
+
+    #[test]
+    fn rst_teardown_stops_tracking() {
+        let mut r = StreamReassembler::new();
+        handshake(&mut r);
+        let key = FlowKey::of(
+            &pkt(C, S, 4000, 80, 0, TcpFlags::ack(), b""),
+            pkt(C, S, 4000, 80, 0, TcpFlags::ack(), b"").as_tcp().expect("t"),
+        );
+        assert!(r.is_tracked(&key));
+        let rst = pkt(C, S, 4000, 80, 101, TcpFlags::rst(), b"");
+        let ctx = r.process(&rst).expect("rst ctx");
+        assert!(ctx.established, "context reflects the flow that died");
+        assert!(!r.is_tracked(&key), "flow forgotten after RST");
+        assert_eq!(r.stats().rst_teardowns, 1);
+        // Subsequent data is a fresh, non-established flow: the censor has
+        // lost the stream — the paper's exploit.
+        let more = pkt(C, S, 4000, 80, 106, TcpFlags::psh_ack(), b"secret keyword");
+        let ctx = r.process(&more).expect("more");
+        assert!(!ctx.established);
+    }
+
+    #[test]
+    fn rst_teardown_can_be_disabled() {
+        let mut r = StreamReassembler::new();
+        r.rst_teardown = false;
+        handshake(&mut r);
+        let rst = pkt(C, S, 4000, 80, 101, TcpFlags::rst(), b"");
+        let _ = r.process(&rst);
+        let key = FlowKey::of(
+            &pkt(C, S, 4000, 80, 0, TcpFlags::ack(), b""),
+            pkt(C, S, 4000, 80, 0, TcpFlags::ack(), b"").as_tcp().expect("t"),
+        );
+        assert!(r.is_tracked(&key), "ablation: RST ignored");
+        let more = pkt(C, S, 4000, 80, 101, TcpFlags::psh_ack(), b"keyword");
+        let ctx = r.process(&more).expect("more");
+        assert!(ctx.established, "flow still established");
+    }
+
+    #[test]
+    fn mid_stream_pickup_syncs() {
+        let mut r = StreamReassembler::new();
+        // Monitor sees only the data segment (no handshake observed).
+        let d = pkt(C, S, 4000, 80, 7777, TcpFlags::psh_ack(), b"mid-stream data");
+        let ctx = r.process(&d).expect("ctx");
+        assert!(ctx.appended);
+        assert!(!ctx.established);
+        assert_eq!(ctx.stream, b"mid-stream data");
+        let d2 = pkt(C, S, 4000, 80, 7777 + 15, TcpFlags::psh_ack(), b" more");
+        let ctx = r.process(&d2).expect("ctx2");
+        assert_eq!(ctx.stream, b"mid-stream data more");
+    }
+
+    #[test]
+    fn buffer_is_bounded() {
+        let mut r = StreamReassembler::new();
+        handshake(&mut r);
+        let mut seq = 101u32;
+        for _ in 0..20 {
+            let payload = vec![b'x'; 1000];
+            let d = pkt(C, S, 4000, 80, seq, TcpFlags::psh_ack(), &payload);
+            let ctx = r.process(&d).expect("ctx");
+            assert!(ctx.stream.len() <= MAX_DIR_BUFFER);
+            seq = seq.wrapping_add(1000);
+        }
+    }
+
+    #[test]
+    fn non_tcp_packets_are_ignored() {
+        let mut r = StreamReassembler::new();
+        let udp = Packet::udp(C, S, 1, 2, b"dgram".to_vec());
+        assert!(r.process(&udp).is_none());
+        assert_eq!(r.stats().segments, 0);
+    }
+
+    #[test]
+    fn flow_key_is_direction_independent() {
+        let fwd = pkt(C, S, 4000, 80, 0, TcpFlags::ack(), b"");
+        let rev = pkt(S, C, 80, 4000, 0, TcpFlags::ack(), b"");
+        let k1 = FlowKey::of(&fwd, fwd.as_tcp().expect("t"));
+        let k2 = FlowKey::of(&rev, rev.as_tcp().expect("t"));
+        assert_eq!(k1, k2);
+    }
+}

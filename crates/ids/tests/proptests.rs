@@ -1,0 +1,153 @@
+//! Property tests for the IDS: Aho–Corasick against a naive oracle,
+//! content-modifier semantics, parser totality, threshold accounting, and
+//! reassembly invariants.
+
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+use underradar_ids::aho::{find_sub, AhoCorasick};
+use underradar_ids::engine::DetectionEngine;
+use underradar_ids::parser::{parse_rule, VarTable};
+use underradar_ids::rule::ContentMatch;
+use underradar_ids::stream::StreamReassembler;
+use underradar_netsim::packet::Packet;
+use underradar_netsim::time::SimTime;
+use underradar_netsim::wire::tcp::TcpFlags;
+
+fn arb_pattern() -> impl Strategy<Value = (Vec<u8>, bool)> {
+    (proptest::collection::vec(any::<u8>(), 1..8), any::<bool>())
+}
+
+proptest! {
+    /// AC agrees with the naive oracle on which patterns occur.
+    #[test]
+    fn aho_matches_naive_oracle(
+        patterns in proptest::collection::vec(arb_pattern(), 1..12),
+        haystack in proptest::collection::vec(any::<u8>(), 0..200),
+    ) {
+        let ac = AhoCorasick::new(&patterns);
+        let got = ac.matching_patterns(&haystack);
+        for (i, (pat, nocase)) in patterns.iter().enumerate() {
+            let expected = find_sub(&haystack, pat, *nocase, 0).is_some();
+            prop_assert_eq!(got.contains(&i), expected, "pattern {} = {:?}", i, pat);
+        }
+    }
+
+    /// find_sub with `from` equals searching the suffix.
+    #[test]
+    fn find_sub_offset_consistency(
+        haystack in proptest::collection::vec(any::<u8>(), 0..120),
+        needle in proptest::collection::vec(any::<u8>(), 1..6),
+        from in 0usize..140,
+    ) {
+        let direct = find_sub(&haystack, &needle, false, from);
+        let suffix = if from <= haystack.len() {
+            find_sub(&haystack[from..], &needle, false, 0).map(|p| p + from)
+        } else {
+            None
+        };
+        prop_assert_eq!(direct, suffix);
+    }
+
+    /// ContentMatch window semantics: a match found with offset/depth is
+    /// always inside the declared window.
+    #[test]
+    fn content_window_respected(
+        payload in proptest::collection::vec(any::<u8>(), 0..100),
+        needle in proptest::collection::vec(any::<u8>(), 1..4),
+        offset in 0usize..110,
+        depth in 0usize..110,
+    ) {
+        let c = ContentMatch { pattern: needle.clone(), nocase: false, offset, depth, negated: false };
+        if c.matches(&payload) {
+            let end = if depth == 0 { payload.len() } else { (offset + depth).min(payload.len()) };
+            let window = payload.get(offset..end).unwrap_or(&[]);
+            prop_assert!(find_sub(window, &needle, false, 0).is_some());
+        }
+    }
+
+    /// Negation is an exact complement.
+    #[test]
+    fn negated_content_is_complement(
+        payload in proptest::collection::vec(any::<u8>(), 0..60),
+        needle in proptest::collection::vec(any::<u8>(), 1..4),
+    ) {
+        let plain = ContentMatch::plain(&needle);
+        let negated = ContentMatch { negated: true, ..ContentMatch::plain(&needle) };
+        prop_assert_ne!(plain.matches(&payload), negated.matches(&payload));
+    }
+
+    /// The rule parser is total over arbitrary printable lines.
+    #[test]
+    fn parser_never_panics(line in "[ -~]{0,120}") {
+        let _ = parse_rule(&line, &VarTable::new());
+    }
+
+    /// Engine thresholds: a `limit N` rule alerts at most N times per
+    /// window per source, for any event count.
+    #[test]
+    fn threshold_limit_bound(events in 1usize..60, count in 1u32..10) {
+        let rules = underradar_ids::parser::parse_ruleset(
+            &format!(
+                "alert icmp any any -> any any (msg:\"t\"; threshold: type limit, track by_src, count {count}, seconds 600; sid:1;)"
+            ),
+            &VarTable::new(),
+        ).expect("rule parses");
+        let mut engine = DetectionEngine::new(rules);
+        let a = Ipv4Addr::new(1, 1, 1, 1);
+        let b = Ipv4Addr::new(2, 2, 2, 2);
+        let mut fired = 0usize;
+        for i in 0..events {
+            let pkt = Packet::icmp(
+                a,
+                b,
+                underradar_netsim::wire::icmp::IcmpKind::EchoRequest { ident: 0, seq: i as u16 },
+                vec![],
+            );
+            fired += engine.process(SimTime::from_nanos(i as u64), &pkt).len();
+        }
+        prop_assert_eq!(fired, events.min(count as usize));
+    }
+
+    /// Reassembly: feeding a stream in order always yields the full
+    /// concatenation in the flow context (within the buffer cap).
+    #[test]
+    fn reassembly_accumulates_in_order(chunks in proptest::collection::vec(
+        proptest::collection::vec(any::<u8>(), 1..50), 1..10)) {
+        let c = Ipv4Addr::new(10, 0, 0, 1);
+        let s = Ipv4Addr::new(10, 0, 0, 2);
+        let mut r = StreamReassembler::new();
+        let mut expected = Vec::new();
+        let mut seq = 1000u32;
+        let mut last_stream = Vec::new();
+        for chunk in &chunks {
+            let pkt = Packet::tcp(c, s, 4000, 80, seq, 0, TcpFlags::psh_ack(), chunk.clone());
+            let ctx = r.process(&pkt).expect("tcp");
+            prop_assert!(ctx.appended);
+            expected.extend_from_slice(chunk);
+            seq = seq.wrapping_add(chunk.len() as u32);
+            last_stream = ctx.stream;
+        }
+        prop_assert_eq!(last_stream, expected);
+    }
+
+    /// Random segments never panic the reassembler, and flow count stays
+    /// bounded by the number of distinct four-tuples.
+    #[test]
+    fn reassembler_total_and_bounded(segs in proptest::collection::vec(
+        (any::<u16>(), any::<u32>(), 0u8..64, proptest::collection::vec(any::<u8>(), 0..20)),
+        0..60,
+    )) {
+        let c = Ipv4Addr::new(10, 0, 0, 1);
+        let s = Ipv4Addr::new(10, 0, 0, 2);
+        let mut r = StreamReassembler::new();
+        let mut tuples = std::collections::HashSet::new();
+        for (sport, seq, flags, payload) in segs {
+            let sport = 1 + (sport % 8); // few distinct flows
+            tuples.insert(sport);
+            let pkt = Packet::tcp(c, s, sport, 80, seq, 0, TcpFlags(flags), payload);
+            let _ = r.process(&pkt);
+        }
+        prop_assert!(r.flow_count() <= tuples.len());
+    }
+}

@@ -1,0 +1,178 @@
+//! IPv4 prefix (CIDR) handling.
+//!
+//! Used for switch routing tables, ingress-filter scopes (/24 and /16 per
+//! Beverly et al.), and attribution granularity in the surveillance model.
+
+use std::fmt;
+use std::net::Ipv4Addr;
+use std::str::FromStr;
+
+/// An IPv4 CIDR prefix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Cidr {
+    network: Ipv4Addr,
+    prefix: u8,
+}
+
+/// Error parsing a CIDR string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CidrParseError(String);
+
+impl fmt::Display for CidrParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid CIDR: {}", self.0)
+    }
+}
+
+impl std::error::Error for CidrParseError {}
+
+impl Cidr {
+    /// Create a prefix; host bits of `addr` are masked off. Prefix lengths
+    /// above 32 are clamped to 32.
+    pub fn new(addr: Ipv4Addr, prefix: u8) -> Cidr {
+        let prefix = prefix.min(32);
+        let network = Ipv4Addr::from(u32::from(addr) & Self::mask(prefix));
+        Cidr { network, prefix }
+    }
+
+    /// A /32 covering exactly one address.
+    pub fn host(addr: Ipv4Addr) -> Cidr {
+        Cidr::new(addr, 32)
+    }
+
+    /// The /24 containing `addr`.
+    pub fn slash24(addr: Ipv4Addr) -> Cidr {
+        Cidr::new(addr, 24)
+    }
+
+    /// The /16 containing `addr`.
+    pub fn slash16(addr: Ipv4Addr) -> Cidr {
+        Cidr::new(addr, 16)
+    }
+
+    fn mask(prefix: u8) -> u32 {
+        if prefix == 0 {
+            0
+        } else {
+            u32::MAX << (32 - u32::from(prefix.min(32)))
+        }
+    }
+
+    /// The network address.
+    pub fn network(&self) -> Ipv4Addr {
+        self.network
+    }
+
+    /// The prefix length.
+    pub fn prefix(&self) -> u8 {
+        self.prefix
+    }
+
+    /// Whether `addr` is inside this prefix.
+    pub fn contains(&self, addr: Ipv4Addr) -> bool {
+        u32::from(addr) & Self::mask(self.prefix) == u32::from(self.network)
+    }
+
+    /// Number of addresses covered by the prefix.
+    pub fn size(&self) -> u64 {
+        1u64 << (32 - u32::from(self.prefix))
+    }
+
+    /// The `i`-th address in the prefix (wrapping within the prefix), handy
+    /// for generating host populations.
+    pub fn nth(&self, i: u64) -> Ipv4Addr {
+        let offset = (i % self.size()) as u32;
+        Ipv4Addr::from(u32::from(self.network).wrapping_add(offset))
+    }
+}
+
+impl fmt::Display for Cidr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.network, self.prefix)
+    }
+}
+
+impl FromStr for Cidr {
+    type Err = CidrParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (addr, prefix) = s.split_once('/').ok_or_else(|| CidrParseError(s.to_string()))?;
+        let addr: Ipv4Addr = addr.parse().map_err(|_| CidrParseError(s.to_string()))?;
+        let prefix: u8 = prefix.parse().map_err(|_| CidrParseError(s.to_string()))?;
+        if prefix > 32 {
+            return Err(CidrParseError(s.to_string()));
+        }
+        Ok(Cidr::new(addr, prefix))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_host_bits() {
+        let c = Cidr::new(Ipv4Addr::new(10, 1, 2, 3), 24);
+        assert_eq!(c.network(), Ipv4Addr::new(10, 1, 2, 0));
+        assert_eq!(c.to_string(), "10.1.2.0/24");
+    }
+
+    #[test]
+    fn contains_boundaries() {
+        let c = Cidr::new(Ipv4Addr::new(192, 168, 4, 0), 22);
+        assert!(c.contains(Ipv4Addr::new(192, 168, 4, 0)));
+        assert!(c.contains(Ipv4Addr::new(192, 168, 7, 255)));
+        assert!(!c.contains(Ipv4Addr::new(192, 168, 8, 0)));
+        assert!(!c.contains(Ipv4Addr::new(192, 168, 3, 255)));
+    }
+
+    #[test]
+    fn zero_prefix_contains_everything() {
+        let c = Cidr::new(Ipv4Addr::new(0, 0, 0, 0), 0);
+        assert!(c.contains(Ipv4Addr::new(255, 255, 255, 255)));
+        assert!(c.contains(Ipv4Addr::new(1, 2, 3, 4)));
+        assert_eq!(c.size(), 1 << 32);
+    }
+
+    #[test]
+    fn host_prefix() {
+        let a = Ipv4Addr::new(8, 8, 8, 8);
+        let c = Cidr::host(a);
+        assert!(c.contains(a));
+        assert!(!c.contains(Ipv4Addr::new(8, 8, 8, 9)));
+        assert_eq!(c.size(), 1);
+    }
+
+    #[test]
+    fn shortcut_constructors() {
+        let a = Ipv4Addr::new(10, 20, 30, 40);
+        assert_eq!(Cidr::slash24(a).to_string(), "10.20.30.0/24");
+        assert_eq!(Cidr::slash16(a).to_string(), "10.20.0.0/16");
+        assert_eq!(Cidr::slash24(a).size(), 256);
+        assert_eq!(Cidr::slash16(a).size(), 65_536);
+    }
+
+    #[test]
+    fn nth_wraps_within_prefix() {
+        let c = Cidr::slash24(Ipv4Addr::new(10, 0, 0, 0));
+        assert_eq!(c.nth(0), Ipv4Addr::new(10, 0, 0, 0));
+        assert_eq!(c.nth(5), Ipv4Addr::new(10, 0, 0, 5));
+        assert_eq!(c.nth(256), Ipv4Addr::new(10, 0, 0, 0));
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        let c: Cidr = "172.16.0.0/12".parse().expect("parse");
+        assert_eq!(c.prefix(), 12);
+        assert_eq!(c.to_string(), "172.16.0.0/12");
+        assert!("1.2.3.4".parse::<Cidr>().is_err());
+        assert!("1.2.3.4/33".parse::<Cidr>().is_err());
+        assert!("x/24".parse::<Cidr>().is_err());
+    }
+
+    #[test]
+    fn clamps_prefix() {
+        let c = Cidr::new(Ipv4Addr::new(1, 2, 3, 4), 99);
+        assert_eq!(c.prefix(), 32);
+    }
+}

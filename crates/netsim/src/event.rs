@@ -1,0 +1,176 @@
+//! The deterministic event queue.
+//!
+//! Events are ordered by simulated time with a monotonically increasing
+//! sequence number as tie-breaker, so two events scheduled for the same
+//! instant fire in the order they were scheduled — determinism does not
+//! depend on heap internals.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::node::{IfaceId, NodeId};
+use crate::packet::Packet;
+use crate::time::SimTime;
+
+/// An opaque handle identifying a timer set by a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimerToken(pub u64);
+
+/// What happens when an event fires.
+#[derive(Debug, Clone)]
+pub enum EventKind {
+    /// Deliver a packet to a node's interface.
+    Deliver {
+        /// Receiving node.
+        node: NodeId,
+        /// Receiving interface on that node.
+        iface: IfaceId,
+        /// The packet being delivered.
+        packet: Packet,
+    },
+    /// Fire a timer on a node.
+    Timer {
+        /// The node whose timer fires.
+        node: NodeId,
+        /// The token the node received when setting the timer.
+        token: TimerToken,
+    },
+}
+
+/// A scheduled event.
+#[derive(Debug, Clone)]
+pub struct Event {
+    /// When the event fires.
+    pub time: SimTime,
+    /// Scheduling order, used as a tie-breaker for equal times.
+    pub seq: u64,
+    /// The action.
+    pub kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A min-queue of events with stable FIFO ordering at equal timestamps.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Event>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// Create an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedule `kind` at `time`.
+    pub fn push(&mut self, time: SimTime, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event { time, seq, kind });
+    }
+
+    /// Remove and return the earliest event.
+    pub fn pop(&mut self) -> Option<Event> {
+        self.heap.pop()
+    }
+
+    /// The timestamp of the earliest event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    fn timer(node: usize, token: u64) -> EventKind {
+        EventKind::Timer { node: NodeId(node), token: TimerToken(token) }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        let t = |s| SimTime::ZERO + SimDuration::from_secs(s);
+        q.push(t(3), timer(0, 3));
+        q.push(t(1), timer(0, 1));
+        q.push(t(2), timer(0, 2));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.kind {
+                EventKind::Timer { token, .. } => token.0,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn equal_times_are_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_nanos(100);
+        for i in 0..50 {
+            q.push(t, timer(0, i));
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.kind {
+                EventKind::Timer { token, .. } => token.0,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_time_tracks_minimum() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.push(SimTime::from_nanos(50), timer(0, 0));
+        q.push(SimTime::from_nanos(10), timer(0, 1));
+        assert_eq!(q.peek_time(), Some(SimTime::from_nanos(10)));
+        q.pop();
+        assert_eq!(q.peek_time(), Some(SimTime::from_nanos(50)));
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(SimTime::ZERO, timer(0, 0));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+}

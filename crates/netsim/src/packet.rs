@@ -1,0 +1,409 @@
+//! The owned packet representation circulated inside the simulator.
+//!
+//! Nodes exchange parsed [`Packet`]s rather than raw bytes for convenience,
+//! but every packet can be serialized to canonical wire bytes ([`Packet::to_wire`])
+//! and re-parsed ([`Packet::from_wire`]); the property tests assert the two
+//! are inverses, so the parsed form is a faithful stand-in for the wire.
+
+use std::fmt;
+use std::net::Ipv4Addr;
+
+use crate::error::WireError;
+use crate::wire::icmp::{IcmpKind, IcmpRepr};
+use crate::wire::ipv4::{IpProtocol, Ipv4Repr, DEFAULT_TTL};
+use crate::wire::tcp::{TcpFlags, TcpRepr};
+use crate::wire::udp::UdpRepr;
+
+/// A TCP segment: header fields plus payload bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TcpSegment {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Sequence number.
+    pub seq: u32,
+    /// Acknowledgment number.
+    pub ack: u32,
+    /// Flags.
+    pub flags: TcpFlags,
+    /// Advertised window.
+    pub window: u16,
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// A UDP datagram: ports plus payload bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UdpDatagram {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// An ICMP message plus its payload bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IcmpSegment {
+    /// Message kind.
+    pub kind: IcmpKind,
+    /// Payload (quoted packet bytes for errors, echo data for pings).
+    pub payload: Vec<u8>,
+}
+
+/// The transport-layer body of a packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PacketBody {
+    /// A TCP segment.
+    Tcp(TcpSegment),
+    /// A UDP datagram.
+    Udp(UdpDatagram),
+    /// An ICMP message.
+    Icmp(IcmpSegment),
+    /// An opaque payload under an unhandled IP protocol (e.g. the P2P-ish
+    /// background traffic uses protocol 99 payloads).
+    Raw {
+        /// IP protocol number.
+        protocol: u8,
+        /// Raw payload bytes.
+        payload: Vec<u8>,
+    },
+}
+
+impl PacketBody {
+    /// The IP protocol this body is carried under.
+    pub fn protocol(&self) -> IpProtocol {
+        match self {
+            PacketBody::Tcp(_) => IpProtocol::Tcp,
+            PacketBody::Udp(_) => IpProtocol::Udp,
+            PacketBody::Icmp(_) => IpProtocol::Icmp,
+            PacketBody::Raw { protocol, .. } => IpProtocol::from_number(*protocol),
+        }
+    }
+
+    /// The application payload bytes, if any (TCP/UDP payload, ICMP data,
+    /// raw body).
+    pub fn payload(&self) -> &[u8] {
+        match self {
+            PacketBody::Tcp(t) => &t.payload,
+            PacketBody::Udp(u) => &u.payload,
+            PacketBody::Icmp(i) => &i.payload,
+            PacketBody::Raw { payload, .. } => payload,
+        }
+    }
+}
+
+/// An IPv4 packet flowing through the simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet {
+    /// Source address (unvalidated; spoofing is a first-class capability).
+    pub src: Ipv4Addr,
+    /// Destination address.
+    pub dst: Ipv4Addr,
+    /// Time to live.
+    pub ttl: u8,
+    /// IP identification field.
+    pub ident: u16,
+    /// Transport body.
+    pub body: PacketBody,
+}
+
+impl Packet {
+    /// Build a TCP packet with the default TTL.
+    #[allow(clippy::too_many_arguments)]
+    pub fn tcp(
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+        src_port: u16,
+        dst_port: u16,
+        seq: u32,
+        ack: u32,
+        flags: TcpFlags,
+        payload: Vec<u8>,
+    ) -> Packet {
+        Packet {
+            src,
+            dst,
+            ttl: DEFAULT_TTL,
+            ident: 0,
+            body: PacketBody::Tcp(TcpSegment {
+                src_port,
+                dst_port,
+                seq,
+                ack,
+                flags,
+                window: 65535,
+                payload,
+            }),
+        }
+    }
+
+    /// Build a UDP packet with the default TTL.
+    pub fn udp(
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+        src_port: u16,
+        dst_port: u16,
+        payload: Vec<u8>,
+    ) -> Packet {
+        Packet {
+            src,
+            dst,
+            ttl: DEFAULT_TTL,
+            ident: 0,
+            body: PacketBody::Udp(UdpDatagram { src_port, dst_port, payload }),
+        }
+    }
+
+    /// Build an ICMP packet with the default TTL.
+    pub fn icmp(src: Ipv4Addr, dst: Ipv4Addr, kind: IcmpKind, payload: Vec<u8>) -> Packet {
+        Packet {
+            src,
+            dst,
+            ttl: DEFAULT_TTL,
+            ident: 0,
+            body: PacketBody::Icmp(IcmpSegment { kind, payload }),
+        }
+    }
+
+    /// Override the TTL (builder style) — used by TTL-limited replies.
+    pub fn with_ttl(mut self, ttl: u8) -> Packet {
+        self.ttl = ttl;
+        self
+    }
+
+    /// Override the IP identification field (builder style).
+    pub fn with_ident(mut self, ident: u16) -> Packet {
+        self.ident = ident;
+        self
+    }
+
+    /// The TCP segment, if this is a TCP packet.
+    pub fn as_tcp(&self) -> Option<&TcpSegment> {
+        match &self.body {
+            PacketBody::Tcp(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// The UDP datagram, if this is a UDP packet.
+    pub fn as_udp(&self) -> Option<&UdpDatagram> {
+        match &self.body {
+            PacketBody::Udp(u) => Some(u),
+            _ => None,
+        }
+    }
+
+    /// The ICMP segment, if this is an ICMP packet.
+    pub fn as_icmp(&self) -> Option<&IcmpSegment> {
+        match &self.body {
+            PacketBody::Icmp(i) => Some(i),
+            _ => None,
+        }
+    }
+
+    /// Source transport port, if the body has one.
+    pub fn src_port(&self) -> Option<u16> {
+        match &self.body {
+            PacketBody::Tcp(t) => Some(t.src_port),
+            PacketBody::Udp(u) => Some(u.src_port),
+            _ => None,
+        }
+    }
+
+    /// Destination transport port, if the body has one.
+    pub fn dst_port(&self) -> Option<u16> {
+        match &self.body {
+            PacketBody::Tcp(t) => Some(t.dst_port),
+            PacketBody::Udp(u) => Some(u.dst_port),
+            _ => None,
+        }
+    }
+
+    /// Total wire length in bytes (IP header + transport header + payload).
+    pub fn wire_len(&self) -> usize {
+        let transport = match &self.body {
+            PacketBody::Tcp(t) => crate::wire::tcp::HEADER_LEN + t.payload.len(),
+            PacketBody::Udp(u) => crate::wire::udp::HEADER_LEN + u.payload.len(),
+            PacketBody::Icmp(i) => crate::wire::icmp::HEADER_LEN + i.payload.len(),
+            PacketBody::Raw { payload, .. } => payload.len(),
+        };
+        crate::wire::ipv4::HEADER_LEN + transport
+    }
+
+    /// Serialize to canonical wire bytes with valid checksums.
+    pub fn to_wire(&self) -> Vec<u8> {
+        let transport = match &self.body {
+            PacketBody::Tcp(t) => TcpRepr {
+                src_port: t.src_port,
+                dst_port: t.dst_port,
+                seq: t.seq,
+                ack: t.ack,
+                flags: t.flags,
+                window: t.window,
+            }
+            .emit(&t.payload, self.src, self.dst),
+            PacketBody::Udp(u) => UdpRepr { src_port: u.src_port, dst_port: u.dst_port }
+                .emit(&u.payload, self.src, self.dst),
+            PacketBody::Icmp(i) => IcmpRepr { kind: i.kind }.emit(&i.payload),
+            PacketBody::Raw { payload, .. } => payload.clone(),
+        };
+        Ipv4Repr {
+            src: self.src,
+            dst: self.dst,
+            protocol: self.body.protocol(),
+            ttl: self.ttl,
+            ident: self.ident,
+            payload_len: transport.len(),
+        }
+        .emit(&transport)
+    }
+
+    /// Parse a packet from wire bytes, verifying all checksums.
+    pub fn from_wire(buf: &[u8]) -> Result<Packet, WireError> {
+        let (ip, off) = Ipv4Repr::parse(buf)?;
+        let seg = &buf[off..off + ip.payload_len];
+        let body = match ip.protocol {
+            IpProtocol::Tcp => {
+                let (tcp, poff) = TcpRepr::parse(seg, ip.src, ip.dst)?;
+                PacketBody::Tcp(TcpSegment {
+                    src_port: tcp.src_port,
+                    dst_port: tcp.dst_port,
+                    seq: tcp.seq,
+                    ack: tcp.ack,
+                    flags: tcp.flags,
+                    window: tcp.window,
+                    payload: seg[poff..].to_vec(),
+                })
+            }
+            IpProtocol::Udp => {
+                let (udp, poff) = UdpRepr::parse(seg, ip.src, ip.dst)?;
+                PacketBody::Udp(UdpDatagram {
+                    src_port: udp.src_port,
+                    dst_port: udp.dst_port,
+                    payload: seg[poff..].to_vec(),
+                })
+            }
+            IpProtocol::Icmp => {
+                let (icmp, poff) = IcmpRepr::parse(seg)?;
+                PacketBody::Icmp(IcmpSegment { kind: icmp.kind, payload: seg[poff..].to_vec() })
+            }
+            IpProtocol::Other(protocol) => PacketBody::Raw { protocol, payload: seg.to_vec() },
+        };
+        Ok(Packet { src: ip.src, dst: ip.dst, ttl: ip.ttl, ident: ip.ident, body })
+    }
+
+    /// A compact single-line summary for traces and debugging.
+    pub fn summary(&self) -> String {
+        match &self.body {
+            PacketBody::Tcp(t) => format!(
+                "{}:{} > {}:{} TCP [{}] seq={} ack={} len={}",
+                self.src, t.src_port, self.dst, t.dst_port, t.flags, t.seq, t.ack,
+                t.payload.len()
+            ),
+            PacketBody::Udp(u) => format!(
+                "{}:{} > {}:{} UDP len={}",
+                self.src, u.src_port, self.dst, u.dst_port,
+                u.payload.len()
+            ),
+            PacketBody::Icmp(i) => {
+                format!("{} > {} ICMP {:?}", self.src, self.dst, i.kind)
+            }
+            PacketBody::Raw { protocol, payload } => {
+                format!("{} > {} proto={} len={}", self.src, self.dst, protocol, payload.len())
+            }
+        }
+    }
+}
+
+impl fmt::Display for Packet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.summary())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+    const B: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
+
+    #[test]
+    fn tcp_wire_roundtrip() {
+        let p = Packet::tcp(A, B, 4000, 80, 100, 200, TcpFlags::psh_ack(), b"GET /".to_vec())
+            .with_ttl(33)
+            .with_ident(7);
+        let wire = p.to_wire();
+        let q = Packet::from_wire(&wire).expect("roundtrip");
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn udp_wire_roundtrip() {
+        let p = Packet::udp(A, B, 5555, 53, b"query".to_vec());
+        assert_eq!(Packet::from_wire(&p.to_wire()).expect("roundtrip"), p);
+    }
+
+    #[test]
+    fn icmp_wire_roundtrip() {
+        let p = Packet::icmp(A, B, IcmpKind::TimeExceeded, vec![1, 2, 3]);
+        assert_eq!(Packet::from_wire(&p.to_wire()).expect("roundtrip"), p);
+    }
+
+    #[test]
+    fn raw_wire_roundtrip() {
+        let p = Packet {
+            src: A,
+            dst: B,
+            ttl: 9,
+            ident: 0,
+            body: PacketBody::Raw { protocol: 99, payload: b"p2p-chunk".to_vec() },
+        };
+        assert_eq!(Packet::from_wire(&p.to_wire()).expect("roundtrip"), p);
+    }
+
+    #[test]
+    fn wire_len_matches_emitted_length() {
+        let cases = vec![
+            Packet::tcp(A, B, 1, 2, 0, 0, TcpFlags::syn(), vec![]),
+            Packet::udp(A, B, 1, 2, vec![0; 37]),
+            Packet::icmp(A, B, IcmpKind::EchoRequest { ident: 1, seq: 2 }, vec![0; 5]),
+        ];
+        for p in cases {
+            assert_eq!(p.wire_len(), p.to_wire().len(), "{}", p.summary());
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let p = Packet::tcp(A, B, 1234, 80, 0, 0, TcpFlags::syn(), vec![]);
+        assert_eq!(p.src_port(), Some(1234));
+        assert_eq!(p.dst_port(), Some(80));
+        assert!(p.as_tcp().is_some());
+        assert!(p.as_udp().is_none());
+        let p = Packet::icmp(A, B, IcmpKind::TimeExceeded, vec![]);
+        assert_eq!(p.src_port(), None);
+        assert!(p.as_icmp().is_some());
+    }
+
+    #[test]
+    fn summary_contains_endpoints() {
+        let p = Packet::tcp(A, B, 1234, 80, 5, 0, TcpFlags::syn(), vec![]);
+        let s = p.summary();
+        assert!(s.contains("10.0.0.1:1234"));
+        assert!(s.contains("10.0.0.2:80"));
+        assert!(s.contains("[S]"));
+    }
+
+    #[test]
+    fn corrupted_wire_fails_cleanly() {
+        let p = Packet::udp(A, B, 1, 53, b"hello".to_vec());
+        let mut wire = p.to_wire();
+        wire[25] ^= 0x55; // corrupt a UDP payload byte
+        assert!(Packet::from_wire(&wire).is_err());
+        assert!(Packet::from_wire(&[]).is_err());
+    }
+}

@@ -1,0 +1,608 @@
+//! The simulator: owns nodes, links and the event queue, and runs the
+//! discrete-event loop.
+//!
+//! ```
+//! use underradar_netsim::{Simulator, LinkConfig, Packet, SimTime, SimDuration};
+//! use underradar_netsim::node::{Node, NodeCtx, IfaceId};
+//! use std::any::Any;
+//!
+//! struct Sink { name: String, got: usize }
+//! impl Node for Sink {
+//!     fn name(&self) -> &str { &self.name }
+//!     fn receive(&mut self, _: &mut NodeCtx<'_>, _: IfaceId, _: Packet) { self.got += 1; }
+//!     fn as_any(&self) -> &dyn Any { self }
+//!     fn as_any_mut(&mut self) -> &mut dyn Any { self }
+//! }
+//!
+//! let mut sim = Simulator::new(1);
+//! let a = sim.add_node(Box::new(Sink { name: "a".into(), got: 0 }));
+//! let b = sim.add_node(Box::new(Sink { name: "b".into(), got: 0 }));
+//! sim.wire(a, IfaceId(0), b, IfaceId(0), LinkConfig::default()).unwrap();
+//! let pkt = Packet::udp([10,0,0,1].into(), [10,0,0,2].into(), 1, 2, vec![]);
+//! sim.send_from(a, IfaceId(0), pkt, SimTime::ZERO).unwrap();
+//! sim.run_for(SimDuration::from_secs(1)).unwrap();
+//! assert_eq!(sim.node_ref::<Sink>(b).unwrap().got, 1);
+//! ```
+
+use crate::capture::{Capture, CapturedPacket};
+use crate::error::NetsimError;
+use crate::event::{EventKind, EventQueue, TimerToken};
+use crate::link::{Endpoint, Link, LinkConfig, LinkId, TxOutcome};
+use crate::node::{Emit, IfaceId, Node, NodeCtx, NodeId};
+use crate::packet::Packet;
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+
+/// Default cap on processed events, a guard against runaway packet storms.
+pub const DEFAULT_EVENT_BUDGET: u64 = 50_000_000;
+
+/// The discrete-event network simulator.
+pub struct Simulator {
+    nodes: Vec<Option<Box<dyn Node>>>,
+    names: Vec<String>,
+    /// Per node, per interface: the link it is wired to (if any).
+    wiring: Vec<Vec<Option<LinkId>>>,
+    links: Vec<Link>,
+    queue: EventQueue,
+    rng: SimRng,
+    now: SimTime,
+    started: bool,
+    capture: Option<Capture>,
+    event_budget: u64,
+    events_processed: u64,
+    next_timer: u64,
+    emits: Vec<Emit>,
+}
+
+impl Simulator {
+    /// Create a simulator seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        Simulator {
+            nodes: Vec::new(),
+            names: Vec::new(),
+            wiring: Vec::new(),
+            links: Vec::new(),
+            queue: EventQueue::new(),
+            rng: SimRng::seed_from_u64(seed),
+            now: SimTime::ZERO,
+            started: false,
+            capture: None,
+            event_budget: DEFAULT_EVENT_BUDGET,
+            events_processed: 0,
+            next_timer: 0,
+            emits: Vec::new(),
+        }
+    }
+
+    /// Enable global packet capture (every packet accepted onto any link).
+    pub fn enable_capture(&mut self) {
+        if self.capture.is_none() {
+            self.capture = Some(Capture::new());
+        }
+    }
+
+    /// The capture, if enabled.
+    pub fn capture(&self) -> Option<&Capture> {
+        self.capture.as_ref()
+    }
+
+    /// Take the capture out of the simulator (e.g. to analyze after a run).
+    pub fn take_capture(&mut self) -> Option<Capture> {
+        self.capture.take()
+    }
+
+    /// Override the runaway-guard event budget.
+    pub fn set_event_budget(&mut self, budget: u64) {
+        self.event_budget = budget;
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Register a node, returning its id.
+    pub fn add_node(&mut self, node: Box<dyn Node>) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.names.push(node.name().to_string());
+        self.nodes.push(Some(node));
+        self.wiring.push(Vec::new());
+        id
+    }
+
+    /// The registered name of `node`.
+    pub fn node_name(&self, node: NodeId) -> &str {
+        self.names.get(node.0).map(String::as_str).unwrap_or("?")
+    }
+
+    /// All node names indexed by id (for [`Capture::render`]).
+    pub fn node_names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Typed shared access to a node.
+    pub fn node_ref<T: Node>(&self, id: NodeId) -> Option<&T> {
+        self.nodes.get(id.0)?.as_ref()?.as_any().downcast_ref::<T>()
+    }
+
+    /// Typed mutable access to a node.
+    ///
+    /// Mutations take effect immediately but cannot schedule packets or
+    /// timers; use node tasks for in-simulation behaviour.
+    pub fn node_mut<T: Node>(&mut self, id: NodeId) -> Option<&mut T> {
+        self.nodes.get_mut(id.0)?.as_mut()?.as_any_mut().downcast_mut::<T>()
+    }
+
+    /// Wire `(a, ai)` to `(b, bi)` with a fresh link.
+    pub fn wire(
+        &mut self,
+        a: NodeId,
+        ai: IfaceId,
+        b: NodeId,
+        bi: IfaceId,
+        config: LinkConfig,
+    ) -> Result<LinkId, NetsimError> {
+        for (n, i) in [(a, ai), (b, bi)] {
+            if n.0 >= self.nodes.len() {
+                return Err(NetsimError::UnknownNode(n.0));
+            }
+            let table = &mut self.wiring[n.0];
+            if table.len() <= i.0 {
+                table.resize(i.0 + 1, None);
+            }
+            if table[i.0].is_some() {
+                return Err(NetsimError::IfaceAlreadyWired { node: n.0, iface: i.0 });
+            }
+        }
+        let id = LinkId(self.links.len());
+        self.links.push(Link::new(
+            Endpoint { node: a, iface: ai },
+            Endpoint { node: b, iface: bi },
+            config,
+        ));
+        self.wiring[a.0][ai.0] = Some(id);
+        self.wiring[b.0][bi.0] = Some(id);
+        Ok(id)
+    }
+
+    /// Schedule a packet transmission from a node's interface at `time`, as
+    /// if the node had emitted it. Useful for test harnesses.
+    pub fn send_from(
+        &mut self,
+        node: NodeId,
+        iface: IfaceId,
+        packet: Packet,
+        time: SimTime,
+    ) -> Result<(), NetsimError> {
+        if node.0 >= self.nodes.len() {
+            return Err(NetsimError::UnknownNode(node.0));
+        }
+        // Defer the actual link transmission to the scheduled instant by
+        // modelling it as a delivery to the *sender*, which would be wrong;
+        // instead transmit on the link now with the future timestamp.
+        let time = time.max(self.now);
+        self.transmit(node, iface, packet, time);
+        Ok(())
+    }
+
+    /// Deliver a packet directly to a node's interface at `time`, bypassing
+    /// any link (loss, latency). Useful for injecting crafted traffic.
+    pub fn inject_at(
+        &mut self,
+        node: NodeId,
+        iface: IfaceId,
+        packet: Packet,
+        time: SimTime,
+    ) -> Result<(), NetsimError> {
+        if node.0 >= self.nodes.len() {
+            return Err(NetsimError::UnknownNode(node.0));
+        }
+        let time = time.max(self.now);
+        self.queue.push(time, EventKind::Deliver { node, iface, packet });
+        Ok(())
+    }
+
+    /// Run until the queue is exhausted or `deadline` is reached; the clock
+    /// ends at `deadline` if the queue drained earlier.
+    pub fn run_until(&mut self, deadline: SimTime) -> Result<(), NetsimError> {
+        self.ensure_started();
+        while let Some(t) = self.queue.peek_time() {
+            if t > deadline {
+                break;
+            }
+            self.step()?;
+        }
+        self.now = self.now.max(deadline);
+        Ok(())
+    }
+
+    /// Run for `duration` of simulated time from now.
+    pub fn run_for(&mut self, duration: SimDuration) -> Result<(), NetsimError> {
+        let deadline = self.now + duration;
+        self.run_until(deadline)
+    }
+
+    /// Run until no events remain.
+    pub fn run_to_completion(&mut self) -> Result<(), NetsimError> {
+        self.ensure_started();
+        while !self.queue.is_empty() {
+            self.step()?;
+        }
+        Ok(())
+    }
+
+    /// Whether any events are pending.
+    pub fn has_pending_events(&self) -> bool {
+        !self.queue.is_empty()
+    }
+
+    fn ensure_started(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for idx in 0..self.nodes.len() {
+            self.with_node(NodeId(idx), |node, ctx| node.start(ctx));
+        }
+    }
+
+    fn step(&mut self) -> Result<(), NetsimError> {
+        let Some(event) = self.queue.pop() else { return Ok(()) };
+        self.events_processed += 1;
+        if self.events_processed > self.event_budget {
+            return Err(NetsimError::EventBudgetExhausted { budget: self.event_budget });
+        }
+        self.now = self.now.max(event.time);
+        match event.kind {
+            EventKind::Deliver { node, iface, packet } => {
+                self.with_node(node, |n, ctx| n.receive(ctx, iface, packet));
+            }
+            EventKind::Timer { node, token } => {
+                self.with_node(node, |n, ctx| n.on_timer(ctx, token));
+            }
+        }
+        Ok(())
+    }
+
+    /// Call `f` on a node with a fresh context, then apply its emitted
+    /// effects. The node is temporarily removed from the table so the
+    /// simulator can be borrowed for the context without aliasing.
+    fn with_node<F>(&mut self, id: NodeId, f: F)
+    where
+        F: FnOnce(&mut dyn Node, &mut NodeCtx<'_>),
+    {
+        let Some(slot) = self.nodes.get_mut(id.0) else { return };
+        let Some(mut node) = slot.take() else { return };
+        debug_assert!(self.emits.is_empty());
+        let mut emits = std::mem::take(&mut self.emits);
+        {
+            let mut ctx = NodeCtx {
+                now: self.now,
+                node: id,
+                emits: &mut emits,
+                rng: &mut self.rng,
+                next_timer: &mut self.next_timer,
+            };
+            f(node.as_mut(), &mut ctx);
+        }
+        self.nodes[id.0] = Some(node);
+        for emit in emits.drain(..) {
+            match emit {
+                Emit::Send { iface, packet } => self.transmit(id, iface, packet, self.now),
+                Emit::Timer { delay, token } => {
+                    self.queue.push(self.now + delay, EventKind::Timer { node: id, token });
+                }
+            }
+        }
+        self.emits = emits;
+    }
+
+    /// Put a packet on the link wired to `(node, iface)` at time `when`.
+    /// Unwired interfaces silently drop (an unplugged cable).
+    fn transmit(&mut self, node: NodeId, iface: IfaceId, packet: Packet, when: SimTime) {
+        let Some(link_id) = self
+            .wiring
+            .get(node.0)
+            .and_then(|t| t.get(iface.0))
+            .copied()
+            .flatten()
+        else {
+            return;
+        };
+        let link = &mut self.links[link_id.0];
+        let Some(peer) = link.peer_of(node, iface) else { return };
+        match link.transmit(node, iface, packet.wire_len(), when, &mut self.rng) {
+            TxOutcome::Deliver(at) => {
+                if let Some(cap) = &mut self.capture {
+                    cap.record(CapturedPacket {
+                        time: when,
+                        from_node: node,
+                        from_iface: iface,
+                        to_node: peer.node,
+                        to_iface: peer.iface,
+                        packet: packet.clone(),
+                    });
+                }
+                self.queue.push(
+                    at,
+                    EventKind::Deliver { node: peer.node, iface: peer.iface, packet },
+                );
+            }
+            TxOutcome::Lost => {}
+        }
+    }
+
+    /// Allocate a timer token from the same counter node contexts use, for
+    /// pairing with [`Simulator::schedule_timer`] (e.g. to arm work on a
+    /// node after the simulation has already started).
+    pub fn alloc_timer_token(&mut self) -> TimerToken {
+        let token = TimerToken(self.next_timer);
+        self.next_timer += 1;
+        token
+    }
+
+    /// Schedule a timer for a node from outside a node callback (used by
+    /// topology setup to arm initial work).
+    pub fn schedule_timer(
+        &mut self,
+        node: NodeId,
+        at: SimTime,
+        token: TimerToken,
+    ) -> Result<(), NetsimError> {
+        if node.0 >= self.nodes.len() {
+            return Err(NetsimError::UnknownNode(node.0));
+        }
+        let at = at.max(self.now);
+        self.queue.push(at, EventKind::Timer { node, token });
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for Simulator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulator")
+            .field("nodes", &self.names)
+            .field("links", &self.links.len())
+            .field("now", &self.now)
+            .field("pending_events", &self.queue.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::any::Any;
+    use std::net::Ipv4Addr;
+
+    /// Echoes every packet back out the interface it arrived on, after a
+    /// configurable number of timer-based delays.
+    struct Echo {
+        name: String,
+        received: Vec<(SimTime, Packet)>,
+        echo: bool,
+    }
+
+    impl Echo {
+        fn new(name: &str, echo: bool) -> Self {
+            Echo { name: name.into(), received: Vec::new(), echo }
+        }
+    }
+
+    impl Node for Echo {
+        fn name(&self) -> &str {
+            &self.name
+        }
+        fn receive(&mut self, ctx: &mut NodeCtx<'_>, iface: IfaceId, packet: Packet) {
+            self.received.push((ctx.now(), packet.clone()));
+            if self.echo {
+                let mut back = packet;
+                std::mem::swap(&mut back.src, &mut back.dst);
+                ctx.send(iface, back);
+            }
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    struct TimerNode {
+        name: String,
+        fired: Vec<(SimTime, TimerToken)>,
+        chain: u32,
+    }
+
+    impl Node for TimerNode {
+        fn name(&self) -> &str {
+            &self.name
+        }
+        fn start(&mut self, ctx: &mut NodeCtx<'_>) {
+            ctx.set_timer(SimDuration::from_millis(10));
+        }
+        fn receive(&mut self, _: &mut NodeCtx<'_>, _: IfaceId, _: Packet) {}
+        fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, token: TimerToken) {
+            self.fired.push((ctx.now(), token));
+            if self.chain > 0 {
+                self.chain -= 1;
+                ctx.set_timer(SimDuration::from_millis(10));
+            }
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    const A_IP: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+    const B_IP: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
+
+    fn two_node_sim(echo: bool) -> (Simulator, NodeId, NodeId) {
+        let mut sim = Simulator::new(7);
+        let a = sim.add_node(Box::new(Echo::new("a", false)));
+        let b = sim.add_node(Box::new(Echo::new("b", echo)));
+        sim.wire(a, IfaceId(0), b, IfaceId(0), LinkConfig::default()).expect("wire");
+        (sim, a, b)
+    }
+
+    #[test]
+    fn packet_crosses_link_with_latency() {
+        let (mut sim, a, b) = two_node_sim(false);
+        let p = Packet::udp(A_IP, B_IP, 1, 2, b"hi".to_vec());
+        sim.send_from(a, IfaceId(0), p, SimTime::ZERO).expect("send");
+        sim.run_to_completion().expect("run");
+        let bnode = sim.node_ref::<Echo>(b).expect("b");
+        assert_eq!(bnode.received.len(), 1);
+        // 1ms latency + 30 bytes at 1 Gbps (240ns)
+        assert_eq!(bnode.received[0].0, SimTime::from_nanos(1_000_240));
+    }
+
+    #[test]
+    fn echo_returns_to_sender() {
+        let (mut sim, a, b) = two_node_sim(true);
+        let p = Packet::udp(A_IP, B_IP, 1, 2, b"ping".to_vec());
+        sim.send_from(a, IfaceId(0), p, SimTime::ZERO).expect("send");
+        sim.run_to_completion().expect("run");
+        let anode = sim.node_ref::<Echo>(a).expect("a");
+        assert_eq!(anode.received.len(), 1);
+        assert_eq!(anode.received[0].1.src, B_IP, "addresses swapped by echo");
+        let _ = b;
+    }
+
+    #[test]
+    fn start_is_called_once_and_timers_chain() {
+        let mut sim = Simulator::new(1);
+        let t = sim.add_node(Box::new(TimerNode { name: "t".into(), fired: vec![], chain: 2 }));
+        sim.run_to_completion().expect("run");
+        let node = sim.node_ref::<TimerNode>(t).expect("t");
+        assert_eq!(node.fired.len(), 3);
+        assert_eq!(node.fired[0].0, SimTime::from_nanos(10_000_000));
+        assert_eq!(node.fired[2].0, SimTime::from_nanos(30_000_000));
+        // Tokens are unique.
+        let mut tokens: Vec<u64> = node.fired.iter().map(|(_, t)| t.0).collect();
+        tokens.dedup();
+        assert_eq!(tokens.len(), 3);
+    }
+
+    #[test]
+    fn run_until_respects_deadline() {
+        let mut sim = Simulator::new(1);
+        let t = sim.add_node(Box::new(TimerNode { name: "t".into(), fired: vec![], chain: 10 }));
+        sim.run_until(SimTime::from_nanos(25_000_000)).expect("run");
+        assert_eq!(sim.node_ref::<TimerNode>(t).expect("t").fired.len(), 2);
+        assert_eq!(sim.now(), SimTime::from_nanos(25_000_000));
+        sim.run_to_completion().expect("run rest");
+        assert_eq!(sim.node_ref::<TimerNode>(t).expect("t").fired.len(), 11);
+    }
+
+    #[test]
+    fn capture_records_link_transmissions() {
+        let (mut sim, a, _b) = two_node_sim(true);
+        sim.enable_capture();
+        let p = Packet::udp(A_IP, B_IP, 1, 2, vec![]);
+        sim.send_from(a, IfaceId(0), p, SimTime::ZERO).expect("send");
+        sim.run_to_completion().expect("run");
+        let cap = sim.capture().expect("capture");
+        assert_eq!(cap.len(), 2, "request and echo");
+        let text = cap.render(sim.node_names());
+        assert!(text.contains("a[0] -> b[0]"));
+        assert!(text.contains("b[0] -> a[0]"));
+    }
+
+    #[test]
+    fn unwired_iface_drops_silently() {
+        let mut sim = Simulator::new(1);
+        let a = sim.add_node(Box::new(Echo::new("a", false)));
+        let p = Packet::udp(A_IP, B_IP, 1, 2, vec![]);
+        sim.send_from(a, IfaceId(5), p, SimTime::ZERO).expect("send");
+        sim.run_to_completion().expect("run");
+        assert_eq!(sim.events_processed(), 0);
+    }
+
+    #[test]
+    fn double_wiring_rejected() {
+        let mut sim = Simulator::new(1);
+        let a = sim.add_node(Box::new(Echo::new("a", false)));
+        let b = sim.add_node(Box::new(Echo::new("b", false)));
+        let c = sim.add_node(Box::new(Echo::new("c", false)));
+        sim.wire(a, IfaceId(0), b, IfaceId(0), LinkConfig::default()).expect("first");
+        let err = sim.wire(a, IfaceId(0), c, IfaceId(0), LinkConfig::default());
+        assert_eq!(err, Err(NetsimError::IfaceAlreadyWired { node: a.0, iface: 0 }));
+    }
+
+    #[test]
+    fn unknown_node_errors() {
+        let mut sim = Simulator::new(1);
+        let ghost = NodeId(42);
+        let p = Packet::udp(A_IP, B_IP, 1, 2, vec![]);
+        assert!(sim.send_from(ghost, IfaceId(0), p.clone(), SimTime::ZERO).is_err());
+        assert!(sim.inject_at(ghost, IfaceId(0), p, SimTime::ZERO).is_err());
+        assert!(sim.schedule_timer(ghost, SimTime::ZERO, TimerToken(0)).is_err());
+    }
+
+    #[test]
+    fn inject_bypasses_link() {
+        let (mut sim, _a, b) = two_node_sim(false);
+        let p = Packet::udp(A_IP, B_IP, 1, 2, vec![]);
+        sim.inject_at(b, IfaceId(0), p, SimTime::from_nanos(500)).expect("inject");
+        sim.run_to_completion().expect("run");
+        let bnode = sim.node_ref::<Echo>(b).expect("b");
+        assert_eq!(bnode.received.len(), 1);
+        assert_eq!(bnode.received[0].0, SimTime::from_nanos(500));
+    }
+
+    #[test]
+    fn event_budget_guards_runaway() {
+        // Two echo nodes bounce a packet forever on an ideal link.
+        let mut sim = Simulator::new(1);
+        let a = sim.add_node(Box::new(Echo::new("a", true)));
+        let b = sim.add_node(Box::new(Echo::new("b", true)));
+        sim.wire(a, IfaceId(0), b, IfaceId(0), LinkConfig::ideal()).expect("wire");
+        sim.set_event_budget(1_000);
+        let p = Packet::udp(A_IP, B_IP, 1, 2, vec![]);
+        sim.send_from(a, IfaceId(0), p, SimTime::ZERO).expect("send");
+        let err = sim.run_to_completion();
+        assert_eq!(err, Err(NetsimError::EventBudgetExhausted { budget: 1_000 }));
+    }
+
+    #[test]
+    fn determinism_same_seed_same_trace() {
+        let run = |seed: u64| -> Vec<String> {
+            let mut sim = Simulator::new(seed);
+            let a = sim.add_node(Box::new(Echo::new("a", false)));
+            let b = sim.add_node(Box::new(Echo::new("b", true)));
+            sim.wire(
+                a,
+                IfaceId(0),
+                b,
+                IfaceId(0),
+                LinkConfig::default().with_loss(0.3).with_jitter(SimDuration::from_millis(2)),
+            )
+            .expect("wire");
+            sim.enable_capture();
+            for i in 0..50u16 {
+                let p = Packet::udp(A_IP, B_IP, 1000 + i, 2, vec![0; 10]).with_ident(i);
+                sim.send_from(a, IfaceId(0), p, SimTime::from_nanos(u64::from(i) * 1000))
+                    .expect("send");
+            }
+            sim.run_to_completion().expect("run");
+            sim.capture()
+                .expect("cap")
+                .records()
+                .iter()
+                .map(|r| format!("{} {}", r.time, r.packet.summary()))
+                .collect()
+        };
+        assert_eq!(run(99), run(99));
+        assert_ne!(run(99), run(100), "different seeds should diverge under loss/jitter");
+    }
+}

@@ -1,0 +1,688 @@
+//! A compact TCP state machine (RFC 793 subset).
+//!
+//! Covers what the simulation needs: three-way handshake, in-order data
+//! transfer with cumulative ACKs, go-back-N retransmission on a fixed RTO,
+//! FIN teardown, RST handling (both receiving injected RSTs — the Great
+//! Firewall's censorship primitive — and sending them), and per-connection
+//! reply-TTL override (the paper's TTL-limited stateful mimicry, §4.1).
+//!
+//! Deliberately omitted: congestion control, SACK, window scaling,
+//! simultaneous open, and out-of-order reassembly (out-of-order segments
+//! are dropped and recovered by retransmission). None of these affect the
+//! censorship/surveillance behaviours under study.
+//!
+//! The connection is pure logic: methods consume segments and return
+//! packets to transmit plus events for the application. The host owns
+//! timers and calls [`TcpConn::on_rto`].
+
+use std::collections::VecDeque;
+use std::net::Ipv4Addr;
+
+use crate::packet::{Packet, TcpSegment};
+use crate::wire::ipv4::DEFAULT_TTL;
+use crate::wire::tcp::TcpFlags;
+
+/// Maximum retransmissions before the connection gives up.
+pub const MAX_RETRIES: u32 = 5;
+
+/// Maximum payload per segment (a conventional Ethernet-ish MSS).
+pub const MSS: usize = 1460;
+
+/// `a < b` in sequence space.
+#[inline]
+pub fn seq_lt(a: u32, b: u32) -> bool {
+    (a.wrapping_sub(b) as i32) < 0
+}
+
+/// `a <= b` in sequence space.
+#[inline]
+pub fn seq_le(a: u32, b: u32) -> bool {
+    a == b || seq_lt(a, b)
+}
+
+/// TCP connection states (RFC 793 subset).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TcpState {
+    /// SYN sent, awaiting SYN/ACK.
+    SynSent,
+    /// SYN received and SYN/ACK sent, awaiting ACK.
+    SynReceived,
+    /// Data transfer.
+    Established,
+    /// We closed first; FIN sent, not yet acknowledged.
+    FinWait1,
+    /// Our FIN acknowledged; awaiting the peer's FIN.
+    FinWait2,
+    /// Peer closed first; we may still send.
+    CloseWait,
+    /// Peer closed, then we sent our FIN.
+    LastAck,
+    /// Both sides sent FINs simultaneously.
+    Closing,
+    /// Fully closed (TIME_WAIT is collapsed into this state).
+    Closed,
+}
+
+/// Events a connection reports to its owner.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TcpEvent {
+    /// The handshake completed.
+    Connected,
+    /// In-order payload bytes arrived.
+    Data(Vec<u8>),
+    /// The peer sent FIN (no more data will arrive).
+    PeerClosed,
+    /// The connection was reset by a RST segment. This is both an error path
+    /// and a *measurement signal*: injected RSTs are how the GFC censors.
+    Reset,
+    /// Our SYN was answered with RST (connection refused).
+    Refused,
+    /// Retransmissions were exhausted.
+    TimedOut,
+    /// The connection closed cleanly in both directions.
+    Closed,
+}
+
+/// A retransmittable chunk (SYN, FIN, or payload bytes).
+#[derive(Debug, Clone)]
+struct Chunk {
+    seq: u32,
+    data: Vec<u8>,
+    syn: bool,
+    fin: bool,
+}
+
+impl Chunk {
+    fn seq_len(&self) -> u32 {
+        self.data.len() as u32 + u32::from(self.syn) + u32::from(self.fin)
+    }
+    fn end_seq(&self) -> u32 {
+        self.seq.wrapping_add(self.seq_len())
+    }
+}
+
+/// One TCP connection.
+#[derive(Debug)]
+pub struct TcpConn {
+    /// Local (address, port).
+    pub local: (Ipv4Addr, u16),
+    /// Remote (address, port).
+    pub remote: (Ipv4Addr, u16),
+    state: TcpState,
+    iss: u32,
+    snd_nxt: u32,
+    snd_una: u32,
+    rcv_nxt: u32,
+    unacked: VecDeque<Chunk>,
+    retries: u32,
+    /// TTL stamped on outgoing packets; `None` uses the default. Servers in
+    /// the stateful-mimicry experiment set this so replies die in-network.
+    pub reply_ttl: Option<u8>,
+    fin_sent: bool,
+}
+
+impl TcpConn {
+    /// Open a connection: returns the connection in `SynSent` plus the SYN
+    /// packet to transmit. `iss` is the initial send sequence number.
+    pub fn connect(
+        local: (Ipv4Addr, u16),
+        remote: (Ipv4Addr, u16),
+        iss: u32,
+    ) -> (TcpConn, Packet) {
+        let mut conn = TcpConn {
+            local,
+            remote,
+            state: TcpState::SynSent,
+            iss,
+            snd_nxt: iss.wrapping_add(1),
+            snd_una: iss,
+            rcv_nxt: 0,
+            unacked: VecDeque::new(),
+            retries: 0,
+            reply_ttl: None,
+            fin_sent: false,
+        };
+        conn.unacked.push_back(Chunk { seq: iss, data: Vec::new(), syn: true, fin: false });
+        let syn = conn.make_packet(iss, 0, TcpFlags::syn(), Vec::new());
+        (conn, syn)
+    }
+
+    /// Accept a connection from a received SYN: returns the connection in
+    /// `SynReceived` plus the SYN/ACK to transmit.
+    pub fn accept(
+        local: (Ipv4Addr, u16),
+        remote: (Ipv4Addr, u16),
+        peer_seq: u32,
+        iss: u32,
+    ) -> (TcpConn, Packet) {
+        let mut conn = TcpConn {
+            local,
+            remote,
+            state: TcpState::SynReceived,
+            iss,
+            snd_nxt: iss.wrapping_add(1),
+            snd_una: iss,
+            rcv_nxt: peer_seq.wrapping_add(1),
+            unacked: VecDeque::new(),
+            retries: 0,
+            reply_ttl: None,
+            fin_sent: false,
+        };
+        conn.unacked.push_back(Chunk { seq: iss, data: Vec::new(), syn: true, fin: false });
+        let syn_ack = conn.make_packet(iss, conn.rcv_nxt, TcpFlags::syn_ack(), Vec::new());
+        (conn, syn_ack)
+    }
+
+    /// Current state.
+    pub fn state(&self) -> TcpState {
+        self.state
+    }
+
+    /// Whether the connection still has unacknowledged chunks (the host
+    /// keeps an RTO timer armed while this is true).
+    pub fn has_unacked(&self) -> bool {
+        !self.unacked.is_empty()
+    }
+
+    /// Whether the connection is fully closed and can be dropped.
+    pub fn is_closed(&self) -> bool {
+        self.state == TcpState::Closed
+    }
+
+    fn make_packet(&self, seq: u32, ack: u32, flags: TcpFlags, payload: Vec<u8>) -> Packet {
+        Packet::tcp(
+            self.local.0,
+            self.remote.0,
+            self.local.1,
+            self.remote.1,
+            seq,
+            ack,
+            flags,
+            payload,
+        )
+        .with_ttl(self.reply_ttl.unwrap_or(DEFAULT_TTL))
+    }
+
+    fn ack_packet(&self) -> Packet {
+        self.make_packet(self.snd_nxt, self.rcv_nxt, TcpFlags::ack(), Vec::new())
+    }
+
+    /// Queue application data. Returns the packets to transmit (the data is
+    /// also retained for retransmission). Only legal while the local side is
+    /// open (`Established` or `CloseWait`); otherwise returns no packets.
+    pub fn send(&mut self, data: &[u8]) -> Vec<Packet> {
+        if !matches!(self.state, TcpState::Established | TcpState::CloseWait) || data.is_empty() {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for piece in data.chunks(MSS) {
+            let seq = self.snd_nxt;
+            self.snd_nxt = self.snd_nxt.wrapping_add(piece.len() as u32);
+            self.unacked.push_back(Chunk { seq, data: piece.to_vec(), syn: false, fin: false });
+            out.push(self.make_packet(seq, self.rcv_nxt, TcpFlags::psh_ack(), piece.to_vec()));
+        }
+        out
+    }
+
+    /// Close the local side (send FIN). Returns packets to transmit.
+    pub fn close(&mut self) -> Vec<Packet> {
+        match self.state {
+            TcpState::Established => self.state = TcpState::FinWait1,
+            TcpState::CloseWait => self.state = TcpState::LastAck,
+            TcpState::SynSent => {
+                // Nothing on the wire worth tearing down.
+                self.state = TcpState::Closed;
+                self.unacked.clear();
+                return Vec::new();
+            }
+            _ => return Vec::new(),
+        }
+        let seq = self.snd_nxt;
+        self.snd_nxt = self.snd_nxt.wrapping_add(1);
+        self.fin_sent = true;
+        self.unacked.push_back(Chunk { seq, data: Vec::new(), syn: false, fin: true });
+        vec![self.make_packet(seq, self.rcv_nxt, TcpFlags::fin_ack(), Vec::new())]
+    }
+
+    /// Abort the connection: returns the RST to transmit (if the connection
+    /// had reached a state where a RST is meaningful).
+    pub fn abort(&mut self) -> Option<Packet> {
+        let was = self.state;
+        self.state = TcpState::Closed;
+        self.unacked.clear();
+        if was == TcpState::Closed {
+            None
+        } else {
+            Some(self.make_packet(self.snd_nxt, self.rcv_nxt, TcpFlags::rst_ack(), Vec::new()))
+        }
+    }
+
+    /// Retransmission timer fired. Returns packets to retransmit and any
+    /// events (a [`TcpEvent::TimedOut`] when retries are exhausted).
+    pub fn on_rto(&mut self) -> (Vec<Packet>, Vec<TcpEvent>) {
+        if self.unacked.is_empty() || self.state == TcpState::Closed {
+            return (Vec::new(), Vec::new());
+        }
+        self.retries += 1;
+        if self.retries > MAX_RETRIES {
+            self.state = TcpState::Closed;
+            self.unacked.clear();
+            return (Vec::new(), vec![TcpEvent::TimedOut]);
+        }
+        let mut out = Vec::new();
+        for chunk in &self.unacked {
+            let flags = if chunk.syn {
+                if self.state == TcpState::SynReceived {
+                    TcpFlags::syn_ack()
+                } else {
+                    TcpFlags::syn()
+                }
+            } else if chunk.fin {
+                TcpFlags::fin_ack()
+            } else {
+                TcpFlags::psh_ack()
+            };
+            let ack = if self.state == TcpState::SynSent { 0 } else { self.rcv_nxt };
+            out.push(self.make_packet(chunk.seq, ack, flags, chunk.data.clone()));
+        }
+        (out, Vec::new())
+    }
+
+    /// Process a received segment. Returns packets to transmit and events
+    /// for the application, in order.
+    pub fn on_segment(&mut self, seg: &TcpSegment) -> (Vec<Packet>, Vec<TcpEvent>) {
+        let mut out = Vec::new();
+        let mut events = Vec::new();
+
+        if self.state == TcpState::Closed {
+            return (out, events);
+        }
+
+        // RST handling. In SynSent a RST means the port refused us; in any
+        // synchronized state it kills the connection. We accept any RST for
+        // an established tuple without strict sequence checking — the GFC's
+        // injected RSTs are sequence-correct in practice, and blind-RST
+        // defenses are out of scope for the testbed.
+        if seg.flags.has_rst() {
+            let was_syn_sent = self.state == TcpState::SynSent;
+            self.state = TcpState::Closed;
+            self.unacked.clear();
+            events.push(if was_syn_sent { TcpEvent::Refused } else { TcpEvent::Reset });
+            return (out, events);
+        }
+
+        match self.state {
+            TcpState::SynSent => {
+                if seg.flags.has_syn() && seg.flags.has_ack() {
+                    if seg.ack != self.iss.wrapping_add(1) {
+                        // Wrong ACK: answer with RST per RFC 793.
+                        out.push(self.make_packet(seg.ack, 0, TcpFlags::rst(), Vec::new()));
+                        return (out, events);
+                    }
+                    self.snd_una = seg.ack;
+                    self.rcv_nxt = seg.seq.wrapping_add(1);
+                    self.unacked.clear();
+                    self.retries = 0;
+                    self.state = TcpState::Established;
+                    out.push(self.ack_packet());
+                    events.push(TcpEvent::Connected);
+                }
+                // Bare SYN (simultaneous open) is not supported; ignore.
+            }
+            _ => {
+                // ACK processing: drop fully-acknowledged chunks.
+                if seg.flags.has_ack() {
+                    self.process_ack(seg.ack, &mut events);
+                    if self.state == TcpState::Closed {
+                        return (out, events);
+                    }
+                }
+
+                // Data processing (in-order only).
+                let data_len = seg.payload.len() as u32;
+                let mut advanced = false;
+                if data_len > 0 {
+                    if seg.seq == self.rcv_nxt && self.receiving_open() {
+                        self.rcv_nxt = self.rcv_nxt.wrapping_add(data_len);
+                        events.push(TcpEvent::Data(seg.payload.clone()));
+                        advanced = true;
+                    } else {
+                        // Duplicate or out-of-order: re-ACK what we have.
+                        out.push(self.ack_packet());
+                    }
+                }
+
+                // FIN processing.
+                if seg.flags.has_fin() {
+                    let fin_seq = seg.seq.wrapping_add(data_len);
+                    if fin_seq == self.rcv_nxt {
+                        self.rcv_nxt = self.rcv_nxt.wrapping_add(1);
+                        advanced = true;
+                        events.push(TcpEvent::PeerClosed);
+                        match self.state {
+                            TcpState::SynReceived | TcpState::Established => {
+                                self.state = TcpState::CloseWait;
+                            }
+                            TcpState::FinWait1 => {
+                                // Our FIN not yet acked: both sides closing.
+                                self.state = TcpState::Closing;
+                            }
+                            TcpState::FinWait2 => {
+                                self.state = TcpState::Closed;
+                                events.push(TcpEvent::Closed);
+                            }
+                            _ => {}
+                        }
+                    } else if seq_lt(fin_seq, self.rcv_nxt) {
+                        // Retransmitted FIN: re-ACK.
+                        out.push(self.ack_packet());
+                    }
+                }
+
+                if advanced {
+                    out.push(self.ack_packet());
+                }
+            }
+        }
+
+        (out, events)
+    }
+
+    fn receiving_open(&self) -> bool {
+        matches!(
+            self.state,
+            TcpState::SynReceived | TcpState::Established | TcpState::FinWait1 | TcpState::FinWait2
+        )
+    }
+
+    fn process_ack(&mut self, ack: u32, events: &mut Vec<TcpEvent>) {
+        if !seq_le(ack, self.snd_nxt) {
+            return; // Acks data we never sent; ignore.
+        }
+        let mut progressed = false;
+        while let Some(front) = self.unacked.front() {
+            if seq_le(front.end_seq(), ack) {
+                let was_syn = front.syn;
+                let was_fin = front.fin;
+                self.unacked.pop_front();
+                progressed = true;
+                if was_syn && self.state == TcpState::SynReceived {
+                    self.state = TcpState::Established;
+                    events.push(TcpEvent::Connected);
+                }
+                if was_fin {
+                    match self.state {
+                        TcpState::FinWait1 => self.state = TcpState::FinWait2,
+                        TcpState::Closing => {
+                            self.state = TcpState::Closed;
+                            events.push(TcpEvent::Closed);
+                        }
+                        TcpState::LastAck => {
+                            self.state = TcpState::Closed;
+                            events.push(TcpEvent::Closed);
+                        }
+                        _ => {}
+                    }
+                }
+            } else {
+                break;
+            }
+        }
+        if progressed {
+            self.snd_una = ack;
+            self.retries = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const C: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+    const S: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
+
+    fn seg_of(p: &Packet) -> TcpSegment {
+        p.as_tcp().expect("tcp packet").clone()
+    }
+
+    /// Drive a full handshake; returns (client, server).
+    fn handshake() -> (TcpConn, TcpConn) {
+        let (mut client, syn) = TcpConn::connect((C, 4000), (S, 80), 1000);
+        let syn_seg = seg_of(&syn);
+        assert!(syn_seg.flags.has_syn() && !syn_seg.flags.has_ack());
+
+        let (mut server, syn_ack) = TcpConn::accept((S, 80), (C, 4000), syn_seg.seq, 9000);
+        let (cl_out, cl_ev) = client.on_segment(&seg_of(&syn_ack));
+        assert_eq!(cl_ev, vec![TcpEvent::Connected]);
+        assert_eq!(client.state(), TcpState::Established);
+        assert_eq!(cl_out.len(), 1);
+
+        let (sv_out, sv_ev) = server.on_segment(&seg_of(&cl_out[0]));
+        assert_eq!(sv_ev, vec![TcpEvent::Connected]);
+        assert_eq!(server.state(), TcpState::Established);
+        assert!(sv_out.is_empty());
+        (client, server)
+    }
+
+    #[test]
+    fn three_way_handshake() {
+        handshake();
+    }
+
+    #[test]
+    fn data_transfer_and_ack() {
+        let (mut client, mut server) = handshake();
+        let data_pkts = client.send(b"GET / HTTP/1.0\r\n\r\n");
+        assert_eq!(data_pkts.len(), 1);
+        assert!(client.has_unacked());
+        let (sv_out, sv_ev) = server.on_segment(&seg_of(&data_pkts[0]));
+        assert_eq!(sv_ev, vec![TcpEvent::Data(b"GET / HTTP/1.0\r\n\r\n".to_vec())]);
+        assert_eq!(sv_out.len(), 1, "server ACKs");
+        let (_, cl_ev) = client.on_segment(&seg_of(&sv_out[0]));
+        assert!(cl_ev.is_empty());
+        assert!(!client.has_unacked());
+    }
+
+    #[test]
+    fn large_send_is_segmented_at_mss() {
+        let (mut client, mut server) = handshake();
+        let payload = vec![0x41u8; MSS * 2 + 100];
+        let pkts = client.send(&payload);
+        assert_eq!(pkts.len(), 3);
+        let mut received = Vec::new();
+        for p in &pkts {
+            let (_, ev) = server.on_segment(&seg_of(p));
+            for e in ev {
+                if let TcpEvent::Data(d) = e {
+                    received.extend_from_slice(&d);
+                }
+            }
+        }
+        assert_eq!(received, payload);
+    }
+
+    #[test]
+    fn graceful_close_both_sides() {
+        let (mut client, mut server) = handshake();
+        // Client closes.
+        let fin = client.close();
+        assert_eq!(client.state(), TcpState::FinWait1);
+        let (sv_out, sv_ev) = server.on_segment(&seg_of(&fin[0]));
+        assert_eq!(sv_ev, vec![TcpEvent::PeerClosed]);
+        assert_eq!(server.state(), TcpState::CloseWait);
+        let (_, cl_ev) = client.on_segment(&seg_of(&sv_out[0]));
+        assert!(cl_ev.is_empty());
+        assert_eq!(client.state(), TcpState::FinWait2);
+        // Server closes.
+        let fin2 = server.close();
+        assert_eq!(server.state(), TcpState::LastAck);
+        let (cl_out, cl_ev) = client.on_segment(&seg_of(&fin2[0]));
+        assert_eq!(cl_ev, vec![TcpEvent::PeerClosed, TcpEvent::Closed]);
+        assert!(client.is_closed());
+        let (_, sv_ev) = server.on_segment(&seg_of(&cl_out[0]));
+        assert_eq!(sv_ev, vec![TcpEvent::Closed]);
+        assert!(server.is_closed());
+    }
+
+    #[test]
+    fn injected_rst_resets_established_connection() {
+        // The censorship primitive: an on-path device injects a RST with the
+        // right four-tuple and sequence number.
+        let (mut client, _server) = handshake();
+        let rst = TcpSegment {
+            src_port: 80,
+            dst_port: 4000,
+            seq: 9001,
+            ack: 1001,
+            flags: TcpFlags::rst_ack(),
+            window: 0,
+            payload: Vec::new(),
+        };
+        let (_, ev) = client.on_segment(&rst);
+        assert_eq!(ev, vec![TcpEvent::Reset]);
+        assert!(client.is_closed());
+    }
+
+    #[test]
+    fn rst_to_syn_is_refused() {
+        let (mut client, _syn) = TcpConn::connect((C, 4000), (S, 81), 5);
+        let rst = TcpSegment {
+            src_port: 81,
+            dst_port: 4000,
+            seq: 0,
+            ack: 6,
+            flags: TcpFlags::rst_ack(),
+            window: 0,
+            payload: Vec::new(),
+        };
+        let (_, ev) = client.on_segment(&rst);
+        assert_eq!(ev, vec![TcpEvent::Refused]);
+        assert!(client.is_closed());
+    }
+
+    #[test]
+    fn rto_retransmits_then_times_out() {
+        let (mut client, _syn) = TcpConn::connect((C, 4000), (S, 80), 100);
+        for _ in 0..MAX_RETRIES {
+            let (pkts, ev) = client.on_rto();
+            assert_eq!(pkts.len(), 1, "SYN retransmitted");
+            assert!(seg_of(&pkts[0]).flags.has_syn());
+            assert!(ev.is_empty());
+        }
+        let (pkts, ev) = client.on_rto();
+        assert!(pkts.is_empty());
+        assert_eq!(ev, vec![TcpEvent::TimedOut]);
+        assert!(client.is_closed());
+    }
+
+    #[test]
+    fn retransmission_recovers_lost_data() {
+        let (mut client, mut server) = handshake();
+        let pkts = client.send(b"hello");
+        // Pretend the packet was lost; RTO fires.
+        let (retx, _) = client.on_rto();
+        assert_eq!(retx.len(), 1);
+        assert_eq!(seg_of(&retx[0]).payload, seg_of(&pkts[0]).payload);
+        let (sv_out, sv_ev) = server.on_segment(&seg_of(&retx[0]));
+        assert_eq!(sv_ev, vec![TcpEvent::Data(b"hello".to_vec())]);
+        // Duplicate of the original arrives late: server re-ACKs, no event.
+        let (dup_out, dup_ev) = server.on_segment(&seg_of(&pkts[0]));
+        assert!(dup_ev.is_empty());
+        assert_eq!(dup_out.len(), 1);
+        let _ = sv_out;
+    }
+
+    #[test]
+    fn abort_emits_rst_once() {
+        let (mut client, _server) = handshake();
+        let rst = client.abort().expect("rst");
+        assert!(seg_of(&rst).flags.has_rst());
+        assert!(client.is_closed());
+        assert!(client.abort().is_none(), "second abort is a no-op");
+    }
+
+    #[test]
+    fn reply_ttl_override_applies_to_all_output() {
+        let (mut server, syn_ack) = TcpConn::accept((S, 80), (C, 4000), 0, 50);
+        assert_eq!(syn_ack.ttl, DEFAULT_TTL);
+        server.reply_ttl = Some(3);
+        // Complete handshake.
+        let ack = TcpSegment {
+            src_port: 4000,
+            dst_port: 80,
+            seq: 1,
+            ack: 51,
+            flags: TcpFlags::ack(),
+            window: 65535,
+            payload: Vec::new(),
+        };
+        let _ = server.on_segment(&ack);
+        assert_eq!(server.state(), TcpState::Established);
+        let pkts = server.send(b"ttl-limited reply");
+        assert_eq!(pkts.len(), 1);
+        assert_eq!(pkts[0].ttl, 3, "server reply carries the limited TTL");
+    }
+
+    #[test]
+    fn send_outside_established_is_noop() {
+        let (mut client, _syn) = TcpConn::connect((C, 1), (S, 2), 0);
+        assert!(client.send(b"too early").is_empty());
+        let mut closed = client;
+        let _ = closed.abort();
+        assert!(closed.send(b"too late").is_empty());
+    }
+
+    #[test]
+    fn close_in_syn_sent_just_closes() {
+        let (mut client, _syn) = TcpConn::connect((C, 1), (S, 2), 0);
+        assert!(client.close().is_empty());
+        assert!(client.is_closed());
+    }
+
+    #[test]
+    fn wrong_ack_in_syn_sent_gets_rst() {
+        let (mut client, _syn) = TcpConn::connect((C, 4000), (S, 80), 100);
+        let bad = TcpSegment {
+            src_port: 80,
+            dst_port: 4000,
+            seq: 7,
+            ack: 999, // should be 101
+            flags: TcpFlags::syn_ack(),
+            window: 0,
+            payload: Vec::new(),
+        };
+        let (out, ev) = client.on_segment(&bad);
+        assert!(ev.is_empty());
+        assert_eq!(out.len(), 1);
+        assert!(seg_of(&out[0]).flags.has_rst());
+        assert_eq!(client.state(), TcpState::SynSent, "still waiting for the real SYN/ACK");
+    }
+
+    #[test]
+    fn simultaneous_close() {
+        let (mut client, mut server) = handshake();
+        let cfin = client.close();
+        let sfin = server.close();
+        // Each side receives the other's FIN before the ACK of its own.
+        let (cl_out, cl_ev) = client.on_segment(&seg_of(&sfin[0]));
+        assert_eq!(cl_ev, vec![TcpEvent::PeerClosed]);
+        assert_eq!(client.state(), TcpState::Closing);
+        let (sv_out, sv_ev) = server.on_segment(&seg_of(&cfin[0]));
+        assert_eq!(sv_ev, vec![TcpEvent::PeerClosed]);
+        // Now the crossed ACKs arrive.
+        let (_, cl_ev) = client.on_segment(&seg_of(&sv_out[0]));
+        assert_eq!(cl_ev, vec![TcpEvent::Closed]);
+        let (_, sv_ev) = server.on_segment(&seg_of(&cl_out[0]));
+        assert_eq!(sv_ev, vec![TcpEvent::Closed]);
+        assert!(client.is_closed() && server.is_closed());
+    }
+
+    #[test]
+    fn seq_compare_wraps() {
+        assert!(seq_lt(u32::MAX, 0));
+        assert!(seq_lt(u32::MAX - 10, 5));
+        assert!(!seq_lt(5, u32::MAX - 10));
+        assert!(seq_le(7, 7));
+    }
+}

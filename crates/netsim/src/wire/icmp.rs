@@ -1,0 +1,200 @@
+//! ICMP message representation (RFC 792).
+//!
+//! The simulator needs three ICMP messages: echo request/reply (for
+//! reachability baselines) and *time exceeded* — the message a router emits
+//! when TTL hits zero, which is the observable side-effect of the paper's
+//! TTL-limited stateful mimicry (§4.1, Fig 3b).
+
+use std::net::Ipv4Addr;
+
+use crate::error::WireError;
+use crate::wire::checksum;
+
+/// Fixed ICMP header length in bytes (type, code, checksum, rest-of-header).
+pub const HEADER_LEN: usize = 8;
+
+/// The ICMP message kinds the simulator understands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IcmpKind {
+    /// Echo reply (type 0).
+    EchoReply {
+        /// Echo identifier.
+        ident: u16,
+        /// Echo sequence number.
+        seq: u16,
+    },
+    /// Destination unreachable (type 3) with the given code.
+    DestUnreachable {
+        /// Unreachable code (0 net, 1 host, 3 port, ...).
+        code: u8,
+    },
+    /// Echo request (type 8).
+    EchoRequest {
+        /// Echo identifier.
+        ident: u16,
+        /// Echo sequence number.
+        seq: u16,
+    },
+    /// Time exceeded in transit (type 11, code 0) — TTL expired at a router.
+    TimeExceeded,
+    /// Any other type/code, carried opaquely.
+    Other {
+        /// ICMP type.
+        icmp_type: u8,
+        /// ICMP code.
+        code: u8,
+    },
+}
+
+/// A parsed ICMP message.
+///
+/// For error messages (unreachable, time exceeded) the payload carries the
+/// leading bytes of the offending IP packet, per RFC 792; the simulator
+/// stores whatever bytes were provided.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IcmpRepr {
+    /// Message kind.
+    pub kind: IcmpKind,
+}
+
+impl IcmpRepr {
+    /// Parse an ICMP message from `buf`, verifying the checksum.
+    ///
+    /// Returns the message and the payload offset (always 8).
+    pub fn parse(buf: &[u8]) -> Result<(IcmpRepr, usize), WireError> {
+        if buf.len() < HEADER_LEN {
+            return Err(WireError::Truncated { needed: HEADER_LEN, got: buf.len() });
+        }
+        if !checksum::verify(buf) {
+            return Err(WireError::BadChecksum { layer: "icmp" });
+        }
+        let icmp_type = buf[0];
+        let code = buf[1];
+        let ident = u16::from_be_bytes([buf[4], buf[5]]);
+        let seq = u16::from_be_bytes([buf[6], buf[7]]);
+        let kind = match (icmp_type, code) {
+            (0, 0) => IcmpKind::EchoReply { ident, seq },
+            (3, c) => IcmpKind::DestUnreachable { code: c },
+            (8, 0) => IcmpKind::EchoRequest { ident, seq },
+            (11, 0) => IcmpKind::TimeExceeded,
+            (t, c) => IcmpKind::Other { icmp_type: t, code: c },
+        };
+        Ok((IcmpRepr { kind }, HEADER_LEN))
+    }
+
+    /// Emit this message followed by `payload`, computing the checksum over
+    /// the whole ICMP message.
+    pub fn emit(&self, payload: &[u8]) -> Vec<u8> {
+        let (icmp_type, code, rest): (u8, u8, [u8; 4]) = match self.kind {
+            IcmpKind::EchoReply { ident, seq } => {
+                let mut r = [0u8; 4];
+                r[..2].copy_from_slice(&ident.to_be_bytes());
+                r[2..].copy_from_slice(&seq.to_be_bytes());
+                (0, 0, r)
+            }
+            IcmpKind::DestUnreachable { code } => (3, code, [0; 4]),
+            IcmpKind::EchoRequest { ident, seq } => {
+                let mut r = [0u8; 4];
+                r[..2].copy_from_slice(&ident.to_be_bytes());
+                r[2..].copy_from_slice(&seq.to_be_bytes());
+                (8, 0, r)
+            }
+            IcmpKind::TimeExceeded => (11, 0, [0; 4]),
+            IcmpKind::Other { icmp_type, code } => (icmp_type, code, [0; 4]),
+        };
+        let mut buf = Vec::with_capacity(HEADER_LEN + payload.len());
+        buf.push(icmp_type);
+        buf.push(code);
+        buf.extend_from_slice(&[0, 0]); // checksum placeholder
+        buf.extend_from_slice(&rest);
+        buf.extend_from_slice(payload);
+        let c = checksum::checksum(&buf);
+        buf[2..4].copy_from_slice(&c.to_be_bytes());
+        buf
+    }
+
+    /// Build the RFC 792 payload for an ICMP error referencing `original`:
+    /// the original IP header plus the first 8 bytes of its payload.
+    pub fn error_payload(original_ip_packet: &[u8]) -> Vec<u8> {
+        let take = original_ip_packet.len().min(super::ipv4::HEADER_LEN + 8);
+        original_ip_packet[..take].to_vec()
+    }
+
+    /// Extract the (src, dst) of the original packet embedded in an ICMP
+    /// error payload, if enough bytes are present.
+    pub fn quoted_addresses(payload: &[u8]) -> Option<(Ipv4Addr, Ipv4Addr)> {
+        if payload.len() < super::ipv4::HEADER_LEN {
+            return None;
+        }
+        Some((
+            Ipv4Addr::new(payload[12], payload[13], payload[14], payload[15]),
+            Ipv4Addr::new(payload[16], payload[17], payload[18], payload[19]),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn echo_roundtrip() {
+        let repr = IcmpRepr { kind: IcmpKind::EchoRequest { ident: 77, seq: 3 } };
+        let buf = repr.emit(b"ping-payload");
+        let (parsed, off) = IcmpRepr::parse(&buf).expect("parse");
+        assert_eq!(parsed, repr);
+        assert_eq!(&buf[off..], b"ping-payload");
+    }
+
+    #[test]
+    fn time_exceeded_roundtrip() {
+        let repr = IcmpRepr { kind: IcmpKind::TimeExceeded };
+        let buf = repr.emit(&[]);
+        let (parsed, _) = IcmpRepr::parse(&buf).expect("parse");
+        assert_eq!(parsed.kind, IcmpKind::TimeExceeded);
+    }
+
+    #[test]
+    fn unreachable_codes_preserved() {
+        for code in [0u8, 1, 3, 13] {
+            let repr = IcmpRepr { kind: IcmpKind::DestUnreachable { code } };
+            let (parsed, _) = IcmpRepr::parse(&repr.emit(&[])).expect("parse");
+            assert_eq!(parsed.kind, IcmpKind::DestUnreachable { code });
+        }
+    }
+
+    #[test]
+    fn checksum_detects_corruption() {
+        let repr = IcmpRepr { kind: IcmpKind::EchoReply { ident: 1, seq: 1 } };
+        let mut buf = repr.emit(b"abc");
+        buf[0] = 8; // flip reply -> request without re-checksumming
+        assert!(matches!(IcmpRepr::parse(&buf), Err(WireError::BadChecksum { .. })));
+    }
+
+    #[test]
+    fn error_payload_quotes_original() {
+        use crate::wire::ipv4::{IpProtocol, Ipv4Repr};
+        let orig = Ipv4Repr {
+            src: Ipv4Addr::new(10, 0, 0, 9),
+            dst: Ipv4Addr::new(10, 0, 0, 10),
+            protocol: IpProtocol::Tcp,
+            ttl: 1,
+            ident: 5,
+            payload_len: 20,
+        }
+        .emit(&[0u8; 20]);
+        let quoted = IcmpRepr::error_payload(&orig);
+        assert_eq!(quoted.len(), 28);
+        let (src, dst) = IcmpRepr::quoted_addresses(&quoted).expect("addresses");
+        assert_eq!(src, Ipv4Addr::new(10, 0, 0, 9));
+        assert_eq!(dst, Ipv4Addr::new(10, 0, 0, 10));
+        assert_eq!(IcmpRepr::quoted_addresses(&quoted[..10]), None);
+    }
+
+    #[test]
+    fn unknown_types_carried_opaquely() {
+        let repr = IcmpRepr { kind: IcmpKind::Other { icmp_type: 42, code: 7 } };
+        let (parsed, _) = IcmpRepr::parse(&repr.emit(b"z")).expect("parse");
+        assert_eq!(parsed.kind, IcmpKind::Other { icmp_type: 42, code: 7 });
+    }
+}

@@ -1,0 +1,227 @@
+//! IPv4 header representation (RFC 791), without options.
+//!
+//! The simulator does not use IP options, so a header is always 20 bytes;
+//! packets carrying options are accepted on parse (the option bytes are
+//! skipped) but never emitted.
+
+use std::fmt;
+use std::net::Ipv4Addr;
+
+use crate::error::WireError;
+use crate::wire::checksum;
+
+/// Minimum (and, for emitted packets, exact) IPv4 header length in bytes.
+pub const HEADER_LEN: usize = 20;
+
+/// Default initial TTL used by hosts in the simulation. 64 matches Linux and
+/// matters for the paper's TTL-limited stateful mimicry (§4.1, Fig 3b).
+pub const DEFAULT_TTL: u8 = 64;
+
+/// The IP protocol numbers the simulator understands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IpProtocol {
+    /// ICMP (1).
+    Icmp,
+    /// TCP (6).
+    Tcp,
+    /// UDP (17).
+    Udp,
+    /// Any other protocol number, carried opaquely.
+    Other(u8),
+}
+
+impl IpProtocol {
+    /// The wire protocol number.
+    pub fn number(self) -> u8 {
+        match self {
+            IpProtocol::Icmp => 1,
+            IpProtocol::Tcp => 6,
+            IpProtocol::Udp => 17,
+            IpProtocol::Other(n) => n,
+        }
+    }
+
+    /// Classify a wire protocol number.
+    pub fn from_number(n: u8) -> Self {
+        match n {
+            1 => IpProtocol::Icmp,
+            6 => IpProtocol::Tcp,
+            17 => IpProtocol::Udp,
+            other => IpProtocol::Other(other),
+        }
+    }
+}
+
+impl fmt::Display for IpProtocol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IpProtocol::Icmp => write!(f, "icmp"),
+            IpProtocol::Tcp => write!(f, "tcp"),
+            IpProtocol::Udp => write!(f, "udp"),
+            IpProtocol::Other(n) => write!(f, "proto-{n}"),
+        }
+    }
+}
+
+/// A parsed IPv4 header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ipv4Repr {
+    /// Source address (spoofable — nothing in the simulator validates it;
+    /// ingress filtering is modeled separately in the `spoof` crate).
+    pub src: Ipv4Addr,
+    /// Destination address.
+    pub dst: Ipv4Addr,
+    /// Carried protocol.
+    pub protocol: IpProtocol,
+    /// Time to live, decremented by each forwarding hop.
+    pub ttl: u8,
+    /// Identification field (used only for trace readability).
+    pub ident: u16,
+    /// Payload length in bytes (total length minus header).
+    pub payload_len: usize,
+}
+
+impl Ipv4Repr {
+    /// Parse a header from the front of `buf`, verifying the checksum.
+    ///
+    /// Returns the header and the byte offset at which the payload starts.
+    pub fn parse(buf: &[u8]) -> Result<(Ipv4Repr, usize), WireError> {
+        if buf.len() < HEADER_LEN {
+            return Err(WireError::Truncated { needed: HEADER_LEN, got: buf.len() });
+        }
+        let version = buf[0] >> 4;
+        if version != 4 {
+            return Err(WireError::Malformed("IP version is not 4"));
+        }
+        let ihl = usize::from(buf[0] & 0x0f) * 4;
+        if ihl < HEADER_LEN {
+            return Err(WireError::Malformed("IPv4 IHL below minimum"));
+        }
+        if buf.len() < ihl {
+            return Err(WireError::Truncated { needed: ihl, got: buf.len() });
+        }
+        let total_len = usize::from(u16::from_be_bytes([buf[2], buf[3]]));
+        if total_len < ihl {
+            return Err(WireError::Malformed("IPv4 total length below header length"));
+        }
+        if total_len > buf.len() {
+            return Err(WireError::LengthMismatch { claimed: total_len, actual: buf.len() });
+        }
+        if !checksum::verify(&buf[..ihl]) {
+            return Err(WireError::BadChecksum { layer: "ipv4" });
+        }
+        let repr = Ipv4Repr {
+            src: Ipv4Addr::new(buf[12], buf[13], buf[14], buf[15]),
+            dst: Ipv4Addr::new(buf[16], buf[17], buf[18], buf[19]),
+            protocol: IpProtocol::from_number(buf[9]),
+            ttl: buf[8],
+            ident: u16::from_be_bytes([buf[4], buf[5]]),
+            payload_len: total_len - ihl,
+        };
+        Ok((repr, ihl))
+    }
+
+    /// Emit this header followed by `payload` into a fresh buffer, filling in
+    /// length and checksum.
+    pub fn emit(&self, payload: &[u8]) -> Vec<u8> {
+        let total_len = HEADER_LEN + payload.len();
+        let mut buf = Vec::with_capacity(total_len);
+        buf.push(0x45); // version 4, IHL 5
+        buf.push(0); // DSCP/ECN
+        buf.extend_from_slice(&(total_len as u16).to_be_bytes());
+        buf.extend_from_slice(&self.ident.to_be_bytes());
+        buf.extend_from_slice(&[0x40, 0x00]); // flags: DF, fragment offset 0
+        buf.push(self.ttl);
+        buf.push(self.protocol.number());
+        buf.extend_from_slice(&[0, 0]); // checksum placeholder
+        buf.extend_from_slice(&self.src.octets());
+        buf.extend_from_slice(&self.dst.octets());
+        let c = checksum::checksum(&buf[..HEADER_LEN]);
+        buf[10..12].copy_from_slice(&c.to_be_bytes());
+        buf.extend_from_slice(payload);
+        buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Ipv4Repr {
+        Ipv4Repr {
+            src: Ipv4Addr::new(192, 0, 2, 1),
+            dst: Ipv4Addr::new(198, 51, 100, 7),
+            protocol: IpProtocol::Tcp,
+            ttl: 64,
+            ident: 0xbeef,
+            payload_len: 5,
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let repr = sample();
+        let buf = repr.emit(b"hello");
+        let (parsed, off) = Ipv4Repr::parse(&buf).expect("parse");
+        assert_eq!(off, HEADER_LEN);
+        assert_eq!(parsed, repr);
+        assert_eq!(&buf[off..off + parsed.payload_len], b"hello");
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let buf = sample().emit(b"hello");
+        for cut in [0usize, 1, 10, 19] {
+            assert!(matches!(
+                Ipv4Repr::parse(&buf[..cut]),
+                Err(WireError::Truncated { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        let mut buf = sample().emit(b"");
+        buf[0] = 0x65; // version 6
+        assert_eq!(Ipv4Repr::parse(&buf), Err(WireError::Malformed("IP version is not 4")));
+    }
+
+    #[test]
+    fn rejects_corrupt_checksum() {
+        let mut buf = sample().emit(b"x");
+        buf[8] ^= 0xff; // flip TTL without fixing checksum
+        assert_eq!(Ipv4Repr::parse(&buf), Err(WireError::BadChecksum { layer: "ipv4" }));
+    }
+
+    #[test]
+    fn rejects_overlong_claimed_length() {
+        let mut buf = sample().emit(b"x");
+        // Claim 4 more bytes than the buffer holds, then re-checksum so only
+        // the length check can fail.
+        let claimed = (buf.len() + 4) as u16;
+        buf[2..4].copy_from_slice(&claimed.to_be_bytes());
+        buf[10] = 0;
+        buf[11] = 0;
+        let c = checksum::checksum(&buf[..HEADER_LEN]);
+        buf[10..12].copy_from_slice(&c.to_be_bytes());
+        assert!(matches!(Ipv4Repr::parse(&buf), Err(WireError::LengthMismatch { .. })));
+    }
+
+    #[test]
+    fn protocol_numbers_roundtrip() {
+        for n in 0u8..=255 {
+            assert_eq!(IpProtocol::from_number(n).number(), n);
+        }
+    }
+
+    #[test]
+    fn parse_ignores_trailing_padding() {
+        // A buffer longer than total_length (e.g. minimum frame padding)
+        // parses fine; payload_len reflects the header's claim.
+        let repr = sample();
+        let mut buf = repr.emit(b"hello");
+        buf.extend_from_slice(&[0u8; 8]);
+        let (parsed, _) = Ipv4Repr::parse(&buf).expect("parse with padding");
+        assert_eq!(parsed.payload_len, 5);
+    }
+}

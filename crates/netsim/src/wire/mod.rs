@@ -1,0 +1,17 @@
+//! Wire-format packet views.
+//!
+//! Each submodule provides a typed view over a byte buffer (decode) and an
+//! emit function (encode), in the style of smoltcp. Checksums are generated
+//! on emit and verified on parse; parse errors are reported through
+//! [`crate::WireError`] rather than panics.
+
+pub mod checksum;
+pub mod icmp;
+pub mod ipv4;
+pub mod tcp;
+pub mod udp;
+
+pub use icmp::{IcmpKind, IcmpRepr};
+pub use ipv4::{IpProtocol, Ipv4Repr};
+pub use tcp::{TcpFlags, TcpRepr};
+pub use udp::UdpRepr;

@@ -1,0 +1,275 @@
+//! TCP header representation (RFC 793), without options.
+//!
+//! Options (MSS, SACK, timestamps) are not needed by the simulator's flows
+//! or by the paper's techniques, so emitted headers are always 20 bytes;
+//! parsed headers may carry options, which are skipped.
+
+use std::fmt;
+use std::net::Ipv4Addr;
+
+use crate::error::WireError;
+use crate::wire::checksum;
+
+/// Minimum (and emitted) TCP header length in bytes.
+pub const HEADER_LEN: usize = 20;
+
+/// TCP flag bits.
+///
+/// Stored as a plain byte; accessors exist for the flags the simulator and
+/// the IDS rule language actually inspect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct TcpFlags(pub u8);
+
+impl TcpFlags {
+    /// FIN flag bit.
+    pub const FIN: u8 = 0x01;
+    /// SYN flag bit.
+    pub const SYN: u8 = 0x02;
+    /// RST flag bit.
+    pub const RST: u8 = 0x04;
+    /// PSH flag bit.
+    pub const PSH: u8 = 0x08;
+    /// ACK flag bit.
+    pub const ACK: u8 = 0x10;
+    /// URG flag bit.
+    pub const URG: u8 = 0x20;
+
+    /// A SYN-only segment (connection request).
+    pub const fn syn() -> Self {
+        TcpFlags(Self::SYN)
+    }
+
+    /// A SYN/ACK segment (connection accept).
+    pub const fn syn_ack() -> Self {
+        TcpFlags(Self::SYN | Self::ACK)
+    }
+
+    /// A bare ACK.
+    pub const fn ack() -> Self {
+        TcpFlags(Self::ACK)
+    }
+
+    /// A RST segment.
+    pub const fn rst() -> Self {
+        TcpFlags(Self::RST)
+    }
+
+    /// A RST/ACK segment (typical refusal of a SYN).
+    pub const fn rst_ack() -> Self {
+        TcpFlags(Self::RST | Self::ACK)
+    }
+
+    /// A FIN/ACK segment.
+    pub const fn fin_ack() -> Self {
+        TcpFlags(Self::FIN | Self::ACK)
+    }
+
+    /// A PSH/ACK data segment.
+    pub const fn psh_ack() -> Self {
+        TcpFlags(Self::PSH | Self::ACK)
+    }
+
+    /// Whether SYN is set.
+    pub const fn has_syn(self) -> bool {
+        self.0 & Self::SYN != 0
+    }
+
+    /// Whether ACK is set.
+    pub const fn has_ack(self) -> bool {
+        self.0 & Self::ACK != 0
+    }
+
+    /// Whether RST is set.
+    pub const fn has_rst(self) -> bool {
+        self.0 & Self::RST != 0
+    }
+
+    /// Whether FIN is set.
+    pub const fn has_fin(self) -> bool {
+        self.0 & Self::FIN != 0
+    }
+
+    /// Whether PSH is set.
+    pub const fn has_psh(self) -> bool {
+        self.0 & Self::PSH != 0
+    }
+
+    /// Whether all bits in `mask` are set.
+    pub const fn contains(self, mask: u8) -> bool {
+        self.0 & mask == mask
+    }
+}
+
+impl fmt::Display for TcpFlags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut any = false;
+        for (bit, name) in [
+            (Self::SYN, "S"),
+            (Self::ACK, "A"),
+            (Self::FIN, "F"),
+            (Self::RST, "R"),
+            (Self::PSH, "P"),
+            (Self::URG, "U"),
+        ] {
+            if self.0 & bit != 0 {
+                f.write_str(name)?;
+                any = true;
+            }
+        }
+        if !any {
+            f.write_str("-")?;
+        }
+        Ok(())
+    }
+}
+
+/// A parsed TCP header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TcpRepr {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Sequence number.
+    pub seq: u32,
+    /// Acknowledgment number (meaningful only when ACK is set).
+    pub ack: u32,
+    /// Flags.
+    pub flags: TcpFlags,
+    /// Advertised receive window.
+    pub window: u16,
+}
+
+impl TcpRepr {
+    /// Parse a TCP header from `buf` (the transport segment), verifying the
+    /// checksum against the pseudo-header built from `src`/`dst`.
+    ///
+    /// Returns the header and the payload offset.
+    pub fn parse(buf: &[u8], src: Ipv4Addr, dst: Ipv4Addr) -> Result<(TcpRepr, usize), WireError> {
+        if buf.len() < HEADER_LEN {
+            return Err(WireError::Truncated { needed: HEADER_LEN, got: buf.len() });
+        }
+        let data_offset = usize::from(buf[12] >> 4) * 4;
+        if data_offset < HEADER_LEN {
+            return Err(WireError::Malformed("TCP data offset below minimum"));
+        }
+        if buf.len() < data_offset {
+            return Err(WireError::Truncated { needed: data_offset, got: buf.len() });
+        }
+        if !checksum::verify_transport(src, dst, 6, buf) {
+            return Err(WireError::BadChecksum { layer: "tcp" });
+        }
+        let repr = TcpRepr {
+            src_port: u16::from_be_bytes([buf[0], buf[1]]),
+            dst_port: u16::from_be_bytes([buf[2], buf[3]]),
+            seq: u32::from_be_bytes([buf[4], buf[5], buf[6], buf[7]]),
+            ack: u32::from_be_bytes([buf[8], buf[9], buf[10], buf[11]]),
+            flags: TcpFlags(buf[13]),
+            window: u16::from_be_bytes([buf[14], buf[15]]),
+        };
+        Ok((repr, data_offset))
+    }
+
+    /// Emit this header followed by `payload`, computing the checksum over
+    /// the pseudo-header from `src`/`dst`.
+    pub fn emit(&self, payload: &[u8], src: Ipv4Addr, dst: Ipv4Addr) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(HEADER_LEN + payload.len());
+        buf.extend_from_slice(&self.src_port.to_be_bytes());
+        buf.extend_from_slice(&self.dst_port.to_be_bytes());
+        buf.extend_from_slice(&self.seq.to_be_bytes());
+        buf.extend_from_slice(&self.ack.to_be_bytes());
+        buf.push(0x50); // data offset 5 words
+        buf.push(self.flags.0);
+        buf.extend_from_slice(&self.window.to_be_bytes());
+        buf.extend_from_slice(&[0, 0, 0, 0]); // checksum + urgent pointer
+        buf.extend_from_slice(payload);
+        let c = checksum::transport_checksum(src, dst, 6, &buf);
+        buf[16..18].copy_from_slice(&c.to_be_bytes());
+        buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: Ipv4Addr = Ipv4Addr::new(10, 1, 0, 2);
+    const DST: Ipv4Addr = Ipv4Addr::new(10, 2, 0, 3);
+
+    fn sample() -> TcpRepr {
+        TcpRepr {
+            src_port: 49152,
+            dst_port: 80,
+            seq: 0x01020304,
+            ack: 0x0a0b0c0d,
+            flags: TcpFlags::psh_ack(),
+            window: 65535,
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let repr = sample();
+        let buf = repr.emit(b"GET / HTTP/1.0\r\n", SRC, DST);
+        let (parsed, off) = TcpRepr::parse(&buf, SRC, DST).expect("parse");
+        assert_eq!(parsed, repr);
+        assert_eq!(&buf[off..], b"GET / HTTP/1.0\r\n");
+    }
+
+    #[test]
+    fn checksum_binds_addresses() {
+        let buf = sample().emit(b"data", SRC, DST);
+        // A swapped (src, dst) pair sums identically, so perturb one octet.
+        let other = Ipv4Addr::new(10, 2, 0, 4);
+        assert!(matches!(
+            TcpRepr::parse(&buf, SRC, other),
+            Err(WireError::BadChecksum { layer: "tcp" })
+        ));
+    }
+
+    #[test]
+    fn rejects_short_header() {
+        let buf = sample().emit(b"", SRC, DST);
+        assert!(matches!(
+            TcpRepr::parse(&buf[..10], SRC, DST),
+            Err(WireError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn flag_constructors() {
+        assert!(TcpFlags::syn().has_syn());
+        assert!(!TcpFlags::syn().has_ack());
+        assert!(TcpFlags::syn_ack().has_syn() && TcpFlags::syn_ack().has_ack());
+        assert!(TcpFlags::rst().has_rst());
+        assert!(TcpFlags::rst_ack().has_rst() && TcpFlags::rst_ack().has_ack());
+        assert!(TcpFlags::fin_ack().has_fin());
+        assert!(TcpFlags::psh_ack().has_psh());
+    }
+
+    #[test]
+    fn flag_display() {
+        assert_eq!(TcpFlags::syn_ack().to_string(), "SA");
+        assert_eq!(TcpFlags::default().to_string(), "-");
+        assert_eq!(TcpFlags(TcpFlags::RST | TcpFlags::PSH).to_string(), "RP");
+    }
+
+    #[test]
+    fn contains_mask() {
+        let f = TcpFlags::syn_ack();
+        assert!(f.contains(TcpFlags::SYN));
+        assert!(f.contains(TcpFlags::SYN | TcpFlags::ACK));
+        assert!(!f.contains(TcpFlags::SYN | TcpFlags::RST));
+    }
+
+    #[test]
+    fn corrupt_payload_fails_checksum() {
+        let mut buf = sample().emit(b"hello", SRC, DST);
+        let last = buf.len() - 1;
+        buf[last] ^= 0x01;
+        assert!(matches!(
+            TcpRepr::parse(&buf, SRC, DST),
+            Err(WireError::BadChecksum { .. })
+        ));
+    }
+}

@@ -1,0 +1,136 @@
+//! UDP header representation (RFC 768).
+
+use std::net::Ipv4Addr;
+
+use crate::error::WireError;
+use crate::wire::checksum;
+
+/// UDP header length in bytes.
+pub const HEADER_LEN: usize = 8;
+
+/// A parsed UDP header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UdpRepr {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+}
+
+impl UdpRepr {
+    /// Parse a UDP header from `buf`, verifying length and checksum.
+    ///
+    /// Returns the header and the payload offset (always 8).
+    pub fn parse(buf: &[u8], src: Ipv4Addr, dst: Ipv4Addr) -> Result<(UdpRepr, usize), WireError> {
+        if buf.len() < HEADER_LEN {
+            return Err(WireError::Truncated { needed: HEADER_LEN, got: buf.len() });
+        }
+        let length = usize::from(u16::from_be_bytes([buf[4], buf[5]]));
+        if length < HEADER_LEN {
+            return Err(WireError::Malformed("UDP length below header length"));
+        }
+        if length > buf.len() {
+            return Err(WireError::LengthMismatch { claimed: length, actual: buf.len() });
+        }
+        // A zero checksum means "not computed" and is legal for UDP/IPv4.
+        let cksum = u16::from_be_bytes([buf[6], buf[7]]);
+        if cksum != 0 && !checksum::verify_transport(src, dst, 17, &buf[..length]) {
+            return Err(WireError::BadChecksum { layer: "udp" });
+        }
+        Ok((
+            UdpRepr {
+                src_port: u16::from_be_bytes([buf[0], buf[1]]),
+                dst_port: u16::from_be_bytes([buf[2], buf[3]]),
+            },
+            HEADER_LEN,
+        ))
+    }
+
+    /// Emit this header followed by `payload`, computing the checksum.
+    pub fn emit(&self, payload: &[u8], src: Ipv4Addr, dst: Ipv4Addr) -> Vec<u8> {
+        let length = HEADER_LEN + payload.len();
+        let mut buf = Vec::with_capacity(length);
+        buf.extend_from_slice(&self.src_port.to_be_bytes());
+        buf.extend_from_slice(&self.dst_port.to_be_bytes());
+        buf.extend_from_slice(&(length as u16).to_be_bytes());
+        buf.extend_from_slice(&[0, 0]); // checksum placeholder
+        buf.extend_from_slice(payload);
+        let mut c = checksum::transport_checksum(src, dst, 17, &buf);
+        // RFC 768: a computed checksum of zero is transmitted as all ones.
+        if c == 0 {
+            c = 0xffff;
+        }
+        buf[6..8].copy_from_slice(&c.to_be_bytes());
+        buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: Ipv4Addr = Ipv4Addr::new(172, 16, 0, 1);
+    const DST: Ipv4Addr = Ipv4Addr::new(8, 8, 8, 8);
+
+    #[test]
+    fn roundtrip() {
+        let repr = UdpRepr { src_port: 5353, dst_port: 53 };
+        let buf = repr.emit(b"dns query bytes", SRC, DST);
+        let (parsed, off) = UdpRepr::parse(&buf, SRC, DST).expect("parse");
+        assert_eq!(parsed, repr);
+        assert_eq!(&buf[off..], b"dns query bytes");
+    }
+
+    #[test]
+    fn zero_checksum_accepted() {
+        let repr = UdpRepr { src_port: 1, dst_port: 2 };
+        let mut buf = repr.emit(b"x", SRC, DST);
+        buf[6] = 0;
+        buf[7] = 0;
+        assert!(UdpRepr::parse(&buf, SRC, DST).is_ok());
+    }
+
+    #[test]
+    fn bad_checksum_rejected() {
+        let repr = UdpRepr { src_port: 1, dst_port: 2 };
+        let mut buf = repr.emit(b"payload", SRC, DST);
+        let last = buf.len() - 1;
+        buf[last] ^= 0xff;
+        assert!(matches!(
+            UdpRepr::parse(&buf, SRC, DST),
+            Err(WireError::BadChecksum { layer: "udp" })
+        ));
+    }
+
+    #[test]
+    fn truncation_and_length_checks() {
+        let repr = UdpRepr { src_port: 1, dst_port: 2 };
+        let buf = repr.emit(b"abc", SRC, DST);
+        assert!(matches!(
+            UdpRepr::parse(&buf[..4], SRC, DST),
+            Err(WireError::Truncated { .. })
+        ));
+        let mut long = buf.clone();
+        long[4..6].copy_from_slice(&((buf.len() + 5) as u16).to_be_bytes());
+        assert!(matches!(
+            UdpRepr::parse(&long, SRC, DST),
+            Err(WireError::LengthMismatch { .. })
+        ));
+        let mut short = buf;
+        short[4..6].copy_from_slice(&4u16.to_be_bytes());
+        assert!(matches!(
+            UdpRepr::parse(&short, SRC, DST),
+            Err(WireError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn empty_payload() {
+        let repr = UdpRepr { src_port: 9, dst_port: 10 };
+        let buf = repr.emit(b"", SRC, DST);
+        assert_eq!(buf.len(), HEADER_LEN);
+        let (parsed, off) = UdpRepr::parse(&buf, SRC, DST).expect("parse");
+        assert_eq!(parsed, repr);
+        assert_eq!(off, HEADER_LEN);
+    }
+}

@@ -1,0 +1,226 @@
+//! Property-based tests for the netsim substrate: wire-format roundtrips,
+//! checksum integrity, CIDR algebra, event ordering, and TCP data-transfer
+//! invariants under arbitrary segmentation.
+
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+use underradar_netsim::addr::Cidr;
+use underradar_netsim::event::{EventKind, EventQueue};
+use underradar_netsim::node::NodeId;
+use underradar_netsim::packet::{Packet, PacketBody};
+use underradar_netsim::stack::tcp::{TcpConn, TcpEvent};
+use underradar_netsim::time::SimTime;
+use underradar_netsim::wire::checksum;
+use underradar_netsim::wire::icmp::IcmpKind;
+use underradar_netsim::wire::tcp::TcpFlags;
+use underradar_netsim::event::TimerToken;
+
+fn arb_ip() -> impl Strategy<Value = Ipv4Addr> {
+    any::<u32>().prop_map(Ipv4Addr::from)
+}
+
+fn arb_flags() -> impl Strategy<Value = TcpFlags> {
+    (0u8..64).prop_map(TcpFlags)
+}
+
+fn arb_packet() -> impl Strategy<Value = Packet> {
+    let tcp = (
+        arb_ip(),
+        arb_ip(),
+        any::<u16>(),
+        any::<u16>(),
+        any::<u32>(),
+        any::<u32>(),
+        arb_flags(),
+        proptest::collection::vec(any::<u8>(), 0..256),
+        1u8..=255,
+        any::<u16>(),
+    )
+        .prop_map(|(src, dst, sp, dp, seq, ack, flags, payload, ttl, ident)| {
+            Packet::tcp(src, dst, sp, dp, seq, ack, flags, payload)
+                .with_ttl(ttl)
+                .with_ident(ident)
+        });
+    let udp = (
+        arb_ip(),
+        arb_ip(),
+        any::<u16>(),
+        any::<u16>(),
+        proptest::collection::vec(any::<u8>(), 0..256),
+        1u8..=255,
+    )
+        .prop_map(|(src, dst, sp, dp, payload, ttl)| {
+            Packet::udp(src, dst, sp, dp, payload).with_ttl(ttl)
+        });
+    let icmp = (
+        arb_ip(),
+        arb_ip(),
+        prop_oneof![
+            (any::<u16>(), any::<u16>()).prop_map(|(i, s)| IcmpKind::EchoRequest { ident: i, seq: s }),
+            (any::<u16>(), any::<u16>()).prop_map(|(i, s)| IcmpKind::EchoReply { ident: i, seq: s }),
+            Just(IcmpKind::TimeExceeded),
+            (0u8..16).prop_map(|c| IcmpKind::DestUnreachable { code: c }),
+        ],
+        proptest::collection::vec(any::<u8>(), 0..64),
+    )
+        .prop_map(|(src, dst, kind, payload)| Packet::icmp(src, dst, kind, payload));
+    prop_oneof![tcp, udp, icmp]
+}
+
+proptest! {
+    /// decode(encode(p)) == p for every packet the simulator can build.
+    #[test]
+    fn packet_wire_roundtrip(p in arb_packet()) {
+        let wire = p.to_wire();
+        let q = Packet::from_wire(&wire).expect("emitted packets always parse");
+        prop_assert_eq!(p, q);
+    }
+
+    /// Emitted packets always carry verifiable checksums, and any single-bit
+    /// flip in the IP header is caught.
+    #[test]
+    fn emitted_ip_header_checksum_detects_bit_flips(p in arb_packet(), bit in 0usize..(20*8)) {
+        let mut wire = p.to_wire();
+        prop_assume!(Packet::from_wire(&wire).is_ok());
+        let byte = bit / 8;
+        // Skip flips inside the checksum field itself (bytes 10..12): those
+        // are detected too, but produce a different error taxonomy.
+        prop_assume!(!(10..12).contains(&byte));
+        wire[byte] ^= 1 << (bit % 8);
+        prop_assert!(Packet::from_wire(&wire).is_err());
+    }
+
+    /// Truncating an emitted packet anywhere never panics and always errors.
+    #[test]
+    fn truncation_is_always_an_error(p in arb_packet(), cut in 0usize..100) {
+        let wire = p.to_wire();
+        prop_assume!(cut < wire.len());
+        prop_assert!(Packet::from_wire(&wire[..cut]).is_err());
+    }
+
+    /// Parsing arbitrary bytes never panics.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..600)) {
+        let _ = Packet::from_wire(&bytes);
+    }
+
+    /// RFC 1071: a buffer with its computed checksum spliced in verifies.
+    #[test]
+    fn checksum_splice_verifies(mut data in proptest::collection::vec(any::<u8>(), 2..512)) {
+        data[0] = 0; data[1] = 0;
+        let c = checksum::checksum(&data);
+        data[0] = (c >> 8) as u8;
+        data[1] = (c & 0xff) as u8;
+        prop_assert!(checksum::verify(&data));
+    }
+
+    /// CIDR: an address is contained in every prefix derived from it.
+    #[test]
+    fn cidr_contains_its_seed(addr in arb_ip(), prefix in 0u8..=32) {
+        let c = Cidr::new(addr, prefix);
+        prop_assert!(c.contains(addr));
+        prop_assert!(c.contains(c.network()));
+        // nth stays inside the prefix.
+        prop_assert!(c.contains(c.nth(12345)));
+    }
+
+    /// CIDR: nesting — a /24 is inside its /16.
+    #[test]
+    fn cidr_nesting(addr in arb_ip()) {
+        let c24 = Cidr::slash24(addr);
+        let c16 = Cidr::slash16(addr);
+        for i in 0..8u64 {
+            prop_assert!(c16.contains(c24.nth(i * 31)));
+        }
+    }
+
+    /// Event queue: pops are globally ordered by (time, insertion order).
+    #[test]
+    fn event_queue_total_order(times in proptest::collection::vec(0u64..1_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(
+                SimTime::from_nanos(t),
+                EventKind::Timer { node: NodeId(0), token: TimerToken(i as u64) },
+            );
+        }
+        let mut last: Option<(SimTime, u64)> = None;
+        while let Some(e) = q.pop() {
+            if let Some((lt, ls)) = last {
+                prop_assert!(e.time > lt || (e.time == lt && e.seq > ls));
+            }
+            last = Some((e.time, e.seq));
+        }
+    }
+
+    /// TCP: whatever way a byte stream is chopped into sends, the peer
+    /// reassembles exactly that stream, in order.
+    #[test]
+    fn tcp_delivers_stream_in_order(chunks in proptest::collection::vec(
+        proptest::collection::vec(any::<u8>(), 1..300), 1..20)) {
+        let c_ip = Ipv4Addr::new(10, 0, 0, 1);
+        let s_ip = Ipv4Addr::new(10, 0, 0, 2);
+        let (mut client, syn) = TcpConn::connect((c_ip, 4000), (s_ip, 80), 77);
+        let syn_seg = syn.as_tcp().expect("syn").clone();
+        let (mut server, syn_ack) = TcpConn::accept((s_ip, 80), (c_ip, 4000), syn_seg.seq, 1010);
+        let (ack_out, _) = client.on_segment(syn_ack.as_tcp().expect("sa"));
+        let _ = server.on_segment(ack_out[0].as_tcp().expect("ack"));
+
+        let mut sent = Vec::new();
+        let mut received = Vec::new();
+        for chunk in &chunks {
+            sent.extend_from_slice(chunk);
+            for pkt in client.send(chunk) {
+                let (acks, events) = server.on_segment(pkt.as_tcp().expect("data"));
+                for ev in events {
+                    if let TcpEvent::Data(d) = ev {
+                        received.extend_from_slice(&d);
+                    }
+                }
+                for ack in acks {
+                    let _ = client.on_segment(ack.as_tcp().expect("ack"));
+                }
+            }
+        }
+        prop_assert_eq!(sent, received);
+        prop_assert!(!client.has_unacked(), "everything acked");
+    }
+
+    /// TCP: feeding arbitrary segments to a fresh connection never panics.
+    #[test]
+    fn tcp_survives_arbitrary_segments(
+        seqs in proptest::collection::vec((any::<u32>(), any::<u32>(), 0u8..64,
+            proptest::collection::vec(any::<u8>(), 0..64)), 0..30)
+    ) {
+        let c_ip = Ipv4Addr::new(10, 0, 0, 1);
+        let s_ip = Ipv4Addr::new(10, 0, 0, 2);
+        let (mut conn, _syn) = TcpConn::connect((c_ip, 4000), (s_ip, 80), 0);
+        for (seq, ack, flags, payload) in seqs {
+            let seg = underradar_netsim::packet::TcpSegment {
+                src_port: 80,
+                dst_port: 4000,
+                seq,
+                ack,
+                flags: TcpFlags(flags),
+                window: 1000,
+                payload,
+            };
+            let _ = conn.on_segment(&seg);
+        }
+    }
+
+    /// Body protocol classification is stable through the wire.
+    #[test]
+    fn protocol_preserved(p in arb_packet()) {
+        let proto_before = p.body.protocol();
+        let q = Packet::from_wire(&p.to_wire()).expect("parse");
+        prop_assert_eq!(proto_before, q.body.protocol());
+        match (&p.body, &q.body) {
+            (PacketBody::Tcp(a), PacketBody::Tcp(b)) => prop_assert_eq!(&a.payload, &b.payload),
+            (PacketBody::Udp(a), PacketBody::Udp(b)) => prop_assert_eq!(&a.payload, &b.payload),
+            (PacketBody::Icmp(a), PacketBody::Icmp(b)) => prop_assert_eq!(&a.payload, &b.payload),
+            _ => {}
+        }
+    }
+}

@@ -1,0 +1,303 @@
+//! Domain names: label sequences with RFC 1035 wire encoding, including
+//! compression-pointer decoding and suffix-compressing encoding.
+
+use std::fmt;
+use std::str::FromStr;
+
+use super::message::DnsError;
+
+/// Maximum total encoded name length (RFC 1035 §2.3.4).
+pub const MAX_NAME_LEN: usize = 255;
+/// Maximum label length.
+pub const MAX_LABEL_LEN: usize = 63;
+
+/// A fully-qualified domain name, stored as lowercase labels.
+///
+/// Comparison is case-insensitive by construction (labels are normalized to
+/// ASCII lowercase on creation, which is how resolvers treat names).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct DnsName {
+    labels: Vec<Vec<u8>>,
+}
+
+impl DnsName {
+    /// The root name (empty label sequence).
+    pub fn root() -> DnsName {
+        DnsName { labels: Vec::new() }
+    }
+
+    /// Build from dotted text, e.g. `"www.bbc.com"`. Trailing dots are
+    /// accepted and ignored.
+    pub fn parse(s: &str) -> Result<DnsName, DnsError> {
+        let s = s.trim_end_matches('.');
+        if s.is_empty() {
+            return Ok(DnsName::root());
+        }
+        let mut labels = Vec::new();
+        let mut total = 0usize;
+        for label in s.split('.') {
+            if label.is_empty() {
+                return Err(DnsError::BadName("empty label"));
+            }
+            if label.len() > MAX_LABEL_LEN {
+                return Err(DnsError::BadName("label too long"));
+            }
+            total += label.len() + 1;
+            labels.push(label.as_bytes().to_ascii_lowercase());
+        }
+        if total + 1 > MAX_NAME_LEN {
+            return Err(DnsError::BadName("name too long"));
+        }
+        Ok(DnsName { labels })
+    }
+
+    /// The labels, most-specific first.
+    pub fn labels(&self) -> &[Vec<u8>] {
+        &self.labels
+    }
+
+    /// Number of labels.
+    pub fn label_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether this name equals `suffix` or ends with it (zone membership):
+    /// `www.bbc.com` is under `bbc.com` and under the root.
+    pub fn is_subdomain_of(&self, suffix: &DnsName) -> bool {
+        if suffix.labels.len() > self.labels.len() {
+            return false;
+        }
+        let skip = self.labels.len() - suffix.labels.len();
+        self.labels[skip..] == suffix.labels[..]
+    }
+
+    /// The parent name (one label removed), or the root if already root.
+    pub fn parent(&self) -> DnsName {
+        if self.labels.is_empty() {
+            return DnsName::root();
+        }
+        DnsName { labels: self.labels[1..].to_vec() }
+    }
+
+    /// Prepend a label, e.g. `"mail"` + `example.com` = `mail.example.com`.
+    pub fn prepend(&self, label: &str) -> Result<DnsName, DnsError> {
+        if label.is_empty() || label.len() > MAX_LABEL_LEN {
+            return Err(DnsError::BadName("bad label for prepend"));
+        }
+        let mut labels = Vec::with_capacity(self.labels.len() + 1);
+        labels.push(label.as_bytes().to_ascii_lowercase());
+        labels.extend_from_slice(&self.labels);
+        Ok(DnsName { labels })
+    }
+
+    /// Encode at the end of `buf`. `offsets` maps previously written name
+    /// suffixes (rendered as dotted strings) to their buffer offsets, and is
+    /// updated; matching suffixes are emitted as compression pointers.
+    pub fn encode(&self, buf: &mut Vec<u8>, offsets: &mut Vec<(DnsName, usize)>) {
+        let mut remaining = self.clone();
+        let mut idx = 0usize;
+        loop {
+            if remaining.labels.is_empty() {
+                buf.push(0);
+                return;
+            }
+            // A pointer offset must fit in 14 bits.
+            if let Some(&(_, off)) =
+                offsets.iter().find(|(n, off)| *n == remaining && *off < 0x3fff)
+            {
+                buf.push(0xc0 | ((off >> 8) as u8));
+                buf.push((off & 0xff) as u8);
+                return;
+            }
+            if buf.len() < 0x3fff {
+                offsets.push((remaining.clone(), buf.len()));
+            }
+            let label = &self.labels[idx];
+            buf.push(label.len() as u8);
+            buf.extend_from_slice(label);
+            idx += 1;
+            remaining = remaining.parent();
+        }
+    }
+
+    /// Decode a name starting at `pos` in `msg`. Returns the name and the
+    /// position just past it (pointers do not advance past the pointer).
+    pub fn decode(msg: &[u8], pos: usize) -> Result<(DnsName, usize), DnsError> {
+        let mut labels = Vec::new();
+        let mut cursor = pos;
+        let mut end: Option<usize> = None;
+        let mut jumps = 0usize;
+        let mut total = 0usize;
+        loop {
+            let len = *msg.get(cursor).ok_or(DnsError::Truncated)? as usize;
+            if len == 0 {
+                let after = cursor + 1;
+                return Ok((DnsName { labels }, end.unwrap_or(after)));
+            }
+            if len & 0xc0 == 0xc0 {
+                // Compression pointer.
+                let lo = *msg.get(cursor + 1).ok_or(DnsError::Truncated)? as usize;
+                let target = ((len & 0x3f) << 8) | lo;
+                if end.is_none() {
+                    end = Some(cursor + 2);
+                }
+                if target >= cursor {
+                    return Err(DnsError::BadName("forward compression pointer"));
+                }
+                jumps += 1;
+                if jumps > 32 {
+                    return Err(DnsError::BadName("compression pointer loop"));
+                }
+                cursor = target;
+                continue;
+            }
+            if len > MAX_LABEL_LEN {
+                return Err(DnsError::BadName("label length"));
+            }
+            let start = cursor + 1;
+            let stop = start + len;
+            let label = msg.get(start..stop).ok_or(DnsError::Truncated)?;
+            total += len + 1;
+            if total > MAX_NAME_LEN {
+                return Err(DnsError::BadName("decoded name too long"));
+            }
+            labels.push(label.to_ascii_lowercase());
+            cursor = stop;
+        }
+    }
+}
+
+impl fmt::Display for DnsName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.labels.is_empty() {
+            return f.write_str(".");
+        }
+        let mut first = true;
+        for label in &self.labels {
+            if !first {
+                f.write_str(".")?;
+            }
+            first = false;
+            f.write_str(&String::from_utf8_lossy(label))?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for DnsName {
+    type Err = DnsError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        DnsName::parse(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display() {
+        let n = DnsName::parse("WWW.Example.COM").expect("parse");
+        assert_eq!(n.to_string(), "www.example.com");
+        assert_eq!(n.label_count(), 3);
+        assert_eq!(DnsName::parse("example.com.").expect("trailing dot").to_string(), "example.com");
+        assert_eq!(DnsName::root().to_string(), ".");
+    }
+
+    #[test]
+    fn rejects_bad_names() {
+        assert!(DnsName::parse("a..b").is_err());
+        let long_label = "x".repeat(64);
+        assert!(DnsName::parse(&long_label).is_err());
+        let long_name = vec!["abcdefgh"; 40].join(".");
+        assert!(DnsName::parse(&long_name).is_err());
+    }
+
+    #[test]
+    fn subdomain_relation() {
+        let site = DnsName::parse("www.bbc.com").expect("p");
+        let zone = DnsName::parse("bbc.com").expect("p");
+        let other = DnsName::parse("bbc.org").expect("p");
+        assert!(site.is_subdomain_of(&zone));
+        assert!(site.is_subdomain_of(&DnsName::root()));
+        assert!(zone.is_subdomain_of(&zone), "a zone contains itself");
+        assert!(!site.is_subdomain_of(&other));
+        assert!(!zone.is_subdomain_of(&site));
+    }
+
+    #[test]
+    fn parent_and_prepend() {
+        let n = DnsName::parse("mail.example.com").expect("p");
+        assert_eq!(n.parent().to_string(), "example.com");
+        let back = n.parent().prepend("MAIL").expect("prepend");
+        assert_eq!(back, n);
+        assert_eq!(DnsName::root().parent(), DnsName::root());
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_uncompressed() {
+        let n = DnsName::parse("a.bc.def.example").expect("p");
+        let mut buf = Vec::new();
+        let mut offsets = Vec::new();
+        n.encode(&mut buf, &mut offsets);
+        let (decoded, next) = DnsName::decode(&buf, 0).expect("decode");
+        assert_eq!(decoded, n);
+        assert_eq!(next, buf.len());
+    }
+
+    #[test]
+    fn compression_reuses_suffixes() {
+        let a = DnsName::parse("mail.example.com").expect("p");
+        let b = DnsName::parse("www.example.com").expect("p");
+        let mut buf = Vec::new();
+        let mut offsets = Vec::new();
+        a.encode(&mut buf, &mut offsets);
+        let first_len = buf.len();
+        b.encode(&mut buf, &mut offsets);
+        // Second name should be "www" label (4 bytes) + pointer (2 bytes).
+        assert_eq!(buf.len() - first_len, 6, "suffix compressed");
+        let (da, na) = DnsName::decode(&buf, 0).expect("a");
+        let (db, nb) = DnsName::decode(&buf, na).expect("b");
+        assert_eq!(da, a);
+        assert_eq!(db, b);
+        assert_eq!(nb, buf.len());
+    }
+
+    #[test]
+    fn identical_name_is_pure_pointer() {
+        let a = DnsName::parse("twitter.com").expect("p");
+        let mut buf = Vec::new();
+        let mut offsets = Vec::new();
+        a.encode(&mut buf, &mut offsets);
+        let first_len = buf.len();
+        a.encode(&mut buf, &mut offsets);
+        assert_eq!(buf.len() - first_len, 2, "full name collapses to one pointer");
+    }
+
+    #[test]
+    fn decode_rejects_pointer_loops_and_forward_pointers() {
+        // Self-pointing pointer at offset 0.
+        let looped = [0xc0u8, 0x00];
+        assert!(DnsName::decode(&looped, 0).is_err());
+        // Forward pointer.
+        let fwd = [0xc0u8, 0x04, 0, 0, 1, b'a', 0];
+        assert!(DnsName::decode(&fwd, 0).is_err());
+        // Truncated label.
+        let trunc = [5u8, b'a', b'b'];
+        assert!(DnsName::decode(&trunc, 0).is_err());
+    }
+
+    #[test]
+    fn case_insensitive_equality() {
+        let a = DnsName::parse("Twitter.COM").expect("p");
+        let b = DnsName::parse("twitter.com").expect("p");
+        assert_eq!(a, b);
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut ha = DefaultHasher::new();
+        let mut hb = DefaultHasher::new();
+        a.hash(&mut ha);
+        b.hash(&mut hb);
+        assert_eq!(ha.finish(), hb.finish());
+    }
+}

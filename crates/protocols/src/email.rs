@@ -1,0 +1,177 @@
+//! An RFC 5322-ish email message.
+//!
+//! Shared between the SMTP substrate (which transports it) and the spam
+//! scorer (which extracts features from it). The format is the small subset
+//! real spam filters key on: headers, a blank line, a body.
+
+use std::fmt;
+
+/// A simple email message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EmailMessage {
+    /// Envelope/header sender, e.g. `promo@deals.example`.
+    pub from: String,
+    /// Recipient, e.g. `user@censored.example`.
+    pub to: String,
+    /// Subject line.
+    pub subject: String,
+    /// Additional headers as (name, value) pairs.
+    pub extra_headers: Vec<(String, String)>,
+    /// Body text.
+    pub body: String,
+}
+
+impl EmailMessage {
+    /// Create a message with no extra headers.
+    pub fn new(from: &str, to: &str, subject: &str, body: &str) -> EmailMessage {
+        EmailMessage {
+            from: from.to_string(),
+            to: to.to_string(),
+            subject: subject.to_string(),
+            extra_headers: Vec::new(),
+            body: body.to_string(),
+        }
+    }
+
+    /// Add a header (builder style).
+    pub fn with_header(mut self, name: &str, value: &str) -> EmailMessage {
+        self.extra_headers.push((name.to_string(), value.to_string()));
+        self
+    }
+
+    /// The domain part of the recipient address, if well-formed.
+    pub fn to_domain(&self) -> Option<&str> {
+        self.to.rsplit_once('@').map(|(_, d)| d)
+    }
+
+    /// The domain part of the sender address, if well-formed.
+    pub fn from_domain(&self) -> Option<&str> {
+        self.from.rsplit_once('@').map(|(_, d)| d)
+    }
+
+    /// Serialize into RFC 5322 wire text (CRLF line endings). Lines in the
+    /// body consisting of a single `.` are dot-stuffed for SMTP safety.
+    pub fn to_wire(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("From: {}\r\n", self.from));
+        out.push_str(&format!("To: {}\r\n", self.to));
+        out.push_str(&format!("Subject: {}\r\n", self.subject));
+        for (name, value) in &self.extra_headers {
+            out.push_str(&format!("{name}: {value}\r\n"));
+        }
+        out.push_str("\r\n");
+        for line in self.body.split('\n') {
+            let line = line.strip_suffix('\r').unwrap_or(line);
+            if line.starts_with('.') {
+                out.push('.');
+            }
+            out.push_str(line);
+            out.push_str("\r\n");
+        }
+        out
+    }
+
+    /// Parse wire text back into a message. Unknown headers land in
+    /// `extra_headers`; dot-stuffing is reversed.
+    pub fn from_wire(text: &str) -> Option<EmailMessage> {
+        let (head, body) = match text.split_once("\r\n\r\n") {
+            Some(x) => x,
+            None => text.split_once("\n\n")?,
+        };
+        let mut msg = EmailMessage::new("", "", "", "");
+        for line in head.lines() {
+            let (name, value) = line.split_once(':')?;
+            let value = value.trim();
+            match name.to_ascii_lowercase().as_str() {
+                "from" => msg.from = value.to_string(),
+                "to" => msg.to = value.to_string(),
+                "subject" => msg.subject = value.to_string(),
+                _ => msg.extra_headers.push((name.to_string(), value.to_string())),
+            }
+        }
+        let mut body_out = String::new();
+        for (i, line) in body.split("\r\n").enumerate() {
+            if i > 0 {
+                body_out.push('\n');
+            }
+            body_out.push_str(line.strip_prefix('.').unwrap_or(line));
+        }
+        // Trim the trailing newline added by serialization.
+        if body_out.ends_with('\n') {
+            body_out.pop();
+        }
+        msg.body = body_out;
+        Some(msg)
+    }
+
+    /// Count `http://`/`https://` URLs in the body (a spam feature).
+    pub fn url_count(&self) -> usize {
+        self.body.matches("http://").count() + self.body.matches("https://").count()
+    }
+}
+
+impl fmt::Display for EmailMessage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{}> -> <{}>: {}", self.from, self.to, self.subject)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_roundtrip() {
+        let m = EmailMessage::new(
+            "promo@deals.example",
+            "user@twitter.com",
+            "AMAZING offer",
+            "Buy now!\nVisit http://deals.example/win",
+        )
+        .with_header("X-Mailer", "bulk-v3");
+        let parsed = EmailMessage::from_wire(&m.to_wire()).expect("parse");
+        assert_eq!(parsed.from, m.from);
+        assert_eq!(parsed.to, m.to);
+        assert_eq!(parsed.subject, m.subject);
+        assert_eq!(parsed.extra_headers, m.extra_headers);
+        assert_eq!(parsed.body, m.body);
+    }
+
+    #[test]
+    fn dot_stuffing() {
+        let m = EmailMessage::new("a@b.c", "d@e.f", "s", "line1\n.\n.hidden\nline2");
+        let wire = m.to_wire();
+        assert!(wire.contains("\r\n..\r\n"), "bare dot line stuffed");
+        assert!(wire.contains("\r\n..hidden\r\n"));
+        let parsed = EmailMessage::from_wire(&wire).expect("parse");
+        assert_eq!(parsed.body, m.body);
+    }
+
+    #[test]
+    fn domains_extracted() {
+        let m = EmailMessage::new("x@sender.org", "y@youtube.com", "s", "b");
+        assert_eq!(m.from_domain(), Some("sender.org"));
+        assert_eq!(m.to_domain(), Some("youtube.com"));
+        let bad = EmailMessage::new("no-at-sign", "also-none", "s", "b");
+        assert_eq!(bad.from_domain(), None);
+        assert_eq!(bad.to_domain(), None);
+    }
+
+    #[test]
+    fn url_counting() {
+        let m = EmailMessage::new(
+            "a@b.c",
+            "d@e.f",
+            "s",
+            "http://x.test https://y.test and http://z.test/page",
+        );
+        assert_eq!(m.url_count(), 3);
+        assert_eq!(EmailMessage::new("a@b.c", "d@e.f", "s", "no links").url_count(), 0);
+    }
+
+    #[test]
+    fn malformed_wire_returns_none() {
+        assert!(EmailMessage::from_wire("no separator here").is_none());
+        assert!(EmailMessage::from_wire("BadHeaderNoColon\r\n\r\nbody").is_none());
+    }
+}

@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+
+//! # underradar-protocols
+//!
+//! Application-protocol substrates for the simulated testbed:
+//!
+//! * [`dns`] — a DNS wire format (RFC 1035 subset with name compression),
+//!   plus an authoritative/recursive server that runs as a
+//!   [`underradar_netsim::UdpService`]. DNS is the protocol the paper's
+//!   spam method (§3.1, Method #2) and stateless mimicry (§4.1, Fig 3a)
+//!   measure, and the protocol the GFC-style censor poisons.
+//! * [`smtp`] — a minimal SMTP server and client state machine (RFC 5321
+//!   subset), enough to deliver the paper's spam-cloaked measurements.
+//! * [`http`] — HTTP/1.0 request/response handling for the DDoS-mimicry
+//!   method (§3.1, Method #3) and keyword censorship tests.
+//! * [`email`] — an RFC 5322-ish message type shared by the SMTP substrate
+//!   and the spam scorer.
+
+pub mod dns;
+pub mod email;
+pub mod http;
+pub mod smtp;
+
+pub use dns::{
+    DnsClass, DnsError, DnsMessage, DnsName, DnsServer, QType, Rcode, Record, RecordData,
+};
+pub use email::EmailMessage;
+pub use http::{HttpError, HttpRequest, HttpResponse, HttpServer};
+pub use smtp::{SmtpClientMachine, SmtpPhase, SmtpServerService};

@@ -1,0 +1,149 @@
+//! Property tests for the protocol substrates: DNS wire roundtrips with
+//! arbitrary record sets, name encode/decode with compression, email wire
+//! safety, HTTP parser robustness.
+
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+use underradar_protocols::dns::{DnsMessage, DnsName, QType, Rcode, Record, RecordData};
+use underradar_protocols::email::EmailMessage;
+use underradar_protocols::http::{HttpRequest, HttpResponse};
+
+fn arb_label() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[a-z0-9]{1,12}").expect("valid regex")
+}
+
+fn arb_name() -> impl Strategy<Value = DnsName> {
+    proptest::collection::vec(arb_label(), 1..5)
+        .prop_map(|labels| DnsName::parse(&labels.join(".")).expect("generated name is valid"))
+}
+
+fn arb_record() -> impl Strategy<Value = Record> {
+    (arb_name(), 0u32..100_000, arb_rdata()).prop_map(|(name, ttl, data)| Record { name, ttl, data })
+}
+
+fn arb_rdata() -> impl Strategy<Value = RecordData> {
+    prop_oneof![
+        any::<u32>().prop_map(|ip| RecordData::A(Ipv4Addr::from(ip))),
+        arb_name().prop_map(RecordData::Ns),
+        arb_name().prop_map(RecordData::Cname),
+        (any::<u16>(), arb_name())
+            .prop_map(|(preference, exchange)| RecordData::Mx { preference, exchange }),
+        proptest::collection::vec(any::<u8>(), 0..300).prop_map(RecordData::Txt),
+    ]
+}
+
+fn arb_message() -> impl Strategy<Value = DnsMessage> {
+    (
+        any::<u16>(),
+        arb_name(),
+        prop_oneof![
+            Just(QType::A),
+            Just(QType::Mx),
+            Just(QType::Ns),
+            Just(QType::Txt),
+            Just(QType::Cname)
+        ],
+        proptest::collection::vec(arb_record(), 0..6),
+        proptest::collection::vec(arb_record(), 0..3),
+        prop_oneof![Just(Rcode::NoError), Just(Rcode::NxDomain), Just(Rcode::ServFail)],
+        any::<bool>(),
+    )
+        .prop_map(|(id, qname, qtype, answers, authorities, rcode, is_response)| {
+            let mut m = DnsMessage::query(id, qname, qtype);
+            if is_response {
+                m = DnsMessage::response_to(&m, rcode);
+                m.answers = answers;
+                m.authorities = authorities;
+            }
+            m
+        })
+}
+
+proptest! {
+    /// DNS messages roundtrip the wire exactly, whatever the record mix.
+    #[test]
+    fn dns_message_roundtrip(msg in arb_message()) {
+        let decoded = DnsMessage::decode(&msg.encode()).expect("own encoding parses");
+        prop_assert_eq!(decoded, msg);
+    }
+
+    /// Arbitrary bytes never panic the DNS decoder.
+    #[test]
+    fn dns_decoder_total(bytes in proptest::collection::vec(any::<u8>(), 0..400)) {
+        let _ = DnsMessage::decode(&bytes);
+    }
+
+    /// Name compression never changes the decoded names, in any order.
+    #[test]
+    fn name_compression_transparent(names in proptest::collection::vec(arb_name(), 1..10)) {
+        let mut buf = Vec::new();
+        let mut offsets = Vec::new();
+        for n in &names {
+            n.encode(&mut buf, &mut offsets);
+        }
+        let mut pos = 0usize;
+        for n in &names {
+            let (decoded, next) = DnsName::decode(&buf, pos).expect("decode");
+            prop_assert_eq!(&decoded, n);
+            pos = next;
+        }
+        prop_assert_eq!(pos, buf.len());
+    }
+
+    /// Subdomain relation is reflexive and respects label suffixes.
+    #[test]
+    fn subdomain_properties(a in arb_name(), label in arb_label()) {
+        prop_assert!(a.is_subdomain_of(&a));
+        let child = a.prepend(&label).expect("prepend");
+        prop_assert!(child.is_subdomain_of(&a));
+        prop_assert!(!a.is_subdomain_of(&child));
+    }
+
+    /// Email messages survive the wire whatever the body shape (including
+    /// dot-stuffing hazards).
+    #[test]
+    fn email_roundtrip(
+        subject in "[ -~]{0,60}",
+        body in proptest::string::string_regex("([ -~]{0,40}\n){0,8}[ -~]{0,40}").expect("regex"),
+    ) {
+        // Header-safe subject (no colon confusion beyond the first).
+        let msg = EmailMessage::new("a@b.example", "c@d.example", &subject, &body);
+        let parsed = EmailMessage::from_wire(&msg.to_wire()).expect("parse back");
+        prop_assert_eq!(parsed.subject.trim(), subject.trim());
+        prop_assert_eq!(parsed.body, body.replace('\r', ""));
+    }
+
+    /// HTTP request roundtrip for safe path/host charsets.
+    #[test]
+    fn http_request_roundtrip(
+        host in proptest::string::string_regex("[a-z0-9.]{1,30}").expect("regex"),
+        path in proptest::string::string_regex("/[a-zA-Z0-9/_-]{0,40}").expect("regex"),
+    ) {
+        let req = HttpRequest::get(&host, &path);
+        let parsed = HttpRequest::parse(&req.to_wire()).expect("parse");
+        prop_assert_eq!(parsed.host, host);
+        prop_assert_eq!(parsed.path, path);
+    }
+
+    /// HTTP parsers are total over arbitrary bytes.
+    #[test]
+    fn http_parsers_total(bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let _ = HttpRequest::parse(&bytes);
+        let _ = HttpResponse::parse(&bytes);
+    }
+
+    /// Response status/body survive the wire.
+    #[test]
+    fn http_response_roundtrip(status in 100u16..600, body in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let resp = HttpResponse {
+            status,
+            reason: "Custom".to_string(),
+            headers: vec![("X-Test".to_string(), "v".to_string())],
+            body: body.clone(),
+        };
+        let parsed = HttpResponse::parse(&resp.to_wire()).expect("parse");
+        prop_assert_eq!(parsed.status, status);
+        prop_assert_eq!(parsed.body, body);
+    }
+}

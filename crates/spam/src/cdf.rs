@@ -1,0 +1,92 @@
+//! Empirical CDF helper for regenerating Figure 2.
+
+/// Compute the empirical CDF of `values`: returns `(value, fraction ≤ value)`
+/// pairs sorted by value. NaNs are dropped.
+pub fn empirical_cdf(values: &[f64]) -> Vec<(f64, f64)> {
+    let mut sorted: Vec<f64> = values.iter().copied().filter(|v| !v.is_nan()).collect();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaNs filtered"));
+    let n = sorted.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (v, (i + 1) as f64 / n as f64))
+        .collect()
+}
+
+/// Render a CDF as a fixed-width ASCII plot (x = value, y = fraction),
+/// mirroring the paper's Figure 2 axes.
+pub fn render_ascii(cdf: &[(f64, f64)], x_label: &str, width: usize, height: usize) -> String {
+    if cdf.is_empty() {
+        return String::from("(empty)\n");
+    }
+    let x_min = cdf.first().map(|&(v, _)| v).unwrap_or(0.0);
+    let x_max = cdf.last().map(|&(v, _)| v).unwrap_or(1.0);
+    let span = (x_max - x_min).max(1e-9);
+    let mut grid = vec![vec![b' '; width]; height];
+    for &(v, f) in cdf {
+        let x = (((v - x_min) / span) * (width - 1) as f64).round() as usize;
+        let y = ((1.0 - f) * (height - 1) as f64).round() as usize;
+        grid[y.min(height - 1)][x.min(width - 1)] = b'*';
+    }
+    let mut out = String::new();
+    out.push_str("1.0 +");
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    for row in grid {
+        out.push_str("    |");
+        out.push_str(&String::from_utf8_lossy(&row));
+        out.push('\n');
+    }
+    out.push_str("0.0 +");
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    out.push_str(&format!("     {x_min:<10.1}{}{x_max:>10.1}\n", " ".repeat(width.saturating_sub(20))));
+    out.push_str(&format!("     {x_label}\n"));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_is_monotone_and_ends_at_one() {
+        let values = [55.0, 70.0, 70.0, 90.0, 41.0];
+        let cdf = empirical_cdf(&values);
+        assert_eq!(cdf.len(), 5);
+        assert_eq!(cdf[0].0, 41.0);
+        assert!((cdf.last().expect("nonempty").1 - 1.0).abs() < 1e-12);
+        for w in cdf.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn empty_and_nan_inputs() {
+        assert!(empirical_cdf(&[]).is_empty());
+        let cdf = empirical_cdf(&[f64::NAN, 1.0]);
+        assert_eq!(cdf.len(), 1);
+    }
+
+    #[test]
+    fn fractions_are_uniform_steps() {
+        let cdf = empirical_cdf(&[1.0, 2.0, 3.0, 4.0]);
+        let fracs: Vec<f64> = cdf.iter().map(|&(_, f)| f).collect();
+        assert_eq!(fracs, vec![0.25, 0.5, 0.75, 1.0]);
+    }
+
+    #[test]
+    fn ascii_render_has_axes() {
+        let cdf = empirical_cdf(&[40.0, 60.0, 80.0, 100.0]);
+        let plot = render_ascii(&cdf, "Proofpoint Spam Score", 40, 10);
+        assert!(plot.contains("1.0 +"));
+        assert!(plot.contains("0.0 +"));
+        assert!(plot.contains("Proofpoint Spam Score"));
+        assert!(plot.contains('*'));
+        assert_eq!(render_ascii(&[], "x", 10, 5), "(empty)\n");
+    }
+}

@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+
+//! # underradar-spam
+//!
+//! A Proofpoint-like heuristic spam scorer.
+//!
+//! The paper's Figure 2 validates the spam-cloaking method by sending 100
+//! measurement emails through the university's Proofpoint deployment and
+//! plotting the CDF of spam scores (0 = not spam, 100 = spam): every
+//! message scored in the spam range, demonstrating that the measurement
+//! traffic *evades as spam*. This crate reproduces that apparatus:
+//!
+//! * [`score`] — a feature-based scorer over [`EmailMessage`]s with the
+//!   classic content heuristics commercial filters use (spammy phrases,
+//!   URL density, shouting subjects, header anomalies, raw-IP links).
+//! * [`templates`] — the measurement-spam generator (what the Method #2
+//!   client sends) and a ham generator for the population baseline.
+//! * [`cdf`] — the empirical-CDF helper that regenerates Figure 2.
+
+pub mod cdf;
+pub mod score;
+pub mod templates;
+
+pub use cdf::empirical_cdf;
+pub use score::{is_spam, spam_score, ScoreBreakdown, SPAM_THRESHOLD};
+pub use templates::{ham_message, measurement_spam};
+
+pub use underradar_protocols::email::EmailMessage;

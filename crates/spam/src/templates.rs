@@ -1,0 +1,187 @@
+//! Message generators.
+//!
+//! [`measurement_spam`] builds the emails the Method #2 client sends: they
+//! must *look like spam to the filter* (evasion — Figure 2) while their
+//! delivery path measures DNS and IP censorship of the recipient domain.
+//! [`ham_message`] builds ordinary correspondence for the population
+//! baseline.
+//!
+//! Generators are deterministic functions of an index so experiments are
+//! reproducible without threading an RNG through.
+
+use underradar_protocols::email::EmailMessage;
+
+/// splitmix64: cheap deterministic mixing for template variation.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+const SUBJECTS: &[&str] = &[
+    "YOU WON! Claim your prize NOW!!!",
+    "Limited time offer — act now!",
+    "FREE pharmacy discount inside $$$",
+    "Congratulations WINNER! Risk-free prize",
+    "Earn money from home — no obligation!",
+    "CHEAP meds, offer expires tonight!!!",
+    "Your million dollars award is waiting",
+    "Exclusive casino bonus — click here!",
+];
+
+const PITCHES: &[&str] = &[
+    "Dear friend, you have been selected to receive a prize.",
+    "Act now! This limited time offer expires in 24 hours.",
+    "Our pharmacy has the best discount prices, guarantee!",
+    "Work from home and earn money risk-free, no obligation.",
+    "You are today's winner! Claim your free reward below.",
+];
+
+const SENDERS: &[&str] = &[
+    "promotions@best-deals-4u.example",
+    "winner-notify@prize-center.example",
+    "offers@discount-meds.example",
+    "rewards@casino-club.example",
+];
+
+/// Build the `i`-th measurement-spam message addressed to a mailbox at
+/// `recipient_domain` (the domain under measurement).
+pub fn measurement_spam(i: u64, recipient_domain: &str) -> EmailMessage {
+    let h = mix(i);
+    let subject = SUBJECTS[(h % SUBJECTS.len() as u64) as usize];
+    let pitch = PITCHES[((h >> 8) % PITCHES.len() as u64) as usize];
+    let sender = SENDERS[((h >> 16) % SENDERS.len() as u64) as usize];
+    // Vary the link host and a tracking token per message so messages are
+    // not byte-identical (real campaigns vary too).
+    let token = h % 1_000_000;
+    let link_octet = 1 + (h >> 24) % 250;
+    // Optional sections vary the score across the campaign (real campaigns
+    // template-rotate too); the paper's Figure 2 shows a CDF spread over
+    // roughly 40–100, not a point mass.
+    let link = if h & 0x10000000 != 0 {
+        format!("http://203.0.113.{link_octet}/claim?t={token}")
+    } else {
+        format!("http://deals-{token}.example/claim")
+    };
+    let mut body = format!("{pitch}\n\nClick here: {link}\n");
+    if h & 0x1000000 != 0 {
+        body.push_str("This is not spam. ");
+    }
+    if h & 0x2000000 != 0 {
+        body.push_str("100% guarantee, totally free! ");
+    }
+    if h & 0x4000000 != 0 {
+        body.push_str("Offer expires at midnight — cheap prices! ");
+    }
+    if h & 0x8000000 != 0 {
+        body.push_str(&format!("Also visit http://deals-{token}.example/win today! "));
+    }
+    body.push_str("\nTo unsubscribe reply STOP.");
+    let mut msg = EmailMessage::new(
+        sender,
+        &format!("postmaster@{recipient_domain}"),
+        subject,
+        &body,
+    )
+    .with_header(
+        "X-Mailer",
+        if h & 0x40000000 != 0 { "bulk-sender 2.1" } else { "mailer v1" },
+    );
+    if h & 0x20000000 != 0 {
+        msg = msg.with_header("Precedence", "bulk");
+    }
+    msg
+}
+
+const HAM_SUBJECTS: &[&str] = &[
+    "Meeting notes from Thursday",
+    "Re: draft of section 3",
+    "Lunch on Friday?",
+    "Travel reimbursement form",
+    "Seminar schedule update",
+];
+
+const HAM_BODIES: &[&str] = &[
+    "Hi,\n\nHere are the notes from our discussion. Let me know if I missed \
+     anything important.\n\nThanks",
+    "Hello,\n\nThe draft looks good overall. I left a few comments on the \
+     methodology paragraph; happy to talk them through tomorrow.\n\nBest",
+    "Hey,\n\nAre you free for lunch on Friday around noon? The usual place?\n\nCheers",
+    "Hi,\n\nPlease find the updated schedule attached. The first talk moved \
+     to 10am.\n\nRegards",
+];
+
+/// Build the `i`-th ordinary (ham) message between users at `domain`.
+pub fn ham_message(i: u64, domain: &str) -> EmailMessage {
+    let h = mix(i.wrapping_add(0x5eed));
+    let subject = HAM_SUBJECTS[(h % HAM_SUBJECTS.len() as u64) as usize];
+    let body = HAM_BODIES[((h >> 8) % HAM_BODIES.len() as u64) as usize];
+    let a = (h >> 16) % 1000;
+    let b = (h >> 32) % 1000;
+    EmailMessage::new(
+        &format!("user{a}@{domain}"),
+        &format!("user{b}@{domain}"),
+        subject,
+        body,
+    )
+    .with_header("Message-ID", &format!("<{h:x}@{domain}>"))
+    .with_header("Date", "Thu, 02 Jul 2015 10:00:00 -0400")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::score::{is_spam, spam_score};
+
+    #[test]
+    fn measurement_spam_is_classified_as_spam() {
+        // The Figure 2 property: every measurement message lands in the
+        // spam range.
+        for i in 0..100 {
+            let msg = measurement_spam(i, "twitter.com");
+            let s = spam_score(&msg);
+            assert!(s >= 40.0, "message {i} scored {s}");
+            assert!(is_spam(&msg), "message {i} not classified as spam");
+        }
+    }
+
+    #[test]
+    fn ham_is_not_classified_as_spam() {
+        for i in 0..100 {
+            let msg = ham_message(i, "university.example");
+            let s = spam_score(&msg);
+            assert!(s < 40.0, "ham {i} scored {s}");
+            assert!(!is_spam(&msg));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(measurement_spam(7, "x.com"), measurement_spam(7, "x.com"));
+        assert_eq!(ham_message(7, "x.com"), ham_message(7, "x.com"));
+    }
+
+    #[test]
+    fn messages_vary_across_indices() {
+        let a = measurement_spam(1, "x.com");
+        let b = measurement_spam(2, "x.com");
+        assert_ne!(a.body, b.body, "campaign varies per message");
+    }
+
+    #[test]
+    fn recipient_domain_is_the_measured_target() {
+        let msg = measurement_spam(3, "youtube.com");
+        assert_eq!(msg.to_domain(), Some("youtube.com"));
+    }
+
+    #[test]
+    fn spam_scores_spread_over_a_range() {
+        // Figure 2 shows a CDF over 40..100, not a point mass: scores
+        // should not all be identical.
+        let scores: Vec<f64> = (0..100).map(|i| spam_score(&measurement_spam(i, "t.com"))).collect();
+        let min = scores.iter().cloned().fold(f64::MAX, f64::min);
+        let max = scores.iter().cloned().fold(f64::MIN, f64::max);
+        assert!(max > min, "scores vary: {min}..{max}");
+    }
+}

@@ -1,0 +1,134 @@
+//! Cover-source selection and anonymity-set arithmetic.
+//!
+//! §4's goal: make measurement probes "appear to originate from every host
+//! on the network", so that attributing any one probe to the real
+//! measurement client requires suspecting the whole neighborhood. The
+//! anonymity set is the measure of success.
+
+use std::net::Ipv4Addr;
+
+use underradar_netsim::addr::Cidr;
+use underradar_netsim::rng::SimRng;
+
+use crate::population::ClientProfile;
+
+/// Pick up to `k` distinct spoofable cover sources for `client`, drawn
+/// from its spoofing freedom (excluding its own address). Returns fewer
+/// (possibly zero) when filtering leaves no freedom.
+pub fn cover_sources(client: &ClientProfile, k: usize, rng: &mut SimRng) -> Vec<Ipv4Addr> {
+    let freedom = client.capability.address_freedom();
+    if freedom <= 1 {
+        return Vec::new();
+    }
+    let prefix = match client.capability {
+        crate::filter::FilterGranularity::Slash24 => Cidr::slash24(client.ip),
+        crate::filter::FilterGranularity::Slash16 => Cidr::slash16(client.ip),
+        // Unfiltered clients could claim anything; borrowing from the /16
+        // keeps cover plausible (neighbors, not Mars).
+        crate::filter::FilterGranularity::None => Cidr::slash16(client.ip),
+        crate::filter::FilterGranularity::Exact => return Vec::new(),
+    };
+    let size = prefix.size();
+    let k = k.min((size - 1) as usize);
+    let mut picked = Vec::with_capacity(k);
+    let mut tries = 0;
+    while picked.len() < k && tries < k * 20 {
+        tries += 1;
+        let candidate = prefix.nth(rng.range_u64(0, size));
+        if candidate != client.ip && !picked.contains(&candidate) {
+            picked.push(candidate);
+        }
+    }
+    picked
+}
+
+/// The size of the anonymity set a surveillance system faces: given the
+/// distinct source addresses observed emitting probe-like traffic, and the
+/// granularity at which the system attributes (per-IP or per-prefix), how
+/// many candidate *entities* could the real client be?
+pub fn anonymity_set(observed_sources: &[Ipv4Addr], attribution_prefix: u8) -> usize {
+    let mut entities: Vec<Ipv4Addr> = observed_sources
+        .iter()
+        .map(|&ip| Cidr::new(ip, attribution_prefix).network())
+        .collect();
+    entities.sort();
+    entities.dedup();
+    entities.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter::FilterGranularity;
+
+    fn client(cap: FilterGranularity) -> ClientProfile {
+        ClientProfile { ip: Ipv4Addr::new(10, 20, 30, 40), capability: cap }
+    }
+
+    #[test]
+    fn filtered_client_has_no_cover() {
+        let mut rng = SimRng::seed_from_u64(1);
+        assert!(cover_sources(&client(FilterGranularity::Exact), 10, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn slash24_cover_stays_in_slash24() {
+        let mut rng = SimRng::seed_from_u64(2);
+        let c = client(FilterGranularity::Slash24);
+        let cover = cover_sources(&c, 50, &mut rng);
+        assert_eq!(cover.len(), 50);
+        let net = Cidr::slash24(c.ip);
+        assert!(cover.iter().all(|&ip| net.contains(ip)));
+        assert!(!cover.contains(&c.ip), "own address excluded");
+        let mut dedup = cover.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 50, "distinct sources");
+        // Every cover source is actually spoofable by the client.
+        assert!(cover.iter().all(|&ip| c.can_spoof(ip)));
+    }
+
+    #[test]
+    fn slash16_cover_spreads_wider() {
+        let mut rng = SimRng::seed_from_u64(3);
+        let c = client(FilterGranularity::Slash16);
+        let cover = cover_sources(&c, 500, &mut rng);
+        assert_eq!(cover.len(), 500);
+        let net16 = Cidr::slash16(c.ip);
+        assert!(cover.iter().all(|&ip| net16.contains(ip)));
+        // With 500 draws over a /16, some must leave the client's /24.
+        let net24 = Cidr::slash24(c.ip);
+        assert!(cover.iter().any(|&ip| !net24.contains(ip)));
+    }
+
+    #[test]
+    fn cover_request_capped_by_prefix_size() {
+        let mut rng = SimRng::seed_from_u64(4);
+        let c = client(FilterGranularity::Slash24);
+        let cover = cover_sources(&c, 10_000, &mut rng);
+        assert!(cover.len() <= 255, "cannot exceed the /24 minus self");
+        assert!(cover.len() > 200, "but gets most of it: {}", cover.len());
+    }
+
+    #[test]
+    fn anonymity_set_by_ip_and_by_prefix() {
+        let sources = vec![
+            Ipv4Addr::new(10, 20, 30, 1),
+            Ipv4Addr::new(10, 20, 30, 2),
+            Ipv4Addr::new(10, 20, 30, 3),
+            Ipv4Addr::new(10, 20, 31, 1),
+        ];
+        assert_eq!(anonymity_set(&sources, 32), 4, "per-IP: four suspects");
+        assert_eq!(anonymity_set(&sources, 24), 2, "per-/24: two neighborhoods");
+        assert_eq!(anonymity_set(&sources, 16), 1, "per-/16: the whole AS is one suspect");
+        assert_eq!(anonymity_set(&[], 32), 0);
+    }
+
+    #[test]
+    fn single_source_means_no_anonymity() {
+        // Overt measurement: one source, anonymity set of 1 — attribution
+        // is trivial. Cover traffic is precisely about making this large.
+        let sources = vec![Ipv4Addr::new(10, 20, 30, 40)];
+        assert_eq!(anonymity_set(&sources, 32), 1);
+    }
+}

@@ -1,0 +1,193 @@
+//! Client populations with Beverly-calibrated spoofing capability.
+
+use std::net::Ipv4Addr;
+
+use underradar_netsim::addr::Cidr;
+use underradar_netsim::rng::SimRng;
+
+use crate::filter::FilterGranularity;
+
+/// The deployment fractions from Beverly et al. (IMC '09), as cited in
+/// §4.2: 77 % of clients can spoof within their /24, 11 % within their
+/// /16. The fractions are *cumulative* (the /16 spoofers are a subset of
+/// the /24 spoofers); the remaining 23 % cannot spoof at all.
+#[derive(Debug, Clone, Copy)]
+pub struct BeverlyFractions {
+    /// Fraction able to spoof within their /24.
+    pub slash24: f64,
+    /// Fraction able to spoof within their /16 (subset of `slash24`).
+    pub slash16: f64,
+    /// Fraction with no filtering at all (subset of `slash16`).
+    pub unfiltered: f64,
+}
+
+impl Default for BeverlyFractions {
+    fn default() -> Self {
+        // The paper quotes the /24 and /16 numbers; Beverly also found a
+        // small fully-unfiltered tail which we fold into /16 spoofers by
+        // default (0 here keeps the headline numbers exact).
+        BeverlyFractions { slash24: 0.77, slash16: 0.11, unfiltered: 0.0 }
+    }
+}
+
+/// One client and its spoofing capability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClientProfile {
+    /// The client's address.
+    pub ip: Ipv4Addr,
+    /// The loosest granularity its network's filtering permits.
+    pub capability: FilterGranularity,
+}
+
+impl ClientProfile {
+    /// Whether this client can emit a packet claiming `src`.
+    pub fn can_spoof(&self, src: Ipv4Addr) -> bool {
+        self.capability.permits(self.ip, src)
+    }
+}
+
+/// A sampled population of clients in one access network.
+#[derive(Debug, Clone)]
+pub struct SpoofPopulation {
+    /// The access network prefix.
+    pub prefix: Cidr,
+    /// The clients.
+    pub clients: Vec<ClientProfile>,
+}
+
+impl SpoofPopulation {
+    /// Sample `n` clients in `prefix` with capabilities drawn from
+    /// `fractions`.
+    pub fn sample(prefix: Cidr, n: usize, fractions: BeverlyFractions, rng: &mut SimRng) -> Self {
+        let mut clients = Vec::with_capacity(n);
+        for i in 0..n {
+            // Spread addresses across the prefix, skipping .0 hosts.
+            let ip = prefix.nth(1 + i as u64);
+            let u = rng.unit();
+            let capability = if u < fractions.unfiltered {
+                FilterGranularity::None
+            } else if u < fractions.slash16 {
+                FilterGranularity::Slash16
+            } else if u < fractions.slash24 {
+                FilterGranularity::Slash24
+            } else {
+                FilterGranularity::Exact
+            };
+            clients.push(ClientProfile { ip, capability });
+        }
+        SpoofPopulation { prefix, clients }
+    }
+
+    /// Fraction of clients able to spoof within their /24 (includes the
+    /// /16-capable and unfiltered, since their freedom is a superset).
+    pub fn fraction_spoof_24(&self) -> f64 {
+        self.fraction_with(|c| {
+            matches!(
+                c.capability,
+                FilterGranularity::Slash24 | FilterGranularity::Slash16 | FilterGranularity::None
+            )
+        })
+    }
+
+    /// Fraction of clients able to spoof within their /16.
+    pub fn fraction_spoof_16(&self) -> f64 {
+        self.fraction_with(|c| {
+            matches!(c.capability, FilterGranularity::Slash16 | FilterGranularity::None)
+        })
+    }
+
+    /// Fraction of clients that cannot spoof at all.
+    pub fn fraction_filtered(&self) -> f64 {
+        self.fraction_with(|c| c.capability == FilterGranularity::Exact)
+    }
+
+    fn fraction_with<F: Fn(&ClientProfile) -> bool>(&self, f: F) -> f64 {
+        if self.clients.is_empty() {
+            return 0.0;
+        }
+        self.clients.iter().filter(|c| f(c)).count() as f64 / self.clients.len() as f64
+    }
+
+    /// The client at an address, if present.
+    pub fn client(&self, ip: Ipv4Addr) -> Option<&ClientProfile> {
+        self.clients.iter().find(|c| c.ip == ip)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pop(n: usize, seed: u64) -> SpoofPopulation {
+        let mut rng = SimRng::seed_from_u64(seed);
+        SpoofPopulation::sample(
+            Cidr::slash16(Ipv4Addr::new(10, 20, 0, 0)),
+            n,
+            BeverlyFractions::default(),
+            &mut rng,
+        )
+    }
+
+    #[test]
+    fn fractions_match_beverly_at_scale() {
+        let p = pop(20_000, 42);
+        let f24 = p.fraction_spoof_24();
+        let f16 = p.fraction_spoof_16();
+        assert!((f24 - 0.77).abs() < 0.02, "24-spoofable {f24}");
+        assert!((f16 - 0.11).abs() < 0.02, "16-spoofable {f16}");
+        assert!((p.fraction_filtered() - 0.23).abs() < 0.02);
+    }
+
+    #[test]
+    fn capability_semantics() {
+        let p = pop(5_000, 7);
+        let c24 = p
+            .clients
+            .iter()
+            .find(|c| c.capability == FilterGranularity::Slash24)
+            .expect("some /24 spoofer");
+        let neighbor24 = Cidr::slash24(c24.ip).nth(7);
+        assert!(c24.can_spoof(neighbor24));
+        let far16 = Cidr::slash16(c24.ip).nth(300);
+        assert!(!c24.can_spoof(far16) || Cidr::slash24(c24.ip).contains(far16));
+        let c_exact = p
+            .clients
+            .iter()
+            .find(|c| c.capability == FilterGranularity::Exact)
+            .expect("some filtered client");
+        assert!(c_exact.can_spoof(c_exact.ip));
+        assert!(!c_exact.can_spoof(Cidr::slash24(c_exact.ip).nth(9)) || Cidr::slash24(c_exact.ip).nth(9) == c_exact.ip);
+    }
+
+    #[test]
+    fn clients_live_in_prefix_and_are_unique_enough() {
+        let p = pop(1000, 9);
+        assert!(p.clients.iter().all(|c| p.prefix.contains(c.ip)));
+        let mut ips: Vec<Ipv4Addr> = p.clients.iter().map(|c| c.ip).collect();
+        ips.sort();
+        ips.dedup();
+        assert_eq!(ips.len(), 1000, "distinct addresses for distinct clients");
+    }
+
+    #[test]
+    fn lookup_by_ip() {
+        let p = pop(10, 3);
+        let target = p.clients[4];
+        assert_eq!(p.client(target.ip), Some(&target).copied().as_ref());
+        assert!(p.client(Ipv4Addr::new(1, 2, 3, 4)).is_none());
+    }
+
+    #[test]
+    fn deterministic_sampling() {
+        let a = pop(100, 11);
+        let b = pop(100, 11);
+        assert_eq!(a.clients, b.clients);
+    }
+
+    #[test]
+    fn empty_population() {
+        let p = pop(0, 1);
+        assert_eq!(p.fraction_spoof_24(), 0.0);
+        assert_eq!(p.fraction_filtered(), 0.0);
+    }
+}

@@ -1,0 +1,201 @@
+//! The analyst stage: attribution and pursuit under capacity limits.
+//!
+//! §2.1: "surveillance systems pass the data to a human analyst ...
+//! responses may include sending the police to a user and are typically
+//! expensive; thus, false positives are costly". §2.2's Syria analysis
+//! makes this concrete: 1.57 % of a population touching censored content
+//! is "far too many people for the surveillance system to pursue".
+//!
+//! The model: alerts are grouped by source, ranked by volume and severity,
+//! and only the top `pursuit_capacity` sources can be investigated. A
+//! measurement client is *at risk* when it is attributed (appears in the
+//! ranking at all) and *burned* when it is pursued (falls within capacity).
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use underradar_ids::alert::Alert;
+
+/// Analyst configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct AnalystConfig {
+    /// How many sources the organization can investigate per triage run.
+    pub pursuit_capacity: usize,
+    /// Sources with fewer alerts than this are not even queued (false
+    /// positives are costly).
+    pub min_alerts: u64,
+}
+
+impl Default for AnalystConfig {
+    fn default() -> Self {
+        AnalystConfig { pursuit_capacity: 10, min_alerts: 2 }
+    }
+}
+
+/// One investigated (or investigable) source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Investigation {
+    /// The attributed source address.
+    pub src: Ipv4Addr,
+    /// Alerts attributed to it.
+    pub alert_count: u64,
+    /// Distinct rule sids it triggered (breadth of suspicion).
+    pub distinct_sids: u64,
+    /// Rank in the triage ordering (0 = most suspicious).
+    pub rank: usize,
+    /// Whether it fell within pursuit capacity.
+    pub pursued: bool,
+}
+
+/// The analyst.
+#[derive(Debug)]
+pub struct Analyst {
+    config: AnalystConfig,
+}
+
+impl Analyst {
+    /// An analyst with the given capacity model.
+    pub fn new(config: AnalystConfig) -> Analyst {
+        Analyst { config }
+    }
+
+    /// Triage a body of alerts: group by source, filter, rank, mark the
+    /// top `pursuit_capacity` as pursued. Returns investigations sorted by
+    /// rank.
+    pub fn triage(&self, alerts: &[Alert]) -> Vec<Investigation> {
+        let mut per_src: HashMap<Ipv4Addr, (u64, HashMap<u32, ()>)> = HashMap::new();
+        for a in alerts {
+            let entry = per_src.entry(a.src).or_default();
+            entry.0 += 1;
+            entry.1.insert(a.sid, ());
+        }
+        let mut ranked: Vec<Investigation> = per_src
+            .into_iter()
+            .filter(|(_, (count, _))| *count >= self.config.min_alerts)
+            .map(|(src, (alert_count, sids))| Investigation {
+                src,
+                alert_count,
+                distinct_sids: sids.len() as u64,
+                rank: 0,
+                pursued: false,
+            })
+            .collect();
+        // Most alerts first; breadth of sids breaks ties; address breaks
+        // remaining ties deterministically.
+        ranked.sort_by(|a, b| {
+            b.alert_count
+                .cmp(&a.alert_count)
+                .then(b.distinct_sids.cmp(&a.distinct_sids))
+                .then(a.src.cmp(&b.src))
+        });
+        for (i, inv) in ranked.iter_mut().enumerate() {
+            inv.rank = i;
+            inv.pursued = i < self.config.pursuit_capacity;
+        }
+        ranked
+    }
+
+    /// Whether `src` would be pursued given `alerts` — the risk verdict
+    /// experiments ask for.
+    pub fn is_pursued(&self, alerts: &[Alert], src: Ipv4Addr) -> bool {
+        self.triage(alerts).iter().any(|i| i.src == src && i.pursued)
+    }
+
+    /// Whether `src` is attributed at all (queued for possible pursuit).
+    pub fn is_attributed(&self, alerts: &[Alert], src: Ipv4Addr) -> bool {
+        self.triage(alerts).iter().any(|i| i.src == src)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use underradar_ids::rule::RuleAction;
+    use underradar_netsim::time::SimTime;
+
+    fn alert(sid: u32, src: [u8; 4]) -> Alert {
+        Alert {
+            time: SimTime::ZERO,
+            sid,
+            msg: String::new(),
+            action: RuleAction::Alert,
+            src: src.into(),
+            src_port: None,
+            dst: [9, 9, 9, 9].into(),
+            dst_port: None,
+            classtype: None,
+        }
+    }
+
+    #[test]
+    fn ranks_by_alert_volume() {
+        let analyst = Analyst::new(AnalystConfig { pursuit_capacity: 1, min_alerts: 1 });
+        let mut alerts = Vec::new();
+        for _ in 0..5 {
+            alerts.push(alert(1, [1, 1, 1, 1]));
+        }
+        for _ in 0..2 {
+            alerts.push(alert(1, [2, 2, 2, 2]));
+        }
+        let inv = analyst.triage(&alerts);
+        assert_eq!(inv.len(), 2);
+        assert_eq!(inv[0].src, Ipv4Addr::new(1, 1, 1, 1));
+        assert!(inv[0].pursued);
+        assert!(!inv[1].pursued, "capacity of 1 spares the second source");
+    }
+
+    #[test]
+    fn min_alerts_filters_noise() {
+        let analyst = Analyst::new(AnalystConfig { pursuit_capacity: 10, min_alerts: 3 });
+        let alerts = vec![alert(1, [1, 1, 1, 1]), alert(1, [1, 1, 1, 1]), alert(2, [2, 2, 2, 2])];
+        let inv = analyst.triage(&alerts);
+        assert!(inv.is_empty(), "nobody reached 3 alerts");
+        assert!(!analyst.is_attributed(&alerts, [1, 1, 1, 1].into()));
+    }
+
+    #[test]
+    fn distinct_sids_break_ties() {
+        let analyst = Analyst::new(AnalystConfig { pursuit_capacity: 1, min_alerts: 1 });
+        let alerts = vec![
+            alert(1, [1, 1, 1, 1]),
+            alert(1, [1, 1, 1, 1]),
+            alert(1, [2, 2, 2, 2]),
+            alert(7, [2, 2, 2, 2]),
+        ];
+        let inv = analyst.triage(&alerts);
+        assert_eq!(inv[0].src, Ipv4Addr::new(2, 2, 2, 2), "2 sids beats 1 sid at equal count");
+    }
+
+    #[test]
+    fn capacity_overflow_spares_the_tail() {
+        // The Syria argument: when too many users trip alerts, most cannot
+        // be pursued.
+        let analyst = Analyst::new(AnalystConfig { pursuit_capacity: 5, min_alerts: 1 });
+        let mut alerts = Vec::new();
+        for i in 0..100u8 {
+            alerts.push(alert(1, [10, 0, 0, i]));
+            alerts.push(alert(1, [10, 0, 0, i]));
+        }
+        let inv = analyst.triage(&alerts);
+        assert_eq!(inv.len(), 100);
+        assert_eq!(inv.iter().filter(|i| i.pursued).count(), 5);
+        let pursued_fraction = 5.0 / 100.0;
+        assert!(pursued_fraction < 0.1, "the long tail escapes");
+    }
+
+    #[test]
+    fn pursuit_and_attribution_queries() {
+        let analyst = Analyst::new(AnalystConfig { pursuit_capacity: 1, min_alerts: 2 });
+        let alerts = vec![
+            alert(1, [1, 1, 1, 1]),
+            alert(2, [1, 1, 1, 1]),
+            alert(1, [2, 2, 2, 2]),
+            alert(1, [2, 2, 2, 2]),
+            alert(1, [2, 2, 2, 2]),
+        ];
+        assert!(analyst.is_pursued(&alerts, [2, 2, 2, 2].into()));
+        assert!(analyst.is_attributed(&alerts, [1, 1, 1, 1].into()));
+        assert!(!analyst.is_pursued(&alerts, [1, 1, 1, 1].into()));
+        assert!(!analyst.is_attributed(&alerts, [3, 3, 3, 3].into()));
+    }
+}

@@ -1,0 +1,262 @@
+//! Massive Volume Reduction — the surveillance system's first stage.
+//!
+//! Models the constraint at the heart of the paper's §2.1 argument: the
+//! NSA could store only 7.5 % of the traffic it received and reduced
+//! volume by ~30 % up front, "in part by throwing away all peer-to-peer
+//! traffic". The MVR therefore:
+//!
+//! 1. classifies each packet behaviourally ([`crate::classify`]),
+//! 2. discards whole classes configured as valueless (default: P2P, scan,
+//!    spam, DDoS — high-volume, non-user-attributable noise),
+//! 3. tracks how much of the remaining volume fits in the retention budget.
+//!
+//! The measurement techniques of §3 aim to be discarded at step 2.
+
+use underradar_netsim::packet::Packet;
+use underradar_netsim::time::SimTime;
+
+use crate::classify::{Classifier, ClassifierConfig, TrafficClass};
+
+/// What the MVR decided about a packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MvrDecision {
+    /// Discarded at stage 1; the analysis stage never sees it.
+    Discard(TrafficClass),
+    /// Retained for analysis.
+    Retain(TrafficClass),
+}
+
+impl MvrDecision {
+    /// The class assigned, either way.
+    pub fn class(self) -> TrafficClass {
+        match self {
+            MvrDecision::Discard(c) | MvrDecision::Retain(c) => c,
+        }
+    }
+
+    /// Whether the packet survived to analysis.
+    pub fn retained(self) -> bool {
+        matches!(self, MvrDecision::Retain(_))
+    }
+}
+
+/// MVR configuration.
+#[derive(Debug, Clone)]
+pub struct MvrConfig {
+    /// Classes discarded wholesale.
+    pub discard_classes: Vec<TrafficClass>,
+    /// Fraction of observed bytes the collector can afford to retain
+    /// (the NSA's 2009 figure was 0.075).
+    pub retention_budget: f64,
+    /// Classifier thresholds.
+    pub classifier: ClassifierConfig,
+}
+
+impl Default for MvrConfig {
+    fn default() -> Self {
+        MvrConfig {
+            discard_classes: vec![
+                TrafficClass::P2p,
+                TrafficClass::Scan,
+                TrafficClass::Spam,
+                TrafficClass::DdosSource,
+            ],
+            retention_budget: 0.075,
+            classifier: ClassifierConfig::default(),
+        }
+    }
+}
+
+/// Per-class byte/packet accounting.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ClassVolume {
+    /// Packets seen.
+    pub packets: u64,
+    /// Bytes seen.
+    pub bytes: u64,
+    /// Packets retained.
+    pub retained_packets: u64,
+    /// Bytes retained.
+    pub retained_bytes: u64,
+}
+
+/// The MVR stage.
+#[derive(Debug)]
+pub struct Mvr {
+    config: MvrConfig,
+    classifier: Classifier,
+    volumes: Vec<(TrafficClass, ClassVolume)>,
+}
+
+const ALL_CLASSES: [TrafficClass; 9] = [
+    TrafficClass::Scan,
+    TrafficClass::Spam,
+    TrafficClass::DdosSource,
+    TrafficClass::P2p,
+    TrafficClass::Dns,
+    TrafficClass::Web,
+    TrafficClass::Email,
+    TrafficClass::Icmp,
+    TrafficClass::Other,
+];
+
+impl Mvr {
+    /// Build an MVR stage.
+    pub fn new(config: MvrConfig) -> Mvr {
+        let classifier = Classifier::new(config.classifier);
+        Mvr {
+            config,
+            classifier,
+            volumes: ALL_CLASSES.iter().map(|&c| (c, ClassVolume::default())).collect(),
+        }
+    }
+
+    /// Process a packet through stage 1.
+    pub fn process(&mut self, now: SimTime, pkt: &Packet) -> MvrDecision {
+        let class = self.classifier.classify(now, pkt);
+        let bytes = pkt.wire_len() as u64;
+        let vol = self
+            .volumes
+            .iter_mut()
+            .find(|(c, _)| *c == class)
+            .map(|(_, v)| v)
+            .expect("all classes present");
+        vol.packets += 1;
+        vol.bytes += bytes;
+        if self.config.discard_classes.contains(&class) {
+            MvrDecision::Discard(class)
+        } else {
+            vol.retained_packets += 1;
+            vol.retained_bytes += bytes;
+            MvrDecision::Retain(class)
+        }
+    }
+
+    /// Per-class accounting.
+    pub fn volumes(&self) -> &[(TrafficClass, ClassVolume)] {
+        &self.volumes
+    }
+
+    /// Total bytes observed.
+    pub fn total_bytes(&self) -> u64 {
+        self.volumes.iter().map(|(_, v)| v.bytes).sum()
+    }
+
+    /// Total bytes retained.
+    pub fn retained_bytes(&self) -> u64 {
+        self.volumes.iter().map(|(_, v)| v.retained_bytes).sum()
+    }
+
+    /// The achieved retention fraction (retained / observed).
+    pub fn retention_rate(&self) -> f64 {
+        let total = self.total_bytes();
+        if total == 0 {
+            0.0
+        } else {
+            self.retained_bytes() as f64 / total as f64
+        }
+    }
+
+    /// Whether the achieved retention fits the configured budget — the
+    /// check the storage-constraint experiment (E9) reports.
+    pub fn within_budget(&self) -> bool {
+        self.retention_rate() <= self.config.retention_budget
+    }
+
+    /// Access the classifier (e.g. for label queries).
+    pub fn classifier(&self) -> &Classifier {
+        &self.classifier
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+    use underradar_netsim::wire::tcp::TcpFlags;
+
+    const SRC: Ipv4Addr = Ipv4Addr::new(10, 0, 1, 9);
+    const DST: Ipv4Addr = Ipv4Addr::new(93, 184, 216, 34);
+
+    #[test]
+    fn scan_traffic_discarded_web_retained() {
+        let mut mvr = Mvr::new(MvrConfig::default());
+        // Make the source a scanner.
+        let mut scan_decisions = Vec::new();
+        for port in 0..30u16 {
+            let syn = Packet::tcp(SRC, DST, 44000, 1000 + port, 0, 0, TcpFlags::syn(), vec![]);
+            scan_decisions.push(mvr.process(SimTime::ZERO, &syn));
+        }
+        assert!(
+            scan_decisions.iter().skip(20).all(|d| matches!(d, MvrDecision::Discard(TrafficClass::Scan))),
+            "sticky scanners discarded"
+        );
+        let web = Packet::tcp(
+            Ipv4Addr::new(10, 0, 1, 50),
+            DST,
+            40000,
+            80,
+            0,
+            0,
+            TcpFlags::psh_ack(),
+            b"GET /".to_vec(),
+        );
+        assert!(mvr.process(SimTime::ZERO, &web).retained());
+    }
+
+    #[test]
+    fn p2p_always_discarded() {
+        let mut mvr = Mvr::new(MvrConfig::default());
+        let raw = Packet {
+            src: SRC,
+            dst: DST,
+            ttl: 64,
+            ident: 0,
+            body: underradar_netsim::packet::PacketBody::Raw { protocol: 99, payload: vec![0; 1400] },
+        };
+        let d = mvr.process(SimTime::ZERO, &raw);
+        assert_eq!(d, MvrDecision::Discard(TrafficClass::P2p));
+        assert_eq!(d.class(), TrafficClass::P2p);
+        assert!(!d.retained());
+    }
+
+    #[test]
+    fn accounting_sums() {
+        let mut mvr = Mvr::new(MvrConfig::default());
+        let web = Packet::tcp(SRC, DST, 40000, 80, 0, 0, TcpFlags::psh_ack(), vec![0; 100]);
+        let raw = Packet {
+            src: SRC,
+            dst: DST,
+            ttl: 64,
+            ident: 0,
+            body: underradar_netsim::packet::PacketBody::Raw { protocol: 99, payload: vec![0; 300] },
+        };
+        mvr.process(SimTime::ZERO, &web);
+        mvr.process(SimTime::ZERO, &raw);
+        assert_eq!(mvr.total_bytes(), web.wire_len() as u64 + raw.wire_len() as u64);
+        assert_eq!(mvr.retained_bytes(), web.wire_len() as u64);
+        let rate = mvr.retention_rate();
+        assert!(rate > 0.0 && rate < 1.0);
+    }
+
+    #[test]
+    fn custom_discard_classes() {
+        let config = MvrConfig {
+            discard_classes: vec![TrafficClass::Web],
+            ..MvrConfig::default()
+        };
+        let mut mvr = Mvr::new(config);
+        let web = Packet::tcp(SRC, DST, 40000, 80, 0, 0, TcpFlags::psh_ack(), b"GET".to_vec());
+        assert!(!mvr.process(SimTime::ZERO, &web).retained());
+        let dns = Packet::udp(SRC, DST, 5000, 53, b"q".to_vec());
+        assert!(mvr.process(SimTime::ZERO, &dns).retained());
+    }
+
+    #[test]
+    fn empty_mvr_rates() {
+        let mvr = Mvr::new(MvrConfig::default());
+        assert_eq!(mvr.retention_rate(), 0.0);
+        assert!(mvr.within_budget());
+        assert_eq!(mvr.total_bytes(), 0);
+    }
+}

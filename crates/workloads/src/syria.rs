@@ -1,0 +1,237 @@
+//! Synthetic censorship logs calibrated to the Syria statistic.
+//!
+//! §2.2 cites Chaabane et al.'s analysis of two days of leaked Syrian
+//! proxy logs: **1.57 % of the population accessed at least one censored
+//! site** — too many users for alert-on-every-censored-request targeting
+//! to be actionable. The real logs are not available (and should not be),
+//! so this module generates a synthetic log with the same aggregate shape:
+//!
+//! * per-user request counts are Poisson with mean `mean_requests`;
+//! * each request independently hits censored content with probability
+//!   `p_censored`;
+//! * hence the fraction of users with ≥1 censored access is
+//!   `1 − E[(1−p)^N] = 1 − exp(−λ·p)` — and `p` is solved from the target
+//!   fraction in [`SyriaLogConfig::paper_calibrated`].
+
+use underradar_netsim::rng::SimRng;
+use underradar_netsim::time::{SimDuration, SimTime};
+
+use crate::zipf::Zipf;
+
+/// One log line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SyriaLogEntry {
+    /// Anonymous user id.
+    pub user: u32,
+    /// Request time within the log window.
+    pub time: SimTime,
+    /// Requested domain (rank into the popularity table, or a censored
+    /// site name).
+    pub domain: String,
+    /// Whether the proxy censored the request.
+    pub censored: bool,
+}
+
+/// Generator configuration.
+#[derive(Debug, Clone)]
+pub struct SyriaLogConfig {
+    /// Number of users in the population.
+    pub users: u32,
+    /// Log window (the leak covered two days).
+    pub window: SimDuration,
+    /// Mean requests per user over the window (Poisson λ).
+    pub mean_requests: f64,
+    /// Per-request probability of touching censored content.
+    pub p_censored: f64,
+    /// Number of ordinary domains (Zipf popularity).
+    pub domains: usize,
+    /// Names of censored sites requests may hit.
+    pub censored_sites: Vec<String>,
+}
+
+impl SyriaLogConfig {
+    /// Calibrated so the expected fraction of users with ≥1 censored
+    /// access equals the paper's 1.57 %.
+    pub fn paper_calibrated(users: u32) -> SyriaLogConfig {
+        let target = 0.0157f64;
+        let lambda = 100.0;
+        // 1 - exp(-λ p) = target  =>  p = -ln(1 - target) / λ
+        let p_censored = -(1.0 - target).ln() / lambda;
+        SyriaLogConfig {
+            users,
+            window: SimDuration::from_days(2),
+            mean_requests: lambda,
+            p_censored,
+            domains: 2000,
+            censored_sites: vec![
+                "facebook.com".to_string(),
+                "youtube.com".to_string(),
+                "twitter.com".to_string(),
+                "aljazeera.net".to_string(),
+                "wikileaks.org".to_string(),
+            ],
+        }
+    }
+
+    /// The analytic expectation of the fraction of users with ≥1 censored
+    /// access under this config.
+    pub fn expected_fraction(&self) -> f64 {
+        1.0 - (-self.mean_requests * self.p_censored).exp()
+    }
+}
+
+/// A generated log.
+#[derive(Debug)]
+pub struct SyriaLog {
+    /// All entries, time-ordered per user (not globally sorted; sort if
+    /// needed).
+    pub entries: Vec<SyriaLogEntry>,
+    /// Population size the log was generated for.
+    pub users: u32,
+}
+
+impl SyriaLog {
+    /// Generate a log.
+    pub fn generate(config: &SyriaLogConfig, rng: &mut SimRng) -> SyriaLog {
+        let zipf = Zipf::new(config.domains.max(1), 1.0);
+        let mut entries = Vec::new();
+        let window_ns = config.window.as_nanos();
+        for user in 0..config.users {
+            let n = poisson(config.mean_requests, rng);
+            for _ in 0..n {
+                let censored = rng.chance(config.p_censored);
+                let domain = if censored {
+                    config.censored_sites[rng.index(config.censored_sites.len().max(1))].clone()
+                } else {
+                    format!("site{}.example", zipf.sample(rng))
+                };
+                entries.push(SyriaLogEntry {
+                    user,
+                    time: SimTime::from_nanos(rng.range_u64(0, window_ns.max(1))),
+                    domain,
+                    censored,
+                });
+            }
+        }
+        SyriaLog { entries, users: config.users }
+    }
+
+    /// Total requests.
+    pub fn total_requests(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Censored requests.
+    pub fn censored_requests(&self) -> usize {
+        self.entries.iter().filter(|e| e.censored).count()
+    }
+
+    /// Distinct users with at least one censored access.
+    pub fn users_with_censored_access(&self) -> usize {
+        let mut seen = vec![false; self.users as usize];
+        for e in &self.entries {
+            if e.censored {
+                seen[e.user as usize] = true;
+            }
+        }
+        seen.iter().filter(|&&s| s).count()
+    }
+
+    /// The headline statistic: fraction of the population that touched
+    /// censored content at least once.
+    pub fn fraction_users_censored(&self) -> f64 {
+        if self.users == 0 {
+            return 0.0;
+        }
+        self.users_with_censored_access() as f64 / self.users as f64
+    }
+}
+
+/// Knuth's Poisson sampler (fine for λ ≤ a few hundred).
+fn poisson(lambda: f64, rng: &mut SimRng) -> u32 {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    let l = (-lambda).exp();
+    let mut k = 0u32;
+    let mut p = 1.0f64;
+    loop {
+        p *= rng.unit().max(f64::MIN_POSITIVE);
+        if p <= l {
+            return k;
+        }
+        k += 1;
+        if k > 100_000 {
+            return k; // guard against pathological λ
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_matches_the_paper_fraction() {
+        let config = SyriaLogConfig::paper_calibrated(30_000);
+        assert!((config.expected_fraction() - 0.0157).abs() < 1e-9);
+        let mut rng = SimRng::seed_from_u64(42);
+        let log = SyriaLog::generate(&config, &mut rng);
+        let frac = log.fraction_users_censored();
+        assert!(
+            (frac - 0.0157).abs() < 0.003,
+            "measured {frac}, expected ≈0.0157"
+        );
+    }
+
+    #[test]
+    fn request_volume_matches_lambda() {
+        let config = SyriaLogConfig::paper_calibrated(2_000);
+        let mut rng = SimRng::seed_from_u64(7);
+        let log = SyriaLog::generate(&config, &mut rng);
+        let per_user = log.total_requests() as f64 / 2_000.0;
+        assert!((per_user - 100.0).abs() < 3.0, "mean requests {per_user}");
+    }
+
+    #[test]
+    fn censored_entries_use_censored_sites() {
+        let config = SyriaLogConfig::paper_calibrated(500);
+        let mut rng = SimRng::seed_from_u64(9);
+        let log = SyriaLog::generate(&config, &mut rng);
+        for e in log.entries.iter().filter(|e| e.censored) {
+            assert!(config.censored_sites.contains(&e.domain), "{}", e.domain);
+        }
+        for e in log.entries.iter().filter(|e| !e.censored).take(100) {
+            assert!(e.domain.starts_with("site"));
+        }
+    }
+
+    #[test]
+    fn times_inside_window() {
+        let config = SyriaLogConfig::paper_calibrated(100);
+        let mut rng = SimRng::seed_from_u64(3);
+        let log = SyriaLog::generate(&config, &mut rng);
+        let end = SimTime::ZERO + config.window;
+        assert!(log.entries.iter().all(|e| e.time < end));
+    }
+
+    #[test]
+    fn poisson_sampler_mean() {
+        let mut rng = SimRng::seed_from_u64(11);
+        let n = 5_000;
+        let sum: u64 = (0..n).map(|_| u64::from(poisson(30.0, &mut rng))).sum();
+        let mean = sum as f64 / n as f64;
+        assert!((mean - 30.0).abs() < 0.5, "poisson mean {mean}");
+        assert_eq!(poisson(0.0, &mut rng), 0);
+    }
+
+    #[test]
+    fn empty_population() {
+        let mut config = SyriaLogConfig::paper_calibrated(0);
+        config.users = 0;
+        let mut rng = SimRng::seed_from_u64(1);
+        let log = SyriaLog::generate(&config, &mut rng);
+        assert_eq!(log.total_requests(), 0);
+        assert_eq!(log.fraction_users_censored(), 0.0);
+    }
+}

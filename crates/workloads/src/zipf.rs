@@ -1,0 +1,127 @@
+//! Zipf-distributed rank sampling.
+//!
+//! Domain popularity, request targets and similar heavy-tailed choices are
+//! sampled from a Zipf distribution with exponent `s` over `n` ranks.
+//! Implemented with a precomputed CDF and binary search; construction is
+//! O(n), sampling O(log n).
+
+use underradar_netsim::rng::SimRng;
+
+/// A Zipf sampler over ranks `0..n`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build a sampler over `n` ranks with exponent `s` (s = 1.0 is the
+    /// classic Zipf). `n` of zero yields a degenerate sampler returning 0.
+    pub fn new(n: usize, s: f64) -> Zipf {
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for rank in 1..=n {
+            acc += 1.0 / (rank as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc.max(f64::MIN_POSITIVE);
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the sampler is degenerate.
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Sample a rank in `0..n` (0 = most popular).
+    pub fn sample(&self, rng: &mut SimRng) -> usize {
+        if self.cdf.is_empty() {
+            return 0;
+        }
+        let u = rng.unit();
+        match self.cdf.binary_search_by(|probe| {
+            probe.partial_cmp(&u).unwrap_or(std::cmp::Ordering::Equal)
+        }) {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+
+    /// The probability mass of a rank.
+    pub fn pmf(&self, rank: usize) -> f64 {
+        if rank >= self.cdf.len() {
+            return 0.0;
+        }
+        if rank == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[rank] - self.cdf[rank - 1]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn head_dominates_tail() {
+        let z = Zipf::new(1000, 1.0);
+        assert!(z.pmf(0) > z.pmf(10));
+        assert!(z.pmf(10) > z.pmf(500));
+        let mut rng = SimRng::seed_from_u64(1);
+        let mut head = 0;
+        let n = 50_000;
+        for _ in 0..n {
+            if z.sample(&mut rng) < 10 {
+                head += 1;
+            }
+        }
+        let frac = head as f64 / n as f64;
+        // For Zipf(1.0, 1000): mass of top-10 ≈ H(10)/H(1000) ≈ 2.93/7.49 ≈ 0.39.
+        assert!((frac - 0.39).abs() < 0.03, "head mass {frac}");
+    }
+
+    #[test]
+    fn samples_cover_range() {
+        let z = Zipf::new(50, 1.0);
+        let mut rng = SimRng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 50);
+        }
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let z = Zipf::new(200, 1.2);
+        let total: f64 = (0..200).map(|r| z.pmf(r)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert_eq!(z.pmf(999), 0.0);
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        let z = Zipf::new(0, 1.0);
+        assert!(z.is_empty());
+        let mut rng = SimRng::seed_from_u64(3);
+        assert_eq!(z.sample(&mut rng), 0);
+        let z1 = Zipf::new(1, 1.0);
+        assert_eq!(z1.sample(&mut rng), 0);
+        assert_eq!(z1.len(), 1);
+    }
+
+    #[test]
+    fn flat_exponent_is_uniformish() {
+        let z = Zipf::new(10, 0.0);
+        for r in 0..10 {
+            assert!((z.pmf(r) - 0.1).abs() < 1e-9);
+        }
+    }
+}

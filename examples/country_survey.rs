@@ -1,0 +1,85 @@
+//! A country-scale censorship survey using stealthy methods only.
+//!
+//! Models the workflow a measurement platform would run from one consenting
+//! client inside a censored country: for every target of interest, measure
+//! DNS censorship with a spam-style campaign and web reachability with a
+//! DDoS-cloaked burst, then print an OONI-style report plus the risk
+//! ledger — did any of this alert the surveillance system?
+//!
+//! ```sh
+//! cargo run --example country_survey
+//! ```
+
+use underradar::censor::CensorPolicy;
+use underradar::core::methods::ddos::DdosProbe;
+use underradar::core::methods::spam::SpamProbe;
+use underradar::core::testbed::{Testbed, TestbedConfig};
+use underradar::netsim::time::{SimDuration, SimTime};
+use underradar::protocols::dns::DnsName;
+
+fn main() {
+    // The "country": DNS-blocks twitter, keyword-blocks falun.
+    let policy = CensorPolicy::new()
+        .block_domain(&DnsName::parse("twitter.com").expect("domain"))
+        .block_keyword("falun");
+    let mut tb = Testbed::build(TestbedConfig { policy, seed: 2026, ..TestbedConfig::default() });
+    let resolver = tb.resolver_ip;
+
+    // Spam campaign across every target (warm-up earns the spammer label,
+    // which is what keeps the censored lookups out of the analysis stage).
+    let survey_domains = ["bbc.com", "example.org", "youtube.com", "twitter.com"];
+    let mut spam_idx = Vec::new();
+    for (i, domain) in survey_domains.iter().enumerate() {
+        let d = DnsName::parse(domain).expect("domain");
+        let idx = tb.spawn_on_client(
+            SimTime::ZERO + SimDuration::from_secs(2 * i as u64),
+            Box::new(SpamProbe::new(&d, resolver, i as u64)),
+        );
+        spam_idx.push((*domain, idx));
+    }
+
+    // DDoS-cloaked keyword checks against a reachable host.
+    let web = tb.target("bbc.com").expect("bbc").web_ip;
+    let warm = tb.spawn_on_client(
+        SimTime::ZERO + SimDuration::from_secs(10),
+        Box::new(DdosProbe::new(web, "bbc.com", "/", 60)),
+    );
+    let keyword_probe = tb.spawn_on_client(
+        SimTime::ZERO + SimDuration::from_secs(15),
+        Box::new(DdosProbe::new(web, "bbc.com", "/falun-news", 20)),
+    );
+    let control_probe = tb.spawn_on_client(
+        SimTime::ZERO + SimDuration::from_secs(16),
+        Box::new(DdosProbe::new(web, "bbc.com", "/weather", 20)),
+    );
+
+    tb.run_secs(300);
+
+    println!("censorship survey (stealthy methods only)");
+    println!("------------------------------------------");
+    for (domain, idx) in &spam_idx {
+        let probe = tb.client_task::<SpamProbe>(*idx).expect("spam probe state");
+        println!("dns/{domain:<14} -> {}", probe.verdict());
+    }
+    let kw = tb.client_task::<DdosProbe>(keyword_probe).expect("keyword probe");
+    let ctl = tb.client_task::<DdosProbe>(control_probe).expect("control probe");
+    println!("http keyword 'falun'   -> {}", kw.verdict());
+    println!("http control path      -> {}", ctl.verdict());
+    let _ = warm;
+
+    println!("\nrisk ledger");
+    println!("-----------");
+    let surveillance = tb.surveillance();
+    println!("packets observed by surveillance: {}", surveillance.stats().observed);
+    println!("packets discarded by the MVR:     {}", surveillance.stats().discarded);
+    println!("alerts attributed to the client:  {}", surveillance.alerts_for(tb.client_ip));
+    println!(
+        "client attributed / pursued:      {} / {}",
+        surveillance.is_attributed(tb.client_ip),
+        surveillance.is_pursued(tb.client_ip)
+    );
+    println!(
+        "\nground truth: the censor acted {} times during the survey",
+        tb.censor_actions().len()
+    );
+}

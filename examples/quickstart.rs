@@ -1,0 +1,56 @@
+//! Quickstart: measure a keyword censor two ways — overtly (the risky
+//! baseline) and with a botnet-looking SYN scan — and compare both the
+//! verdicts and what the surveillance system learned about the client.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use underradar::censor::CensorPolicy;
+use underradar::core::methods::overt::OvertProbe;
+use underradar::core::methods::scan::SynScanProbe;
+use underradar::core::ports::top_ports;
+use underradar::core::risk::RiskReport;
+use underradar::core::testbed::{TargetSite, Testbed, TestbedConfig};
+use underradar::netsim::addr::Cidr;
+use underradar::netsim::time::SimTime;
+use underradar::protocols::dns::DnsName;
+
+fn main() {
+    // The censor blackholes twitter.com's web server and poisons its DNS.
+    let target = TargetSite::numbered("twitter.com", 0).web_ip;
+    let domain = DnsName::parse("twitter.com").expect("valid domain");
+    let policy = CensorPolicy::new()
+        .block_ip(Cidr::host(target))
+        .block_domain(&domain);
+
+    println!("== overt (OONI-style) measurement ==");
+    {
+        let mut tb = Testbed::build(TestbedConfig { policy: policy.clone(), ..TestbedConfig::default() });
+        let idx = tb.spawn_on_client(
+            SimTime::ZERO,
+            Box::new(OvertProbe::new(&domain, tb.resolver_ip, tb.collector_ip, "/")),
+        );
+        tb.run_secs(20);
+        let probe = tb.client_task::<OvertProbe>(idx).expect("probe state");
+        let report = RiskReport::evaluate(&tb, &probe.verdict());
+        println!("verdict: {}", probe.verdict());
+        println!("risk:    {}", report.summary());
+        println!("         (the client is the lone suspect — this is the problem)\n");
+    }
+
+    println!("== scan-cloaked measurement (Method #1) ==");
+    {
+        let mut tb = Testbed::build(TestbedConfig { policy, ..TestbedConfig::default() });
+        let idx = tb.spawn_on_client(
+            SimTime::ZERO,
+            Box::new(SynScanProbe::new(target, top_ports(60), vec![80])),
+        );
+        tb.run_secs(30);
+        let scan = tb.client_task::<SynScanProbe>(idx).expect("probe state");
+        let report = RiskReport::evaluate(&tb, &scan.verdict());
+        println!("verdict: {}", scan.verdict());
+        println!("risk:    {}", report.summary());
+        println!("         (same conclusion, but the MVR discarded the probe traffic)");
+    }
+}

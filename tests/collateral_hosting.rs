@@ -1,0 +1,132 @@
+//! §4.1's hosting argument: "The rise of cloud services makes it possible
+//! to host the measurement target in a location that may resemble a real
+//! target of interest, thereby evading blocking. For example, the target
+//! could be hosted on Amazon Web Services, which shares IP ranges with
+//! real measurement targets."
+//!
+//! These tests model the economics: a censor can blackhole the
+//! measurement server's exact address, but as soon as the measurer moves
+//! within the shared prefix, the censor's only durable options are
+//! whack-a-mole or blocking the whole prefix — which takes down the real
+//! services hosted beside it (collateral damage).
+
+use std::net::Ipv4Addr;
+
+use underradar::censor::CensorPolicy;
+use underradar::core::methods::ddos::DdosProbe;
+use underradar::core::testbed::{Testbed, TestbedConfig};
+use underradar::netsim::addr::Cidr;
+use underradar::netsim::time::{SimDuration, SimTime};
+
+/// The testbed's collector (198.51.100.99) and measurement server
+/// (198.51.100.200) share the 198.51.100.0/24 "cloud" prefix by
+/// construction; we stand up web service on the collector to play the
+/// innocent cloud tenant.
+const CLOUD_PREFIX: Ipv4Addr = Ipv4Addr::new(198, 51, 100, 0);
+
+fn fetch_status(tb: &Testbed, idx: usize) -> Option<u16> {
+    tb.client_task::<DdosProbe>(idx).and_then(|p| {
+        p.samples.first().and_then(|s| match s {
+            underradar::core::methods::ddos::SampleOutcome::Status(code) => Some(*code),
+            _ => None,
+        })
+    })
+}
+
+#[test]
+fn exact_block_hits_only_the_measurement_server() {
+    // Censor blackholes the measurement server's /32.
+    let policy = CensorPolicy::new().block_ip(Cidr::host(Ipv4Addr::new(198, 51, 100, 200)));
+    let mut tb = Testbed::build(TestbedConfig { policy, seed: 300, ..TestbedConfig::default() });
+    // The innocent tenant (a normal website) stays reachable.
+    let innocent = tb.target("bbc.com").expect("t").web_ip;
+    let idx = tb.spawn_on_client(SimTime::ZERO, Box::new(DdosProbe::new(innocent, "bbc.com", "/", 1)));
+    tb.run_secs(30);
+    assert_eq!(fetch_status(&tb, idx), Some(200));
+}
+
+#[test]
+fn prefix_block_causes_collateral_damage() {
+    // The durable counter-measure — blocking the whole shared /24 — takes
+    // the collector-hosted real service down with it.
+    let policy = CensorPolicy::new().block_ip(Cidr::slash24(CLOUD_PREFIX));
+    let mut tb = Testbed::build(TestbedConfig { policy, seed: 301, ..TestbedConfig::default() });
+    let collector = tb.collector_ip;
+    assert!(Cidr::slash24(CLOUD_PREFIX).contains(collector), "shared prefix by construction");
+    assert!(Cidr::slash24(CLOUD_PREFIX).contains(tb.mserver_ip));
+
+    // A legitimate fetch of the cloud-hosted service (the collector's web
+    // endpoint) now times out: collateral damage.
+    struct CloudFetch {
+        target: Ipv4Addr,
+        timed_out: bool,
+    }
+    impl underradar::netsim::HostTask for CloudFetch {
+        fn on_start(&mut self, api: &mut underradar::netsim::HostApi<'_, '_>) {
+            api.tcp_connect(self.target, 443);
+        }
+        fn on_tcp(
+            &mut self,
+            _api: &mut underradar::netsim::HostApi<'_, '_>,
+            _c: underradar::netsim::ConnId,
+            ev: underradar::netsim::TcpEvent,
+        ) {
+            if ev == underradar::netsim::TcpEvent::TimedOut {
+                self.timed_out = true;
+            }
+        }
+    }
+    let idx = tb.spawn_on_client(
+        SimTime::ZERO,
+        Box::new(CloudFetch { target: collector, timed_out: false }),
+    );
+    tb.run_secs(30);
+    let host = tb.sim.node_ref::<underradar::netsim::Host>(tb.client).expect("client");
+    assert!(
+        host.task_ref::<CloudFetch>(idx).expect("task").timed_out,
+        "the innocent cloud service died with the prefix block"
+    );
+    // And sites outside the cloud prefix are unaffected.
+    let outside = tb.target("example.org").expect("t").web_ip;
+    let idx2 = tb.spawn_on_client(
+        SimTime::ZERO + SimDuration::from_secs(1),
+        Box::new(DdosProbe::new(outside, "example.org", "/", 1)),
+    );
+    tb.run_secs(30);
+    assert_eq!(fetch_status(&tb, idx2), Some(200));
+}
+
+#[test]
+fn measurer_can_rotate_within_the_shared_prefix() {
+    // Whack-a-mole: a /32 block on the old address does nothing once the
+    // measurer rotates to a new one in the same prefix.
+    let old_addr = Ipv4Addr::new(198, 51, 100, 200);
+    let policy = CensorPolicy::new().block_ip(Cidr::host(old_addr));
+    let mut tb = Testbed::build(TestbedConfig { policy, seed: 302, ..TestbedConfig::default() });
+    // The collector (a different address in the same /24) stands in for
+    // the rotated measurement endpoint.
+    let rotated = tb.collector_ip;
+    struct Reach {
+        target: Ipv4Addr,
+        connected: bool,
+    }
+    impl underradar::netsim::HostTask for Reach {
+        fn on_start(&mut self, api: &mut underradar::netsim::HostApi<'_, '_>) {
+            api.tcp_connect(self.target, 443);
+        }
+        fn on_tcp(
+            &mut self,
+            _api: &mut underradar::netsim::HostApi<'_, '_>,
+            _c: underradar::netsim::ConnId,
+            ev: underradar::netsim::TcpEvent,
+        ) {
+            if ev == underradar::netsim::TcpEvent::Connected {
+                self.connected = true;
+            }
+        }
+    }
+    let idx = tb.spawn_on_client(SimTime::ZERO, Box::new(Reach { target: rotated, connected: false }));
+    tb.run_secs(10);
+    let host = tb.sim.node_ref::<underradar::netsim::Host>(tb.client).expect("client");
+    assert!(host.task_ref::<Reach>(idx).expect("task").connected, "rotation defeats /32 blocks");
+}

@@ -1,0 +1,187 @@
+//! Cross-crate integration tests: full measurement scenarios running
+//! through the assembled testbed (netsim + protocols + ids + censor +
+//! surveil + core).
+
+use underradar::censor::CensorPolicy;
+use underradar::core::methods::ddos::DdosProbe;
+use underradar::core::methods::overt::OvertProbe;
+use underradar::core::methods::scan::SynScanProbe;
+use underradar::core::methods::spam::SpamProbe;
+use underradar::core::methods::stateless::{StatelessDnsMimicry, StatelessSynMimicry};
+use underradar::core::ports::top_ports;
+use underradar::core::testbed::{TargetSite, Testbed, TestbedConfig};
+use underradar::core::verdict::Mechanism;
+use underradar::netsim::addr::Cidr;
+use underradar::netsim::time::{SimDuration, SimTime};
+use underradar::protocols::dns::{DnsName, QType};
+
+fn name(s: &str) -> DnsName {
+    DnsName::parse(s).expect("valid domain literal")
+}
+
+#[test]
+fn every_method_agrees_on_an_uncensored_world() {
+    // With no censorship at all, all methods should read "reachable" and
+    // nothing should be attributed to the client.
+    let mut tb = Testbed::build(TestbedConfig { seed: 100, ..TestbedConfig::default() });
+    let resolver = tb.resolver_ip;
+    let web = tb.target("bbc.com").expect("bbc").web_ip;
+
+    let overt = tb.spawn_on_client(
+        SimTime::ZERO,
+        Box::new(OvertProbe::new(&name("bbc.com"), resolver, tb.collector_ip, "/")),
+    );
+    let scan = tb.spawn_on_client(
+        SimTime::ZERO + SimDuration::from_secs(5),
+        Box::new(SynScanProbe::new(web, vec![80, 443], vec![80])),
+    );
+    let spam = tb.spawn_on_client(
+        SimTime::ZERO + SimDuration::from_secs(12),
+        Box::new(SpamProbe::new(&name("bbc.com"), resolver, 1)),
+    );
+    let ddos = tb.spawn_on_client(
+        SimTime::ZERO + SimDuration::from_secs(20),
+        Box::new(DdosProbe::new(web, "bbc.com", "/", 10)),
+    );
+    let mimicry = tb.spawn_on_client(
+        SimTime::ZERO + SimDuration::from_secs(30),
+        Box::new(StatelessDnsMimicry::new(&name("bbc.com"), QType::A, resolver, vec![])),
+    );
+    tb.run_secs(90);
+
+    assert!(tb.client_task::<OvertProbe>(overt).expect("overt").verdict().is_reachable());
+    assert!(tb.client_task::<SynScanProbe>(scan).expect("scan").verdict().is_reachable());
+    assert!(tb.client_task::<SpamProbe>(spam).expect("spam").verdict().is_reachable());
+    assert!(tb.client_task::<DdosProbe>(ddos).expect("ddos").verdict().is_reachable());
+    assert!(
+        tb.client_task::<StatelessDnsMimicry>(mimicry).expect("mimicry").verdict().is_reachable()
+    );
+    assert!(!tb.censor_acted());
+}
+
+#[test]
+fn methods_detect_the_mechanisms_they_are_built_for() {
+    // DNS poisoning.
+    {
+        let policy = CensorPolicy::new().block_domain(&name("twitter.com"));
+        let mut tb = Testbed::build(TestbedConfig { policy, seed: 101, ..TestbedConfig::default() });
+        let idx = tb.spawn_on_client(
+            SimTime::ZERO,
+            Box::new(SpamProbe::new(&name("twitter.com"), tb.resolver_ip, 3)),
+        );
+        tb.run_secs(30);
+        assert_eq!(
+            tb.client_task::<SpamProbe>(idx).expect("probe").verdict().mechanism(),
+            Some(Mechanism::DnsPoison)
+        );
+    }
+    // IP blackholing.
+    {
+        let target = TargetSite::numbered("twitter.com", 0).web_ip;
+        let policy = CensorPolicy::new().block_ip(Cidr::host(target));
+        let mut tb = Testbed::build(TestbedConfig { policy, seed: 102, ..TestbedConfig::default() });
+        let idx = tb.spawn_on_client(
+            SimTime::ZERO,
+            Box::new(StatelessSynMimicry::new(target, 80, tb.cover_ips.clone())),
+        );
+        tb.run_secs(10);
+        assert_eq!(
+            tb.client_task::<StatelessSynMimicry>(idx).expect("probe").verdict().mechanism(),
+            Some(Mechanism::Blackhole)
+        );
+    }
+    // Keyword RST injection.
+    {
+        let policy = CensorPolicy::new().block_keyword("falun");
+        let mut tb = Testbed::build(TestbedConfig { policy, seed: 103, ..TestbedConfig::default() });
+        let web = tb.target("bbc.com").expect("bbc").web_ip;
+        let idx = tb.spawn_on_client(
+            SimTime::ZERO,
+            Box::new(DdosProbe::new(web, "bbc.com", "/falun", 10)),
+        );
+        tb.run_secs(60);
+        assert_eq!(
+            tb.client_task::<DdosProbe>(idx).expect("probe").verdict().mechanism(),
+            Some(Mechanism::RstInjection)
+        );
+    }
+}
+
+#[test]
+fn identical_seeds_give_identical_runs() {
+    let run = |seed: u64| -> (String, usize, u64) {
+        let policy = CensorPolicy::new().block_domain(&name("twitter.com"));
+        let mut tb = Testbed::build(TestbedConfig { policy, seed, ..TestbedConfig::default() });
+        let idx = tb.spawn_on_client(
+            SimTime::ZERO,
+            Box::new(OvertProbe::new(&name("twitter.com"), tb.resolver_ip, tb.collector_ip, "/")),
+        );
+        tb.run_secs(20);
+        let verdict = tb.client_task::<OvertProbe>(idx).expect("probe").verdict().to_string();
+        let alerts = tb.surveillance().alerts_for(tb.client_ip);
+        (verdict, alerts, tb.sim.events_processed())
+    };
+    let a = run(9);
+    let b = run(9);
+    assert_eq!(a, b, "same seed, same everything");
+    let c = run(10);
+    assert_eq!(a.0, c.0, "conclusions are seed-independent");
+}
+
+#[test]
+fn surveillance_sees_everything_but_keeps_content_selectively() {
+    let mut tb = Testbed::build(TestbedConfig { seed: 104, ..TestbedConfig::default() });
+    let web = tb.target("example.org").expect("t").web_ip;
+    tb.spawn_on_client(
+        SimTime::ZERO,
+        Box::new(SynScanProbe::new(web, top_ports(40), vec![80])),
+    );
+    tb.run_secs(30);
+    let s = tb.surveillance();
+    let stats = s.stats();
+    assert!(stats.observed > 40);
+    assert!(stats.discarded > 0, "scan class discarded");
+    // Metadata for everything observed; content only for retained.
+    assert_eq!(s.stores().metadata.total_inserted(), stats.observed);
+    assert!(s.stores().content.total_inserted() < stats.observed);
+}
+
+#[test]
+fn censor_overblocking_hits_innocent_traffic_too() {
+    // §2.1: "censors block a lot of content and often have a tendency to
+    // overblock." A keyword policy resets ANY flow carrying the keyword —
+    // including an innocent user's — which is exactly what measurement
+    // exploits but also what collateral damage looks like.
+    let policy = CensorPolicy::new().block_keyword("falun");
+    let mut tb = Testbed::build(TestbedConfig { policy, seed: 105, ..TestbedConfig::default() });
+    let web = tb.target("bbc.com").expect("t").web_ip;
+    // An innocent search query containing the keyword as a substring.
+    let idx = tb.spawn_on_client(
+        SimTime::ZERO,
+        Box::new(DdosProbe::new(web, "bbc.com", "/search?q=falun+dafa+history", 3)),
+    );
+    tb.run_secs(30);
+    let probe = tb.client_task::<DdosProbe>(idx).expect("probe");
+    assert!(probe.verdict().is_censored(), "overblocking confirmed");
+}
+
+#[test]
+fn capture_shows_injected_rsts_racing_real_traffic() {
+    let policy = CensorPolicy::new().block_keyword("falun");
+    let mut tb = Testbed::build(TestbedConfig {
+        policy,
+        capture: true,
+        seed: 106,
+        ..TestbedConfig::default()
+    });
+    let web = tb.target("bbc.com").expect("t").web_ip;
+    tb.spawn_on_client(SimTime::ZERO, Box::new(DdosProbe::new(web, "bbc.com", "/falun", 2)));
+    tb.run_secs(30);
+    let cap = tb.sim.capture().expect("capture enabled");
+    // The censor's RSTs appear on the wire from the censor node.
+    let injected = cap
+        .sent_by(tb.censor)
+        .filter(|r| r.packet.as_tcp().map(|t| t.flags.has_rst()).unwrap_or(false))
+        .count();
+    assert!(injected >= 2, "RST pair(s) injected, saw {injected}");
+}

@@ -1,0 +1,94 @@
+//! Longitudinal risk: running measurements *repeatedly* is where overt and
+//! covert techniques diverge hardest. One overt probe is one alert; a
+//! monitoring campaign is an alert stream that walks the client up the
+//! analyst's ranking. The covert methods stay flat at zero.
+
+use underradar::censor::CensorPolicy;
+use underradar::core::methods::overt::OvertProbe;
+use underradar::core::methods::scan::SynScanProbe;
+use underradar::core::ports::top_ports;
+use underradar::core::testbed::{TargetSite, Testbed, TestbedConfig};
+use underradar::netsim::time::{SimDuration, SimTime};
+use underradar::protocols::dns::DnsName;
+
+#[test]
+fn repeated_overt_monitoring_escalates_to_pursuit() {
+    let policy = CensorPolicy::new().block_domain(&DnsName::parse("twitter.com").expect("n"));
+    let mut tb = Testbed::build(TestbedConfig { policy, seed: 500, ..TestbedConfig::default() });
+    let resolver = tb.resolver_ip;
+    let collector = tb.collector_ip;
+    // A daily-monitoring campaign, compressed: 8 rounds of the same probe.
+    for round in 0..8u64 {
+        let d = DnsName::parse("twitter.com").expect("n");
+        tb.spawn_on_client(
+            SimTime::ZERO + SimDuration::from_secs(round * 30),
+            Box::new(OvertProbe::new(&d, resolver, collector, "/")),
+        );
+    }
+    tb.run_secs(8 * 30 + 30);
+    let s = tb.surveillance();
+    let alerts = s.alerts_for(tb.client_ip);
+    assert!(alerts >= 16, "each round adds lookup + collector alerts: {alerts}");
+    assert!(s.is_attributed(tb.client_ip));
+    assert!(s.is_pursued(tb.client_ip), "sustained overt monitoring gets the user pursued");
+}
+
+#[test]
+fn repeated_covert_monitoring_stays_flat() {
+    let target = TargetSite::numbered("twitter.com", 0).web_ip;
+    let policy = CensorPolicy::new()
+        .block_ip(underradar::netsim::addr::Cidr::host(target));
+    let mut tb = Testbed::build(TestbedConfig { policy, seed: 501, ..TestbedConfig::default() });
+    // The same 8-round campaign, scan-cloaked.
+    for round in 0..8u64 {
+        tb.spawn_on_client(
+            SimTime::ZERO + SimDuration::from_secs(round * 30),
+            Box::new(SynScanProbe::new(target, top_ports(40), vec![80])),
+        );
+    }
+    tb.run_secs(8 * 30 + 60);
+    let s = tb.surveillance();
+    assert_eq!(s.alerts_for(tb.client_ip), 0, "8 rounds, zero alerts");
+    assert!(!s.is_attributed(tb.client_ip));
+    // And the campaign kept measuring correctly the whole time.
+    for idx in 0..8 {
+        let verdict = tb.client_task::<SynScanProbe>(idx).expect("scan").verdict();
+        assert!(verdict.is_censored(), "round {idx}: {verdict}");
+    }
+}
+
+#[test]
+fn alert_retention_outlives_the_measurement_campaign() {
+    // §2.1: alerts are kept ~a year. A one-day campaign's alerts are still
+    // in the store long after content and metadata have been evicted.
+    let policy = CensorPolicy::new().block_domain(&DnsName::parse("twitter.com").expect("n"));
+    let mut tb = Testbed::build(TestbedConfig { policy, seed: 502, ..TestbedConfig::default() });
+    let resolver = tb.resolver_ip;
+    let collector = tb.collector_ip;
+    let d = DnsName::parse("twitter.com").expect("n");
+    tb.spawn_on_client(SimTime::ZERO, Box::new(OvertProbe::new(&d, resolver, collector, "/")));
+    tb.run_secs(30);
+    let alerts_now = tb.surveillance().stores().alerts.len();
+    assert!(alerts_now > 0);
+    // 40 days later: metadata (30 d) gone, alerts (1 y) remain.
+    tb.sim
+        .run_until(SimTime::ZERO + SimDuration::from_days(40))
+        .expect("idle fast-forward");
+    // Eviction is lazy (happens on insert), so trigger it with one more
+    // observed packet.
+    tb.spawn_on_client(
+        SimTime::ZERO + SimDuration::from_days(40),
+        Box::new(SynScanProbe::new(
+            TargetSite::numbered("bbc.com", 10).web_ip,
+            vec![80],
+            vec![80],
+        )),
+    );
+    tb.run_secs(10);
+    let s = tb.surveillance();
+    assert!(s.stores().alerts.len() >= alerts_now, "alerts survive 40 days");
+    assert!(
+        s.stores().metadata.len() < s.stores().metadata.total_inserted() as usize,
+        "old flow metadata evicted"
+    );
+}

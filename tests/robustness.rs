@@ -1,0 +1,105 @@
+//! Robustness across seeds: the headline conclusions must not depend on a
+//! lucky RNG stream. Each scenario runs under several seeds; verdicts and
+//! evasion outcomes must be identical in every run.
+
+use underradar::censor::CensorPolicy;
+use underradar::core::methods::scan::SynScanProbe;
+use underradar::core::methods::spam::SpamProbe;
+use underradar::core::methods::stateless::StatelessDnsMimicry;
+use underradar::core::ports::top_ports;
+use underradar::core::risk::RiskReport;
+use underradar::core::testbed::{TargetSite, Testbed, TestbedConfig};
+use underradar::netsim::addr::Cidr;
+use underradar::netsim::time::SimTime;
+use underradar::protocols::dns::{DnsName, QType};
+
+const SEEDS: [u64; 5] = [1, 42, 1337, 9001, 123_456];
+
+#[test]
+fn scan_conclusions_stable_across_seeds() {
+    let target = TargetSite::numbered("twitter.com", 0).web_ip;
+    for &seed in &SEEDS {
+        let policy = CensorPolicy::new().block_ip(Cidr::host(target));
+        let mut tb = Testbed::build(TestbedConfig { policy, seed, ..TestbedConfig::default() });
+        let idx = tb.spawn_on_client(
+            SimTime::ZERO,
+            Box::new(SynScanProbe::new(target, top_ports(40), vec![80])),
+        );
+        tb.run_secs(30);
+        let verdict = tb.client_task::<SynScanProbe>(idx).expect("scan").verdict();
+        let report = RiskReport::evaluate(&tb, &verdict);
+        assert!(verdict.is_censored(), "seed {seed}: {verdict}");
+        assert!(report.evades(), "seed {seed}: {}", report.summary());
+    }
+}
+
+#[test]
+fn spam_dns_detection_stable_across_seeds() {
+    for &seed in &SEEDS {
+        let policy =
+            CensorPolicy::new().block_domain(&DnsName::parse("twitter.com").expect("n"));
+        let mut tb = Testbed::build(TestbedConfig { policy, seed, ..TestbedConfig::default() });
+        let idx = tb.spawn_on_client(
+            SimTime::ZERO,
+            Box::new(SpamProbe::new(&DnsName::parse("twitter.com").expect("n"), tb.resolver_ip, seed)),
+        );
+        tb.run_secs(30);
+        let verdict = tb.client_task::<SpamProbe>(idx).expect("probe").verdict();
+        assert_eq!(
+            verdict.mechanism(),
+            Some(underradar::core::verdict::Mechanism::DnsPoison),
+            "seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn stateless_anonymity_set_exact_across_seeds() {
+    for &seed in &SEEDS {
+        let policy =
+            CensorPolicy::new().block_domain(&DnsName::parse("twitter.com").expect("n"));
+        let mut tb = Testbed::build(TestbedConfig {
+            policy,
+            seed,
+            cover_hosts: 6,
+            ..TestbedConfig::default()
+        });
+        let cover = tb.cover_ips.clone();
+        let idx = tb.spawn_on_client(
+            SimTime::ZERO,
+            Box::new(StatelessDnsMimicry::new(
+                &DnsName::parse("twitter.com").expect("n"),
+                QType::A,
+                tb.resolver_ip,
+                cover.clone(),
+            )),
+        );
+        tb.run_secs(10);
+        let verdict = tb.client_task::<StatelessDnsMimicry>(idx).expect("p").verdict();
+        let report = RiskReport::evaluate(&tb, &verdict);
+        assert_eq!(report.anonymity_set, Some(cover.len() + 1), "seed {seed}");
+    }
+}
+
+#[test]
+fn no_false_positives_in_uncensored_worlds_across_seeds() {
+    // The accuracy half nobody should forget: with no censorship, no
+    // method may ever claim censorship, whatever the seed.
+    for &seed in &SEEDS {
+        let mut tb = Testbed::build(TestbedConfig { seed, ..TestbedConfig::default() });
+        let web = tb.target("bbc.com").expect("t").web_ip;
+        let scan_idx = tb.spawn_on_client(
+            SimTime::ZERO,
+            Box::new(SynScanProbe::new(web, vec![80, 443, 22], vec![80])),
+        );
+        let spam_idx = tb.spawn_on_client(
+            SimTime::ZERO + underradar::netsim::SimDuration::from_secs(8),
+            Box::new(SpamProbe::new(&DnsName::parse("bbc.com").expect("n"), tb.resolver_ip, seed)),
+        );
+        tb.run_secs(40);
+        let scan = tb.client_task::<SynScanProbe>(scan_idx).expect("scan").verdict();
+        let spam = tb.client_task::<SpamProbe>(spam_idx).expect("spam").verdict();
+        assert!(scan.is_reachable(), "seed {seed}: scan said {scan}");
+        assert!(spam.is_reachable(), "seed {seed}: spam said {spam}");
+    }
+}
