@@ -1,4 +1,7 @@
 //! Regenerates the e03_fig2_spam_cdf experiment report (see DESIGN.md §4).
 fn main() {
-    print!("{}", underradar_bench::experiments::e03_fig2_spam_cdf::run());
+    print!(
+        "{}",
+        underradar_bench::experiments::e03_fig2_spam_cdf::run()
+    );
 }

@@ -1,4 +1,7 @@
 //! Regenerates the e06_fig3a_stateless experiment report (see DESIGN.md §4).
 fn main() {
-    print!("{}", underradar_bench::experiments::e06_fig3a_stateless::run());
+    print!(
+        "{}",
+        underradar_bench::experiments::e06_fig3a_stateless::run()
+    );
 }

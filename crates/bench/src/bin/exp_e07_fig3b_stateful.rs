@@ -1,4 +1,7 @@
 //! Regenerates the e07_fig3b_stateful experiment report (see DESIGN.md §4).
 fn main() {
-    print!("{}", underradar_bench::experiments::e07_fig3b_stateful::run());
+    print!(
+        "{}",
+        underradar_bench::experiments::e07_fig3b_stateful::run()
+    );
 }

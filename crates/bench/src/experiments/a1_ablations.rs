@@ -28,19 +28,30 @@ fn censor_catches_split_keyword(rst_teardown: bool) -> bool {
     if let Some(censor) = net.sim.node_mut::<TapCensor>(net.censor) {
         censor.set_rst_teardown(rst_teardown);
     }
-    net.sim.node_mut::<Host>(net.mserver).expect("mserver").spawn_task_at(
-        SimTime::ZERO,
-        Box::new(MimicServer::new(PORT, ISS, None)), // unlimited TTL: replay happens
-    );
-    net.sim.node_mut::<Host>(net.client).expect("client").spawn_task_at(
-        SimTime::ZERO,
-        Box::new(
-            StatefulMimicry::new(net.cover_ip, net.mserver_ip, PORT, ISS, b"GET /falun HTTP")
-                .with_split_payload(),
-        ),
-    );
+    net.sim
+        .node_mut::<Host>(net.mserver)
+        .expect("mserver")
+        .spawn_task_at(
+            SimTime::ZERO,
+            Box::new(MimicServer::new(PORT, ISS, None)), // unlimited TTL: replay happens
+        );
+    net.sim
+        .node_mut::<Host>(net.client)
+        .expect("client")
+        .spawn_task_at(
+            SimTime::ZERO,
+            Box::new(
+                StatefulMimicry::new(net.cover_ip, net.mserver_ip, PORT, ISS, b"GET /falun HTTP")
+                    .with_split_payload(),
+            ),
+        );
     net.sim.run_for(SimDuration::from_secs(10)).expect("run");
-    net.sim.node_ref::<TapCensor>(net.censor).expect("censor").stats().rst_injections > 0
+    net.sim
+        .node_ref::<TapCensor>(net.censor)
+        .expect("censor")
+        .stats()
+        .rst_injections
+        > 0
 }
 
 /// A 120-port scan against a blackholed target; returns the alert count
@@ -98,8 +109,9 @@ pub fn run() -> String {
     ]);
 
     // 4. Attribution granularity.
-    let sources: Vec<std::net::Ipv4Addr> =
-        (0..17u8).map(|i| std::net::Ipv4Addr::new(10, 0, 1, 10 + i)).collect();
+    let sources: Vec<std::net::Ipv4Addr> = (0..17u8)
+        .map(|i| std::net::Ipv4Addr::new(10, 0, 1, 10 + i))
+        .collect();
     table.row(&[
         "attribution: per-IP -> per-/24".to_string(),
         format!("anonymity set {}", anonymity_set(&sources, 32)),

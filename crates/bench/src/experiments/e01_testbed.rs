@@ -53,7 +53,9 @@ fn cases() -> Vec<Case> {
         },
         Case {
             name: "DNS injection (NXDOMAIN style)",
-            policy: CensorPolicy::new().block_domain(&twitter).with_dns_nxdomain(),
+            policy: CensorPolicy::new()
+                .block_domain(&twitter)
+                .with_dns_nxdomain(),
             domain: "twitter.com",
             path: "/",
             expect_mechanism: Some(Mechanism::DnsPoison),
@@ -91,7 +93,10 @@ pub fn run() -> String {
     ]);
     let mut all_pass = true;
     for case in cases() {
-        let mut tb = Testbed::build(TestbedConfig { policy: case.policy, ..TestbedConfig::default() });
+        let mut tb = Testbed::build(TestbedConfig {
+            policy: case.policy,
+            ..TestbedConfig::default()
+        });
         let domain = DnsName::parse(case.domain).expect("domain");
         let probe = OvertProbe::new(&domain, tb.resolver_ip, tb.collector_ip, case.path);
         let idx = tb.spawn_on_client(SimTime::ZERO, Box::new(probe));
@@ -117,7 +122,11 @@ pub fn run() -> String {
     out.push_str(&table.render());
     out.push_str(&format!(
         "\nresult: reference censor validation {}\n\n",
-        if all_pass { "PASSED (matches §3.2.1)" } else { "FAILED" }
+        if all_pass {
+            "PASSED (matches §3.2.1)"
+        } else {
+            "FAILED"
+        }
     ));
     out
 }

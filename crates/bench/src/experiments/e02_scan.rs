@@ -49,7 +49,11 @@ pub fn run() -> String {
     ]);
     let mut all_pass = true;
     for (name, policy, _expect_censored) in scenarios {
-        let mut tb = Testbed::build(TestbedConfig { policy, seed: 7, ..TestbedConfig::default() });
+        let mut tb = Testbed::build(TestbedConfig {
+            policy,
+            seed: 7,
+            ..TestbedConfig::default()
+        });
         let probe = SynScanProbe::new(target, top_ports(60), vec![80]);
         let idx = tb.spawn_on_client(SimTime::ZERO, Box::new(probe));
         tb.run_secs(30);

@@ -17,7 +17,9 @@ pub const N: u64 = 100;
 
 /// Collect the measurement-spam score sample.
 pub fn measurement_scores() -> Vec<f64> {
-    (0..N).map(|i| spam_score(&measurement_spam(i, "twitter.com"))).collect()
+    (0..N)
+        .map(|i| spam_score(&measurement_spam(i, "twitter.com")))
+        .collect()
 }
 
 /// Run E3 and render its report.
@@ -30,12 +32,19 @@ pub fn run() -> String {
     let scores = measurement_scores();
     let cdf = empirical_cdf(&scores);
     out.push_str("CDF of spam scores for n=100 measurement emails:\n\n");
-    out.push_str(&underradar_spam::cdf::render_ascii(&cdf, "Proofpoint-like Spam Score", 60, 16));
+    out.push_str(&underradar_spam::cdf::render_ascii(
+        &cdf,
+        "Proofpoint-like Spam Score",
+        60,
+        16,
+    ));
 
     let min = scores.iter().cloned().fold(f64::MAX, f64::min);
     let max = scores.iter().cloned().fold(f64::MIN, f64::max);
     let classified = scores.iter().filter(|&&s| s >= SPAM_THRESHOLD).count();
-    let ham_scores: Vec<f64> = (0..N).map(|i| spam_score(&ham_message(i, "campus.example"))).collect();
+    let ham_scores: Vec<f64> = (0..N)
+        .map(|i| spam_score(&ham_message(i, "campus.example")))
+        .collect();
     let ham_max = ham_scores.iter().cloned().fold(f64::MIN, f64::max);
 
     out.push_str(&format!(

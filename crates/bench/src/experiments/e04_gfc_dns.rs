@@ -34,7 +34,10 @@ pub fn run() -> String {
                 .block_domain(&DnsName::parse("twitter.com").expect("n"))
                 .block_domain(&DnsName::parse("youtube.com").expect("n"));
             let poison = policy.dns_poison_ip;
-            let mut tb = Testbed::build(TestbedConfig { policy, ..TestbedConfig::default() });
+            let mut tb = Testbed::build(TestbedConfig {
+                policy,
+                ..TestbedConfig::default()
+            });
             // Use a bare mimicry lookup (no cover) to capture the raw DNS
             // behaviour for this qtype.
             let probe = StatelessDnsMimicry::new(&name, qtype, tb.resolver_ip, vec![]);
@@ -62,10 +65,17 @@ pub fn run() -> String {
 
     // The full spam pipeline sees the same thing end to end.
     let policy = CensorPolicy::new().block_domain(&DnsName::parse("twitter.com").expect("n"));
-    let mut tb = Testbed::build(TestbedConfig { policy, ..TestbedConfig::default() });
+    let mut tb = Testbed::build(TestbedConfig {
+        policy,
+        ..TestbedConfig::default()
+    });
     let idx = tb.spawn_on_client(
         SimTime::ZERO,
-        Box::new(SpamProbe::new(&DnsName::parse("twitter.com").expect("n"), tb.resolver_ip, 0)),
+        Box::new(SpamProbe::new(
+            &DnsName::parse("twitter.com").expect("n"),
+            tb.resolver_ip,
+            0,
+        )),
     );
     tb.run_secs(20);
     let spam = tb.client_task::<SpamProbe>(idx).expect("spam probe");

@@ -19,7 +19,11 @@ use underradar_netsim::time::SimTime;
 use crate::table::{heading, mark, Table};
 
 fn run_burst(policy: CensorPolicy, path: &str, samples: usize) -> (Testbed, usize) {
-    let mut tb = Testbed::build(TestbedConfig { policy, seed: 11, ..TestbedConfig::default() });
+    let mut tb = Testbed::build(TestbedConfig {
+        policy,
+        seed: 11,
+        ..TestbedConfig::default()
+    });
     let target = tb.target("youtube.com").expect("target").web_ip;
     let probe = DdosProbe::new(target, "youtube.com", path, samples);
     let idx = tb.spawn_on_client(SimTime::ZERO, Box::new(probe));
@@ -36,7 +40,12 @@ pub fn run() -> String {
     );
 
     out.push_str("burst-size sweep (uncensored target):\n");
-    let mut sweep = Table::new(&["samples", "classified DDoS", "MVR discarded pkts", "verdict"]);
+    let mut sweep = Table::new(&[
+        "samples",
+        "classified DDoS",
+        "MVR discarded pkts",
+        "verdict",
+    ]);
     for samples in [5usize, 20, 60] {
         let (tb, idx) = run_burst(CensorPolicy::new(), "/watch", samples);
         let probe = tb.client_task::<DdosProbe>(idx).expect("probe");
@@ -58,15 +67,28 @@ pub fn run() -> String {
     out.push_str(&sweep.render());
 
     out.push_str("\naccuracy matrix (keyword samples ride on an already-classified flood):\n");
-    let mut acc = Table::new(&["scenario", "ok/reset/refused/timeout", "verdict", "correct", "evades"]);
+    let mut acc = Table::new(&[
+        "scenario",
+        "ok/reset/refused/timeout",
+        "verdict",
+        "correct",
+        "evades",
+    ]);
     let mut all_pass = true;
     let scenarios: Vec<(&str, CensorPolicy, &str)> = vec![
         ("uncensored", CensorPolicy::new(), "/watch"),
-        ("keyword censored", CensorPolicy::new().block_keyword("falun"), "/falun-video"),
+        (
+            "keyword censored",
+            CensorPolicy::new().block_keyword("falun"),
+            "/falun-video",
+        ),
     ];
     for (name, policy, path) in scenarios {
-        let mut tb =
-            Testbed::build(TestbedConfig { policy, seed: 11, ..TestbedConfig::default() });
+        let mut tb = Testbed::build(TestbedConfig {
+            policy,
+            seed: 11,
+            ..TestbedConfig::default()
+        });
         let target = tb.target("youtube.com").expect("target").web_ip;
         // Warm-up flood against the front page: by the time the measured
         // samples fire, the source is already in the discarded DDoS class

@@ -40,23 +40,38 @@ fn run_ttl(reply_ttl: Option<u8>, keyword_blocked: bool) -> TtlOutcome {
     net.sim
         .node_mut::<Host>(net.mserver)
         .expect("mserver")
-        .spawn_task_at(SimTime::ZERO, Box::new(MimicServer::new(PORT, ISS, reply_ttl)));
+        .spawn_task_at(
+            SimTime::ZERO,
+            Box::new(MimicServer::new(PORT, ISS, reply_ttl)),
+        );
     let payload: &[u8] = if keyword_blocked {
         b"GET /falun HTTP/1.0\r\n\r\n"
     } else {
         b"GET /weather HTTP/1.0\r\n\r\n"
     };
-    net.sim.node_mut::<Host>(net.client).expect("client").spawn_task_at(
-        SimTime::ZERO,
-        Box::new(StatefulMimicry::new(net.cover_ip, net.mserver_ip, PORT, ISS, payload)),
-    );
+    net.sim
+        .node_mut::<Host>(net.client)
+        .expect("client")
+        .spawn_task_at(
+            SimTime::ZERO,
+            Box::new(StatefulMimicry::new(
+                net.cover_ip,
+                net.mserver_ip,
+                PORT,
+                ISS,
+                payload,
+            )),
+        );
     net.sim.run_for(SimDuration::from_secs(10)).expect("run");
 
     let cap = net.sim.capture().expect("capture enabled");
     let tap_saw_reply = cap.records().iter().any(|r| {
         r.to_node == net.surveillance
             && r.packet.src == net.mserver_ip
-            && r.packet.as_tcp().map(|t| t.flags.has_syn() && t.flags.has_ack()).unwrap_or(false)
+            && r.packet
+                .as_tcp()
+                .map(|t| t.flags.has_syn() && t.flags.has_ack())
+                .unwrap_or(false)
     });
     let cover_host = net.sim.node_ref::<Host>(net.cover).expect("cover");
     let server = net
@@ -123,7 +138,11 @@ pub fn run() -> String {
     out.push_str(&sweep.render());
 
     out.push_str("\nkeyword measurement at the sweet-spot TTL vs unlimited TTL:\n");
-    let mut acc = Table::new(&["reply TTL", "censor injected RST", "server-side verdict correct"]);
+    let mut acc = Table::new(&[
+        "reply TTL",
+        "censor injected RST",
+        "server-side verdict correct",
+    ]);
     let sweet = run_ttl(Some(RoutedMimicryNet::HOPS_TO_COVER), true);
     acc.row(&[
         RoutedMimicryNet::HOPS_TO_COVER.to_string(),
@@ -140,10 +159,7 @@ pub fn run() -> String {
     ]);
     out.push_str(&acc.render());
 
-    let pass = sweet_spot_ok
-        && sweet.censor_detected
-        && sweet.flow_reset
-        && unlimited.neighbor_rst;
+    let pass = sweet_spot_ok && sweet.censor_detected && sweet.flow_reset && unlimited.neighbor_rst;
     out.push_str(&format!(
         "\nresult: TTL window exists and enables censorship measurement without replay: {}\n\n",
         if pass { "PASSED" } else { "FAILED" }

@@ -70,16 +70,27 @@ pub fn run() -> String {
         .collect();
 
     out.push_str("\nanalyst pursuit capacity vs flagged users (min 1 alert to queue):\n");
-    let mut cap_table = Table::new(&["capacity/day", "queued users", "pursued", "% of flagged pursued"]);
+    let mut cap_table = Table::new(&[
+        "capacity/day",
+        "queued users",
+        "pursued",
+        "% of flagged pursued",
+    ]);
     for capacity in [10usize, 50, 200] {
-        let analyst = Analyst::new(AnalystConfig { pursuit_capacity: capacity, min_alerts: 1 });
+        let analyst = Analyst::new(AnalystConfig {
+            pursuit_capacity: capacity,
+            min_alerts: 1,
+        });
         let triage = analyst.triage(&alerts);
         let pursued = triage.iter().filter(|i| i.pursued).count();
         cap_table.row(&[
             capacity.to_string(),
             triage.len().to_string(),
             pursued.to_string(),
-            format!("{:.1}%", 100.0 * pursued as f64 / triage.len().max(1) as f64),
+            format!(
+                "{:.1}%",
+                100.0 * pursued as f64 / triage.len().max(1) as f64
+            ),
         ]);
     }
     out.push_str(&cap_table.render());

@@ -53,7 +53,12 @@ pub fn run() -> String {
 
     // Cover capacity per capability class.
     out.push_str("\ncover sources obtainable per client class (request k=100):\n");
-    let mut cover_table = Table::new(&["filter class", "clients", "avg cover sources", "max anonymity"]);
+    let mut cover_table = Table::new(&[
+        "filter class",
+        "clients",
+        "avg cover sources",
+        "max anonymity",
+    ]);
     for (label, granularity, max_anon) in [
         ("/24-spoofable", FilterGranularity::Slash24, 256u64),
         ("/16-spoofable", FilterGranularity::Slash16, 65_536),
@@ -69,7 +74,11 @@ pub fn run() -> String {
         for c in &members {
             total += cover_sources(c, 100, &mut rng).len();
         }
-        let avg = if members.is_empty() { 0.0 } else { total as f64 / members.len() as f64 };
+        let avg = if members.is_empty() {
+            0.0
+        } else {
+            total as f64 / members.len() as f64
+        };
         cover_table.row(&[
             label.to_string(),
             members.len().to_string(),

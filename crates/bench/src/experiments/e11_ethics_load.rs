@@ -18,7 +18,9 @@ use underradar_netsim::packet::Packet;
 use underradar_netsim::rng::SimRng;
 use underradar_netsim::time::SimTime;
 use underradar_protocols::dns::{DnsMessage, DnsName, QType};
-use underradar_surveil::system::{default_surveillance_rules, SurveillanceConfig, SurveillanceSystem};
+use underradar_surveil::system::{
+    default_surveillance_rules, SurveillanceConfig, SurveillanceSystem,
+};
 use underradar_workloads::population::{PopulationConfig, PopulationTraffic};
 
 use crate::table::{heading, Table};
@@ -62,7 +64,10 @@ pub fn run() -> String {
     let mut baseline = SurveillanceSystem::new(SurveillanceConfig::with_rules(rules));
     let mut rng = SimRng::seed_from_u64(611);
     let population = PopulationTraffic::generate(
-        &PopulationConfig { client_prefix: Cidr::slash16(std::net::Ipv4Addr::new(10, 0, 0, 0)), ..PopulationConfig::default() },
+        &PopulationConfig {
+            client_prefix: Cidr::slash16(std::net::Ipv4Addr::new(10, 0, 0, 0)),
+            ..PopulationConfig::default()
+        },
         &mut rng,
     );
     for tp in &population {
@@ -81,7 +86,11 @@ pub fn run() -> String {
     let mut cover_queries = 0u64;
     for i in 0..cover_net.size() {
         let src = cover_net.nth(i);
-        let q = DnsMessage::query(i as u16, DnsName::parse("twitter.com").expect("n"), QType::A);
+        let q = DnsMessage::query(
+            i as u16,
+            DnsName::parse("twitter.com").expect("n"),
+            QType::A,
+        );
         let pkt = Packet::udp(src, resolver, 5353, 53, q.encode());
         with_cover.process(SimTime::from_nanos(30_000_000_000 + i * 1000), &pkt);
         cover_queries += 1;

@@ -39,7 +39,10 @@ fn blocked(domain: &str) -> CensorPolicy {
 }
 
 fn overt_row() -> Row {
-    let mut tb = Testbed::build(TestbedConfig { policy: blocked("twitter.com"), ..TestbedConfig::default() });
+    let mut tb = Testbed::build(TestbedConfig {
+        policy: blocked("twitter.com"),
+        ..TestbedConfig::default()
+    });
     let d = DnsName::parse("twitter.com").expect("n");
     let idx = tb.spawn_on_client(
         SimTime::ZERO,
@@ -47,24 +50,38 @@ fn overt_row() -> Row {
     );
     tb.run_secs(20);
     let verdict = tb.client_task::<OvertProbe>(idx).expect("p").verdict();
-    Row { method: "overt (OONI-style baseline)", scenario: "dns-block", report: RiskReport::evaluate(&tb, &verdict) }
+    Row {
+        method: "overt (OONI-style baseline)",
+        scenario: "dns-block",
+        report: RiskReport::evaluate(&tb, &verdict),
+    }
 }
 
 fn scan_row() -> Row {
     let target = TargetSite::numbered("twitter.com", 0).web_ip;
     let policy = CensorPolicy::new().block_ip(Cidr::host(target));
-    let mut tb = Testbed::build(TestbedConfig { policy, ..TestbedConfig::default() });
+    let mut tb = Testbed::build(TestbedConfig {
+        policy,
+        ..TestbedConfig::default()
+    });
     let idx = tb.spawn_on_client(
         SimTime::ZERO,
         Box::new(SynScanProbe::new(target, top_ports(60), vec![80])),
     );
     tb.run_secs(30);
     let verdict = tb.client_task::<SynScanProbe>(idx).expect("p").verdict();
-    Row { method: "scan (Method #1)", scenario: "ip-blackhole", report: RiskReport::evaluate(&tb, &verdict) }
+    Row {
+        method: "scan (Method #1)",
+        scenario: "ip-blackhole",
+        report: RiskReport::evaluate(&tb, &verdict),
+    }
 }
 
 fn spam_row() -> Row {
-    let mut tb = Testbed::build(TestbedConfig { policy: blocked("twitter.com"), ..TestbedConfig::default() });
+    let mut tb = Testbed::build(TestbedConfig {
+        policy: blocked("twitter.com"),
+        ..TestbedConfig::default()
+    });
     let resolver = tb.resolver_ip;
     // Campaign warm-up earns the spammer label before the measured lookup.
     for (i, warmup) in ["bbc.com", "example.org", "youtube.com"].iter().enumerate() {
@@ -81,21 +98,35 @@ fn spam_row() -> Row {
     );
     tb.run_secs(40);
     let verdict = tb.client_task::<SpamProbe>(idx).expect("p").verdict();
-    Row { method: "spam campaign (Method #2)", scenario: "dns-block", report: RiskReport::evaluate(&tb, &verdict) }
+    Row {
+        method: "spam campaign (Method #2)",
+        scenario: "dns-block",
+        report: RiskReport::evaluate(&tb, &verdict),
+    }
 }
 
 fn ddos_row() -> Row {
     let policy = CensorPolicy::new().block_keyword("falun");
-    let mut tb = Testbed::build(TestbedConfig { policy, ..TestbedConfig::default() });
+    let mut tb = Testbed::build(TestbedConfig {
+        policy,
+        ..TestbedConfig::default()
+    });
     let target = tb.target("youtube.com").expect("t").web_ip;
-    tb.spawn_on_client(SimTime::ZERO, Box::new(DdosProbe::new(target, "youtube.com", "/", 60)));
+    tb.spawn_on_client(
+        SimTime::ZERO,
+        Box::new(DdosProbe::new(target, "youtube.com", "/", 60)),
+    );
     let idx = tb.spawn_on_client(
         SimTime::ZERO + SimDuration::from_secs(5),
         Box::new(DdosProbe::new(target, "youtube.com", "/falun-clip", 20)),
     );
     tb.run_secs(180);
     let verdict = tb.client_task::<DdosProbe>(idx).expect("p").verdict();
-    Row { method: "ddos burst (Method #3)", scenario: "keyword-rst", report: RiskReport::evaluate(&tb, &verdict) }
+    Row {
+        method: "ddos burst (Method #3)",
+        scenario: "keyword-rst",
+        report: RiskReport::evaluate(&tb, &verdict),
+    }
 }
 
 fn stateless_row() -> Row {
@@ -104,16 +135,29 @@ fn stateless_row() -> Row {
         cover_hosts: 8,
         ..TestbedConfig::default()
     });
-    let cover: Vec<std::net::Ipv4Addr> =
-        (0..16).map(|i| std::net::Ipv4Addr::new(10, 0, 1, 30 + i as u8)).collect();
+    let cover: Vec<std::net::Ipv4Addr> = (0..16)
+        .map(|i| std::net::Ipv4Addr::new(10, 0, 1, 30 + i as u8))
+        .collect();
     let d = DnsName::parse("twitter.com").expect("n");
     let idx = tb.spawn_on_client(
         SimTime::ZERO,
-        Box::new(StatelessDnsMimicry::new(&d, QType::A, tb.resolver_ip, cover)),
+        Box::new(StatelessDnsMimicry::new(
+            &d,
+            QType::A,
+            tb.resolver_ip,
+            cover,
+        )),
     );
     tb.run_secs(10);
-    let verdict = tb.client_task::<StatelessDnsMimicry>(idx).expect("p").verdict();
-    Row { method: "stateless mimicry (Fig 3a)", scenario: "dns-block", report: RiskReport::evaluate(&tb, &verdict) }
+    let verdict = tb
+        .client_task::<StatelessDnsMimicry>(idx)
+        .expect("p")
+        .verdict();
+    Row {
+        method: "stateless mimicry (Fig 3a)",
+        scenario: "dns-block",
+        report: RiskReport::evaluate(&tb, &verdict),
+    }
 }
 
 fn stateful_row() -> Row {
@@ -126,18 +170,25 @@ fn stateful_row() -> Row {
         .expect("mserver")
         .spawn_task_at(
             SimTime::ZERO,
-            Box::new(MimicServer::new(PORT, ISS, Some(RoutedMimicryNet::HOPS_TO_COVER))),
+            Box::new(MimicServer::new(
+                PORT,
+                ISS,
+                Some(RoutedMimicryNet::HOPS_TO_COVER),
+            )),
         );
-    net.sim.node_mut::<Host>(net.client).expect("client").spawn_task_at(
-        SimTime::ZERO,
-        Box::new(StatefulMimicry::new(
-            net.cover_ip,
-            net.mserver_ip,
-            PORT,
-            ISS,
-            b"GET /falun HTTP/1.0\r\n\r\n",
-        )),
-    );
+    net.sim
+        .node_mut::<Host>(net.client)
+        .expect("client")
+        .spawn_task_at(
+            SimTime::ZERO,
+            Box::new(StatefulMimicry::new(
+                net.cover_ip,
+                net.mserver_ip,
+                PORT,
+                ISS,
+                b"GET /falun HTTP/1.0\r\n\r\n",
+            )),
+        );
     net.sim.run_for(SimDuration::from_secs(10)).expect("run");
     let server = net
         .sim
@@ -172,7 +223,11 @@ fn stateful_row() -> Row {
             }
         },
     };
-    Row { method: "stateful mimicry (Fig 3b)", scenario: "keyword-rst", report }
+    Row {
+        method: "stateful mimicry (Fig 3b)",
+        scenario: "keyword-rst",
+        report,
+    }
 }
 
 /// Run E12 and render its report.

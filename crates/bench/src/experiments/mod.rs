@@ -15,22 +15,33 @@ pub mod e10_spoofability;
 pub mod e11_ethics_load;
 pub mod e12_risk_matrix;
 
+/// A named experiment entry point.
+pub type Experiment = (&'static str, fn() -> String);
+
+/// Every experiment, in report order: `(name, run)`.
+pub const ALL: [Experiment; 13] = [
+    ("e01_testbed", e01_testbed::run),
+    ("e02_scan", e02_scan::run),
+    ("e03_fig2_spam_cdf", e03_fig2_spam_cdf::run),
+    ("e04_gfc_dns", e04_gfc_dns::run),
+    ("e05_ddos", e05_ddos::run),
+    ("e06_fig3a_stateless", e06_fig3a_stateless::run),
+    ("e07_fig3b_stateful", e07_fig3b_stateful::run),
+    ("e08_syria", e08_syria::run),
+    ("e09_mvr", e09_mvr::run),
+    ("e10_spoofability", e10_spoofability::run),
+    ("e11_ethics_load", e11_ethics_load::run),
+    ("e12_risk_matrix", e12_risk_matrix::run),
+    ("a1_ablations", a1_ablations::run),
+];
+
 /// Run every experiment, concatenating reports (used by the `cargo bench`
 /// harness so one command regenerates all tables and figures).
+///
+/// The experiments fan out across worker threads via
+/// [`crate::runner::run_sharded`]; the concatenation is in [`ALL`] order,
+/// and each experiment seeds its own RNGs, so the report is byte-identical
+/// to the old sequential run.
 pub fn run_all() -> String {
-    let mut out = String::new();
-    out.push_str(&e01_testbed::run());
-    out.push_str(&e02_scan::run());
-    out.push_str(&e03_fig2_spam_cdf::run());
-    out.push_str(&e04_gfc_dns::run());
-    out.push_str(&e05_ddos::run());
-    out.push_str(&e06_fig3a_stateless::run());
-    out.push_str(&e07_fig3b_stateful::run());
-    out.push_str(&e08_syria::run());
-    out.push_str(&e09_mvr::run());
-    out.push_str(&e10_spoofability::run());
-    out.push_str(&e11_ethics_load::run());
-    out.push_str(&e12_risk_matrix::run());
-    out.push_str(&a1_ablations::run());
-    out
+    crate::runner::run_sharded(&ALL, 0, |&(_, run), _| run()).concat()
 }

@@ -3,16 +3,19 @@
 //! # underradar-bench
 //!
 //! Experiment harnesses that regenerate every table and figure of the
-//! paper's evaluation, plus Criterion performance benches over the
-//! substrate.
+//! paper's evaluation, plus hand-rolled performance benches over the
+//! substrate (`benches/perf.rs`; no external bench framework).
 //!
 //! Each experiment is a pure function `run() -> String` (deterministic in
 //! its internal seeds) with a thin binary wrapper in `src/bin/` and a
 //! consolidated `cargo bench` harness (`benches/experiments.rs`) that
-//! prints all of them. The experiment ↔ paper mapping lives in
-//! `DESIGN.md` §4 and `EXPERIMENTS.md`.
+//! prints all of them. [`experiments::run_all`] fans the experiments
+//! across threads with [`runner::run_sharded`]; determinism is preserved
+//! because each experiment seeds its own RNGs. The experiment ↔ paper
+//! mapping lives in `DESIGN.md` §4 and `EXPERIMENTS.md`.
 
 pub mod experiments;
+pub mod runner;
 pub mod table;
 
 pub use table::Table;

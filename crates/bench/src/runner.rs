@@ -1,0 +1,134 @@
+//! Seeded, sharded trial execution.
+//!
+//! Experiments are pure functions, so fanning them (or their inner
+//! parameter sweeps) across OS threads changes wall-clock time and nothing
+//! else — results come back in item order and every trial gets a seed
+//! derived only from the master seed and its index, never from scheduling.
+//! This is how `run_all` regenerates all tables in parallel and how sweeps
+//! like E6's cover-count scan use all cores.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Identity of one trial within a sharded run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrialSpec {
+    /// Position of the trial's item in the input slice (and of its result
+    /// in the output).
+    pub index: usize,
+    /// Deterministic per-trial seed: a function of the master seed and
+    /// `index` only, so any worker executing the trial produces the same
+    /// stream.
+    pub seed: u64,
+}
+
+/// SplitMix64 — scrambles (master, index) into a well-mixed per-trial seed.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The seed trial `index` receives under `master_seed`.
+pub fn trial_seed(master_seed: u64, index: usize) -> u64 {
+    splitmix64(master_seed ^ splitmix64(index as u64))
+}
+
+/// Run `f` over every item on a shared pool of `std::thread` workers and
+/// return the results in item order.
+///
+/// Workers pull items from an atomic cursor (no static partitioning, so an
+/// expensive early item does not serialize the tail behind it). `f` must
+/// draw randomness only from `TrialSpec::seed`; under that contract the
+/// output is identical for any worker count, including 1.
+pub fn run_sharded<I, T, F>(items: &[I], master_seed: u64, f: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(&I, TrialSpec) -> T + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n);
+    let cursor = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let index = cursor.fetch_add(1, Ordering::Relaxed);
+                if index >= n {
+                    break;
+                }
+                let spec = TrialSpec {
+                    index,
+                    seed: trial_seed(master_seed, index),
+                };
+                let out = f(&items[index], spec);
+                results.lock().expect("runner poisoned: a trial panicked")[index] = Some(out);
+            });
+        }
+    });
+    results
+        .into_inner()
+        .expect("runner poisoned: a trial panicked")
+        .into_iter()
+        .map(|slot| slot.expect("every index visited exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_item_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let out = run_sharded(&items, 1, |&i, spec| {
+            assert_eq!(i, spec.index);
+            i * 2
+        });
+        assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn seeds_are_deterministic_and_distinct() {
+        let items = [(); 64];
+        let a = run_sharded(&items, 42, |_, spec| spec.seed);
+        let b = run_sharded(&items, 42, |_, spec| spec.seed);
+        assert_eq!(a, b, "same master seed, same trial seeds");
+        let mut uniq = a.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), a.len(), "trial seeds do not collide");
+        let c = run_sharded(&items, 43, |_, spec| spec.seed);
+        assert_ne!(a, c, "different master seed diverges");
+    }
+
+    #[test]
+    fn empty_input_and_single_item() {
+        let none: Vec<u8> = Vec::new();
+        assert!(run_sharded(&none, 0, |_, _| 0u8).is_empty());
+        assert_eq!(run_sharded(&[7u8], 0, |&x, _| x), vec![7]);
+    }
+
+    #[test]
+    fn uneven_work_still_fills_every_slot() {
+        // Early items are much slower than late ones; the atomic cursor
+        // keeps all workers busy and order is still preserved.
+        let items: Vec<u64> = (0..32).collect();
+        let out = run_sharded(&items, 9, |&i, _| {
+            if i < 4 {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            i
+        });
+        assert_eq!(out, items);
+    }
+}

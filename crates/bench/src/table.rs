@@ -10,7 +10,10 @@ pub struct Table {
 impl Table {
     /// Start a table with column headers.
     pub fn new(header: &[&str]) -> Table {
-        Table { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Append a row (short rows are padded, long rows truncated to the
@@ -102,7 +105,12 @@ mod tests {
         assert!(s.contains("method"));
         assert!(s.lines().count() >= 4);
         // Columns align: "evades" appears at the same offset in all rows.
-        let off = s.lines().next().expect("header").find("evades").expect("col");
+        let off = s
+            .lines()
+            .next()
+            .expect("header")
+            .find("evades")
+            .expect("col");
         for line in s.lines().skip(2) {
             assert!(line.len() > off);
         }

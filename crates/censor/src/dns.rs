@@ -84,9 +84,16 @@ impl DnsInjector {
 
 /// Heuristics for *detecting* injection from the measurement side: an MX
 /// question answered with only A records is the GFC's tell.
-pub fn response_looks_injected(query_qtype: QType, response: &DnsMessage, poison_pool: &[Ipv4Addr]) -> bool {
+pub fn response_looks_injected(
+    query_qtype: QType,
+    response: &DnsMessage,
+    poison_pool: &[Ipv4Addr],
+) -> bool {
     if query_qtype == QType::Mx {
-        let has_mx = response.answers.iter().any(|r| matches!(r.data, RecordData::Mx { .. }));
+        let has_mx = response
+            .answers
+            .iter()
+            .any(|r| matches!(r.data, RecordData::Mx { .. }));
         let has_a = !response.a_records().is_empty();
         if !has_mx && has_a {
             return true;
@@ -141,10 +148,18 @@ mod tests {
         assert_eq!(qtype, QType::Mx);
         let msg = DnsMessage::decode(&reply.as_udp().expect("udp").payload).expect("dns");
         assert!(msg.mx_records().is_empty(), "no MX in the forgery");
-        assert_eq!(msg.a_records(), vec![policy.dns_poison_ip], "bad A injected for MX query");
+        assert_eq!(
+            msg.a_records(),
+            vec![policy.dns_poison_ip],
+            "bad A injected for MX query"
+        );
         // And the measurement-side detector flags it.
         assert!(response_looks_injected(QType::Mx, &msg, &[]));
-        assert!(response_looks_injected(QType::Mx, &msg, &[policy.dns_poison_ip]));
+        assert!(response_looks_injected(
+            QType::Mx,
+            &msg,
+            &[policy.dns_poison_ip]
+        ));
     }
 
     #[test]
@@ -210,8 +225,15 @@ mod tests {
         resp.answers = vec![Record {
             name: name("example.com"),
             ttl: 300,
-            data: RecordData::Mx { preference: 10, exchange: name("mail.example.com") },
+            data: RecordData::Mx {
+                preference: 10,
+                exchange: name("mail.example.com"),
+            },
         }];
-        assert!(!response_looks_injected(QType::Mx, &resp, &[Ipv4Addr::new(203, 0, 113, 113)]));
+        assert!(!response_looks_injected(
+            QType::Mx,
+            &resp,
+            &[Ipv4Addr::new(203, 0, 113, 113)]
+        ));
     }
 }

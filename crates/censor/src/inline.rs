@@ -10,7 +10,7 @@
 //! fails fast (rather than hanging until timeout).
 
 use std::any::Any;
-use std::collections::HashSet;
+use underradar_netsim::hash::FxHashSet;
 
 use underradar_ids::stream::{FlowKey, StreamReassembler};
 use underradar_netsim::node::{IfaceId, Node, NodeCtx};
@@ -38,7 +38,7 @@ pub struct InlineCensor {
     name: String,
     policy: CensorPolicy,
     reassembler: StreamReassembler,
-    fired_urls: HashSet<FlowKey>,
+    fired_urls: FxHashSet<FlowKey>,
     actions: Vec<CensorAction>,
     stats: InlineCensorStats,
 }
@@ -46,11 +46,13 @@ pub struct InlineCensor {
 impl InlineCensor {
     /// Build from a policy.
     pub fn new(name: &str, policy: CensorPolicy) -> InlineCensor {
+        let mut reassembler = StreamReassembler::new();
+        reassembler.track_removals(true);
         InlineCensor {
             name: name.to_string(),
             policy,
-            reassembler: StreamReassembler::new(),
-            fired_urls: HashSet::new(),
+            reassembler,
+            fired_urls: FxHashSet::default(),
             actions: Vec::new(),
             stats: InlineCensorStats::default(),
         }
@@ -93,23 +95,36 @@ impl Node for InlineCensor {
                 self.stats.port_drops += 1;
                 self.actions.push(CensorAction {
                     time: ctx.now(),
-                    kind: CensorActionKind::PortDrop { dst: packet.dst, port },
+                    kind: CensorActionKind::PortDrop {
+                        dst: packet.dst,
+                        port,
+                    },
                     client: packet.src,
                 });
                 return;
             }
         }
-        // URL filtering over the reassembled request stream.
+        // URL filtering over the reassembled request stream. The URL list
+        // is small and anchored scans are cheap, so the window is rescanned
+        // on append (unlike keyword matching, which is incremental).
         if let Some(seg) = packet.as_tcp() {
             let seg = seg.clone();
             if let Some(flow_ctx) = self.reassembler.process(&packet) {
+                for key in self.reassembler.take_removed() {
+                    self.fired_urls.remove(&key);
+                }
                 if flow_ctx.appended && !self.fired_urls.contains(&flow_ctx.key) {
-                    if let Some(frag) = self.policy.matching_url(&flow_ctx.stream) {
+                    let stream = self
+                        .reassembler
+                        .stream_of(&flow_ctx.key, flow_ctx.direction);
+                    if let Some(frag) = self.policy.matching_url(stream) {
                         self.fired_urls.insert(flow_ctx.key);
                         self.stats.url_blocks += 1;
                         self.actions.push(CensorAction {
                             time: ctx.now(),
-                            kind: CensorActionKind::UrlBlock { url_fragment: frag.to_string() },
+                            kind: CensorActionKind::UrlBlock {
+                                url_fragment: frag.to_string(),
+                            },
                             client: packet.src,
                         });
                         // Kill the client's connection; drop the request.
@@ -165,8 +180,22 @@ mod tests {
         server_host.add_tcp_listener(443, || Box::new(HttpServer::catch_all("<html>tls</html>")));
         let server = sim.add_node(Box::new(server_host));
         let censor = sim.add_node(Box::new(InlineCensor::new("censor", policy)));
-        sim.wire(client, HOST_IFACE, censor, IfaceId(0), LinkConfig::default()).expect("wire c");
-        sim.wire(server, HOST_IFACE, censor, IfaceId(1), LinkConfig::default()).expect("wire s");
+        sim.wire(
+            client,
+            HOST_IFACE,
+            censor,
+            IfaceId(0),
+            LinkConfig::default(),
+        )
+        .expect("wire c");
+        sim.wire(
+            server,
+            HOST_IFACE,
+            censor,
+            IfaceId(1),
+            LinkConfig::default(),
+        )
+        .expect("wire s");
         (sim, client, server, censor)
     }
 
@@ -218,7 +247,10 @@ mod tests {
         sim.run_for(SimDuration::from_secs(20)).expect("run");
         let host = sim.node_ref::<Host>(client).expect("c");
         let p = host.task_ref::<Probe>(0).expect("t");
-        let stats = sim.node_ref::<InlineCensor>(censor).expect("censor").stats();
+        let stats = sim
+            .node_ref::<InlineCensor>(censor)
+            .expect("censor")
+            .stats();
         (
             Probe {
                 server: p.server,
@@ -264,14 +296,22 @@ mod tests {
     fn blocked_url_reset_and_never_reaches_server() {
         let policy = CensorPolicy::new().block_url("/banned");
         let (mut sim, client, server, censor) = testbed(policy);
-        sim.node_mut::<Host>(client)
-            .expect("c")
-            .spawn_task_at(SimTime::ZERO, Box::new(Probe::new(SERVER, 80, "/banned-page")));
+        sim.node_mut::<Host>(client).expect("c").spawn_task_at(
+            SimTime::ZERO,
+            Box::new(Probe::new(SERVER, 80, "/banned-page")),
+        );
         sim.run_for(SimDuration::from_secs(20)).expect("run");
-        let probe = sim.node_ref::<Host>(client).expect("c").task_ref::<Probe>(0).expect("t");
+        let probe = sim
+            .node_ref::<Host>(client)
+            .expect("c")
+            .task_ref::<Probe>(0)
+            .expect("t");
         assert!(probe.got_reset, "client reset");
         assert!(probe.response.is_empty(), "no content returned");
-        let stats = sim.node_ref::<InlineCensor>(censor).expect("censor").stats();
+        let stats = sim
+            .node_ref::<InlineCensor>(censor)
+            .expect("censor")
+            .stats();
         assert_eq!(stats.url_blocks, 1);
         // The server host never served the request.
         let _ = server;
@@ -287,7 +327,11 @@ mod tests {
             .expect("c")
             .spawn_task_at(SimTime::ZERO, Box::new(Probe::new(SERVER, 80, "/x")));
         sim.run_for(SimDuration::from_secs(5)).expect("run");
-        let actions = sim.node_ref::<InlineCensor>(censor).expect("c").actions().to_vec();
+        let actions = sim
+            .node_ref::<InlineCensor>(censor)
+            .expect("c")
+            .actions()
+            .to_vec();
         assert!(!actions.is_empty());
         assert!(actions.iter().all(|a| a.client == CLIENT));
         assert!(matches!(actions[0].kind, CensorActionKind::IpDrop { dst } if dst == SERVER));

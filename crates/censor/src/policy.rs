@@ -149,7 +149,9 @@ impl CensorPolicy {
 
     /// Whether a (destination, port) is blackholed.
     pub fn is_port_blocked(&self, dst: Ipv4Addr, port: u16) -> bool {
-        self.port_blocked.iter().any(|(c, p)| *p == port && c.contains(dst))
+        self.port_blocked
+            .iter()
+            .any(|(c, p)| *p == port && c.contains(dst))
     }
 
     /// The first keyword present in `payload`, if any (case-insensitive).
@@ -267,7 +269,10 @@ mod tests {
         let p = policy();
         assert_eq!(p.matching_keyword(b"GET /FaLuN news"), Some("falun"));
         assert_eq!(p.matching_keyword(b"GET /ok"), None);
-        assert_eq!(p.matching_url(b"GET /banned-page HTTP/1.0"), Some("/banned-page"));
+        assert_eq!(
+            p.matching_url(b"GET /banned-page HTTP/1.0"),
+            Some("/banned-page")
+        );
         assert_eq!(p.matching_url(b"GET /fine HTTP/1.0"), None);
     }
 
@@ -278,7 +283,10 @@ mod tests {
         let rules = parse_ruleset(&text, &VarTable::new()).expect("generated rules parse");
         assert_eq!(rules.len(), 5);
         // The DNS rule carries the length-prefixed wire pattern.
-        let dns_rule = rules.iter().find(|r| r.msg.contains("dns")).expect("dns rule");
+        let dns_rule = rules
+            .iter()
+            .find(|r| r.msg.contains("dns"))
+            .expect("dns rule");
         let pat = &dns_rule.contents[0].pattern;
         assert_eq!(pat[0], 7); // len("twitter")
         assert_eq!(&pat[1..8], b"twitter");

@@ -8,9 +8,10 @@
 //! the behaviour the measurement techniques detect.
 
 use std::any::Any;
-use std::collections::HashSet;
+use underradar_netsim::hash::FxHashMap;
 
-use underradar_ids::stream::{FlowKey, StreamReassembler};
+use underradar_ids::aho::{AcStreamState, AhoCorasick};
+use underradar_ids::stream::{Direction, FlowKey, StreamReassembler};
 use underradar_netsim::node::{IfaceId, Node, NodeCtx};
 use underradar_netsim::packet::Packet;
 use underradar_netsim::wire::tcp::TcpFlags;
@@ -40,8 +41,13 @@ pub struct TapCensor {
     policy: CensorPolicy,
     reassembler: StreamReassembler,
     injector: DnsInjector,
-    /// (flow, keyword index) pairs already RST — one strike per flow.
-    fired: HashSet<(FlowKey, usize)>,
+    /// One automaton over all policy keywords (case-insensitive), matched
+    /// incrementally against each flow direction.
+    keywords: AhoCorasick,
+    /// Persistent matcher cursor per live flow direction.
+    cursors: FxHashMap<(FlowKey, Direction), AcStreamState>,
+    /// Keyword indexes already RST per flow — one strike per flow.
+    fired: FxHashMap<FlowKey, Vec<usize>>,
     actions: Vec<CensorAction>,
     stats: TapCensorStats,
 }
@@ -50,12 +56,21 @@ impl TapCensor {
     /// Build from a policy.
     pub fn new(name: &str, policy: CensorPolicy) -> TapCensor {
         let injector = DnsInjector::new(&policy);
+        let patterns: Vec<(Vec<u8>, bool)> = policy
+            .keywords
+            .iter()
+            .map(|kw| (kw.as_bytes().to_vec(), true))
+            .collect();
+        let mut reassembler = StreamReassembler::new();
+        reassembler.track_removals(true);
         TapCensor {
             name: name.to_string(),
             policy,
-            reassembler: StreamReassembler::new(),
+            reassembler,
             injector,
-            fired: HashSet::new(),
+            keywords: AhoCorasick::new(&patterns),
+            cursors: FxHashMap::default(),
+            fired: FxHashMap::default(),
             actions: Vec::new(),
             stats: TapCensorStats::default(),
         }
@@ -84,17 +99,39 @@ impl TapCensor {
 
     fn keyword_hit(&mut self, ctx: &mut NodeCtx<'_>, iface: IfaceId, pkt: &Packet) {
         let Some(seg) = pkt.as_tcp() else { return };
-        let Some(flow_ctx) = self.reassembler.process(pkt) else { return };
+        let Some(flow_ctx) = self.reassembler.process(pkt) else {
+            return;
+        };
+        // Drop matcher state in lockstep with reassembler teardowns — this
+        // is exactly the forgetting the paper's RST mimicry (§4.1) induces.
+        for key in self.reassembler.take_removed() {
+            self.cursors.remove(&(key, Direction::ToServer));
+            self.cursors.remove(&(key, Direction::ToClient));
+            self.fired.remove(&key);
+        }
         if !flow_ctx.appended {
             return;
         }
-        for (idx, kw) in self.policy.keywords.iter().enumerate() {
-            if !contains_nocase(&flow_ctx.stream, kw.as_bytes()) {
+        // Feed only the new bytes to this direction's persistent cursor:
+        // keywords straddling segment boundaries still complete, without
+        // rescanning the buffered stream per segment.
+        let cursor = self
+            .cursors
+            .entry((flow_ctx.key, flow_ctx.direction))
+            .or_default();
+        let mut hits: Vec<usize> = Vec::new();
+        self.keywords.feed(cursor, &seg.payload, |idx| {
+            if !hits.contains(&idx) {
+                hits.push(idx);
+            }
+        });
+        for idx in hits {
+            let kw = &self.policy.keywords[idx];
+            let fired = self.fired.entry(flow_ctx.key).or_default();
+            if fired.contains(&idx) {
                 continue;
             }
-            if !self.fired.insert((flow_ctx.key, idx)) {
-                continue;
-            }
+            fired.push(idx);
             // Inject the GFC RST pair: one at each endpoint, sequenced off
             // the observed segment so both stacks accept them.
             let next_client_seq = seg.seq.wrapping_add(seg.payload.len() as u32);
@@ -123,7 +160,9 @@ impl TapCensor {
             self.stats.rst_injections += 1;
             self.actions.push(CensorAction {
                 time: ctx.now(),
-                kind: CensorActionKind::KeywordRst { keyword: kw.clone() },
+                kind: CensorActionKind::KeywordRst {
+                    keyword: kw.clone(),
+                },
                 client: pkt.src,
             });
         }
@@ -193,11 +232,14 @@ mod tests {
         let server = topo.add_host(server_host);
         let censor = topo.add_node(Box::new(TapCensor::new("censor", policy)));
         let sw = topo.add_switch(Switch::new("ovs"));
-        topo.attach_host(client, CLIENT, sw, LinkConfig::default()).expect("client");
-        topo.attach_host(server, SERVER, sw, LinkConfig::default()).expect("server");
+        topo.attach_host(client, CLIENT, sw, LinkConfig::default())
+            .expect("client");
+        topo.attach_host(server, SERVER, sw, LinkConfig::default())
+            .expect("server");
         // The tap link is faster than the host links so injected packets
         // win the race, as in the real GFC deployment.
-        topo.attach_tap(censor, sw, LinkConfig::ideal()).expect("tap");
+        topo.attach_tap(censor, sw, LinkConfig::ideal())
+            .expect("tap");
         (topo.finish(), client, server, censor)
     }
 
@@ -243,11 +285,16 @@ mod tests {
     fn keyword_request_gets_rst_both_ways() {
         let policy = CensorPolicy::new().block_keyword("falun");
         let (mut sim, client, server, censor) = testbed(policy);
-        sim.node_mut::<Host>(client)
-            .expect("client")
-            .spawn_task_at(SimTime::ZERO, Box::new(HttpProbe::new(SERVER, "/falun-news")));
+        sim.node_mut::<Host>(client).expect("client").spawn_task_at(
+            SimTime::ZERO,
+            Box::new(HttpProbe::new(SERVER, "/falun-news")),
+        );
         sim.run_for(SimDuration::from_secs(10)).expect("run");
-        let probe = sim.node_ref::<Host>(client).expect("c").task_ref::<HttpProbe>(0).expect("t");
+        let probe = sim
+            .node_ref::<Host>(client)
+            .expect("c")
+            .task_ref::<HttpProbe>(0)
+            .expect("t");
         assert!(probe.got_reset, "client connection reset by injected RST");
         let censor_node = sim.node_ref::<TapCensor>(censor).expect("censor");
         assert_eq!(censor_node.stats().rst_injections, 1);
@@ -266,14 +313,24 @@ mod tests {
             .expect("client")
             .spawn_task_at(SimTime::ZERO, Box::new(HttpProbe::new(SERVER, "/weather")));
         sim.run_for(SimDuration::from_secs(10)).expect("run");
-        let probe = sim.node_ref::<Host>(client).expect("c").task_ref::<HttpProbe>(0).expect("t");
+        let probe = sim
+            .node_ref::<Host>(client)
+            .expect("c")
+            .task_ref::<HttpProbe>(0)
+            .expect("t");
         assert!(!probe.got_reset);
         assert!(
             String::from_utf8_lossy(&probe.response).contains("200 OK"),
             "got: {}",
             String::from_utf8_lossy(&probe.response)
         );
-        assert_eq!(sim.node_ref::<TapCensor>(censor).expect("c").stats().rst_injections, 0);
+        assert_eq!(
+            sim.node_ref::<TapCensor>(censor)
+                .expect("c")
+                .stats()
+                .rst_injections,
+            0
+        );
     }
 
     #[test]
@@ -300,9 +357,13 @@ mod tests {
         }
         let policy = CensorPolicy::new().block_keyword("falun");
         let (mut sim, client, _server, censor) = testbed(policy);
-        sim.node_mut::<Host>(client)
-            .expect("client")
-            .spawn_task_at(SimTime::ZERO, Box::new(SplitProbe { server: SERVER, got_reset: false }));
+        sim.node_mut::<Host>(client).expect("client").spawn_task_at(
+            SimTime::ZERO,
+            Box::new(SplitProbe {
+                server: SERVER,
+                got_reset: false,
+            }),
+        );
         sim.run_for(SimDuration::from_secs(10)).expect("run");
         assert!(
             sim.node_ref::<Host>(client)
@@ -312,7 +373,13 @@ mod tests {
                 .got_reset,
             "reassembly caught the split keyword"
         );
-        assert_eq!(sim.node_ref::<TapCensor>(censor).expect("c").stats().rst_injections, 1);
+        assert_eq!(
+            sim.node_ref::<TapCensor>(censor)
+                .expect("c")
+                .stats()
+                .rst_injections,
+            1
+        );
     }
 
     #[test]
@@ -352,7 +419,12 @@ mod tests {
         for (at, qtype) in [(0u64, QType::A), (1, QType::Mx)] {
             sim.node_mut::<Host>(client).expect("c").spawn_task_at(
                 SimTime::ZERO + SimDuration::from_secs(at),
-                Box::new(DnsProbe { resolver: SERVER, qtype, answers: vec![], responses: 0 }),
+                Box::new(DnsProbe {
+                    resolver: SERVER,
+                    qtype,
+                    answers: vec![],
+                    responses: 0,
+                }),
             );
         }
         sim.run_for(SimDuration::from_secs(10)).expect("run");
@@ -360,8 +432,18 @@ mod tests {
         let a_probe = host.task_ref::<DnsProbe>(0).expect("t0");
         let mx_probe = host.task_ref::<DnsProbe>(1).expect("t1");
         assert_eq!(a_probe.answers, vec![poison], "A query poisoned");
-        assert_eq!(mx_probe.answers, vec![poison], "MX query answered with bad A — the tell");
-        assert_eq!(sim.node_ref::<TapCensor>(censor).expect("c").stats().dns_injections, 2);
+        assert_eq!(
+            mx_probe.answers,
+            vec![poison],
+            "MX query answered with bad A — the tell"
+        );
+        assert_eq!(
+            sim.node_ref::<TapCensor>(censor)
+                .expect("c")
+                .stats()
+                .dns_injections,
+            2
+        );
     }
 
     #[test]
@@ -388,9 +470,13 @@ mod tests {
         }
         let policy = CensorPolicy::new().block_keyword("falun");
         let (mut sim, client, _server, censor) = testbed(policy);
-        sim.node_mut::<Host>(client)
-            .expect("c")
-            .spawn_task_at(SimTime::ZERO, Box::new(RepeatProbe { server: SERVER, resets: 0 }));
+        sim.node_mut::<Host>(client).expect("c").spawn_task_at(
+            SimTime::ZERO,
+            Box::new(RepeatProbe {
+                server: SERVER,
+                resets: 0,
+            }),
+        );
         sim.run_for(SimDuration::from_secs(10)).expect("run");
         let stats = sim.node_ref::<TapCensor>(censor).expect("c").stats();
         assert_eq!(stats.rst_injections, 1, "deduped per flow");
@@ -399,14 +485,20 @@ mod tests {
     #[test]
     fn blocked_ip_is_not_dropped_by_offpath_censor() {
         // Off-path censors cannot blackhole; that needs the inline censor.
-        let policy =
-            CensorPolicy::new().block_ip(Cidr::host(SERVER));
+        let policy = CensorPolicy::new().block_ip(Cidr::host(SERVER));
         let (mut sim, client, _server, _censor) = testbed(policy);
         sim.node_mut::<Host>(client)
             .expect("c")
             .spawn_task_at(SimTime::ZERO, Box::new(HttpProbe::new(SERVER, "/x")));
         sim.run_for(SimDuration::from_secs(10)).expect("run");
-        let probe = sim.node_ref::<Host>(client).expect("c").task_ref::<HttpProbe>(0).expect("t");
-        assert!(!probe.response.is_empty(), "off-path censor cannot drop packets");
+        let probe = sim
+            .node_ref::<Host>(client)
+            .expect("c")
+            .task_ref::<HttpProbe>(0)
+            .expect("t");
+        assert!(
+            !probe.response.is_empty(),
+            "off-path censor cannot drop packets"
+        );
     }
 }

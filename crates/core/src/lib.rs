@@ -36,5 +36,5 @@ pub mod testbed;
 pub mod verdict;
 
 pub use risk::RiskReport;
-pub use testbed::{Testbed, TestbedConfig, TargetSite};
+pub use testbed::{TargetSite, Testbed, TestbedConfig};
 pub use verdict::{Mechanism, Verdict};

@@ -177,7 +177,10 @@ mod tests {
     use underradar_netsim::time::SimTime;
 
     fn run_ddos(policy: CensorPolicy, path: &str, samples: usize) -> (Testbed, usize) {
-        let mut tb = Testbed::build(TestbedConfig { policy, ..TestbedConfig::default() });
+        let mut tb = Testbed::build(TestbedConfig {
+            policy,
+            ..TestbedConfig::default()
+        });
         let target = tb.target("youtube.com").expect("t").web_ip;
         let probe = DdosProbe::new(target, "youtube.com", path, samples);
         let idx = tb.spawn_on_client(SimTime::ZERO, Box::new(probe));
@@ -237,7 +240,10 @@ mod tests {
         let (tb, idx) = run_ddos(CensorPolicy::new(), "/watch", 7);
         let probe = tb.client_task::<DdosProbe>(idx).expect("probe");
         assert_eq!(probe.samples.len(), 7);
-        assert!(probe.samples.iter().all(|s| matches!(s, SampleOutcome::Status(200))));
+        assert!(probe
+            .samples
+            .iter()
+            .all(|s| matches!(s, SampleOutcome::Status(200))));
     }
 
     #[test]
@@ -254,6 +260,9 @@ mod tests {
             .chain(vec![SampleOutcome::Reset; 3])
             .chain(vec![SampleOutcome::Status(200); 4])
             .collect();
-        assert!(matches!(p.verdict(), Verdict::Inconclusive(_)), "no signal dominates");
+        assert!(
+            matches!(p.verdict(), Verdict::Inconclusive(_)),
+            "no signal dominates"
+        );
     }
 }

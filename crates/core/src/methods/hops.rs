@@ -76,7 +76,9 @@ impl HopProbe {
     /// The calibrated reply TTL for stateful mimicry: one less than the
     /// hop distance, so replies die at the last router before the target.
     pub fn calibrated_reply_ttl(&self) -> Option<u8> {
-        self.hops_to_target().map(|h| h.saturating_sub(1)).filter(|&t| t > 0)
+        self.hops_to_target()
+            .map(|h| h.saturating_sub(1))
+            .filter(|&t| t > 0)
     }
 
     /// The router addresses discovered, in hop order.
@@ -134,7 +136,9 @@ impl HostTask for HopProbe {
                         if let Some(sport_bytes) = icmp.payload.get(20..22) {
                             let sport = u16::from_be_bytes([sport_bytes[0], sport_bytes[1]]);
                             if let Some(ttl) = Self::ttl_of_sport(sport) {
-                                self.replies.entry(ttl).or_insert(HopReply::Router(packet.src));
+                                self.replies
+                                    .entry(ttl)
+                                    .or_insert(HopReply::Router(packet.src));
                                 return RawVerdict::Consume;
                             }
                         }

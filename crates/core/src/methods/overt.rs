@@ -133,7 +133,9 @@ impl HostTask for OvertProbe {
         if Some(local_port) != self.dns_port {
             return;
         }
-        let Ok(resp) = DnsMessage::decode(payload) else { return };
+        let Ok(resp) = DnsMessage::decode(payload) else {
+            return;
+        };
         if resp.id != 0x0a11 || !resp.is_response {
             return;
         }
@@ -217,7 +219,10 @@ mod tests {
     use underradar_netsim::time::SimTime;
 
     fn probe_in(policy: CensorPolicy, domain: &str, path: &str) -> (Testbed, usize) {
-        let mut tb = Testbed::build(TestbedConfig { policy, ..TestbedConfig::default() });
+        let mut tb = Testbed::build(TestbedConfig {
+            policy,
+            ..TestbedConfig::default()
+        });
         let d = DnsName::parse(domain).expect("domain");
         let probe = OvertProbe::new(&d, tb.resolver_ip, tb.collector_ip, path);
         let idx = tb.spawn_on_client(SimTime::ZERO, Box::new(probe));
@@ -236,12 +241,14 @@ mod tests {
 
     #[test]
     fn dns_injection_detected_via_conflicting_answers() {
-        let policy =
-            CensorPolicy::new().block_domain(&DnsName::parse("twitter.com").expect("n"));
+        let policy = CensorPolicy::new().block_domain(&DnsName::parse("twitter.com").expect("n"));
         let (tb, idx) = probe_in(policy, "twitter.com", "/");
         let probe = tb.client_task::<OvertProbe>(idx).expect("probe");
         assert_eq!(probe.verdict(), Verdict::Censored(Mechanism::DnsPoison));
-        assert!(probe.dns_answers.len() >= 2, "injected + real answers observed");
+        assert!(
+            probe.dns_answers.len() >= 2,
+            "injected + real answers observed"
+        );
     }
 
     #[test]
@@ -273,16 +280,22 @@ mod tests {
     fn overt_probe_is_caught_by_surveillance() {
         // The headline risk: the overt baseline alerts the surveillance
         // system and attributes the client.
-        let policy =
-            CensorPolicy::new().block_domain(&DnsName::parse("twitter.com").expect("n"));
+        let policy = CensorPolicy::new().block_domain(&DnsName::parse("twitter.com").expect("n"));
         let (tb, _idx) = probe_in(policy, "twitter.com", "/");
         let report = crate::risk::RiskReport::evaluate(
             &tb,
             &tb.client_task::<OvertProbe>(0).expect("p").verdict(),
         );
         assert!(!report.evades(), "overt measurement must not evade");
-        assert!(report.alerts_on_client >= 2, "DNS lookup + collector contact");
+        assert!(
+            report.alerts_on_client >= 2,
+            "DNS lookup + collector contact"
+        );
         assert!(report.attributed);
-        assert_eq!(report.anonymity_set, Some(1), "exactly one suspect: the client");
+        assert_eq!(
+            report.anonymity_set,
+            Some(1),
+            "exactly one suspect: the client"
+        );
     }
 }

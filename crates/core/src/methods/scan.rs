@@ -91,7 +91,10 @@ impl SynScanProbe {
 
     /// Final state of one port (filtered if never answered).
     pub fn port_state(&self, port: u16) -> PortState {
-        self.results.get(&port).copied().unwrap_or(PortState::Filtered)
+        self.results
+            .get(&port)
+            .copied()
+            .unwrap_or(PortState::Filtered)
     }
 
     /// The measurement's conclusion, per §3.1's rule: an expected-open port
@@ -143,7 +146,16 @@ impl SynScanProbe {
         let sport = self.base_sport.wrapping_add(self.next_index as u16);
         self.next_index += 1;
         let iss = api.rng().next_u32();
-        let syn = Packet::tcp(api.ip(), self.target, sport, port, iss, 0, TcpFlags::syn(), vec![]);
+        let syn = Packet::tcp(
+            api.ip(),
+            self.target,
+            sport,
+            port,
+            iss,
+            0,
+            TcpFlags::syn(),
+            vec![],
+        );
         api.raw_send(syn);
         api.set_timer(self.pace, TIMER_NEXT_PROBE);
     }
@@ -163,7 +175,9 @@ impl HostTask for SynScanProbe {
         if packet.src != self.target {
             return RawVerdict::Continue;
         }
-        let Some(seg) = packet.as_tcp() else { return RawVerdict::Continue };
+        let Some(seg) = packet.as_tcp() else {
+            return RawVerdict::Continue;
+        };
         let Some(port) = self.sport_to_port(seg.dst_port) else {
             return RawVerdict::Continue;
         };
@@ -187,8 +201,7 @@ impl HostTask for SynScanProbe {
         match token {
             TIMER_NEXT_PROBE => self.send_next(api),
             TIMER_GRACE => {
-                let unanswered =
-                    self.ports.iter().any(|p| !self.results.contains_key(p));
+                let unanswered = self.ports.iter().any(|p| !self.results.contains_key(p));
                 if self.round < self.retries && unanswered {
                     // nmap-style retry round over the silent ports.
                     self.round += 1;
@@ -214,7 +227,10 @@ mod tests {
     use underradar_netsim::time::SimTime;
 
     fn run_scan(policy: CensorPolicy, ports: Vec<u16>) -> (Testbed, usize) {
-        let mut tb = Testbed::build(TestbedConfig { policy, ..TestbedConfig::default() });
+        let mut tb = Testbed::build(TestbedConfig {
+            policy,
+            ..TestbedConfig::default()
+        });
         let target = tb.target("twitter.com").expect("t").web_ip;
         let probe = SynScanProbe::new(target, ports, vec![80]);
         let idx = tb.spawn_on_client(SimTime::ZERO, Box::new(probe));
@@ -228,7 +244,11 @@ mod tests {
         let scan = tb.client_task::<SynScanProbe>(idx).expect("scan");
         assert!(scan.is_finished());
         assert_eq!(scan.port_state(80), PortState::Open);
-        assert_eq!(scan.port_state(443), PortState::Closed, "no listener: host RSTs");
+        assert_eq!(
+            scan.port_state(443),
+            PortState::Closed,
+            "no listener: host RSTs"
+        );
         assert_eq!(scan.port_state(22), PortState::Closed);
         assert_eq!(scan.verdict(), Verdict::Reachable);
     }
@@ -261,7 +281,11 @@ mod tests {
         let (tb, idx) = run_scan(CensorPolicy::new(), ports);
         let scan = tb.client_task::<SynScanProbe>(idx).expect("scan");
         let report = RiskReport::evaluate(&tb, &scan.verdict());
-        assert!(report.evades(), "scan traffic must not alert: {}", report.summary());
+        assert!(
+            report.evades(),
+            "scan traffic must not alert: {}",
+            report.summary()
+        );
         assert!(!report.attributed);
         // And the MVR really did discard scan-class packets.
         let discarded = tb.surveillance().stats().discarded;
@@ -287,6 +311,9 @@ mod tests {
         let probe = SynScanProbe::new(Ipv4Addr::new(1, 2, 3, 4), vec![80], vec![80])
             .with_pace(SimDuration::from_millis(5));
         assert_eq!(probe.pace, SimDuration::from_millis(5));
-        assert_eq!(probe.verdict(), Verdict::Inconclusive("scan still in progress".to_string()));
+        assert_eq!(
+            probe.verdict(),
+            Verdict::Inconclusive("scan still in progress".to_string())
+        );
     }
 }

@@ -131,8 +131,7 @@ impl SpamProbe {
         }
         if self.nxdomain || self.dns_timeout {
             return Verdict::Inconclusive(
-                "mail server lookup failed (possible blackholed mail, §3.1 confounder)"
-                    .to_string(),
+                "mail server lookup failed (possible blackholed mail, §3.1 confounder)".to_string(),
             );
         }
         Verdict::Inconclusive("measurement incomplete".to_string())
@@ -177,7 +176,9 @@ impl HostTask for SpamProbe {
         if Some(local_port) != self.dns_port {
             return;
         }
-        let Ok(resp) = DnsMessage::decode(payload) else { return };
+        let Ok(resp) = DnsMessage::decode(payload) else {
+            return;
+        };
         if !resp.is_response {
             return;
         }
@@ -256,9 +257,15 @@ mod tests {
     use underradar_netsim::time::SimTime;
 
     fn run_spam(policy: CensorPolicy, domain: &str) -> (Testbed, usize) {
-        let mut tb = Testbed::build(TestbedConfig { policy, ..TestbedConfig::default() });
+        let mut tb = Testbed::build(TestbedConfig {
+            policy,
+            ..TestbedConfig::default()
+        });
         let d = DnsName::parse(domain).expect("domain");
-        let idx = tb.spawn_on_client(SimTime::ZERO, Box::new(SpamProbe::new(&d, tb.resolver_ip, 0)));
+        let idx = tb.spawn_on_client(
+            SimTime::ZERO,
+            Box::new(SpamProbe::new(&d, tb.resolver_ip, 0)),
+        );
         tb.run_secs(30);
         (tb, idx)
     }
@@ -272,18 +279,23 @@ mod tests {
         // The spam really landed at the MX.
         let inbox = tb.inbox("twitter.com");
         assert_eq!(inbox.len(), 1);
-        assert!(underradar_spam::is_spam(&inbox[0]), "payload is filter-classified spam");
+        assert!(
+            underradar_spam::is_spam(&inbox[0]),
+            "payload is filter-classified spam"
+        );
     }
 
     #[test]
     fn gfc_dns_injection_detected_via_a_for_mx() {
         // The paper's §3.2.3 validation: bad A responses for MX queries.
-        let policy =
-            CensorPolicy::new().block_domain(&DnsName::parse("twitter.com").expect("n"));
+        let policy = CensorPolicy::new().block_domain(&DnsName::parse("twitter.com").expect("n"));
         let (tb, idx) = run_spam(policy, "twitter.com");
         let probe = tb.client_task::<SpamProbe>(idx).expect("probe");
         assert_eq!(probe.verdict(), Verdict::Censored(Mechanism::DnsPoison));
-        assert!(probe.observations.iter().any(|o| o.a_for_mx), "A-for-MX tell observed");
+        assert!(
+            probe.observations.iter().any(|o| o.a_for_mx),
+            "A-for-MX tell observed"
+        );
         assert!(!probe.delivered);
     }
 
@@ -344,9 +356,11 @@ mod tests {
         // Warm up by spamming enough benign domains that the classifier
         // labels the source a spammer, THEN probe the censored one: its
         // lookups and SMTP traffic are discarded before signatures run.
-        let policy =
-            CensorPolicy::new().block_domain(&DnsName::parse("twitter.com").expect("n"));
-        let mut tb = Testbed::build(TestbedConfig { policy, ..TestbedConfig::default() });
+        let policy = CensorPolicy::new().block_domain(&DnsName::parse("twitter.com").expect("n"));
+        let mut tb = Testbed::build(TestbedConfig {
+            policy,
+            ..TestbedConfig::default()
+        });
         let resolver = tb.resolver_ip;
         for (i, warmup) in ["bbc.com", "example.org", "youtube.com"].iter().enumerate() {
             let d = DnsName::parse(warmup).expect("domain");
@@ -362,7 +376,11 @@ mod tests {
         );
         tb.run_secs(40);
         let probe = tb.client_task::<SpamProbe>(idx).expect("probe");
-        assert_eq!(probe.verdict(), Verdict::Censored(Mechanism::DnsPoison), "accuracy kept");
+        assert_eq!(
+            probe.verdict(),
+            Verdict::Censored(Mechanism::DnsPoison),
+            "accuracy kept"
+        );
         let report = RiskReport::evaluate(&tb, &probe.verdict());
         assert!(report.evades(), "campaign cover: {}", report.summary());
         assert!(!report.attributed);
@@ -375,8 +393,7 @@ mod tests {
         // censored domain trip the lookup rule twice — without the
         // campaign's cover the client is attributable. (This is the §6
         // point that technique details matter for safety.)
-        let policy =
-            CensorPolicy::new().block_domain(&DnsName::parse("twitter.com").expect("n"));
+        let policy = CensorPolicy::new().block_domain(&DnsName::parse("twitter.com").expect("n"));
         let (tb, idx) = run_spam(policy, "twitter.com");
         let probe = tb.client_task::<SpamProbe>(idx).expect("probe");
         let report = RiskReport::evaluate(&tb, &probe.verdict());

@@ -81,7 +81,9 @@ impl MimicServer {
 
     /// Whether any SYN arrived at all.
     pub fn saw_syn(&self) -> bool {
-        self.events.iter().any(|e| matches!(e, ServerEvent::Syn(..)))
+        self.events
+            .iter()
+            .any(|e| matches!(e, ServerEvent::Syn(..)))
     }
 
     /// The measurement verdict, read from the server's point of view.
@@ -98,7 +100,15 @@ impl MimicServer {
         Verdict::Inconclusive("handshake only; no data arrived".to_string())
     }
 
-    fn reply(&self, api: &mut HostApi<'_, '_>, dst: Ipv4Addr, dst_port: u16, seq: u32, ack: u32, flags: TcpFlags) {
+    fn reply(
+        &self,
+        api: &mut HostApi<'_, '_>,
+        dst: Ipv4Addr,
+        dst_port: u16,
+        seq: u32,
+        ack: u32,
+        flags: TcpFlags,
+    ) {
         let mut pkt = Packet::tcp(api.ip(), dst, self.port, dst_port, seq, ack, flags, vec![]);
         if let Some(ttl) = self.reply_ttl {
             pkt = pkt.with_ttl(ttl);
@@ -114,7 +124,9 @@ impl HostTask for MimicServer {
         if packet.dst != api.ip() {
             return RawVerdict::Continue;
         }
-        let Some(seg) = packet.as_tcp() else { return RawVerdict::Continue };
+        let Some(seg) = packet.as_tcp() else {
+            return RawVerdict::Continue;
+        };
         if seg.dst_port != self.port {
             return RawVerdict::Continue;
         }
@@ -339,8 +351,10 @@ impl RoutedMimicryNet {
 
         let censor = topo.add_node(Box::new(TapCensor::new("censor", policy.clone())));
         let rules = default_surveillance_rules(home, &policy.dns_blocked, &policy.keywords, None);
-        let surveillance =
-            topo.add_node(Box::new(SurveillanceNode::new("mvr", SurveillanceConfig::with_rules(rules))));
+        let surveillance = topo.add_node(Box::new(SurveillanceNode::new(
+            "mvr",
+            SurveillanceConfig::with_rules(rules),
+        )));
 
         let sw1 = topo.add_switch(Switch::new("sw1"));
         let r1 = topo.add_switch(Switch::router("r1", Ipv4Addr::new(192, 0, 2, 1)));
@@ -348,11 +362,16 @@ impl RoutedMimicryNet {
         let r3 = topo.add_switch(Switch::router("r3", Ipv4Addr::new(192, 0, 2, 3)));
         let sw2 = topo.add_switch(Switch::new("sw2"));
 
-        topo.attach_host(client, client_ip, sw1, LinkConfig::default()).expect("client");
-        topo.attach_host(cover, cover_ip, sw1, LinkConfig::default()).expect("cover");
-        topo.attach_host(mserver, mserver_ip, sw2, LinkConfig::default()).expect("mserver");
-        topo.attach_tap(censor, r2, LinkConfig::ideal()).expect("censor tap");
-        topo.attach_tap(surveillance, r2, LinkConfig::ideal()).expect("mvr tap");
+        topo.attach_host(client, client_ip, sw1, LinkConfig::default())
+            .expect("client");
+        topo.attach_host(cover, cover_ip, sw1, LinkConfig::default())
+            .expect("cover");
+        topo.attach_host(mserver, mserver_ip, sw2, LinkConfig::default())
+            .expect("mserver");
+        topo.attach_tap(censor, r2, LinkConfig::ideal())
+            .expect("censor tap");
+        topo.attach_tap(surveillance, r2, LinkConfig::ideal())
+            .expect("mvr tap");
 
         let (s1_up, r1_down) = topo.trunk(sw1, r1, LinkConfig::default()).expect("sw1-r1");
         let (r1_up, r2_down) = topo.trunk(r1, r2, LinkConfig::default()).expect("r1-r2");
@@ -434,7 +453,11 @@ mod tests {
         );
         let server = server_of(&net);
         assert!(server.saw_syn());
-        assert!(!server.was_reset(), "Y never saw the SYN/ACK, so no RST: {:?}", server.events);
+        assert!(
+            !server.was_reset(),
+            "Y never saw the SYN/ACK, so no RST: {:?}",
+            server.events
+        );
         assert_eq!(server.received, b"GET /innocuous HTTP/1.0\r\n\r\n");
         assert_eq!(server.verdict(), Verdict::Reachable);
         // And the cover host truly received nothing.
@@ -447,9 +470,16 @@ mod tests {
     fn unlimited_ttl_triggers_the_replay_problem() {
         let net = run(CensorPolicy::new(), None, b"GET /x HTTP/1.0\r\n\r\n", false);
         let server = server_of(&net);
-        assert!(server.was_reset(), "Y's kernel RST killed the flow: {:?}", server.events);
+        assert!(
+            server.was_reset(),
+            "Y's kernel RST killed the flow: {:?}",
+            server.events
+        );
         let cover = net.sim.node_ref::<Host>(net.cover).expect("cover");
-        assert!(cover.counters().rst_sent >= 1, "the neighbor answered the stray SYN/ACK");
+        assert!(
+            cover.counters().rst_sent >= 1,
+            "the neighbor answered the stray SYN/ACK"
+        );
     }
 
     #[test]
@@ -462,7 +492,11 @@ mod tests {
             false,
         );
         let server = server_of(&net);
-        assert!(server.was_reset(), "censor injected RST at the flow: {:?}", server.events);
+        assert!(
+            server.was_reset(),
+            "censor injected RST at the flow: {:?}",
+            server.events
+        );
         assert_eq!(server.verdict(), Verdict::Censored(Mechanism::RstInjection));
         let censor = net.sim.node_ref::<TapCensor>(net.censor).expect("censor");
         assert_eq!(censor.stats().rst_injections, 1);
@@ -503,7 +537,12 @@ mod tests {
     fn too_small_ttl_never_reaches_the_taps() {
         // Reply TTL below the tap distance: the monitors never see the
         // SYN/ACK, so a censor cannot even observe the flow's reverse path.
-        let net = run(CensorPolicy::new(), Some(1), b"GET /x HTTP/1.0\r\n\r\n", false);
+        let net = run(
+            CensorPolicy::new(),
+            Some(1),
+            b"GET /x HTTP/1.0\r\n\r\n",
+            false,
+        );
         let cap = net.sim.capture().expect("capture");
         let synacks_at_tap = cap
             .records()
@@ -537,7 +576,11 @@ mod tests {
             .node_ref::<SurveillanceNode>(net.surveillance)
             .expect("surveillance")
             .system();
-        assert_eq!(surv.alerts_for(net.client_ip), 0, "nothing points at the client");
+        assert_eq!(
+            surv.alerts_for(net.client_ip),
+            0,
+            "nothing points at the client"
+        );
         // The keyword rule fired — on the spoofed source.
         assert!(surv.alerts_for(net.cover_ip) > 0);
     }

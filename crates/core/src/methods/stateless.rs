@@ -123,7 +123,9 @@ impl HostTask for StatelessDnsMimicry {
         if Some(local_port) != self.dns_port {
             return;
         }
-        let Ok(resp) = DnsMessage::decode(payload) else { return };
+        let Ok(resp) = DnsMessage::decode(payload) else {
+            return;
+        };
         if resp.id != 0x4242 || !resp.is_response {
             return;
         }
@@ -221,7 +223,9 @@ impl HostTask for StatelessSynMimicry {
         if packet.src != self.target {
             return RawVerdict::Continue;
         }
-        let Some(seg) = packet.as_tcp() else { return RawVerdict::Continue };
+        let Some(seg) = packet.as_tcp() else {
+            return RawVerdict::Continue;
+        };
         if seg.dst_port != self.own_sport || seg.src_port != self.port {
             return RawVerdict::Continue;
         }
@@ -254,7 +258,10 @@ mod tests {
     use underradar_netsim::time::SimTime;
 
     fn dns_mimicry(policy: CensorPolicy, domain: &str, qtype: QType) -> (Testbed, usize) {
-        let mut tb = Testbed::build(TestbedConfig { policy, ..TestbedConfig::default() });
+        let mut tb = Testbed::build(TestbedConfig {
+            policy,
+            ..TestbedConfig::default()
+        });
         let cover = tb.cover_ips.clone();
         let d = DnsName::parse(domain).expect("domain");
         let probe = StatelessDnsMimicry::new(&d, qtype, tb.resolver_ip, cover);
@@ -272,8 +279,7 @@ mod tests {
 
     #[test]
     fn poisoned_lookup_detected_under_cover() {
-        let policy =
-            CensorPolicy::new().block_domain(&DnsName::parse("twitter.com").expect("n"));
+        let policy = CensorPolicy::new().block_domain(&DnsName::parse("twitter.com").expect("n"));
         let (tb, idx) = dns_mimicry(policy, "twitter.com", QType::A);
         let probe = tb.client_task::<StatelessDnsMimicry>(idx).expect("probe");
         assert_eq!(probe.verdict(), Verdict::Censored(Mechanism::DnsPoison));
@@ -284,8 +290,7 @@ mod tests {
         // The point of Fig 3a: the surveillance system's censored-lookup
         // rule fires for every spoofed source too, so the client hides in
         // a crowd.
-        let policy =
-            CensorPolicy::new().block_domain(&DnsName::parse("twitter.com").expect("n"));
+        let policy = CensorPolicy::new().block_domain(&DnsName::parse("twitter.com").expect("n"));
         let (tb, idx) = dns_mimicry(policy, "twitter.com", QType::A);
         let probe = tb.client_task::<StatelessDnsMimicry>(idx).expect("probe");
         let report = RiskReport::evaluate(&tb, &probe.verdict());
@@ -305,13 +310,19 @@ mod tests {
         // No cover host crashed or answered; their hosts simply dropped
         // the unexpected DNS responses (no sockets bound).
         for &node in &tb.cover {
-            let host = tb.sim.node_ref::<underradar_netsim::Host>(node).expect("cover host");
+            let host = tb
+                .sim
+                .node_ref::<underradar_netsim::Host>(node)
+                .expect("cover host");
             assert_eq!(host.counters().rst_sent, 0, "UDP needs no RST");
         }
     }
 
     fn syn_mimicry(policy: CensorPolicy, port: u16) -> (Testbed, usize) {
-        let mut tb = Testbed::build(TestbedConfig { policy, ..TestbedConfig::default() });
+        let mut tb = Testbed::build(TestbedConfig {
+            policy,
+            ..TestbedConfig::default()
+        });
         let target = tb.target("twitter.com").expect("t").web_ip;
         let cover = tb.cover_ips.clone();
         let probe = StatelessSynMimicry::new(target, port, cover);
@@ -354,6 +365,10 @@ mod tests {
                     .rst_sent
             })
             .sum();
-        assert_eq!(rst_count, tb.cover_ips.len() as u64, "every cover host RSTed");
+        assert_eq!(
+            rst_count,
+            tb.cover_ips.len() as u64,
+            "every cover host RSTed"
+        );
     }
 }

@@ -75,7 +75,8 @@ impl RiskReport {
             self.alerts_on_client,
             self.attributed,
             self.pursued,
-            self.anonymity_set.map_or("-".to_string(), |n| n.to_string()),
+            self.anonymity_set
+                .map_or("-".to_string(), |n| n.to_string()),
         )
     }
 }
@@ -102,6 +103,9 @@ mod tests {
     fn wrong_verdict_scored_incorrect() {
         let tb = Testbed::build(TestbedConfig::default());
         let report = RiskReport::evaluate(&tb, &Verdict::Censored(Mechanism::Blackhole));
-        assert!(!report.verdict_correct, "claimed censorship where none happened");
+        assert!(
+            !report.verdict_correct,
+            "claimed censorship where none happened"
+        );
     }
 }

@@ -204,7 +204,8 @@ impl Testbed {
         // --- switches and inline censor ---
         let sw1 = topo.add_switch(Switch::new("sw1"));
         let sw2 = topo.add_switch(Switch::new("sw2"));
-        let inline_censor = topo.add_node(Box::new(InlineCensor::new("inline", config.policy.clone())));
+        let inline_censor =
+            topo.add_node(Box::new(InlineCensor::new("inline", config.policy.clone())));
 
         topo.attach_host(
             client,
@@ -214,14 +215,17 @@ impl Testbed {
         )
         .expect("client attach");
         for (node, ip) in cover.iter().zip(cover_ips.iter()) {
-            topo.attach_host(*node, *ip, sw1, LinkConfig::default()).expect("cover attach");
+            topo.attach_host(*node, *ip, sw1, LinkConfig::default())
+                .expect("cover attach");
         }
         topo.attach_host(resolver, resolver_ip, sw1, LinkConfig::default())
             .expect("resolver attach");
         // Taps observe the client-side switch; ideal links so injected
         // packets win races against real responses.
-        topo.attach_tap(censor, sw1, LinkConfig::ideal()).expect("censor tap");
-        topo.attach_tap(surveillance, sw1, LinkConfig::ideal()).expect("mvr tap");
+        topo.attach_tap(censor, sw1, LinkConfig::ideal())
+            .expect("censor tap");
+        topo.attach_tap(surveillance, sw1, LinkConfig::ideal())
+            .expect("mvr tap");
 
         // --- world side ---
         let mut inboxes = HashMap::new();
@@ -236,17 +240,23 @@ impl Testbed {
                 }
             });
             let web_id = topo.add_host(web);
-            topo.attach_host(web_id, t.web_ip, sw2, LinkConfig::default()).expect("web attach");
+            topo.attach_host(web_id, t.web_ip, sw2, LinkConfig::default())
+                .expect("web attach");
 
             let sink: Rc<RefCell<Vec<EmailMessage>>> = Rc::new(RefCell::new(Vec::new()));
             inboxes.insert(t.domain.to_string(), sink.clone());
             let mut mx = Host::new(&format!("mx-{}", t.domain), t.mx_ip);
-            mx.add_tcp_listener(25, move || Box::new(SmtpServerService::with_sink(sink.clone())));
+            mx.add_tcp_listener(25, move || {
+                Box::new(SmtpServerService::with_sink(sink.clone()))
+            });
             let mx_id = topo.add_host(mx);
-            topo.attach_host(mx_id, t.mx_ip, sw2, LinkConfig::default()).expect("mx attach");
+            topo.attach_host(mx_id, t.mx_ip, sw2, LinkConfig::default())
+                .expect("mx attach");
         }
         let mut collector_host = Host::new("collector", collector_ip);
-        collector_host.add_tcp_listener(443, || Box::new(HttpServer::catch_all("{\"status\":\"ok\"}")));
+        collector_host.add_tcp_listener(443, || {
+            Box::new(HttpServer::catch_all("{\"status\":\"ok\"}"))
+        });
         let collector = topo.add_host(collector_host);
         topo.attach_host(collector, collector_ip, sw2, LinkConfig::default())
             .expect("collector attach");
@@ -309,7 +319,9 @@ impl Testbed {
         let host = self.sim.node_mut::<Host>(node).expect("node is a host");
         let idx = host.add_task(task);
         host.bind_task_start(idx, token);
-        self.sim.schedule_timer(node, at, token).expect("node exists");
+        self.sim
+            .schedule_timer(node, at, token)
+            .expect("node exists");
         idx
     }
 
@@ -414,10 +426,21 @@ mod tests {
         }
         let mut tb = Testbed::build(TestbedConfig::default());
         let bbc = tb.target("bbc.com").expect("bbc target").web_ip;
-        tb.spawn_on_client(SimTime::ZERO, Box::new(Get { target: bbc, status: None, buf: vec![] }));
+        tb.spawn_on_client(
+            SimTime::ZERO,
+            Box::new(Get {
+                target: bbc,
+                status: None,
+                buf: vec![],
+            }),
+        );
         tb.run_secs(10);
         let task = tb.client_task::<Get>(0).expect("task");
-        assert_eq!(task.status, Some(200), "client can browse an uncensored site end-to-end");
+        assert_eq!(
+            task.status,
+            Some(200),
+            "client can browse an uncensored site end-to-end"
+        );
         assert!(!tb.censor_acted());
     }
 
@@ -450,9 +473,18 @@ mod tests {
         let mut tb = Testbed::build(TestbedConfig::default());
         let resolver = tb.resolver_ip;
         let expect = tb.target("bbc.com").expect("t").web_ip;
-        tb.spawn_on_client(SimTime::ZERO, Box::new(Lookup { resolver, answers: vec![] }));
+        tb.spawn_on_client(
+            SimTime::ZERO,
+            Box::new(Lookup {
+                resolver,
+                answers: vec![],
+            }),
+        );
         tb.run_secs(5);
-        assert_eq!(tb.client_task::<Lookup>(0).expect("t").answers, vec![expect]);
+        assert_eq!(
+            tb.client_task::<Lookup>(0).expect("t").answers,
+            vec![expect]
+        );
     }
 
     #[test]
@@ -481,7 +513,13 @@ mod tests {
         };
         let mut tb = Testbed::build(config);
         let web = tb.target("bbc.com").expect("t").web_ip;
-        tb.spawn_on_client(SimTime::ZERO, Box::new(Get { target: web, reset: false }));
+        tb.spawn_on_client(
+            SimTime::ZERO,
+            Box::new(Get {
+                target: web,
+                reset: false,
+            }),
+        );
         tb.run_secs(10);
         assert!(tb.client_task::<Get>(0).expect("t").reset);
         assert!(tb.censor_acted());
@@ -532,7 +570,10 @@ mod tests {
         let msg = EmailMessage::new("a@b.c", "user@twitter.com", "hello", "body");
         tb.spawn_on_client(
             SimTime::ZERO,
-            Box::new(Send { mx, machine: SmtpClientMachine::new("probe", msg) }),
+            Box::new(Send {
+                mx,
+                machine: SmtpClientMachine::new("probe", msg),
+            }),
         );
         tb.run_secs(10);
         let inbox = tb.inbox("twitter.com");

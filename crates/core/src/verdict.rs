@@ -111,8 +111,13 @@ mod tests {
 
     #[test]
     fn display() {
-        assert_eq!(Verdict::Censored(Mechanism::DnsPoison).to_string(), "CENSORED (dns-poison)");
+        assert_eq!(
+            Verdict::Censored(Mechanism::DnsPoison).to_string(),
+            "CENSORED (dns-poison)"
+        );
         assert_eq!(Verdict::Reachable.to_string(), "reachable");
-        assert!(Verdict::Inconclusive("few samples".into()).to_string().contains("few samples"));
+        assert!(Verdict::Inconclusive("few samples".into())
+            .to_string()
+            .contains("few samples"));
     }
 }

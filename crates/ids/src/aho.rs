@@ -80,19 +80,48 @@ impl Automaton {
     }
 
     /// Scan `haystack`, invoking `hit(pattern_id, end_offset)` per match.
-    fn scan<F: FnMut(u32, usize)>(&self, haystack: &[u8], fold: bool, mut hit: F) {
+    fn scan<F: FnMut(u32, usize)>(&self, haystack: &[u8], fold: bool, hit: F) {
+        let mut state = 0u32;
+        self.advance(&mut state, haystack, fold, hit);
+    }
+
+    /// Advance a persistent cursor over `chunk`, invoking
+    /// `hit(pattern_id, end_offset)` per match ending within the chunk.
+    /// Offsets are chunk-relative.
+    fn advance<F: FnMut(u32, usize)>(
+        &self,
+        cursor: &mut u32,
+        chunk: &[u8],
+        fold: bool,
+        mut hit: F,
+    ) {
         if self.patterns == 0 {
             return;
         }
-        let mut state = 0usize;
-        for (i, &byte) in haystack.iter().enumerate() {
-            let b = if fold { byte.to_ascii_lowercase() } else { byte };
+        let mut state = *cursor as usize;
+        for (i, &byte) in chunk.iter().enumerate() {
+            let b = if fold {
+                byte.to_ascii_lowercase()
+            } else {
+                byte
+            };
             state = self.goto_fn[state][b as usize] as usize;
             for &id in &self.output[state] {
                 hit(id, i + 1);
             }
         }
+        *cursor = state as u32;
     }
+}
+
+/// Persistent matcher position for one byte stream: carries the automaton
+/// cursors across chunk boundaries so a stream can be matched incrementally
+/// — each byte is examined exactly once, and patterns that straddle chunk
+/// (TCP segment) boundaries are still found. `Default` is the stream start.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AcStreamState {
+    sensitive: u32,
+    insensitive: u32,
 }
 
 /// A multi-pattern matcher with per-pattern case sensitivity.
@@ -154,10 +183,16 @@ impl AhoCorasick {
     pub fn find_all(&self, haystack: &[u8]) -> Vec<Match> {
         let mut out = Vec::new();
         self.sensitive.scan(haystack, false, |id, end| {
-            out.push(Match { pattern: self.sensitive_ids[id as usize], end });
+            out.push(Match {
+                pattern: self.sensitive_ids[id as usize],
+                end,
+            });
         });
         self.insensitive.scan(haystack, true, |id, end| {
-            out.push(Match { pattern: self.insensitive_ids[id as usize], end });
+            out.push(Match {
+                pattern: self.insensitive_ids[id as usize],
+                end,
+            });
         });
         out.sort_by_key(|m| (m.end, m.pattern));
         out
@@ -173,13 +208,33 @@ impl AhoCorasick {
         self.insensitive.scan(haystack, true, |id, _| {
             seen[self.insensitive_ids[id as usize]] = true;
         });
-        seen.iter().enumerate().filter_map(|(i, &s)| s.then_some(i)).collect()
+        seen.iter()
+            .enumerate()
+            .filter_map(|(i, &s)| s.then_some(i))
+            .collect()
     }
 
     /// Whether any pattern occurs in `haystack` (early-exit possible but the
     /// scan is already linear; kept simple).
     pub fn any_match(&self, haystack: &[u8]) -> bool {
         !self.matching_patterns(haystack).is_empty()
+    }
+
+    /// Incremental scan: advance `state` over `chunk`, invoking
+    /// `hit(pattern_index)` for every pattern occurrence that *ends* inside
+    /// `chunk` (a pattern may repeat). Feeding a stream chunk-by-chunk finds
+    /// exactly the matches a one-shot scan of the concatenation would,
+    /// including matches that straddle chunk boundaries, without rescanning
+    /// earlier bytes.
+    pub fn feed<F: FnMut(usize)>(&self, state: &mut AcStreamState, chunk: &[u8], mut hit: F) {
+        self.sensitive
+            .advance(&mut state.sensitive, chunk, false, |id, _| {
+                hit(self.sensitive_ids[id as usize]);
+            });
+        self.insensitive
+            .advance(&mut state.insensitive, chunk, true, |id, _| {
+                hit(self.insensitive_ids[id as usize]);
+            });
     }
 }
 
@@ -221,7 +276,12 @@ mod tests {
 
     #[test]
     fn classic_he_hers_his_she() {
-        let ac = AhoCorasick::new(&pats(&[("he", false), ("she", false), ("his", false), ("hers", false)]));
+        let ac = AhoCorasick::new(&pats(&[
+            ("he", false),
+            ("she", false),
+            ("his", false),
+            ("hers", false),
+        ]));
         let matches = ac.find_all(b"ushers");
         let found: Vec<(usize, usize)> = matches.iter().map(|m| (m.pattern, m.end)).collect();
         // "she" ends at 4, "he" ends at 4, "hers" ends at 6.
@@ -242,7 +302,11 @@ mod tests {
     fn case_insensitive_patterns_fold_input() {
         let ac = AhoCorasick::new(&pats(&[("falun", true), ("GET", false)]));
         assert_eq!(ac.matching_patterns(b"FaLuN gong article"), vec![0]);
-        assert_eq!(ac.matching_patterns(b"get / http"), Vec::<usize>::new(), "GET is sensitive");
+        assert_eq!(
+            ac.matching_patterns(b"get / http"),
+            Vec::<usize>::new(),
+            "GET is sensitive"
+        );
         assert_eq!(ac.matching_patterns(b"GET / falun"), vec![0, 1]);
     }
 
@@ -291,6 +355,37 @@ mod tests {
             let nocase = i == 2;
             let expect = find_sub(hay, p.as_bytes(), nocase, 0).is_some();
             assert_eq!(got.contains(&i), expect, "pattern {p}");
+        }
+    }
+
+    #[test]
+    fn feed_matches_across_chunk_boundaries() {
+        let ac = AhoCorasick::new(&pats(&[("falun", true), ("GET", false)]));
+        let mut state = AcStreamState::default();
+        let mut hits = Vec::new();
+        ac.feed(&mut state, b"GET /fal", |p| hits.push(p));
+        assert_eq!(hits, vec![1], "only GET so far");
+        ac.feed(&mut state, b"un HTTP", |p| hits.push(p));
+        assert_eq!(hits, vec![1, 0], "straddling keyword found incrementally");
+    }
+
+    #[test]
+    fn feed_equals_one_shot_scan_for_any_split() {
+        let ac = AhoCorasick::new(&pats(&[("aba", false), ("bab", true), ("xyz", false)]));
+        let hay = b"abababxybabaxyzab";
+        let mut whole: Vec<usize> = Vec::new();
+        let mut s = AcStreamState::default();
+        ac.feed(&mut s, hay, |p| whole.push(p));
+        // Hit order interleaves differently across chunk boundaries (the two
+        // automata run per chunk); the match multiset must be identical.
+        whole.sort_unstable();
+        for split in 0..hay.len() {
+            let mut parts: Vec<usize> = Vec::new();
+            let mut st = AcStreamState::default();
+            ac.feed(&mut st, &hay[..split], |p| parts.push(p));
+            ac.feed(&mut st, &hay[split..], |p| parts.push(p));
+            parts.sort_unstable();
+            assert_eq!(parts, whole, "split at {split}");
         }
     }
 

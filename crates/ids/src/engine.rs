@@ -9,14 +9,29 @@
 //! rules match against the reassembled stream rather than the single
 //! segment, with per-flow alert dedup so a keyword firing once does not
 //! re-fire on every later segment of the same flow.
+//!
+//! Stream matching is incremental: each flow direction carries a
+//! persistent [`AcStreamState`] cursor into the prefilter automaton, and
+//! each in-order segment feeds only its *new* bytes — keywords straddling
+//! segment boundaries are still found, without rescanning the buffered
+//! window on every packet (the seed rescanned the full direction buffer,
+//! and cloned it into the flow context, per segment). Candidate rules are
+//! then verified against the borrowed window from
+//! [`StreamReassembler::stream_of`]. Per-flow matcher and dedup state is
+//! dropped in lockstep with reassembler teardowns, so engine memory is
+//! bounded by live flows. One consequence of teardown-before-evaluation:
+//! a stream rule can no longer fire on the RST segment itself — by then
+//! the buffer is gone, which is precisely the monitor blindness the
+//! paper's §4.1 mimicry relies on.
 
-use std::collections::{HashMap, HashSet};
 use std::net::Ipv4Addr;
+
+use underradar_netsim::hash::FxHashMap;
 
 use underradar_netsim::packet::Packet;
 use underradar_netsim::time::{SimDuration, SimTime};
 
-use crate::aho::AhoCorasick;
+use crate::aho::{AcStreamState, AhoCorasick};
 use crate::alert::{Alert, AlertLog};
 use crate::rule::{FlowOption, Rule, RuleAction, ThresholdKind};
 use crate::stream::{Direction, FlowContext, FlowKey, StreamReassembler};
@@ -41,6 +56,14 @@ struct ThresholdState {
     alerted_in_window: u32,
 }
 
+/// Per-flow-direction incremental match state: the automaton cursor plus
+/// the rules whose fast pattern has appeared anywhere in the stream.
+#[derive(Debug, Default)]
+struct StreamMatchState {
+    ac: AcStreamState,
+    seen: Vec<usize>,
+}
+
 /// A Snort-like detection engine over a fixed ruleset.
 pub struct DetectionEngine {
     rules: Vec<Rule>,
@@ -53,8 +76,11 @@ pub struct DetectionEngine {
     /// Indexes of pass rules (checked first).
     pass_rules: Vec<usize>,
     reassembler: StreamReassembler,
-    thresholds: HashMap<(u32, Ipv4Addr), ThresholdState>,
-    flow_alerted: HashSet<(FlowKey, u32)>,
+    thresholds: FxHashMap<(u32, Ipv4Addr), ThresholdState>,
+    /// Incremental prefilter state per live flow direction.
+    flow_streams: FxHashMap<(FlowKey, Direction), StreamMatchState>,
+    /// Stream-rule dedup: sids already alerted per live flow.
+    flow_alerted: FxHashMap<FlowKey, Vec<u32>>,
     log: AlertLog,
     stats: EngineStats,
 }
@@ -79,15 +105,18 @@ impl DetectionEngine {
                 None => unfiltered.push(idx),
             }
         }
+        let mut reassembler = StreamReassembler::new();
+        reassembler.track_removals(true);
         DetectionEngine {
             prefilter: AhoCorasick::new(&patterns),
             prefilter_rule,
             unfiltered,
             pass_rules,
             rules,
-            reassembler: StreamReassembler::new(),
-            thresholds: HashMap::new(),
-            flow_alerted: HashSet::new(),
+            reassembler,
+            thresholds: FxHashMap::default(),
+            flow_streams: FxHashMap::default(),
+            flow_alerted: FxHashMap::default(),
             log: AlertLog::new(),
             stats: EngineStats::default(),
         }
@@ -113,6 +142,12 @@ impl DetectionEngine {
         self.reassembler.stats()
     }
 
+    /// Number of per-flow-direction matcher states currently held
+    /// (introspection for leak tests; bounded by 2 × live flows).
+    pub fn flow_state_count(&self) -> usize {
+        self.flow_streams.len()
+    }
+
     /// The compiled rules.
     pub fn rules(&self) -> &[Rule] {
         &self.rules
@@ -124,18 +159,51 @@ impl DetectionEngine {
         self.stats.packets += 1;
         let flow_ctx = self.reassembler.process(packet);
 
+        // Feed newly appended stream bytes to the flow's persistent
+        // prefilter cursor, then drop state for flows this packet tore down
+        // (RST / completed close / eviction).
+        let payload = packet.body.payload();
+        if let Some(ctx) = &flow_ctx {
+            if ctx.appended {
+                let st = self
+                    .flow_streams
+                    .entry((ctx.key, ctx.direction))
+                    .or_default();
+                let StreamMatchState { ac, seen } = st;
+                let prefilter_rule = &self.prefilter_rule;
+                self.prefilter.feed(ac, payload, |p| {
+                    let rule_idx = prefilter_rule[p];
+                    if !seen.contains(&rule_idx) {
+                        seen.push(rule_idx);
+                    }
+                });
+            }
+        }
+        for key in self.reassembler.take_removed() {
+            self.flow_streams.remove(&(key, Direction::ToServer));
+            self.flow_streams.remove(&(key, Direction::ToClient));
+            self.flow_alerted.remove(&key);
+        }
+
+        // The reassembled window for this segment's direction — borrowed,
+        // never cloned.
+        let stream: &[u8] = match &flow_ctx {
+            Some(ctx) => self.reassembler.stream_of(&ctx.key, ctx.direction),
+            None => &[],
+        };
+
         // Pass rules win over everything.
         for &idx in &self.pass_rules {
             let rule = &self.rules[idx];
-            if Self::rule_matches(rule, packet, flow_ctx.as_ref()) {
+            if Self::rule_matches(rule, packet, flow_ctx.as_ref(), stream) {
                 self.stats.passed += 1;
                 return Vec::new();
             }
         }
 
-        // Candidate set: prefilter over packet payload and (for TCP) the
-        // reassembled stream tail, plus rules with no fast pattern.
-        let payload = packet.body.payload();
+        // Candidate set: prefilter over this packet's payload, rules whose
+        // fast pattern has appeared in the flow's stream (incremental), and
+        // rules with no fast pattern.
         let mut candidates: Vec<usize> = self
             .prefilter
             .matching_patterns(payload)
@@ -143,13 +211,8 @@ impl DetectionEngine {
             .map(|p| self.prefilter_rule[p])
             .collect();
         if let Some(ctx) = &flow_ctx {
-            if !ctx.stream.is_empty() {
-                candidates.extend(
-                    self.prefilter
-                        .matching_patterns(&ctx.stream)
-                        .into_iter()
-                        .map(|p| self.prefilter_rule[p]),
-                );
+            if let Some(st) = self.flow_streams.get(&(ctx.key, ctx.direction)) {
+                candidates.extend_from_slice(&st.seen);
             }
         }
         candidates.extend_from_slice(&self.unfiltered);
@@ -158,27 +221,36 @@ impl DetectionEngine {
 
         let mut fired = Vec::new();
         for idx in candidates {
-            // Split borrow: clone the small rule head info we need.
             self.stats.evaluations += 1;
             let rule = &self.rules[idx];
-            if !Self::rule_matches(rule, packet, flow_ctx.as_ref()) {
+            if !Self::rule_matches(rule, packet, flow_ctx.as_ref(), stream) {
                 continue;
             }
             // Per-flow dedup for stream-matched rules.
             if !rule.flow.is_empty() {
                 if let Some(ctx) = &flow_ctx {
-                    if !self.flow_alerted.insert((ctx.key, rule.sid)) {
+                    let sids = self.flow_alerted.entry(ctx.key).or_default();
+                    if sids.contains(&rule.sid) {
                         continue;
                     }
+                    sids.push(rule.sid);
                 }
             }
             // Threshold suppression.
             if let Some(t) = rule.threshold {
-                let track = if t.track_by_src { packet.src } else { packet.dst };
+                let track = if t.track_by_src {
+                    packet.src
+                } else {
+                    packet.dst
+                };
                 let state = self
                     .thresholds
                     .entry((rule.sid, track))
-                    .or_insert(ThresholdState { window_start: now, count: 0, alerted_in_window: 0 });
+                    .or_insert(ThresholdState {
+                        window_start: now,
+                        count: 0,
+                        alerted_in_window: 0,
+                    });
                 if now.saturating_since(state.window_start)
                     > SimDuration::from_secs(u64::from(t.seconds))
                 {
@@ -216,7 +288,12 @@ impl DetectionEngine {
         fired
     }
 
-    fn rule_matches(rule: &Rule, packet: &Packet, flow: Option<&FlowContext>) -> bool {
+    fn rule_matches(
+        rule: &Rule,
+        packet: &Packet,
+        flow: Option<&FlowContext>,
+        stream: &[u8],
+    ) -> bool {
         if !rule.header_matches(packet) || !rule.flags_match(packet) {
             return false;
         }
@@ -234,7 +311,7 @@ impl DetectionEngine {
                 }
             }
             // Stream-qualified rules match the reassembled stream.
-            return rule.payload_matches(&ctx.stream);
+            return rule.payload_matches(stream);
         }
         rule.payload_matches(packet.body.payload())
     }
@@ -260,12 +337,31 @@ mod tests {
 
     #[test]
     fn keyword_rule_fires_on_packet_payload() {
-        let mut e = engine(r#"alert tcp any any -> any 80 (msg:"kw"; content:"falun"; nocase; sid:1;)"#);
-        let pkt = Packet::tcp(C, S, 4000, 80, 0, 0, TcpFlags::psh_ack(), b"GET /FALUN".to_vec());
+        let mut e =
+            engine(r#"alert tcp any any -> any 80 (msg:"kw"; content:"falun"; nocase; sid:1;)"#);
+        let pkt = Packet::tcp(
+            C,
+            S,
+            4000,
+            80,
+            0,
+            0,
+            TcpFlags::psh_ack(),
+            b"GET /FALUN".to_vec(),
+        );
         let alerts = e.process(t(0), &pkt);
         assert_eq!(alerts.len(), 1);
         assert_eq!(alerts[0].sid, 1);
-        let miss = Packet::tcp(C, S, 4000, 80, 0, 0, TcpFlags::psh_ack(), b"GET /news".to_vec());
+        let miss = Packet::tcp(
+            C,
+            S,
+            4000,
+            80,
+            0,
+            0,
+            TcpFlags::psh_ack(),
+            b"GET /news".to_vec(),
+        );
         assert!(e.process(t(0), &miss).is_empty());
     }
 
@@ -283,13 +379,40 @@ mod tests {
         assert!(e.process(t(0), &ack).is_empty());
         // Keyword split across two segments: per-segment matching cannot
         // see it, stream matching can.
-        let d1 = Packet::tcp(C, S, 4000, 80, 101, 501, TcpFlags::psh_ack(), b"GET /fal".to_vec());
-        let d2 = Packet::tcp(C, S, 4000, 80, 109, 501, TcpFlags::psh_ack(), b"un HTTP".to_vec());
+        let d1 = Packet::tcp(
+            C,
+            S,
+            4000,
+            80,
+            101,
+            501,
+            TcpFlags::psh_ack(),
+            b"GET /fal".to_vec(),
+        );
+        let d2 = Packet::tcp(
+            C,
+            S,
+            4000,
+            80,
+            109,
+            501,
+            TcpFlags::psh_ack(),
+            b"un HTTP".to_vec(),
+        );
         assert!(e.process(t(0), &d1).is_empty());
         let alerts = e.process(t(0), &d2);
         assert_eq!(alerts.len(), 1, "reassembled match");
         // Dedup: more segments on the same flow do not re-fire.
-        let d3 = Packet::tcp(C, S, 4000, 80, 116, 501, TcpFlags::psh_ack(), b" again falun".to_vec());
+        let d3 = Packet::tcp(
+            C,
+            S,
+            4000,
+            80,
+            116,
+            501,
+            TcpFlags::psh_ack(),
+            b" again falun".to_vec(),
+        );
         assert!(e.process(t(0), &d3).is_empty());
     }
 
@@ -312,7 +435,16 @@ mod tests {
         let pkt = Packet::tcp(C, S, 4000, 80, 0, 0, TcpFlags::psh_ack(), b"falun".to_vec());
         assert!(e.process(t(0), &pkt).is_empty());
         assert_eq!(e.stats().passed, 1);
-        let other = Packet::tcp(Ipv4Addr::new(10, 0, 1, 3), S, 4000, 80, 0, 0, TcpFlags::psh_ack(), b"falun".to_vec());
+        let other = Packet::tcp(
+            Ipv4Addr::new(10, 0, 1, 3),
+            S,
+            4000,
+            80,
+            0,
+            0,
+            TcpFlags::psh_ack(),
+            b"falun".to_vec(),
+        );
         assert_eq!(e.process(t(0), &other).len(), 1);
     }
 
@@ -341,7 +473,12 @@ mod tests {
         let mut e = engine(
             r#"alert icmp any any -> any any (msg:"ping"; threshold: type limit, track by_src, count 2, seconds 60; sid:21;)"#,
         );
-        let ping = Packet::icmp(C, S, underradar_netsim::wire::icmp::IcmpKind::EchoRequest { ident: 1, seq: 1 }, vec![]);
+        let ping = Packet::icmp(
+            C,
+            S,
+            underradar_netsim::wire::icmp::IcmpKind::EchoRequest { ident: 1, seq: 1 },
+            vec![],
+        );
         let mut fired = 0;
         for _ in 0..6 {
             fired += e.process(t(1), &ping).len();
@@ -363,16 +500,19 @@ mod tests {
             fired_c += e.process(t(0), &p1).len();
             fired_c2 += e.process(t(0), &p2).len();
         }
-        assert_eq!((fired_c, fired_c2), (1, 1), "each source hits its own threshold");
+        assert_eq!(
+            (fired_c, fired_c2),
+            (1, 1),
+            "each source hits its own threshold"
+        );
     }
 
     #[test]
     fn rst_injection_rule_and_teardown_interplay() {
         // A rule watching for server RSTs (how a measurement client's
         // reference censor is validated) fires on the injected RST.
-        let mut e = engine(
-            r#"alert tcp any 80 -> any any (msg:"rst from server"; flags:R+; sid:30;)"#,
-        );
+        let mut e =
+            engine(r#"alert tcp any 80 -> any any (msg:"rst from server"; flags:R+; sid:30;)"#);
         let rst = Packet::tcp(S, C, 80, 4000, 1, 1, TcpFlags::rst_ack(), vec![]);
         assert_eq!(e.process(t(0), &rst).len(), 1);
     }
@@ -389,8 +529,16 @@ mod tests {
             ));
         }
         let mut e = engine(&rules_text);
-        let pkt =
-            Packet::tcp(C, S, 1, 2, 0, 0, TcpFlags::psh_ack(), b"unique-keyword-33-end present".to_vec());
+        let pkt = Packet::tcp(
+            C,
+            S,
+            1,
+            2,
+            0,
+            0,
+            TcpFlags::psh_ack(),
+            b"unique-keyword-33-end present".to_vec(),
+        );
         let alerts = e.process(t(0), &pkt);
         assert_eq!(alerts.len(), 1);
         assert_eq!(alerts[0].sid, 133);
@@ -405,7 +553,12 @@ mod tests {
              alert icmp any any -> any any (msg:\"icmp\"; sid:41;)",
         );
         let dns = Packet::udp(C, S, 5353, 53, b"query".to_vec());
-        let ping = Packet::icmp(C, S, underradar_netsim::wire::icmp::IcmpKind::TimeExceeded, vec![]);
+        let ping = Packet::icmp(
+            C,
+            S,
+            underradar_netsim::wire::icmp::IcmpKind::TimeExceeded,
+            vec![],
+        );
         assert_eq!(e.process(t(0), &dns)[0].sid, 40);
         assert_eq!(e.process(t(0), &ping)[0].sid, 41);
         assert_eq!(e.log().len(), 2);
@@ -416,9 +569,104 @@ mod tests {
         let mut e = engine(
             r#"alert tcp any any -> any 80 (msg:"no host header"; content:"GET "; content:!"Host:"; sid:50;)"#,
         );
-        let without = Packet::tcp(C, S, 1, 80, 0, 0, TcpFlags::psh_ack(), b"GET / HTTP/1.0\r\n\r\n".to_vec());
-        let with = Packet::tcp(C, S, 1, 80, 0, 0, TcpFlags::psh_ack(), b"GET / HTTP/1.0\r\nHost: x\r\n\r\n".to_vec());
+        let without = Packet::tcp(
+            C,
+            S,
+            1,
+            80,
+            0,
+            0,
+            TcpFlags::psh_ack(),
+            b"GET / HTTP/1.0\r\n\r\n".to_vec(),
+        );
+        let with = Packet::tcp(
+            C,
+            S,
+            1,
+            80,
+            0,
+            0,
+            TcpFlags::psh_ack(),
+            b"GET / HTTP/1.0\r\nHost: x\r\n\r\n".to_vec(),
+        );
         assert_eq!(e.process(t(0), &without).len(), 1);
         assert!(e.process(t(0), &with).is_empty());
+    }
+
+    #[test]
+    fn teardown_releases_per_flow_matcher_state() {
+        let mut e = engine(
+            r#"alert tcp any any -> any 80 (msg:"kw-stream"; flow:established,to_server; content:"falun"; sid:60;)"#,
+        );
+        let syn = Packet::tcp(C, S, 4000, 80, 100, 0, TcpFlags::syn(), vec![]);
+        let syn_ack = Packet::tcp(S, C, 80, 4000, 500, 101, TcpFlags::syn_ack(), vec![]);
+        let ack = Packet::tcp(C, S, 4000, 80, 101, 501, TcpFlags::ack(), vec![]);
+        let _ = e.process(t(0), &syn);
+        let _ = e.process(t(0), &syn_ack);
+        let _ = e.process(t(0), &ack);
+        let d = Packet::tcp(
+            C,
+            S,
+            4000,
+            80,
+            101,
+            501,
+            TcpFlags::psh_ack(),
+            b"falun".to_vec(),
+        );
+        assert_eq!(e.process(t(0), &d).len(), 1);
+        assert!(
+            e.flow_state_count() > 0,
+            "matcher state held while flow lives"
+        );
+        let rst = Packet::tcp(C, S, 4000, 80, 106, 501, TcpFlags::rst(), vec![]);
+        let _ = e.process(t(0), &rst);
+        assert_eq!(
+            e.flow_state_count(),
+            0,
+            "matcher state dropped with the flow"
+        );
+        // A new flow on the same 4-tuple is clean: the keyword fires again
+        // rather than being suppressed by stale dedup state.
+        let syn2 = Packet::tcp(C, S, 4000, 80, 700, 0, TcpFlags::syn(), vec![]);
+        let syn_ack2 = Packet::tcp(S, C, 80, 4000, 900, 701, TcpFlags::syn_ack(), vec![]);
+        let ack2 = Packet::tcp(C, S, 4000, 80, 701, 901, TcpFlags::ack(), vec![]);
+        let _ = e.process(t(1), &syn2);
+        let _ = e.process(t(1), &syn_ack2);
+        let _ = e.process(t(1), &ack2);
+        let d2 = Packet::tcp(
+            C,
+            S,
+            4000,
+            80,
+            701,
+            901,
+            TcpFlags::psh_ack(),
+            b"falun".to_vec(),
+        );
+        assert_eq!(e.process(t(1), &d2).len(), 1, "fresh flow, fresh dedup");
+    }
+
+    #[test]
+    fn stream_keyword_straddling_many_segments() {
+        // One byte per segment: only the incremental cursor can see this
+        // without rescanning the window each time.
+        let mut e = engine(
+            r#"alert tcp any any -> any 80 (msg:"kw-stream"; flow:established,to_server; content:"falun"; sid:61;)"#,
+        );
+        let syn = Packet::tcp(C, S, 4000, 80, 100, 0, TcpFlags::syn(), vec![]);
+        let syn_ack = Packet::tcp(S, C, 80, 4000, 500, 101, TcpFlags::syn_ack(), vec![]);
+        let ack = Packet::tcp(C, S, 4000, 80, 101, 501, TcpFlags::ack(), vec![]);
+        let _ = e.process(t(0), &syn);
+        let _ = e.process(t(0), &syn_ack);
+        let _ = e.process(t(0), &ack);
+        let mut fired = 0;
+        let mut seq = 101u32;
+        for b in b"xfalunx" {
+            let d = Packet::tcp(C, S, 4000, 80, seq, 501, TcpFlags::psh_ack(), vec![*b]);
+            fired += e.process(t(0), &d).len();
+            seq = seq.wrapping_add(1);
+        }
+        assert_eq!(fired, 1);
     }
 }

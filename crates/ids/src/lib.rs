@@ -24,6 +24,7 @@
 pub mod aho;
 pub mod alert;
 pub mod engine;
+pub mod lru;
 pub mod parser;
 pub mod rule;
 pub mod stream;

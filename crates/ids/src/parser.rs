@@ -39,14 +39,21 @@ pub struct RuleParseError {
 
 impl RuleParseError {
     fn new(message: impl Into<String>) -> RuleParseError {
-        RuleParseError { message: message.into(), line: 0 }
+        RuleParseError {
+            message: message.into(),
+            line: 0,
+        }
     }
 }
 
 impl fmt::Display for RuleParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         if self.line > 0 {
-            write!(f, "rule parse error at line {}: {}", self.line, self.message)
+            write!(
+                f,
+                "rule parse error at line {}: {}",
+                self.line, self.message
+            )
         } else {
             write!(f, "rule parse error: {}", self.message)
         }
@@ -165,7 +172,11 @@ fn parse_addr(token: &str, vars: &VarTable) -> Result<AddrSpec, RuleParseError> 
             match parse_addr(item.trim(), vars)? {
                 AddrSpec::Net(c) => nets.push(c),
                 AddrSpec::List(cs) => nets.extend(cs),
-                _ => return Err(RuleParseError::new("address lists may only contain networks")),
+                _ => {
+                    return Err(RuleParseError::new(
+                        "address lists may only contain networks",
+                    ))
+                }
             }
         }
         return Ok(AddrSpec::List(nets));
@@ -201,12 +212,14 @@ fn parse_port(token: &str) -> Result<PortSpec, RuleParseError> {
         let lo: u16 = if lo.is_empty() {
             0
         } else {
-            lo.parse().map_err(|_| RuleParseError::new(format!("bad port range '{token}'")))?
+            lo.parse()
+                .map_err(|_| RuleParseError::new(format!("bad port range '{token}'")))?
         };
         let hi: u16 = if hi.is_empty() {
             u16::MAX
         } else {
-            hi.parse().map_err(|_| RuleParseError::new(format!("bad port range '{token}'")))?
+            hi.parse()
+                .map_err(|_| RuleParseError::new(format!("bad port range '{token}'")))?
         };
         return Ok(PortSpec::Range(lo, hi));
     }
@@ -366,7 +379,9 @@ fn parse_threshold(value: &str) -> Result<ThresholdOption, RuleParseError> {
                     "threshold" => ThresholdKind::Threshold,
                     "both" => ThresholdKind::Both,
                     other => {
-                        return Err(RuleParseError::new(format!("unknown threshold type '{other}'")))
+                        return Err(RuleParseError::new(format!(
+                            "unknown threshold type '{other}'"
+                        )))
                     }
                 });
             }
@@ -374,22 +389,26 @@ fn parse_threshold(value: &str) -> Result<ThresholdOption, RuleParseError> {
                 track_by_src = match t {
                     "by_src" => true,
                     "by_dst" => false,
-                    other => {
-                        return Err(RuleParseError::new(format!("unknown track '{other}'")))
-                    }
+                    other => return Err(RuleParseError::new(format!("unknown track '{other}'"))),
                 };
             }
             (Some("count"), Some(n)) => {
-                count = Some(n.parse::<u32>().map_err(|_| {
-                    RuleParseError::new(format!("bad threshold count '{n}'"))
-                })?);
+                count = Some(
+                    n.parse::<u32>()
+                        .map_err(|_| RuleParseError::new(format!("bad threshold count '{n}'")))?,
+                );
             }
             (Some("seconds"), Some(n)) => {
-                seconds = Some(n.parse::<u32>().map_err(|_| {
-                    RuleParseError::new(format!("bad threshold seconds '{n}'"))
-                })?);
+                seconds =
+                    Some(n.parse::<u32>().map_err(|_| {
+                        RuleParseError::new(format!("bad threshold seconds '{n}'"))
+                    })?);
             }
-            _ => return Err(RuleParseError::new(format!("bad threshold clause '{part}'"))),
+            _ => {
+                return Err(RuleParseError::new(format!(
+                    "bad threshold clause '{part}'"
+                )))
+            }
         }
     }
     Ok(ThresholdOption {
@@ -508,9 +527,13 @@ mod tests {
             "HOME_NET".to_string(),
             AddrSpec::Net(Cidr::new(Ipv4Addr::new(10, 0, 0, 0), 8)),
         );
-        v.insert("EXTERNAL_NET".to_string(), AddrSpec::Not(Box::new(
-            AddrSpec::Net(Cidr::new(Ipv4Addr::new(10, 0, 0, 0), 8)),
-        )));
+        v.insert(
+            "EXTERNAL_NET".to_string(),
+            AddrSpec::Not(Box::new(AddrSpec::Net(Cidr::new(
+                Ipv4Addr::new(10, 0, 0, 0),
+                8,
+            )))),
+        );
         v
     }
 
@@ -617,10 +640,13 @@ mod tests {
     fn dsize_forms() {
         let vt = VarTable::new();
         let d = |s: &str| {
-            parse_rule(&format!("alert tcp any any -> any any (dsize:{s}; sid:1;)"), &vt)
-                .expect("p")
-                .dsize
-                .expect("dsize")
+            parse_rule(
+                &format!("alert tcp any any -> any any (dsize:{s}; sid:1;)"),
+                &vt,
+            )
+            .expect("p")
+            .dsize
+            .expect("dsize")
         };
         assert_eq!(d(">100"), (101, 0));
         assert_eq!(d("<100"), (0, 99));

@@ -306,7 +306,9 @@ impl Rule {
     /// The first positive content (the "fast pattern" used for
     /// prefiltering), if any.
     pub fn fast_pattern(&self) -> Option<&ContentMatch> {
-        self.contents.iter().find(|c| !c.negated && !c.pattern.is_empty())
+        self.contents
+            .iter()
+            .find(|c| !c.negated && !c.pattern.is_empty())
     }
 }
 
@@ -359,17 +361,34 @@ mod tests {
         c.nocase = true;
         assert!(c.matches(b"FALUN"));
         // Offset past the match position.
-        let c = ContentMatch { offset: 10, ..ContentMatch::plain(b"falun") };
+        let c = ContentMatch {
+            offset: 10,
+            ..ContentMatch::plain(b"falun")
+        };
         assert!(!c.matches(payload));
         // Depth window too small.
-        let c = ContentMatch { offset: 0, depth: 5, ..ContentMatch::plain(b"falun") };
+        let c = ContentMatch {
+            offset: 0,
+            depth: 5,
+            ..ContentMatch::plain(b"falun")
+        };
         assert!(!c.matches(payload));
-        let c = ContentMatch { offset: 7, depth: 5, ..ContentMatch::plain(b"falun") };
+        let c = ContentMatch {
+            offset: 7,
+            depth: 5,
+            ..ContentMatch::plain(b"falun")
+        };
         assert!(c.matches(payload));
         // Negated.
-        let c = ContentMatch { negated: true, ..ContentMatch::plain(b"tibet") };
+        let c = ContentMatch {
+            negated: true,
+            ..ContentMatch::plain(b"tibet")
+        };
         assert!(c.matches(payload));
-        let c = ContentMatch { negated: true, ..ContentMatch::plain(b"falun") };
+        let c = ContentMatch {
+            negated: true,
+            ..ContentMatch::plain(b"falun")
+        };
         assert!(!c.matches(payload));
     }
 
@@ -394,7 +413,10 @@ mod tests {
     #[test]
     fn flags_and_dsize() {
         let mut rule = Rule::alert(Proto::Tcp, 2, "syn only");
-        rule.flags = Some(FlagsSpec { set: TcpFlags::SYN, clear: TcpFlags::ACK });
+        rule.flags = Some(FlagsSpec {
+            set: TcpFlags::SYN,
+            clear: TcpFlags::ACK,
+        });
         let syn = Packet::tcp(A, B, 1, 2, 0, 0, TcpFlags::syn(), vec![]);
         let syn_ack = Packet::tcp(A, B, 1, 2, 0, 0, TcpFlags::syn_ack(), vec![]);
         assert!(rule.flags_match(&syn));
@@ -415,10 +437,16 @@ mod tests {
     fn fast_pattern_skips_negated() {
         let mut rule = Rule::alert(Proto::Tcp, 4, "t");
         rule.contents = vec![
-            ContentMatch { negated: true, ..ContentMatch::plain(b"absent") },
+            ContentMatch {
+                negated: true,
+                ..ContentMatch::plain(b"absent")
+            },
             ContentMatch::plain(b"present"),
         ];
-        assert_eq!(rule.fast_pattern().map(|c| c.pattern.as_slice()), Some(&b"present"[..]));
+        assert_eq!(
+            rule.fast_pattern().map(|c| c.pattern.as_slice()),
+            Some(&b"present"[..])
+        );
         rule.contents.truncate(1);
         assert!(rule.fast_pattern().is_none());
     }

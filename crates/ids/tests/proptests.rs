@@ -1,92 +1,142 @@
 //! Property tests for the IDS: Aho–Corasick against a naive oracle,
-//! content-modifier semantics, parser totality, threshold accounting, and
-//! reassembly invariants.
+//! streaming-cursor equivalence, content-modifier semantics, parser
+//! totality, threshold accounting, and reassembly invariants. Inputs come
+//! from the in-tree seeded generator ([`underradar_netsim::testprop`]).
 
-use proptest::prelude::*;
 use std::net::Ipv4Addr;
 
-use underradar_ids::aho::{find_sub, AhoCorasick};
+use underradar_ids::aho::{find_sub, AcStreamState, AhoCorasick};
 use underradar_ids::engine::DetectionEngine;
 use underradar_ids::parser::{parse_rule, VarTable};
 use underradar_ids::rule::ContentMatch;
-use underradar_ids::stream::StreamReassembler;
+use underradar_ids::stream::{Direction, FlowKey, StreamReassembler};
 use underradar_netsim::packet::Packet;
+use underradar_netsim::testprop::{cases, Gen};
 use underradar_netsim::time::SimTime;
 use underradar_netsim::wire::tcp::TcpFlags;
 
-fn arb_pattern() -> impl Strategy<Value = (Vec<u8>, bool)> {
-    (proptest::collection::vec(any::<u8>(), 1..8), any::<bool>())
+fn arb_pattern(g: &mut Gen) -> (Vec<u8>, bool) {
+    (g.bytes(1, 8), g.bool())
 }
 
-proptest! {
-    /// AC agrees with the naive oracle on which patterns occur.
-    #[test]
-    fn aho_matches_naive_oracle(
-        patterns in proptest::collection::vec(arb_pattern(), 1..12),
-        haystack in proptest::collection::vec(any::<u8>(), 0..200),
-    ) {
+/// AC agrees with the naive oracle on which patterns occur.
+#[test]
+fn aho_matches_naive_oracle() {
+    cases(256, 0xD001, |g| {
+        let n = g.usize_in(1, 12);
+        let patterns: Vec<(Vec<u8>, bool)> = (0..n).map(|_| arb_pattern(g)).collect();
+        let haystack = g.bytes(0, 200);
         let ac = AhoCorasick::new(&patterns);
         let got = ac.matching_patterns(&haystack);
         for (i, (pat, nocase)) in patterns.iter().enumerate() {
             let expected = find_sub(&haystack, pat, *nocase, 0).is_some();
-            prop_assert_eq!(got.contains(&i), expected, "pattern {} = {:?}", i, pat);
+            assert_eq!(got.contains(&i), expected, "pattern {} = {:?}", i, pat);
         }
-    }
+    });
+}
 
-    /// find_sub with `from` equals searching the suffix.
-    #[test]
-    fn find_sub_offset_consistency(
-        haystack in proptest::collection::vec(any::<u8>(), 0..120),
-        needle in proptest::collection::vec(any::<u8>(), 1..6),
-        from in 0usize..140,
-    ) {
+/// Streaming feed over arbitrary chunking reports exactly the patterns a
+/// one-shot scan of the concatenation reports.
+#[test]
+fn aho_feed_equals_one_shot_scan() {
+    cases(256, 0xD002, |g| {
+        let n = g.usize_in(1, 10);
+        let patterns: Vec<(Vec<u8>, bool)> = (0..n).map(|_| arb_pattern(g)).collect();
+        let ac = AhoCorasick::new(&patterns);
+        let stream = g.bytes(0, 300);
+        // Random chunk boundaries.
+        let mut state = AcStreamState::default();
+        let mut streamed = std::collections::BTreeSet::new();
+        let mut pos = 0usize;
+        while pos < stream.len() {
+            let take = g.usize_in(1, 40).min(stream.len() - pos);
+            ac.feed(&mut state, &stream[pos..pos + take], |p| {
+                streamed.insert(p);
+            });
+            pos += take;
+        }
+        let oneshot: std::collections::BTreeSet<usize> =
+            ac.matching_patterns(&stream).into_iter().collect();
+        assert_eq!(streamed, oneshot);
+    });
+}
+
+/// find_sub with `from` equals searching the suffix.
+#[test]
+fn find_sub_offset_consistency() {
+    cases(256, 0xD003, |g| {
+        let haystack = g.bytes(0, 120);
+        let needle = g.bytes(1, 6);
+        let from = g.usize_in(0, 140);
         let direct = find_sub(&haystack, &needle, false, from);
         let suffix = if from <= haystack.len() {
             find_sub(&haystack[from..], &needle, false, 0).map(|p| p + from)
         } else {
             None
         };
-        prop_assert_eq!(direct, suffix);
-    }
+        assert_eq!(direct, suffix);
+    });
+}
 
-    /// ContentMatch window semantics: a match found with offset/depth is
-    /// always inside the declared window.
-    #[test]
-    fn content_window_respected(
-        payload in proptest::collection::vec(any::<u8>(), 0..100),
-        needle in proptest::collection::vec(any::<u8>(), 1..4),
-        offset in 0usize..110,
-        depth in 0usize..110,
-    ) {
-        let c = ContentMatch { pattern: needle.clone(), nocase: false, offset, depth, negated: false };
+/// ContentMatch window semantics: a match found with offset/depth is
+/// always inside the declared window.
+#[test]
+fn content_window_respected() {
+    cases(256, 0xD004, |g| {
+        let payload = g.bytes(0, 100);
+        let needle = g.bytes(1, 4);
+        let offset = g.usize_in(0, 110);
+        let depth = g.usize_in(0, 110);
+        let c = ContentMatch {
+            pattern: needle.clone(),
+            nocase: false,
+            offset,
+            depth,
+            negated: false,
+        };
         if c.matches(&payload) {
-            let end = if depth == 0 { payload.len() } else { (offset + depth).min(payload.len()) };
+            let end = if depth == 0 {
+                payload.len()
+            } else {
+                (offset + depth).min(payload.len())
+            };
             let window = payload.get(offset..end).unwrap_or(&[]);
-            prop_assert!(find_sub(window, &needle, false, 0).is_some());
+            assert!(find_sub(window, &needle, false, 0).is_some());
         }
-    }
+    });
+}
 
-    /// Negation is an exact complement.
-    #[test]
-    fn negated_content_is_complement(
-        payload in proptest::collection::vec(any::<u8>(), 0..60),
-        needle in proptest::collection::vec(any::<u8>(), 1..4),
-    ) {
+/// Negation is an exact complement.
+#[test]
+fn negated_content_is_complement() {
+    cases(256, 0xD005, |g| {
+        let payload = g.bytes(0, 60);
+        let needle = g.bytes(1, 4);
         let plain = ContentMatch::plain(&needle);
-        let negated = ContentMatch { negated: true, ..ContentMatch::plain(&needle) };
-        prop_assert_ne!(plain.matches(&payload), negated.matches(&payload));
-    }
+        let negated = ContentMatch {
+            negated: true,
+            ..ContentMatch::plain(&needle)
+        };
+        assert_ne!(plain.matches(&payload), negated.matches(&payload));
+    });
+}
 
-    /// The rule parser is total over arbitrary printable lines.
-    #[test]
-    fn parser_never_panics(line in "[ -~]{0,120}") {
+/// The rule parser is total over arbitrary printable lines.
+#[test]
+fn parser_never_panics() {
+    cases(512, 0xD006, |g| {
+        let line = g.printable(0, 120);
         let _ = parse_rule(&line, &VarTable::new());
-    }
+    });
+}
 
-    /// Engine thresholds: a `limit N` rule alerts at most N times per
-    /// window per source, for any event count.
-    #[test]
-    fn threshold_limit_bound(events in 1usize..60, count in 1u32..10) {
+/// Engine thresholds: a `limit N` rule alerts at most N times per window
+/// per source, for any event count.
+#[test]
+fn threshold_limit_bound() {
+    cases(48, 0xD007, |g| {
+        let events = g.usize_in(1, 60);
+        let count = g.u32_in(1, 10);
         let rules = underradar_ids::parser::parse_ruleset(
             &format!(
                 "alert icmp any any -> any any (msg:\"t\"; threshold: type limit, track by_src, count {count}, seconds 600; sid:1;)"
@@ -101,53 +151,86 @@ proptest! {
             let pkt = Packet::icmp(
                 a,
                 b,
-                underradar_netsim::wire::icmp::IcmpKind::EchoRequest { ident: 0, seq: i as u16 },
+                underradar_netsim::wire::icmp::IcmpKind::EchoRequest {
+                    ident: 0,
+                    seq: i as u16,
+                },
                 vec![],
             );
             fired += engine.process(SimTime::from_nanos(i as u64), &pkt).len();
         }
-        prop_assert_eq!(fired, events.min(count as usize));
-    }
+        assert_eq!(fired, events.min(count as usize));
+    });
+}
 
-    /// Reassembly: feeding a stream in order always yields the full
-    /// concatenation in the flow context (within the buffer cap).
-    #[test]
-    fn reassembly_accumulates_in_order(chunks in proptest::collection::vec(
-        proptest::collection::vec(any::<u8>(), 1..50), 1..10)) {
+/// Reassembly: feeding a stream in order always yields the full
+/// concatenation in the buffered window (within the buffer cap).
+#[test]
+fn reassembly_accumulates_in_order() {
+    cases(128, 0xD008, |g| {
         let c = Ipv4Addr::new(10, 0, 0, 1);
         let s = Ipv4Addr::new(10, 0, 0, 2);
+        let n_chunks = g.usize_in(1, 10);
+        let chunks: Vec<Vec<u8>> = (0..n_chunks).map(|_| g.bytes(1, 50)).collect();
         let mut r = StreamReassembler::new();
         let mut expected = Vec::new();
         let mut seq = 1000u32;
-        let mut last_stream = Vec::new();
+        let mut key = None;
         for chunk in &chunks {
             let pkt = Packet::tcp(c, s, 4000, 80, seq, 0, TcpFlags::psh_ack(), chunk.clone());
             let ctx = r.process(&pkt).expect("tcp");
-            prop_assert!(ctx.appended);
+            assert!(ctx.appended);
+            assert_eq!(ctx.new_bytes, chunk.len());
             expected.extend_from_slice(chunk);
             seq = seq.wrapping_add(chunk.len() as u32);
-            last_stream = ctx.stream;
+            key = Some((ctx.key, ctx.direction));
         }
-        prop_assert_eq!(last_stream, expected);
-    }
+        let (key, dir) = key.expect("at least one chunk");
+        assert_eq!(r.stream_of(&key, dir), &expected[..]);
+    });
+}
 
-    /// Random segments never panic the reassembler, and flow count stays
-    /// bounded by the number of distinct four-tuples.
-    #[test]
-    fn reassembler_total_and_bounded(segs in proptest::collection::vec(
-        (any::<u16>(), any::<u32>(), 0u8..64, proptest::collection::vec(any::<u8>(), 0..20)),
-        0..60,
-    )) {
+/// Random segments never panic the reassembler; flow count stays bounded
+/// by the number of distinct four-tuples; and the eviction-order
+/// bookkeeping always matches the live flow table exactly (the seed leaked
+/// an order entry per flow ever created).
+#[test]
+fn reassembler_total_and_bounded() {
+    cases(192, 0xD009, |g| {
         let c = Ipv4Addr::new(10, 0, 0, 1);
         let s = Ipv4Addr::new(10, 0, 0, 2);
         let mut r = StreamReassembler::new();
         let mut tuples = std::collections::HashSet::new();
-        for (sport, seq, flags, payload) in segs {
-            let sport = 1 + (sport % 8); // few distinct flows
+        let n = g.usize_in(0, 60);
+        for _ in 0..n {
+            let sport = 1 + (g.u16() % 8); // few distinct flows
+            let seq = g.u32();
+            let flags = g.u8_in(0, 64);
+            let payload = g.bytes(0, 20);
             tuples.insert(sport);
             let pkt = Packet::tcp(c, s, sport, 80, seq, 0, TcpFlags(flags), payload);
-            let _ = r.process(&pkt);
+            let ctx = r.process(&pkt);
+            // Occasionally tear a flow down explicitly, like the engine may.
+            if let Some(ctx) = ctx {
+                if g.usize_in(0, 8) == 0 {
+                    r.remove(&ctx.key);
+                }
+            }
+            assert_eq!(r.order_len(), r.flow_count());
         }
-        prop_assert!(r.flow_count() <= tuples.len());
-    }
+        assert!(r.flow_count() <= tuples.len());
+    });
+}
+
+/// `stream_of` on an unknown flow is empty, and direction views are
+/// independent.
+#[test]
+fn stream_of_unknown_flow_is_empty() {
+    let r = StreamReassembler::new();
+    let key = FlowKey {
+        lo: (Ipv4Addr::new(1, 1, 1, 1), 1),
+        hi: (Ipv4Addr::new(2, 2, 2, 2), 2),
+    };
+    assert!(r.stream_of(&key, Direction::ToServer).is_empty());
+    assert!(r.stream_of(&key, Direction::ToClient).is_empty());
 }

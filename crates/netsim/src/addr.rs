@@ -96,7 +96,9 @@ impl FromStr for Cidr {
     type Err = CidrParseError;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        let (addr, prefix) = s.split_once('/').ok_or_else(|| CidrParseError(s.to_string()))?;
+        let (addr, prefix) = s
+            .split_once('/')
+            .ok_or_else(|| CidrParseError(s.to_string()))?;
         let addr: Ipv4Addr = addr.parse().map_err(|_| CidrParseError(s.to_string()))?;
         let prefix: u8 = prefix.parse().map_err(|_| CidrParseError(s.to_string()))?;
         if prefix > 32 {

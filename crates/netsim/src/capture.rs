@@ -82,7 +82,10 @@ impl Capture {
 
     /// Total wire bytes recorded.
     pub fn total_bytes(&self) -> u64 {
-        self.records.iter().map(|r| r.packet.wire_len() as u64).sum()
+        self.records
+            .iter()
+            .map(|r| r.packet.wire_len() as u64)
+            .sum()
     }
 
     /// Render the capture as text, one packet per line, using `names` to

@@ -43,7 +43,10 @@ impl fmt::Display for WireError {
             WireError::Malformed(what) => write!(f, "malformed packet: {what}"),
             WireError::BadChecksum { layer } => write!(f, "bad {layer} checksum"),
             WireError::LengthMismatch { claimed, actual } => {
-                write!(f, "length mismatch: header claims {claimed}, buffer has {actual}")
+                write!(
+                    f,
+                    "length mismatch: header claims {claimed}, buffer has {actual}"
+                )
             }
             WireError::UnknownProtocol(p) => write!(f, "unknown IP protocol {p}"),
         }

@@ -35,6 +35,19 @@ pub enum EventKind {
         /// The token the node received when setting the timer.
         token: TimerToken,
     },
+    /// Put a packet onto the link wired at a node's interface, as if the
+    /// node had emitted it at the event's time. Used by
+    /// [`crate::sim::Simulator::send_from`] so scheduled sends touch link
+    /// state (serialization horizon, loss draws) in simulated-time order,
+    /// not call order.
+    Transmit {
+        /// Emitting node.
+        node: NodeId,
+        /// Emitting interface on that node.
+        iface: IfaceId,
+        /// The packet to transmit.
+        packet: Packet,
+    },
 }
 
 /// A scheduled event.
@@ -119,7 +132,10 @@ mod tests {
     use crate::time::SimDuration;
 
     fn timer(node: usize, token: u64) -> EventKind {
-        EventKind::Timer { node: NodeId(node), token: TimerToken(token) }
+        EventKind::Timer {
+            node: NodeId(node),
+            token: TimerToken(token),
+        }
     }
 
     #[test]

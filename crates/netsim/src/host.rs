@@ -196,13 +196,16 @@ impl HostStack {
     }
 
     fn arm_rto(&mut self, ctx: &mut NodeCtx<'_>, cid: ConnId) {
-        let Some(entry) = self.conns.get_mut(&cid) else { return };
+        let Some(entry) = self.conns.get_mut(&cid) else {
+            return;
+        };
         if !entry.conn.has_unacked() {
             return;
         }
         entry.epoch += 1;
         let token = ctx.set_timer(self.rto);
-        self.timer_map.insert(token, TimerPurpose::Rto(cid, entry.epoch));
+        self.timer_map
+            .insert(token, TimerPurpose::Rto(cid, entry.epoch));
     }
 
     /// Send packets out of the host interface.
@@ -213,21 +216,27 @@ impl HostStack {
     }
 
     fn conn_send(&mut self, ctx: &mut NodeCtx<'_>, cid: ConnId, data: &[u8]) {
-        let Some(entry) = self.conns.get_mut(&cid) else { return };
+        let Some(entry) = self.conns.get_mut(&cid) else {
+            return;
+        };
         let packets = entry.conn.send(data);
         self.flush(ctx, packets);
         self.arm_rto(ctx, cid);
     }
 
     fn conn_close(&mut self, ctx: &mut NodeCtx<'_>, cid: ConnId) {
-        let Some(entry) = self.conns.get_mut(&cid) else { return };
+        let Some(entry) = self.conns.get_mut(&cid) else {
+            return;
+        };
         let packets = entry.conn.close();
         self.flush(ctx, packets);
         self.arm_rto(ctx, cid);
     }
 
     fn conn_abort(&mut self, ctx: &mut NodeCtx<'_>, cid: ConnId) {
-        let Some(entry) = self.conns.get_mut(&cid) else { return };
+        let Some(entry) = self.conns.get_mut(&cid) else {
+            return;
+        };
         if let Some(rst) = entry.conn.abort() {
             ctx.send(HOST_IFACE, rst);
         }
@@ -246,7 +255,11 @@ impl HostStack {
 
     /// Remove a closed connection from the tables.
     fn gc(&mut self, cid: ConnId) {
-        let closed = self.conns.get(&cid).map(|e| e.conn.is_closed()).unwrap_or(false);
+        let closed = self
+            .conns
+            .get(&cid)
+            .map(|e| e.conn.is_closed())
+            .unwrap_or(false);
         if closed {
             if let Some(entry) = self.conns.remove(&cid) {
                 let key = (entry.conn.local.1, entry.conn.remote.0, entry.conn.remote.1);
@@ -258,14 +271,32 @@ impl HostStack {
     /// RFC 793-style RST in response to a segment with no matching socket.
     fn rst_for(&self, pkt: &Packet, seg: &TcpSegment) -> Packet {
         if seg.flags.has_ack() {
-            Packet::tcp(self.ip, pkt.src, seg.dst_port, seg.src_port, seg.ack, 0, TcpFlags::rst(), Vec::new())
+            Packet::tcp(
+                self.ip,
+                pkt.src,
+                seg.dst_port,
+                seg.src_port,
+                seg.ack,
+                0,
+                TcpFlags::rst(),
+                Vec::new(),
+            )
         } else {
             let ack = seg
                 .seq
                 .wrapping_add(seg.payload.len() as u32)
                 .wrapping_add(u32::from(seg.flags.has_syn()))
                 .wrapping_add(u32::from(seg.flags.has_fin()));
-            Packet::tcp(self.ip, pkt.src, seg.dst_port, seg.src_port, 0, ack, TcpFlags::rst_ack(), Vec::new())
+            Packet::tcp(
+                self.ip,
+                pkt.src,
+                seg.dst_port,
+                seg.src_port,
+                0,
+                ack,
+                TcpFlags::rst_ack(),
+                Vec::new(),
+            )
         }
     }
 }
@@ -299,10 +330,16 @@ impl HostApi<'_, '_> {
         let iss = self.ctx.rng().next_u32();
         let (conn, syn) = TcpConn::connect((self.stack.ip, local_port), (dst, dst_port), iss);
         let cid = self.stack.alloc_conn_id();
-        self.stack.conn_index.insert((local_port, dst, dst_port), cid);
+        self.stack
+            .conn_index
+            .insert((local_port, dst, dst_port), cid);
         self.stack.conns.insert(
             cid,
-            ConnEntry { conn, owner: ConnOwner::Task(self.task_idx), epoch: 0 },
+            ConnEntry {
+                conn,
+                owner: ConnOwner::Task(self.task_idx),
+                epoch: 0,
+            },
         );
         self.ctx.send(HOST_IFACE, syn);
         self.stack.arm_rto(self.ctx, cid);
@@ -332,8 +369,16 @@ impl HostApi<'_, '_> {
     /// Bind a UDP port for this task (0 picks an ephemeral port). Returns
     /// the bound port, or `None` if the requested port is taken.
     pub fn udp_bind(&mut self, port: u16) -> Option<u16> {
-        let port = if port == 0 { self.stack.alloc_ephemeral() } else { port };
-        if self.stack.udp_binds.bind(port, UdpOwner::Task(self.task_idx)) {
+        let port = if port == 0 {
+            self.stack.alloc_ephemeral()
+        } else {
+            port
+        };
+        if self
+            .stack
+            .udp_binds
+            .bind(port, UdpOwner::Task(self.task_idx))
+        {
             Some(port)
         } else {
             None
@@ -518,7 +563,9 @@ impl Host {
     /// Bind an externally scheduled timer token to a task's start: when
     /// the token fires, `on_start` runs.
     pub fn bind_task_start(&mut self, idx: usize, token: TimerToken) {
-        self.stack.timer_map.insert(token, TimerPurpose::TaskStart(idx));
+        self.stack
+            .timer_map
+            .insert(token, TimerPurpose::TaskStart(idx));
     }
 
     /// Typed access to a task (e.g. to read collected measurements).
@@ -559,10 +606,16 @@ impl Host {
     where
         F: FnOnce(&mut dyn HostTask, &mut HostApi<'_, '_>),
     {
-        let Some(slot) = self.tasks.get_mut(idx) else { return };
+        let Some(slot) = self.tasks.get_mut(idx) else {
+            return;
+        };
         let Some(mut task) = slot.take() else { return };
         {
-            let mut api = HostApi { stack: &mut self.stack, ctx, task_idx: idx };
+            let mut api = HostApi {
+                stack: &mut self.stack,
+                ctx,
+                task_idx: idx,
+            };
             f(task.as_mut(), &mut api);
         }
         self.tasks[idx] = Some(task);
@@ -573,9 +626,15 @@ impl Host {
     where
         F: FnOnce(&mut dyn Service, &mut ServiceApi<'_, '_>),
     {
-        let Some(mut service) = self.conn_services.remove(&cid) else { return };
+        let Some(mut service) = self.conn_services.remove(&cid) else {
+            return;
+        };
         {
-            let mut api = ServiceApi { stack: &mut self.stack, ctx, conn: cid };
+            let mut api = ServiceApi {
+                stack: &mut self.stack,
+                ctx,
+                conn: cid,
+            };
             f(service.as_mut(), &mut api);
         }
         // Drop the handler once its connection is gone.
@@ -591,7 +650,11 @@ impl Host {
     fn drain_dispatch(&mut self, ctx: &mut NodeCtx<'_>) {
         while let Some((cid, event)) = {
             let s = &mut self.stack.pending_dispatch;
-            if s.is_empty() { None } else { Some(s.remove(0)) }
+            if s.is_empty() {
+                None
+            } else {
+                Some(s.remove(0))
+            }
         } {
             let owner = match self.stack.conns.get(&cid) {
                 Some(e) => e.owner,
@@ -627,7 +690,9 @@ impl Host {
         self.stack.counters.tcp_in += 1;
         let key: ConnKey = (seg.dst_port, pkt.src, seg.src_port);
         if let Some(&cid) = self.stack.conn_index.get(&key) {
-            let Some(entry) = self.stack.conns.get_mut(&cid) else { return };
+            let Some(entry) = self.stack.conns.get_mut(&cid) else {
+                return;
+            };
             let (out, events) = entry.conn.on_segment(seg);
             self.stack.flush(ctx, out);
             self.stack.arm_rto(ctx, cid);
@@ -651,9 +716,14 @@ impl Host {
                 );
                 let cid = self.stack.alloc_conn_id();
                 self.stack.conn_index.insert(key, cid);
-                self.stack
-                    .conns
-                    .insert(cid, ConnEntry { conn, owner: ConnOwner::Service, epoch: 0 });
+                self.stack.conns.insert(
+                    cid,
+                    ConnEntry {
+                        conn,
+                        owner: ConnOwner::Service,
+                        epoch: 0,
+                    },
+                );
                 let service = (self.listener_factories[factory_idx])();
                 self.conn_services.insert(cid, service);
                 ctx.send(HOST_IFACE, syn_ack);
@@ -728,16 +798,24 @@ impl Node for Host {
         for (idx, at) in self.task_starts.clone() {
             let delay = at.saturating_since(ctx.now());
             let token = ctx.set_timer(delay);
-            self.stack.timer_map.insert(token, TimerPurpose::TaskStart(idx));
+            self.stack
+                .timer_map
+                .insert(token, TimerPurpose::TaskStart(idx));
         }
     }
 
     fn receive(&mut self, ctx: &mut NodeCtx<'_>, _iface: IfaceId, packet: Packet) {
         // Raw observers first (in task order).
         for idx in 0..self.tasks.len() {
-            let Some(mut task) = self.tasks[idx].take() else { continue };
+            let Some(mut task) = self.tasks[idx].take() else {
+                continue;
+            };
             let verdict = {
-                let mut api = HostApi { stack: &mut self.stack, ctx, task_idx: idx };
+                let mut api = HostApi {
+                    stack: &mut self.stack,
+                    ctx,
+                    task_idx: idx,
+                };
                 task.on_raw(&mut api, &packet)
             };
             self.tasks[idx] = Some(task);
@@ -766,7 +844,9 @@ impl Node for Host {
     }
 
     fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, token: TimerToken) {
-        let Some(purpose) = self.stack.timer_map.remove(&token) else { return };
+        let Some(purpose) = self.stack.timer_map.remove(&token) else {
+            return;
+        };
         match purpose {
             TimerPurpose::TaskStart(idx) => {
                 self.with_task(ctx, idx, |task, api| task.on_start(api));
@@ -775,7 +855,9 @@ impl Node for Host {
                 self.with_task(ctx, idx, |task, api| task.on_timer(api, user));
             }
             TimerPurpose::Rto(cid, epoch) => {
-                let Some(entry) = self.stack.conns.get_mut(&cid) else { return };
+                let Some(entry) = self.stack.conns.get_mut(&cid) else {
+                    return;
+                };
                 if entry.epoch != epoch || !entry.conn.has_unacked() {
                     return;
                 }
@@ -881,11 +963,21 @@ mod tests {
         let mut sim = Simulator::new(11);
         let client = Host::new("client", CLIENT_IP);
         let mut server = Host::new("server", SERVER_IP);
-        server.add_tcp_listener(7, || Box::new(EchoService { received: Vec::new() }));
+        server.add_tcp_listener(7, || {
+            Box::new(EchoService {
+                received: Vec::new(),
+            })
+        });
         let c = sim.add_node(Box::new(client));
         let s = sim.add_node(Box::new(server));
-        sim.wire(c, HOST_IFACE, s, HOST_IFACE, LinkConfig::default().with_loss(loss))
-            .expect("wire");
+        sim.wire(
+            c,
+            HOST_IFACE,
+            s,
+            HOST_IFACE,
+            LinkConfig::default().with_loss(loss),
+        )
+        .expect("wire");
         (sim, c, s)
     }
 
@@ -947,7 +1039,10 @@ mod tests {
                 .expect("task")
                 .refused
         );
-        assert_eq!(sim.node_ref::<Host>(s).expect("server").counters().rst_sent, 1);
+        assert_eq!(
+            sim.node_ref::<Host>(s).expect("server").counters().rst_sent,
+            1
+        );
     }
 
     #[test]
@@ -960,7 +1055,8 @@ mod tests {
         let mut hole = Host::new("hole", Ipv4Addr::new(10, 9, 9, 9));
         hole.set_respond_rst(false);
         let h = sim.add_node(Box::new(hole));
-        sim.wire(c, HOST_IFACE, h, HOST_IFACE, LinkConfig::default()).expect("wire");
+        sim.wire(c, HOST_IFACE, h, HOST_IFACE, LinkConfig::default())
+            .expect("wire");
         sim.node_mut::<Host>(c)
             .expect("client")
             .spawn_task_at(SimTime::ZERO, Box::new(EchoClient::new(SERVER_IP)));
@@ -979,10 +1075,23 @@ mod tests {
         // The Fig 3b replay problem: a spoofed "client" that receives a
         // SYN/ACK it never asked for answers with RST.
         let (mut sim, c, s) = two_hosts(0.0);
-        let syn_ack = Packet::tcp(SERVER_IP, CLIENT_IP, 7, 5555, 100, 1, TcpFlags::syn_ack(), vec![]);
-        sim.inject_at(c, HOST_IFACE, syn_ack, SimTime::ZERO).expect("inject");
+        let syn_ack = Packet::tcp(
+            SERVER_IP,
+            CLIENT_IP,
+            7,
+            5555,
+            100,
+            1,
+            TcpFlags::syn_ack(),
+            vec![],
+        );
+        sim.inject_at(c, HOST_IFACE, syn_ack, SimTime::ZERO)
+            .expect("inject");
         sim.run_for(SimDuration::from_secs(1)).expect("run");
-        assert_eq!(sim.node_ref::<Host>(c).expect("client").counters().rst_sent, 1);
+        assert_eq!(
+            sim.node_ref::<Host>(c).expect("client").counters().rst_sent,
+            1
+        );
         let _ = s;
     }
 
@@ -995,7 +1104,10 @@ mod tests {
         impl HostTask for Sniffer {
             fn on_start(&mut self, _api: &mut HostApi<'_, '_>) {}
             fn on_raw(&mut self, _api: &mut HostApi<'_, '_>, p: &Packet) -> RawVerdict {
-                if p.as_tcp().map(|t| t.flags.has_syn() && t.flags.has_ack()).unwrap_or(false) {
+                if p.as_tcp()
+                    .map(|t| t.flags.has_syn() && t.flags.has_ack())
+                    .unwrap_or(false)
+                {
                     self.seen += 1;
                     return RawVerdict::Consume;
                 }
@@ -1005,8 +1117,18 @@ mod tests {
         sim.node_mut::<Host>(c)
             .expect("client")
             .spawn_task_at(SimTime::ZERO, Box::new(Sniffer { seen: 0 }));
-        let syn_ack = Packet::tcp(SERVER_IP, CLIENT_IP, 7, 5555, 0, 1, TcpFlags::syn_ack(), vec![]);
-        sim.inject_at(c, HOST_IFACE, syn_ack, SimTime::ZERO).expect("inject");
+        let syn_ack = Packet::tcp(
+            SERVER_IP,
+            CLIENT_IP,
+            7,
+            5555,
+            0,
+            1,
+            TcpFlags::syn_ack(),
+            vec![],
+        );
+        sim.inject_at(c, HOST_IFACE, syn_ack, SimTime::ZERO)
+            .expect("inject");
         sim.run_for(SimDuration::from_secs(1)).expect("run");
         let host = sim.node_ref::<Host>(c).expect("client");
         assert_eq!(host.task_ref::<Sniffer>(0).expect("task").seen, 1);
@@ -1055,13 +1177,18 @@ mod tests {
         assert!(server.add_udp_service(9999, Box::new(UdpEchoService)));
         let c = sim.add_node(Box::new(client));
         let s = sim.add_node(Box::new(server));
-        sim.wire(c, HOST_IFACE, s, HOST_IFACE, LinkConfig::default()).expect("wire");
+        sim.wire(c, HOST_IFACE, s, HOST_IFACE, LinkConfig::default())
+            .expect("wire");
         sim.node_mut::<Host>(c)
             .expect("client")
             .spawn_task_at(SimTime::ZERO, Box::new(UdpClient { reply: Vec::new() }));
         sim.run_for(SimDuration::from_secs(1)).expect("run");
         assert_eq!(
-            sim.node_ref::<Host>(c).expect("client").task_ref::<UdpClient>(0).expect("t").reply,
+            sim.node_ref::<Host>(c)
+                .expect("client")
+                .task_ref::<UdpClient>(0)
+                .expect("t")
+                .reply,
             b"cba"
         );
     }
@@ -1075,10 +1202,17 @@ mod tests {
             IcmpKind::EchoRequest { ident: 1, seq: 1 },
             b"probe".to_vec(),
         );
-        sim.send_from(c, HOST_IFACE, ping, SimTime::ZERO).expect("send");
+        sim.send_from(c, HOST_IFACE, ping, SimTime::ZERO)
+            .expect("send");
         sim.enable_capture();
         sim.run_for(SimDuration::from_secs(1)).expect("run");
-        assert_eq!(sim.node_ref::<Host>(s).expect("server").counters().echo_replies, 1);
+        assert_eq!(
+            sim.node_ref::<Host>(s)
+                .expect("server")
+                .counters()
+                .echo_replies,
+            1
+        );
         let cap = sim.capture().expect("cap");
         let reply = cap
             .records()
@@ -1113,7 +1247,11 @@ mod tests {
             .spawn_task_at(SimTime::ZERO, Box::new(TimerTask { fired: Vec::new() }));
         sim.run_for(SimDuration::from_secs(1)).expect("run");
         assert_eq!(
-            sim.node_ref::<Host>(c).expect("client").task_ref::<TimerTask>(0).expect("t").fired,
+            sim.node_ref::<Host>(c)
+                .expect("client")
+                .task_ref::<TimerTask>(0)
+                .expect("t")
+                .fired,
             vec![200, 100],
             "timers fire in delay order with user tokens"
         );
@@ -1124,7 +1262,8 @@ mod tests {
         // spawn_task_at only arms timers at Node::start; the add_task +
         // bind_task_start protocol works mid-run.
         let (mut sim, c, _s) = two_hosts(0.0);
-        sim.run_for(SimDuration::from_secs(1)).expect("warm up: sim started");
+        sim.run_for(SimDuration::from_secs(1))
+            .expect("warm up: sim started");
         let token = sim.alloc_timer_token();
         let host = sim.node_mut::<Host>(c).expect("client host");
         let idx = host.add_task(Box::new(EchoClient::new(SERVER_IP)));

@@ -31,6 +31,7 @@ pub mod addr;
 pub mod capture;
 pub mod error;
 pub mod event;
+pub mod hash;
 pub mod host;
 pub mod link;
 pub mod node;
@@ -40,6 +41,7 @@ pub mod rng;
 pub mod sim;
 pub mod stack;
 pub mod switch;
+pub mod testprop;
 pub mod time;
 pub mod topology;
 pub mod wire;
@@ -48,6 +50,7 @@ pub use addr::Cidr;
 pub use capture::{Capture, CapturedPacket};
 pub use error::{NetsimError, WireError};
 pub use event::{EventQueue, TimerToken};
+pub use hash::{FxHashMap, FxHashSet};
 pub use host::{
     ConnId, Host, HostApi, HostTask, RawHandler, RawVerdict, Service, ServiceApi, UdpApi,
     UdpService, HOST_IFACE,

@@ -118,7 +118,13 @@ pub struct Link {
 impl Link {
     /// Create a link between `a` and `b`.
     pub fn new(a: Endpoint, b: Endpoint, config: LinkConfig) -> Self {
-        Link { a, b, config, next_free_ab: SimTime::ZERO, next_free_ba: SimTime::ZERO }
+        Link {
+            a,
+            b,
+            config,
+            next_free_ab: SimTime::ZERO,
+            next_free_ba: SimTime::ZERO,
+        }
     }
 
     /// The endpoint opposite `from`, or `None` if `from` is not on this link.
@@ -147,7 +153,11 @@ impl Link {
             return TxOutcome::Lost;
         }
         let from_a = self.a.node == node && self.a.iface == iface;
-        let next_free = if from_a { &mut self.next_free_ab } else { &mut self.next_free_ba };
+        let next_free = if from_a {
+            &mut self.next_free_ab
+        } else {
+            &mut self.next_free_ba
+        };
         let start = now.max(*next_free);
         let serialize = self.config.serialize_time(bytes);
         *next_free = start + serialize;
@@ -166,8 +176,14 @@ mod tests {
 
     fn link(config: LinkConfig) -> Link {
         Link::new(
-            Endpoint { node: NodeId(0), iface: IfaceId(0) },
-            Endpoint { node: NodeId(1), iface: IfaceId(0) },
+            Endpoint {
+                node: NodeId(0),
+                iface: IfaceId(0),
+            },
+            Endpoint {
+                node: NodeId(1),
+                iface: IfaceId(0),
+            },
             config,
         )
     }
@@ -177,7 +193,10 @@ mod tests {
         let cfg = LinkConfig::default().with_bandwidth_bps(8_000_000); // 1 MB/s
         assert_eq!(cfg.serialize_time(1_000), SimDuration::from_millis(1));
         assert_eq!(cfg.serialize_time(0), SimDuration::ZERO);
-        assert_eq!(LinkConfig::ideal().serialize_time(1_000_000), SimDuration::ZERO);
+        assert_eq!(
+            LinkConfig::ideal().serialize_time(1_000_000),
+            SimDuration::ZERO
+        );
     }
 
     #[test]
@@ -209,7 +228,11 @@ mod tests {
             _ => panic!("lost"),
         };
         assert_eq!(t1, SimTime::from_nanos(5_000_000));
-        assert_eq!(t2, SimTime::from_nanos(10_000_000), "second packet waits for the first");
+        assert_eq!(
+            t2,
+            SimTime::from_nanos(10_000_000),
+            "second packet waits for the first"
+        );
     }
 
     #[test]
@@ -258,11 +281,17 @@ mod tests {
         let l = link(LinkConfig::default());
         assert_eq!(
             l.peer_of(NodeId(0), IfaceId(0)),
-            Some(Endpoint { node: NodeId(1), iface: IfaceId(0) })
+            Some(Endpoint {
+                node: NodeId(1),
+                iface: IfaceId(0)
+            })
         );
         assert_eq!(
             l.peer_of(NodeId(1), IfaceId(0)),
-            Some(Endpoint { node: NodeId(0), iface: IfaceId(0) })
+            Some(Endpoint {
+                node: NodeId(0),
+                iface: IfaceId(0)
+            })
         );
         assert_eq!(l.peer_of(NodeId(2), IfaceId(0)), None);
     }

@@ -159,7 +159,10 @@ mod tests {
 
     #[test]
     fn node_trait_is_object_safe_and_downcastable() {
-        let mut node: Box<dyn Node> = Box::new(Probe { name: "p".into(), seen: vec![] });
+        let mut node: Box<dyn Node> = Box::new(Probe {
+            name: "p".into(),
+            seen: vec![],
+        });
         assert_eq!(node.name(), "p");
         let probe = node.as_any_mut().downcast_mut::<Probe>().expect("downcast");
         assert!(probe.seen.is_empty());

@@ -153,7 +153,11 @@ impl Packet {
             dst,
             ttl: DEFAULT_TTL,
             ident: 0,
-            body: PacketBody::Udp(UdpDatagram { src_port, dst_port, payload }),
+            body: PacketBody::Udp(UdpDatagram {
+                src_port,
+                dst_port,
+                payload,
+            }),
         }
     }
 
@@ -245,8 +249,11 @@ impl Packet {
                 window: t.window,
             }
             .emit(&t.payload, self.src, self.dst),
-            PacketBody::Udp(u) => UdpRepr { src_port: u.src_port, dst_port: u.dst_port }
-                .emit(&u.payload, self.src, self.dst),
+            PacketBody::Udp(u) => UdpRepr {
+                src_port: u.src_port,
+                dst_port: u.dst_port,
+            }
+            .emit(&u.payload, self.src, self.dst),
             PacketBody::Icmp(i) => IcmpRepr { kind: i.kind }.emit(&i.payload),
             PacketBody::Raw { payload, .. } => payload.clone(),
         };
@@ -288,11 +295,23 @@ impl Packet {
             }
             IpProtocol::Icmp => {
                 let (icmp, poff) = IcmpRepr::parse(seg)?;
-                PacketBody::Icmp(IcmpSegment { kind: icmp.kind, payload: seg[poff..].to_vec() })
+                PacketBody::Icmp(IcmpSegment {
+                    kind: icmp.kind,
+                    payload: seg[poff..].to_vec(),
+                })
             }
-            IpProtocol::Other(protocol) => PacketBody::Raw { protocol, payload: seg.to_vec() },
+            IpProtocol::Other(protocol) => PacketBody::Raw {
+                protocol,
+                payload: seg.to_vec(),
+            },
         };
-        Ok(Packet { src: ip.src, dst: ip.dst, ttl: ip.ttl, ident: ip.ident, body })
+        Ok(Packet {
+            src: ip.src,
+            dst: ip.dst,
+            ttl: ip.ttl,
+            ident: ip.ident,
+            body,
+        })
     }
 
     /// A compact single-line summary for traces and debugging.
@@ -300,19 +319,34 @@ impl Packet {
         match &self.body {
             PacketBody::Tcp(t) => format!(
                 "{}:{} > {}:{} TCP [{}] seq={} ack={} len={}",
-                self.src, t.src_port, self.dst, t.dst_port, t.flags, t.seq, t.ack,
+                self.src,
+                t.src_port,
+                self.dst,
+                t.dst_port,
+                t.flags,
+                t.seq,
+                t.ack,
                 t.payload.len()
             ),
             PacketBody::Udp(u) => format!(
                 "{}:{} > {}:{} UDP len={}",
-                self.src, u.src_port, self.dst, u.dst_port,
+                self.src,
+                u.src_port,
+                self.dst,
+                u.dst_port,
                 u.payload.len()
             ),
             PacketBody::Icmp(i) => {
                 format!("{} > {} ICMP {:?}", self.src, self.dst, i.kind)
             }
             PacketBody::Raw { protocol, payload } => {
-                format!("{} > {} proto={} len={}", self.src, self.dst, protocol, payload.len())
+                format!(
+                    "{} > {} proto={} len={}",
+                    self.src,
+                    self.dst,
+                    protocol,
+                    payload.len()
+                )
             }
         }
     }
@@ -333,9 +367,18 @@ mod tests {
 
     #[test]
     fn tcp_wire_roundtrip() {
-        let p = Packet::tcp(A, B, 4000, 80, 100, 200, TcpFlags::psh_ack(), b"GET /".to_vec())
-            .with_ttl(33)
-            .with_ident(7);
+        let p = Packet::tcp(
+            A,
+            B,
+            4000,
+            80,
+            100,
+            200,
+            TcpFlags::psh_ack(),
+            b"GET /".to_vec(),
+        )
+        .with_ttl(33)
+        .with_ident(7);
         let wire = p.to_wire();
         let q = Packet::from_wire(&wire).expect("roundtrip");
         assert_eq!(p, q);
@@ -360,7 +403,10 @@ mod tests {
             dst: B,
             ttl: 9,
             ident: 0,
-            body: PacketBody::Raw { protocol: 99, payload: b"p2p-chunk".to_vec() },
+            body: PacketBody::Raw {
+                protocol: 99,
+                payload: b"p2p-chunk".to_vec(),
+            },
         };
         assert_eq!(Packet::from_wire(&p.to_wire()).expect("roundtrip"), p);
     }

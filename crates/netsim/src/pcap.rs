@@ -102,8 +102,14 @@ mod tests {
     fn header_fields() {
         let bytes = to_pcap(&Capture::new());
         assert_eq!(bytes.len(), 24);
-        assert_eq!(u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]), PCAP_MAGIC);
-        assert_eq!(u32::from_le_bytes([bytes[20], bytes[21], bytes[22], bytes[23]]), 101);
+        assert_eq!(
+            u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]),
+            PCAP_MAGIC
+        );
+        assert_eq!(
+            u32::from_le_bytes([bytes[20], bytes[21], bytes[22], bytes[23]]),
+            101
+        );
     }
 
     #[test]

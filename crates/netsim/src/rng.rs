@@ -3,38 +3,55 @@
 //! Every stochastic decision in the simulator (link loss, jitter, workload
 //! inter-arrival times) draws from a [`SimRng`] created from an explicit
 //! seed, so a run is a pure function of its configuration.
+//!
+//! The generator is an in-tree xoshiro256++ (Blackman & Vigna) seeded via
+//! SplitMix64, so the simulator has no external RNG dependency and the
+//! stream is stable across toolchains.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+/// SplitMix64 step: used to expand a 64-bit seed into generator state and
+/// to derive independent child seeds.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
 /// A deterministic random number generator for the simulation.
 ///
-/// Thin wrapper over [`SmallRng`] exposing just the draws the simulator
-/// needs; wrapping keeps the RNG choice in one place and lets tests assert
-/// stream stability.
+/// Thin wrapper over an in-tree xoshiro256++ exposing just the draws the
+/// simulator needs; wrapping keeps the RNG choice in one place and lets
+/// tests assert stream stability.
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: SmallRng,
+    s: [u64; 4],
 }
 
 impl SimRng {
     /// Create a generator from a 64-bit seed.
     pub fn seed_from_u64(seed: u64) -> Self {
-        SimRng {
-            inner: SmallRng::seed_from_u64(seed),
-        }
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        SimRng { s }
     }
 
     /// Derive an independent child generator. Used to give each node or
     /// workload its own stream so adding one does not perturb the others.
     pub fn fork(&mut self) -> SimRng {
-        let seed = self.inner.gen::<u64>();
+        let seed = self.next_u64();
         SimRng::seed_from_u64(seed)
     }
 
     /// A uniform draw in `[0, 1)`.
     pub fn unit(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        // 53 high bits scaled into the unit interval.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Bernoulli trial with probability `p` (clamped to `[0, 1]`).
@@ -44,7 +61,7 @@ impl SimRng {
         } else if p >= 1.0 {
             true
         } else {
-            self.inner.gen::<f64>() < p
+            self.unit() < p
         }
     }
 
@@ -53,7 +70,7 @@ impl SimRng {
         if hi <= lo {
             lo
         } else {
-            self.inner.gen_range(lo..hi)
+            lo + self.bounded(hi - lo)
         }
     }
 
@@ -62,7 +79,7 @@ impl SimRng {
         if hi <= lo {
             lo
         } else {
-            self.inner.gen_range(lo..hi)
+            lo + self.bounded(u64::from(hi - lo)) as u32
         }
     }
 
@@ -71,18 +88,27 @@ impl SimRng {
         if len == 0 {
             0
         } else {
-            self.inner.gen_range(0..len)
+            self.bounded(len as u64) as usize
         }
     }
 
     /// A raw 32-bit draw (initial sequence numbers, IP identification, ...).
     pub fn next_u32(&mut self) -> u32 {
-        self.inner.gen()
+        (self.next_u64() >> 32) as u32
     }
 
     /// A raw 64-bit draw.
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.gen()
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
     }
 
     /// Exponentially distributed draw with the given mean (for Poisson
@@ -92,15 +118,29 @@ impl SimRng {
             return 0.0;
         }
         // Inverse-CDF sampling; guard the log against u == 0.
-        let u = self.inner.gen::<f64>().max(f64::MIN_POSITIVE);
+        let u = self.unit().max(f64::MIN_POSITIVE);
         -mean * u.ln()
     }
 
     /// Shuffle a slice in place (Fisher–Yates).
     pub fn shuffle<T>(&mut self, items: &mut [T]) {
         for i in (1..items.len()).rev() {
-            let j = self.inner.gen_range(0..=i);
+            let j = self.bounded(i as u64 + 1) as usize;
             items.swap(i, j);
+        }
+    }
+
+    /// Uniform draw in `[0, bound)` via Lemire's widening-multiply method
+    /// with a rejection pass to remove bias. `bound` must be non-zero.
+    fn bounded(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (bound as u128);
+            let low = m as u64;
+            if low >= bound || low >= low.wrapping_neg() % bound {
+                return (m >> 64) as u64;
+            }
         }
     }
 }
@@ -149,6 +189,19 @@ mod tests {
     }
 
     #[test]
+    fn range_stays_in_bounds() {
+        let mut rng = SimRng::seed_from_u64(17);
+        for _ in 0..10_000 {
+            let v = rng.range_u64(10, 17);
+            assert!((10..17).contains(&v));
+            let w = rng.range_u32(3, 5);
+            assert!((3..5).contains(&w));
+            let i = rng.index(9);
+            assert!(i < 9);
+        }
+    }
+
+    #[test]
     fn unit_in_bounds() {
         let mut rng = SimRng::seed_from_u64(3);
         for _ in 0..1000 {
@@ -169,7 +222,10 @@ mod tests {
             sum += x;
         }
         let sample_mean = sum / n as f64;
-        assert!((sample_mean - mean).abs() < 0.25, "sample mean {sample_mean}");
+        assert!(
+            (sample_mean - mean).abs() < 0.25,
+            "sample mean {sample_mean}"
+        );
         assert_eq!(rng.exp(0.0), 0.0);
     }
 
@@ -181,5 +237,13 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SimRng::seed_from_u64(1);
+        let mut b = SimRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
     }
 }

@@ -135,7 +135,11 @@ impl Simulator {
     /// Mutations take effect immediately but cannot schedule packets or
     /// timers; use node tasks for in-simulation behaviour.
     pub fn node_mut<T: Node>(&mut self, id: NodeId) -> Option<&mut T> {
-        self.nodes.get_mut(id.0)?.as_mut()?.as_any_mut().downcast_mut::<T>()
+        self.nodes
+            .get_mut(id.0)?
+            .as_mut()?
+            .as_any_mut()
+            .downcast_mut::<T>()
     }
 
     /// Wire `(a, ai)` to `(b, bi)` with a fresh link.
@@ -156,7 +160,10 @@ impl Simulator {
                 table.resize(i.0 + 1, None);
             }
             if table[i.0].is_some() {
-                return Err(NetsimError::IfaceAlreadyWired { node: n.0, iface: i.0 });
+                return Err(NetsimError::IfaceAlreadyWired {
+                    node: n.0,
+                    iface: i.0,
+                });
             }
         }
         let id = LinkId(self.links.len());
@@ -182,11 +189,20 @@ impl Simulator {
         if node.0 >= self.nodes.len() {
             return Err(NetsimError::UnknownNode(node.0));
         }
-        // Defer the actual link transmission to the scheduled instant by
-        // modelling it as a delivery to the *sender*, which would be wrong;
-        // instead transmit on the link now with the future timestamp.
+        // Defer the link transmission to the scheduled instant via a queued
+        // Transmit event. Touching the link immediately (as earlier versions
+        // did) consumed the serialization horizon and loss draws in *call*
+        // order, so out-of-order send_from calls produced different traces
+        // than the same sends issued chronologically.
         let time = time.max(self.now);
-        self.transmit(node, iface, packet, time);
+        self.queue.push(
+            time,
+            EventKind::Transmit {
+                node,
+                iface,
+                packet,
+            },
+        );
         Ok(())
     }
 
@@ -203,7 +219,14 @@ impl Simulator {
             return Err(NetsimError::UnknownNode(node.0));
         }
         let time = time.max(self.now);
-        self.queue.push(time, EventKind::Deliver { node, iface, packet });
+        self.queue.push(
+            time,
+            EventKind::Deliver {
+                node,
+                iface,
+                packet,
+            },
+        );
         Ok(())
     }
 
@@ -252,18 +275,33 @@ impl Simulator {
     }
 
     fn step(&mut self) -> Result<(), NetsimError> {
-        let Some(event) = self.queue.pop() else { return Ok(()) };
+        let Some(event) = self.queue.pop() else {
+            return Ok(());
+        };
         self.events_processed += 1;
         if self.events_processed > self.event_budget {
-            return Err(NetsimError::EventBudgetExhausted { budget: self.event_budget });
+            return Err(NetsimError::EventBudgetExhausted {
+                budget: self.event_budget,
+            });
         }
         self.now = self.now.max(event.time);
         match event.kind {
-            EventKind::Deliver { node, iface, packet } => {
+            EventKind::Deliver {
+                node,
+                iface,
+                packet,
+            } => {
                 self.with_node(node, |n, ctx| n.receive(ctx, iface, packet));
             }
             EventKind::Timer { node, token } => {
                 self.with_node(node, |n, ctx| n.on_timer(ctx, token));
+            }
+            EventKind::Transmit {
+                node,
+                iface,
+                packet,
+            } => {
+                self.transmit(node, iface, packet, self.now);
             }
         }
         Ok(())
@@ -276,7 +314,9 @@ impl Simulator {
     where
         F: FnOnce(&mut dyn Node, &mut NodeCtx<'_>),
     {
-        let Some(slot) = self.nodes.get_mut(id.0) else { return };
+        let Some(slot) = self.nodes.get_mut(id.0) else {
+            return;
+        };
         let Some(mut node) = slot.take() else { return };
         debug_assert!(self.emits.is_empty());
         let mut emits = std::mem::take(&mut self.emits);
@@ -295,7 +335,8 @@ impl Simulator {
             match emit {
                 Emit::Send { iface, packet } => self.transmit(id, iface, packet, self.now),
                 Emit::Timer { delay, token } => {
-                    self.queue.push(self.now + delay, EventKind::Timer { node: id, token });
+                    self.queue
+                        .push(self.now + delay, EventKind::Timer { node: id, token });
                 }
             }
         }
@@ -315,7 +356,9 @@ impl Simulator {
             return;
         };
         let link = &mut self.links[link_id.0];
-        let Some(peer) = link.peer_of(node, iface) else { return };
+        let Some(peer) = link.peer_of(node, iface) else {
+            return;
+        };
         match link.transmit(node, iface, packet.wire_len(), when, &mut self.rng) {
             TxOutcome::Deliver(at) => {
                 if let Some(cap) = &mut self.capture {
@@ -330,7 +373,11 @@ impl Simulator {
                 }
                 self.queue.push(
                     at,
-                    EventKind::Deliver { node: peer.node, iface: peer.iface, packet },
+                    EventKind::Deliver {
+                        node: peer.node,
+                        iface: peer.iface,
+                        packet,
+                    },
                 );
             }
             TxOutcome::Lost => {}
@@ -390,7 +437,11 @@ mod tests {
 
     impl Echo {
         fn new(name: &str, echo: bool) -> Self {
-            Echo { name: name.into(), received: Vec::new(), echo }
+            Echo {
+                name: name.into(),
+                received: Vec::new(),
+                echo,
+            }
         }
     }
 
@@ -450,7 +501,8 @@ mod tests {
         let mut sim = Simulator::new(7);
         let a = sim.add_node(Box::new(Echo::new("a", false)));
         let b = sim.add_node(Box::new(Echo::new("b", echo)));
-        sim.wire(a, IfaceId(0), b, IfaceId(0), LinkConfig::default()).expect("wire");
+        sim.wire(a, IfaceId(0), b, IfaceId(0), LinkConfig::default())
+            .expect("wire");
         (sim, a, b)
     }
 
@@ -458,7 +510,8 @@ mod tests {
     fn packet_crosses_link_with_latency() {
         let (mut sim, a, b) = two_node_sim(false);
         let p = Packet::udp(A_IP, B_IP, 1, 2, b"hi".to_vec());
-        sim.send_from(a, IfaceId(0), p, SimTime::ZERO).expect("send");
+        sim.send_from(a, IfaceId(0), p, SimTime::ZERO)
+            .expect("send");
         sim.run_to_completion().expect("run");
         let bnode = sim.node_ref::<Echo>(b).expect("b");
         assert_eq!(bnode.received.len(), 1);
@@ -470,7 +523,8 @@ mod tests {
     fn echo_returns_to_sender() {
         let (mut sim, a, b) = two_node_sim(true);
         let p = Packet::udp(A_IP, B_IP, 1, 2, b"ping".to_vec());
-        sim.send_from(a, IfaceId(0), p, SimTime::ZERO).expect("send");
+        sim.send_from(a, IfaceId(0), p, SimTime::ZERO)
+            .expect("send");
         sim.run_to_completion().expect("run");
         let anode = sim.node_ref::<Echo>(a).expect("a");
         assert_eq!(anode.received.len(), 1);
@@ -481,7 +535,11 @@ mod tests {
     #[test]
     fn start_is_called_once_and_timers_chain() {
         let mut sim = Simulator::new(1);
-        let t = sim.add_node(Box::new(TimerNode { name: "t".into(), fired: vec![], chain: 2 }));
+        let t = sim.add_node(Box::new(TimerNode {
+            name: "t".into(),
+            fired: vec![],
+            chain: 2,
+        }));
         sim.run_to_completion().expect("run");
         let node = sim.node_ref::<TimerNode>(t).expect("t");
         assert_eq!(node.fired.len(), 3);
@@ -496,7 +554,11 @@ mod tests {
     #[test]
     fn run_until_respects_deadline() {
         let mut sim = Simulator::new(1);
-        let t = sim.add_node(Box::new(TimerNode { name: "t".into(), fired: vec![], chain: 10 }));
+        let t = sim.add_node(Box::new(TimerNode {
+            name: "t".into(),
+            fired: vec![],
+            chain: 10,
+        }));
         sim.run_until(SimTime::from_nanos(25_000_000)).expect("run");
         assert_eq!(sim.node_ref::<TimerNode>(t).expect("t").fired.len(), 2);
         assert_eq!(sim.now(), SimTime::from_nanos(25_000_000));
@@ -509,7 +571,8 @@ mod tests {
         let (mut sim, a, _b) = two_node_sim(true);
         sim.enable_capture();
         let p = Packet::udp(A_IP, B_IP, 1, 2, vec![]);
-        sim.send_from(a, IfaceId(0), p, SimTime::ZERO).expect("send");
+        sim.send_from(a, IfaceId(0), p, SimTime::ZERO)
+            .expect("send");
         sim.run_to_completion().expect("run");
         let cap = sim.capture().expect("capture");
         assert_eq!(cap.len(), 2, "request and echo");
@@ -523,9 +586,56 @@ mod tests {
         let mut sim = Simulator::new(1);
         let a = sim.add_node(Box::new(Echo::new("a", false)));
         let p = Packet::udp(A_IP, B_IP, 1, 2, vec![]);
-        sim.send_from(a, IfaceId(5), p, SimTime::ZERO).expect("send");
+        sim.send_from(a, IfaceId(5), p, SimTime::ZERO)
+            .expect("send");
         sim.run_to_completion().expect("run");
-        assert_eq!(sim.events_processed(), 0);
+        // Only the scheduled Transmit event itself runs; the packet dies at
+        // the unplugged interface, delivering nothing.
+        assert_eq!(sim.events_processed(), 1);
+        assert_eq!(sim.node_ref::<Echo>(a).expect("a").received.len(), 0);
+    }
+
+    /// `send_from` calls issued out of chronological order must produce the
+    /// same delivery schedule as the same sends issued in order: the link's
+    /// serialization horizon is consumed at the scheduled instants, not at
+    /// call time.
+    #[test]
+    fn send_from_is_order_independent() {
+        // 8 Kbps: a 30-byte UDP packet serializes in 30ms, so back-to-back
+        // packets visibly queue behind each other.
+        let slow = LinkConfig::default()
+            .with_latency(SimDuration::from_millis(1))
+            .with_bandwidth_bps(8_000);
+        let deliveries = |times: &[u64]| -> Vec<SimTime> {
+            let mut sim = Simulator::new(7);
+            let a = sim.add_node(Box::new(Echo::new("a", false)));
+            let b = sim.add_node(Box::new(Echo::new("b", false)));
+            sim.wire(a, IfaceId(0), b, IfaceId(0), slow).expect("wire");
+            for (i, &t) in times.iter().enumerate() {
+                let p = Packet::udp(A_IP, B_IP, 1000 + i as u16, 2, b"xx".to_vec());
+                sim.send_from(a, IfaceId(0), p, SimTime::from_nanos(t))
+                    .expect("send");
+            }
+            sim.run_to_completion().expect("run");
+            let mut got: Vec<SimTime> = sim
+                .node_ref::<Echo>(b)
+                .expect("b")
+                .received
+                .iter()
+                .map(|(t, _)| *t)
+                .collect();
+            got.sort_unstable();
+            got
+        };
+        // Three sends inside one serialization window, scheduled in order
+        // vs. reverse call order.
+        let in_order = deliveries(&[0, 10_000_000, 20_000_000]);
+        let reversed = deliveries(&[20_000_000, 10_000_000, 0]);
+        assert_eq!(in_order.len(), 3);
+        assert_eq!(in_order, reversed, "call order must not affect the trace");
+        // And the queueing is real: each packet waits out its predecessor's
+        // serialization (30ms per packet at 8 Kbps).
+        assert!(in_order[1] > in_order[0] + SimDuration::from_millis(10));
     }
 
     #[test]
@@ -534,9 +644,16 @@ mod tests {
         let a = sim.add_node(Box::new(Echo::new("a", false)));
         let b = sim.add_node(Box::new(Echo::new("b", false)));
         let c = sim.add_node(Box::new(Echo::new("c", false)));
-        sim.wire(a, IfaceId(0), b, IfaceId(0), LinkConfig::default()).expect("first");
+        sim.wire(a, IfaceId(0), b, IfaceId(0), LinkConfig::default())
+            .expect("first");
         let err = sim.wire(a, IfaceId(0), c, IfaceId(0), LinkConfig::default());
-        assert_eq!(err, Err(NetsimError::IfaceAlreadyWired { node: a.0, iface: 0 }));
+        assert_eq!(
+            err,
+            Err(NetsimError::IfaceAlreadyWired {
+                node: a.0,
+                iface: 0
+            })
+        );
     }
 
     #[test]
@@ -544,16 +661,21 @@ mod tests {
         let mut sim = Simulator::new(1);
         let ghost = NodeId(42);
         let p = Packet::udp(A_IP, B_IP, 1, 2, vec![]);
-        assert!(sim.send_from(ghost, IfaceId(0), p.clone(), SimTime::ZERO).is_err());
+        assert!(sim
+            .send_from(ghost, IfaceId(0), p.clone(), SimTime::ZERO)
+            .is_err());
         assert!(sim.inject_at(ghost, IfaceId(0), p, SimTime::ZERO).is_err());
-        assert!(sim.schedule_timer(ghost, SimTime::ZERO, TimerToken(0)).is_err());
+        assert!(sim
+            .schedule_timer(ghost, SimTime::ZERO, TimerToken(0))
+            .is_err());
     }
 
     #[test]
     fn inject_bypasses_link() {
         let (mut sim, _a, b) = two_node_sim(false);
         let p = Packet::udp(A_IP, B_IP, 1, 2, vec![]);
-        sim.inject_at(b, IfaceId(0), p, SimTime::from_nanos(500)).expect("inject");
+        sim.inject_at(b, IfaceId(0), p, SimTime::from_nanos(500))
+            .expect("inject");
         sim.run_to_completion().expect("run");
         let bnode = sim.node_ref::<Echo>(b).expect("b");
         assert_eq!(bnode.received.len(), 1);
@@ -566,12 +688,17 @@ mod tests {
         let mut sim = Simulator::new(1);
         let a = sim.add_node(Box::new(Echo::new("a", true)));
         let b = sim.add_node(Box::new(Echo::new("b", true)));
-        sim.wire(a, IfaceId(0), b, IfaceId(0), LinkConfig::ideal()).expect("wire");
+        sim.wire(a, IfaceId(0), b, IfaceId(0), LinkConfig::ideal())
+            .expect("wire");
         sim.set_event_budget(1_000);
         let p = Packet::udp(A_IP, B_IP, 1, 2, vec![]);
-        sim.send_from(a, IfaceId(0), p, SimTime::ZERO).expect("send");
+        sim.send_from(a, IfaceId(0), p, SimTime::ZERO)
+            .expect("send");
         let err = sim.run_to_completion();
-        assert_eq!(err, Err(NetsimError::EventBudgetExhausted { budget: 1_000 }));
+        assert_eq!(
+            err,
+            Err(NetsimError::EventBudgetExhausted { budget: 1_000 })
+        );
     }
 
     #[test]
@@ -585,7 +712,9 @@ mod tests {
                 IfaceId(0),
                 b,
                 IfaceId(0),
-                LinkConfig::default().with_loss(0.3).with_jitter(SimDuration::from_millis(2)),
+                LinkConfig::default()
+                    .with_loss(0.3)
+                    .with_jitter(SimDuration::from_millis(2)),
             )
             .expect("wire");
             sim.enable_capture();
@@ -603,6 +732,10 @@ mod tests {
                 .collect()
         };
         assert_eq!(run(99), run(99));
-        assert_ne!(run(99), run(100), "different seeds should diverge under loss/jitter");
+        assert_ne!(
+            run(99),
+            run(100),
+            "different seeds should diverge under loss/jitter"
+        );
     }
 }

@@ -124,11 +124,7 @@ pub struct TcpConn {
 impl TcpConn {
     /// Open a connection: returns the connection in `SynSent` plus the SYN
     /// packet to transmit. `iss` is the initial send sequence number.
-    pub fn connect(
-        local: (Ipv4Addr, u16),
-        remote: (Ipv4Addr, u16),
-        iss: u32,
-    ) -> (TcpConn, Packet) {
+    pub fn connect(local: (Ipv4Addr, u16), remote: (Ipv4Addr, u16), iss: u32) -> (TcpConn, Packet) {
         let mut conn = TcpConn {
             local,
             remote,
@@ -142,7 +138,12 @@ impl TcpConn {
             reply_ttl: None,
             fin_sent: false,
         };
-        conn.unacked.push_back(Chunk { seq: iss, data: Vec::new(), syn: true, fin: false });
+        conn.unacked.push_back(Chunk {
+            seq: iss,
+            data: Vec::new(),
+            syn: true,
+            fin: false,
+        });
         let syn = conn.make_packet(iss, 0, TcpFlags::syn(), Vec::new());
         (conn, syn)
     }
@@ -168,7 +169,12 @@ impl TcpConn {
             reply_ttl: None,
             fin_sent: false,
         };
-        conn.unacked.push_back(Chunk { seq: iss, data: Vec::new(), syn: true, fin: false });
+        conn.unacked.push_back(Chunk {
+            seq: iss,
+            data: Vec::new(),
+            syn: true,
+            fin: false,
+        });
         let syn_ack = conn.make_packet(iss, conn.rcv_nxt, TcpFlags::syn_ack(), Vec::new());
         (conn, syn_ack)
     }
@@ -218,7 +224,12 @@ impl TcpConn {
         for piece in data.chunks(MSS) {
             let seq = self.snd_nxt;
             self.snd_nxt = self.snd_nxt.wrapping_add(piece.len() as u32);
-            self.unacked.push_back(Chunk { seq, data: piece.to_vec(), syn: false, fin: false });
+            self.unacked.push_back(Chunk {
+                seq,
+                data: piece.to_vec(),
+                syn: false,
+                fin: false,
+            });
             out.push(self.make_packet(seq, self.rcv_nxt, TcpFlags::psh_ack(), piece.to_vec()));
         }
         out
@@ -240,7 +251,12 @@ impl TcpConn {
         let seq = self.snd_nxt;
         self.snd_nxt = self.snd_nxt.wrapping_add(1);
         self.fin_sent = true;
-        self.unacked.push_back(Chunk { seq, data: Vec::new(), syn: false, fin: true });
+        self.unacked.push_back(Chunk {
+            seq,
+            data: Vec::new(),
+            syn: false,
+            fin: true,
+        });
         vec![self.make_packet(seq, self.rcv_nxt, TcpFlags::fin_ack(), Vec::new())]
     }
 
@@ -282,7 +298,11 @@ impl TcpConn {
             } else {
                 TcpFlags::psh_ack()
             };
-            let ack = if self.state == TcpState::SynSent { 0 } else { self.rcv_nxt };
+            let ack = if self.state == TcpState::SynSent {
+                0
+            } else {
+                self.rcv_nxt
+            };
             out.push(self.make_packet(chunk.seq, ack, flags, chunk.data.clone()));
         }
         (out, Vec::new())
@@ -307,7 +327,11 @@ impl TcpConn {
             let was_syn_sent = self.state == TcpState::SynSent;
             self.state = TcpState::Closed;
             self.unacked.clear();
-            events.push(if was_syn_sent { TcpEvent::Refused } else { TcpEvent::Reset });
+            events.push(if was_syn_sent {
+                TcpEvent::Refused
+            } else {
+                TcpEvent::Reset
+            });
             return (out, events);
         }
 
@@ -477,7 +501,10 @@ mod tests {
         assert_eq!(data_pkts.len(), 1);
         assert!(client.has_unacked());
         let (sv_out, sv_ev) = server.on_segment(&seg_of(&data_pkts[0]));
-        assert_eq!(sv_ev, vec![TcpEvent::Data(b"GET / HTTP/1.0\r\n\r\n".to_vec())]);
+        assert_eq!(
+            sv_ev,
+            vec![TcpEvent::Data(b"GET / HTTP/1.0\r\n\r\n".to_vec())]
+        );
         assert_eq!(sv_out.len(), 1, "server ACKs");
         let (_, cl_ev) = client.on_segment(&seg_of(&sv_out[0]));
         assert!(cl_ev.is_empty());
@@ -656,7 +683,11 @@ mod tests {
         assert!(ev.is_empty());
         assert_eq!(out.len(), 1);
         assert!(seg_of(&out[0]).flags.has_rst());
-        assert_eq!(client.state(), TcpState::SynSent, "still waiting for the real SYN/ACK");
+        assert_eq!(
+            client.state(),
+            TcpState::SynSent,
+            "still waiting for the real SYN/ACK"
+        );
     }
 
     #[test]

@@ -120,13 +120,9 @@ impl Node for Switch {
                 self.stats.ttl_expired += 1;
                 if self.send_time_exceeded {
                     let quoted = IcmpRepr::error_payload(&packet.to_wire());
-                    let err = Packet::icmp(
-                        self.router_addr,
-                        packet.src,
-                        IcmpKind::TimeExceeded,
-                        quoted,
-                    )
-                    .with_ttl(DEFAULT_TTL);
+                    let err =
+                        Packet::icmp(self.router_addr, packet.src, IcmpKind::TimeExceeded, quoted)
+                            .with_ttl(DEFAULT_TTL);
                     if let Some(back) = self.lookup(err.dst) {
                         ctx.send(back, err.clone());
                         self.stats.forwarded += 1;
@@ -197,7 +193,10 @@ mod tests {
 
     impl Sink {
         fn boxed(name: &str) -> Box<Sink> {
-            Box::new(Sink { name: name.into(), got: Vec::new() })
+            Box::new(Sink {
+                name: name.into(),
+                got: Vec::new(),
+            })
         }
     }
 
@@ -230,9 +229,12 @@ mod tests {
         sw.add_route(Cidr::slash24(SERVER), IfaceId(1));
         sw.add_tap(IfaceId(2));
         let sw = sim.add_node(Box::new(sw));
-        sim.wire(client, IfaceId(0), sw, IfaceId(0), LinkConfig::ideal()).expect("wire");
-        sim.wire(server, IfaceId(0), sw, IfaceId(1), LinkConfig::ideal()).expect("wire");
-        sim.wire(monitor, IfaceId(0), sw, IfaceId(2), LinkConfig::ideal()).expect("wire");
+        sim.wire(client, IfaceId(0), sw, IfaceId(0), LinkConfig::ideal())
+            .expect("wire");
+        sim.wire(server, IfaceId(0), sw, IfaceId(1), LinkConfig::ideal())
+            .expect("wire");
+        sim.wire(monitor, IfaceId(0), sw, IfaceId(2), LinkConfig::ideal())
+            .expect("wire");
         (sim, client, server, monitor, sw)
     }
 
@@ -240,7 +242,8 @@ mod tests {
     fn forwards_by_longest_prefix_and_mirrors_to_tap() {
         let (mut sim, client, server, monitor, sw) = star();
         let p = Packet::tcp(CLIENT, SERVER, 1000, 80, 0, 0, TcpFlags::syn(), vec![]);
-        sim.send_from(client, IfaceId(0), p, SimTime::ZERO).expect("send");
+        sim.send_from(client, IfaceId(0), p, SimTime::ZERO)
+            .expect("send");
         sim.run_to_completion().expect("run");
         assert_eq!(sim.node_ref::<Sink>(server).expect("server").got.len(), 1);
         assert_eq!(sim.node_ref::<Sink>(monitor).expect("monitor").got.len(), 1);
@@ -254,7 +257,8 @@ mod tests {
         let (mut sim, client, _server, monitor, _sw) = star();
         // Monitor injects a RST toward the client (like a censor would).
         let rst = Packet::tcp(SERVER, CLIENT, 80, 1000, 1, 1, TcpFlags::rst(), vec![]);
-        sim.send_from(monitor, IfaceId(0), rst, SimTime::ZERO).expect("send");
+        sim.send_from(monitor, IfaceId(0), rst, SimTime::ZERO)
+            .expect("send");
         sim.run_to_completion().expect("run");
         assert_eq!(sim.node_ref::<Sink>(client).expect("client").got.len(), 1);
         // The monitor must not receive a copy of its own injection.
@@ -280,10 +284,13 @@ mod tests {
         rt.add_route(Cidr::slash24(CLIENT), IfaceId(0));
         rt.add_route(Cidr::slash24(SERVER), IfaceId(1));
         let rt = sim.add_node(Box::new(rt));
-        sim.wire(a, IfaceId(0), rt, IfaceId(0), LinkConfig::ideal()).expect("wire");
-        sim.wire(b, IfaceId(0), rt, IfaceId(1), LinkConfig::ideal()).expect("wire");
+        sim.wire(a, IfaceId(0), rt, IfaceId(0), LinkConfig::ideal())
+            .expect("wire");
+        sim.wire(b, IfaceId(0), rt, IfaceId(1), LinkConfig::ideal())
+            .expect("wire");
         let p = Packet::udp(CLIENT, SERVER, 1, 2, vec![]).with_ttl(10);
-        sim.send_from(a, IfaceId(0), p, SimTime::ZERO).expect("send");
+        sim.send_from(a, IfaceId(0), p, SimTime::ZERO)
+            .expect("send");
         sim.run_to_completion().expect("run");
         let got = &sim.node_ref::<Sink>(b).expect("b").got;
         assert_eq!(got.len(), 1);
@@ -299,19 +306,31 @@ mod tests {
         rt.add_route(Cidr::slash24(CLIENT), IfaceId(0));
         rt.add_route(Cidr::slash24(SERVER), IfaceId(1));
         let rt_id = sim.add_node(Box::new(rt));
-        sim.wire(a, IfaceId(0), rt_id, IfaceId(0), LinkConfig::ideal()).expect("wire");
-        sim.wire(b, IfaceId(0), rt_id, IfaceId(1), LinkConfig::ideal()).expect("wire");
+        sim.wire(a, IfaceId(0), rt_id, IfaceId(0), LinkConfig::ideal())
+            .expect("wire");
+        sim.wire(b, IfaceId(0), rt_id, IfaceId(1), LinkConfig::ideal())
+            .expect("wire");
         let p = Packet::udp(CLIENT, SERVER, 7, 9, b"dying".to_vec()).with_ttl(1);
-        sim.send_from(a, IfaceId(0), p, SimTime::ZERO).expect("send");
+        sim.send_from(a, IfaceId(0), p, SimTime::ZERO)
+            .expect("send");
         sim.run_to_completion().expect("run");
-        assert!(sim.node_ref::<Sink>(b).expect("b").got.is_empty(), "packet must die");
+        assert!(
+            sim.node_ref::<Sink>(b).expect("b").got.is_empty(),
+            "packet must die"
+        );
         let got = &sim.node_ref::<Sink>(a).expect("a").got;
         assert_eq!(got.len(), 1);
         let icmp = got[0].as_icmp().expect("icmp");
         assert_eq!(icmp.kind, IcmpKind::TimeExceeded);
         let (qsrc, qdst) = IcmpRepr::quoted_addresses(&icmp.payload).expect("quote");
         assert_eq!((qsrc, qdst), (CLIENT, SERVER));
-        assert_eq!(sim.node_ref::<Switch>(rt_id).expect("rt").stats().ttl_expired, 1);
+        assert_eq!(
+            sim.node_ref::<Switch>(rt_id)
+                .expect("rt")
+                .stats()
+                .ttl_expired,
+            1
+        );
     }
 
     #[test]
@@ -324,10 +343,13 @@ mod tests {
         rt.add_route(Cidr::slash24(SERVER), IfaceId(1));
         rt.set_silent_ttl_drop();
         let rt = sim.add_node(Box::new(rt));
-        sim.wire(a, IfaceId(0), rt, IfaceId(0), LinkConfig::ideal()).expect("wire");
-        sim.wire(b, IfaceId(0), rt, IfaceId(1), LinkConfig::ideal()).expect("wire");
+        sim.wire(a, IfaceId(0), rt, IfaceId(0), LinkConfig::ideal())
+            .expect("wire");
+        sim.wire(b, IfaceId(0), rt, IfaceId(1), LinkConfig::ideal())
+            .expect("wire");
         let p = Packet::udp(CLIENT, SERVER, 7, 9, vec![]).with_ttl(1);
-        sim.send_from(a, IfaceId(0), p, SimTime::ZERO).expect("send");
+        sim.send_from(a, IfaceId(0), p, SimTime::ZERO)
+            .expect("send");
         sim.run_to_completion().expect("run");
         assert!(sim.node_ref::<Sink>(a).expect("a").got.is_empty());
         assert!(sim.node_ref::<Sink>(b).expect("b").got.is_empty());
@@ -337,7 +359,8 @@ mod tests {
     fn l2_switch_does_not_touch_ttl() {
         let (mut sim, client, server, _monitor, _sw) = star();
         let p = Packet::udp(CLIENT, SERVER, 1, 2, vec![]).with_ttl(1);
-        sim.send_from(client, IfaceId(0), p, SimTime::ZERO).expect("send");
+        sim.send_from(client, IfaceId(0), p, SimTime::ZERO)
+            .expect("send");
         sim.run_to_completion().expect("run");
         let got = &sim.node_ref::<Sink>(server).expect("server").got;
         assert_eq!(got.len(), 1);
@@ -348,7 +371,8 @@ mod tests {
     fn unroutable_packets_counted() {
         let (mut sim, client, _server, monitor, sw) = star();
         let p = Packet::udp(CLIENT, Ipv4Addr::new(172, 31, 0, 1), 1, 2, vec![]);
-        sim.send_from(client, IfaceId(0), p, SimTime::ZERO).expect("send");
+        sim.send_from(client, IfaceId(0), p, SimTime::ZERO)
+            .expect("send");
         sim.run_to_completion().expect("run");
         let stats = sim.node_ref::<Switch>(sw).expect("sw").stats();
         assert_eq!(stats.no_route, 1);

@@ -26,7 +26,10 @@ pub struct TopologyBuilder {
 impl TopologyBuilder {
     /// Start a topology with the given RNG seed.
     pub fn new(seed: u64) -> Self {
-        TopologyBuilder { sim: Simulator::new(seed), next_port: HashMap::new() }
+        TopologyBuilder {
+            sim: Simulator::new(seed),
+            next_port: HashMap::new(),
+        }
     }
 
     /// Record every packet crossing any link.
@@ -143,19 +146,27 @@ mod tests {
         let server = topo.add_host(Host::new("server", SERVER));
         let monitor = topo.add_host(Host::new("monitor", MONITOR));
         let sw = topo.add_switch(Switch::new("ovs"));
-        topo.attach_host(client, CLIENT, sw, LinkConfig::default()).expect("client");
-        topo.attach_host(server, SERVER, sw, LinkConfig::default()).expect("server");
-        topo.attach_tap(monitor, sw, LinkConfig::default()).expect("tap");
+        topo.attach_host(client, CLIENT, sw, LinkConfig::default())
+            .expect("client");
+        topo.attach_host(server, SERVER, sw, LinkConfig::default())
+            .expect("server");
+        topo.attach_tap(monitor, sw, LinkConfig::default())
+            .expect("tap");
         let mut sim = topo.finish();
 
         let syn = Packet::tcp(CLIENT, SERVER, 1234, 80, 0, 0, TcpFlags::syn(), vec![]);
-        sim.send_from(client, HOST_IFACE, syn, SimTime::ZERO).expect("send");
+        sim.send_from(client, HOST_IFACE, syn, SimTime::ZERO)
+            .expect("send");
         sim.run_for(SimDuration::from_secs(2)).expect("run");
 
         let cap = sim.capture().expect("capture");
         // The monitor saw the SYN (tap copy) and the server's RST (closed
         // port), i.e. 2 tapped packets; plus the direct copies.
-        let monitor_copies = cap.records().iter().filter(|r| r.to_node == monitor).count();
+        let monitor_copies = cap
+            .records()
+            .iter()
+            .filter(|r| r.to_node == monitor)
+            .count();
         assert_eq!(monitor_copies, 2, "tap mirrors both directions");
     }
 
@@ -166,8 +177,10 @@ mod tests {
         let server = topo.add_host(Host::new("server", SERVER));
         let sw1 = topo.add_switch(Switch::new("sw1"));
         let sw2 = topo.add_switch(Switch::new("sw2"));
-        topo.attach_host(client, CLIENT, sw1, LinkConfig::default()).expect("c");
-        topo.attach_host(server, SERVER, sw2, LinkConfig::default()).expect("s");
+        topo.attach_host(client, CLIENT, sw1, LinkConfig::default())
+            .expect("c");
+        topo.attach_host(server, SERVER, sw2, LinkConfig::default())
+            .expect("s");
         let (p1, p2) = topo.trunk(sw1, sw2, LinkConfig::default()).expect("trunk");
         topo.route(sw1, Cidr::slash24(SERVER), p1);
         topo.route(sw2, Cidr::slash24(CLIENT), p2);
@@ -180,7 +193,8 @@ mod tests {
             crate::wire::icmp::IcmpKind::EchoRequest { ident: 9, seq: 1 },
             vec![],
         );
-        sim.send_from(client, HOST_IFACE, ping, SimTime::ZERO).expect("send");
+        sim.send_from(client, HOST_IFACE, ping, SimTime::ZERO)
+            .expect("send");
         sim.run_for(SimDuration::from_secs(2)).expect("run");
         let cap = sim.capture().expect("capture");
         // Echo reply made it all the way back to the client.
@@ -188,6 +202,10 @@ mod tests {
             .records()
             .iter()
             .any(|r| r.to_node == client && r.packet.as_icmp().is_some());
-        assert!(reply_back, "reply crossed both switches:\n{}", cap.render(sim.node_names()));
+        assert!(
+            reply_back,
+            "reply crossed both switches:\n{}",
+            cap.render(sim.node_names())
+        );
     }
 }

@@ -78,7 +78,9 @@ mod tests {
 
     #[test]
     fn roundtrip_verifies() {
-        let mut data = vec![0x45, 0x00, 0x00, 0x28, 0x1c, 0x46, 0x40, 0x00, 0x40, 0x06, 0, 0];
+        let mut data = vec![
+            0x45, 0x00, 0x00, 0x28, 0x1c, 0x46, 0x40, 0x00, 0x40, 0x06, 0, 0,
+        ];
         let c = checksum(&data);
         data[10] = (c >> 8) as u8;
         data[11] = (c & 0xff) as u8;
@@ -107,6 +109,9 @@ mod tests {
         // complement addition is commutative), so bind-check with a
         // genuinely different address.
         let other = Ipv4Addr::new(10, 0, 0, 3);
-        assert!(!verify_transport(src, other, 6, &seg), "pseudo-header must bind addresses");
+        assert!(
+            !verify_transport(src, other, 6, &seg),
+            "pseudo-header must bind addresses"
+        );
     }
 }

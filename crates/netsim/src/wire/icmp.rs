@@ -63,7 +63,10 @@ impl IcmpRepr {
     /// Returns the message and the payload offset (always 8).
     pub fn parse(buf: &[u8]) -> Result<(IcmpRepr, usize), WireError> {
         if buf.len() < HEADER_LEN {
-            return Err(WireError::Truncated { needed: HEADER_LEN, got: buf.len() });
+            return Err(WireError::Truncated {
+                needed: HEADER_LEN,
+                got: buf.len(),
+            });
         }
         if !checksum::verify(buf) {
             return Err(WireError::BadChecksum { layer: "icmp" });
@@ -77,7 +80,10 @@ impl IcmpRepr {
             (3, c) => IcmpKind::DestUnreachable { code: c },
             (8, 0) => IcmpKind::EchoRequest { ident, seq },
             (11, 0) => IcmpKind::TimeExceeded,
-            (t, c) => IcmpKind::Other { icmp_type: t, code: c },
+            (t, c) => IcmpKind::Other {
+                icmp_type: t,
+                code: c,
+            },
         };
         Ok((IcmpRepr { kind }, HEADER_LEN))
     }
@@ -139,7 +145,9 @@ mod tests {
 
     #[test]
     fn echo_roundtrip() {
-        let repr = IcmpRepr { kind: IcmpKind::EchoRequest { ident: 77, seq: 3 } };
+        let repr = IcmpRepr {
+            kind: IcmpKind::EchoRequest { ident: 77, seq: 3 },
+        };
         let buf = repr.emit(b"ping-payload");
         let (parsed, off) = IcmpRepr::parse(&buf).expect("parse");
         assert_eq!(parsed, repr);
@@ -148,7 +156,9 @@ mod tests {
 
     #[test]
     fn time_exceeded_roundtrip() {
-        let repr = IcmpRepr { kind: IcmpKind::TimeExceeded };
+        let repr = IcmpRepr {
+            kind: IcmpKind::TimeExceeded,
+        };
         let buf = repr.emit(&[]);
         let (parsed, _) = IcmpRepr::parse(&buf).expect("parse");
         assert_eq!(parsed.kind, IcmpKind::TimeExceeded);
@@ -157,7 +167,9 @@ mod tests {
     #[test]
     fn unreachable_codes_preserved() {
         for code in [0u8, 1, 3, 13] {
-            let repr = IcmpRepr { kind: IcmpKind::DestUnreachable { code } };
+            let repr = IcmpRepr {
+                kind: IcmpKind::DestUnreachable { code },
+            };
             let (parsed, _) = IcmpRepr::parse(&repr.emit(&[])).expect("parse");
             assert_eq!(parsed.kind, IcmpKind::DestUnreachable { code });
         }
@@ -165,10 +177,15 @@ mod tests {
 
     #[test]
     fn checksum_detects_corruption() {
-        let repr = IcmpRepr { kind: IcmpKind::EchoReply { ident: 1, seq: 1 } };
+        let repr = IcmpRepr {
+            kind: IcmpKind::EchoReply { ident: 1, seq: 1 },
+        };
         let mut buf = repr.emit(b"abc");
         buf[0] = 8; // flip reply -> request without re-checksumming
-        assert!(matches!(IcmpRepr::parse(&buf), Err(WireError::BadChecksum { .. })));
+        assert!(matches!(
+            IcmpRepr::parse(&buf),
+            Err(WireError::BadChecksum { .. })
+        ));
     }
 
     #[test]
@@ -193,8 +210,19 @@ mod tests {
 
     #[test]
     fn unknown_types_carried_opaquely() {
-        let repr = IcmpRepr { kind: IcmpKind::Other { icmp_type: 42, code: 7 } };
+        let repr = IcmpRepr {
+            kind: IcmpKind::Other {
+                icmp_type: 42,
+                code: 7,
+            },
+        };
         let (parsed, _) = IcmpRepr::parse(&repr.emit(b"z")).expect("parse");
-        assert_eq!(parsed.kind, IcmpKind::Other { icmp_type: 42, code: 7 });
+        assert_eq!(
+            parsed.kind,
+            IcmpKind::Other {
+                icmp_type: 42,
+                code: 7
+            }
+        );
     }
 }

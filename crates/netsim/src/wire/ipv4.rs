@@ -87,7 +87,10 @@ impl Ipv4Repr {
     /// Returns the header and the byte offset at which the payload starts.
     pub fn parse(buf: &[u8]) -> Result<(Ipv4Repr, usize), WireError> {
         if buf.len() < HEADER_LEN {
-            return Err(WireError::Truncated { needed: HEADER_LEN, got: buf.len() });
+            return Err(WireError::Truncated {
+                needed: HEADER_LEN,
+                got: buf.len(),
+            });
         }
         let version = buf[0] >> 4;
         if version != 4 {
@@ -98,14 +101,22 @@ impl Ipv4Repr {
             return Err(WireError::Malformed("IPv4 IHL below minimum"));
         }
         if buf.len() < ihl {
-            return Err(WireError::Truncated { needed: ihl, got: buf.len() });
+            return Err(WireError::Truncated {
+                needed: ihl,
+                got: buf.len(),
+            });
         }
         let total_len = usize::from(u16::from_be_bytes([buf[2], buf[3]]));
         if total_len < ihl {
-            return Err(WireError::Malformed("IPv4 total length below header length"));
+            return Err(WireError::Malformed(
+                "IPv4 total length below header length",
+            ));
         }
         if total_len > buf.len() {
-            return Err(WireError::LengthMismatch { claimed: total_len, actual: buf.len() });
+            return Err(WireError::LengthMismatch {
+                claimed: total_len,
+                actual: buf.len(),
+            });
         }
         if !checksum::verify(&buf[..ihl]) {
             return Err(WireError::BadChecksum { layer: "ipv4" });
@@ -183,14 +194,20 @@ mod tests {
     fn rejects_bad_version() {
         let mut buf = sample().emit(b"");
         buf[0] = 0x65; // version 6
-        assert_eq!(Ipv4Repr::parse(&buf), Err(WireError::Malformed("IP version is not 4")));
+        assert_eq!(
+            Ipv4Repr::parse(&buf),
+            Err(WireError::Malformed("IP version is not 4"))
+        );
     }
 
     #[test]
     fn rejects_corrupt_checksum() {
         let mut buf = sample().emit(b"x");
         buf[8] ^= 0xff; // flip TTL without fixing checksum
-        assert_eq!(Ipv4Repr::parse(&buf), Err(WireError::BadChecksum { layer: "ipv4" }));
+        assert_eq!(
+            Ipv4Repr::parse(&buf),
+            Err(WireError::BadChecksum { layer: "ipv4" })
+        );
     }
 
     #[test]
@@ -204,7 +221,10 @@ mod tests {
         buf[11] = 0;
         let c = checksum::checksum(&buf[..HEADER_LEN]);
         buf[10..12].copy_from_slice(&c.to_be_bytes());
-        assert!(matches!(Ipv4Repr::parse(&buf), Err(WireError::LengthMismatch { .. })));
+        assert!(matches!(
+            Ipv4Repr::parse(&buf),
+            Err(WireError::LengthMismatch { .. })
+        ));
     }
 
     #[test]

@@ -147,14 +147,20 @@ impl TcpRepr {
     /// Returns the header and the payload offset.
     pub fn parse(buf: &[u8], src: Ipv4Addr, dst: Ipv4Addr) -> Result<(TcpRepr, usize), WireError> {
         if buf.len() < HEADER_LEN {
-            return Err(WireError::Truncated { needed: HEADER_LEN, got: buf.len() });
+            return Err(WireError::Truncated {
+                needed: HEADER_LEN,
+                got: buf.len(),
+            });
         }
         let data_offset = usize::from(buf[12] >> 4) * 4;
         if data_offset < HEADER_LEN {
             return Err(WireError::Malformed("TCP data offset below minimum"));
         }
         if buf.len() < data_offset {
-            return Err(WireError::Truncated { needed: data_offset, got: buf.len() });
+            return Err(WireError::Truncated {
+                needed: data_offset,
+                got: buf.len(),
+            });
         }
         if !checksum::verify_transport(src, dst, 6, buf) {
             return Err(WireError::BadChecksum { layer: "tcp" });

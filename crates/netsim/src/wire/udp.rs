@@ -23,14 +23,20 @@ impl UdpRepr {
     /// Returns the header and the payload offset (always 8).
     pub fn parse(buf: &[u8], src: Ipv4Addr, dst: Ipv4Addr) -> Result<(UdpRepr, usize), WireError> {
         if buf.len() < HEADER_LEN {
-            return Err(WireError::Truncated { needed: HEADER_LEN, got: buf.len() });
+            return Err(WireError::Truncated {
+                needed: HEADER_LEN,
+                got: buf.len(),
+            });
         }
         let length = usize::from(u16::from_be_bytes([buf[4], buf[5]]));
         if length < HEADER_LEN {
             return Err(WireError::Malformed("UDP length below header length"));
         }
         if length > buf.len() {
-            return Err(WireError::LengthMismatch { claimed: length, actual: buf.len() });
+            return Err(WireError::LengthMismatch {
+                claimed: length,
+                actual: buf.len(),
+            });
         }
         // A zero checksum means "not computed" and is legal for UDP/IPv4.
         let cksum = u16::from_be_bytes([buf[6], buf[7]]);
@@ -74,7 +80,10 @@ mod tests {
 
     #[test]
     fn roundtrip() {
-        let repr = UdpRepr { src_port: 5353, dst_port: 53 };
+        let repr = UdpRepr {
+            src_port: 5353,
+            dst_port: 53,
+        };
         let buf = repr.emit(b"dns query bytes", SRC, DST);
         let (parsed, off) = UdpRepr::parse(&buf, SRC, DST).expect("parse");
         assert_eq!(parsed, repr);
@@ -83,7 +92,10 @@ mod tests {
 
     #[test]
     fn zero_checksum_accepted() {
-        let repr = UdpRepr { src_port: 1, dst_port: 2 };
+        let repr = UdpRepr {
+            src_port: 1,
+            dst_port: 2,
+        };
         let mut buf = repr.emit(b"x", SRC, DST);
         buf[6] = 0;
         buf[7] = 0;
@@ -92,7 +104,10 @@ mod tests {
 
     #[test]
     fn bad_checksum_rejected() {
-        let repr = UdpRepr { src_port: 1, dst_port: 2 };
+        let repr = UdpRepr {
+            src_port: 1,
+            dst_port: 2,
+        };
         let mut buf = repr.emit(b"payload", SRC, DST);
         let last = buf.len() - 1;
         buf[last] ^= 0xff;
@@ -104,7 +119,10 @@ mod tests {
 
     #[test]
     fn truncation_and_length_checks() {
-        let repr = UdpRepr { src_port: 1, dst_port: 2 };
+        let repr = UdpRepr {
+            src_port: 1,
+            dst_port: 2,
+        };
         let buf = repr.emit(b"abc", SRC, DST);
         assert!(matches!(
             UdpRepr::parse(&buf[..4], SRC, DST),
@@ -126,7 +144,10 @@ mod tests {
 
     #[test]
     fn empty_payload() {
-        let repr = UdpRepr { src_port: 9, dst_port: 10 };
+        let repr = UdpRepr {
+            src_port: 9,
+            dst_port: 10,
+        };
         let buf = repr.emit(b"", SRC, DST);
         assert_eq!(buf.len(), HEADER_LEN);
         let (parsed, off) = UdpRepr::parse(&buf, SRC, DST).expect("parse");

@@ -1,164 +1,191 @@
 //! Property-based tests for the netsim substrate: wire-format roundtrips,
 //! checksum integrity, CIDR algebra, event ordering, and TCP data-transfer
-//! invariants under arbitrary segmentation.
+//! invariants under arbitrary segmentation. Inputs come from the in-tree
+//! seeded generator ([`underradar_netsim::testprop`]).
 
-use proptest::prelude::*;
 use std::net::Ipv4Addr;
 
 use underradar_netsim::addr::Cidr;
+use underradar_netsim::event::TimerToken;
 use underradar_netsim::event::{EventKind, EventQueue};
 use underradar_netsim::node::NodeId;
 use underradar_netsim::packet::{Packet, PacketBody};
 use underradar_netsim::stack::tcp::{TcpConn, TcpEvent};
+use underradar_netsim::testprop::{cases, Gen};
 use underradar_netsim::time::SimTime;
 use underradar_netsim::wire::checksum;
 use underradar_netsim::wire::icmp::IcmpKind;
 use underradar_netsim::wire::tcp::TcpFlags;
-use underradar_netsim::event::TimerToken;
 
-fn arb_ip() -> impl Strategy<Value = Ipv4Addr> {
-    any::<u32>().prop_map(Ipv4Addr::from)
+fn arb_ip(g: &mut Gen) -> Ipv4Addr {
+    Ipv4Addr::from(g.u32())
 }
 
-fn arb_flags() -> impl Strategy<Value = TcpFlags> {
-    (0u8..64).prop_map(TcpFlags)
+fn arb_packet(g: &mut Gen) -> Packet {
+    match g.usize_in(0, 3) {
+        0 => Packet::tcp(
+            arb_ip(g),
+            arb_ip(g),
+            g.u16(),
+            g.u16(),
+            g.u32(),
+            g.u32(),
+            TcpFlags(g.u8_in(0, 64)),
+            g.bytes(0, 256),
+        )
+        .with_ttl(g.u8_in(1, 255).max(1))
+        .with_ident(g.u16()),
+        1 => Packet::udp(arb_ip(g), arb_ip(g), g.u16(), g.u16(), g.bytes(0, 256))
+            .with_ttl(g.u8_in(1, 255).max(1)),
+        _ => {
+            let kind = match g.usize_in(0, 4) {
+                0 => IcmpKind::EchoRequest {
+                    ident: g.u16(),
+                    seq: g.u16(),
+                },
+                1 => IcmpKind::EchoReply {
+                    ident: g.u16(),
+                    seq: g.u16(),
+                },
+                2 => IcmpKind::TimeExceeded,
+                _ => IcmpKind::DestUnreachable {
+                    code: g.u8_in(0, 16),
+                },
+            };
+            Packet::icmp(arb_ip(g), arb_ip(g), kind, g.bytes(0, 64))
+        }
+    }
 }
 
-fn arb_packet() -> impl Strategy<Value = Packet> {
-    let tcp = (
-        arb_ip(),
-        arb_ip(),
-        any::<u16>(),
-        any::<u16>(),
-        any::<u32>(),
-        any::<u32>(),
-        arb_flags(),
-        proptest::collection::vec(any::<u8>(), 0..256),
-        1u8..=255,
-        any::<u16>(),
-    )
-        .prop_map(|(src, dst, sp, dp, seq, ack, flags, payload, ttl, ident)| {
-            Packet::tcp(src, dst, sp, dp, seq, ack, flags, payload)
-                .with_ttl(ttl)
-                .with_ident(ident)
-        });
-    let udp = (
-        arb_ip(),
-        arb_ip(),
-        any::<u16>(),
-        any::<u16>(),
-        proptest::collection::vec(any::<u8>(), 0..256),
-        1u8..=255,
-    )
-        .prop_map(|(src, dst, sp, dp, payload, ttl)| {
-            Packet::udp(src, dst, sp, dp, payload).with_ttl(ttl)
-        });
-    let icmp = (
-        arb_ip(),
-        arb_ip(),
-        prop_oneof![
-            (any::<u16>(), any::<u16>()).prop_map(|(i, s)| IcmpKind::EchoRequest { ident: i, seq: s }),
-            (any::<u16>(), any::<u16>()).prop_map(|(i, s)| IcmpKind::EchoReply { ident: i, seq: s }),
-            Just(IcmpKind::TimeExceeded),
-            (0u8..16).prop_map(|c| IcmpKind::DestUnreachable { code: c }),
-        ],
-        proptest::collection::vec(any::<u8>(), 0..64),
-    )
-        .prop_map(|(src, dst, kind, payload)| Packet::icmp(src, dst, kind, payload));
-    prop_oneof![tcp, udp, icmp]
-}
-
-proptest! {
-    /// decode(encode(p)) == p for every packet the simulator can build.
-    #[test]
-    fn packet_wire_roundtrip(p in arb_packet()) {
+/// decode(encode(p)) == p for every packet the simulator can build.
+#[test]
+fn packet_wire_roundtrip() {
+    cases(256, 0xA001, |g| {
+        let p = arb_packet(g);
         let wire = p.to_wire();
         let q = Packet::from_wire(&wire).expect("emitted packets always parse");
-        prop_assert_eq!(p, q);
-    }
+        assert_eq!(p, q);
+    });
+}
 
-    /// Emitted packets always carry verifiable checksums, and any single-bit
-    /// flip in the IP header is caught.
-    #[test]
-    fn emitted_ip_header_checksum_detects_bit_flips(p in arb_packet(), bit in 0usize..(20*8)) {
+/// Emitted packets always carry verifiable checksums, and any single-bit
+/// flip in the IP header is caught.
+#[test]
+fn emitted_ip_header_checksum_detects_bit_flips() {
+    cases(256, 0xA002, |g| {
+        let p = arb_packet(g);
+        let bit = g.usize_in(0, 20 * 8);
         let mut wire = p.to_wire();
-        prop_assume!(Packet::from_wire(&wire).is_ok());
+        if Packet::from_wire(&wire).is_err() {
+            return;
+        }
         let byte = bit / 8;
         // Skip flips inside the checksum field itself (bytes 10..12): those
         // are detected too, but produce a different error taxonomy.
-        prop_assume!(!(10..12).contains(&byte));
+        if (10..12).contains(&byte) {
+            return;
+        }
         wire[byte] ^= 1 << (bit % 8);
-        prop_assert!(Packet::from_wire(&wire).is_err());
-    }
+        assert!(Packet::from_wire(&wire).is_err());
+    });
+}
 
-    /// Truncating an emitted packet anywhere never panics and always errors.
-    #[test]
-    fn truncation_is_always_an_error(p in arb_packet(), cut in 0usize..100) {
+/// Truncating an emitted packet anywhere never panics and always errors.
+#[test]
+fn truncation_is_always_an_error() {
+    cases(256, 0xA003, |g| {
+        let p = arb_packet(g);
         let wire = p.to_wire();
-        prop_assume!(cut < wire.len());
-        prop_assert!(Packet::from_wire(&wire[..cut]).is_err());
-    }
+        let cut = g.usize_in(0, 100);
+        if cut >= wire.len() {
+            return;
+        }
+        assert!(Packet::from_wire(&wire[..cut]).is_err());
+    });
+}
 
-    /// Parsing arbitrary bytes never panics.
-    #[test]
-    fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..600)) {
+/// Parsing arbitrary bytes never panics.
+#[test]
+fn arbitrary_bytes_never_panic() {
+    cases(512, 0xA004, |g| {
+        let bytes = g.bytes(0, 600);
         let _ = Packet::from_wire(&bytes);
-    }
+    });
+}
 
-    /// RFC 1071: a buffer with its computed checksum spliced in verifies.
-    #[test]
-    fn checksum_splice_verifies(mut data in proptest::collection::vec(any::<u8>(), 2..512)) {
-        data[0] = 0; data[1] = 0;
+/// RFC 1071: a buffer with its computed checksum spliced in verifies.
+#[test]
+fn checksum_splice_verifies() {
+    cases(256, 0xA005, |g| {
+        let mut data = g.bytes(2, 512);
+        data[0] = 0;
+        data[1] = 0;
         let c = checksum::checksum(&data);
         data[0] = (c >> 8) as u8;
         data[1] = (c & 0xff) as u8;
-        prop_assert!(checksum::verify(&data));
-    }
+        assert!(checksum::verify(&data));
+    });
+}
 
-    /// CIDR: an address is contained in every prefix derived from it.
-    #[test]
-    fn cidr_contains_its_seed(addr in arb_ip(), prefix in 0u8..=32) {
+/// CIDR: an address is contained in every prefix derived from it.
+#[test]
+fn cidr_contains_its_seed() {
+    cases(512, 0xA006, |g| {
+        let addr = arb_ip(g);
+        let prefix = g.u8_in(0, 33);
         let c = Cidr::new(addr, prefix);
-        prop_assert!(c.contains(addr));
-        prop_assert!(c.contains(c.network()));
+        assert!(c.contains(addr));
+        assert!(c.contains(c.network()));
         // nth stays inside the prefix.
-        prop_assert!(c.contains(c.nth(12345)));
-    }
+        assert!(c.contains(c.nth(12345)));
+    });
+}
 
-    /// CIDR: nesting — a /24 is inside its /16.
-    #[test]
-    fn cidr_nesting(addr in arb_ip()) {
+/// CIDR: nesting — a /24 is inside its /16.
+#[test]
+fn cidr_nesting() {
+    cases(512, 0xA007, |g| {
+        let addr = arb_ip(g);
         let c24 = Cidr::slash24(addr);
         let c16 = Cidr::slash16(addr);
         for i in 0..8u64 {
-            prop_assert!(c16.contains(c24.nth(i * 31)));
+            assert!(c16.contains(c24.nth(i * 31)));
         }
-    }
+    });
+}
 
-    /// Event queue: pops are globally ordered by (time, insertion order).
-    #[test]
-    fn event_queue_total_order(times in proptest::collection::vec(0u64..1_000, 1..200)) {
+/// Event queue: pops are globally ordered by (time, insertion order).
+#[test]
+fn event_queue_total_order() {
+    cases(128, 0xA008, |g| {
+        let n = g.usize_in(1, 200);
         let mut q = EventQueue::new();
-        for (i, &t) in times.iter().enumerate() {
+        for i in 0..n {
             q.push(
-                SimTime::from_nanos(t),
-                EventKind::Timer { node: NodeId(0), token: TimerToken(i as u64) },
+                SimTime::from_nanos(g.u64() % 1_000),
+                EventKind::Timer {
+                    node: NodeId(0),
+                    token: TimerToken(i as u64),
+                },
             );
         }
         let mut last: Option<(SimTime, u64)> = None;
         while let Some(e) = q.pop() {
             if let Some((lt, ls)) = last {
-                prop_assert!(e.time > lt || (e.time == lt && e.seq > ls));
+                assert!(e.time > lt || (e.time == lt && e.seq > ls));
             }
             last = Some((e.time, e.seq));
         }
-    }
+    });
+}
 
-    /// TCP: whatever way a byte stream is chopped into sends, the peer
-    /// reassembles exactly that stream, in order.
-    #[test]
-    fn tcp_delivers_stream_in_order(chunks in proptest::collection::vec(
-        proptest::collection::vec(any::<u8>(), 1..300), 1..20)) {
+/// TCP: whatever way a byte stream is chopped into sends, the peer
+/// reassembles exactly that stream, in order.
+#[test]
+fn tcp_delivers_stream_in_order() {
+    cases(64, 0xA009, |g| {
+        let n_chunks = g.usize_in(1, 20);
+        let chunks: Vec<Vec<u8>> = (0..n_chunks).map(|_| g.bytes(1, 300)).collect();
         let c_ip = Ipv4Addr::new(10, 0, 0, 1);
         let s_ip = Ipv4Addr::new(10, 0, 0, 2);
         let (mut client, syn) = TcpConn::connect((c_ip, 4000), (s_ip, 80), 77);
@@ -183,44 +210,46 @@ proptest! {
                 }
             }
         }
-        prop_assert_eq!(sent, received);
-        prop_assert!(!client.has_unacked(), "everything acked");
-    }
+        assert_eq!(sent, received);
+        assert!(!client.has_unacked(), "everything acked");
+    });
+}
 
-    /// TCP: feeding arbitrary segments to a fresh connection never panics.
-    #[test]
-    fn tcp_survives_arbitrary_segments(
-        seqs in proptest::collection::vec((any::<u32>(), any::<u32>(), 0u8..64,
-            proptest::collection::vec(any::<u8>(), 0..64)), 0..30)
-    ) {
+/// TCP: feeding arbitrary segments to a fresh connection never panics.
+#[test]
+fn tcp_survives_arbitrary_segments() {
+    cases(128, 0xA00A, |g| {
         let c_ip = Ipv4Addr::new(10, 0, 0, 1);
         let s_ip = Ipv4Addr::new(10, 0, 0, 2);
         let (mut conn, _syn) = TcpConn::connect((c_ip, 4000), (s_ip, 80), 0);
-        for (seq, ack, flags, payload) in seqs {
+        for _ in 0..g.usize_in(0, 30) {
             let seg = underradar_netsim::packet::TcpSegment {
                 src_port: 80,
                 dst_port: 4000,
-                seq,
-                ack,
-                flags: TcpFlags(flags),
+                seq: g.u32(),
+                ack: g.u32(),
+                flags: TcpFlags(g.u8_in(0, 64)),
                 window: 1000,
-                payload,
+                payload: g.bytes(0, 64),
             };
             let _ = conn.on_segment(&seg);
         }
-    }
+    });
+}
 
-    /// Body protocol classification is stable through the wire.
-    #[test]
-    fn protocol_preserved(p in arb_packet()) {
+/// Body protocol classification is stable through the wire.
+#[test]
+fn protocol_preserved() {
+    cases(256, 0xA00B, |g| {
+        let p = arb_packet(g);
         let proto_before = p.body.protocol();
         let q = Packet::from_wire(&p.to_wire()).expect("parse");
-        prop_assert_eq!(proto_before, q.body.protocol());
+        assert_eq!(proto_before, q.body.protocol());
         match (&p.body, &q.body) {
-            (PacketBody::Tcp(a), PacketBody::Tcp(b)) => prop_assert_eq!(&a.payload, &b.payload),
-            (PacketBody::Udp(a), PacketBody::Udp(b)) => prop_assert_eq!(&a.payload, &b.payload),
-            (PacketBody::Icmp(a), PacketBody::Icmp(b)) => prop_assert_eq!(&a.payload, &b.payload),
+            (PacketBody::Tcp(a), PacketBody::Tcp(b)) => assert_eq!(&a.payload, &b.payload),
+            (PacketBody::Udp(a), PacketBody::Udp(b)) => assert_eq!(&a.payload, &b.payload),
+            (PacketBody::Icmp(a), PacketBody::Icmp(b)) => assert_eq!(&a.payload, &b.payload),
             _ => {}
         }
-    }
+    });
 }

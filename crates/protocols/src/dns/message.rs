@@ -249,7 +249,11 @@ impl DnsMessage {
             recursion_desired: true,
             recursion_available: false,
             rcode: Rcode::NoError,
-            questions: vec![Question { name, qtype, class: DnsClass::In }],
+            questions: vec![Question {
+                name,
+                qtype,
+                class: DnsClass::In,
+            }],
             answers: Vec::new(),
             authorities: Vec::new(),
         }
@@ -293,7 +297,10 @@ impl DnsMessage {
             .answers
             .iter()
             .filter_map(|r| match &r.data {
-                RecordData::Mx { preference, exchange } => Some((*preference, exchange.clone())),
+                RecordData::Mx {
+                    preference,
+                    exchange,
+                } => Some((*preference, exchange.clone())),
                 _ => None,
             })
             .collect();
@@ -348,7 +355,10 @@ impl DnsMessage {
             RecordData::A(a) => buf.extend_from_slice(&a.octets()),
             RecordData::Ns(n) => n.encode(buf, offsets),
             RecordData::Cname(n) => n.encode(buf, offsets),
-            RecordData::Mx { preference, exchange } => {
+            RecordData::Mx {
+                preference,
+                exchange,
+            } => {
                 buf.extend_from_slice(&preference.to_be_bytes());
                 exchange.encode(buf, offsets);
             }
@@ -453,7 +463,10 @@ impl DnsMessage {
                 }
                 let preference = u16::from_be_bytes([rdata[0], rdata[1]]);
                 let (exchange, _) = DnsName::decode(msg, rdata_start + 2)?;
-                RecordData::Mx { preference, exchange }
+                RecordData::Mx {
+                    preference,
+                    exchange,
+                }
             }
             QType::Txt => {
                 let mut text = Vec::new();
@@ -466,7 +479,10 @@ impl DnsMessage {
                 }
                 RecordData::Txt(text)
             }
-            QType::Other(t) => RecordData::Other { rtype: t, data: rdata.to_vec() },
+            QType::Other(t) => RecordData::Other {
+                rtype: t,
+                data: rdata.to_vec(),
+            },
         };
         Ok((Record { name, ttl, data }, rdata_end))
     }
@@ -494,14 +510,29 @@ mod tests {
         let q = DnsMessage::query(7, name("example.com"), QType::A);
         let mut r = DnsMessage::response_to(&q, Rcode::NoError);
         r.answers = vec![
-            Record { name: name("example.com"), ttl: 300, data: RecordData::A("93.184.216.34".parse().expect("ip")) },
-            Record { name: name("example.com"), ttl: 300, data: RecordData::Cname(name("edge.example.com")) },
+            Record {
+                name: name("example.com"),
+                ttl: 300,
+                data: RecordData::A("93.184.216.34".parse().expect("ip")),
+            },
+            Record {
+                name: name("example.com"),
+                ttl: 300,
+                data: RecordData::Cname(name("edge.example.com")),
+            },
             Record {
                 name: name("example.com"),
                 ttl: 3600,
-                data: RecordData::Mx { preference: 10, exchange: name("mail.example.com") },
+                data: RecordData::Mx {
+                    preference: 10,
+                    exchange: name("mail.example.com"),
+                },
             },
-            Record { name: name("example.com"), ttl: 60, data: RecordData::Txt(b"v=spf1 -all".to_vec()) },
+            Record {
+                name: name("example.com"),
+                ttl: 60,
+                data: RecordData::Txt(b"v=spf1 -all".to_vec()),
+            },
         ];
         r.authorities = vec![Record {
             name: name("example.com"),
@@ -535,16 +566,26 @@ mod tests {
         let q = DnsMessage::query(1, name("site.test"), QType::A);
         let mut r = DnsMessage::response_to(&q, Rcode::NoError);
         r.answers = vec![
-            Record { name: name("site.test"), ttl: 1, data: RecordData::A(Ipv4Addr::new(1, 1, 1, 1)) },
             Record {
                 name: name("site.test"),
                 ttl: 1,
-                data: RecordData::Mx { preference: 20, exchange: name("mx2.site.test") },
+                data: RecordData::A(Ipv4Addr::new(1, 1, 1, 1)),
             },
             Record {
                 name: name("site.test"),
                 ttl: 1,
-                data: RecordData::Mx { preference: 10, exchange: name("mx1.site.test") },
+                data: RecordData::Mx {
+                    preference: 20,
+                    exchange: name("mx2.site.test"),
+                },
+            },
+            Record {
+                name: name("site.test"),
+                ttl: 1,
+                data: RecordData::Mx {
+                    preference: 10,
+                    exchange: name("mx1.site.test"),
+                },
             },
         ];
         assert_eq!(r.a_records(), vec![Ipv4Addr::new(1, 1, 1, 1)]);
@@ -579,7 +620,11 @@ mod tests {
     fn empty_txt_roundtrips() {
         let q = DnsMessage::query(2, name("t.test"), QType::Txt);
         let mut r = DnsMessage::response_to(&q, Rcode::NoError);
-        r.answers = vec![Record { name: name("t.test"), ttl: 1, data: RecordData::Txt(Vec::new()) }];
+        r.answers = vec![Record {
+            name: name("t.test"),
+            ttl: 1,
+            data: RecordData::Txt(Vec::new()),
+        }];
         assert_eq!(DnsMessage::decode(&r.encode()).expect("d"), r);
     }
 
@@ -588,7 +633,11 @@ mod tests {
         let big = vec![b'x'; 700];
         let q = DnsMessage::query(2, name("t.test"), QType::Txt);
         let mut r = DnsMessage::response_to(&q, Rcode::NoError);
-        r.answers = vec![Record { name: name("t.test"), ttl: 1, data: RecordData::Txt(big.clone()) }];
+        r.answers = vec![Record {
+            name: name("t.test"),
+            ttl: 1,
+            data: RecordData::Txt(big.clone()),
+        }];
         let decoded = DnsMessage::decode(&r.encode()).expect("d");
         match &decoded.answers[0].data {
             RecordData::Txt(t) => assert_eq!(t, &big),

@@ -76,7 +76,9 @@ impl DnsName {
         if self.labels.is_empty() {
             return DnsName::root();
         }
-        DnsName { labels: self.labels[1..].to_vec() }
+        DnsName {
+            labels: self.labels[1..].to_vec(),
+        }
     }
 
     /// Prepend a label, e.g. `"mail"` + `example.com` = `mail.example.com`.
@@ -102,8 +104,9 @@ impl DnsName {
                 return;
             }
             // A pointer offset must fit in 14 bits.
-            if let Some(&(_, off)) =
-                offsets.iter().find(|(n, off)| *n == remaining && *off < 0x3fff)
+            if let Some(&(_, off)) = offsets
+                .iter()
+                .find(|(n, off)| *n == remaining && *off < 0x3fff)
             {
                 buf.push(0xc0 | ((off >> 8) as u8));
                 buf.push((off & 0xff) as u8);
@@ -200,7 +203,12 @@ mod tests {
         let n = DnsName::parse("WWW.Example.COM").expect("parse");
         assert_eq!(n.to_string(), "www.example.com");
         assert_eq!(n.label_count(), 3);
-        assert_eq!(DnsName::parse("example.com.").expect("trailing dot").to_string(), "example.com");
+        assert_eq!(
+            DnsName::parse("example.com.")
+                .expect("trailing dot")
+                .to_string(),
+            "example.com"
+        );
         assert_eq!(DnsName::root().to_string(), ".");
     }
 
@@ -271,7 +279,11 @@ mod tests {
         a.encode(&mut buf, &mut offsets);
         let first_len = buf.len();
         a.encode(&mut buf, &mut offsets);
-        assert_eq!(buf.len() - first_len, 2, "full name collapses to one pointer");
+        assert_eq!(
+            buf.len() - first_len,
+            2,
+            "full name collapses to one pointer"
+        );
     }
 
     #[test]

@@ -39,7 +39,11 @@ impl ZoneBuilder {
 
     /// Add an A record.
     pub fn a(mut self, name: &DnsName, addr: Ipv4Addr) -> Self {
-        self.records.push(Record { name: name.clone(), ttl: 300, data: RecordData::A(addr) });
+        self.records.push(Record {
+            name: name.clone(),
+            ttl: 300,
+            data: RecordData::A(addr),
+        });
         self
     }
 
@@ -48,7 +52,10 @@ impl ZoneBuilder {
         self.records.push(Record {
             name: name.clone(),
             ttl: 3600,
-            data: RecordData::Mx { preference, exchange: exchange.clone() },
+            data: RecordData::Mx {
+                preference,
+                exchange: exchange.clone(),
+            },
         });
         self
     }
@@ -65,13 +72,21 @@ impl ZoneBuilder {
 
     /// Add a TXT record.
     pub fn txt(mut self, name: &DnsName, text: &[u8]) -> Self {
-        self.records.push(Record { name: name.clone(), ttl: 60, data: RecordData::Txt(text.to_vec()) });
+        self.records.push(Record {
+            name: name.clone(),
+            ttl: 60,
+            data: RecordData::Txt(text.to_vec()),
+        });
         self
     }
 
     /// Add an NS record.
     pub fn ns(mut self, name: &DnsName, target: &DnsName) -> Self {
-        self.records.push(Record { name: name.clone(), ttl: 86400, data: RecordData::Ns(target.clone()) });
+        self.records.push(Record {
+            name: name.clone(),
+            ttl: 86400,
+            data: RecordData::Ns(target.clone()),
+        });
         self
     }
 
@@ -100,7 +115,11 @@ impl DnsServer {
             names_present.insert(r.name.clone(), ());
             zone.entry(r.name.clone()).or_default().push(r);
         }
-        DnsServer { zone, stats: DnsServerStats::default(), names_present }
+        DnsServer {
+            zone,
+            stats: DnsServerStats::default(),
+            names_present,
+        }
     }
 
     /// Server statistics.
@@ -218,7 +237,10 @@ mod tests {
         let (answers, rcode) = srv.resolve(&name("bbc.com"), QType::A);
         assert_eq!(rcode, Rcode::NoError);
         assert_eq!(answers.len(), 1);
-        assert_eq!(answers[0].data, RecordData::A(Ipv4Addr::new(151, 101, 0, 81)));
+        assert_eq!(
+            answers[0].data,
+            RecordData::A(Ipv4Addr::new(151, 101, 0, 81))
+        );
     }
 
     #[test]
@@ -321,12 +343,30 @@ mod tests {
         let mut resolver_host = Host::new("resolver", resolver_ip);
         resolver_host.add_udp_service(53, Box::new(test_server()));
         let resolver = sim.add_node(Box::new(resolver_host));
-        sim.wire(client, HOST_IFACE, resolver, HOST_IFACE, LinkConfig::default()).expect("wire");
-        sim.node_mut::<Host>(client)
-            .expect("client")
-            .spawn_task_at(SimTime::ZERO, Box::new(Lookup { resolver: resolver_ip, result: None }));
+        sim.wire(
+            client,
+            HOST_IFACE,
+            resolver,
+            HOST_IFACE,
+            LinkConfig::default(),
+        )
+        .expect("wire");
+        sim.node_mut::<Host>(client).expect("client").spawn_task_at(
+            SimTime::ZERO,
+            Box::new(Lookup {
+                resolver: resolver_ip,
+                result: None,
+            }),
+        );
         sim.run_for(SimDuration::from_secs(2)).expect("run");
-        let task = sim.node_ref::<Host>(client).expect("c").task_ref::<Lookup>(0).expect("t");
-        assert_eq!(task.result.as_deref(), Some(&[Ipv4Addr::new(151, 101, 0, 81)][..]));
+        let task = sim
+            .node_ref::<Host>(client)
+            .expect("c")
+            .task_ref::<Lookup>(0)
+            .expect("t");
+        assert_eq!(
+            task.result.as_deref(),
+            Some(&[Ipv4Addr::new(151, 101, 0, 81)][..])
+        );
     }
 }

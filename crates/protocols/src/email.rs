@@ -35,7 +35,8 @@ impl EmailMessage {
 
     /// Add a header (builder style).
     pub fn with_header(mut self, name: &str, value: &str) -> EmailMessage {
-        self.extra_headers.push((name.to_string(), value.to_string()));
+        self.extra_headers
+            .push((name.to_string(), value.to_string()));
         self
     }
 
@@ -86,7 +87,9 @@ impl EmailMessage {
                 "from" => msg.from = value.to_string(),
                 "to" => msg.to = value.to_string(),
                 "subject" => msg.subject = value.to_string(),
-                _ => msg.extra_headers.push((name.to_string(), value.to_string())),
+                _ => msg
+                    .extra_headers
+                    .push((name.to_string(), value.to_string())),
             }
         }
         let mut body_out = String::new();
@@ -166,7 +169,10 @@ mod tests {
             "http://x.test https://y.test and http://z.test/page",
         );
         assert_eq!(m.url_count(), 3);
-        assert_eq!(EmailMessage::new("a@b.c", "d@e.f", "s", "no links").url_count(), 0);
+        assert_eq!(
+            EmailMessage::new("a@b.c", "d@e.f", "s", "no links").url_count(),
+            0
+        );
     }
 
     #[test]

@@ -67,7 +67,10 @@ impl HttpRequest {
 
     /// Serialize to wire bytes.
     pub fn to_wire(&self) -> Vec<u8> {
-        let mut out = format!("{} {} HTTP/1.0\r\nHost: {}\r\n", self.method, self.path, self.host);
+        let mut out = format!(
+            "{} {} HTTP/1.0\r\nHost: {}\r\n",
+            self.method, self.path, self.host
+        );
         for (name, value) in &self.headers {
             out.push_str(&format!("{name}: {value}\r\n"));
         }
@@ -106,7 +109,13 @@ impl HttpRequest {
             }
         }
         let body = data[head_end + 4..].to_vec();
-        Ok(HttpRequest { method, path, host, headers, body })
+        Ok(HttpRequest {
+            method,
+            path,
+            host,
+            headers,
+            body,
+        })
     }
 }
 
@@ -190,7 +199,12 @@ impl HttpResponse {
                 headers.push((name.to_string(), value.trim().to_string()));
             }
         }
-        Ok(HttpResponse { status, reason, headers, body: data[head_end + 4..].to_vec() })
+        Ok(HttpResponse {
+            status,
+            reason,
+            headers,
+            body: data[head_end + 4..].to_vec(),
+        })
     }
 }
 
@@ -207,7 +221,12 @@ pub struct HttpServer {
 impl HttpServer {
     /// A server with explicit path → body routes.
     pub fn new(routes: HashMap<String, String>) -> HttpServer {
-        HttpServer { routes, default_body: None, buffer: Vec::new(), served: Vec::new() }
+        HttpServer {
+            routes,
+            default_body: None,
+            buffer: Vec::new(),
+            served: Vec::new(),
+        }
     }
 
     /// A server answering every path with the same body.
@@ -225,7 +244,9 @@ impl Service for HttpServer {
     fn on_data(&mut self, api: &mut ServiceApi<'_, '_>, data: &[u8]) {
         self.buffer.extend_from_slice(data);
         // HTTP/1.0 GETs: complete once the blank line arrives.
-        let Ok(req) = HttpRequest::parse(&self.buffer) else { return };
+        let Ok(req) = HttpRequest::parse(&self.buffer) else {
+            return;
+        };
         self.buffer.clear();
         let response = match self.routes.get(&req.path) {
             Some(body) => HttpResponse::ok(body),
@@ -251,7 +272,10 @@ mod tests {
         assert_eq!(parsed.method, "GET");
         assert_eq!(parsed.path, "/news");
         assert_eq!(parsed.host, "bbc.com");
-        assert_eq!(parsed.headers, vec![("User-Agent".to_string(), "probe/1.0".to_string())]);
+        assert_eq!(
+            parsed.headers,
+            vec![("User-Agent".to_string(), "probe/1.0".to_string())]
+        );
     }
 
     #[test]
@@ -271,21 +295,30 @@ mod tests {
 
     #[test]
     fn incomplete_and_malformed_inputs() {
-        assert_eq!(HttpRequest::parse(b"GET / HTTP/1.0\r\n"), Err(HttpError::Incomplete));
-        assert_eq!(HttpRequest::parse(b"NONSENSE\r\n\r\n"), Err(HttpError::BadStartLine));
+        assert_eq!(
+            HttpRequest::parse(b"GET / HTTP/1.0\r\n"),
+            Err(HttpError::Incomplete)
+        );
+        assert_eq!(
+            HttpRequest::parse(b"NONSENSE\r\n\r\n"),
+            Err(HttpError::BadStartLine)
+        );
         assert_eq!(
             HttpRequest::parse(b"GET / HTTP/1.0\r\nBadHeader\r\n\r\n"),
             Err(HttpError::BadHeader)
         );
-        assert_eq!(HttpResponse::parse(b"HTTP/1.0 abc OK\r\n\r\n"), Err(HttpError::BadStartLine));
+        assert_eq!(
+            HttpResponse::parse(b"HTTP/1.0 abc OK\r\n\r\n"),
+            Err(HttpError::BadStartLine)
+        );
     }
 
     #[test]
     fn server_serves_route_over_sim() {
         use std::net::Ipv4Addr;
         use underradar_netsim::{
-            ConnId, Host, HostApi, HostTask, LinkConfig, SimDuration, SimTime, Simulator,
-            TcpEvent, HOST_IFACE,
+            ConnId, Host, HostApi, HostTask, LinkConfig, SimDuration, SimTime, Simulator, TcpEvent,
+            HOST_IFACE,
         };
 
         struct Fetcher {
@@ -326,7 +359,14 @@ mod tests {
             Box::new(HttpServer::new(routes))
         });
         let server = sim.add_node(Box::new(server));
-        sim.wire(client, HOST_IFACE, server, HOST_IFACE, LinkConfig::default()).expect("wire");
+        sim.wire(
+            client,
+            HOST_IFACE,
+            server,
+            HOST_IFACE,
+            LinkConfig::default(),
+        )
+        .expect("wire");
         sim.node_mut::<Host>(client).expect("c").spawn_task_at(
             SimTime::ZERO,
             Box::new(Fetcher {

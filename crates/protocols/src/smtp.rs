@@ -54,7 +54,9 @@ impl SmtpServerService {
     }
 
     /// New session handler that appends completed messages to `sink`.
-    pub fn with_sink(sink: std::rc::Rc<std::cell::RefCell<Vec<EmailMessage>>>) -> SmtpServerService {
+    pub fn with_sink(
+        sink: std::rc::Rc<std::cell::RefCell<Vec<EmailMessage>>>,
+    ) -> SmtpServerService {
         let mut s = SmtpServerService::new();
         s.sink = Some(sink);
         s
@@ -324,9 +326,18 @@ mod tests {
         let client = sim.add_node(Box::new(Host::new("client", client_ip)));
         let mut server = Host::new("mx", server_ip);
         let sink = inbox.clone();
-        server.add_tcp_listener(25, move || Box::new(SmtpServerService::with_sink(sink.clone())));
+        server.add_tcp_listener(25, move || {
+            Box::new(SmtpServerService::with_sink(sink.clone()))
+        });
         let server = sim.add_node(Box::new(server));
-        sim.wire(client, HOST_IFACE, server, HOST_IFACE, LinkConfig::default()).expect("wire");
+        sim.wire(
+            client,
+            HOST_IFACE,
+            server,
+            HOST_IFACE,
+            LinkConfig::default(),
+        )
+        .expect("wire");
         sim.node_mut::<Host>(client).expect("c").spawn_task_at(
             SimTime::ZERO,
             Box::new(SmtpClientTask {
@@ -422,12 +433,31 @@ mod tests {
         let mut server = Host::new("mx", server_ip);
         server.add_tcp_listener(25, || Box::new(SmtpServerService::new()));
         let server = sim.add_node(Box::new(server));
-        sim.wire(client, HOST_IFACE, server, HOST_IFACE, LinkConfig::default()).expect("wire");
-        sim.node_mut::<Host>(client)
-            .expect("c")
-            .spawn_task_at(SimTime::ZERO, Box::new(BadClient { server: server_ip, responses: vec![] }));
+        sim.wire(
+            client,
+            HOST_IFACE,
+            server,
+            HOST_IFACE,
+            LinkConfig::default(),
+        )
+        .expect("wire");
+        sim.node_mut::<Host>(client).expect("c").spawn_task_at(
+            SimTime::ZERO,
+            Box::new(BadClient {
+                server: server_ip,
+                responses: vec![],
+            }),
+        );
         sim.run_for(SimDuration::from_secs(5)).expect("run");
-        let task = sim.node_ref::<Host>(client).expect("c").task_ref::<BadClient>(0).expect("t");
-        assert!(task.responses.iter().any(|r| r.starts_with("503")), "{:?}", task.responses);
+        let task = sim
+            .node_ref::<Host>(client)
+            .expect("c")
+            .task_ref::<BadClient>(0)
+            .expect("t");
+        assert!(
+            task.responses.iter().any(|r| r.starts_with("503")),
+            "{:?}",
+            task.responses
+        );
     }
 }

@@ -1,141 +1,168 @@
 //! Property tests for the protocol substrates: DNS wire roundtrips with
 //! arbitrary record sets, name encode/decode with compression, email wire
-//! safety, HTTP parser robustness.
+//! safety, HTTP parser robustness. Inputs come from the in-tree seeded
+//! generator ([`underradar_netsim::testprop`]).
 
-use proptest::prelude::*;
 use std::net::Ipv4Addr;
 
+use underradar_netsim::testprop::{cases, Gen};
 use underradar_protocols::dns::{DnsMessage, DnsName, QType, Rcode, Record, RecordData};
 use underradar_protocols::email::EmailMessage;
 use underradar_protocols::http::{HttpRequest, HttpResponse};
 
-fn arb_label() -> impl Strategy<Value = String> {
-    proptest::string::string_regex("[a-z0-9]{1,12}").expect("valid regex")
+const LABEL_ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789";
+
+fn arb_label(g: &mut Gen) -> String {
+    let len = g.usize_in(1, 13);
+    g.string_from(LABEL_ALPHABET, len)
 }
 
-fn arb_name() -> impl Strategy<Value = DnsName> {
-    proptest::collection::vec(arb_label(), 1..5)
-        .prop_map(|labels| DnsName::parse(&labels.join(".")).expect("generated name is valid"))
+fn arb_name(g: &mut Gen) -> DnsName {
+    let n = g.usize_in(1, 5);
+    let labels: Vec<String> = (0..n).map(|_| arb_label(g)).collect();
+    DnsName::parse(&labels.join(".")).expect("generated name is valid")
 }
 
-fn arb_record() -> impl Strategy<Value = Record> {
-    (arb_name(), 0u32..100_000, arb_rdata()).prop_map(|(name, ttl, data)| Record { name, ttl, data })
+fn arb_rdata(g: &mut Gen) -> RecordData {
+    match g.usize_in(0, 5) {
+        0 => RecordData::A(Ipv4Addr::from(g.u32())),
+        1 => RecordData::Ns(arb_name(g)),
+        2 => RecordData::Cname(arb_name(g)),
+        3 => RecordData::Mx {
+            preference: g.u16(),
+            exchange: arb_name(g),
+        },
+        _ => RecordData::Txt(g.bytes(0, 300)),
+    }
 }
 
-fn arb_rdata() -> impl Strategy<Value = RecordData> {
-    prop_oneof![
-        any::<u32>().prop_map(|ip| RecordData::A(Ipv4Addr::from(ip))),
-        arb_name().prop_map(RecordData::Ns),
-        arb_name().prop_map(RecordData::Cname),
-        (any::<u16>(), arb_name())
-            .prop_map(|(preference, exchange)| RecordData::Mx { preference, exchange }),
-        proptest::collection::vec(any::<u8>(), 0..300).prop_map(RecordData::Txt),
-    ]
+fn arb_record(g: &mut Gen) -> Record {
+    Record {
+        name: arb_name(g),
+        ttl: g.u32_in(0, 100_000),
+        data: arb_rdata(g),
+    }
 }
 
-fn arb_message() -> impl Strategy<Value = DnsMessage> {
-    (
-        any::<u16>(),
-        arb_name(),
-        prop_oneof![
-            Just(QType::A),
-            Just(QType::Mx),
-            Just(QType::Ns),
-            Just(QType::Txt),
-            Just(QType::Cname)
-        ],
-        proptest::collection::vec(arb_record(), 0..6),
-        proptest::collection::vec(arb_record(), 0..3),
-        prop_oneof![Just(Rcode::NoError), Just(Rcode::NxDomain), Just(Rcode::ServFail)],
-        any::<bool>(),
-    )
-        .prop_map(|(id, qname, qtype, answers, authorities, rcode, is_response)| {
-            let mut m = DnsMessage::query(id, qname, qtype);
-            if is_response {
-                m = DnsMessage::response_to(&m, rcode);
-                m.answers = answers;
-                m.authorities = authorities;
-            }
-            m
-        })
+fn arb_message(g: &mut Gen) -> DnsMessage {
+    let qtype = *g.choose(&[QType::A, QType::Mx, QType::Ns, QType::Txt, QType::Cname]);
+    let rcode = *g.choose(&[Rcode::NoError, Rcode::NxDomain, Rcode::ServFail]);
+    let mut m = DnsMessage::query(g.u16(), arb_name(g), qtype);
+    if g.bool() {
+        m = DnsMessage::response_to(&m, rcode);
+        m.answers = (0..g.usize_in(0, 6)).map(|_| arb_record(g)).collect();
+        m.authorities = (0..g.usize_in(0, 3)).map(|_| arb_record(g)).collect();
+    }
+    m
 }
 
-proptest! {
-    /// DNS messages roundtrip the wire exactly, whatever the record mix.
-    #[test]
-    fn dns_message_roundtrip(msg in arb_message()) {
+/// DNS messages roundtrip the wire exactly, whatever the record mix.
+#[test]
+fn dns_message_roundtrip() {
+    cases(256, 0xB001, |g| {
+        let msg = arb_message(g);
         let decoded = DnsMessage::decode(&msg.encode()).expect("own encoding parses");
-        prop_assert_eq!(decoded, msg);
-    }
+        assert_eq!(decoded, msg);
+    });
+}
 
-    /// Arbitrary bytes never panic the DNS decoder.
-    #[test]
-    fn dns_decoder_total(bytes in proptest::collection::vec(any::<u8>(), 0..400)) {
+/// Arbitrary bytes never panic the DNS decoder.
+#[test]
+fn dns_decoder_total() {
+    cases(512, 0xB002, |g| {
+        let bytes = g.bytes(0, 400);
         let _ = DnsMessage::decode(&bytes);
-    }
+    });
+}
 
-    /// Name compression never changes the decoded names, in any order.
-    #[test]
-    fn name_compression_transparent(names in proptest::collection::vec(arb_name(), 1..10)) {
+/// Name compression never changes the decoded names, in any order.
+#[test]
+fn name_compression_transparent() {
+    cases(256, 0xB003, |g| {
+        let n = g.usize_in(1, 10);
+        let names: Vec<DnsName> = (0..n).map(|_| arb_name(g)).collect();
         let mut buf = Vec::new();
         let mut offsets = Vec::new();
-        for n in &names {
-            n.encode(&mut buf, &mut offsets);
+        for name in &names {
+            name.encode(&mut buf, &mut offsets);
         }
         let mut pos = 0usize;
-        for n in &names {
+        for name in &names {
             let (decoded, next) = DnsName::decode(&buf, pos).expect("decode");
-            prop_assert_eq!(&decoded, n);
+            assert_eq!(&decoded, name);
             pos = next;
         }
-        prop_assert_eq!(pos, buf.len());
-    }
+        assert_eq!(pos, buf.len());
+    });
+}
 
-    /// Subdomain relation is reflexive and respects label suffixes.
-    #[test]
-    fn subdomain_properties(a in arb_name(), label in arb_label()) {
-        prop_assert!(a.is_subdomain_of(&a));
+/// Subdomain relation is reflexive and respects label suffixes.
+#[test]
+fn subdomain_properties() {
+    cases(256, 0xB004, |g| {
+        let a = arb_name(g);
+        let label = arb_label(g);
+        assert!(a.is_subdomain_of(&a));
         let child = a.prepend(&label).expect("prepend");
-        prop_assert!(child.is_subdomain_of(&a));
-        prop_assert!(!a.is_subdomain_of(&child));
-    }
+        assert!(child.is_subdomain_of(&a));
+        assert!(!a.is_subdomain_of(&child));
+    });
+}
 
-    /// Email messages survive the wire whatever the body shape (including
-    /// dot-stuffing hazards).
-    #[test]
-    fn email_roundtrip(
-        subject in "[ -~]{0,60}",
-        body in proptest::string::string_regex("([ -~]{0,40}\n){0,8}[ -~]{0,40}").expect("regex"),
-    ) {
-        // Header-safe subject (no colon confusion beyond the first).
+/// Email messages survive the wire whatever the body shape (including
+/// dot-stuffing hazards).
+#[test]
+fn email_roundtrip() {
+    cases(256, 0xB005, |g| {
+        let subject = g.printable(0, 60);
+        let n_lines = g.usize_in(0, 9);
+        let mut body_lines: Vec<String> = (0..n_lines).map(|_| g.printable(0, 40)).collect();
+        body_lines.push(g.printable(0, 40));
+        let body = body_lines.join("\n");
         let msg = EmailMessage::new("a@b.example", "c@d.example", &subject, &body);
         let parsed = EmailMessage::from_wire(&msg.to_wire()).expect("parse back");
-        prop_assert_eq!(parsed.subject.trim(), subject.trim());
-        prop_assert_eq!(parsed.body, body.replace('\r', ""));
-    }
+        assert_eq!(parsed.subject.trim(), subject.trim());
+        assert_eq!(parsed.body, body.replace('\r', ""));
+    });
+}
 
-    /// HTTP request roundtrip for safe path/host charsets.
-    #[test]
-    fn http_request_roundtrip(
-        host in proptest::string::string_regex("[a-z0-9.]{1,30}").expect("regex"),
-        path in proptest::string::string_regex("/[a-zA-Z0-9/_-]{0,40}").expect("regex"),
-    ) {
+/// HTTP request roundtrip for safe path/host charsets.
+#[test]
+fn http_request_roundtrip() {
+    cases(256, 0xB006, |g| {
+        let host_len = g.usize_in(1, 31);
+        let host = g.string_from(b"abcdefghijklmnopqrstuvwxyz0123456789.", host_len);
+        let path_len = g.usize_in(0, 41);
+        let path = format!(
+            "/{}",
+            g.string_from(
+                b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789/_-",
+                path_len
+            )
+        );
         let req = HttpRequest::get(&host, &path);
         let parsed = HttpRequest::parse(&req.to_wire()).expect("parse");
-        prop_assert_eq!(parsed.host, host);
-        prop_assert_eq!(parsed.path, path);
-    }
+        assert_eq!(parsed.host, host);
+        assert_eq!(parsed.path, path);
+    });
+}
 
-    /// HTTP parsers are total over arbitrary bytes.
-    #[test]
-    fn http_parsers_total(bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
+/// HTTP parsers are total over arbitrary bytes.
+#[test]
+fn http_parsers_total() {
+    cases(512, 0xB007, |g| {
+        let bytes = g.bytes(0, 300);
         let _ = HttpRequest::parse(&bytes);
         let _ = HttpResponse::parse(&bytes);
-    }
+    });
+}
 
-    /// Response status/body survive the wire.
-    #[test]
-    fn http_response_roundtrip(status in 100u16..600, body in proptest::collection::vec(any::<u8>(), 0..200)) {
+/// Response status/body survive the wire.
+#[test]
+fn http_response_roundtrip() {
+    cases(256, 0xB008, |g| {
+        let status = g.u32_in(100, 600) as u16;
+        let body = g.bytes(0, 200);
         let resp = HttpResponse {
             status,
             reason: "Custom".to_string(),
@@ -143,7 +170,7 @@ proptest! {
             body: body.clone(),
         };
         let parsed = HttpResponse::parse(&resp.to_wire()).expect("parse");
-        prop_assert_eq!(parsed.status, status);
-        prop_assert_eq!(parsed.body, body);
-    }
+        assert_eq!(parsed.status, status);
+        assert_eq!(parsed.body, body);
+    });
 }

@@ -43,7 +43,10 @@ pub fn render_ascii(cdf: &[(f64, f64)], x_label: &str, width: usize, height: usi
     out.push_str("0.0 +");
     out.push_str(&"-".repeat(width));
     out.push('\n');
-    out.push_str(&format!("     {x_min:<10.1}{}{x_max:>10.1}\n", " ".repeat(width.saturating_sub(20))));
+    out.push_str(&format!(
+        "     {x_min:<10.1}{}{x_max:>10.1}\n",
+        " ".repeat(width.saturating_sub(20))
+    ));
     out.push_str(&format!("     {x_label}\n"));
     out
 }

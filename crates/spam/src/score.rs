@@ -87,7 +87,9 @@ fn body_has_raw_ip_url(body: &str) -> bool {
                 .take_while(|c| c.is_ascii_digit() || *c == '.')
                 .collect();
             if host.split('.').count() == 4
-                && host.split('.').all(|o| !o.is_empty() && o.parse::<u8>().is_ok())
+                && host
+                    .split('.')
+                    .all(|o| !o.is_empty() && o.parse::<u8>().is_ok())
             {
                 return true;
             }
@@ -99,7 +101,11 @@ fn body_has_raw_ip_url(body: &str) -> bool {
 
 fn subject_score(msg: &EmailMessage) -> f64 {
     let mut score = 0.0;
-    let letters: Vec<char> = msg.subject.chars().filter(|c| c.is_ascii_alphabetic()).collect();
+    let letters: Vec<char> = msg
+        .subject
+        .chars()
+        .filter(|c| c.is_ascii_alphabetic())
+        .collect();
     if !letters.is_empty() {
         let caps = letters.iter().filter(|c| c.is_ascii_uppercase()).count() as f64;
         let ratio = caps / letters.len() as f64;
@@ -118,7 +124,9 @@ fn subject_score(msg: &EmailMessage) -> f64 {
 fn header_score(msg: &EmailMessage) -> f64 {
     let mut score = 0.0;
     let has = |name: &str| {
-        msg.extra_headers.iter().any(|(n, _)| n.eq_ignore_ascii_case(name))
+        msg.extra_headers
+            .iter()
+            .any(|(n, _)| n.eq_ignore_ascii_case(name))
     };
     if !has("Message-ID") {
         score += 5.0;
@@ -140,7 +148,9 @@ fn header_score(msg: &EmailMessage) -> f64 {
 }
 
 fn mismatch_score(msg: &EmailMessage) -> f64 {
-    let Some(from_domain) = msg.from_domain() else { return 6.0 };
+    let Some(from_domain) = msg.from_domain() else {
+        return 6.0;
+    };
     let from_domain = from_domain.to_ascii_lowercase();
     let body = msg.body.to_ascii_lowercase();
     if msg.url_count() > 0 && !body.contains(&from_domain) {
@@ -232,7 +242,8 @@ mod tests {
     #[test]
     fn score_is_clamped() {
         let mut over = blatant_spam();
-        over.body.push_str(&" viagra pharmacy casino earn money million dollars".repeat(5));
+        over.body
+            .push_str(&" viagra pharmacy casino earn money million dollars".repeat(5));
         assert_eq!(spam_score(&over), 100.0);
     }
 

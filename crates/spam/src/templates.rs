@@ -75,7 +75,9 @@ pub fn measurement_spam(i: u64, recipient_domain: &str) -> EmailMessage {
         body.push_str("Offer expires at midnight — cheap prices! ");
     }
     if h & 0x8000000 != 0 {
-        body.push_str(&format!("Also visit http://deals-{token}.example/win today! "));
+        body.push_str(&format!(
+            "Also visit http://deals-{token}.example/win today! "
+        ));
     }
     body.push_str("\nTo unsubscribe reply STOP.");
     let mut msg = EmailMessage::new(
@@ -86,7 +88,11 @@ pub fn measurement_spam(i: u64, recipient_domain: &str) -> EmailMessage {
     )
     .with_header(
         "X-Mailer",
-        if h & 0x40000000 != 0 { "bulk-sender 2.1" } else { "mailer v1" },
+        if h & 0x40000000 != 0 {
+            "bulk-sender 2.1"
+        } else {
+            "mailer v1"
+        },
     );
     if h & 0x20000000 != 0 {
         msg = msg.with_header("Precedence", "bulk");
@@ -179,7 +185,9 @@ mod tests {
     fn spam_scores_spread_over_a_range() {
         // Figure 2 shows a CDF over 40..100, not a point mass: scores
         // should not all be identical.
-        let scores: Vec<f64> = (0..100).map(|i| spam_score(&measurement_spam(i, "t.com"))).collect();
+        let scores: Vec<f64> = (0..100)
+            .map(|i| spam_score(&measurement_spam(i, "t.com")))
+            .collect();
         let min = scores.iter().cloned().fold(f64::MAX, f64::min);
         let max = scores.iter().cloned().fold(f64::MIN, f64::max);
         assert!(max > min, "scores vary: {min}..{max}");

@@ -62,7 +62,10 @@ mod tests {
     use crate::filter::FilterGranularity;
 
     fn client(cap: FilterGranularity) -> ClientProfile {
-        ClientProfile { ip: Ipv4Addr::new(10, 20, 30, 40), capability: cap }
+        ClientProfile {
+            ip: Ipv4Addr::new(10, 20, 30, 40),
+            capability: cap,
+        }
     }
 
     #[test]
@@ -120,7 +123,11 @@ mod tests {
         ];
         assert_eq!(anonymity_set(&sources, 32), 4, "per-IP: four suspects");
         assert_eq!(anonymity_set(&sources, 24), 2, "per-/24: two neighborhoods");
-        assert_eq!(anonymity_set(&sources, 16), 1, "per-/16: the whole AS is one suspect");
+        assert_eq!(
+            anonymity_set(&sources, 16),
+            1,
+            "per-/16: the whole AS is one suspect"
+        );
         assert_eq!(anonymity_set(&[], 32), 0);
     }
 

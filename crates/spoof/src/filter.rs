@@ -166,8 +166,10 @@ mod tests {
             Cidr::slash24(HOST),
             FilterGranularity::Slash24,
         )));
-        sim.wire(inside, HOST_IFACE, filter, IfaceId(0), LinkConfig::ideal()).expect("w");
-        sim.wire(outside, HOST_IFACE, filter, IfaceId(1), LinkConfig::ideal()).expect("w");
+        sim.wire(inside, HOST_IFACE, filter, IfaceId(0), LinkConfig::ideal())
+            .expect("w");
+        sim.wire(outside, HOST_IFACE, filter, IfaceId(1), LinkConfig::ideal())
+            .expect("w");
         sim.enable_capture();
         // Legit source, in-prefix spoof, out-of-prefix spoof.
         for (src, _expect) in [
@@ -176,10 +178,14 @@ mod tests {
             (Ipv4Addr::new(10, 9, 9, 9), false),
         ] {
             let p = Packet::udp(src, outside_ip, 1000, 53, b"q".to_vec());
-            sim.send_from(inside, HOST_IFACE, p, SimTime::ZERO).expect("send");
+            sim.send_from(inside, HOST_IFACE, p, SimTime::ZERO)
+                .expect("send");
         }
         sim.run_for(SimDuration::from_secs(1)).expect("run");
-        let stats = sim.node_ref::<IngressFilterNode>(filter).expect("f").stats();
+        let stats = sim
+            .node_ref::<IngressFilterNode>(filter)
+            .expect("f")
+            .stats();
         assert_eq!(stats.dropped, 1);
         assert_eq!(stats.passed, 2);
         let cap = sim.capture().expect("cap");
@@ -204,11 +210,20 @@ mod tests {
             Cidr::slash24(HOST),
             FilterGranularity::Exact,
         )));
-        sim.wire(inside, HOST_IFACE, filter, IfaceId(0), LinkConfig::ideal()).expect("w");
-        sim.wire(outside, HOST_IFACE, filter, IfaceId(1), LinkConfig::ideal()).expect("w");
+        sim.wire(inside, HOST_IFACE, filter, IfaceId(0), LinkConfig::ideal())
+            .expect("w");
+        sim.wire(outside, HOST_IFACE, filter, IfaceId(1), LinkConfig::ideal())
+            .expect("w");
         let p = Packet::udp(outside_ip, HOST, 53, 1000, b"resp".to_vec());
-        sim.send_from(outside, HOST_IFACE, p, SimTime::ZERO).expect("send");
+        sim.send_from(outside, HOST_IFACE, p, SimTime::ZERO)
+            .expect("send");
         sim.run_for(SimDuration::from_secs(1)).expect("run");
-        assert_eq!(sim.node_ref::<IngressFilterNode>(filter).expect("f").stats().passed, 1);
+        assert_eq!(
+            sim.node_ref::<IngressFilterNode>(filter)
+                .expect("f")
+                .stats()
+                .passed,
+            1
+        );
     }
 }

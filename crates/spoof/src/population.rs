@@ -26,7 +26,11 @@ impl Default for BeverlyFractions {
         // The paper quotes the /24 and /16 numbers; Beverly also found a
         // small fully-unfiltered tail which we fold into /16 spoofers by
         // default (0 here keeps the headline numbers exact).
-        BeverlyFractions { slash24: 0.77, slash16: 0.11, unfiltered: 0.0 }
+        BeverlyFractions {
+            slash24: 0.77,
+            slash16: 0.11,
+            unfiltered: 0.0,
+        }
     }
 }
 
@@ -92,7 +96,10 @@ impl SpoofPopulation {
     /// Fraction of clients able to spoof within their /16.
     pub fn fraction_spoof_16(&self) -> f64 {
         self.fraction_with(|c| {
-            matches!(c.capability, FilterGranularity::Slash16 | FilterGranularity::None)
+            matches!(
+                c.capability,
+                FilterGranularity::Slash16 | FilterGranularity::None
+            )
         })
     }
 
@@ -156,7 +163,10 @@ mod tests {
             .find(|c| c.capability == FilterGranularity::Exact)
             .expect("some filtered client");
         assert!(c_exact.can_spoof(c_exact.ip));
-        assert!(!c_exact.can_spoof(Cidr::slash24(c_exact.ip).nth(9)) || Cidr::slash24(c_exact.ip).nth(9) == c_exact.ip);
+        assert!(
+            !c_exact.can_spoof(Cidr::slash24(c_exact.ip).nth(9))
+                || Cidr::slash24(c_exact.ip).nth(9) == c_exact.ip
+        );
     }
 
     #[test]

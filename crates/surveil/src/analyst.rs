@@ -28,7 +28,10 @@ pub struct AnalystConfig {
 
 impl Default for AnalystConfig {
     fn default() -> Self {
-        AnalystConfig { pursuit_capacity: 10, min_alerts: 2 }
+        AnalystConfig {
+            pursuit_capacity: 10,
+            min_alerts: 2,
+        }
     }
 }
 
@@ -98,7 +101,9 @@ impl Analyst {
     /// Whether `src` would be pursued given `alerts` — the risk verdict
     /// experiments ask for.
     pub fn is_pursued(&self, alerts: &[Alert], src: Ipv4Addr) -> bool {
-        self.triage(alerts).iter().any(|i| i.src == src && i.pursued)
+        self.triage(alerts)
+            .iter()
+            .any(|i| i.src == src && i.pursued)
     }
 
     /// Whether `src` is attributed at all (queued for possible pursuit).
@@ -129,7 +134,10 @@ mod tests {
 
     #[test]
     fn ranks_by_alert_volume() {
-        let analyst = Analyst::new(AnalystConfig { pursuit_capacity: 1, min_alerts: 1 });
+        let analyst = Analyst::new(AnalystConfig {
+            pursuit_capacity: 1,
+            min_alerts: 1,
+        });
         let mut alerts = Vec::new();
         for _ in 0..5 {
             alerts.push(alert(1, [1, 1, 1, 1]));
@@ -146,8 +154,15 @@ mod tests {
 
     #[test]
     fn min_alerts_filters_noise() {
-        let analyst = Analyst::new(AnalystConfig { pursuit_capacity: 10, min_alerts: 3 });
-        let alerts = vec![alert(1, [1, 1, 1, 1]), alert(1, [1, 1, 1, 1]), alert(2, [2, 2, 2, 2])];
+        let analyst = Analyst::new(AnalystConfig {
+            pursuit_capacity: 10,
+            min_alerts: 3,
+        });
+        let alerts = vec![
+            alert(1, [1, 1, 1, 1]),
+            alert(1, [1, 1, 1, 1]),
+            alert(2, [2, 2, 2, 2]),
+        ];
         let inv = analyst.triage(&alerts);
         assert!(inv.is_empty(), "nobody reached 3 alerts");
         assert!(!analyst.is_attributed(&alerts, [1, 1, 1, 1].into()));
@@ -155,7 +170,10 @@ mod tests {
 
     #[test]
     fn distinct_sids_break_ties() {
-        let analyst = Analyst::new(AnalystConfig { pursuit_capacity: 1, min_alerts: 1 });
+        let analyst = Analyst::new(AnalystConfig {
+            pursuit_capacity: 1,
+            min_alerts: 1,
+        });
         let alerts = vec![
             alert(1, [1, 1, 1, 1]),
             alert(1, [1, 1, 1, 1]),
@@ -163,14 +181,21 @@ mod tests {
             alert(7, [2, 2, 2, 2]),
         ];
         let inv = analyst.triage(&alerts);
-        assert_eq!(inv[0].src, Ipv4Addr::new(2, 2, 2, 2), "2 sids beats 1 sid at equal count");
+        assert_eq!(
+            inv[0].src,
+            Ipv4Addr::new(2, 2, 2, 2),
+            "2 sids beats 1 sid at equal count"
+        );
     }
 
     #[test]
     fn capacity_overflow_spares_the_tail() {
         // The Syria argument: when too many users trip alerts, most cannot
         // be pursued.
-        let analyst = Analyst::new(AnalystConfig { pursuit_capacity: 5, min_alerts: 1 });
+        let analyst = Analyst::new(AnalystConfig {
+            pursuit_capacity: 5,
+            min_alerts: 1,
+        });
         let mut alerts = Vec::new();
         for i in 0..100u8 {
             alerts.push(alert(1, [10, 0, 0, i]));
@@ -185,7 +210,10 @@ mod tests {
 
     #[test]
     fn pursuit_and_attribution_queries() {
-        let analyst = Analyst::new(AnalystConfig { pursuit_capacity: 1, min_alerts: 2 });
+        let analyst = Analyst::new(AnalystConfig {
+            pursuit_capacity: 1,
+            min_alerts: 2,
+        });
         let alerts = vec![
             alert(1, [1, 1, 1, 1]),
             alert(2, [1, 1, 1, 1]),

@@ -6,9 +6,9 @@
 //! not a ground-truth oracle — the interesting cases are the measurements
 //! that get classified as malware traffic *on purpose*.
 
-use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::net::Ipv4Addr;
+use underradar_netsim::hash::{FxHashMap, FxHashSet};
 
 use underradar_netsim::packet::{Packet, PacketBody};
 use underradar_netsim::time::{SimDuration, SimTime};
@@ -34,6 +34,30 @@ pub enum TrafficClass {
     Icmp,
     /// Anything else.
     Other,
+}
+
+impl TrafficClass {
+    /// Number of classes (array-accounting dimension).
+    pub const COUNT: usize = 9;
+
+    /// Every class, in discriminant order ([`TrafficClass::index`] order).
+    pub const ALL: [TrafficClass; TrafficClass::COUNT] = [
+        TrafficClass::Scan,
+        TrafficClass::Spam,
+        TrafficClass::DdosSource,
+        TrafficClass::P2p,
+        TrafficClass::Dns,
+        TrafficClass::Web,
+        TrafficClass::Email,
+        TrafficClass::Icmp,
+        TrafficClass::Other,
+    ];
+
+    /// Dense discriminant index in `0..COUNT`, for direct array accounting
+    /// instead of linear scans over a class list.
+    pub const fn index(self) -> usize {
+        self as usize
+    }
 }
 
 impl fmt::Display for TrafficClass {
@@ -83,9 +107,9 @@ impl Default for ClassifierConfig {
 #[derive(Debug, Default)]
 struct SourceState {
     window_start: SimTime,
-    syn_targets: HashSet<(Ipv4Addr, u16)>,
-    smtp_dsts: HashSet<Ipv4Addr>,
-    per_target_hits: HashMap<(Ipv4Addr, u16), usize>,
+    syn_targets: FxHashSet<(Ipv4Addr, u16)>,
+    smtp_dsts: FxHashSet<Ipv4Addr>,
+    per_target_hits: FxHashMap<(Ipv4Addr, u16), usize>,
     /// Sticky labels: once a sender crosses a behavioural threshold it
     /// stays in that class for the rest of the window.
     is_scanner: bool,
@@ -97,20 +121,26 @@ struct SourceState {
 #[derive(Debug)]
 pub struct Classifier {
     config: ClassifierConfig,
-    sources: HashMap<Ipv4Addr, SourceState>,
+    sources: FxHashMap<Ipv4Addr, SourceState>,
 }
 
 impl Classifier {
     /// Build with the given thresholds.
     pub fn new(config: ClassifierConfig) -> Classifier {
-        Classifier { config, sources: HashMap::new() }
+        Classifier {
+            config,
+            sources: FxHashMap::default(),
+        }
     }
 
     /// Classify one packet (updates per-source behavioural state).
     pub fn classify(&mut self, now: SimTime, pkt: &Packet) -> TrafficClass {
         let state = self.sources.entry(pkt.src).or_default();
         if now.saturating_since(state.window_start) > self.config.window {
-            *state = SourceState { window_start: now, ..SourceState::default() };
+            *state = SourceState {
+                window_start: now,
+                ..SourceState::default()
+            };
         }
 
         match &pkt.body {
@@ -145,7 +175,10 @@ impl Classifier {
                     }
                 }
                 if !t.payload.is_empty() {
-                    let hits = state.per_target_hits.entry((pkt.dst, t.dst_port)).or_insert(0);
+                    let hits = state
+                        .per_target_hits
+                        .entry((pkt.dst, t.dst_port))
+                        .or_insert(0);
                     *hits += 1;
                     if *hits >= self.config.ddos_rate {
                         state.is_ddos = true;
@@ -166,7 +199,11 @@ impl Classifier {
                     return TrafficClass::DdosSource;
                 }
                 if t.dst_port == 25 || t.src_port == 25 {
-                    return if state.is_spammer { TrafficClass::Spam } else { TrafficClass::Email };
+                    return if state.is_spammer {
+                        TrafficClass::Spam
+                    } else {
+                        TrafficClass::Email
+                    };
                 }
                 if t.dst_port == 80 || t.dst_port == 443 || t.src_port == 80 || t.src_port == 443 {
                     return TrafficClass::Web;
@@ -209,9 +246,27 @@ mod tests {
     #[test]
     fn web_email_dns_icmp_basics() {
         let mut c = classifier();
-        let web = Packet::tcp(SRC, DST, 40000, 80, 0, 0, TcpFlags::psh_ack(), b"GET /".to_vec());
+        let web = Packet::tcp(
+            SRC,
+            DST,
+            40000,
+            80,
+            0,
+            0,
+            TcpFlags::psh_ack(),
+            b"GET /".to_vec(),
+        );
         assert_eq!(c.classify(t(0), &web), TrafficClass::Web);
-        let mail = Packet::tcp(SRC, DST, 40000, 25, 0, 0, TcpFlags::psh_ack(), b"HELO".to_vec());
+        let mail = Packet::tcp(
+            SRC,
+            DST,
+            40000,
+            25,
+            0,
+            0,
+            TcpFlags::psh_ack(),
+            b"HELO".to_vec(),
+        );
         assert_eq!(c.classify(t(0), &mail), TrafficClass::Email);
         let dns = Packet::udp(SRC, DST, 5353, 53, b"q".to_vec());
         assert_eq!(c.classify(t(0), &dns), TrafficClass::Dns);
@@ -232,8 +287,14 @@ mod tests {
             let syn = Packet::tcp(SRC, DST, 44000, 1000 + port, 0, 0, TcpFlags::syn(), vec![]);
             classes.push(c.classify(t(0), &syn));
         }
-        assert!(classes[..10].iter().all(|&cl| cl != TrafficClass::Scan), "warm-up not scan yet");
-        assert!(classes[20..].iter().all(|&cl| cl == TrafficClass::Scan), "sticky scan label");
+        assert!(
+            classes[..10].iter().all(|&cl| cl != TrafficClass::Scan),
+            "warm-up not scan yet"
+        );
+        assert!(
+            classes[20..].iter().all(|&cl| cl == TrafficClass::Scan),
+            "sticky scan label"
+        );
         assert!(c.source_labels(SRC).0);
     }
 
@@ -242,10 +303,28 @@ mod tests {
         let mut c = classifier();
         for i in 0..3u8 {
             let mx = Ipv4Addr::new(198, 51, 100, i);
-            let pkt = Packet::tcp(SRC, mx, 44000, 25, 0, 0, TcpFlags::psh_ack(), b"MAIL".to_vec());
+            let pkt = Packet::tcp(
+                SRC,
+                mx,
+                44000,
+                25,
+                0,
+                0,
+                TcpFlags::psh_ack(),
+                b"MAIL".to_vec(),
+            );
             c.classify(t(0), &pkt);
         }
-        let pkt = Packet::tcp(SRC, Ipv4Addr::new(198, 51, 100, 9), 44000, 25, 0, 0, TcpFlags::psh_ack(), b"MAIL".to_vec());
+        let pkt = Packet::tcp(
+            SRC,
+            Ipv4Addr::new(198, 51, 100, 9),
+            44000,
+            25,
+            0,
+            0,
+            TcpFlags::psh_ack(),
+            b"MAIL".to_vec(),
+        );
         assert_eq!(c.classify(t(0), &pkt), TrafficClass::Spam);
         assert!(c.source_labels(SRC).1);
     }
@@ -255,7 +334,16 @@ mod tests {
         let mut c = classifier();
         let mut last = TrafficClass::Other;
         for _ in 0..60 {
-            let pkt = Packet::tcp(SRC, DST, 44000, 80, 0, 0, TcpFlags::psh_ack(), b"GET /victim".to_vec());
+            let pkt = Packet::tcp(
+                SRC,
+                DST,
+                44000,
+                80,
+                0,
+                0,
+                TcpFlags::psh_ack(),
+                b"GET /victim".to_vec(),
+            );
             last = c.classify(t(1), &pkt);
         }
         assert_eq!(last, TrafficClass::DdosSource);
@@ -284,12 +372,33 @@ mod tests {
             dst: DST,
             ttl: 64,
             ident: 0,
-            body: underradar_netsim::packet::PacketBody::Raw { protocol: 99, payload: vec![0; 900] },
+            body: underradar_netsim::packet::PacketBody::Raw {
+                protocol: 99,
+                payload: vec![0; 900],
+            },
         };
         assert_eq!(c.classify(t(0), &raw), TrafficClass::P2p);
-        let bulk = Packet::tcp(SRC, DST, 51413, 51413, 0, 0, TcpFlags::psh_ack(), vec![0; 1200]);
+        let bulk = Packet::tcp(
+            SRC,
+            DST,
+            51413,
+            51413,
+            0,
+            0,
+            TcpFlags::psh_ack(),
+            vec![0; 1200],
+        );
         assert_eq!(c.classify(t(0), &bulk), TrafficClass::P2p);
-        let small = Packet::tcp(SRC, DST, 51413, 51413, 0, 0, TcpFlags::psh_ack(), vec![0; 10]);
+        let small = Packet::tcp(
+            SRC,
+            DST,
+            51413,
+            51413,
+            0,
+            0,
+            TcpFlags::psh_ack(),
+            vec![0; 10],
+        );
         assert_eq!(c.classify(t(0), &small), TrafficClass::Other);
     }
 

@@ -81,33 +81,31 @@ pub struct ClassVolume {
 }
 
 /// The MVR stage.
+///
+/// Per-class accounting is indexed by [`TrafficClass::index`] — the
+/// per-packet hot path is two array accesses, not a scan over the class
+/// list and a `contains` over the discard list.
 #[derive(Debug)]
 pub struct Mvr {
     config: MvrConfig,
     classifier: Classifier,
-    volumes: Vec<(TrafficClass, ClassVolume)>,
+    volumes: [ClassVolume; TrafficClass::COUNT],
+    discard_mask: [bool; TrafficClass::COUNT],
 }
-
-const ALL_CLASSES: [TrafficClass; 9] = [
-    TrafficClass::Scan,
-    TrafficClass::Spam,
-    TrafficClass::DdosSource,
-    TrafficClass::P2p,
-    TrafficClass::Dns,
-    TrafficClass::Web,
-    TrafficClass::Email,
-    TrafficClass::Icmp,
-    TrafficClass::Other,
-];
 
 impl Mvr {
     /// Build an MVR stage.
     pub fn new(config: MvrConfig) -> Mvr {
         let classifier = Classifier::new(config.classifier);
+        let mut discard_mask = [false; TrafficClass::COUNT];
+        for class in &config.discard_classes {
+            discard_mask[class.index()] = true;
+        }
         Mvr {
             config,
             classifier,
-            volumes: ALL_CLASSES.iter().map(|&c| (c, ClassVolume::default())).collect(),
+            volumes: [ClassVolume::default(); TrafficClass::COUNT],
+            discard_mask,
         }
     }
 
@@ -115,15 +113,10 @@ impl Mvr {
     pub fn process(&mut self, now: SimTime, pkt: &Packet) -> MvrDecision {
         let class = self.classifier.classify(now, pkt);
         let bytes = pkt.wire_len() as u64;
-        let vol = self
-            .volumes
-            .iter_mut()
-            .find(|(c, _)| *c == class)
-            .map(|(_, v)| v)
-            .expect("all classes present");
+        let vol = &mut self.volumes[class.index()];
         vol.packets += 1;
         vol.bytes += bytes;
-        if self.config.discard_classes.contains(&class) {
+        if self.discard_mask[class.index()] {
             MvrDecision::Discard(class)
         } else {
             vol.retained_packets += 1;
@@ -132,19 +125,27 @@ impl Mvr {
         }
     }
 
-    /// Per-class accounting.
-    pub fn volumes(&self) -> &[(TrafficClass, ClassVolume)] {
-        &self.volumes
+    /// Per-class accounting, in [`TrafficClass::ALL`] order.
+    pub fn volumes(&self) -> Vec<(TrafficClass, ClassVolume)> {
+        TrafficClass::ALL
+            .iter()
+            .map(|&c| (c, self.volumes[c.index()]))
+            .collect()
+    }
+
+    /// Accounting for one class (O(1)).
+    pub fn volume_of(&self, class: TrafficClass) -> ClassVolume {
+        self.volumes[class.index()]
     }
 
     /// Total bytes observed.
     pub fn total_bytes(&self) -> u64 {
-        self.volumes.iter().map(|(_, v)| v.bytes).sum()
+        self.volumes.iter().map(|v| v.bytes).sum()
     }
 
     /// Total bytes retained.
     pub fn retained_bytes(&self) -> u64 {
-        self.volumes.iter().map(|(_, v)| v.retained_bytes).sum()
+        self.volumes.iter().map(|v| v.retained_bytes).sum()
     }
 
     /// The achieved retention fraction (retained / observed).
@@ -188,7 +189,10 @@ mod tests {
             scan_decisions.push(mvr.process(SimTime::ZERO, &syn));
         }
         assert!(
-            scan_decisions.iter().skip(20).all(|d| matches!(d, MvrDecision::Discard(TrafficClass::Scan))),
+            scan_decisions
+                .iter()
+                .skip(20)
+                .all(|d| matches!(d, MvrDecision::Discard(TrafficClass::Scan))),
             "sticky scanners discarded"
         );
         let web = Packet::tcp(
@@ -212,7 +216,10 @@ mod tests {
             dst: DST,
             ttl: 64,
             ident: 0,
-            body: underradar_netsim::packet::PacketBody::Raw { protocol: 99, payload: vec![0; 1400] },
+            body: underradar_netsim::packet::PacketBody::Raw {
+                protocol: 99,
+                payload: vec![0; 1400],
+            },
         };
         let d = mvr.process(SimTime::ZERO, &raw);
         assert_eq!(d, MvrDecision::Discard(TrafficClass::P2p));
@@ -229,11 +236,17 @@ mod tests {
             dst: DST,
             ttl: 64,
             ident: 0,
-            body: underradar_netsim::packet::PacketBody::Raw { protocol: 99, payload: vec![0; 300] },
+            body: underradar_netsim::packet::PacketBody::Raw {
+                protocol: 99,
+                payload: vec![0; 300],
+            },
         };
         mvr.process(SimTime::ZERO, &web);
         mvr.process(SimTime::ZERO, &raw);
-        assert_eq!(mvr.total_bytes(), web.wire_len() as u64 + raw.wire_len() as u64);
+        assert_eq!(
+            mvr.total_bytes(),
+            web.wire_len() as u64 + raw.wire_len() as u64
+        );
         assert_eq!(mvr.retained_bytes(), web.wire_len() as u64);
         let rate = mvr.retention_rate();
         assert!(rate > 0.0 && rate < 1.0);
@@ -246,7 +259,16 @@ mod tests {
             ..MvrConfig::default()
         };
         let mut mvr = Mvr::new(config);
-        let web = Packet::tcp(SRC, DST, 40000, 80, 0, 0, TcpFlags::psh_ack(), b"GET".to_vec());
+        let web = Packet::tcp(
+            SRC,
+            DST,
+            40000,
+            80,
+            0,
+            0,
+            TcpFlags::psh_ack(),
+            b"GET".to_vec(),
+        );
         assert!(!mvr.process(SimTime::ZERO, &web).retained());
         let dns = Packet::udp(SRC, DST, 5000, 53, b"q".to_vec());
         assert!(mvr.process(SimTime::ZERO, &dns).retained());

@@ -57,7 +57,12 @@ pub struct RetentionStore<T> {
 impl<T> RetentionStore<T> {
     /// A store keeping records for `window`.
     pub fn new(window: SimDuration) -> RetentionStore<T> {
-        RetentionStore { window, records: VecDeque::new(), inserted: 0, inserted_bytes: 0 }
+        RetentionStore {
+            window,
+            records: VecDeque::new(),
+            inserted: 0,
+            inserted_bytes: 0,
+        }
     }
 
     /// The retention window.
@@ -163,7 +168,10 @@ mod tests {
         store.insert(t(140), 4, 10);
         // Record from t=0 has aged out (140 > 100), t=50 still inside.
         assert_eq!(store.len(), 3);
-        assert_eq!(store.iter().map(|(_, v)| *v).collect::<Vec<_>>(), vec![2, 3, 4]);
+        assert_eq!(
+            store.iter().map(|(_, v)| *v).collect::<Vec<_>>(),
+            vec![2, 3, 4]
+        );
         store.evict(t(1000));
         assert!(store.is_empty());
         assert_eq!(store.total_inserted(), 4, "history preserved");

@@ -103,7 +103,10 @@ pub fn default_surveillance_rules(
         "alert tcp $HOME any -> any any (msg:\"rapid SYN fanout\"; flags:S; threshold: type both, track by_src, count 100, seconds 60; sid:{sid}; classtype:recon;)\n"
     ));
     let mut vars = VarTable::new();
-    vars.insert("HOME".to_string(), underradar_ids::rule::AddrSpec::Net(home_net));
+    vars.insert(
+        "HOME".to_string(),
+        underradar_ids::rule::AddrSpec::Net(home_net),
+    );
     parse_ruleset(&text, &vars).expect("generated surveillance ruleset parses")
 }
 
@@ -259,7 +262,10 @@ pub struct SurveillanceNode {
 impl SurveillanceNode {
     /// Build from a config.
     pub fn new(name: &str, config: SurveillanceConfig) -> SurveillanceNode {
-        SurveillanceNode { name: name.to_string(), system: SurveillanceSystem::new(config) }
+        SurveillanceNode {
+            name: name.to_string(),
+            system: SurveillanceSystem::new(config),
+        }
     }
 
     /// The inner system.
@@ -325,7 +331,10 @@ mod tests {
         let q = DnsMessage::query(1, name("twitter.com"), QType::A);
         let pkt = Packet::udp(HOME, OUT, 5555, 53, q.encode());
         let (decision, alerts) = s.process(t(0), &pkt);
-        assert!(decision.retained(), "a lone DNS query is ordinary traffic — retained");
+        assert!(
+            decision.retained(),
+            "a lone DNS query is ordinary traffic — retained"
+        );
         assert_eq!(alerts.len(), 1, "and it trips the censored-lookup rule");
         assert_eq!(s.alerts_for(HOME), 1);
         // Second offense makes the user attributable (min_alerts = 2).
@@ -339,7 +348,16 @@ mod tests {
     #[test]
     fn overt_keyword_request_is_caught() {
         let mut s = system(false);
-        let pkt = Packet::tcp(HOME, OUT, 40000, 80, 0, 0, TcpFlags::psh_ack(), b"GET /falun".to_vec());
+        let pkt = Packet::tcp(
+            HOME,
+            OUT,
+            40000,
+            80,
+            0,
+            0,
+            TcpFlags::psh_ack(),
+            b"GET /falun".to_vec(),
+        );
         let (_, alerts) = s.process(t(0), &pkt);
         assert_eq!(alerts.len(), 1);
         assert_eq!(alerts[0].classtype.as_deref(), Some("censored-keyword"));
@@ -371,13 +389,25 @@ mod tests {
             let (_, alerts) = s.process(t(0), &syn);
             alert_count += alerts.len();
         }
-        assert_eq!(alert_count, 1, "recon threshold fires when rules run before MVR");
+        assert_eq!(
+            alert_count, 1,
+            "recon threshold fires when rules run before MVR"
+        );
     }
 
     #[test]
     fn collector_contact_is_flagged() {
         let mut s = system(false);
-        let syn = Packet::tcp(HOME, Ipv4Addr::new(198, 51, 100, 99), 40000, 443, 0, 0, TcpFlags::syn(), vec![]);
+        let syn = Packet::tcp(
+            HOME,
+            Ipv4Addr::new(198, 51, 100, 99),
+            40000,
+            443,
+            0,
+            0,
+            TcpFlags::syn(),
+            vec![],
+        );
         let (_, alerts) = s.process(t(0), &syn);
         assert_eq!(alerts.len(), 1);
         assert_eq!(alerts[0].classtype.as_deref(), Some("measurement-platform"));
@@ -409,9 +439,21 @@ mod tests {
     #[test]
     fn campus_profile_keeps_no_content() {
         let mut s = SurveillanceSystem::campus(SurveillanceConfig::with_rules(vec![]));
-        let pkt = Packet::tcp(HOME, OUT, 40000, 80, 0, 0, TcpFlags::psh_ack(), b"GET /".to_vec());
+        let pkt = Packet::tcp(
+            HOME,
+            OUT,
+            40000,
+            80,
+            0,
+            0,
+            TcpFlags::psh_ack(),
+            b"GET /".to_vec(),
+        );
         s.process(t(0), &pkt);
-        assert_eq!(s.stores().content.window(), underradar_netsim::time::SimDuration::ZERO);
+        assert_eq!(
+            s.stores().content.window(),
+            underradar_netsim::time::SimDuration::ZERO
+        );
         assert_eq!(
             s.stores().metadata.window(),
             underradar_netsim::time::SimDuration::from_hours(36)
@@ -419,21 +461,53 @@ mod tests {
         // Content inserted at t still lives at the same instant...
         assert_eq!(s.stores().content.len(), 1);
         // ...but any later packet evicts it (zero retention window).
-        let pkt2 = Packet::tcp(HOME, OUT, 40001, 80, 0, 0, TcpFlags::psh_ack(), b"GET /2".to_vec());
+        let pkt2 = Packet::tcp(
+            HOME,
+            OUT,
+            40001,
+            80,
+            0,
+            0,
+            TcpFlags::psh_ack(),
+            b"GET /2".to_vec(),
+        );
         s.process(t(1), &pkt2);
-        assert_eq!(s.stores().content.len(), 1, "only the newest instant survives");
+        assert_eq!(
+            s.stores().content.len(),
+            1,
+            "only the newest instant survives"
+        );
     }
 
     #[test]
     fn node_wrapper_feeds_system() {
         use underradar_netsim::{LinkConfig, Simulator, HOST_IFACE};
         let mut sim = Simulator::new(77);
-        let node = sim.add_node(Box::new(SurveillanceNode::new("mvr", SurveillanceConfig::with_rules(vec![]))));
+        let node = sim.add_node(Box::new(SurveillanceNode::new(
+            "mvr",
+            SurveillanceConfig::with_rules(vec![]),
+        )));
         let src_node = sim.add_node(Box::new(underradar_netsim::Host::new("h", HOME)));
-        sim.wire(src_node, HOST_IFACE, node, IfaceId(0), LinkConfig::default()).expect("wire");
+        sim.wire(
+            src_node,
+            HOST_IFACE,
+            node,
+            IfaceId(0),
+            LinkConfig::default(),
+        )
+        .expect("wire");
         let pkt = Packet::tcp(HOME, OUT, 1, 80, 0, 0, TcpFlags::syn(), vec![]);
-        sim.send_from(src_node, HOST_IFACE, pkt, SimTime::ZERO).expect("send");
-        sim.run_for(underradar_netsim::SimDuration::from_secs(1)).expect("run");
-        assert_eq!(sim.node_ref::<SurveillanceNode>(node).expect("n").system().stats().observed, 1);
+        sim.send_from(src_node, HOST_IFACE, pkt, SimTime::ZERO)
+            .expect("send");
+        sim.run_for(underradar_netsim::SimDuration::from_secs(1))
+            .expect("run");
+        assert_eq!(
+            sim.node_ref::<SurveillanceNode>(node)
+                .expect("n")
+                .system()
+                .stats()
+                .observed,
+            1
+        );
     }
 }

@@ -85,136 +85,179 @@ impl PopulationTraffic {
         let mut out = Vec::new();
         let zipf = Zipf::new(config.domains.max(1), 1.0);
         let horizon = config.duration.as_secs_f64();
-        let client_at =
-            |i: u64, cfg: &PopulationConfig| cfg.client_prefix.nth(1 + i % cfg.clients.max(1) as u64);
+        let client_at = |i: u64, cfg: &PopulationConfig| {
+            cfg.client_prefix.nth(1 + i % cfg.clients.max(1) as u64)
+        };
 
         // Web: request + response pair per event.
-        Self::poisson_events(config.web_rps, horizon, rng, |t, rng| {
-            let client = client_at(rng.next_u64(), config);
-            let rank = zipf.sample(rng);
-            let server = Self::domain_ip(rank);
-            let sport = 32768 + (rng.next_u32() % 28000) as u16;
-            let req = format!(
-                "GET /page{} HTTP/1.0\r\nHost: {}\r\n\r\n",
-                rng.next_u32() % 50,
-                Self::domain_name(rank)
-            );
-            vec![
-                TimedPacket {
+        Self::poisson_events(
+            config.web_rps,
+            horizon,
+            rng,
+            |t, rng| {
+                let client = client_at(rng.next_u64(), config);
+                let rank = zipf.sample(rng);
+                let server = Self::domain_ip(rank);
+                let sport = 32768 + (rng.next_u32() % 28000) as u16;
+                let req = format!(
+                    "GET /page{} HTTP/1.0\r\nHost: {}\r\n\r\n",
+                    rng.next_u32() % 50,
+                    Self::domain_name(rank)
+                );
+                vec![
+                    TimedPacket {
+                        time: t,
+                        packet: Packet::tcp(
+                            client,
+                            server,
+                            sport,
+                            80,
+                            1,
+                            1,
+                            TcpFlags::psh_ack(),
+                            req.into_bytes(),
+                        ),
+                    },
+                    TimedPacket {
+                        time: t + SimDuration::from_millis(30),
+                        packet: Packet::tcp(
+                            server,
+                            client,
+                            80,
+                            sport,
+                            1,
+                            1,
+                            TcpFlags::psh_ack(),
+                            vec![b'x'; 400 + (rng.next_u32() % 1000) as usize],
+                        ),
+                    },
+                ]
+            },
+            &mut out,
+        );
+
+        // DNS: query + response.
+        Self::poisson_events(
+            config.dns_rps,
+            horizon,
+            rng,
+            |t, rng| {
+                let client = client_at(rng.next_u64(), config);
+                let rank = zipf.sample(rng);
+                let resolver = Ipv4Addr::new(10, 20, 0, 53);
+                let sport = 32768 + (rng.next_u32() % 28000) as u16;
+                // A compact fake DNS payload (name in wire form) is enough for
+                // classification and rule matching.
+                let name = Self::domain_name(rank);
+                let mut payload = vec![0x12, 0x34, 0x01, 0x00, 0x00, 0x01, 0, 0, 0, 0, 0, 0];
+                for label in name.split('.') {
+                    payload.push(label.len() as u8);
+                    payload.extend_from_slice(label.as_bytes());
+                }
+                payload.extend_from_slice(&[0, 0, 1, 0, 1]);
+                vec![
+                    TimedPacket {
+                        time: t,
+                        packet: Packet::udp(client, resolver, sport, 53, payload.clone()),
+                    },
+                    TimedPacket {
+                        time: t + SimDuration::from_millis(10),
+                        packet: Packet::udp(resolver, client, 53, sport, payload),
+                    },
+                ]
+            },
+            &mut out,
+        );
+
+        // Email: a couple of SMTP data packets to the local MX.
+        Self::poisson_events(
+            config.email_rps,
+            horizon,
+            rng,
+            |t, rng| {
+                let client = client_at(rng.next_u64(), config);
+                let mx = Ipv4Addr::new(10, 20, 0, 25);
+                let sport = 32768 + (rng.next_u32() % 28000) as u16;
+                vec![TimedPacket {
                     time: t,
                     packet: Packet::tcp(
                         client,
-                        server,
+                        mx,
                         sport,
-                        80,
+                        25,
                         1,
                         1,
                         TcpFlags::psh_ack(),
-                        req.into_bytes(),
+                        b"MAIL FROM:<user@campus.example>\r\n".to_vec(),
                     ),
-                },
-                TimedPacket {
-                    time: t + SimDuration::from_millis(30),
-                    packet: Packet::tcp(
-                        server,
-                        client,
-                        80,
-                        sport,
-                        1,
-                        1,
-                        TcpFlags::psh_ack(),
-                        vec![b'x'; 400 + (rng.next_u32() % 1000) as usize],
-                    ),
-                },
-            ]
-        }, &mut out);
-
-        // DNS: query + response.
-        Self::poisson_events(config.dns_rps, horizon, rng, |t, rng| {
-            let client = client_at(rng.next_u64(), config);
-            let rank = zipf.sample(rng);
-            let resolver = Ipv4Addr::new(10, 20, 0, 53);
-            let sport = 32768 + (rng.next_u32() % 28000) as u16;
-            // A compact fake DNS payload (name in wire form) is enough for
-            // classification and rule matching.
-            let name = Self::domain_name(rank);
-            let mut payload = vec![0x12, 0x34, 0x01, 0x00, 0x00, 0x01, 0, 0, 0, 0, 0, 0];
-            for label in name.split('.') {
-                payload.push(label.len() as u8);
-                payload.extend_from_slice(label.as_bytes());
-            }
-            payload.extend_from_slice(&[0, 0, 1, 0, 1]);
-            vec![
-                TimedPacket { time: t, packet: Packet::udp(client, resolver, sport, 53, payload.clone()) },
-                TimedPacket {
-                    time: t + SimDuration::from_millis(10),
-                    packet: Packet::udp(resolver, client, 53, sport, payload),
-                },
-            ]
-        }, &mut out);
-
-        // Email: a couple of SMTP data packets to the local MX.
-        Self::poisson_events(config.email_rps, horizon, rng, |t, rng| {
-            let client = client_at(rng.next_u64(), config);
-            let mx = Ipv4Addr::new(10, 20, 0, 25);
-            let sport = 32768 + (rng.next_u32() % 28000) as u16;
-            vec![TimedPacket {
-                time: t,
-                packet: Packet::tcp(
-                    client,
-                    mx,
-                    sport,
-                    25,
-                    1,
-                    1,
-                    TcpFlags::psh_ack(),
-                    b"MAIL FROM:<user@campus.example>\r\n".to_vec(),
-                ),
-            }]
-        }, &mut out);
+                }]
+            },
+            &mut out,
+        );
 
         // P2P: raw bulk packets between a stable subset of clients and the
         // outside world.
-        Self::poisson_events(config.p2p_pps, horizon, rng, |t, rng| {
-            let client = client_at(rng.next_u64() % 16, config); // a few heavy hitters
-            let peer = Ipv4Addr::new(
-                100 + (rng.next_u32() % 100) as u8,
-                rng.next_u32() as u8,
-                rng.next_u32() as u8,
-                1 + (rng.next_u32() % 250) as u8,
-            );
-            vec![TimedPacket {
-                time: t,
-                packet: Packet {
-                    src: client,
-                    dst: peer,
-                    ttl: 64,
-                    ident: 0,
-                    body: PacketBody::Raw {
-                        protocol: 99,
-                        payload: vec![0u8; 700 + (rng.next_u32() % 600) as usize],
+        Self::poisson_events(
+            config.p2p_pps,
+            horizon,
+            rng,
+            |t, rng| {
+                let client = client_at(rng.next_u64() % 16, config); // a few heavy hitters
+                let peer = Ipv4Addr::new(
+                    100 + (rng.next_u32() % 100) as u8,
+                    rng.next_u32() as u8,
+                    rng.next_u32() as u8,
+                    1 + (rng.next_u32() % 250) as u8,
+                );
+                vec![TimedPacket {
+                    time: t,
+                    packet: Packet {
+                        src: client,
+                        dst: peer,
+                        ttl: 64,
+                        ident: 0,
+                        body: PacketBody::Raw {
+                            protocol: 99,
+                            payload: vec![0u8; 700 + (rng.next_u32() % 600) as usize],
+                        },
                     },
-                },
-            }]
-        }, &mut out);
+                }]
+            },
+            &mut out,
+        );
 
         // Background scanning from outside (high source fanout, SYNs).
-        Self::poisson_events(config.scan_pps, horizon, rng, |t, rng| {
-            // Scanner sources come from public space well outside the
-            // access prefix (first octet 120..209).
-            let scanner = Ipv4Addr::new(
-                120 + (rng.next_u32() % 90) as u8,
-                rng.next_u32() as u8,
-                rng.next_u32() as u8,
-                1 + (rng.next_u32() % 250) as u8,
-            );
-            let victim = config.client_prefix.nth(rng.next_u64() % 65_000);
-            let port = [22u16, 23, 80, 443, 445, 3389][(rng.next_u32() % 6) as usize];
-            vec![TimedPacket {
-                time: t,
-                packet: Packet::tcp(scanner, victim, 54321, port, 0, 0, TcpFlags::syn(), vec![]),
-            }]
-        }, &mut out);
+        Self::poisson_events(
+            config.scan_pps,
+            horizon,
+            rng,
+            |t, rng| {
+                // Scanner sources come from public space well outside the
+                // access prefix (first octet 120..209).
+                let scanner = Ipv4Addr::new(
+                    120 + (rng.next_u32() % 90) as u8,
+                    rng.next_u32() as u8,
+                    rng.next_u32() as u8,
+                    1 + (rng.next_u32() % 250) as u8,
+                );
+                let victim = config.client_prefix.nth(rng.next_u64() % 65_000);
+                let port = [22u16, 23, 80, 443, 445, 3389][(rng.next_u32() % 6) as usize];
+                vec![TimedPacket {
+                    time: t,
+                    packet: Packet::tcp(
+                        scanner,
+                        victim,
+                        54321,
+                        port,
+                        0,
+                        0,
+                        TcpFlags::syn(),
+                        vec![],
+                    ),
+                }]
+            },
+            &mut out,
+        );
 
         out.sort_by_key(|tp| tp.time);
         out
@@ -273,19 +316,36 @@ mod tests {
             .filter(|tp| tp.packet.dst_port() == Some(80))
             .count() as f64;
         let expected = cfg.web_rps * cfg.duration.as_secs_f64();
-        assert!((web - expected).abs() < expected * 0.35, "web {web} vs {expected}");
-        let dns_q = stream.iter().filter(|tp| tp.packet.dst_port() == Some(53)).count();
+        assert!(
+            (web - expected).abs() < expected * 0.35,
+            "web {web} vs {expected}"
+        );
+        let dns_q = stream
+            .iter()
+            .filter(|tp| tp.packet.dst_port() == Some(53))
+            .count();
         assert!(dns_q > 0);
     }
 
     #[test]
     fn traffic_mix_has_all_classes() {
         let stream = generate(3);
-        assert!(stream.iter().any(|tp| tp.packet.dst_port() == Some(80)), "web");
-        assert!(stream.iter().any(|tp| tp.packet.dst_port() == Some(53)), "dns");
-        assert!(stream.iter().any(|tp| tp.packet.dst_port() == Some(25)), "email");
         assert!(
-            stream.iter().any(|tp| matches!(tp.packet.body, PacketBody::Raw { .. })),
+            stream.iter().any(|tp| tp.packet.dst_port() == Some(80)),
+            "web"
+        );
+        assert!(
+            stream.iter().any(|tp| tp.packet.dst_port() == Some(53)),
+            "dns"
+        );
+        assert!(
+            stream.iter().any(|tp| tp.packet.dst_port() == Some(25)),
+            "email"
+        );
+        assert!(
+            stream
+                .iter()
+                .any(|tp| matches!(tp.packet.body, PacketBody::Raw { .. })),
             "p2p"
         );
         assert!(
@@ -305,13 +365,23 @@ mod tests {
         for tp in &stream {
             // Web *requests* (scanner SYNs to port 80 carry no payload).
             if tp.packet.dst_port() == Some(80)
-                && tp.packet.as_tcp().map(|t| !t.payload.is_empty()).unwrap_or(false)
+                && tp
+                    .packet
+                    .as_tcp()
+                    .map(|t| !t.payload.is_empty())
+                    .unwrap_or(false)
             {
-                assert!(cfg.client_prefix.contains(tp.packet.src), "web client in prefix");
+                assert!(
+                    cfg.client_prefix.contains(tp.packet.src),
+                    "web client in prefix"
+                );
             }
             if let Some(t) = tp.packet.as_tcp() {
                 if t.flags.has_syn() && !t.flags.has_ack() && t.src_port == 54321 {
-                    assert!(!cfg.client_prefix.contains(tp.packet.src), "scanner outside");
+                    assert!(
+                        !cfg.client_prefix.contains(tp.packet.src),
+                        "scanner outside"
+                    );
                 }
             }
         }
@@ -344,8 +414,14 @@ mod tests {
 
     #[test]
     fn domain_mapping_is_stable() {
-        assert_eq!(PopulationTraffic::domain_ip(0), PopulationTraffic::domain_ip(0));
-        assert_ne!(PopulationTraffic::domain_ip(0), PopulationTraffic::domain_ip(1));
+        assert_eq!(
+            PopulationTraffic::domain_ip(0),
+            PopulationTraffic::domain_ip(0)
+        );
+        assert_ne!(
+            PopulationTraffic::domain_ip(0),
+            PopulationTraffic::domain_ip(1)
+        );
         assert_eq!(PopulationTraffic::domain_name(7), "site7.example");
     }
 }

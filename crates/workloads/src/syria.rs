@@ -113,7 +113,10 @@ impl SyriaLog {
                 });
             }
         }
-        SyriaLog { entries, users: config.users }
+        SyriaLog {
+            entries,
+            users: config.users,
+        }
     }
 
     /// Total requests.

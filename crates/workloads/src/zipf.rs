@@ -46,9 +46,10 @@ impl Zipf {
             return 0;
         }
         let u = rng.unit();
-        match self.cdf.binary_search_by(|probe| {
-            probe.partial_cmp(&u).unwrap_or(std::cmp::Ordering::Equal)
-        }) {
+        match self
+            .cdf
+            .binary_search_by(|probe| probe.partial_cmp(&u).unwrap_or(std::cmp::Ordering::Equal))
+        {
             Ok(i) => i,
             Err(i) => i.min(self.cdf.len() - 1),
         }

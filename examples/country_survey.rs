@@ -22,7 +22,11 @@ fn main() {
     let policy = CensorPolicy::new()
         .block_domain(&DnsName::parse("twitter.com").expect("domain"))
         .block_keyword("falun");
-    let mut tb = Testbed::build(TestbedConfig { policy, seed: 2026, ..TestbedConfig::default() });
+    let mut tb = Testbed::build(TestbedConfig {
+        policy,
+        seed: 2026,
+        ..TestbedConfig::default()
+    });
     let resolver = tb.resolver_ip;
 
     // Spam campaign across every target (warm-up earns the spammer label,
@@ -61,8 +65,12 @@ fn main() {
         let probe = tb.client_task::<SpamProbe>(*idx).expect("spam probe state");
         println!("dns/{domain:<14} -> {}", probe.verdict());
     }
-    let kw = tb.client_task::<DdosProbe>(keyword_probe).expect("keyword probe");
-    let ctl = tb.client_task::<DdosProbe>(control_probe).expect("control probe");
+    let kw = tb
+        .client_task::<DdosProbe>(keyword_probe)
+        .expect("keyword probe");
+    let ctl = tb
+        .client_task::<DdosProbe>(control_probe)
+        .expect("control probe");
     println!("http keyword 'falun'   -> {}", kw.verdict());
     println!("http control path      -> {}", ctl.verdict());
     let _ = warm;
@@ -70,9 +78,18 @@ fn main() {
     println!("\nrisk ledger");
     println!("-----------");
     let surveillance = tb.surveillance();
-    println!("packets observed by surveillance: {}", surveillance.stats().observed);
-    println!("packets discarded by the MVR:     {}", surveillance.stats().discarded);
-    println!("alerts attributed to the client:  {}", surveillance.alerts_for(tb.client_ip));
+    println!(
+        "packets observed by surveillance: {}",
+        surveillance.stats().observed
+    );
+    println!(
+        "packets discarded by the MVR:     {}",
+        surveillance.stats().discarded
+    );
+    println!(
+        "alerts attributed to the client:  {}",
+        surveillance.alerts_for(tb.client_ip)
+    );
     println!(
         "client attributed / pursued:      {} / {}",
         surveillance.is_attributed(tb.client_ip),

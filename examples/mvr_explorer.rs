@@ -17,7 +17,9 @@ use underradar::netsim::rng::SimRng;
 use underradar::netsim::time::{SimDuration, SimTime};
 use underradar::netsim::wire::tcp::TcpFlags;
 use underradar::protocols::dns::{DnsMessage, DnsName, QType};
-use underradar::surveil::system::{default_surveillance_rules, SurveillanceConfig, SurveillanceSystem};
+use underradar::surveil::system::{
+    default_surveillance_rules, SurveillanceConfig, SurveillanceSystem,
+};
 use underradar::workloads::population::{PopulationConfig, PopulationTraffic};
 
 const CLIENT: Ipv4Addr = Ipv4Addr::new(10, 20, 1, 2);
@@ -66,7 +68,16 @@ fn main() {
     let mut scan_discarded = 0;
     let mut scan_alerts = 0;
     for port in 0..60u16 {
-        let syn = Packet::tcp(CLIENT, TARGET, 44000 + port, 1000 + port, 0, 0, TcpFlags::syn(), vec![]);
+        let syn = Packet::tcp(
+            CLIENT,
+            TARGET,
+            44000 + port,
+            1000 + port,
+            0,
+            0,
+            TcpFlags::syn(),
+            vec![],
+        );
         let (d, a) = s.process(t(62_000 + u64::from(port)), &syn);
         if !d.retained() {
             scan_discarded += 1;
@@ -80,7 +91,16 @@ fn main() {
     for i in 0..60u64 {
         let path_keyword = if i >= 50 { "falun" } else { "frontpage" };
         let req = format!("GET /{path_keyword} HTTP/1.0\r\nHost: x\r\n\r\n");
-        let pkt = Packet::tcp(CLIENT, TARGET, 45000, 80, 1 + i as u32, 1, TcpFlags::psh_ack(), req.into_bytes());
+        let pkt = Packet::tcp(
+            CLIENT,
+            TARGET,
+            45000,
+            80,
+            1 + i as u32,
+            1,
+            TcpFlags::psh_ack(),
+            req.into_bytes(),
+        );
         let (d, a) = s.process(t(70_000 + i * 10), &pkt);
         if !d.retained() {
             flood_discarded += 1;
@@ -89,12 +109,21 @@ fn main() {
     }
 
     println!("per-class MVR accounting after population + measurement traffic:\n");
-    println!("{:<8} {:>10} {:>14} {:>16}", "class", "packets", "bytes", "retained bytes");
+    println!(
+        "{:<8} {:>10} {:>14} {:>16}",
+        "class", "packets", "bytes", "retained bytes"
+    );
     for (class, vol) in s.mvr().volumes() {
         if vol.packets == 0 {
             continue;
         }
-        println!("{:<8} {:>10} {:>14} {:>16}", class.to_string(), vol.packets, vol.bytes, vol.retained_bytes);
+        println!(
+            "{:<8} {:>10} {:>14} {:>16}",
+            class.to_string(),
+            vol.packets,
+            vol.bytes,
+            vol.retained_bytes
+        );
     }
     println!(
         "\nretention rate: {:.1}% of observed bytes (NSA 2009 budget: 7.5%)",

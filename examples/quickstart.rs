@@ -26,10 +26,18 @@ fn main() {
 
     println!("== overt (OONI-style) measurement ==");
     {
-        let mut tb = Testbed::build(TestbedConfig { policy: policy.clone(), ..TestbedConfig::default() });
+        let mut tb = Testbed::build(TestbedConfig {
+            policy: policy.clone(),
+            ..TestbedConfig::default()
+        });
         let idx = tb.spawn_on_client(
             SimTime::ZERO,
-            Box::new(OvertProbe::new(&domain, tb.resolver_ip, tb.collector_ip, "/")),
+            Box::new(OvertProbe::new(
+                &domain,
+                tb.resolver_ip,
+                tb.collector_ip,
+                "/",
+            )),
         );
         tb.run_secs(20);
         let probe = tb.client_task::<OvertProbe>(idx).expect("probe state");
@@ -41,7 +49,10 @@ fn main() {
 
     println!("== scan-cloaked measurement (Method #1) ==");
     {
-        let mut tb = Testbed::build(TestbedConfig { policy, ..TestbedConfig::default() });
+        let mut tb = Testbed::build(TestbedConfig {
+            policy,
+            ..TestbedConfig::default()
+        });
         let idx = tb.spawn_on_client(
             SimTime::ZERO,
             Box::new(SynScanProbe::new(target, top_ports(60), vec![80])),

@@ -36,18 +36,26 @@ fn main() {
         net.sim
             .node_mut::<Host>(net.mserver)
             .expect("mserver host")
-            .spawn_task_at(SimTime::ZERO, Box::new(MimicServer::new(PORT, ISS, Some(ttl))));
-        net.sim.node_mut::<Host>(net.client).expect("client host").spawn_task_at(
-            SimTime::ZERO,
-            Box::new(StatefulMimicry::new(
-                net.cover_ip,
-                net.mserver_ip,
-                PORT,
-                ISS,
-                b"calibration payload",
-            )),
-        );
-        net.sim.run_for(SimDuration::from_secs(10)).expect("run within budget");
+            .spawn_task_at(
+                SimTime::ZERO,
+                Box::new(MimicServer::new(PORT, ISS, Some(ttl))),
+            );
+        net.sim
+            .node_mut::<Host>(net.client)
+            .expect("client host")
+            .spawn_task_at(
+                SimTime::ZERO,
+                Box::new(StatefulMimicry::new(
+                    net.cover_ip,
+                    net.mserver_ip,
+                    PORT,
+                    ISS,
+                    b"calibration payload",
+                )),
+            );
+        net.sim
+            .run_for(SimDuration::from_secs(10))
+            .expect("run within budget");
 
         let cap = net.sim.capture().expect("capture enabled");
         let tap_sees = cap.records().iter().any(|r| {
@@ -74,7 +82,10 @@ fn main() {
         }
         println!(
             "{ttl:<5} {:<16} {:<15} {:<14} {:<16} {}",
-            tap_sees, leak, rst, completed,
+            tap_sees,
+            leak,
+            rst,
+            completed,
             if usable { "<= USE THIS" } else { "" }
         );
     }

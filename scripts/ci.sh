@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Local CI: the exact gates a PR must pass.
+#   ./scripts/ci.sh
+# Offline by design — the workspace has no external dependencies.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "==> tier-1: cargo build --release && cargo test"
+cargo build --offline --release --workspace
+cargo test --offline -q --workspace
+
+echo "==> full-scale churn acceptance (release-only sizing)"
+cargo test --offline --release -q -p underradar-ids --lib one_million_flow_churn
+
+echo "CI green"

@@ -111,7 +111,11 @@ fn survey(args: &[String]) -> ExitCode {
         .enumerate()
         .map(|(i, d)| underradar::core::testbed::TargetSite::numbered(d, i as u8))
         .collect();
-    let mut tb = Testbed::build(TestbedConfig { policy, targets, ..TestbedConfig::default() });
+    let mut tb = Testbed::build(TestbedConfig {
+        policy,
+        targets,
+        ..TestbedConfig::default()
+    });
     let resolver = tb.resolver_ip;
     let mut idxs = Vec::new();
     for (i, domain) in domains.iter().enumerate() {
@@ -145,18 +149,28 @@ fn survey(args: &[String]) -> ExitCode {
 fn pcap_demo(path: &str) -> ExitCode {
     // A short censored exchange, captured and written as pcap.
     let policy = CensorPolicy::new().block_keyword("falun");
-    let mut tb = Testbed::build(TestbedConfig { policy, capture: true, ..TestbedConfig::default() });
+    let mut tb = Testbed::build(TestbedConfig {
+        policy,
+        capture: true,
+        ..TestbedConfig::default()
+    });
     let web = tb.target("bbc.com").expect("bbc target").web_ip;
     tb.spawn_on_client(
         SimTime::ZERO,
-        Box::new(underradar::core::methods::ddos::DdosProbe::new(web, "bbc.com", "/falun", 2)),
+        Box::new(underradar::core::methods::ddos::DdosProbe::new(
+            web, "bbc.com", "/falun", 2,
+        )),
     );
     tb.run_secs(30);
     let cap = tb.sim.capture().expect("capture enabled");
     let bytes = underradar::netsim::pcap::to_pcap(cap);
     match std::fs::write(path, &bytes) {
         Ok(()) => {
-            println!("wrote {} packets ({} bytes) to {path}", cap.len(), bytes.len());
+            println!(
+                "wrote {} packets ({} bytes) to {path}",
+                cap.len(),
+                bytes.len()
+            );
             ExitCode::SUCCESS
         }
         Err(e) => {

@@ -26,22 +26,31 @@ fn split_keyword_run(censor_rst_teardown: bool) -> (bool, bool) {
     if let Some(censor) = net.sim.node_mut::<TapCensor>(net.censor) {
         censor.set_rst_teardown(censor_rst_teardown);
     }
-    net.sim.node_mut::<Host>(net.mserver).expect("mserver").spawn_task_at(
-        SimTime::ZERO,
-        // Unlimited TTL: the neighbor WILL see the SYN/ACK and RST the flow.
-        Box::new(MimicServer::new(PORT, ISS, None)),
-    );
-    net.sim.node_mut::<Host>(net.client).expect("client").spawn_task_at(
-        SimTime::ZERO,
-        Box::new(
-            StatefulMimicry::new(net.cover_ip, net.mserver_ip, PORT, ISS, b"GET /falun HTTP")
-                .with_split_payload(),
-        ),
-    );
+    net.sim
+        .node_mut::<Host>(net.mserver)
+        .expect("mserver")
+        .spawn_task_at(
+            SimTime::ZERO,
+            // Unlimited TTL: the neighbor WILL see the SYN/ACK and RST the flow.
+            Box::new(MimicServer::new(PORT, ISS, None)),
+        );
+    net.sim
+        .node_mut::<Host>(net.client)
+        .expect("client")
+        .spawn_task_at(
+            SimTime::ZERO,
+            Box::new(
+                StatefulMimicry::new(net.cover_ip, net.mserver_ip, PORT, ISS, b"GET /falun HTTP")
+                    .with_split_payload(),
+            ),
+        );
     net.sim.run_for(SimDuration::from_secs(10)).expect("run");
     let censor = net.sim.node_ref::<TapCensor>(net.censor).expect("censor");
     let neighbor = net.sim.node_ref::<Host>(net.cover).expect("cover");
-    (censor.stats().rst_injections > 0, neighbor.counters().rst_sent > 0)
+    (
+        censor.stats().rst_injections > 0,
+        neighbor.counters().rst_sent > 0,
+    )
 }
 
 #[test]
@@ -63,7 +72,10 @@ fn rst_ignoring_censor_still_catches_split_keyword() {
     // the keyword despite the replay RST.
     let (censor_fired, neighbor_rst) = split_keyword_run(false);
     assert!(neighbor_rst);
-    assert!(censor_fired, "RST-ignoring censor reassembled across the RST");
+    assert!(
+        censor_fired,
+        "RST-ignoring censor reassembled across the RST"
+    );
 }
 
 #[test]
@@ -87,7 +99,10 @@ fn mvr_ordering_is_what_protects_the_scan() {
         RiskReport::evaluate(&tb, &verdict).alerts_on_client
     };
     assert_eq!(run(false), 0, "discard-first: the scan evades");
-    assert!(run(true) > 0, "alert-first: the SYN-fanout rule re-identifies the scan");
+    assert!(
+        run(true) > 0,
+        "alert-first: the SYN-fanout rule re-identifies the scan"
+    );
 }
 
 #[test]

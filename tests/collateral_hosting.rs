@@ -37,10 +37,17 @@ fn fetch_status(tb: &Testbed, idx: usize) -> Option<u16> {
 fn exact_block_hits_only_the_measurement_server() {
     // Censor blackholes the measurement server's /32.
     let policy = CensorPolicy::new().block_ip(Cidr::host(Ipv4Addr::new(198, 51, 100, 200)));
-    let mut tb = Testbed::build(TestbedConfig { policy, seed: 300, ..TestbedConfig::default() });
+    let mut tb = Testbed::build(TestbedConfig {
+        policy,
+        seed: 300,
+        ..TestbedConfig::default()
+    });
     // The innocent tenant (a normal website) stays reachable.
     let innocent = tb.target("bbc.com").expect("t").web_ip;
-    let idx = tb.spawn_on_client(SimTime::ZERO, Box::new(DdosProbe::new(innocent, "bbc.com", "/", 1)));
+    let idx = tb.spawn_on_client(
+        SimTime::ZERO,
+        Box::new(DdosProbe::new(innocent, "bbc.com", "/", 1)),
+    );
     tb.run_secs(30);
     assert_eq!(fetch_status(&tb, idx), Some(200));
 }
@@ -50,9 +57,16 @@ fn prefix_block_causes_collateral_damage() {
     // The durable counter-measure — blocking the whole shared /24 — takes
     // the collector-hosted real service down with it.
     let policy = CensorPolicy::new().block_ip(Cidr::slash24(CLOUD_PREFIX));
-    let mut tb = Testbed::build(TestbedConfig { policy, seed: 301, ..TestbedConfig::default() });
+    let mut tb = Testbed::build(TestbedConfig {
+        policy,
+        seed: 301,
+        ..TestbedConfig::default()
+    });
     let collector = tb.collector_ip;
-    assert!(Cidr::slash24(CLOUD_PREFIX).contains(collector), "shared prefix by construction");
+    assert!(
+        Cidr::slash24(CLOUD_PREFIX).contains(collector),
+        "shared prefix by construction"
+    );
     assert!(Cidr::slash24(CLOUD_PREFIX).contains(tb.mserver_ip));
 
     // A legitimate fetch of the cloud-hosted service (the collector's web
@@ -78,10 +92,16 @@ fn prefix_block_causes_collateral_damage() {
     }
     let idx = tb.spawn_on_client(
         SimTime::ZERO,
-        Box::new(CloudFetch { target: collector, timed_out: false }),
+        Box::new(CloudFetch {
+            target: collector,
+            timed_out: false,
+        }),
     );
     tb.run_secs(30);
-    let host = tb.sim.node_ref::<underradar::netsim::Host>(tb.client).expect("client");
+    let host = tb
+        .sim
+        .node_ref::<underradar::netsim::Host>(tb.client)
+        .expect("client");
     assert!(
         host.task_ref::<CloudFetch>(idx).expect("task").timed_out,
         "the innocent cloud service died with the prefix block"
@@ -102,7 +122,11 @@ fn measurer_can_rotate_within_the_shared_prefix() {
     // measurer rotates to a new one in the same prefix.
     let old_addr = Ipv4Addr::new(198, 51, 100, 200);
     let policy = CensorPolicy::new().block_ip(Cidr::host(old_addr));
-    let mut tb = Testbed::build(TestbedConfig { policy, seed: 302, ..TestbedConfig::default() });
+    let mut tb = Testbed::build(TestbedConfig {
+        policy,
+        seed: 302,
+        ..TestbedConfig::default()
+    });
     // The collector (a different address in the same /24) stands in for
     // the rotated measurement endpoint.
     let rotated = tb.collector_ip;
@@ -125,8 +149,20 @@ fn measurer_can_rotate_within_the_shared_prefix() {
             }
         }
     }
-    let idx = tb.spawn_on_client(SimTime::ZERO, Box::new(Reach { target: rotated, connected: false }));
+    let idx = tb.spawn_on_client(
+        SimTime::ZERO,
+        Box::new(Reach {
+            target: rotated,
+            connected: false,
+        }),
+    );
     tb.run_secs(10);
-    let host = tb.sim.node_ref::<underradar::netsim::Host>(tb.client).expect("client");
-    assert!(host.task_ref::<Reach>(idx).expect("task").connected, "rotation defeats /32 blocks");
+    let host = tb
+        .sim
+        .node_ref::<underradar::netsim::Host>(tb.client)
+        .expect("client");
+    assert!(
+        host.task_ref::<Reach>(idx).expect("task").connected,
+        "rotation defeats /32 blocks"
+    );
 }

@@ -61,13 +61,23 @@ impl HostTask for FrontedFetch {
 }
 
 fn run_fetch(policy: CensorPolicy, host_header: &str) -> (Option<u16>, bool) {
-    let mut tb = Testbed::build(TestbedConfig { policy, seed: 400, ..TestbedConfig::default() });
+    let mut tb = Testbed::build(TestbedConfig {
+        policy,
+        seed: 400,
+        ..TestbedConfig::default()
+    });
     // The collector host doubles as the shared cloud frontend (port 443
     // serves content regardless of Host header, like a CDN edge).
     let edge = tb.collector_ip;
-    let idx = tb.spawn_on_client(SimTime::ZERO, Box::new(FrontedFetch::new(edge, host_header, "/")));
+    let idx = tb.spawn_on_client(
+        SimTime::ZERO,
+        Box::new(FrontedFetch::new(edge, host_header, "/")),
+    );
     tb.run_secs(20);
-    let host = tb.sim.node_ref::<underradar::netsim::Host>(tb.client).expect("client");
+    let host = tb
+        .sim
+        .node_ref::<underradar::netsim::Host>(tb.client)
+        .expect("client");
     let task = host.task_ref::<FrontedFetch>(idx).expect("task");
     (task.status, task.reset)
 }
@@ -86,7 +96,11 @@ fn fronted_request_to_the_same_edge_passes() {
     let policy = CensorPolicy::new().block_keyword("blocked-news.example");
     let (status, reset) = run_fetch(policy, "cdn-assets.example");
     assert!(!reset, "innocuous front evades the string matcher");
-    assert_eq!(status, Some(200), "same edge IP, same content, no interference");
+    assert_eq!(
+        status,
+        Some(200),
+        "same edge IP, same content, no interference"
+    );
 }
 
 #[test]

@@ -23,13 +23,21 @@ fn name(s: &str) -> DnsName {
 fn every_method_agrees_on_an_uncensored_world() {
     // With no censorship at all, all methods should read "reachable" and
     // nothing should be attributed to the client.
-    let mut tb = Testbed::build(TestbedConfig { seed: 100, ..TestbedConfig::default() });
+    let mut tb = Testbed::build(TestbedConfig {
+        seed: 100,
+        ..TestbedConfig::default()
+    });
     let resolver = tb.resolver_ip;
     let web = tb.target("bbc.com").expect("bbc").web_ip;
 
     let overt = tb.spawn_on_client(
         SimTime::ZERO,
-        Box::new(OvertProbe::new(&name("bbc.com"), resolver, tb.collector_ip, "/")),
+        Box::new(OvertProbe::new(
+            &name("bbc.com"),
+            resolver,
+            tb.collector_ip,
+            "/",
+        )),
     );
     let scan = tb.spawn_on_client(
         SimTime::ZERO + SimDuration::from_secs(5),
@@ -45,17 +53,40 @@ fn every_method_agrees_on_an_uncensored_world() {
     );
     let mimicry = tb.spawn_on_client(
         SimTime::ZERO + SimDuration::from_secs(30),
-        Box::new(StatelessDnsMimicry::new(&name("bbc.com"), QType::A, resolver, vec![])),
+        Box::new(StatelessDnsMimicry::new(
+            &name("bbc.com"),
+            QType::A,
+            resolver,
+            vec![],
+        )),
     );
     tb.run_secs(90);
 
-    assert!(tb.client_task::<OvertProbe>(overt).expect("overt").verdict().is_reachable());
-    assert!(tb.client_task::<SynScanProbe>(scan).expect("scan").verdict().is_reachable());
-    assert!(tb.client_task::<SpamProbe>(spam).expect("spam").verdict().is_reachable());
-    assert!(tb.client_task::<DdosProbe>(ddos).expect("ddos").verdict().is_reachable());
-    assert!(
-        tb.client_task::<StatelessDnsMimicry>(mimicry).expect("mimicry").verdict().is_reachable()
-    );
+    assert!(tb
+        .client_task::<OvertProbe>(overt)
+        .expect("overt")
+        .verdict()
+        .is_reachable());
+    assert!(tb
+        .client_task::<SynScanProbe>(scan)
+        .expect("scan")
+        .verdict()
+        .is_reachable());
+    assert!(tb
+        .client_task::<SpamProbe>(spam)
+        .expect("spam")
+        .verdict()
+        .is_reachable());
+    assert!(tb
+        .client_task::<DdosProbe>(ddos)
+        .expect("ddos")
+        .verdict()
+        .is_reachable());
+    assert!(tb
+        .client_task::<StatelessDnsMimicry>(mimicry)
+        .expect("mimicry")
+        .verdict()
+        .is_reachable());
     assert!(!tb.censor_acted());
 }
 
@@ -64,14 +95,21 @@ fn methods_detect_the_mechanisms_they_are_built_for() {
     // DNS poisoning.
     {
         let policy = CensorPolicy::new().block_domain(&name("twitter.com"));
-        let mut tb = Testbed::build(TestbedConfig { policy, seed: 101, ..TestbedConfig::default() });
+        let mut tb = Testbed::build(TestbedConfig {
+            policy,
+            seed: 101,
+            ..TestbedConfig::default()
+        });
         let idx = tb.spawn_on_client(
             SimTime::ZERO,
             Box::new(SpamProbe::new(&name("twitter.com"), tb.resolver_ip, 3)),
         );
         tb.run_secs(30);
         assert_eq!(
-            tb.client_task::<SpamProbe>(idx).expect("probe").verdict().mechanism(),
+            tb.client_task::<SpamProbe>(idx)
+                .expect("probe")
+                .verdict()
+                .mechanism(),
             Some(Mechanism::DnsPoison)
         );
     }
@@ -79,21 +117,32 @@ fn methods_detect_the_mechanisms_they_are_built_for() {
     {
         let target = TargetSite::numbered("twitter.com", 0).web_ip;
         let policy = CensorPolicy::new().block_ip(Cidr::host(target));
-        let mut tb = Testbed::build(TestbedConfig { policy, seed: 102, ..TestbedConfig::default() });
+        let mut tb = Testbed::build(TestbedConfig {
+            policy,
+            seed: 102,
+            ..TestbedConfig::default()
+        });
         let idx = tb.spawn_on_client(
             SimTime::ZERO,
             Box::new(StatelessSynMimicry::new(target, 80, tb.cover_ips.clone())),
         );
         tb.run_secs(10);
         assert_eq!(
-            tb.client_task::<StatelessSynMimicry>(idx).expect("probe").verdict().mechanism(),
+            tb.client_task::<StatelessSynMimicry>(idx)
+                .expect("probe")
+                .verdict()
+                .mechanism(),
             Some(Mechanism::Blackhole)
         );
     }
     // Keyword RST injection.
     {
         let policy = CensorPolicy::new().block_keyword("falun");
-        let mut tb = Testbed::build(TestbedConfig { policy, seed: 103, ..TestbedConfig::default() });
+        let mut tb = Testbed::build(TestbedConfig {
+            policy,
+            seed: 103,
+            ..TestbedConfig::default()
+        });
         let web = tb.target("bbc.com").expect("bbc").web_ip;
         let idx = tb.spawn_on_client(
             SimTime::ZERO,
@@ -101,7 +150,10 @@ fn methods_detect_the_mechanisms_they_are_built_for() {
         );
         tb.run_secs(60);
         assert_eq!(
-            tb.client_task::<DdosProbe>(idx).expect("probe").verdict().mechanism(),
+            tb.client_task::<DdosProbe>(idx)
+                .expect("probe")
+                .verdict()
+                .mechanism(),
             Some(Mechanism::RstInjection)
         );
     }
@@ -111,13 +163,26 @@ fn methods_detect_the_mechanisms_they_are_built_for() {
 fn identical_seeds_give_identical_runs() {
     let run = |seed: u64| -> (String, usize, u64) {
         let policy = CensorPolicy::new().block_domain(&name("twitter.com"));
-        let mut tb = Testbed::build(TestbedConfig { policy, seed, ..TestbedConfig::default() });
+        let mut tb = Testbed::build(TestbedConfig {
+            policy,
+            seed,
+            ..TestbedConfig::default()
+        });
         let idx = tb.spawn_on_client(
             SimTime::ZERO,
-            Box::new(OvertProbe::new(&name("twitter.com"), tb.resolver_ip, tb.collector_ip, "/")),
+            Box::new(OvertProbe::new(
+                &name("twitter.com"),
+                tb.resolver_ip,
+                tb.collector_ip,
+                "/",
+            )),
         );
         tb.run_secs(20);
-        let verdict = tb.client_task::<OvertProbe>(idx).expect("probe").verdict().to_string();
+        let verdict = tb
+            .client_task::<OvertProbe>(idx)
+            .expect("probe")
+            .verdict()
+            .to_string();
         let alerts = tb.surveillance().alerts_for(tb.client_ip);
         (verdict, alerts, tb.sim.events_processed())
     };
@@ -130,7 +195,10 @@ fn identical_seeds_give_identical_runs() {
 
 #[test]
 fn surveillance_sees_everything_but_keeps_content_selectively() {
-    let mut tb = Testbed::build(TestbedConfig { seed: 104, ..TestbedConfig::default() });
+    let mut tb = Testbed::build(TestbedConfig {
+        seed: 104,
+        ..TestbedConfig::default()
+    });
     let web = tb.target("example.org").expect("t").web_ip;
     tb.spawn_on_client(
         SimTime::ZERO,
@@ -153,12 +221,21 @@ fn censor_overblocking_hits_innocent_traffic_too() {
     // including an innocent user's — which is exactly what measurement
     // exploits but also what collateral damage looks like.
     let policy = CensorPolicy::new().block_keyword("falun");
-    let mut tb = Testbed::build(TestbedConfig { policy, seed: 105, ..TestbedConfig::default() });
+    let mut tb = Testbed::build(TestbedConfig {
+        policy,
+        seed: 105,
+        ..TestbedConfig::default()
+    });
     let web = tb.target("bbc.com").expect("t").web_ip;
     // An innocent search query containing the keyword as a substring.
     let idx = tb.spawn_on_client(
         SimTime::ZERO,
-        Box::new(DdosProbe::new(web, "bbc.com", "/search?q=falun+dafa+history", 3)),
+        Box::new(DdosProbe::new(
+            web,
+            "bbc.com",
+            "/search?q=falun+dafa+history",
+            3,
+        )),
     );
     tb.run_secs(30);
     let probe = tb.client_task::<DdosProbe>(idx).expect("probe");
@@ -175,13 +252,21 @@ fn capture_shows_injected_rsts_racing_real_traffic() {
         ..TestbedConfig::default()
     });
     let web = tb.target("bbc.com").expect("t").web_ip;
-    tb.spawn_on_client(SimTime::ZERO, Box::new(DdosProbe::new(web, "bbc.com", "/falun", 2)));
+    tb.spawn_on_client(
+        SimTime::ZERO,
+        Box::new(DdosProbe::new(web, "bbc.com", "/falun", 2)),
+    );
     tb.run_secs(30);
     let cap = tb.sim.capture().expect("capture enabled");
     // The censor's RSTs appear on the wire from the censor node.
     let injected = cap
         .sent_by(tb.censor)
-        .filter(|r| r.packet.as_tcp().map(|t| t.flags.has_rst()).unwrap_or(false))
+        .filter(|r| {
+            r.packet
+                .as_tcp()
+                .map(|t| t.flags.has_rst())
+                .unwrap_or(false)
+        })
         .count();
     assert!(injected >= 2, "RST pair(s) injected, saw {injected}");
 }

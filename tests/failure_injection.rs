@@ -19,9 +19,15 @@ use underradar::protocols::http::{HttpRequest, HttpResponse};
 fn ddos_probe_tolerates_mixed_outcomes_without_false_confidence() {
     // Give the probe a target that answers, then check the verdict logic
     // never claims censorship on a clean run even with few samples.
-    let mut tb = Testbed::build(TestbedConfig { seed: 200, ..TestbedConfig::default() });
+    let mut tb = Testbed::build(TestbedConfig {
+        seed: 200,
+        ..TestbedConfig::default()
+    });
     let web = tb.target("bbc.com").expect("t").web_ip;
-    let idx = tb.spawn_on_client(SimTime::ZERO, Box::new(DdosProbe::new(web, "bbc.com", "/", 3)));
+    let idx = tb.spawn_on_client(
+        SimTime::ZERO,
+        Box::new(DdosProbe::new(web, "bbc.com", "/", 3)),
+    );
     tb.run_secs(60);
     let probe = tb.client_task::<DdosProbe>(idx).expect("probe");
     assert!(probe.verdict().is_reachable());
@@ -95,7 +101,11 @@ fn measurement_verdicts_survive_lossy_testbed_links() {
 
     let target = TargetSite::numbered("twitter.com", 0).web_ip;
     let policy = CensorPolicy::new().block_ip(Cidr::host(target));
-    let mut tb = Testbed::build(TestbedConfig { policy, seed: 201, ..TestbedConfig::default() });
+    let mut tb = Testbed::build(TestbedConfig {
+        policy,
+        seed: 201,
+        ..TestbedConfig::default()
+    });
     let idx = tb.spawn_on_client(
         SimTime::ZERO,
         Box::new(SynScanProbe::new(target, vec![80, 443], vec![80])),
@@ -144,7 +154,11 @@ fn spam_probe_completes_over_lossy_link() {
     });
     let idx = tb.spawn_on_client(
         SimTime::ZERO,
-        Box::new(SpamProbe::new(&DnsName::parse("bbc.com").expect("n"), tb.resolver_ip, 0)),
+        Box::new(SpamProbe::new(
+            &DnsName::parse("bbc.com").expect("n"),
+            tb.resolver_ip,
+            0,
+        )),
     );
     tb.run_secs(120);
     let probe = tb.client_task::<SpamProbe>(idx).expect("probe");
@@ -161,8 +175,17 @@ fn spam_probe_completes_over_lossy_link() {
 fn truncated_wire_packets_never_panic_anywhere() {
     let a = std::net::Ipv4Addr::new(10, 0, 0, 1);
     let b = std::net::Ipv4Addr::new(10, 0, 0, 2);
-    let full = Packet::tcp(a, b, 1, 2, 3, 4, TcpFlags::psh_ack(), b"payload bytes".to_vec())
-        .to_wire();
+    let full = Packet::tcp(
+        a,
+        b,
+        1,
+        2,
+        3,
+        4,
+        TcpFlags::psh_ack(),
+        b"payload bytes".to_vec(),
+    )
+    .to_wire();
     for cut in 0..full.len() {
         let _ = Packet::from_wire(&full[..cut]);
     }

@@ -14,7 +14,11 @@ use underradar::protocols::dns::DnsName;
 #[test]
 fn repeated_overt_monitoring_escalates_to_pursuit() {
     let policy = CensorPolicy::new().block_domain(&DnsName::parse("twitter.com").expect("n"));
-    let mut tb = Testbed::build(TestbedConfig { policy, seed: 500, ..TestbedConfig::default() });
+    let mut tb = Testbed::build(TestbedConfig {
+        policy,
+        seed: 500,
+        ..TestbedConfig::default()
+    });
     let resolver = tb.resolver_ip;
     let collector = tb.collector_ip;
     // A daily-monitoring campaign, compressed: 8 rounds of the same probe.
@@ -28,17 +32,26 @@ fn repeated_overt_monitoring_escalates_to_pursuit() {
     tb.run_secs(8 * 30 + 30);
     let s = tb.surveillance();
     let alerts = s.alerts_for(tb.client_ip);
-    assert!(alerts >= 16, "each round adds lookup + collector alerts: {alerts}");
+    assert!(
+        alerts >= 16,
+        "each round adds lookup + collector alerts: {alerts}"
+    );
     assert!(s.is_attributed(tb.client_ip));
-    assert!(s.is_pursued(tb.client_ip), "sustained overt monitoring gets the user pursued");
+    assert!(
+        s.is_pursued(tb.client_ip),
+        "sustained overt monitoring gets the user pursued"
+    );
 }
 
 #[test]
 fn repeated_covert_monitoring_stays_flat() {
     let target = TargetSite::numbered("twitter.com", 0).web_ip;
-    let policy = CensorPolicy::new()
-        .block_ip(underradar::netsim::addr::Cidr::host(target));
-    let mut tb = Testbed::build(TestbedConfig { policy, seed: 501, ..TestbedConfig::default() });
+    let policy = CensorPolicy::new().block_ip(underradar::netsim::addr::Cidr::host(target));
+    let mut tb = Testbed::build(TestbedConfig {
+        policy,
+        seed: 501,
+        ..TestbedConfig::default()
+    });
     // The same 8-round campaign, scan-cloaked.
     for round in 0..8u64 {
         tb.spawn_on_client(
@@ -62,11 +75,18 @@ fn alert_retention_outlives_the_measurement_campaign() {
     // §2.1: alerts are kept ~a year. A one-day campaign's alerts are still
     // in the store long after content and metadata have been evicted.
     let policy = CensorPolicy::new().block_domain(&DnsName::parse("twitter.com").expect("n"));
-    let mut tb = Testbed::build(TestbedConfig { policy, seed: 502, ..TestbedConfig::default() });
+    let mut tb = Testbed::build(TestbedConfig {
+        policy,
+        seed: 502,
+        ..TestbedConfig::default()
+    });
     let resolver = tb.resolver_ip;
     let collector = tb.collector_ip;
     let d = DnsName::parse("twitter.com").expect("n");
-    tb.spawn_on_client(SimTime::ZERO, Box::new(OvertProbe::new(&d, resolver, collector, "/")));
+    tb.spawn_on_client(
+        SimTime::ZERO,
+        Box::new(OvertProbe::new(&d, resolver, collector, "/")),
+    );
     tb.run_secs(30);
     let alerts_now = tb.surveillance().stores().alerts.len();
     assert!(alerts_now > 0);
@@ -86,7 +106,10 @@ fn alert_retention_outlives_the_measurement_campaign() {
     );
     tb.run_secs(10);
     let s = tb.surveillance();
-    assert!(s.stores().alerts.len() >= alerts_now, "alerts survive 40 days");
+    assert!(
+        s.stores().alerts.len() >= alerts_now,
+        "alerts survive 40 days"
+    );
     assert!(
         s.stores().metadata.len() < s.stores().metadata.total_inserted() as usize,
         "old flow metadata evicted"

@@ -20,7 +20,11 @@ fn scan_conclusions_stable_across_seeds() {
     let target = TargetSite::numbered("twitter.com", 0).web_ip;
     for &seed in &SEEDS {
         let policy = CensorPolicy::new().block_ip(Cidr::host(target));
-        let mut tb = Testbed::build(TestbedConfig { policy, seed, ..TestbedConfig::default() });
+        let mut tb = Testbed::build(TestbedConfig {
+            policy,
+            seed,
+            ..TestbedConfig::default()
+        });
         let idx = tb.spawn_on_client(
             SimTime::ZERO,
             Box::new(SynScanProbe::new(target, top_ports(40), vec![80])),
@@ -36,12 +40,19 @@ fn scan_conclusions_stable_across_seeds() {
 #[test]
 fn spam_dns_detection_stable_across_seeds() {
     for &seed in &SEEDS {
-        let policy =
-            CensorPolicy::new().block_domain(&DnsName::parse("twitter.com").expect("n"));
-        let mut tb = Testbed::build(TestbedConfig { policy, seed, ..TestbedConfig::default() });
+        let policy = CensorPolicy::new().block_domain(&DnsName::parse("twitter.com").expect("n"));
+        let mut tb = Testbed::build(TestbedConfig {
+            policy,
+            seed,
+            ..TestbedConfig::default()
+        });
         let idx = tb.spawn_on_client(
             SimTime::ZERO,
-            Box::new(SpamProbe::new(&DnsName::parse("twitter.com").expect("n"), tb.resolver_ip, seed)),
+            Box::new(SpamProbe::new(
+                &DnsName::parse("twitter.com").expect("n"),
+                tb.resolver_ip,
+                seed,
+            )),
         );
         tb.run_secs(30);
         let verdict = tb.client_task::<SpamProbe>(idx).expect("probe").verdict();
@@ -56,8 +67,7 @@ fn spam_dns_detection_stable_across_seeds() {
 #[test]
 fn stateless_anonymity_set_exact_across_seeds() {
     for &seed in &SEEDS {
-        let policy =
-            CensorPolicy::new().block_domain(&DnsName::parse("twitter.com").expect("n"));
+        let policy = CensorPolicy::new().block_domain(&DnsName::parse("twitter.com").expect("n"));
         let mut tb = Testbed::build(TestbedConfig {
             policy,
             seed,
@@ -75,7 +85,10 @@ fn stateless_anonymity_set_exact_across_seeds() {
             )),
         );
         tb.run_secs(10);
-        let verdict = tb.client_task::<StatelessDnsMimicry>(idx).expect("p").verdict();
+        let verdict = tb
+            .client_task::<StatelessDnsMimicry>(idx)
+            .expect("p")
+            .verdict();
         let report = RiskReport::evaluate(&tb, &verdict);
         assert_eq!(report.anonymity_set, Some(cover.len() + 1), "seed {seed}");
     }
@@ -86,7 +99,10 @@ fn no_false_positives_in_uncensored_worlds_across_seeds() {
     // The accuracy half nobody should forget: with no censorship, no
     // method may ever claim censorship, whatever the seed.
     for &seed in &SEEDS {
-        let mut tb = Testbed::build(TestbedConfig { seed, ..TestbedConfig::default() });
+        let mut tb = Testbed::build(TestbedConfig {
+            seed,
+            ..TestbedConfig::default()
+        });
         let web = tb.target("bbc.com").expect("t").web_ip;
         let scan_idx = tb.spawn_on_client(
             SimTime::ZERO,
@@ -94,11 +110,21 @@ fn no_false_positives_in_uncensored_worlds_across_seeds() {
         );
         let spam_idx = tb.spawn_on_client(
             SimTime::ZERO + underradar::netsim::SimDuration::from_secs(8),
-            Box::new(SpamProbe::new(&DnsName::parse("bbc.com").expect("n"), tb.resolver_ip, seed)),
+            Box::new(SpamProbe::new(
+                &DnsName::parse("bbc.com").expect("n"),
+                tb.resolver_ip,
+                seed,
+            )),
         );
         tb.run_secs(40);
-        let scan = tb.client_task::<SynScanProbe>(scan_idx).expect("scan").verdict();
-        let spam = tb.client_task::<SpamProbe>(spam_idx).expect("spam").verdict();
+        let scan = tb
+            .client_task::<SynScanProbe>(scan_idx)
+            .expect("scan")
+            .verdict();
+        let spam = tb
+            .client_task::<SpamProbe>(spam_idx)
+            .expect("spam")
+            .verdict();
         assert!(scan.is_reachable(), "seed {seed}: scan said {scan}");
         assert!(spam.is_reachable(), "seed {seed}: spam said {spam}");
     }
