@@ -1,4 +1,10 @@
-//! Regenerates the A1 ablation summary (see DESIGN.md §5).
+//! Regenerates the a1_ablations experiment report (see DESIGN.md §4).
+//! `--json` emits the report plus its telemetry registry as one JSON
+//! object; `--telemetry` (or `UNDERRADAR_TELEMETRY=1`) appends a text
+//! rendering of the registry.
 fn main() {
-    print!("{}", underradar_bench::experiments::a1_ablations::run());
+    underradar_bench::cli::exp_main(
+        "a1_ablations",
+        underradar_bench::experiments::a1_ablations::run_with,
+    );
 }

@@ -1,4 +1,10 @@
 //! Regenerates the e01_testbed experiment report (see DESIGN.md §4).
+//! `--json` emits the report plus its telemetry registry as one JSON
+//! object; `--telemetry` (or `UNDERRADAR_TELEMETRY=1`) appends a text
+//! rendering of the registry.
 fn main() {
-    print!("{}", underradar_bench::experiments::e01_testbed::run());
+    underradar_bench::cli::exp_main(
+        "e01_testbed",
+        underradar_bench::experiments::e01_testbed::run_with,
+    );
 }

@@ -1,4 +1,10 @@
 //! Regenerates the e02_scan experiment report (see DESIGN.md §4).
+//! `--json` emits the report plus its telemetry registry as one JSON
+//! object; `--telemetry` (or `UNDERRADAR_TELEMETRY=1`) appends a text
+//! rendering of the registry.
 fn main() {
-    print!("{}", underradar_bench::experiments::e02_scan::run());
+    underradar_bench::cli::exp_main(
+        "e02_scan",
+        underradar_bench::experiments::e02_scan::run_with,
+    );
 }

@@ -1,7 +1,10 @@
 //! Regenerates the e03_fig2_spam_cdf experiment report (see DESIGN.md §4).
+//! `--json` emits the report plus its telemetry registry as one JSON
+//! object; `--telemetry` (or `UNDERRADAR_TELEMETRY=1`) appends a text
+//! rendering of the registry.
 fn main() {
-    print!(
-        "{}",
-        underradar_bench::experiments::e03_fig2_spam_cdf::run()
+    underradar_bench::cli::exp_main(
+        "e03_fig2_spam_cdf",
+        underradar_bench::experiments::e03_fig2_spam_cdf::run_with,
     );
 }

@@ -1,4 +1,10 @@
 //! Regenerates the e05_ddos experiment report (see DESIGN.md §4).
+//! `--json` emits the report plus its telemetry registry as one JSON
+//! object; `--telemetry` (or `UNDERRADAR_TELEMETRY=1`) appends a text
+//! rendering of the registry.
 fn main() {
-    print!("{}", underradar_bench::experiments::e05_ddos::run());
+    underradar_bench::cli::exp_main(
+        "e05_ddos",
+        underradar_bench::experiments::e05_ddos::run_with,
+    );
 }

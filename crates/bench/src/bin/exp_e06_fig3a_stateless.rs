@@ -1,7 +1,10 @@
 //! Regenerates the e06_fig3a_stateless experiment report (see DESIGN.md §4).
+//! `--json` emits the report plus its telemetry registry as one JSON
+//! object; `--telemetry` (or `UNDERRADAR_TELEMETRY=1`) appends a text
+//! rendering of the registry.
 fn main() {
-    print!(
-        "{}",
-        underradar_bench::experiments::e06_fig3a_stateless::run()
+    underradar_bench::cli::exp_main(
+        "e06_fig3a_stateless",
+        underradar_bench::experiments::e06_fig3a_stateless::run_with,
     );
 }

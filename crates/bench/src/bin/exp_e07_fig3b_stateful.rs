@@ -1,7 +1,10 @@
 //! Regenerates the e07_fig3b_stateful experiment report (see DESIGN.md §4).
+//! `--json` emits the report plus its telemetry registry as one JSON
+//! object; `--telemetry` (or `UNDERRADAR_TELEMETRY=1`) appends a text
+//! rendering of the registry.
 fn main() {
-    print!(
-        "{}",
-        underradar_bench::experiments::e07_fig3b_stateful::run()
+    underradar_bench::cli::exp_main(
+        "e07_fig3b_stateful",
+        underradar_bench::experiments::e07_fig3b_stateful::run_with,
     );
 }

@@ -1,4 +1,7 @@
 //! Regenerates the e09_mvr experiment report (see DESIGN.md §4).
+//! `--json` emits the report plus its telemetry registry as one JSON
+//! object; `--telemetry` (or `UNDERRADAR_TELEMETRY=1`) appends a text
+//! rendering of the registry.
 fn main() {
-    print!("{}", underradar_bench::experiments::e09_mvr::run());
+    underradar_bench::cli::exp_main("e09_mvr", underradar_bench::experiments::e09_mvr::run_with);
 }

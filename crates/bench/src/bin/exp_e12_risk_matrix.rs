@@ -1,4 +1,10 @@
 //! Regenerates the e12_risk_matrix experiment report (see DESIGN.md §4).
+//! `--json` emits the report plus its telemetry registry as one JSON
+//! object; `--telemetry` (or `UNDERRADAR_TELEMETRY=1`) appends a text
+//! rendering of the registry.
 fn main() {
-    print!("{}", underradar_bench::experiments::e12_risk_matrix::run());
+    underradar_bench::cli::exp_main(
+        "e12_risk_matrix",
+        underradar_bench::experiments::e12_risk_matrix::run_with,
+    );
 }

@@ -1,0 +1,128 @@
+//! Shared command-line front end for the `exp_*` binaries.
+//!
+//! Every experiment binary is `exp_main(name, run)`. Modes:
+//!
+//! * default — print the plain-text report, exactly as before;
+//! * `--json` — run with telemetry enabled and print one JSON object
+//!   `{"experiment": .., "report": .., "telemetry": <registry>}` suitable
+//!   for piping into analysis tooling;
+//! * `--telemetry` (or `UNDERRADAR_TELEMETRY=1`) — print the report
+//!   followed by the registry's text rendering.
+
+use underradar_telemetry::{json, Telemetry, TELEMETRY_ENV};
+
+/// How the binary was asked to present its output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutputMode {
+    /// Plain-text report only.
+    Text,
+    /// Report plus a text rendering of the telemetry registry.
+    TextWithTelemetry,
+    /// One JSON object carrying the report and the registry.
+    Json,
+}
+
+/// Decide the output mode from flags plus the telemetry env var.
+pub fn output_mode<I: IntoIterator<Item = String>>(args: I) -> OutputMode {
+    mode_from(std::env::var(TELEMETRY_ENV).ok(), args)
+}
+
+/// [`output_mode`] with the env var's value passed explicitly (testable
+/// regardless of the ambient environment).
+fn mode_from<I: IntoIterator<Item = String>>(env: Option<String>, args: I) -> OutputMode {
+    let mut mode = if env.is_some_and(|v| !v.is_empty() && v != "0") {
+        OutputMode::TextWithTelemetry
+    } else {
+        OutputMode::Text
+    };
+    for arg in args {
+        match arg.as_str() {
+            "--json" => mode = OutputMode::Json,
+            "--telemetry" if mode == OutputMode::Text => mode = OutputMode::TextWithTelemetry,
+            _ => {}
+        }
+    }
+    mode
+}
+
+/// Render the `--json` envelope for one experiment.
+pub fn render_json(name: &str, report: &str, registry: &underradar_telemetry::Registry) -> String {
+    let mut out = String::from("{");
+    json::push_key(&mut out, "experiment");
+    json::push_str_value(&mut out, name);
+    out.push(',');
+    json::push_key(&mut out, "report");
+    json::push_str_value(&mut out, report);
+    out.push(',');
+    json::push_key(&mut out, "telemetry");
+    out.push_str(&registry.to_json());
+    out.push('}');
+    out
+}
+
+/// The whole body of an `exp_*` binary.
+pub fn exp_main(name: &str, run: fn(&Telemetry) -> String) {
+    match output_mode(std::env::args().skip(1)) {
+        OutputMode::Text => {
+            print!("{}", run(&Telemetry::disabled()));
+        }
+        OutputMode::TextWithTelemetry => {
+            let tel = Telemetry::enabled();
+            let report = run(&tel);
+            print!("{report}");
+            println!("--- telemetry ---");
+            print!("{}", tel.snapshot().render_text());
+        }
+        OutputMode::Json => {
+            let tel = Telemetry::enabled();
+            let report = run(&tel);
+            println!("{}", render_json(name, &report, &tel.snapshot()));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn json_flag_wins() {
+        assert_eq!(mode_from(None, args(&[])), OutputMode::Text);
+        assert_eq!(mode_from(None, args(&["--json"])), OutputMode::Json);
+        assert_eq!(
+            mode_from(None, args(&["--telemetry"])),
+            OutputMode::TextWithTelemetry
+        );
+        assert_eq!(
+            mode_from(None, args(&["--telemetry", "--json"])),
+            OutputMode::Json
+        );
+    }
+
+    #[test]
+    fn env_var_enables_telemetry_output() {
+        let on = |v: &str| mode_from(Some(v.to_string()), args(&[]));
+        assert_eq!(on("1"), OutputMode::TextWithTelemetry);
+        assert_eq!(on("0"), OutputMode::Text);
+        assert_eq!(on(""), OutputMode::Text);
+        assert_eq!(
+            mode_from(Some("1".to_string()), args(&["--json"])),
+            OutputMode::Json
+        );
+    }
+
+    #[test]
+    fn json_envelope_escapes_the_report() {
+        let tel = Telemetry::enabled();
+        tel.count("x", 1);
+        let out = render_json("e00", "line1\nline2\t\"q\"", &tel.snapshot());
+        assert!(out.starts_with("{\"experiment\":\"e00\",\"report\":\"line1\\nline2"));
+        assert!(out.contains("\\\"q\\\""));
+        assert!(out.contains("\"telemetry\":{\"counters\":{\"x\":1}"));
+        assert!(out.ends_with('}'));
+    }
+}

@@ -22,9 +22,10 @@ const ISS: u32 = 0x0102_0304;
 
 /// Split-keyword mimicry with the neighbor's replay RST landing mid-flow;
 /// returns whether the censor still caught the keyword.
-fn censor_catches_split_keyword(rst_teardown: bool) -> bool {
+fn censor_catches_split_keyword(tel: &underradar_telemetry::Telemetry, rst_teardown: bool) -> bool {
     let policy = CensorPolicy::new().block_keyword("falun");
     let mut net = RoutedMimicryNet::build(71, policy);
+    let scope = crate::telemetry::instrument_routed(&mut net, tel);
     if let Some(censor) = net.sim.node_mut::<TapCensor>(net.censor) {
         censor.set_rst_teardown(rst_teardown);
     }
@@ -46,6 +47,7 @@ fn censor_catches_split_keyword(rst_teardown: bool) -> bool {
             ),
         );
     net.sim.run_for(SimDuration::from_secs(10)).expect("run");
+    crate::telemetry::finish_routed(&net, &scope, tel);
     net.sim
         .node_ref::<TapCensor>(net.censor)
         .expect("censor")
@@ -56,7 +58,7 @@ fn censor_catches_split_keyword(rst_teardown: bool) -> bool {
 
 /// A 120-port scan against a blackholed target; returns the alert count
 /// on the client under the given surveillance ordering.
-fn scan_alerts(alert_first: bool) -> usize {
+fn scan_alerts(tel: &underradar_telemetry::Telemetry, alert_first: bool) -> usize {
     let target = TargetSite::numbered("twitter.com", 0).web_ip;
     let policy = CensorPolicy::new().block_ip(Cidr::host(target));
     let mut tb = Testbed::build(TestbedConfig {
@@ -65,17 +67,25 @@ fn scan_alerts(alert_first: bool) -> usize {
         seed: 72,
         ..TestbedConfig::default()
     });
+    let scope = crate::telemetry::instrument_testbed(&mut tb, tel);
     let idx = tb.spawn_on_client(
         SimTime::ZERO,
         Box::new(SynScanProbe::new(target, top_ports(120), vec![80])),
     );
     tb.run_secs(60);
     let verdict = tb.client_task::<SynScanProbe>(idx).expect("scan").verdict();
-    RiskReport::evaluate(&tb, &verdict).alerts_on_client
+    let alerts = RiskReport::evaluate(&tb, &verdict).alerts_on_client;
+    crate::telemetry::finish_testbed(&tb, &scope, tel);
+    alerts
 }
 
-/// Run A1 and render its report.
+/// Run A1 with a disabled telemetry handle.
 pub fn run() -> String {
+    run_with(&underradar_telemetry::Telemetry::disabled())
+}
+
+/// Run A1 and render its report, recording telemetry into `tel`.
+pub fn run_with(tel: &underradar_telemetry::Telemetry) -> String {
     let mut out = heading(
         "A1",
         "ablations (DESIGN.md §5)",
@@ -84,8 +94,8 @@ pub fn run() -> String {
     let mut table = Table::new(&["ablation", "default behaviour", "ablated behaviour"]);
 
     // 1. RST-teardown reassembly.
-    let default_catch = censor_catches_split_keyword(true);
-    let ablated_catch = censor_catches_split_keyword(false);
+    let default_catch = censor_catches_split_keyword(tel, true);
+    let ablated_catch = censor_catches_split_keyword(tel, false);
     table.row(&[
         "censor reassembler: honor RST teardown -> ignore RSTs".to_string(),
         format!("split keyword caught after replay RST: {default_catch}"),
@@ -93,8 +103,8 @@ pub fn run() -> String {
     ]);
 
     // 2. MVR ordering.
-    let discard_first = scan_alerts(false);
-    let alert_first = scan_alerts(true);
+    let discard_first = scan_alerts(tel, false);
+    let alert_first = scan_alerts(tel, true);
     table.row(&[
         "surveillance: discard-first -> alert-first".to_string(),
         format!("client alerts from a 120-port scan: {discard_first}"),

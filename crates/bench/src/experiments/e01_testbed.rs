@@ -77,8 +77,13 @@ fn cases() -> Vec<Case> {
     ]
 }
 
-/// Run E1 and render its report.
+/// Run E1 with a disabled telemetry handle.
 pub fn run() -> String {
+    run_with(&underradar_telemetry::Telemetry::disabled())
+}
+
+/// Run E1 and render its report, recording per-case telemetry into `tel`.
+pub fn run_with(tel: &underradar_telemetry::Telemetry) -> String {
     let mut out = heading(
         "E1",
         "Figure 1 + §3.2.1 (reference systems)",
@@ -97,6 +102,7 @@ pub fn run() -> String {
             policy: case.policy,
             ..TestbedConfig::default()
         });
+        let scope = crate::telemetry::instrument_testbed(&mut tb, tel);
         let domain = DnsName::parse(case.domain).expect("domain");
         let probe = OvertProbe::new(&domain, tb.resolver_ip, tb.collector_ip, case.path);
         let idx = tb.spawn_on_client(SimTime::ZERO, Box::new(probe));
@@ -104,6 +110,7 @@ pub fn run() -> String {
         let probe = tb.client_task::<OvertProbe>(idx).expect("probe state");
         let verdict = probe.verdict();
         let acted = tb.censor_acted();
+        crate::telemetry::finish_testbed(&tb, &scope, tel);
         let pass = match case.expect_mechanism {
             Some(m) => acted && verdict.mechanism() == Some(m),
             None => !acted && verdict.is_reachable(),

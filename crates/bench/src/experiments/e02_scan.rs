@@ -18,8 +18,13 @@ use underradar_netsim::time::SimTime;
 
 use crate::table::{heading, mark, Table};
 
-/// Run E2 and render its report.
+/// Run E2 with a disabled telemetry handle.
 pub fn run() -> String {
+    run_with(&underradar_telemetry::Telemetry::disabled())
+}
+
+/// Run E2 and render its report, recording telemetry into `tel`.
+pub fn run_with(tel: &underradar_telemetry::Telemetry) -> String {
     let mut out = heading(
         "E2",
         "§3.2.2 (Method #1: scanning)",
@@ -54,12 +59,14 @@ pub fn run() -> String {
             seed: 7,
             ..TestbedConfig::default()
         });
+        let scope = crate::telemetry::instrument_testbed(&mut tb, tel);
         let probe = SynScanProbe::new(target, top_ports(60), vec![80]);
         let idx = tb.spawn_on_client(SimTime::ZERO, Box::new(probe));
         tb.run_secs(30);
         let scan = tb.client_task::<SynScanProbe>(idx).expect("scan state");
         let verdict = scan.verdict();
         let report = RiskReport::evaluate(&tb, &verdict);
+        crate::telemetry::finish_testbed(&tb, &scope, tel);
         let (mut open, mut closed) = (0, 0);
         for port in top_ports(60) {
             match scan.port_state(port) {

@@ -22,14 +22,20 @@ pub fn measurement_scores() -> Vec<f64> {
         .collect()
 }
 
-/// Run E3 and render its report.
+/// Run E3 with a disabled telemetry handle.
 pub fn run() -> String {
+    run_with(&underradar_telemetry::Telemetry::disabled())
+}
+
+/// Run E3 and render its report, recording telemetry into `tel`.
+pub fn run_with(tel: &underradar_telemetry::Telemetry) -> String {
     let mut out = heading(
         "E3",
         "Figure 2 (§3.2.3, spam evasion)",
         "all n=100 measurement emails score in the spam range (~40-100)",
     );
     let scores = measurement_scores();
+    underradar_spam::score::export_score_telemetry(tel, &scores);
     let cdf = empirical_cdf(&scores);
     out.push_str("CDF of spam scores for n=100 measurement emails:\n\n");
     out.push_str(&underradar_spam::cdf::render_ascii(

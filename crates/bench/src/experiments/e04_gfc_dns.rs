@@ -18,8 +18,13 @@ use underradar_protocols::dns::{DnsName, QType};
 
 use crate::table::{heading, mark, Table};
 
-/// Run E4 and render its report.
+/// Run E4 with a disabled telemetry handle.
 pub fn run() -> String {
+    run_with(&underradar_telemetry::Telemetry::disabled())
+}
+
+/// Run E4 and render its report, recording telemetry into `tel`.
+pub fn run_with(tel: &underradar_telemetry::Telemetry) -> String {
     let mut out = heading(
         "E4",
         "§3.2.3 (spam accuracy: GFC DNS injection)",
@@ -38,6 +43,7 @@ pub fn run() -> String {
                 policy,
                 ..TestbedConfig::default()
             });
+            let scope = crate::telemetry::instrument_testbed(&mut tb, tel);
             // Use a bare mimicry lookup (no cover) to capture the raw DNS
             // behaviour for this qtype.
             let probe = StatelessDnsMimicry::new(&name, qtype, tb.resolver_ip, vec![]);
@@ -50,6 +56,7 @@ pub fn run() -> String {
                 .any(|answers| answers.contains(&poison))
                 || probe.a_for_mx;
             let verdict = probe.verdict();
+            crate::telemetry::finish_testbed(&tb, &scope, tel);
             let pass = bad_a && verdict.is_censored();
             all_pass &= pass;
             table.row(&[
@@ -69,6 +76,7 @@ pub fn run() -> String {
         policy,
         ..TestbedConfig::default()
     });
+    let scope = crate::telemetry::instrument_testbed(&mut tb, tel);
     let idx = tb.spawn_on_client(
         SimTime::ZERO,
         Box::new(SpamProbe::new(
@@ -79,6 +87,7 @@ pub fn run() -> String {
     );
     tb.run_secs(20);
     let spam = tb.client_task::<SpamProbe>(idx).expect("spam probe");
+    crate::telemetry::finish_testbed(&tb, &scope, tel);
     let a_for_mx = spam.observations.iter().any(|o| o.a_for_mx);
     out.push_str(&format!(
         "\nfull spam pipeline on twitter.com: A-for-MX tell observed = {}, verdict = {}\n",

@@ -18,21 +18,33 @@ use underradar_netsim::time::SimTime;
 
 use crate::table::{heading, mark, Table};
 
-fn run_burst(policy: CensorPolicy, path: &str, samples: usize) -> (Testbed, usize) {
+fn run_burst(
+    tel: &underradar_telemetry::Telemetry,
+    policy: CensorPolicy,
+    path: &str,
+    samples: usize,
+) -> (Testbed, usize) {
     let mut tb = Testbed::build(TestbedConfig {
         policy,
         seed: 11,
         ..TestbedConfig::default()
     });
+    let scope = crate::telemetry::instrument_testbed(&mut tb, tel);
     let target = tb.target("youtube.com").expect("target").web_ip;
     let probe = DdosProbe::new(target, "youtube.com", path, samples);
     let idx = tb.spawn_on_client(SimTime::ZERO, Box::new(probe));
     tb.run_secs(180);
+    crate::telemetry::finish_testbed(&tb, &scope, tel);
     (tb, idx)
 }
 
-/// Run E5 and render its report.
+/// Run E5 with a disabled telemetry handle.
 pub fn run() -> String {
+    run_with(&underradar_telemetry::Telemetry::disabled())
+}
+
+/// Run E5 and render its report, recording telemetry into `tel`.
+pub fn run_with(tel: &underradar_telemetry::Telemetry) -> String {
     let mut out = heading(
         "E5",
         "§3.1 Method #3 (DDoS mimicry)",
@@ -47,7 +59,7 @@ pub fn run() -> String {
         "verdict",
     ]);
     for samples in [5usize, 20, 60] {
-        let (tb, idx) = run_burst(CensorPolicy::new(), "/watch", samples);
+        let (tb, idx) = run_burst(tel, CensorPolicy::new(), "/watch", samples);
         let probe = tb.client_task::<DdosProbe>(idx).expect("probe");
         let ddos_pkts = tb
             .surveillance()
@@ -89,6 +101,7 @@ pub fn run() -> String {
             seed: 11,
             ..TestbedConfig::default()
         });
+        let scope = crate::telemetry::instrument_testbed(&mut tb, tel);
         let target = tb.target("youtube.com").expect("target").web_ip;
         // Warm-up flood against the front page: by the time the measured
         // samples fire, the source is already in the discarded DDoS class
@@ -105,6 +118,7 @@ pub fn run() -> String {
         let probe = tb.client_task::<DdosProbe>(idx).expect("probe");
         let verdict = probe.verdict();
         let report = RiskReport::evaluate(&tb, &verdict);
+        crate::telemetry::finish_testbed(&tb, &scope, tel);
         let (ok, reset, refused, timeout) = probe.tally();
         all_pass &= report.verdict_correct && report.evades();
         acc.row(&[

@@ -19,8 +19,15 @@ use underradar_spoof::anonymity_set;
 
 use crate::table::{heading, mark, Table};
 
-/// Run E6 and render its report.
+/// Run E6 with a disabled telemetry handle.
 pub fn run() -> String {
+    run_with(&underradar_telemetry::Telemetry::disabled())
+}
+
+/// Run E6 and render its report. Each sweep trial records into its own
+/// registry (so the inner `run_sharded` stays scheduling-independent);
+/// the registries fold into `tel` in sweep order afterwards.
+pub fn run_with(tel: &underradar_telemetry::Telemetry) -> String {
     let mut out = heading(
         "E6",
         "Figure 3a (§4.1 stateless mimicry)",
@@ -38,6 +45,10 @@ pub fn run() -> String {
     // Each sweep point builds an independent testbed (fixed seed 5), so the
     // scan shards across threads; rows land in sweep order either way.
     let sweep = [0usize, 1, 4, 16, 64];
+    // `Telemetry` handles are single-threaded (Rc), so each trial records
+    // into a fresh local handle and ships the plain-data registry back;
+    // the fold below is in sweep order regardless of scheduling.
+    let telemetry_on = tel.is_enabled();
     let rows = crate::runner::run_sharded(&sweep, 6, |&cover_count, _| {
         let policy = CensorPolicy::new().block_domain(&DnsName::parse("twitter.com").expect("n"));
         let mut tb = Testbed::build(TestbedConfig {
@@ -46,6 +57,14 @@ pub fn run() -> String {
             seed: 5,
             ..TestbedConfig::default()
         });
+        let scope = if telemetry_on {
+            underradar_telemetry::Telemetry::enabled()
+        } else {
+            underradar_telemetry::Telemetry::disabled()
+        };
+        if scope.is_enabled() {
+            tb.set_telemetry(scope.clone());
+        }
         // Cover *addresses* may outnumber cover hosts (spoofed sources do
         // not need real machines behind them for stateless protocols).
         let cover: Vec<std::net::Ipv4Addr> = (0..cover_count)
@@ -71,9 +90,11 @@ pub fn run() -> String {
             .collect();
         let per_ip = anonymity_set(&sources, 32);
         let per_24 = anonymity_set(&sources, 24);
+        tb.export_telemetry(&scope);
         let pass = correct && per_ip == cover_count + 1;
         (
             pass,
+            scope.snapshot(),
             [
                 cover_count.to_string(),
                 verdict.to_string(),
@@ -84,8 +105,11 @@ pub fn run() -> String {
             ],
         )
     });
-    for (pass, row) in &rows {
+    for (pass, registry, row) in &rows {
         all_pass &= pass;
+        if telemetry_on {
+            tel.merge_registry(registry);
+        }
         table.row(row);
     }
     out.push_str(&table.render());

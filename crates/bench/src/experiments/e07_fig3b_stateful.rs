@@ -30,13 +30,18 @@ struct TtlOutcome {
     flow_reset: bool,
 }
 
-fn run_ttl(reply_ttl: Option<u8>, keyword_blocked: bool) -> TtlOutcome {
+fn run_ttl(
+    tel: &underradar_telemetry::Telemetry,
+    reply_ttl: Option<u8>,
+    keyword_blocked: bool,
+) -> TtlOutcome {
     let policy = if keyword_blocked {
         CensorPolicy::new().block_keyword("falun")
     } else {
         CensorPolicy::new()
     };
     let mut net = RoutedMimicryNet::build(17, policy);
+    let scope = crate::telemetry::instrument_routed(&mut net, tel);
     net.sim
         .node_mut::<Host>(net.mserver)
         .expect("mserver")
@@ -81,6 +86,7 @@ fn run_ttl(reply_ttl: Option<u8>, keyword_blocked: bool) -> TtlOutcome {
         .task_ref::<MimicServer>(0)
         .expect("server task");
     let censor = net.sim.node_ref::<TapCensor>(net.censor).expect("censor");
+    crate::telemetry::finish_routed(&net, &scope, tel);
     TtlOutcome {
         tap_saw_reply,
         neighbor_got_reply: cover_host.counters().tcp_in > 0,
@@ -91,8 +97,13 @@ fn run_ttl(reply_ttl: Option<u8>, keyword_blocked: bool) -> TtlOutcome {
     }
 }
 
-/// Run E7 and render its report.
+/// Run E7 with a disabled telemetry handle.
 pub fn run() -> String {
+    run_with(&underradar_telemetry::Telemetry::disabled())
+}
+
+/// Run E7 and render its report, recording telemetry into `tel`.
+pub fn run_with(tel: &underradar_telemetry::Telemetry) -> String {
     let mut out = heading(
         "E7",
         "Figure 3b (§4.1 stateful mimicry, TTL-limited replies)",
@@ -115,7 +126,7 @@ pub fn run() -> String {
     ]);
     let mut sweet_spot_ok = false;
     for ttl in 1u8..=5 {
-        let o = run_ttl(Some(ttl), false);
+        let o = run_ttl(tel, Some(ttl), false);
         if ttl == RoutedMimicryNet::HOPS_TO_COVER {
             sweet_spot_ok = o.tap_saw_reply && !o.neighbor_got_reply && !o.flow_reset;
         }
@@ -127,7 +138,7 @@ pub fn run() -> String {
             mark(o.server_got_data && !o.flow_reset).to_string(),
         ]);
     }
-    let unlimited = run_ttl(None, false);
+    let unlimited = run_ttl(tel, None, false);
     sweep.row(&[
         "64 (unlimited)".to_string(),
         mark(unlimited.tap_saw_reply).to_string(),
@@ -143,13 +154,13 @@ pub fn run() -> String {
         "censor injected RST",
         "server-side verdict correct",
     ]);
-    let sweet = run_ttl(Some(RoutedMimicryNet::HOPS_TO_COVER), true);
+    let sweet = run_ttl(tel, Some(RoutedMimicryNet::HOPS_TO_COVER), true);
     acc.row(&[
         RoutedMimicryNet::HOPS_TO_COVER.to_string(),
         mark(sweet.censor_detected).to_string(),
         mark(sweet.flow_reset).to_string(),
     ]);
-    let replay = run_ttl(None, true);
+    let replay = run_ttl(tel, None, true);
     acc.row(&[
         "64 (unlimited)".to_string(),
         mark(replay.censor_detected).to_string(),

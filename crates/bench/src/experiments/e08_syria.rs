@@ -19,8 +19,13 @@ use crate::table::{heading, Table};
 /// Population size for the synthetic log.
 pub const USERS: u32 = 30_000;
 
-/// Run E8 and render its report.
+/// Run E8 with a disabled telemetry handle.
 pub fn run() -> String {
+    run_with(&underradar_telemetry::Telemetry::disabled())
+}
+
+/// Run E8 and render its report, recording telemetry into `tel`.
+pub fn run_with(tel: &underradar_telemetry::Telemetry) -> String {
     let mut out = heading(
         "E8",
         "§2.2 (Syria censorship logs)",
@@ -30,6 +35,7 @@ pub fn run() -> String {
     let mut rng = SimRng::seed_from_u64(1507);
     let log = SyriaLog::generate(&config, &mut rng);
 
+    log.export_telemetry(tel);
     let frac = log.fraction_users_censored();
     let flagged = log.users_with_censored_access();
     let mut table = Table::new(&["metric", "paper", "measured"]);
@@ -83,6 +89,14 @@ pub fn run() -> String {
         });
         let triage = analyst.triage(&alerts);
         let pursued = triage.iter().filter(|i| i.pursued).count();
+        tel.set_counter(
+            &format!("surveil.analyst.cap{capacity}.pursued"),
+            pursued as u64,
+        );
+        tel.set_counter(
+            &format!("surveil.analyst.cap{capacity}.queued"),
+            triage.len() as u64,
+        );
         cap_table.row(&[
             capacity.to_string(),
             triage.len().to_string(),

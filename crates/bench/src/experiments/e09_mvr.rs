@@ -16,8 +16,13 @@ use underradar_workloads::population::{PopulationConfig, PopulationTraffic};
 
 use crate::table::{heading, mark, Table};
 
-/// Run E9 and render its report.
+/// Run E9 with a disabled telemetry handle.
 pub fn run() -> String {
+    run_with(&underradar_telemetry::Telemetry::disabled())
+}
+
+/// Run E9 and render its report, recording telemetry into `tel`.
+pub fn run_with(tel: &underradar_telemetry::Telemetry) -> String {
     let mut out = heading(
         "E9",
         "§2.1 (surveillance storage constraints / MVR)",
@@ -37,6 +42,8 @@ pub fn run() -> String {
     for tp in &stream {
         system.process(tp.time, &tp.packet);
     }
+    PopulationTraffic::export_telemetry(&stream, tel);
+    system.export_telemetry(tel);
 
     let mvr = system.mvr();
     let mut table = Table::new(&["class", "packets", "bytes", "retained bytes", "discarded"]);

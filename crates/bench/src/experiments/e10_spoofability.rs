@@ -18,8 +18,13 @@ use crate::table::{heading, Table};
 /// Population size for the sample.
 pub const CLIENTS: usize = 20_000;
 
-/// Run E10 and render its report.
+/// Run E10 with a disabled telemetry handle.
 pub fn run() -> String {
+    run_with(&underradar_telemetry::Telemetry::disabled())
+}
+
+/// Run E10 and render its report, recording telemetry into `tel`.
+pub fn run_with(tel: &underradar_telemetry::Telemetry) -> String {
     let mut out = heading(
         "E10",
         "§4.2 (spoofing feasibility, Beverly et al.)",
@@ -33,6 +38,7 @@ pub fn run() -> String {
         &mut rng,
     );
 
+    population.export_telemetry(tel);
     let mut table = Table::new(&["capability", "paper", "measured"]);
     table.row(&[
         "can spoof within /24".to_string(),

@@ -25,8 +25,13 @@ use underradar_workloads::population::{PopulationConfig, PopulationTraffic};
 
 use crate::table::{heading, Table};
 
-/// Run E11 and render its report.
+/// Run E11 with a disabled telemetry handle.
 pub fn run() -> String {
+    run_with(&underradar_telemetry::Telemetry::disabled())
+}
+
+/// Run E11 and render its report, recording telemetry into `tel`.
+pub fn run_with(tel: &underradar_telemetry::Telemetry) -> String {
     let mut out = heading(
         "E11",
         "§6 (ethics: load and alert impact)",
@@ -96,6 +101,12 @@ pub fn run() -> String {
         cover_queries += 1;
     }
     let cover_alerts = with_cover.stats().alerts - base_alerts;
+    // Export the full scenario (population + cover campaign); the
+    // baseline-only system is a control, not the modelled deployment.
+    PopulationTraffic::export_telemetry(&population, tel);
+    with_cover.export_telemetry(tel);
+    tel.set_counter("workloads.cover.queries", cover_queries);
+    tel.set_counter("surveil.cover_campaign.alerts", cover_alerts as u64);
 
     let mut alerts = Table::new(&["source of alerts", "alerts", "of total"]);
     let total = with_cover.stats().alerts.max(1);

@@ -38,11 +38,12 @@ fn blocked(domain: &str) -> CensorPolicy {
     CensorPolicy::new().block_domain(&DnsName::parse(domain).expect("n"))
 }
 
-fn overt_row() -> Row {
+fn overt_row(tel: &underradar_telemetry::Telemetry) -> Row {
     let mut tb = Testbed::build(TestbedConfig {
         policy: blocked("twitter.com"),
         ..TestbedConfig::default()
     });
+    let scope = crate::telemetry::instrument_testbed(&mut tb, tel);
     let d = DnsName::parse("twitter.com").expect("n");
     let idx = tb.spawn_on_client(
         SimTime::ZERO,
@@ -50,6 +51,7 @@ fn overt_row() -> Row {
     );
     tb.run_secs(20);
     let verdict = tb.client_task::<OvertProbe>(idx).expect("p").verdict();
+    crate::telemetry::finish_testbed(&tb, &scope, tel);
     Row {
         method: "overt (OONI-style baseline)",
         scenario: "dns-block",
@@ -57,19 +59,21 @@ fn overt_row() -> Row {
     }
 }
 
-fn scan_row() -> Row {
+fn scan_row(tel: &underradar_telemetry::Telemetry) -> Row {
     let target = TargetSite::numbered("twitter.com", 0).web_ip;
     let policy = CensorPolicy::new().block_ip(Cidr::host(target));
     let mut tb = Testbed::build(TestbedConfig {
         policy,
         ..TestbedConfig::default()
     });
+    let scope = crate::telemetry::instrument_testbed(&mut tb, tel);
     let idx = tb.spawn_on_client(
         SimTime::ZERO,
         Box::new(SynScanProbe::new(target, top_ports(60), vec![80])),
     );
     tb.run_secs(30);
     let verdict = tb.client_task::<SynScanProbe>(idx).expect("p").verdict();
+    crate::telemetry::finish_testbed(&tb, &scope, tel);
     Row {
         method: "scan (Method #1)",
         scenario: "ip-blackhole",
@@ -77,11 +81,12 @@ fn scan_row() -> Row {
     }
 }
 
-fn spam_row() -> Row {
+fn spam_row(tel: &underradar_telemetry::Telemetry) -> Row {
     let mut tb = Testbed::build(TestbedConfig {
         policy: blocked("twitter.com"),
         ..TestbedConfig::default()
     });
+    let scope = crate::telemetry::instrument_testbed(&mut tb, tel);
     let resolver = tb.resolver_ip;
     // Campaign warm-up earns the spammer label before the measured lookup.
     for (i, warmup) in ["bbc.com", "example.org", "youtube.com"].iter().enumerate() {
@@ -98,6 +103,7 @@ fn spam_row() -> Row {
     );
     tb.run_secs(40);
     let verdict = tb.client_task::<SpamProbe>(idx).expect("p").verdict();
+    crate::telemetry::finish_testbed(&tb, &scope, tel);
     Row {
         method: "spam campaign (Method #2)",
         scenario: "dns-block",
@@ -105,12 +111,13 @@ fn spam_row() -> Row {
     }
 }
 
-fn ddos_row() -> Row {
+fn ddos_row(tel: &underradar_telemetry::Telemetry) -> Row {
     let policy = CensorPolicy::new().block_keyword("falun");
     let mut tb = Testbed::build(TestbedConfig {
         policy,
         ..TestbedConfig::default()
     });
+    let scope = crate::telemetry::instrument_testbed(&mut tb, tel);
     let target = tb.target("youtube.com").expect("t").web_ip;
     tb.spawn_on_client(
         SimTime::ZERO,
@@ -122,6 +129,7 @@ fn ddos_row() -> Row {
     );
     tb.run_secs(180);
     let verdict = tb.client_task::<DdosProbe>(idx).expect("p").verdict();
+    crate::telemetry::finish_testbed(&tb, &scope, tel);
     Row {
         method: "ddos burst (Method #3)",
         scenario: "keyword-rst",
@@ -129,12 +137,13 @@ fn ddos_row() -> Row {
     }
 }
 
-fn stateless_row() -> Row {
+fn stateless_row(tel: &underradar_telemetry::Telemetry) -> Row {
     let mut tb = Testbed::build(TestbedConfig {
         policy: blocked("twitter.com"),
         cover_hosts: 8,
         ..TestbedConfig::default()
     });
+    let scope = crate::telemetry::instrument_testbed(&mut tb, tel);
     let cover: Vec<std::net::Ipv4Addr> = (0..16)
         .map(|i| std::net::Ipv4Addr::new(10, 0, 1, 30 + i as u8))
         .collect();
@@ -153,6 +162,7 @@ fn stateless_row() -> Row {
         .client_task::<StatelessDnsMimicry>(idx)
         .expect("p")
         .verdict();
+    crate::telemetry::finish_testbed(&tb, &scope, tel);
     Row {
         method: "stateless mimicry (Fig 3a)",
         scenario: "dns-block",
@@ -160,11 +170,12 @@ fn stateless_row() -> Row {
     }
 }
 
-fn stateful_row() -> Row {
+fn stateful_row(tel: &underradar_telemetry::Telemetry) -> Row {
     const PORT: u16 = 7443;
     const ISS: u32 = 0x1212_3434;
     let policy = CensorPolicy::new().block_keyword("falun");
     let mut net = RoutedMimicryNet::build(12, policy);
+    let scope = crate::telemetry::instrument_routed(&mut net, tel);
     net.sim
         .node_mut::<Host>(net.mserver)
         .expect("mserver")
@@ -223,6 +234,7 @@ fn stateful_row() -> Row {
             }
         },
     };
+    crate::telemetry::finish_routed(&net, &scope, tel);
     Row {
         method: "stateful mimicry (Fig 3b)",
         scenario: "keyword-rst",
@@ -230,20 +242,26 @@ fn stateful_row() -> Row {
     }
 }
 
-/// Run E12 and render its report.
+/// Run E12 with a disabled telemetry handle.
 pub fn run() -> String {
+    run_with(&underradar_telemetry::Telemetry::disabled())
+}
+
+/// Run E12 and render its report, recording per-method telemetry into
+/// `tel`.
+pub fn run_with(tel: &underradar_telemetry::Telemetry) -> String {
     let mut out = heading(
         "E12",
         "headline result (§1/§7)",
         "stealthy techniques match the overt baseline's accuracy without its risk",
     );
     let rows = vec![
-        overt_row(),
-        scan_row(),
-        spam_row(),
-        ddos_row(),
-        stateless_row(),
-        stateful_row(),
+        overt_row(tel),
+        scan_row(tel),
+        spam_row(tel),
+        ddos_row(tel),
+        stateless_row(tel),
+        stateful_row(tel),
     ];
     let mut table = Table::new(&[
         "method",
@@ -286,6 +304,7 @@ pub fn run() -> String {
         surveillance_alert_first: true,
         ..TestbedConfig::default()
     });
+    let scope = crate::telemetry::instrument_testbed(&mut tb, tel);
     let idx = tb.spawn_on_client(
         SimTime::ZERO,
         Box::new(SynScanProbe::new(target, top_ports(120), vec![80])),
@@ -293,6 +312,7 @@ pub fn run() -> String {
     tb.run_secs(60);
     let verdict = tb.client_task::<SynScanProbe>(idx).expect("p").verdict();
     let ablation = RiskReport::evaluate(&tb, &verdict);
+    crate::telemetry::finish_testbed(&tb, &scope, tel);
     out.push_str(&format!(
         "\nablation (§3.2.1 caveat): alert-before-MVR surveillance with a generic SYN-fanout\n\
          rule re-identifies the 120-port scan: evades={} alerts={}\n",

@@ -1,6 +1,8 @@
 //! One module per reproduced table/figure. See `DESIGN.md` §4 for the
 //! experiment ↔ paper mapping.
 
+use underradar_telemetry::{Registry, Telemetry};
+
 pub mod a1_ablations;
 pub mod e01_testbed;
 pub mod e02_scan;
@@ -15,24 +17,26 @@ pub mod e10_spoofability;
 pub mod e11_ethics_load;
 pub mod e12_risk_matrix;
 
-/// A named experiment entry point.
-pub type Experiment = (&'static str, fn() -> String);
+/// A named experiment entry point. The function records metrics into the
+/// given [`Telemetry`] handle (a disabled handle costs one branch per
+/// site, so `run_with(&Telemetry::disabled())` is the plain run).
+pub type Experiment = (&'static str, fn(&Telemetry) -> String);
 
-/// Every experiment, in report order: `(name, run)`.
+/// Every experiment, in report order: `(name, run_with)`.
 pub const ALL: [Experiment; 13] = [
-    ("e01_testbed", e01_testbed::run),
-    ("e02_scan", e02_scan::run),
-    ("e03_fig2_spam_cdf", e03_fig2_spam_cdf::run),
-    ("e04_gfc_dns", e04_gfc_dns::run),
-    ("e05_ddos", e05_ddos::run),
-    ("e06_fig3a_stateless", e06_fig3a_stateless::run),
-    ("e07_fig3b_stateful", e07_fig3b_stateful::run),
-    ("e08_syria", e08_syria::run),
-    ("e09_mvr", e09_mvr::run),
-    ("e10_spoofability", e10_spoofability::run),
-    ("e11_ethics_load", e11_ethics_load::run),
-    ("e12_risk_matrix", e12_risk_matrix::run),
-    ("a1_ablations", a1_ablations::run),
+    ("e01_testbed", e01_testbed::run_with),
+    ("e02_scan", e02_scan::run_with),
+    ("e03_fig2_spam_cdf", e03_fig2_spam_cdf::run_with),
+    ("e04_gfc_dns", e04_gfc_dns::run_with),
+    ("e05_ddos", e05_ddos::run_with),
+    ("e06_fig3a_stateless", e06_fig3a_stateless::run_with),
+    ("e07_fig3b_stateful", e07_fig3b_stateful::run_with),
+    ("e08_syria", e08_syria::run_with),
+    ("e09_mvr", e09_mvr::run_with),
+    ("e10_spoofability", e10_spoofability::run_with),
+    ("e11_ethics_load", e11_ethics_load::run_with),
+    ("e12_risk_matrix", e12_risk_matrix::run_with),
+    ("a1_ablations", a1_ablations::run_with),
 ];
 
 /// Run every experiment, concatenating reports (used by the `cargo bench`
@@ -43,5 +47,59 @@ pub const ALL: [Experiment; 13] = [
 /// and each experiment seeds its own RNGs, so the report is byte-identical
 /// to the old sequential run.
 pub fn run_all() -> String {
-    crate::runner::run_sharded(&ALL, 0, |&(_, run), _| run()).concat()
+    crate::runner::run_sharded(&ALL, 0, |&(_, run), _| run(&Telemetry::disabled())).concat()
+}
+
+/// One experiment's outcome: name, rendered report, telemetry registry.
+pub type ExperimentResult = (&'static str, String, Registry);
+
+/// Run `experiments` with telemetry enabled, sharded across worker
+/// threads. Each experiment records into its own registry, so results are
+/// independent of scheduling; the output is in item order and
+/// byte-identical to [`collect_sequential`].
+pub fn collect(experiments: &[Experiment]) -> Vec<ExperimentResult> {
+    crate::runner::run_sharded(experiments, 0, |&(name, run), _| {
+        let tel = Telemetry::enabled();
+        let report = run(&tel);
+        (name, report, tel.snapshot())
+    })
+}
+
+/// Run `experiments` with telemetry enabled, one after another on this
+/// thread (the reference ordering [`collect`] must match byte-for-byte).
+pub fn collect_sequential(experiments: &[Experiment]) -> Vec<ExperimentResult> {
+    experiments
+        .iter()
+        .map(|&(name, run)| {
+            let tel = Telemetry::enabled();
+            let report = run(&tel);
+            (name, report, tel.snapshot())
+        })
+        .collect()
+}
+
+/// Run every experiment with telemetry enabled (sharded).
+pub fn run_all_with_telemetry() -> Vec<ExperimentResult> {
+    collect(&ALL)
+}
+
+/// Render `BENCH_telemetry.json`: every experiment's registry in run
+/// order, plus a merged view folding all of them together (counters add,
+/// gauges overwrite, histograms bucket-add). Deterministic: same inputs,
+/// same bytes.
+pub fn telemetry_json(results: &[ExperimentResult]) -> String {
+    let mut merged = Registry::default();
+    let mut out = String::from("{\"experiments\":{");
+    for (i, (name, _, registry)) in results.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        underradar_telemetry::json::push_key(&mut out, name);
+        out.push_str(&registry.to_json());
+        merged.merge(registry);
+    }
+    out.push_str("},\"merged\":");
+    out.push_str(&merged.to_json());
+    out.push_str("}\n");
+    out
 }

@@ -1,4 +1,7 @@
 #![warn(missing_docs)]
+// Library paths must surface failures as typed errors or documented
+// invariant expects — never bare unwraps (test code is exempt).
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 //! # underradar-bench
 //!
@@ -14,8 +17,10 @@
 //! because each experiment seeds its own RNGs. The experiment ↔ paper
 //! mapping lives in `DESIGN.md` §4 and `EXPERIMENTS.md`.
 
+pub mod cli;
 pub mod experiments;
 pub mod runner;
 pub mod table;
+pub mod telemetry;
 
 pub use table::Table;

@@ -1,0 +1,69 @@
+//! Telemetry determinism regression (ISSUE satellite): the registries an
+//! experiment produces — and the `BENCH_telemetry.json` rendering built
+//! from them — must be byte-identical run-to-run and between the
+//! sequential and sharded (`run_sharded`) execution paths.
+//!
+//! Uses the cheaper experiments so the double-run stays fast; the sharded
+//! path is the same code `run_all_with_telemetry` uses for all thirteen.
+
+use underradar_bench::experiments::{collect, collect_sequential, telemetry_json, Experiment, ALL};
+
+/// A representative, fast subset: pure-generator (E3, E8, E10) and
+/// pipeline (E9) experiments.
+fn subset() -> Vec<Experiment> {
+    ALL.iter()
+        .copied()
+        .filter(|(name, _)| {
+            matches!(
+                *name,
+                "e03_fig2_spam_cdf" | "e08_syria" | "e09_mvr" | "e10_spoofability"
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn telemetry_json_is_identical_across_repeat_runs() {
+    let exps = subset();
+    let a = telemetry_json(&collect_sequential(&exps));
+    let b = telemetry_json(&collect_sequential(&exps));
+    assert_eq!(a, b, "same experiments, same seed, same bytes");
+    assert!(a.contains("\"e09_mvr\""));
+    assert!(a.contains("\"merged\""));
+}
+
+#[test]
+fn sharded_and_sequential_runs_agree_byte_for_byte() {
+    let exps = subset();
+    let sequential = collect_sequential(&exps);
+    let sharded = collect(&exps);
+    for ((n1, r1, reg1), (n2, r2, reg2)) in sequential.iter().zip(sharded.iter()) {
+        assert_eq!(n1, n2);
+        assert_eq!(r1, r2, "{n1}: report differs under sharding");
+        assert_eq!(
+            reg1.to_json(),
+            reg2.to_json(),
+            "{n1}: registry differs under sharding"
+        );
+    }
+    assert_eq!(telemetry_json(&sequential), telemetry_json(&sharded));
+}
+
+#[test]
+fn e09_registry_covers_the_surveillance_pipeline() {
+    let exps: Vec<Experiment> = ALL
+        .iter()
+        .copied()
+        .filter(|(name, _)| *name == "e09_mvr")
+        .collect();
+    let results = collect_sequential(&exps);
+    let registry = &results[0].2;
+    assert!(registry.counter("surveil.observed") > 0);
+    assert!(registry.counter("surveil.mvr.total_bytes") > 0);
+    assert!(registry.counter("surveil.store.metadata.inserted") > 0);
+    assert!(registry.counter("workloads.population.packets") > 0);
+    assert!(
+        !registry.histograms["workloads.population.pkt_bytes"].is_empty(),
+        "packet-size histogram populated"
+    );
+}

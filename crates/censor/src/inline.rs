@@ -68,6 +68,25 @@ impl InlineCensor {
         self.stats
     }
 
+    /// Mirror inline-censor totals into `tel` under `censor.inline.*`:
+    /// forward/drop counters, per-mechanism action counts, and one
+    /// structured event per logged action. Call once, at the end of a run
+    /// (the events append).
+    pub fn export_telemetry(&self, tel: &underradar_telemetry::Telemetry) {
+        if !tel.is_enabled() {
+            return;
+        }
+        tel.set_counter("censor.inline.forwarded", self.stats.forwarded);
+        tel.set_counter("censor.inline.ip_drops", self.stats.ip_drops);
+        tel.set_counter("censor.inline.port_drops", self.stats.port_drops);
+        tel.set_counter("censor.inline.url_blocks", self.stats.url_blocks);
+        tel.set_gauge(
+            "censor.inline.live_flows",
+            self.reassembler.flow_count() as i64,
+        );
+        crate::policy::export_actions(tel, "censor.inline", &self.actions);
+    }
+
     fn other(iface: IfaceId) -> IfaceId {
         IfaceId(1 - iface.0.min(1))
     }

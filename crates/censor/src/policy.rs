@@ -45,6 +45,52 @@ pub enum CensorActionKind {
     },
 }
 
+impl CensorActionKind {
+    /// Stable machine-readable label, used as the telemetry metric suffix
+    /// (`<prefix>.actions.<label>`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            CensorActionKind::KeywordRst { .. } => "keyword_rst",
+            CensorActionKind::DnsInjection { .. } => "dns_injection",
+            CensorActionKind::IpDrop { .. } => "ip_drop",
+            CensorActionKind::PortDrop { .. } => "port_drop",
+            CensorActionKind::UrlBlock { .. } => "url_block",
+        }
+    }
+}
+
+/// Export a logged action stream into `tel`: one counter per blocking
+/// mechanism under `<prefix>.actions.<label>`, plus one structured event
+/// per action keyed to its simulated time. The counters are idempotent;
+/// the events append, so call this once per run.
+pub fn export_actions(
+    tel: &underradar_telemetry::Telemetry,
+    prefix: &str,
+    actions: &[CensorAction],
+) {
+    if !tel.is_enabled() {
+        return;
+    }
+    let mut counts: std::collections::BTreeMap<&'static str, u64> =
+        std::collections::BTreeMap::new();
+    for a in actions {
+        *counts.entry(a.kind.label()).or_insert(0) += 1;
+    }
+    for (label, n) in counts {
+        tel.set_counter(&format!("{prefix}.actions.{label}"), n);
+    }
+    for a in actions {
+        tel.event(
+            a.time.as_nanos(),
+            &format!("{prefix}.action"),
+            &[
+                ("kind", a.kind.label().into()),
+                ("client", a.client.to_string().into()),
+            ],
+        );
+    }
+}
+
 /// A logged censorship action.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CensorAction {

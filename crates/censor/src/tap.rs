@@ -97,6 +97,25 @@ impl TapCensor {
         &self.policy
     }
 
+    /// Mirror tap-censor totals into `tel` under `censor.tap.*`: packet
+    /// and injection counters, live flow-tracking state, per-mechanism
+    /// action counts, and one structured event per logged action. Call
+    /// once, at the end of a run (the events append).
+    pub fn export_telemetry(&self, tel: &underradar_telemetry::Telemetry) {
+        if !tel.is_enabled() {
+            return;
+        }
+        tel.set_counter("censor.tap.observed", self.stats.observed);
+        tel.set_counter("censor.tap.rst_injections", self.stats.rst_injections);
+        tel.set_counter("censor.tap.dns_injections", self.stats.dns_injections);
+        tel.set_gauge(
+            "censor.tap.live_flows",
+            self.reassembler.flow_count() as i64,
+        );
+        tel.set_gauge("censor.tap.cursors", self.cursors.len() as i64);
+        crate::policy::export_actions(tel, "censor.tap", &self.actions);
+    }
+
     fn keyword_hit(&mut self, ctx: &mut NodeCtx<'_>, iface: IfaceId, pkt: &Packet) {
         let Some(seg) = pkt.as_tcp() else { return };
         let Some(flow_ctx) = self.reassembler.process(pkt) else {

@@ -1,4 +1,7 @@
 #![warn(missing_docs)]
+// Library paths must surface failures as typed errors or documented
+// invariant expects — never bare unwraps (test code is exempt).
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 //! # underradar-core
 //!

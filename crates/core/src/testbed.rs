@@ -379,6 +379,33 @@ impl Testbed {
             .system()
     }
 
+    /// Attach a telemetry handle to the simulator so the scheduler's live
+    /// counters (events, link transmits/drops, queue depths) record into
+    /// it as the simulation runs.
+    pub fn set_telemetry(&mut self, tel: underradar_netsim::telemetry::Telemetry) {
+        self.sim.set_telemetry(tel);
+    }
+
+    /// Mirror the whole testbed's state into `tel`: scheduler totals plus
+    /// the tap censor, inline censor, and surveillance pipeline exports.
+    /// Counters and gauges are idempotent; censor-action events append,
+    /// so call once per run.
+    pub fn export_telemetry(&self, tel: &underradar_netsim::telemetry::Telemetry) {
+        if !tel.is_enabled() {
+            return;
+        }
+        self.sim.export_telemetry(tel);
+        if let Some(tap) = self.sim.node_ref::<TapCensor>(self.censor) {
+            tap.export_telemetry(tel);
+        }
+        if let Some(inline) = self.sim.node_ref::<InlineCensor>(self.inline_censor) {
+            inline.export_telemetry(tel);
+        }
+        if let Some(surv) = self.sim.node_ref::<SurveillanceNode>(self.surveillance) {
+            surv.system().export_telemetry(tel);
+        }
+    }
+
     /// A target by domain string.
     pub fn target(&self, domain: &str) -> Option<&TargetSite> {
         self.targets.iter().find(|t| t.domain.to_string() == domain)
@@ -540,6 +567,48 @@ mod tests {
         tb.spawn_on_client(SimTime::ZERO, Box::new(Syn { target: web }));
         tb.run_secs(5);
         assert!(tb.surveillance().stats().observed > 0);
+    }
+
+    #[test]
+    fn telemetry_covers_scheduler_censor_and_surveillance() {
+        use underradar_netsim::telemetry::Telemetry;
+        struct Get {
+            target: Ipv4Addr,
+        }
+        impl HostTask for Get {
+            fn on_start(&mut self, api: &mut HostApi<'_, '_>) {
+                api.tcp_connect(self.target, 80);
+            }
+            fn on_tcp(&mut self, api: &mut HostApi<'_, '_>, conn: ConnId, ev: TcpEvent) {
+                if let TcpEvent::Connected = ev {
+                    api.tcp_send(conn, b"GET /falun HTTP/1.0\r\nHost: x\r\n\r\n");
+                }
+            }
+        }
+        let config = TestbedConfig {
+            policy: CensorPolicy::new().block_keyword("falun"),
+            ..TestbedConfig::default()
+        };
+        let mut tb = Testbed::build(config);
+        let tel = Telemetry::enabled();
+        tb.set_telemetry(tel.clone());
+        let web = tb.target("bbc.com").expect("t").web_ip;
+        tb.spawn_on_client(SimTime::ZERO, Box::new(Get { target: web }));
+        tb.run_secs(10);
+        tb.export_telemetry(&tel);
+        let snap = tel.snapshot();
+        assert!(snap.counter("netsim.events_processed") > 0);
+        assert!(snap.counter("netsim.link.transmits") > 0);
+        assert!(snap.counter("censor.tap.rst_injections") > 0);
+        assert!(snap.counter("surveil.observed") > 0);
+        assert!(
+            snap.events.iter().any(|e| e.kind == "censor.tap.action"),
+            "censor actions surface as structured events"
+        );
+        // Re-export only appends more events; counters stay identical.
+        let before = snap.counters.clone();
+        tb.export_telemetry(&tel);
+        assert_eq!(tel.snapshot().counters, before);
     }
 
     #[test]

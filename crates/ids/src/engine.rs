@@ -47,6 +47,9 @@ pub struct EngineStats {
     pub alerts: u64,
     /// Packets suppressed by `pass` rules.
     pub passed: u64,
+    /// Bytes fed through the Aho–Corasick prefilter (per-packet scans plus
+    /// incremental stream cursor feeds).
+    pub ac_bytes_scanned: u64,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -153,6 +156,39 @@ impl DetectionEngine {
         &self.rules
     }
 
+    /// Mirror engine, reassembler and flow-state totals into `tel` under
+    /// `<prefix>.…` names. Idempotent (absolute totals), so it can be
+    /// called at any point; `prefix` distinguishes multiple engines (e.g.
+    /// `ids` for a monitor, `surveil.engine` for the MVR's).
+    pub fn export_telemetry(&self, tel: &underradar_telemetry::Telemetry, prefix: &str) {
+        if !tel.is_enabled() {
+            return;
+        }
+        let s = self.stats;
+        tel.set_counter(&format!("{prefix}.packets"), s.packets);
+        tel.set_counter(&format!("{prefix}.evaluations"), s.evaluations);
+        tel.set_counter(&format!("{prefix}.alerts"), s.alerts);
+        tel.set_counter(&format!("{prefix}.passed"), s.passed);
+        tel.set_counter(&format!("{prefix}.ac_bytes_scanned"), s.ac_bytes_scanned);
+        let r = self.reassembler.stats();
+        tel.set_counter(&format!("{prefix}.flows.created"), r.flows_created);
+        tel.set_counter(&format!("{prefix}.flows.evicted"), r.evicted);
+        tel.set_counter(&format!("{prefix}.flows.rst_teardowns"), r.rst_teardowns);
+        tel.set_counter(&format!("{prefix}.flows.fin_teardowns"), r.fin_teardowns);
+        tel.set_counter(&format!("{prefix}.flows.removals"), r.removals);
+        tel.set_counter(&format!("{prefix}.segments"), r.segments);
+        tel.set_counter(&format!("{prefix}.bytes_appended"), r.bytes_appended);
+        tel.set_counter(&format!("{prefix}.bytes_copied"), r.bytes_copied());
+        tel.set_gauge(
+            &format!("{prefix}.flows.live"),
+            self.reassembler.flow_count() as i64,
+        );
+        tel.set_gauge(
+            &format!("{prefix}.flow_match_states"),
+            self.flow_streams.len() as i64,
+        );
+    }
+
     /// Process one packet; returns the alerts it raised (also appended to
     /// the log).
     pub fn process(&mut self, now: SimTime, packet: &Packet) -> Vec<Alert> {
@@ -165,6 +201,7 @@ impl DetectionEngine {
         let payload = packet.body.payload();
         if let Some(ctx) = &flow_ctx {
             if ctx.appended {
+                self.stats.ac_bytes_scanned += payload.len() as u64;
                 let st = self
                     .flow_streams
                     .entry((ctx.key, ctx.direction))
@@ -204,6 +241,7 @@ impl DetectionEngine {
         // Candidate set: prefilter over this packet's payload, rules whose
         // fast pattern has appeared in the flow's stream (incremental), and
         // rules with no fast pattern.
+        self.stats.ac_bytes_scanned += payload.len() as u64;
         let mut candidates: Vec<usize> = self
             .prefilter
             .matching_patterns(payload)

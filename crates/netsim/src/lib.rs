@@ -1,4 +1,7 @@
 #![warn(missing_docs)]
+// Library paths must surface failures as typed errors or documented
+// invariant expects — never bare unwraps (test code is exempt).
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 //! # underradar-netsim
 //!
@@ -26,6 +29,11 @@
 //!
 //! Everything is seeded and single-threaded: the same seed reproduces the
 //! same packet trace, which the test suite exploits heavily.
+//!
+//! The scheduler can record live metrics (events by kind, link
+//! transmits/bytes/drops, queue depths) into an `underradar-telemetry`
+//! registry via [`Simulator::set_telemetry`]; the crate is re-exported as
+//! [`telemetry`] for downstream convenience.
 
 pub mod addr;
 pub mod capture;
@@ -45,6 +53,8 @@ pub mod testprop;
 pub mod time;
 pub mod topology;
 pub mod wire;
+
+pub use underradar_telemetry as telemetry;
 
 pub use addr::Cidr;
 pub use capture::{Capture, CapturedPacket};

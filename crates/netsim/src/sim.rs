@@ -17,11 +17,11 @@
 //! let mut sim = Simulator::new(1);
 //! let a = sim.add_node(Box::new(Sink { name: "a".into(), got: 0 }));
 //! let b = sim.add_node(Box::new(Sink { name: "b".into(), got: 0 }));
-//! sim.wire(a, IfaceId(0), b, IfaceId(0), LinkConfig::default()).unwrap();
+//! sim.wire(a, IfaceId(0), b, IfaceId(0), LinkConfig::default()).expect("fresh ifaces wire");
 //! let pkt = Packet::udp([10,0,0,1].into(), [10,0,0,2].into(), 1, 2, vec![]);
-//! sim.send_from(a, IfaceId(0), pkt, SimTime::ZERO).unwrap();
-//! sim.run_for(SimDuration::from_secs(1)).unwrap();
-//! assert_eq!(sim.node_ref::<Sink>(b).unwrap().got, 1);
+//! sim.send_from(a, IfaceId(0), pkt, SimTime::ZERO).expect("node a exists");
+//! sim.run_for(SimDuration::from_secs(1)).expect("within event budget");
+//! assert_eq!(sim.node_ref::<Sink>(b).expect("node b exists").got, 1);
 //! ```
 
 use crate::capture::{Capture, CapturedPacket};
@@ -32,9 +32,51 @@ use crate::node::{Emit, IfaceId, Node, NodeCtx, NodeId};
 use crate::packet::Packet;
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
+use underradar_telemetry::{Counter, HistogramHandle, Telemetry};
 
 /// Default cap on processed events, a guard against runaway packet storms.
 pub const DEFAULT_EVENT_BUDGET: u64 = 50_000_000;
+
+/// Pre-resolved scheduler metric handles. All-disabled by default, so the
+/// hot loop pays one boolean check per event when telemetry is off.
+struct SimMetrics {
+    live: bool,
+    events_deliver: Counter,
+    events_timer: Counter,
+    events_transmit: Counter,
+    link_transmits: Counter,
+    link_tx_bytes: Counter,
+    link_drops: Counter,
+    queue_depth: HistogramHandle,
+}
+
+impl SimMetrics {
+    fn disabled() -> Self {
+        SimMetrics {
+            live: false,
+            events_deliver: Counter::disabled(),
+            events_timer: Counter::disabled(),
+            events_transmit: Counter::disabled(),
+            link_transmits: Counter::disabled(),
+            link_tx_bytes: Counter::disabled(),
+            link_drops: Counter::disabled(),
+            queue_depth: HistogramHandle::disabled(),
+        }
+    }
+
+    fn resolve(tel: &Telemetry) -> Self {
+        SimMetrics {
+            live: tel.is_enabled(),
+            events_deliver: tel.counter("netsim.events.deliver"),
+            events_timer: tel.counter("netsim.events.timer"),
+            events_transmit: tel.counter("netsim.events.transmit"),
+            link_transmits: tel.counter("netsim.link.transmits"),
+            link_tx_bytes: tel.counter("netsim.link.tx_bytes"),
+            link_drops: tel.counter("netsim.link.drops"),
+            queue_depth: tel.histogram("netsim.queue.depth"),
+        }
+    }
+}
 
 /// The discrete-event network simulator.
 pub struct Simulator {
@@ -52,6 +94,8 @@ pub struct Simulator {
     events_processed: u64,
     next_timer: u64,
     emits: Vec<Emit>,
+    telemetry: Telemetry,
+    metrics: SimMetrics,
 }
 
 impl Simulator {
@@ -71,7 +115,39 @@ impl Simulator {
             events_processed: 0,
             next_timer: 0,
             emits: Vec::new(),
+            telemetry: Telemetry::disabled(),
+            metrics: SimMetrics::disabled(),
         }
+    }
+
+    /// Attach a telemetry handle. The scheduler records live counters
+    /// (events by kind, link transmits/bytes/drops, queue depths) into it;
+    /// when the handle is disabled — the default — the hot loop pays one
+    /// boolean check per event.
+    pub fn set_telemetry(&mut self, tel: Telemetry) {
+        self.metrics = SimMetrics::resolve(&tel);
+        self.telemetry = tel;
+    }
+
+    /// The attached telemetry handle (disabled unless
+    /// [`Simulator::set_telemetry`] was called).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Export point-in-time scheduler state into `tel`: total events
+    /// processed, node/link counts, pending events, and the simulated
+    /// clock. Idempotent (uses absolute totals), so it can be called at
+    /// any point; live per-kind counters require [`Simulator::set_telemetry`].
+    pub fn export_telemetry(&self, tel: &Telemetry) {
+        if !tel.is_enabled() {
+            return;
+        }
+        tel.set_counter("netsim.events_processed", self.events_processed);
+        tel.set_gauge("netsim.nodes", self.nodes.len() as i64);
+        tel.set_gauge("netsim.links", self.links.len() as i64);
+        tel.set_gauge("netsim.pending_events", self.queue.len() as i64);
+        tel.set_gauge("netsim.now_ns", self.now.as_nanos() as i64);
     }
 
     /// Enable global packet capture (every packet accepted onto any link).
@@ -285,15 +361,20 @@ impl Simulator {
             });
         }
         self.now = self.now.max(event.time);
+        if self.metrics.live {
+            self.metrics.queue_depth.observe(self.queue.len() as u64);
+        }
         match event.kind {
             EventKind::Deliver {
                 node,
                 iface,
                 packet,
             } => {
+                self.metrics.events_deliver.incr();
                 self.with_node(node, |n, ctx| n.receive(ctx, iface, packet));
             }
             EventKind::Timer { node, token } => {
+                self.metrics.events_timer.incr();
                 self.with_node(node, |n, ctx| n.on_timer(ctx, token));
             }
             EventKind::Transmit {
@@ -301,6 +382,7 @@ impl Simulator {
                 iface,
                 packet,
             } => {
+                self.metrics.events_transmit.incr();
                 self.transmit(node, iface, packet, self.now);
             }
         }
@@ -359,8 +441,13 @@ impl Simulator {
         let Some(peer) = link.peer_of(node, iface) else {
             return;
         };
-        match link.transmit(node, iface, packet.wire_len(), when, &mut self.rng) {
+        let wire_len = packet.wire_len();
+        match link.transmit(node, iface, wire_len, when, &mut self.rng) {
             TxOutcome::Deliver(at) => {
+                if self.metrics.live {
+                    self.metrics.link_transmits.incr();
+                    self.metrics.link_tx_bytes.add(wire_len as u64);
+                }
                 if let Some(cap) = &mut self.capture {
                     cap.record(CapturedPacket {
                         time: when,
@@ -380,7 +467,9 @@ impl Simulator {
                     },
                 );
             }
-            TxOutcome::Lost => {}
+            TxOutcome::Lost => {
+                self.metrics.link_drops.incr();
+            }
         }
     }
 
@@ -699,6 +788,77 @@ mod tests {
             err,
             Err(NetsimError::EventBudgetExhausted { budget: 1_000 })
         );
+    }
+
+    #[test]
+    fn telemetry_counts_scheduler_activity() {
+        use underradar_telemetry::Telemetry;
+        let tel = Telemetry::enabled();
+        let (mut sim, a, _b) = two_node_sim(true);
+        sim.set_telemetry(tel.clone());
+        let p = Packet::udp(A_IP, B_IP, 1, 2, b"ping".to_vec());
+        sim.send_from(a, IfaceId(0), p, SimTime::ZERO)
+            .expect("send");
+        sim.run_to_completion().expect("run");
+        sim.export_telemetry(&tel);
+        let snap = tel.snapshot();
+        // One Transmit (the send_from), two Delivers (request + echo).
+        assert_eq!(snap.counter("netsim.events.transmit"), 1);
+        assert_eq!(snap.counter("netsim.events.deliver"), 2);
+        assert_eq!(snap.counter("netsim.link.transmits"), 2);
+        assert!(snap.counter("netsim.link.tx_bytes") >= 2 * 32);
+        assert_eq!(snap.counter("netsim.events_processed"), 3);
+        assert_eq!(snap.gauge("netsim.nodes"), 2);
+        assert_eq!(
+            snap.histogram("netsim.queue.depth").map(|h| h.count()),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn telemetry_counts_link_drops() {
+        use underradar_telemetry::Telemetry;
+        let tel = Telemetry::enabled();
+        let mut sim = Simulator::new(3);
+        let a = sim.add_node(Box::new(Echo::new("a", false)));
+        let b = sim.add_node(Box::new(Echo::new("b", false)));
+        sim.wire(
+            a,
+            IfaceId(0),
+            b,
+            IfaceId(0),
+            LinkConfig::default().with_loss(1.0),
+        )
+        .expect("wire");
+        sim.set_telemetry(tel.clone());
+        let p = Packet::udp(A_IP, B_IP, 1, 2, vec![]);
+        sim.send_from(a, IfaceId(0), p, SimTime::ZERO)
+            .expect("send");
+        sim.run_to_completion().expect("run");
+        assert_eq!(tel.snapshot().counter("netsim.link.drops"), 1);
+    }
+
+    #[test]
+    fn disabled_telemetry_changes_nothing() {
+        // Same trace with and without an attached disabled handle.
+        let trace = |attach: bool| -> Vec<SimTime> {
+            let (mut sim, a, b) = two_node_sim(true);
+            if attach {
+                sim.set_telemetry(underradar_telemetry::Telemetry::disabled());
+            }
+            let p = Packet::udp(A_IP, B_IP, 1, 2, b"x".to_vec());
+            sim.send_from(a, IfaceId(0), p, SimTime::ZERO)
+                .expect("send");
+            sim.run_to_completion().expect("run");
+            let _ = b;
+            sim.node_ref::<Echo>(a)
+                .expect("a")
+                .received
+                .iter()
+                .map(|(t, _)| *t)
+                .collect()
+        };
+        assert_eq!(trace(true), trace(false));
     }
 
     #[test]

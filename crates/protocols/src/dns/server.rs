@@ -127,6 +127,17 @@ impl DnsServer {
         self.stats
     }
 
+    /// Mirror server totals into `tel` under `<prefix>.*` (e.g.
+    /// `protocols.dns.resolver`). Idempotent.
+    pub fn export_telemetry(&self, tel: &underradar_telemetry::Telemetry, prefix: &str) {
+        if !tel.is_enabled() {
+            return;
+        }
+        tel.set_counter(&format!("{prefix}.queries"), self.stats.queries);
+        tel.set_counter(&format!("{prefix}.answered"), self.stats.answered);
+        tel.set_counter(&format!("{prefix}.nxdomain"), self.stats.nxdomain);
+    }
+
     /// Resolve a question against the zone, following CNAMEs (bounded).
     /// Returns the answer records and rcode.
     pub fn resolve(&self, name: &DnsName, qtype: QType) -> (Vec<Record>, Rcode) {

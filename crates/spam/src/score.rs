@@ -184,6 +184,25 @@ pub fn is_spam(msg: &EmailMessage) -> bool {
     spam_score(msg) >= SPAM_THRESHOLD
 }
 
+/// Mirror a batch of scored messages into `tel` under `spam.*`: message
+/// and over-threshold counts (counters) plus a histogram of rounded
+/// scores. Counters are idempotent; the histogram appends, so call once
+/// per batch.
+pub fn export_score_telemetry(tel: &underradar_telemetry::Telemetry, scores: &[f64]) {
+    if !tel.is_enabled() {
+        return;
+    }
+    tel.set_counter("spam.messages", scores.len() as u64);
+    tel.set_counter(
+        "spam.flagged",
+        scores.iter().filter(|&&s| s >= SPAM_THRESHOLD).count() as u64,
+    );
+    let hist = tel.histogram("spam.score");
+    for &s in scores {
+        hist.observe(s.round().max(0.0) as u64);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

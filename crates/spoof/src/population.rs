@@ -115,6 +115,28 @@ impl SpoofPopulation {
         self.clients.iter().filter(|c| f(c)).count() as f64 / self.clients.len() as f64
     }
 
+    /// Mirror population capability shares into `tel` under
+    /// `spoof.population.*` (client count plus per-capability shares in
+    /// parts-per-million). Idempotent.
+    pub fn export_telemetry(&self, tel: &underradar_telemetry::Telemetry) {
+        if !tel.is_enabled() {
+            return;
+        }
+        tel.set_gauge("spoof.population.clients", self.clients.len() as i64);
+        tel.set_gauge(
+            "spoof.population.spoof24_ppm",
+            (self.fraction_spoof_24() * 1e6).round() as i64,
+        );
+        tel.set_gauge(
+            "spoof.population.spoof16_ppm",
+            (self.fraction_spoof_16() * 1e6).round() as i64,
+        );
+        tel.set_gauge(
+            "spoof.population.filtered_ppm",
+            (self.fraction_filtered() * 1e6).round() as i64,
+        );
+    }
+
     /// The client at an address, if present.
     pub fn client(&self, ip: Ipv4Addr) -> Option<&ClientProfile> {
         self.clients.iter().find(|c| c.ip == ip)

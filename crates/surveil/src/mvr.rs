@@ -168,6 +168,33 @@ impl Mvr {
     pub fn classifier(&self) -> &Classifier {
         &self.classifier
     }
+
+    /// Mirror per-class MVR accounting into `tel` under
+    /// `surveil.mvr.<class>.*`, plus overall retained/observed totals and
+    /// the retention rate in parts-per-million (integer, deterministic).
+    /// Idempotent; classes with no traffic are skipped.
+    pub fn export_telemetry(&self, tel: &underradar_telemetry::Telemetry) {
+        if !tel.is_enabled() {
+            return;
+        }
+        for (class, v) in self.volumes() {
+            if v.packets == 0 {
+                continue;
+            }
+            let p = format!("surveil.mvr.{class}");
+            tel.set_counter(&format!("{p}.packets"), v.packets);
+            tel.set_counter(&format!("{p}.bytes"), v.bytes);
+            tel.set_counter(&format!("{p}.retained_packets"), v.retained_packets);
+            tel.set_counter(&format!("{p}.retained_bytes"), v.retained_bytes);
+        }
+        tel.set_counter("surveil.mvr.total_bytes", self.total_bytes());
+        tel.set_counter("surveil.mvr.retained_bytes", self.retained_bytes());
+        tel.set_gauge(
+            "surveil.mvr.retention_ppm",
+            (self.retention_rate() * 1e6).round() as i64,
+        );
+        tel.set_gauge("surveil.mvr.within_budget", i64::from(self.within_budget()));
+    }
 }
 
 #[cfg(test)]

@@ -130,6 +130,47 @@ pub struct StoreSet {
 }
 
 impl StoreSet {
+    /// Mirror per-tier retention accounting into `tel` under
+    /// `surveil.store.<tier>.*`: records/bytes ever inserted (counters),
+    /// live record count and the retention window (gauges). Idempotent.
+    pub fn export_telemetry(&self, tel: &underradar_telemetry::Telemetry) {
+        if !tel.is_enabled() {
+            return;
+        }
+        let tiers: [(&str, u64, u64, u64, SimDuration); 3] = [
+            (
+                "content",
+                self.content.len() as u64,
+                self.content.total_inserted(),
+                self.content.total_bytes(),
+                self.content.window(),
+            ),
+            (
+                "metadata",
+                self.metadata.len() as u64,
+                self.metadata.total_inserted(),
+                self.metadata.total_bytes(),
+                self.metadata.window(),
+            ),
+            (
+                "alerts",
+                self.alerts.len() as u64,
+                self.alerts.total_inserted(),
+                self.alerts.total_bytes(),
+                self.alerts.window(),
+            ),
+        ];
+        for (tier, live, inserted, bytes, window) in tiers {
+            tel.set_counter(&format!("surveil.store.{tier}.inserted"), inserted);
+            tel.set_counter(&format!("surveil.store.{tier}.bytes"), bytes);
+            tel.set_gauge(&format!("surveil.store.{tier}.live"), live as i64);
+            tel.set_gauge(
+                &format!("surveil.store.{tier}.window_ns"),
+                window.as_nanos() as i64,
+            );
+        }
+    }
+
     /// Stores with the paper's windows.
     pub fn paper_defaults() -> StoreSet {
         StoreSet {

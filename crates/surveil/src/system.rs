@@ -250,6 +250,37 @@ impl SurveillanceSystem {
     pub fn is_attributed(&self, src: Ipv4Addr) -> bool {
         self.analyst.is_attributed(self.engine.log().all(), src)
     }
+
+    /// Mirror the whole pipeline's state into `tel`: pipeline counters
+    /// (`surveil.*`), per-class MVR volumes, per-tier store accounting,
+    /// the retained-traffic IDS engine (`ids.engine.*`), and analyst
+    /// triage (investigations, pursuits, pursuit cost in alerts reviewed).
+    /// Idempotent; call at the end of a run.
+    pub fn export_telemetry(&self, tel: &underradar_telemetry::Telemetry) {
+        if !tel.is_enabled() {
+            return;
+        }
+        let s = self.stats;
+        tel.set_counter("surveil.observed", s.observed);
+        tel.set_counter("surveil.retained", s.retained);
+        tel.set_counter("surveil.discarded", s.discarded);
+        tel.set_counter("surveil.alerts", s.alerts);
+        self.mvr.export_telemetry(tel);
+        self.stores.export_telemetry(tel);
+        self.engine.export_telemetry(tel, "ids.engine");
+        let triage = self.triage();
+        let pursued = triage.iter().filter(|i| i.pursued).count();
+        // Pursuit cost: alerts an analyst must review to work the pursued
+        // investigations (the §2.1 "expensive to trigger" quantity).
+        let pursuit_cost: u64 = triage
+            .iter()
+            .filter(|i| i.pursued)
+            .map(|i| i.alert_count)
+            .sum();
+        tel.set_gauge("surveil.analyst.investigations", triage.len() as i64);
+        tel.set_gauge("surveil.analyst.pursued", pursued as i64);
+        tel.set_gauge("surveil.analyst.pursuit_cost_alerts", pursuit_cost as i64);
+    }
 }
 
 /// Passive simulator node wrapping a [`SurveillanceSystem`]; attach its
@@ -477,6 +508,31 @@ mod tests {
             1,
             "only the newest instant survives"
         );
+    }
+
+    #[test]
+    fn telemetry_export_covers_pipeline_and_is_idempotent() {
+        use underradar_telemetry::Telemetry;
+        let mut s = system(false);
+        let q = DnsMessage::query(1, name("twitter.com"), QType::A);
+        let pkt = Packet::udp(HOME, OUT, 5555, 53, q.encode());
+        s.process(t(0), &pkt);
+        let q2 = DnsMessage::query(2, name("youtube.com"), QType::A);
+        let pkt2 = Packet::udp(HOME, OUT, 5556, 53, q2.encode());
+        s.process(t(1), &pkt2);
+        let tel = Telemetry::enabled();
+        s.export_telemetry(&tel);
+        let snap = tel.snapshot();
+        assert_eq!(snap.counter("surveil.observed"), 2);
+        assert_eq!(snap.counter("surveil.mvr.dns.packets"), 2);
+        assert_eq!(snap.counter("surveil.store.metadata.inserted"), 2);
+        assert_eq!(snap.counter("ids.engine.packets"), 2);
+        assert_eq!(snap.gauge("surveil.analyst.investigations"), 1);
+        assert_eq!(snap.gauge("surveil.analyst.pursued"), 1);
+        assert_eq!(snap.gauge("surveil.analyst.pursuit_cost_alerts"), 2);
+        // Re-export changes nothing (absolute totals).
+        s.export_telemetry(&tel);
+        assert_eq!(tel.snapshot(), snap);
     }
 
     #[test]

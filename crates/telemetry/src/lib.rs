@@ -1,0 +1,490 @@
+//! Deterministic observability for the measurement pipeline.
+//!
+//! The paper's safety argument is quantitative — what the MVR retains, what
+//! each store tier holds, what the analyst queue costs — so every subsystem
+//! records into a shared, deterministic metric registry instead of ad-hoc
+//! stat structs. Three design rules:
+//!
+//! 1. **Zero overhead when disabled.** A [`Telemetry`] handle is either
+//!    live or a null handle; pre-resolved [`Counter`]/[`Gauge`]/
+//!    [`HistogramHandle`]s cost one null check per operation when disabled.
+//!    The perf bench asserts the bound.
+//! 2. **Deterministic output.** Metrics are integers, histogram buckets
+//!    have fixed boundaries, snapshots serialize in sorted key order, and
+//!    spans/events are keyed to *simulated* time (nanoseconds, as produced
+//!    by the netsim clock) — so the same seed yields byte-identical JSON,
+//!    sequential or sharded.
+//! 3. **No dependencies.** The simulator depends on this crate, not the
+//!    other way round; timestamps cross the API as raw `u64` nanoseconds.
+//!
+//! ```
+//! use underradar_telemetry::Telemetry;
+//!
+//! let tel = Telemetry::enabled();
+//! let pkts = tel.counter("netsim.events");
+//! pkts.add(3);
+//! tel.observe("ids.segment_bytes", 1460);
+//! tel.record_span("experiment.demo", 0, 2_000_000_000);
+//! let snap = tel.snapshot();
+//! assert_eq!(snap.counter("netsim.events"), 3);
+//! assert!(snap.to_json().starts_with("{\"counters\""));
+//!
+//! let off = Telemetry::disabled();
+//! off.counter("netsim.events").add(1); // a null check, nothing else
+//! assert!(off.snapshot().is_empty());
+//! ```
+#![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
+pub mod hist;
+pub mod json;
+pub mod registry;
+pub mod sink;
+
+pub use hist::{Histogram, BUCKET_COUNT};
+pub use registry::{Event, FieldValue, Registry, SpanRecord};
+pub use sink::{EventSink, MemorySink, NoopSink};
+
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// Environment variable that turns telemetry on for [`Telemetry::from_env`].
+pub const TELEMETRY_ENV: &str = "UNDERRADAR_TELEMETRY";
+
+struct Inner {
+    counters: BTreeMap<String, Rc<Cell<u64>>>,
+    gauges: BTreeMap<String, Rc<Cell<i64>>>,
+    histograms: BTreeMap<String, Rc<RefCell<Histogram>>>,
+    spans: Vec<SpanRecord>,
+    events: Vec<Event>,
+    sink: Box<dyn EventSink>,
+}
+
+/// A cheaply-cloneable recording handle. Either live (shared registry) or
+/// disabled (all operations are a null check).
+#[derive(Clone, Default)]
+pub struct Telemetry {
+    inner: Option<Rc<RefCell<Inner>>>,
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+impl Telemetry {
+    /// The null handle: every operation is a no-op after one null check.
+    pub fn disabled() -> Self {
+        Telemetry { inner: None }
+    }
+
+    /// A live handle with a fresh registry and a [`NoopSink`] (events are
+    /// retained in the registry; no live streaming).
+    pub fn enabled() -> Self {
+        Telemetry::with_sink(Box::new(NoopSink))
+    }
+
+    /// A live handle streaming rendered event lines to `sink`.
+    pub fn with_sink(sink: Box<dyn EventSink>) -> Self {
+        Telemetry {
+            inner: Some(Rc::new(RefCell::new(Inner {
+                counters: BTreeMap::new(),
+                gauges: BTreeMap::new(),
+                histograms: BTreeMap::new(),
+                spans: Vec::new(),
+                events: Vec::new(),
+                sink,
+            }))),
+        }
+    }
+
+    /// Enabled iff the `UNDERRADAR_TELEMETRY` environment variable is set
+    /// to a non-empty value other than `0`; disabled otherwise. CI runs
+    /// the suite both ways.
+    pub fn from_env() -> Self {
+        let on = std::env::var_os(TELEMETRY_ENV)
+            .map(|v| !v.is_empty() && v != *"0")
+            .unwrap_or(false);
+        if on {
+            Telemetry::enabled()
+        } else {
+            Telemetry::disabled()
+        }
+    }
+
+    /// Whether this handle records anything.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Resolve (creating on first use) a counter handle. Handles for the
+    /// same name share one cell; resolution is a map lookup, so hot paths
+    /// should resolve once and reuse the handle.
+    pub fn counter(&self, name: &str) -> Counter {
+        Counter(self.inner.as_ref().map(|inner| {
+            Rc::clone(
+                inner
+                    .borrow_mut()
+                    .counters
+                    .entry(name.to_string())
+                    .or_default(),
+            )
+        }))
+    }
+
+    /// Resolve (creating on first use) a gauge handle.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        Gauge(self.inner.as_ref().map(|inner| {
+            Rc::clone(
+                inner
+                    .borrow_mut()
+                    .gauges
+                    .entry(name.to_string())
+                    .or_default(),
+            )
+        }))
+    }
+
+    /// Resolve (creating on first use) a histogram handle.
+    pub fn histogram(&self, name: &str) -> HistogramHandle {
+        HistogramHandle(self.inner.as_ref().map(|inner| {
+            Rc::clone(
+                inner
+                    .borrow_mut()
+                    .histograms
+                    .entry(name.to_string())
+                    .or_default(),
+            )
+        }))
+    }
+
+    /// Add `n` to counter `name` (resolves by name; use [`Counter`] handles
+    /// on hot paths).
+    pub fn count(&self, name: &str, n: u64) {
+        if self.inner.is_some() {
+            self.counter(name).add(n);
+        }
+    }
+
+    /// Set counter `name` to an absolute total (idempotent export-style
+    /// mirroring of an existing stat struct).
+    pub fn set_counter(&self, name: &str, total: u64) {
+        if self.inner.is_some() {
+            self.counter(name).set(total);
+        }
+    }
+
+    /// Set gauge `name` to `value`.
+    pub fn set_gauge(&self, name: &str, value: i64) {
+        if self.inner.is_some() {
+            self.gauge(name).set(value);
+        }
+    }
+
+    /// Observe `value` into histogram `name` (resolves by name).
+    pub fn observe(&self, name: &str, value: u64) {
+        if self.inner.is_some() {
+            self.histogram(name).observe(value);
+        }
+    }
+
+    /// Record a structured event at simulated time `t_ns`. Retained in the
+    /// registry; also rendered and streamed if the sink is active.
+    pub fn event(&self, t_ns: u64, kind: &str, fields: &[(&str, FieldValue)]) {
+        let Some(inner) = &self.inner else { return };
+        let event = Event {
+            t_ns,
+            kind: kind.to_string(),
+            fields: fields
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
+        };
+        let mut inner = inner.borrow_mut();
+        if inner.sink.active() {
+            let line = registry::event_json(&event);
+            inner.sink.emit(&line);
+        }
+        inner.events.push(event);
+    }
+
+    /// Record a completed span over simulated time and observe its
+    /// duration into the `span.<name>.ns` histogram.
+    pub fn record_span(&self, name: &str, start_ns: u64, end_ns: u64) {
+        let Some(inner) = &self.inner else { return };
+        let record = SpanRecord {
+            name: name.to_string(),
+            start_ns,
+            end_ns,
+        };
+        let duration = record.duration_ns();
+        inner.borrow_mut().spans.push(record);
+        self.observe(&format!("span.{name}.ns"), duration);
+    }
+
+    /// Open a scoped span starting at simulated time `start_ns`; finish it
+    /// with [`Span::end`].
+    pub fn span(&self, name: &str, start_ns: u64) -> Span {
+        Span {
+            tel: self.clone(),
+            name: name.to_string(),
+            start_ns,
+        }
+    }
+
+    /// Fold an already-snapshotted registry into this live handle
+    /// (deterministic sub-shard merging, e.g. an experiment's internal
+    /// `run_sharded` sweep).
+    pub fn merge_registry(&self, other: &Registry) {
+        let Some(inner) = &self.inner else { return };
+        for (name, v) in &other.counters {
+            self.counter(name).add(*v);
+        }
+        for (name, v) in &other.gauges {
+            self.gauge(name).set(*v);
+        }
+        for (name, h) in &other.histograms {
+            if let HistogramHandle(Some(cell)) = self.histogram(name) {
+                cell.borrow_mut().merge(h);
+            }
+        }
+        let mut inner = inner.borrow_mut();
+        inner.spans.extend(other.spans.iter().cloned());
+        inner.events.extend(other.events.iter().cloned());
+    }
+
+    /// An owned snapshot of everything recorded so far.
+    pub fn snapshot(&self) -> Registry {
+        let Some(inner) = &self.inner else {
+            return Registry::new();
+        };
+        let inner = inner.borrow();
+        Registry {
+            counters: inner
+                .counters
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: inner
+                .gauges
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(k, v)| (k.clone(), v.borrow().clone()))
+                .collect(),
+            spans: inner.spans.clone(),
+            events: inner.events.clone(),
+        }
+    }
+}
+
+/// Pre-resolved counter handle; disabled handles cost one null check per op.
+#[derive(Clone, Default)]
+pub struct Counter(Option<Rc<Cell<u64>>>);
+
+impl Counter {
+    /// A handle that records nothing.
+    pub fn disabled() -> Self {
+        Counter(None)
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(cell) = &self.0 {
+            cell.set(cell.get().wrapping_add(n));
+        }
+    }
+
+    /// Add 1.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Overwrite with an absolute total (export-style mirroring).
+    #[inline]
+    pub fn set(&self, total: u64) {
+        if let Some(cell) = &self.0 {
+            cell.set(total);
+        }
+    }
+
+    /// Current value (0 when disabled).
+    pub fn get(&self) -> u64 {
+        self.0.as_ref().map(|c| c.get()).unwrap_or(0)
+    }
+
+    /// Whether this handle records.
+    #[inline]
+    pub fn is_live(&self) -> bool {
+        self.0.is_some()
+    }
+}
+
+/// Pre-resolved gauge handle.
+#[derive(Clone, Default)]
+pub struct Gauge(Option<Rc<Cell<i64>>>);
+
+impl Gauge {
+    /// A handle that records nothing.
+    pub fn disabled() -> Self {
+        Gauge(None)
+    }
+
+    /// Set the gauge.
+    #[inline]
+    pub fn set(&self, value: i64) {
+        if let Some(cell) = &self.0 {
+            cell.set(value);
+        }
+    }
+
+    /// Adjust the gauge by `delta`.
+    #[inline]
+    pub fn adjust(&self, delta: i64) {
+        if let Some(cell) = &self.0 {
+            cell.set(cell.get().wrapping_add(delta));
+        }
+    }
+
+    /// Current value (0 when disabled).
+    pub fn get(&self) -> i64 {
+        self.0.as_ref().map(|c| c.get()).unwrap_or(0)
+    }
+}
+
+/// Pre-resolved histogram handle.
+#[derive(Clone, Default)]
+pub struct HistogramHandle(Option<Rc<RefCell<Histogram>>>);
+
+impl HistogramHandle {
+    /// A handle that records nothing.
+    pub fn disabled() -> Self {
+        HistogramHandle(None)
+    }
+
+    /// Record one observation.
+    #[inline]
+    pub fn observe(&self, value: u64) {
+        if let Some(cell) = &self.0 {
+            cell.borrow_mut().observe(value);
+        }
+    }
+}
+
+/// An open span; call [`Span::end`] with the simulated end time to record.
+#[derive(Debug)]
+pub struct Span {
+    tel: Telemetry,
+    name: String,
+    start_ns: u64,
+}
+
+impl Span {
+    /// Close the span at simulated time `end_ns`.
+    pub fn end(self, end_ns: u64) {
+        self.tel.record_span(&self.name, self.start_ns, end_ns);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_records_nothing() {
+        let tel = Telemetry::disabled();
+        assert!(!tel.is_enabled());
+        tel.counter("c").incr();
+        tel.set_gauge("g", 7);
+        tel.observe("h", 3);
+        tel.event(1, "e", &[("k", 1u64.into())]);
+        tel.record_span("s", 0, 10);
+        assert!(tel.snapshot().is_empty());
+    }
+
+    #[test]
+    fn handles_share_cells_by_name() {
+        let tel = Telemetry::enabled();
+        let a = tel.counter("x");
+        let b = tel.counter("x");
+        a.add(2);
+        b.add(3);
+        assert_eq!(a.get(), 5);
+        assert_eq!(tel.snapshot().counter("x"), 5);
+    }
+
+    #[test]
+    fn clone_shares_registry() {
+        let tel = Telemetry::enabled();
+        let clone = tel.clone();
+        clone.count("shared", 4);
+        assert_eq!(tel.snapshot().counter("shared"), 4);
+    }
+
+    #[test]
+    fn span_records_and_feeds_histogram() {
+        let tel = Telemetry::enabled();
+        let span = tel.span("phase", 100);
+        span.end(350);
+        let snap = tel.snapshot();
+        assert_eq!(snap.spans.len(), 1);
+        assert_eq!(snap.spans[0].duration_ns(), 250);
+        assert_eq!(snap.histogram("span.phase.ns").unwrap().sum(), 250);
+    }
+
+    #[test]
+    fn events_stream_to_active_sink() {
+        let sink = MemorySink::new();
+        let tel = Telemetry::with_sink(Box::new(sink.clone()));
+        tel.event(42, "censor.rst", &[("port", 80u64.into())]);
+        assert_eq!(
+            sink.lines(),
+            vec!["{\"t_ns\":42,\"kind\":\"censor.rst\",\"port\":80}"]
+        );
+        assert_eq!(tel.snapshot().events.len(), 1);
+    }
+
+    #[test]
+    fn noop_sink_still_retains_events() {
+        let tel = Telemetry::enabled();
+        tel.event(1, "k", &[]);
+        assert_eq!(tel.snapshot().to_jsonl(), "{\"t_ns\":1,\"kind\":\"k\"}\n");
+    }
+
+    #[test]
+    fn merge_registry_folds_everything() {
+        let src = Telemetry::enabled();
+        src.count("c", 2);
+        src.set_gauge("g", -1);
+        src.observe("h", 9);
+        src.record_span("s", 0, 5);
+        let snap = src.snapshot();
+
+        let dst = Telemetry::enabled();
+        dst.count("c", 1);
+        dst.merge_registry(&snap);
+        let merged = dst.snapshot();
+        assert_eq!(merged.counter("c"), 3);
+        assert_eq!(merged.gauge("g"), -1);
+        assert_eq!(merged.histogram("h").unwrap().count(), 1);
+        assert_eq!(merged.spans.len(), 1);
+    }
+
+    #[test]
+    fn set_counter_is_idempotent() {
+        let tel = Telemetry::enabled();
+        tel.set_counter("total", 10);
+        tel.set_counter("total", 10);
+        assert_eq!(tel.snapshot().counter("total"), 10);
+    }
+}

@@ -1,0 +1,383 @@
+//! The registry snapshot: an owned, mergeable, serializable view of every
+//! metric, span and event a [`crate::Telemetry`] handle recorded.
+
+use std::collections::BTreeMap;
+
+use crate::hist::Histogram;
+use crate::json;
+
+/// A structured event captured at a simulated-time instant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Simulated time of the event in nanoseconds.
+    pub t_ns: u64,
+    /// Event kind, e.g. `censor.rst_injected`.
+    pub kind: String,
+    /// Ordered key/value payload.
+    pub fields: Vec<(String, FieldValue)>,
+}
+
+/// An event field value (integers and strings only — deterministic output).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FieldValue {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// String.
+    Str(String),
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        FieldValue::I64(v)
+    }
+}
+
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+/// A completed scoped span keyed to simulated time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Span name, e.g. `experiment.e09_mvr`.
+    pub name: String,
+    /// Simulated start in nanoseconds.
+    pub start_ns: u64,
+    /// Simulated end in nanoseconds.
+    pub end_ns: u64,
+}
+
+impl SpanRecord {
+    /// Span duration in nanoseconds (saturating).
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+}
+
+/// An owned snapshot of a telemetry registry.
+///
+/// Snapshots merge deterministically: counters add, gauges take the merged
+/// snapshot's value (last write wins, in merge order), histograms add
+/// bucket-wise, spans and events append in merge order. Two shard sets
+/// merged in the same order therefore serialize byte-identically.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Registry {
+    /// Monotonic counters by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Point-in-time gauges by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Log-bucketed histograms by name.
+    pub histograms: BTreeMap<String, Histogram>,
+    /// Completed spans in recording order.
+    pub spans: Vec<SpanRecord>,
+    /// Structured events in recording order.
+    pub events: Vec<Event>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Fold `other` into `self` (see type docs for per-kind semantics).
+    pub fn merge(&mut self, other: &Registry) {
+        for (name, v) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += v;
+        }
+        for (name, v) in &other.gauges {
+            self.gauges.insert(name.clone(), *v);
+        }
+        for (name, h) in &other.histograms {
+            self.histograms.entry(name.clone()).or_default().merge(h);
+        }
+        self.spans.extend(other.spans.iter().cloned());
+        self.events.extend(other.events.iter().cloned());
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.histograms.is_empty()
+            && self.spans.is_empty()
+            && self.events.is_empty()
+    }
+
+    /// A counter's value (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// A gauge's value (0 when absent).
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
+    /// A histogram by name, if recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Deterministic single-line JSON: keys in `BTreeMap` order, integer
+    /// values only, non-zero histogram buckets as `[low_bound, count]`
+    /// pairs. Byte-identical for equal registries on every platform.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push('{');
+        json::push_key(&mut out, "counters");
+        out.push('{');
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::push_key(&mut out, name);
+            out.push_str(&v.to_string());
+        }
+        out.push('}');
+        out.push(',');
+        json::push_key(&mut out, "gauges");
+        out.push('{');
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::push_key(&mut out, name);
+            out.push_str(&v.to_string());
+        }
+        out.push('}');
+        out.push(',');
+        json::push_key(&mut out, "histograms");
+        out.push('{');
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::push_key(&mut out, name);
+            out.push('{');
+            json::push_key(&mut out, "count");
+            out.push_str(&h.count().to_string());
+            out.push(',');
+            json::push_key(&mut out, "sum");
+            out.push_str(&h.sum().to_string());
+            out.push(',');
+            json::push_key(&mut out, "min");
+            out.push_str(&h.min().to_string());
+            out.push(',');
+            json::push_key(&mut out, "max");
+            out.push_str(&h.max().to_string());
+            out.push(',');
+            json::push_key(&mut out, "buckets");
+            out.push('[');
+            let mut first = true;
+            for (bi, &n) in h.buckets().iter().enumerate() {
+                if n == 0 {
+                    continue;
+                }
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                let (lo, _) = Histogram::bucket_bounds(bi);
+                out.push('[');
+                out.push_str(&lo.to_string());
+                out.push(',');
+                out.push_str(&n.to_string());
+                out.push(']');
+            }
+            out.push_str("]}");
+        }
+        out.push('}');
+        out.push(',');
+        json::push_key(&mut out, "spans");
+        out.push('[');
+        for (i, s) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('{');
+            json::push_key(&mut out, "name");
+            json::push_str_value(&mut out, &s.name);
+            out.push(',');
+            json::push_key(&mut out, "start_ns");
+            out.push_str(&s.start_ns.to_string());
+            out.push(',');
+            json::push_key(&mut out, "end_ns");
+            out.push_str(&s.end_ns.to_string());
+            out.push('}');
+        }
+        out.push(']');
+        out.push(',');
+        json::push_key(&mut out, "events");
+        out.push('[');
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&event_json(e));
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// The events as JSON lines, one event per line (the structured stream
+    /// a sink receives live).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            out.push_str(&event_json(e));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Human-readable text summary: one metric per line, sorted by name.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            out.push_str(&format!("counter {name} = {v}\n"));
+        }
+        for (name, v) in &self.gauges {
+            out.push_str(&format!("gauge   {name} = {v}\n"));
+        }
+        for (name, h) in &self.histograms {
+            out.push_str(&format!(
+                "hist    {name}: count={} sum={} min={} max={} mean={}\n",
+                h.count(),
+                h.sum(),
+                h.min(),
+                h.max(),
+                h.mean(),
+            ));
+        }
+        for s in &self.spans {
+            out.push_str(&format!(
+                "span    {}: [{} ns .. {} ns] ({} ns)\n",
+                s.name,
+                s.start_ns,
+                s.end_ns,
+                s.duration_ns()
+            ));
+        }
+        if !self.events.is_empty() {
+            out.push_str(&format!("events  {} recorded\n", self.events.len()));
+        }
+        out
+    }
+}
+
+/// Serialize one event as a deterministic JSON object.
+pub fn event_json(e: &Event) -> String {
+    let mut out = String::with_capacity(64);
+    out.push('{');
+    json::push_key(&mut out, "t_ns");
+    out.push_str(&e.t_ns.to_string());
+    out.push(',');
+    json::push_key(&mut out, "kind");
+    json::push_str_value(&mut out, &e.kind);
+    for (k, v) in &e.fields {
+        out.push(',');
+        json::push_key(&mut out, k);
+        match v {
+            FieldValue::U64(n) => out.push_str(&n.to_string()),
+            FieldValue::I64(n) => out.push_str(&n.to_string()),
+            FieldValue::Str(s) => json::push_str_value(&mut out, s),
+        }
+    }
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Registry {
+        let mut r = Registry::new();
+        r.counters.insert("b.count".into(), 2);
+        r.counters.insert("a.count".into(), 1);
+        r.gauges.insert("depth".into(), -3);
+        let mut h = Histogram::new();
+        h.observe(0);
+        h.observe(5);
+        r.histograms.insert("sizes".into(), h);
+        r.spans.push(SpanRecord {
+            name: "run".into(),
+            start_ns: 10,
+            end_ns: 30,
+        });
+        r.events.push(Event {
+            t_ns: 7,
+            kind: "rst".into(),
+            fields: vec![("flow".into(), FieldValue::Str("a\"b".into()))],
+        });
+        r
+    }
+
+    #[test]
+    fn json_is_sorted_and_escaped() {
+        let j = sample().to_json();
+        assert!(j.find("\"a.count\":1").unwrap() < j.find("\"b.count\":2").unwrap());
+        assert!(j.contains("\"gauges\":{\"depth\":-3}"));
+        assert!(j.contains("\"buckets\":[[0,1],[4,1]]"));
+        assert!(j.contains("\"flow\":\"a\\\"b\""));
+        assert!(j.contains("\"spans\":[{\"name\":\"run\",\"start_ns\":10,\"end_ns\":30}]"));
+    }
+
+    #[test]
+    fn merge_semantics() {
+        let mut a = sample();
+        let b = sample();
+        a.merge(&b);
+        assert_eq!(a.counter("a.count"), 2, "counters add");
+        assert_eq!(a.gauge("depth"), -3, "gauges overwrite");
+        assert_eq!(a.histogram("sizes").unwrap().count(), 4);
+        assert_eq!(a.spans.len(), 2);
+        assert_eq!(a.events.len(), 2);
+    }
+
+    #[test]
+    fn equal_registries_serialize_identically() {
+        assert_eq!(sample().to_json(), sample().to_json());
+    }
+
+    #[test]
+    fn jsonl_one_line_per_event() {
+        let r = sample();
+        let l = r.to_jsonl();
+        assert_eq!(l.lines().count(), 1);
+        assert!(l.starts_with("{\"t_ns\":7,\"kind\":\"rst\""));
+    }
+
+    #[test]
+    fn render_text_lists_everything() {
+        let t = sample().render_text();
+        assert!(t.contains("counter a.count = 1"));
+        assert!(t.contains("gauge   depth = -3"));
+        assert!(t.contains("hist    sizes: count=2"));
+        assert!(t.contains("span    run:"));
+        assert!(t.contains("events  1 recorded"));
+    }
+}

@@ -1,0 +1,89 @@
+//! Event sinks: where rendered JSON event lines go as they happen.
+//!
+//! Every event is always retained in the registry snapshot regardless of
+//! sink; sinks exist for live streaming. [`NoopSink`] reports itself
+//! inactive so the emit path can skip rendering entirely — the perf bench
+//! asserts that cost is negligible.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// A consumer of rendered JSON event lines.
+pub trait EventSink {
+    /// Whether the sink wants lines at all. Inactive sinks let the emitter
+    /// skip JSON rendering.
+    fn active(&self) -> bool {
+        true
+    }
+
+    /// Consume one rendered JSON event line (no trailing newline).
+    fn emit(&mut self, line: &str);
+}
+
+/// Discards everything; `active()` is false so emitters skip rendering.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopSink;
+
+impl EventSink for NoopSink {
+    fn active(&self) -> bool {
+        false
+    }
+
+    fn emit(&mut self, _line: &str) {}
+}
+
+/// Collects lines in memory behind a shared handle, so the caller can hand
+/// one clone to [`crate::Telemetry::with_sink`] and keep another to read.
+#[derive(Debug, Default, Clone)]
+pub struct MemorySink {
+    lines: Rc<RefCell<Vec<String>>>,
+}
+
+impl MemorySink {
+    /// A fresh, empty sink.
+    pub fn new() -> Self {
+        MemorySink::default()
+    }
+
+    /// The lines captured so far.
+    pub fn lines(&self) -> Vec<String> {
+        self.lines.borrow().clone()
+    }
+
+    /// Number of lines captured so far.
+    pub fn len(&self) -> usize {
+        self.lines.borrow().len()
+    }
+
+    /// Whether no lines have been captured.
+    pub fn is_empty(&self) -> bool {
+        self.lines.borrow().is_empty()
+    }
+}
+
+impl EventSink for MemorySink {
+    fn emit(&mut self, line: &str) {
+        self.lines.borrow_mut().push(line.to_string());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_is_inactive() {
+        assert!(!NoopSink.active());
+    }
+
+    #[test]
+    fn memory_sink_shares_lines_across_clones() {
+        let sink = MemorySink::new();
+        let mut writer = sink.clone();
+        writer.emit("{\"a\":1}");
+        writer.emit("{\"b\":2}");
+        assert_eq!(sink.len(), 2);
+        assert_eq!(sink.lines()[1], "{\"b\":2}");
+        assert!(sink.active());
+    }
+}

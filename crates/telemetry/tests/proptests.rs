@@ -1,0 +1,98 @@
+//! Property tests for the histogram, driven by the in-tree seeded
+//! property harness `netsim::testprop` (a dev-only dependency — the
+//! library itself is dependency-free).
+
+use underradar_netsim::testprop;
+use underradar_telemetry::{Histogram, BUCKET_COUNT};
+
+fn arbitrary_value(g: &mut testprop::Gen) -> u64 {
+    // Mix small values (dense low buckets) with full-range ones.
+    if g.bool() {
+        u64::from(g.u16())
+    } else {
+        g.u64()
+    }
+}
+
+fn arbitrary_hist(g: &mut testprop::Gen, max_obs: usize) -> Histogram {
+    let n = g.usize_in(0, max_obs);
+    let mut h = Histogram::new();
+    for _ in 0..n {
+        h.observe(arbitrary_value(g));
+    }
+    h
+}
+
+#[test]
+fn merge_is_associative_and_commutative() {
+    testprop::cases(200, 0x1e1e_0001, |g| {
+        let a = arbitrary_hist(g, 40);
+        let b = arbitrary_hist(g, 40);
+        let c = arbitrary_hist(g, 40);
+
+        // (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c)
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        assert_eq!(left, right, "merge must be associative");
+
+        // a ⊕ b == b ⊕ a
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba, "merge must be commutative");
+    });
+}
+
+#[test]
+fn bucket_index_is_monotone_and_bounds_are_consistent() {
+    testprop::cases(500, 0x1e1e_0002, |g| {
+        let v = arbitrary_value(g);
+        let w = arbitrary_value(g);
+        let (lo, hi) = (v.min(w), v.max(w));
+        assert!(
+            Histogram::bucket_index(lo) <= Histogram::bucket_index(hi),
+            "bucket index must be monotone: {lo} -> {hi}"
+        );
+        let i = Histogram::bucket_index(v);
+        assert!(i < BUCKET_COUNT);
+        let (b_lo, b_hi) = Histogram::bucket_bounds(i);
+        assert!(b_lo <= v && v <= b_hi, "v={v} outside bucket {i}");
+    });
+}
+
+#[test]
+fn count_is_conserved_under_sharded_merge() {
+    testprop::cases(100, 0x1e1e_0003, |g| {
+        // One logical stream of observations, split across 1..8 shards in
+        // round-robin order, then merged — totals and every bucket must
+        // equal the unsharded histogram.
+        let n = g.usize_in(0, 200);
+        let values: Vec<u64> = (0..n).map(|_| arbitrary_value(g)).collect();
+        let shards = g.usize_in(1, 8);
+
+        let mut whole = Histogram::new();
+        for &v in &values {
+            whole.observe(v);
+        }
+
+        let mut parts = vec![Histogram::new(); shards];
+        for (i, &v) in values.iter().enumerate() {
+            parts[i % shards].observe(v);
+        }
+        let mut merged = Histogram::new();
+        for p in &parts {
+            merged.merge(p);
+        }
+
+        assert_eq!(merged, whole, "sharded merge must conserve all buckets");
+        assert_eq!(merged.count() as usize, n);
+        let bucket_total: u64 = merged.buckets().iter().sum();
+        assert_eq!(bucket_total, merged.count(), "buckets must sum to count");
+    });
+}

@@ -80,6 +80,30 @@ impl PopulationTraffic {
         format!("site{rank}.example")
     }
 
+    /// Mirror a generated stream into `tel` under
+    /// `workloads.population.*`: packet/byte totals, a wire-size
+    /// histogram, and a span over the generation window. Idempotent for
+    /// the counters; call once per stream (the span appends).
+    pub fn export_telemetry(stream: &[TimedPacket], tel: &underradar_telemetry::Telemetry) {
+        if !tel.is_enabled() {
+            return;
+        }
+        let bytes: u64 = stream.iter().map(|t| t.packet.wire_len() as u64).sum();
+        tel.set_counter("workloads.population.packets", stream.len() as u64);
+        tel.set_counter("workloads.population.bytes", bytes);
+        let hist = tel.histogram("workloads.population.pkt_bytes");
+        for t in stream {
+            hist.observe(t.packet.wire_len() as u64);
+        }
+        if let (Some(first), Some(last)) = (stream.first(), stream.last()) {
+            tel.record_span(
+                "workloads.population",
+                first.time.as_nanos(),
+                last.time.as_nanos(),
+            );
+        }
+    }
+
     /// Generate the population's packet stream, sorted by time.
     pub fn generate(config: &PopulationConfig, rng: &mut SimRng) -> Vec<TimedPacket> {
         let mut out = Vec::new();

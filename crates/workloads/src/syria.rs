@@ -140,6 +140,29 @@ impl SyriaLog {
         seen.iter().filter(|&&s| s).count()
     }
 
+    /// Mirror log-level totals into `tel` under `workloads.syria.*`,
+    /// including the headline users-touching-censored-content fraction in
+    /// parts-per-million. Idempotent.
+    pub fn export_telemetry(&self, tel: &underradar_telemetry::Telemetry) {
+        if !tel.is_enabled() {
+            return;
+        }
+        tel.set_counter("workloads.syria.requests", self.total_requests() as u64);
+        tel.set_counter(
+            "workloads.syria.censored_requests",
+            self.censored_requests() as u64,
+        );
+        tel.set_gauge("workloads.syria.users", i64::from(self.users));
+        tel.set_gauge(
+            "workloads.syria.users_censored",
+            self.users_with_censored_access() as i64,
+        );
+        tel.set_gauge(
+            "workloads.syria.users_censored_ppm",
+            (self.fraction_users_censored() * 1e6).round() as i64,
+        );
+    }
+
     /// The headline statistic: fraction of the population that touched
     /// censored content at least once.
     pub fn fraction_users_censored(&self) -> f64 {

@@ -11,11 +11,17 @@ cargo fmt --all -- --check
 echo "==> cargo clippy -D warnings"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
-echo "==> tier-1: cargo build --release && cargo test"
+echo "==> tier-1: cargo build --release && cargo test (telemetry disabled)"
 cargo build --offline --release --workspace
 cargo test --offline -q --workspace
 
+echo "==> tier-1 re-run with telemetry enabled (UNDERRADAR_TELEMETRY=1)"
+UNDERRADAR_TELEMETRY=1 cargo test --offline -q --workspace
+
 echo "==> full-scale churn acceptance (release-only sizing)"
 cargo test --offline --release -q -p underradar-ids --lib one_million_flow_churn
+
+echo "==> telemetry perf smoke (no-op sink overhead bound)"
+cargo bench --offline -p underradar-bench --bench perf -- telemetry
 
 echo "CI green"
