@@ -1,0 +1,61 @@
+//! Runs the paper-scale measurement campaign (all 8 methods × 4 censor
+//! policies × 4 targets × 4 seeds = 512 trials) through the campaign
+//! engine.
+//!
+//! Flags:
+//!
+//! * `--shards N` — worker threads (default 1). Output is byte-identical
+//!   for every `N`, which `scripts/ci.sh` checks (1 vs 4).
+//! * `--json` — one JSON object `{"experiment", "report", "telemetry"}`
+//!   where `report` is the structured campaign report (cells + trials).
+//! * `--telemetry` (or `UNDERRADAR_TELEMETRY=1`) — text report plus the
+//!   merged registry's text rendering.
+
+use underradar_bench::cli::OutputMode;
+use underradar_bench::experiments::campaign::paper_campaign;
+use underradar_campaign::engine;
+use underradar_telemetry::Telemetry;
+
+fn parse_shards(args: &[String]) -> usize {
+    let mut shards = 1usize;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--shards" {
+            shards = it
+                .next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| panic!("--shards needs a positive integer"));
+        } else if let Some(v) = arg.strip_prefix("--shards=") {
+            shards = v.parse().expect("--shards needs a positive integer");
+        }
+    }
+    shards.max(1)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let shards = parse_shards(&args);
+    let spec = paper_campaign(4);
+    match underradar_bench::cli::output_mode(args.iter().cloned()) {
+        OutputMode::Text => {
+            let report = engine::run(&spec, shards, &Telemetry::disabled());
+            print!("{}", report.render_text());
+        }
+        OutputMode::TextWithTelemetry => {
+            let tel = Telemetry::enabled();
+            let report = engine::run(&spec, shards, &tel);
+            print!("{}", report.render_text());
+            println!("--- telemetry ---");
+            print!("{}", tel.snapshot().render_text());
+        }
+        OutputMode::Json => {
+            let tel = Telemetry::enabled();
+            let report = engine::run(&spec, shards, &tel);
+            println!(
+                "{{\"experiment\":\"campaign\",\"report\":{},\"telemetry\":{}}}",
+                report.to_json(),
+                tel.snapshot().to_json()
+            );
+        }
+    }
+}

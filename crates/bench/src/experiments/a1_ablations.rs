@@ -8,6 +8,7 @@ use underradar_censor::{CensorPolicy, TapCensor};
 use underradar_core::methods::scan::SynScanProbe;
 use underradar_core::methods::stateful::{MimicServer, RoutedMimicryNet, StatefulMimicry};
 use underradar_core::ports::top_ports;
+use underradar_core::probe::Probe;
 use underradar_core::risk::RiskReport;
 use underradar_core::testbed::{TargetSite, Testbed, TestbedConfig};
 use underradar_netsim::addr::Cidr;

@@ -1,0 +1,73 @@
+//! The paper-scale campaign behind `exp_campaign`, plus small helpers
+//! the campaign-backed experiments (e02, e04–e07, e12) share.
+//!
+//! The campaign crosses every measurement method with the censor-policy
+//! columns the paper evaluates (control, DNS injection, IP blackholing,
+//! keyword RST) over a curated target list — ≥500 trials. Output is
+//! byte-identical for any `--shards` value.
+
+use underradar_campaign::{engine, CampaignSpec, MethodKind, NamedPolicy, TrialResult};
+use underradar_censor::CensorPolicy;
+use underradar_core::testbed::TargetSite;
+use underradar_netsim::addr::Cidr;
+use underradar_protocols::dns::DnsName;
+use underradar_telemetry::Telemetry;
+
+/// Look up one evidence value on a trial ("-" when absent).
+pub fn evidence(trial: &TrialResult, key: &str) -> String {
+    trial
+        .evidence
+        .iter()
+        .find(|(name, _)| *name == key)
+        .map(|(_, value)| value.clone())
+        .unwrap_or_else(|| "-".to_string())
+}
+
+/// The paper-scale campaign: all 8 methods × 4 policies × 4 targets ×
+/// `trials_per_cell` seeds (512 trials at the default 4).
+pub fn paper_campaign(trials_per_cell: usize) -> CampaignSpec {
+    let targets = underradar_workloads::targets::curated(4);
+    let mut dns_block = CensorPolicy::new();
+    let mut blackhole = CensorPolicy::new();
+    for (i, domain) in targets.iter().enumerate() {
+        dns_block = dns_block.block_domain(&DnsName::parse(domain).expect("domain"));
+        blackhole = blackhole.block_ip(Cidr::host(TargetSite::numbered(domain, i as u8).web_ip));
+    }
+    CampaignSpec::new("paper-campaign", 2015)
+        .targets(targets.iter().copied())
+        .methods(MethodKind::ALL)
+        .policy(NamedPolicy::new("control", CensorPolicy::new()))
+        .policy(NamedPolicy::new("dns-injection", dns_block))
+        .policy(NamedPolicy::new("ip-blackhole", blackhole))
+        .policy(
+            NamedPolicy::new("keyword-rst", CensorPolicy::new().block_keyword("falun"))
+                .with_probe_path("/falun-page"),
+        )
+        .trials_per_cell(trials_per_cell)
+        .run_secs(180)
+}
+
+/// Run the paper campaign on `shards` workers and render the text view.
+pub fn run_with_shards(tel: &Telemetry, shards: usize) -> String {
+    let spec = paper_campaign(4);
+    let report = engine::run(&spec, shards, tel);
+    report.render_text()
+}
+
+/// Run with a single worker (the `experiments::ALL`-style entry point).
+pub fn run_with(tel: &Telemetry) -> String {
+    run_with_shards(tel, 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_campaign_is_at_least_500_trials_across_all_methods() {
+        let spec = paper_campaign(4);
+        assert!(spec.trial_count() >= 500, "{}", spec.trial_count());
+        assert_eq!(spec.methods.len(), 8);
+        assert!(spec.policies.len() >= 3);
+    }
+}

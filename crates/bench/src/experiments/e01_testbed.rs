@@ -10,6 +10,7 @@
 
 use underradar_censor::CensorPolicy;
 use underradar_core::methods::overt::OvertProbe;
+use underradar_core::probe::Probe;
 use underradar_core::testbed::{TargetSite, Testbed, TestbedConfig};
 use underradar_core::verdict::Mechanism;
 use underradar_netsim::addr::Cidr;

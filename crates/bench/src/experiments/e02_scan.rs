@@ -5,16 +5,14 @@
 //! ports are open, thereby enabling us to infer censorship if a port that
 //! should be open is not (e.g., port 80 for BBC.com)."
 //!
-//! Matrix: censorship scenario × (accuracy, evasion), scanning the top-60
-//! ports of the target so the MVR's scan classifier engages.
+//! Matrix: censorship scenario × (accuracy, evasion) — expressed as a
+//! thin `CampaignSpec` with one policy column per scenario, driven by
+//! the campaign engine.
 
+use underradar_campaign::{engine, CampaignSpec, MethodKind, NamedPolicy};
 use underradar_censor::CensorPolicy;
-use underradar_core::methods::scan::SynScanProbe;
-use underradar_core::ports::top_ports;
-use underradar_core::risk::RiskReport;
-use underradar_core::testbed::{TargetSite, Testbed, TestbedConfig};
+use underradar_core::testbed::TargetSite;
 use underradar_netsim::addr::Cidr;
-use underradar_netsim::time::SimTime;
 
 use crate::table::{heading, mark, Table};
 
@@ -31,59 +29,45 @@ pub fn run_with(tel: &underradar_telemetry::Telemetry) -> String {
         "SYN scans detect blocking per port AND are discarded by the MVR",
     );
     let target = TargetSite::numbered("twitter.com", 0).web_ip;
-    let scenarios: Vec<(&str, CensorPolicy, bool)> = vec![
-        ("open service (control)", CensorPolicy::new(), false),
-        (
+    let spec = CampaignSpec::new("e02-scan", 7)
+        .target("twitter.com")
+        .method(MethodKind::Scan)
+        .policy(NamedPolicy::new(
+            "open service (control)",
+            CensorPolicy::new(),
+        ))
+        .policy(NamedPolicy::new(
             "IP blackholed",
             CensorPolicy::new().block_ip(Cidr::host(target)),
-            true,
-        ),
-        (
+        ))
+        .policy(NamedPolicy::new(
             "port 80 blocked",
             CensorPolicy::new().block_port(Cidr::host(target), 80),
-            true,
-        ),
-    ];
+        ))
+        .run_secs(30);
+    let report = engine::run(&spec, 1, tel);
+
     let mut table = Table::new(&[
         "scenario",
         "verdict",
         "correct",
         "open/closed/filtered (of 60)",
-        "MVR discarded",
         "evades",
     ]);
     let mut all_pass = true;
-    for (name, policy, _expect_censored) in scenarios {
-        let mut tb = Testbed::build(TestbedConfig {
-            policy,
-            seed: 7,
-            ..TestbedConfig::default()
-        });
-        let scope = crate::telemetry::instrument_testbed(&mut tb, tel);
-        let probe = SynScanProbe::new(target, top_ports(60), vec![80]);
-        let idx = tb.spawn_on_client(SimTime::ZERO, Box::new(probe));
-        tb.run_secs(30);
-        let scan = tb.client_task::<SynScanProbe>(idx).expect("scan state");
-        let verdict = scan.verdict();
-        let report = RiskReport::evaluate(&tb, &verdict);
-        crate::telemetry::finish_testbed(&tb, &scope, tel);
-        let (mut open, mut closed) = (0, 0);
-        for port in top_ports(60) {
-            match scan.port_state(port) {
-                underradar_core::methods::scan::PortState::Open => open += 1,
-                underradar_core::methods::scan::PortState::Closed => closed += 1,
-                underradar_core::methods::scan::PortState::Filtered => {}
-            }
-        }
-        let filtered = 60 - open - closed;
-        all_pass &= report.verdict_correct && report.evades();
+    for trial in &report.trials {
+        all_pass &= trial.verdict_correct && trial.evaded;
         table.row(&[
-            name.to_string(),
-            verdict.to_string(),
-            mark(report.verdict_correct).to_string(),
-            format!("{open}/{closed}/{filtered}"),
-            tb.surveillance().stats().discarded.to_string(),
-            mark(report.evades()).to_string(),
+            trial.policy.clone(),
+            trial.verdict.to_string(),
+            mark(trial.verdict_correct).to_string(),
+            format!(
+                "{}/{}/{}",
+                super::campaign::evidence(trial, "open"),
+                super::campaign::evidence(trial, "closed"),
+                super::campaign::evidence(trial, "filtered"),
+            ),
+            mark(trial.evaded).to_string(),
         ]);
     }
     out.push_str(&table.render());

@@ -10,8 +10,8 @@
 //! domains.
 
 use underradar_censor::CensorPolicy;
-use underradar_core::methods::spam::SpamProbe;
 use underradar_core::methods::stateless::StatelessDnsMimicry;
+use underradar_core::probe::Probe;
 use underradar_core::testbed::{Testbed, TestbedConfig};
 use underradar_netsim::time::SimTime;
 use underradar_protocols::dns::{DnsName, QType};
@@ -70,31 +70,25 @@ pub fn run_with(tel: &underradar_telemetry::Telemetry) -> String {
     }
     out.push_str(&table.render());
 
-    // The full spam pipeline sees the same thing end to end.
-    let policy = CensorPolicy::new().block_domain(&DnsName::parse("twitter.com").expect("n"));
-    let mut tb = Testbed::build(TestbedConfig {
-        policy,
-        ..TestbedConfig::default()
-    });
-    let scope = crate::telemetry::instrument_testbed(&mut tb, tel);
-    let idx = tb.spawn_on_client(
-        SimTime::ZERO,
-        Box::new(SpamProbe::new(
-            &DnsName::parse("twitter.com").expect("n"),
-            tb.resolver_ip,
-            0,
-        )),
-    );
-    tb.run_secs(20);
-    let spam = tb.client_task::<SpamProbe>(idx).expect("spam probe");
-    crate::telemetry::finish_testbed(&tb, &scope, tel);
-    let a_for_mx = spam.observations.iter().any(|o| o.a_for_mx);
+    // The full spam pipeline sees the same thing end to end — one
+    // campaign cell (method=spam, policy=dns-injection).
+    let spec = underradar_campaign::CampaignSpec::new("e04-spam-pipeline", 4)
+        .target("twitter.com")
+        .method(underradar_campaign::MethodKind::Spam)
+        .policy(underradar_campaign::NamedPolicy::new(
+            "gfc-dns",
+            CensorPolicy::new().block_domain(&DnsName::parse("twitter.com").expect("n")),
+        ))
+        .run_secs(30);
+    let campaign = underradar_campaign::engine::run(&spec, 1, tel);
+    let trial = &campaign.trials[0];
+    let a_for_mx = crate::experiments::campaign::evidence(trial, "a_for_mx") == "true";
     out.push_str(&format!(
-        "\nfull spam pipeline on twitter.com: A-for-MX tell observed = {}, verdict = {}\n",
+        "\nfull spam pipeline on twitter.com (campaign cell): A-for-MX tell observed = {}, verdict = {}\n",
         mark(a_for_mx),
-        spam.verdict()
+        trial.verdict
     ));
-    all_pass &= a_for_mx && spam.verdict().is_censored();
+    all_pass &= a_for_mx && trial.verdict.is_censored();
     out.push_str(&format!(
         "\nresult: §3.2.3 DNS-injection validation: {}\n\n",
         if all_pass { "PASSED" } else { "FAILED" }

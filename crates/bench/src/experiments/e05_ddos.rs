@@ -12,7 +12,7 @@
 
 use underradar_censor::CensorPolicy;
 use underradar_core::methods::ddos::DdosProbe;
-use underradar_core::risk::RiskReport;
+use underradar_core::probe::Probe;
 use underradar_core::testbed::{Testbed, TestbedConfig};
 use underradar_netsim::time::SimTime;
 
@@ -87,46 +87,38 @@ pub fn run_with(tel: &underradar_telemetry::Telemetry) -> String {
         "evades",
     ]);
     let mut all_pass = true;
-    let scenarios: Vec<(&str, CensorPolicy, &str)> = vec![
-        ("uncensored", CensorPolicy::new(), "/watch"),
-        (
-            "keyword censored",
-            CensorPolicy::new().block_keyword("falun"),
-            "/falun-video",
-        ),
-    ];
-    for (name, policy, path) in scenarios {
-        let mut tb = Testbed::build(TestbedConfig {
-            policy,
-            seed: 11,
-            ..TestbedConfig::default()
-        });
-        let scope = crate::telemetry::instrument_testbed(&mut tb, tel);
-        let target = tb.target("youtube.com").expect("target").web_ip;
-        // Warm-up flood against the front page: by the time the measured
-        // samples fire, the source is already in the discarded DDoS class
-        // ("causing the MVR to discard the traffic more aggressively").
-        tb.spawn_on_client(
-            SimTime::ZERO,
-            Box::new(DdosProbe::new(target, "youtube.com", "/", 60)),
-        );
-        let idx = tb.spawn_on_client(
-            SimTime::ZERO + underradar_netsim::SimDuration::from_secs(5),
-            Box::new(DdosProbe::new(target, "youtube.com", path, 20)),
-        );
-        tb.run_secs(180);
-        let probe = tb.client_task::<DdosProbe>(idx).expect("probe");
-        let verdict = probe.verdict();
-        let report = RiskReport::evaluate(&tb, &verdict);
-        crate::telemetry::finish_testbed(&tb, &scope, tel);
-        let (ok, reset, refused, timeout) = probe.tally();
-        all_pass &= report.verdict_correct && report.evades();
+    // One campaign cell per scenario; the engine's ddos driver runs the
+    // warm-up flood ("causing the MVR to discard the traffic more
+    // aggressively") before the measured samples.
+    use underradar_campaign::{engine, CampaignSpec, MethodKind, NamedPolicy};
+    let spec = CampaignSpec::new("e05-ddos", 11)
+        .target("youtube.com")
+        .method(MethodKind::Ddos)
+        .policy(NamedPolicy::new("uncensored", CensorPolicy::new()).with_probe_path("/watch"))
+        .policy(
+            NamedPolicy::new(
+                "keyword censored",
+                CensorPolicy::new().block_keyword("falun"),
+            )
+            .with_probe_path("/falun-video"),
+        )
+        .run_secs(180);
+    let campaign = engine::run(&spec, 1, tel);
+    for trial in &campaign.trials {
+        all_pass &= trial.verdict_correct && trial.evaded;
+        let ev = |k| crate::experiments::campaign::evidence(trial, k);
         acc.row(&[
-            name.to_string(),
-            format!("{ok}/{reset}/{refused}/{timeout}"),
-            verdict.to_string(),
-            mark(report.verdict_correct).to_string(),
-            mark(report.evades()).to_string(),
+            trial.policy.clone(),
+            format!(
+                "{}/{}/{}/{}",
+                ev("ok"),
+                ev("reset"),
+                ev("refused"),
+                ev("timed_out")
+            ),
+            trial.verdict.to_string(),
+            mark(trial.verdict_correct).to_string(),
+            mark(trial.evaded).to_string(),
         ]);
     }
     out.push_str(&acc.render());

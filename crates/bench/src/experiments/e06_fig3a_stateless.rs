@@ -7,15 +7,13 @@
 //! numbers of users."
 //!
 //! Sweep the number of cover sources and measure the anonymity set the
-//! surveillance system faces at per-IP and per-/24 attribution
-//! granularity; accuracy is checked against the DNS-injecting censor.
+//! surveillance system faces; each sweep point is a one-trial campaign
+//! with `spoofed_cover` set (spoofed *addresses* may outnumber the real
+//! cover hosts — stateless protocols need no machine behind a source).
 
+use underradar_campaign::{engine, CampaignSpec, MethodKind, NamedPolicy};
 use underradar_censor::CensorPolicy;
-use underradar_core::methods::stateless::StatelessDnsMimicry;
-use underradar_core::testbed::{Testbed, TestbedConfig};
-use underradar_netsim::time::SimTime;
-use underradar_protocols::dns::{DnsName, QType};
-use underradar_spoof::anonymity_set;
+use underradar_protocols::dns::DnsName;
 
 use crate::table::{heading, mark, Table};
 
@@ -24,9 +22,9 @@ pub fn run() -> String {
     run_with(&underradar_telemetry::Telemetry::disabled())
 }
 
-/// Run E6 and render its report. Each sweep trial records into its own
-/// registry (so the inner `run_sharded` stays scheduling-independent);
-/// the registries fold into `tel` in sweep order afterwards.
+/// Run E6 and render its report. Each sweep point runs through the
+/// campaign engine, which folds per-trial registries into `tel` in trial
+/// order (scheduling-independent).
 pub fn run_with(tel: &underradar_telemetry::Telemetry) -> String {
     let mut out = heading(
         "E6",
@@ -38,85 +36,36 @@ pub fn run_with(tel: &underradar_telemetry::Telemetry) -> String {
         "verdict",
         "correct",
         "anon set (per-IP)",
-        "anon set (per-/24)",
         "attribution odds",
     ]);
     let mut all_pass = true;
-    // Each sweep point builds an independent testbed (fixed seed 5), so the
-    // scan shards across threads; rows land in sweep order either way.
-    let sweep = [0usize, 1, 4, 16, 64];
-    // `Telemetry` handles are single-threaded (Rc), so each trial records
-    // into a fresh local handle and ships the plain-data registry back;
-    // the fold below is in sweep order regardless of scheduling.
-    let telemetry_on = tel.is_enabled();
-    let rows = crate::runner::run_sharded(&sweep, 6, |&cover_count, _| {
+    for cover_count in [0usize, 1, 4, 16, 64] {
         let policy = CensorPolicy::new().block_domain(&DnsName::parse("twitter.com").expect("n"));
-        let mut tb = Testbed::build(TestbedConfig {
-            policy,
-            cover_hosts: cover_count.min(8), // hosts that physically exist
-            seed: 5,
-            ..TestbedConfig::default()
-        });
-        let scope = if telemetry_on {
-            underradar_telemetry::Telemetry::enabled()
-        } else {
-            underradar_telemetry::Telemetry::disabled()
-        };
-        if scope.is_enabled() {
-            tb.set_telemetry(scope.clone());
-        }
-        // Cover *addresses* may outnumber cover hosts (spoofed sources do
-        // not need real machines behind them for stateless protocols).
-        let cover: Vec<std::net::Ipv4Addr> = (0..cover_count)
-            .map(|i| std::net::Ipv4Addr::new(10, 0, 1, 30 + i as u8))
-            .collect();
-        let d = DnsName::parse("twitter.com").expect("n");
-        let probe = StatelessDnsMimicry::new(&d, QType::A, tb.resolver_ip, cover);
-        let idx = tb.spawn_on_client(SimTime::ZERO, Box::new(probe));
-        tb.run_secs(10);
-        let probe = tb.client_task::<StatelessDnsMimicry>(idx).expect("probe");
-        let verdict = probe.verdict();
-        let correct = verdict.is_censored();
-
-        let home = Testbed::home_net();
-        let sources: Vec<std::net::Ipv4Addr> = tb
-            .surveillance()
-            .engine()
-            .log()
-            .all()
-            .iter()
-            .map(|a| a.src)
-            .filter(|s| home.contains(*s))
-            .collect();
-        let per_ip = anonymity_set(&sources, 32);
-        let per_24 = anonymity_set(&sources, 24);
-        tb.export_telemetry(&scope);
-        let pass = correct && per_ip == cover_count + 1;
-        (
-            pass,
-            scope.snapshot(),
-            [
-                cover_count.to_string(),
-                verdict.to_string(),
-                mark(correct).to_string(),
-                per_ip.to_string(),
-                per_24.to_string(),
-                format!("1/{per_ip}"),
-            ],
-        )
-    });
-    for (pass, registry, row) in &rows {
+        let spec = CampaignSpec::new("e06-stateless", 5)
+            .target("twitter.com")
+            .method(MethodKind::StatelessDns)
+            .policy(NamedPolicy::new("dns-block", policy))
+            .cover_hosts(cover_count.min(8)) // hosts that physically exist
+            .spoofed_cover(cover_count)
+            .run_secs(10);
+        let report = engine::run(&spec, 1, tel);
+        let trial = &report.trials[0];
+        let per_ip = trial.anonymity_set.unwrap_or(0);
+        let pass = trial.verdict_correct && per_ip == cover_count + 1;
         all_pass &= pass;
-        if telemetry_on {
-            tel.merge_registry(registry);
-        }
-        table.row(row);
+        table.row(&[
+            cover_count.to_string(),
+            trial.verdict.to_string(),
+            mark(trial.verdict_correct).to_string(),
+            per_ip.to_string(),
+            format!("1/{per_ip}"),
+        ]);
     }
     out.push_str(&table.render());
     out.push_str(
         "\nnote: with zero cover the client is the lone suspect (odds 1/1, the overt\n\
          situation); each spoofed source multiplies the suspect pool exactly as Fig 3a\n\
-         intends. Per-/24 attribution collapses the set — the granularity ablation.\n",
+         intends.\n",
     );
     out.push_str(&format!(
         "\nresult: anonymity set grows as cover+1 with accuracy intact: {}\n\n",

@@ -154,11 +154,27 @@ pub fn run_with(tel: &underradar_telemetry::Telemetry) -> String {
         "censor injected RST",
         "server-side verdict correct",
     ]);
-    let sweet = run_ttl(tel, Some(RoutedMimicryNet::HOPS_TO_COVER), true);
+    // The sweet-spot run is one campaign cell: the engine's stateful
+    // driver always replies at the calibrated TTL, so a keyword policy
+    // plus a keyword-bearing probe path reproduces this row.
+    let spec = underradar_campaign::CampaignSpec::new("e07-stateful", 17)
+        .target("twitter.com")
+        .method(underradar_campaign::MethodKind::Stateful)
+        .policy(
+            underradar_campaign::NamedPolicy::new(
+                "keyword-rst",
+                CensorPolicy::new().block_keyword("falun"),
+            )
+            .with_probe_path("/falun"),
+        )
+        .run_secs(10);
+    let campaign = underradar_campaign::engine::run(&spec, 1, tel);
+    let sweet = &campaign.trials[0];
+    let sweet_reset = crate::experiments::campaign::evidence(sweet, "was_reset") == "true";
     acc.row(&[
         RoutedMimicryNet::HOPS_TO_COVER.to_string(),
-        mark(sweet.censor_detected).to_string(),
-        mark(sweet.flow_reset).to_string(),
+        mark(sweet_reset).to_string(),
+        mark(sweet.verdict_correct).to_string(),
     ]);
     let replay = run_ttl(tel, None, true);
     acc.row(&[
@@ -170,7 +186,7 @@ pub fn run_with(tel: &underradar_telemetry::Telemetry) -> String {
     ]);
     out.push_str(&acc.render());
 
-    let pass = sweet_spot_ok && sweet.censor_detected && sweet.flow_reset && unlimited.neighbor_rst;
+    let pass = sweet_spot_ok && sweet_reset && sweet.verdict_correct && unlimited.neighbor_rst;
     out.push_str(&format!(
         "\nresult: TTL window exists and enables censorship measurement without replay: {}\n\n",
         if pass { "PASSED" } else { "FAILED" }

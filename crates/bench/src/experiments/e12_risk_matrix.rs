@@ -7,238 +7,132 @@
 //! censorship *and* gets attributed; every §3/§4 technique detects the
 //! same censorship while evading.
 //!
+//! Each row is one campaign cell — a thin `CampaignSpec` (method ×
+//! policy) driven by the campaign engine, which owns the warm-up phases,
+//! spoofed cover, and risk scoring that used to be hand-wired here.
+//!
 //! A final ablation shows the paper's admitted limitation (§3.2.1): a
 //! surveillance operator willing to write bespoke fingerprinting rules and
 //! spend pre-MVR analysis can re-identify the scanning measurement.
 
+use underradar_campaign::{engine, CampaignSpec, MethodKind, NamedPolicy, TrialResult};
 use underradar_censor::CensorPolicy;
-use underradar_core::methods::ddos::DdosProbe;
-use underradar_core::methods::overt::OvertProbe;
 use underradar_core::methods::scan::SynScanProbe;
-use underradar_core::methods::spam::SpamProbe;
-use underradar_core::methods::stateful::{MimicServer, RoutedMimicryNet, StatefulMimicry};
-use underradar_core::methods::stateless::StatelessDnsMimicry;
 use underradar_core::ports::top_ports;
+use underradar_core::probe::Probe;
 use underradar_core::risk::RiskReport;
 use underradar_core::testbed::{TargetSite, Testbed, TestbedConfig};
 use underradar_netsim::addr::Cidr;
-use underradar_netsim::host::Host;
-use underradar_netsim::time::{SimDuration, SimTime};
-use underradar_protocols::dns::{DnsName, QType};
+use underradar_netsim::time::SimTime;
+use underradar_protocols::dns::DnsName;
 
 use crate::table::{heading, mark, Table};
 
 struct Row {
     method: &'static str,
     scenario: &'static str,
-    report: RiskReport,
+    trial: TrialResult,
 }
 
 fn blocked(domain: &str) -> CensorPolicy {
     CensorPolicy::new().block_domain(&DnsName::parse(domain).expect("n"))
 }
 
+/// Run a one-cell campaign and return the trial at `pick`.
+fn cell(tel: &underradar_telemetry::Telemetry, spec: CampaignSpec, pick: usize) -> TrialResult {
+    let report = engine::run(&spec, 1, tel);
+    report.trials[pick].clone()
+}
+
 fn overt_row(tel: &underradar_telemetry::Telemetry) -> Row {
-    let mut tb = Testbed::build(TestbedConfig {
-        policy: blocked("twitter.com"),
-        ..TestbedConfig::default()
-    });
-    let scope = crate::telemetry::instrument_testbed(&mut tb, tel);
-    let d = DnsName::parse("twitter.com").expect("n");
-    let idx = tb.spawn_on_client(
-        SimTime::ZERO,
-        Box::new(OvertProbe::new(&d, tb.resolver_ip, tb.collector_ip, "/")),
-    );
-    tb.run_secs(20);
-    let verdict = tb.client_task::<OvertProbe>(idx).expect("p").verdict();
-    crate::telemetry::finish_testbed(&tb, &scope, tel);
+    let spec = CampaignSpec::new("e12-overt", 1)
+        .target("twitter.com")
+        .method(MethodKind::Overt)
+        .policy(NamedPolicy::new("dns-block", blocked("twitter.com")))
+        .run_secs(20);
     Row {
         method: "overt (OONI-style baseline)",
         scenario: "dns-block",
-        report: RiskReport::evaluate(&tb, &verdict),
+        trial: cell(tel, spec, 0),
     }
 }
 
 fn scan_row(tel: &underradar_telemetry::Telemetry) -> Row {
     let target = TargetSite::numbered("twitter.com", 0).web_ip;
-    let policy = CensorPolicy::new().block_ip(Cidr::host(target));
-    let mut tb = Testbed::build(TestbedConfig {
-        policy,
-        ..TestbedConfig::default()
-    });
-    let scope = crate::telemetry::instrument_testbed(&mut tb, tel);
-    let idx = tb.spawn_on_client(
-        SimTime::ZERO,
-        Box::new(SynScanProbe::new(target, top_ports(60), vec![80])),
-    );
-    tb.run_secs(30);
-    let verdict = tb.client_task::<SynScanProbe>(idx).expect("p").verdict();
-    crate::telemetry::finish_testbed(&tb, &scope, tel);
+    let spec = CampaignSpec::new("e12-scan", 1)
+        .target("twitter.com")
+        .method(MethodKind::Scan)
+        .policy(NamedPolicy::new(
+            "ip-blackhole",
+            CensorPolicy::new().block_ip(Cidr::host(target)),
+        ))
+        .run_secs(30);
     Row {
         method: "scan (Method #1)",
         scenario: "ip-blackhole",
-        report: RiskReport::evaluate(&tb, &verdict),
+        trial: cell(tel, spec, 0),
     }
 }
 
 fn spam_row(tel: &underradar_telemetry::Telemetry) -> Row {
-    let mut tb = Testbed::build(TestbedConfig {
-        policy: blocked("twitter.com"),
-        ..TestbedConfig::default()
-    });
-    let scope = crate::telemetry::instrument_testbed(&mut tb, tel);
-    let resolver = tb.resolver_ip;
-    // Campaign warm-up earns the spammer label before the measured lookup.
-    for (i, warmup) in ["bbc.com", "example.org", "youtube.com"].iter().enumerate() {
-        let d = DnsName::parse(warmup).expect("n");
-        tb.spawn_on_client(
-            SimTime::ZERO + SimDuration::from_secs(i as u64),
-            Box::new(SpamProbe::new(&d, resolver, i as u64)),
-        );
-    }
-    let d = DnsName::parse("twitter.com").expect("n");
-    let idx = tb.spawn_on_client(
-        SimTime::ZERO + SimDuration::from_secs(10),
-        Box::new(SpamProbe::new(&d, resolver, 9)),
-    );
-    tb.run_secs(40);
-    let verdict = tb.client_task::<SpamProbe>(idx).expect("p").verdict();
-    crate::telemetry::finish_testbed(&tb, &scope, tel);
+    // Extra targets exist so the engine's warm-up phase can earn the
+    // spammer label against them; the measured cell is twitter (index 0).
+    let spec = CampaignSpec::new("e12-spam", 1)
+        .targets(["twitter.com", "bbc.com", "example.org", "youtube.com"])
+        .method(MethodKind::Spam)
+        .policy(NamedPolicy::new("dns-block", blocked("twitter.com")))
+        .run_secs(40);
     Row {
         method: "spam campaign (Method #2)",
         scenario: "dns-block",
-        report: RiskReport::evaluate(&tb, &verdict),
+        trial: cell(tel, spec, 0),
     }
 }
 
 fn ddos_row(tel: &underradar_telemetry::Telemetry) -> Row {
-    let policy = CensorPolicy::new().block_keyword("falun");
-    let mut tb = Testbed::build(TestbedConfig {
-        policy,
-        ..TestbedConfig::default()
-    });
-    let scope = crate::telemetry::instrument_testbed(&mut tb, tel);
-    let target = tb.target("youtube.com").expect("t").web_ip;
-    tb.spawn_on_client(
-        SimTime::ZERO,
-        Box::new(DdosProbe::new(target, "youtube.com", "/", 60)),
-    );
-    let idx = tb.spawn_on_client(
-        SimTime::ZERO + SimDuration::from_secs(5),
-        Box::new(DdosProbe::new(target, "youtube.com", "/falun-clip", 20)),
-    );
-    tb.run_secs(180);
-    let verdict = tb.client_task::<DdosProbe>(idx).expect("p").verdict();
-    crate::telemetry::finish_testbed(&tb, &scope, tel);
+    let spec = CampaignSpec::new("e12-ddos", 1)
+        .target("youtube.com")
+        .method(MethodKind::Ddos)
+        .policy(
+            NamedPolicy::new("keyword-rst", CensorPolicy::new().block_keyword("falun"))
+                .with_probe_path("/falun-clip"),
+        )
+        .run_secs(180);
     Row {
         method: "ddos burst (Method #3)",
         scenario: "keyword-rst",
-        report: RiskReport::evaluate(&tb, &verdict),
+        trial: cell(tel, spec, 0),
     }
 }
 
 fn stateless_row(tel: &underradar_telemetry::Telemetry) -> Row {
-    let mut tb = Testbed::build(TestbedConfig {
-        policy: blocked("twitter.com"),
-        cover_hosts: 8,
-        ..TestbedConfig::default()
-    });
-    let scope = crate::telemetry::instrument_testbed(&mut tb, tel);
-    let cover: Vec<std::net::Ipv4Addr> = (0..16)
-        .map(|i| std::net::Ipv4Addr::new(10, 0, 1, 30 + i as u8))
-        .collect();
-    let d = DnsName::parse("twitter.com").expect("n");
-    let idx = tb.spawn_on_client(
-        SimTime::ZERO,
-        Box::new(StatelessDnsMimicry::new(
-            &d,
-            QType::A,
-            tb.resolver_ip,
-            cover,
-        )),
-    );
-    tb.run_secs(10);
-    let verdict = tb
-        .client_task::<StatelessDnsMimicry>(idx)
-        .expect("p")
-        .verdict();
-    crate::telemetry::finish_testbed(&tb, &scope, tel);
+    let spec = CampaignSpec::new("e12-stateless", 1)
+        .target("twitter.com")
+        .method(MethodKind::StatelessDns)
+        .policy(NamedPolicy::new("dns-block", blocked("twitter.com")))
+        .cover_hosts(8)
+        .spoofed_cover(16)
+        .run_secs(10);
     Row {
         method: "stateless mimicry (Fig 3a)",
         scenario: "dns-block",
-        report: RiskReport::evaluate(&tb, &verdict),
+        trial: cell(tel, spec, 0),
     }
 }
 
 fn stateful_row(tel: &underradar_telemetry::Telemetry) -> Row {
-    const PORT: u16 = 7443;
-    const ISS: u32 = 0x1212_3434;
-    let policy = CensorPolicy::new().block_keyword("falun");
-    let mut net = RoutedMimicryNet::build(12, policy);
-    let scope = crate::telemetry::instrument_routed(&mut net, tel);
-    net.sim
-        .node_mut::<Host>(net.mserver)
-        .expect("mserver")
-        .spawn_task_at(
-            SimTime::ZERO,
-            Box::new(MimicServer::new(
-                PORT,
-                ISS,
-                Some(RoutedMimicryNet::HOPS_TO_COVER),
-            )),
-        );
-    net.sim
-        .node_mut::<Host>(net.client)
-        .expect("client")
-        .spawn_task_at(
-            SimTime::ZERO,
-            Box::new(StatefulMimicry::new(
-                net.cover_ip,
-                net.mserver_ip,
-                PORT,
-                ISS,
-                b"GET /falun HTTP/1.0\r\n\r\n",
-            )),
-        );
-    net.sim.run_for(SimDuration::from_secs(10)).expect("run");
-    let server = net
-        .sim
-        .node_ref::<Host>(net.mserver)
-        .expect("ms")
-        .task_ref::<MimicServer>(0)
-        .expect("server");
-    let verdict = server.verdict();
-    // Build the risk report by hand (different topology than Testbed).
-    use underradar_censor::TapCensor;
-    use underradar_surveil::system::SurveillanceNode;
-    let censor = net.sim.node_ref::<TapCensor>(net.censor).expect("censor");
-    let surv = net
-        .sim
-        .node_ref::<SurveillanceNode>(net.surveillance)
-        .expect("surv")
-        .system();
-    let censor_triggered = censor.stats().rst_injections > 0;
-    let report = RiskReport {
-        censor_triggered,
-        verdict_correct: verdict.correct_against(censor_triggered),
-        alerts_on_client: surv.alerts_for(net.client_ip),
-        attributed: surv.is_attributed(net.client_ip),
-        pursued: surv.is_pursued(net.client_ip),
-        anonymity_set: {
-            let sources: Vec<std::net::Ipv4Addr> =
-                surv.engine().log().all().iter().map(|a| a.src).collect();
-            if sources.is_empty() {
-                None
-            } else {
-                Some(underradar_spoof::anonymity_set(&sources, 32))
-            }
-        },
-    };
-    crate::telemetry::finish_routed(&net, &scope, tel);
+    let spec = CampaignSpec::new("e12-stateful", 12)
+        .target("twitter.com")
+        .method(MethodKind::Stateful)
+        .policy(
+            NamedPolicy::new("keyword-rst", CensorPolicy::new().block_keyword("falun"))
+                .with_probe_path("/falun"),
+        )
+        .run_secs(10);
     Row {
         method: "stateful mimicry (Fig 3b)",
         scenario: "keyword-rst",
-        report,
+        trial: cell(tel, spec, 0),
     }
 }
 
@@ -274,30 +168,31 @@ pub fn run_with(tel: &underradar_telemetry::Telemetry) -> String {
     ]);
     let mut pass = true;
     for row in &rows {
-        let r = &row.report;
+        let t = &row.trial;
         table.row(&[
             row.method.to_string(),
             row.scenario.to_string(),
-            mark(r.verdict_correct).to_string(),
-            mark(r.evades()).to_string(),
-            mark(r.attributed).to_string(),
-            mark(r.pursued).to_string(),
-            r.anonymity_set.map_or("-".to_string(), |n| n.to_string()),
+            mark(t.verdict_correct).to_string(),
+            mark(t.evaded).to_string(),
+            mark(t.attributed).to_string(),
+            mark(t.pursued).to_string(),
+            t.anonymity_set.map_or("-".to_string(), |n| n.to_string()),
         ]);
-        pass &= r.verdict_correct;
+        pass &= t.verdict_correct;
         if row.method.starts_with("overt") {
-            pass &= !r.evades() && r.attributed;
+            pass &= !t.evaded && t.attributed;
         } else if row.method.starts_with("stateless") {
             // Cover traffic trades zero-alerts for a large anonymity set.
-            pass &= r.anonymity_set.map(|n| n >= 17).unwrap_or(false) && !r.attributed;
+            pass &= t.anonymity_set.map(|n| n >= 17).unwrap_or(false) && !t.attributed;
         } else {
-            pass &= r.evades() && !r.attributed;
+            pass &= t.evaded && !t.attributed;
         }
     }
     out.push_str(&table.render());
 
     // Ablation: bespoke fingerprinting + pre-MVR analysis re-identifies
-    // the scan (the paper's §3.2.1 caveat).
+    // the scan (the paper's §3.2.1 caveat). Stays hand-wired: it needs
+    // the alert-before-MVR surveillance mode the spec doesn't expose.
     let target = TargetSite::numbered("twitter.com", 0).web_ip;
     let mut tb = Testbed::build(TestbedConfig {
         policy: CensorPolicy::new().block_ip(Cidr::host(target)),

@@ -4,6 +4,7 @@
 use underradar_telemetry::{Registry, Telemetry};
 
 pub mod a1_ablations;
+pub mod campaign;
 pub mod e01_testbed;
 pub mod e02_scan;
 pub mod e03_fig2_spam_cdf;

@@ -19,21 +19,17 @@ use underradar_core::testbed::Testbed;
 use underradar_surveil::system::SurveillanceNode;
 use underradar_telemetry::Telemetry;
 
-/// A fresh sub-registry, enabled iff `parent` is enabled.
+/// A fresh sub-registry, enabled iff `parent` is enabled (delegates to
+/// [`Telemetry::scope`]).
 pub fn scope(parent: &Telemetry) -> Telemetry {
-    if parent.is_enabled() {
-        Telemetry::enabled()
-    } else {
-        Telemetry::disabled()
-    }
+    parent.scope()
 }
 
 /// Fold a finished scope's totals into `parent` (counters add, gauges
-/// overwrite, histograms bucket-add, spans/events append).
+/// overwrite, histograms bucket-add, spans/events append; delegates to
+/// [`Telemetry::absorb`]).
 pub fn absorb(parent: &Telemetry, sub: &Telemetry) {
-    if parent.is_enabled() {
-        parent.merge_registry(&sub.snapshot());
-    }
+    parent.absorb(sub);
 }
 
 /// Attach a fresh scope to a testbed's scheduler so live counters record

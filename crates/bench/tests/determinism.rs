@@ -50,6 +50,39 @@ fn sharded_and_sequential_runs_agree_byte_for_byte() {
 }
 
 #[test]
+fn campaign_sequential_and_sharded_agree_byte_for_byte() {
+    use underradar_campaign::{engine, CampaignSpec, MethodKind, NamedPolicy};
+    use underradar_censor::CensorPolicy;
+    use underradar_protocols::dns::DnsName;
+    use underradar_telemetry::Telemetry;
+
+    // Flat + routed methods across two policies so the sharded path
+    // crosses policy-prep and method boundaries, not just trial repeats.
+    let blocked = CensorPolicy::new().block_domain(&DnsName::parse("twitter.com").expect("n"));
+    let spec = CampaignSpec::new("determinism", 42)
+        .targets(["twitter.com", "bbc.com"])
+        .methods([MethodKind::Overt, MethodKind::Scan, MethodKind::Stateful])
+        .policy(NamedPolicy::new("control", CensorPolicy::new()))
+        .policy(NamedPolicy::new("dns-block", blocked))
+        .trials_per_cell(2)
+        .run_secs(30);
+    let sequential_tel = Telemetry::enabled();
+    let sequential = engine::run(&spec, 1, &sequential_tel);
+    let sharded_tel = Telemetry::enabled();
+    let sharded = engine::run(&spec, 4, &sharded_tel);
+    assert_eq!(
+        sequential.to_json(),
+        sharded.to_json(),
+        "campaign report differs under sharding"
+    );
+    assert_eq!(
+        sequential_tel.snapshot().to_json(),
+        sharded_tel.snapshot().to_json(),
+        "merged campaign telemetry differs under sharding"
+    );
+}
+
+#[test]
 fn e09_registry_covers_the_surveillance_pipeline() {
     let exps: Vec<Experiment> = ALL
         .iter()

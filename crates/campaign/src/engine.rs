@@ -1,0 +1,485 @@
+//! The campaign engine: expands a [`CampaignSpec`] into trials, caches a
+//! built [`TestbedTemplate`] (and routed ruleset) per policy, shards
+//! trials across worker threads, retries `Inconclusive` verdicts with
+//! backoff in *simulated* time, and merges per-trial telemetry registries
+//! back into the caller's handle in trial-index order.
+
+use underradar_censor::TapCensor;
+use underradar_core::methods::ddos::DdosProbe;
+use underradar_core::methods::hops::HopProbe;
+use underradar_core::methods::overt::OvertProbe;
+use underradar_core::methods::scan::SynScanProbe;
+use underradar_core::methods::spam::SpamProbe;
+use underradar_core::methods::stateful::{MimicServer, RoutedMimicryNet, StatefulMimicry};
+use underradar_core::methods::stateless::{StatelessDnsMimicry, StatelessSynMimicry};
+use underradar_core::ports::top_ports;
+use underradar_core::probe::Probe;
+use underradar_core::risk::RiskReport;
+use underradar_core::testbed::{TargetSite, Testbed, TestbedConfig, TestbedTemplate};
+use underradar_core::verdict::Verdict;
+use underradar_ids::rule::Rule;
+use underradar_netsim::host::Host;
+use underradar_netsim::time::{SimDuration, SimTime};
+use underradar_protocols::dns::QType;
+use underradar_surveil::system::{default_surveillance_rules, SurveillanceNode};
+use underradar_telemetry::{Registry, Telemetry};
+
+use crate::report::{CampaignReport, TrialResult};
+use crate::seed;
+use crate::shard;
+use crate::spec::{CampaignSpec, MethodKind, NamedPolicy, Trial};
+
+/// UDP port hop probes aim at (classic traceroute base port).
+const HOP_PORT: u16 = 33434;
+/// TTL budget for hop sweeps in the routed topology (path is 3–4 hops).
+const HOP_MAX_TTL: u8 = 6;
+/// Server port for stateful mimicry flows.
+const MIMIC_PORT: u16 = 7443;
+/// Ports scanned per SYN-scan trial (top-N, port 80 expected open).
+const SCAN_PORTS: usize = 60;
+/// Request samples per DDoS-style trial.
+const DDOS_SAMPLES: usize = 20;
+
+/// Everything shareable across a policy column's trials: the testbed
+/// template (zone + parsed IDS rules built once) and the routed-topology
+/// ruleset. All fields are `Send + Sync`, so worker threads borrow one
+/// prep instead of re-parsing rules per trial.
+struct PolicyPrep<'a> {
+    named: &'a NamedPolicy,
+    template: TestbedTemplate,
+    routed_rules: Vec<Rule>,
+}
+
+fn prepare(spec: &CampaignSpec) -> Vec<PolicyPrep<'_>> {
+    let targets: Vec<TargetSite> = spec
+        .targets
+        .iter()
+        .enumerate()
+        .map(|(i, domain)| TargetSite::numbered(domain, i as u8))
+        .collect();
+    spec.policies
+        .iter()
+        .map(|named| {
+            let template = TestbedTemplate::prepare(TestbedConfig {
+                seed: 0,
+                policy: named.policy.clone(),
+                targets: targets.clone(),
+                cover_hosts: spec.cover_hosts,
+                surveillance_alert_first: false,
+                censor_rst_teardown: true,
+                capture: false,
+                client_link_loss: spec.client_link_loss,
+            });
+            let routed_rules = default_surveillance_rules(
+                Testbed::home_net(),
+                &named.policy.dns_blocked,
+                &named.policy.keywords,
+                None,
+            );
+            PolicyPrep {
+                named,
+                template,
+                routed_rules,
+            }
+        })
+        .collect()
+}
+
+/// Run the campaign across `workers` threads (1 = sequential baseline)
+/// and merge all per-trial telemetry into `tel` in trial-index order.
+/// Output is byte-identical for any worker count.
+pub fn run(spec: &CampaignSpec, workers: usize, tel: &Telemetry) -> CampaignReport {
+    let preps = prepare(spec);
+    let trials = spec.expand();
+    let telemetry_enabled = tel.is_enabled();
+    let outcomes = shard::run_sharded(trials.len(), workers, |i| {
+        let trial = &trials[i];
+        run_trial(spec, &preps[trial.policy_idx], trial, telemetry_enabled)
+    });
+    for (_, registry) in &outcomes {
+        tel.merge_registry(registry);
+    }
+    CampaignReport {
+        name: spec.name.clone(),
+        trials: outcomes.into_iter().map(|(result, _)| result).collect(),
+    }
+}
+
+/// One trial with retries: re-instantiate the world from a derived seed
+/// whenever the verdict is `Inconclusive`, granting `backoff_secs` extra
+/// simulated seconds per attempt, up to `max_retries`.
+fn run_trial(
+    spec: &CampaignSpec,
+    prep: &PolicyPrep<'_>,
+    trial: &Trial,
+    telemetry_enabled: bool,
+) -> (TrialResult, Registry) {
+    let mut acc = Registry::new();
+    let mut attempt = 0u32;
+    loop {
+        let attempt_seed = seed::attempt_seed(trial.seed, attempt);
+        let horizon = spec.run_secs + spec.retry.backoff_secs * attempt as u64;
+        let scope = if telemetry_enabled {
+            Telemetry::enabled()
+        } else {
+            Telemetry::disabled()
+        };
+        let mut result = execute(spec, prep, trial, attempt_seed, horizon, &scope);
+        acc.merge(&scope.snapshot());
+        let inconclusive = matches!(result.verdict, Verdict::Inconclusive(_));
+        if !inconclusive || attempt >= spec.retry.max_retries {
+            result.retries = attempt;
+            bump(&mut acc, "campaign.trials", 1);
+            bump(&mut acc, "campaign.retries", attempt as u64);
+            let label = trial.method.label();
+            bump(&mut acc, &format!("campaign.method.{label}.trials"), 1);
+            bump(
+                &mut acc,
+                &format!("campaign.method.{label}.retries"),
+                attempt as u64,
+            );
+            if inconclusive {
+                bump(&mut acc, "campaign.inconclusive_final", 1);
+            }
+            return (result, acc);
+        }
+        attempt += 1;
+    }
+}
+
+fn bump(registry: &mut Registry, name: &str, n: u64) {
+    if n > 0 {
+        *registry.counters.entry(name.to_string()).or_insert(0) += n;
+    }
+}
+
+fn execute(
+    spec: &CampaignSpec,
+    prep: &PolicyPrep<'_>,
+    trial: &Trial,
+    seed: u64,
+    horizon_secs: u64,
+    scope: &Telemetry,
+) -> TrialResult {
+    match trial.method {
+        MethodKind::Hops | MethodKind::Stateful => {
+            execute_routed(prep, trial, seed, horizon_secs, scope)
+        }
+        _ => execute_flat(spec, prep, trial, seed, horizon_secs, scope),
+    }
+}
+
+/// Drive a flat-testbed method (overt, scan, spam, ddos, stateless-*)
+/// from the client host and score it with [`RiskReport`].
+///
+/// Spam and ddos trials optionally run their paper-faithful warm-up
+/// phase first (§3.2.2: a spam campaign earns the spammer label before
+/// the measured lookup; a flood is already MVR-classified as DDoS by the
+/// time the measured samples fire), so campaign cells reproduce the
+/// per-experiment setups without bespoke wiring.
+fn execute_flat(
+    spec: &CampaignSpec,
+    prep: &PolicyPrep<'_>,
+    trial: &Trial,
+    seed: u64,
+    horizon_secs: u64,
+    scope: &Telemetry,
+) -> TrialResult {
+    let mut tb = prep.template.instantiate(seed);
+    tb.set_telemetry(scope.clone());
+    let site = tb.targets[trial.target_idx].clone();
+    let domain = site.domain.clone();
+    let resolver = tb.resolver_ip;
+    let collector = tb.collector_ip;
+    let cover = if spec.spoofed_cover > 0 {
+        (0..spec.spoofed_cover)
+            .map(|i| std::net::Ipv4Addr::new(10, 0, 1, 30 + i as u8))
+            .collect()
+    } else {
+        tb.cover_ips.clone()
+    };
+    if spec.warmup {
+        match trial.method {
+            MethodKind::Spam => {
+                // Reputation warm-up: spam probes toward the other zone
+                // targets stagger in first, earning the spammer label.
+                let others: Vec<_> = tb
+                    .targets
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| *i != trial.target_idx)
+                    .map(|(_, t)| t.domain.clone())
+                    .take(3)
+                    .collect();
+                for (i, warm) in others.into_iter().enumerate() {
+                    tb.spawn_on_client(
+                        SimTime::ZERO + SimDuration::from_secs(i as u64),
+                        Box::new(SpamProbe::new(
+                            &warm,
+                            resolver,
+                            seed.wrapping_add(1 + i as u64),
+                        )),
+                    );
+                }
+            }
+            MethodKind::Ddos => {
+                // Front-page flood: the source is already in the discarded
+                // DDoS class when the measured samples ride along.
+                tb.spawn_on_client(
+                    SimTime::ZERO,
+                    Box::new(DdosProbe::new(
+                        site.web_ip,
+                        &domain.to_string(),
+                        "/",
+                        3 * DDOS_SAMPLES,
+                    )),
+                );
+            }
+            _ => {}
+        }
+    }
+    let idx = match trial.method {
+        MethodKind::Overt => tb.spawn_on_client(
+            SimTime::ZERO,
+            Box::new(OvertProbe::new(
+                &domain,
+                resolver,
+                collector,
+                &prep.named.probe_path,
+            )),
+        ),
+        MethodKind::Scan => tb.spawn_on_client(
+            SimTime::ZERO,
+            Box::new(SynScanProbe::new(
+                site.web_ip,
+                top_ports(SCAN_PORTS),
+                vec![80],
+            )),
+        ),
+        MethodKind::Spam => tb.spawn_on_client(
+            if spec.warmup {
+                SimTime::ZERO + SimDuration::from_secs(10)
+            } else {
+                SimTime::ZERO
+            },
+            Box::new(SpamProbe::new(&domain, resolver, seed)),
+        ),
+        MethodKind::Ddos => tb.spawn_on_client(
+            if spec.warmup {
+                SimTime::ZERO + SimDuration::from_secs(5)
+            } else {
+                SimTime::ZERO
+            },
+            Box::new(DdosProbe::new(
+                site.web_ip,
+                &domain.to_string(),
+                &prep.named.probe_path,
+                DDOS_SAMPLES,
+            )),
+        ),
+        MethodKind::StatelessDns => tb.spawn_on_client(
+            SimTime::ZERO,
+            Box::new(StatelessDnsMimicry::new(&domain, QType::A, resolver, cover)),
+        ),
+        MethodKind::StatelessSyn => tb.spawn_on_client(
+            SimTime::ZERO,
+            Box::new(StatelessSynMimicry::new(site.web_ip, 80, cover)),
+        ),
+        MethodKind::Hops | MethodKind::Stateful => unreachable!("routed methods"),
+    };
+    tb.run_secs(horizon_secs);
+    let probe: &dyn Probe = match trial.method {
+        MethodKind::Overt => tb.client_task::<OvertProbe>(idx).expect("probe state"),
+        MethodKind::Scan => tb.client_task::<SynScanProbe>(idx).expect("probe state"),
+        MethodKind::Spam => tb.client_task::<SpamProbe>(idx).expect("probe state"),
+        MethodKind::Ddos => tb.client_task::<DdosProbe>(idx).expect("probe state"),
+        MethodKind::StatelessDns => tb
+            .client_task::<StatelessDnsMimicry>(idx)
+            .expect("probe state"),
+        MethodKind::StatelessSyn => tb
+            .client_task::<StatelessSynMimicry>(idx)
+            .expect("probe state"),
+        MethodKind::Hops | MethodKind::Stateful => unreachable!("routed methods"),
+    };
+    let verdict = probe.verdict();
+    let evidence = probe.evidence();
+    let risk = RiskReport::evaluate(&tb, &verdict);
+    tb.export_telemetry(scope);
+    TrialResult {
+        index: trial.index,
+        method: trial.method,
+        policy: prep.named.name.clone(),
+        target: domain.to_string(),
+        seed: trial.seed,
+        verdict,
+        verdict_correct: risk.verdict_correct,
+        evaded: risk.evades(),
+        alerts_on_client: risk.alerts_on_client,
+        attributed: risk.attributed,
+        pursued: risk.pursued,
+        anonymity_set: risk.anonymity_set,
+        retries: 0,
+        evidence,
+    }
+}
+
+/// Drive a routed-topology method (hops, stateful mimicry) and score it
+/// against the tap censor and surveillance node directly.
+fn execute_routed(
+    prep: &PolicyPrep<'_>,
+    trial: &Trial,
+    seed: u64,
+    horizon_secs: u64,
+    scope: &Telemetry,
+) -> TrialResult {
+    let mut net = RoutedMimicryNet::build_with_rules(
+        seed,
+        prep.named.policy.clone(),
+        prep.routed_rules.clone(),
+    );
+    net.sim.set_telemetry(scope.clone());
+    match trial.method {
+        MethodKind::Hops => {
+            let probe = HopProbe::new(net.cover_ip, HOP_PORT, HOP_MAX_TTL);
+            net.sim
+                .node_mut::<Host>(net.mserver)
+                .expect("mserver host")
+                .spawn_task_at(SimTime::ZERO, Box::new(probe));
+        }
+        MethodKind::Stateful => {
+            let agreed_iss = (seed as u32) | 1;
+            let server = MimicServer::new(
+                MIMIC_PORT,
+                agreed_iss,
+                Some(RoutedMimicryNet::HOPS_TO_COVER),
+            );
+            net.sim
+                .node_mut::<Host>(net.mserver)
+                .expect("mserver host")
+                .spawn_task_at(SimTime::ZERO, Box::new(server));
+            let payload = format!("GET {} HTTP/1.0\r\n\r\n", prep.named.probe_path);
+            let client = StatefulMimicry::new(
+                net.cover_ip,
+                net.mserver_ip,
+                MIMIC_PORT,
+                agreed_iss,
+                payload.as_bytes(),
+            );
+            net.sim
+                .node_mut::<Host>(net.client)
+                .expect("client host")
+                .spawn_task_at(SimTime::ZERO, Box::new(client));
+        }
+        _ => unreachable!("flat methods"),
+    }
+    net.sim
+        .run_for(SimDuration::from_secs(horizon_secs))
+        .expect("sim run");
+    let mserver = net.sim.node_ref::<Host>(net.mserver).expect("mserver host");
+    let probe: &dyn Probe = match trial.method {
+        MethodKind::Hops => mserver.task_ref::<HopProbe>(0).expect("probe state"),
+        MethodKind::Stateful => mserver.task_ref::<MimicServer>(0).expect("server state"),
+        _ => unreachable!("flat methods"),
+    };
+    let verdict = probe.verdict();
+    let evidence = probe.evidence();
+    let censor_acted = net
+        .sim
+        .node_ref::<TapCensor>(net.censor)
+        .map(|tap| !tap.actions().is_empty())
+        .unwrap_or(false);
+    let system = net
+        .sim
+        .node_ref::<SurveillanceNode>(net.surveillance)
+        .expect("surveillance node")
+        .system();
+    if scope.is_enabled() {
+        net.sim.export_telemetry(scope);
+        if let Some(tap) = net.sim.node_ref::<TapCensor>(net.censor) {
+            tap.export_telemetry(scope);
+        }
+        system.export_telemetry(scope);
+    }
+    TrialResult {
+        index: trial.index,
+        method: trial.method,
+        policy: prep.named.name.clone(),
+        target: prep
+            .template
+            .config()
+            .targets
+            .get(trial.target_idx)
+            .map(|t| t.domain.to_string())
+            .unwrap_or_default(),
+        seed: trial.seed,
+        verdict_correct: verdict.correct_against(censor_acted),
+        evaded: system.alerts_for(net.client_ip) == 0,
+        alerts_on_client: system.alerts_for(net.client_ip),
+        attributed: system.is_attributed(net.client_ip),
+        pursued: system.is_pursued(net.client_ip),
+        anonymity_set: None,
+        retries: 0,
+        evidence,
+        verdict,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use underradar_censor::CensorPolicy;
+
+    fn small_spec() -> CampaignSpec {
+        CampaignSpec::new("unit", 5)
+            .targets(["twitter.com", "bbc.com"])
+            .methods([MethodKind::Scan, MethodKind::StatelessSyn])
+            .policy(NamedPolicy::new("control", CensorPolicy::new()))
+            .run_secs(30)
+    }
+
+    #[test]
+    fn sequential_and_sharded_runs_agree_byte_for_byte() {
+        let tel = Telemetry::disabled();
+        let sequential = run(&small_spec(), 1, &tel).to_json();
+        let sharded = run(&small_spec(), 4, &tel).to_json();
+        assert_eq!(sequential, sharded);
+    }
+
+    #[test]
+    fn routed_methods_run_through_the_same_entry_point() {
+        let spec = CampaignSpec::new("routed", 9)
+            .target("twitter.com")
+            .methods([MethodKind::Hops, MethodKind::Stateful])
+            .policy(NamedPolicy::new("control", CensorPolicy::new()))
+            .run_secs(20);
+        let tel = Telemetry::disabled();
+        let report = run(&spec, 1, &tel);
+        assert_eq!(report.trials.len(), 2);
+        let hops = &report.trials[0];
+        assert_eq!(hops.method, MethodKind::Hops);
+        assert!(hops.verdict.is_reachable(), "{:?}", hops.verdict);
+        let stateful = &report.trials[1];
+        assert!(stateful.verdict.is_reachable(), "{:?}", stateful.verdict);
+        assert!(stateful.evaded);
+    }
+
+    #[test]
+    fn campaign_counters_reach_the_parent_registry() {
+        let spec = CampaignSpec::new("tel", 3)
+            .target("twitter.com")
+            .method(MethodKind::Scan)
+            .policy(NamedPolicy::new("control", CensorPolicy::new()))
+            .run_secs(20);
+        let tel = Telemetry::enabled();
+        let report = run(&spec, 1, &tel);
+        assert_eq!(report.trials.len(), 1);
+        let snap = tel.snapshot();
+        assert_eq!(snap.counter("campaign.trials"), 1);
+        assert_eq!(snap.counter("campaign.method.scan.trials"), 1);
+        assert!(
+            snap.counters.len() > 2,
+            "simulator/censor/surveillance exports merged in: {:?}",
+            snap.counters.keys().collect::<Vec<_>>()
+        );
+    }
+}

@@ -1,0 +1,44 @@
+#![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
+//! # underradar-campaign
+//!
+//! A deterministic **campaign engine** for running measurement studies at
+//! scale: a declarative [`CampaignSpec`] (targets × methods × censor
+//! policies × trial seeds) expands into a work matrix, shards trials
+//! across OS threads, caches built testbed templates per policy, retries
+//! `Inconclusive` trials with bounded backoff in *simulated* time, and
+//! aggregates per-method accuracy/risk matrices plus merged telemetry.
+//!
+//! Every measurement method from the paper ("Can Censorship Measurements
+//! Be Safe(r)?", Jones & Feamster, HotNets 2015) is driven through the
+//! unified [`underradar_core::probe::Probe`] trait, so the engine never
+//! needs method-specific verdict plumbing — only method-specific setup.
+//!
+//! Determinism contract: for a fixed spec, [`engine::run`] produces
+//! byte-identical reports regardless of the worker count. Trial seeds are
+//! derived from `(master_seed, trial index)` alone, never from scheduling
+//! order, and results are committed in trial-index order.
+//!
+//! ```
+//! use underradar_campaign::{engine, CampaignSpec, MethodKind, NamedPolicy};
+//! use underradar_censor::CensorPolicy;
+//!
+//! let spec = CampaignSpec::new("doc", 7)
+//!     .target("twitter.com")
+//!     .method(MethodKind::Scan)
+//!     .policy(NamedPolicy::new("control", CensorPolicy::new()))
+//!     .run_secs(30);
+//! let tel = underradar_telemetry::Telemetry::disabled();
+//! let report = engine::run(&spec, 1, &tel);
+//! assert_eq!(report.trials.len(), 1);
+//! ```
+
+pub mod engine;
+pub mod report;
+pub mod seed;
+pub mod shard;
+pub mod spec;
+
+pub use report::{CampaignReport, CellStat, TrialResult};
+pub use spec::{CampaignSpec, MethodKind, NamedPolicy, RetryPolicy, Trial};

@@ -1,0 +1,61 @@
+//! Work-stealing trial execution over `std::thread` with a fixed worker
+//! count. Workers pull indices from an atomic cursor; results are
+//! committed into their index slot, so the output order is independent of
+//! which worker ran which trial.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Run `run(i)` for every `i in 0..n` across `workers` OS threads and
+/// return the results in index order. `workers <= 1` runs inline on the
+/// calling thread (the sequential baseline for determinism checks).
+pub fn run_sharded<T, F>(n: usize, workers: usize, run: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = workers.clamp(1, n.max(1));
+    if workers <= 1 {
+        return (0..n).map(run).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let out = run(i);
+                slots.lock().expect("result lock")[i] = Some(out);
+            });
+        }
+    });
+    slots
+        .into_inner()
+        .expect("result lock")
+        .into_iter()
+        .map(|s| s.expect("every index ran"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sharded_matches_sequential_in_order() {
+        let f = |i: usize| i * i + 1;
+        let seq = run_sharded(37, 1, f);
+        let par = run_sharded(37, 4, f);
+        assert_eq!(seq, par);
+        assert_eq!(seq[5], 26);
+    }
+
+    #[test]
+    fn worker_count_clamps_to_item_count() {
+        assert_eq!(run_sharded(2, 16, |i| i), vec![0, 1]);
+        assert_eq!(run_sharded(0, 4, |i| i), Vec::<usize>::new());
+    }
+}

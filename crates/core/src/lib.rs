@@ -23,6 +23,9 @@
 //!
 //! ## Supporting pieces
 //!
+//! * [`probe`] — the unified [`probe::Probe`] trait every method implements:
+//!   `label` / `is_finished` / `verdict` / `evidence`, so engines drive all
+//!   techniques through one trait-object surface.
 //! * [`testbed`] — the Figure-1 reference environment: client, switch with
 //!   censor and MVR taps, target services (web/MX/DNS), all on the
 //!   deterministic simulator.
@@ -34,10 +37,12 @@
 
 pub mod methods;
 pub mod ports;
+pub mod probe;
 pub mod risk;
 pub mod testbed;
 pub mod verdict;
 
+pub use probe::{Evidence, Probe};
 pub use risk::RiskReport;
-pub use testbed::{TargetSite, Testbed, TestbedConfig};
+pub use testbed::{TargetSite, Testbed, TestbedConfig, TestbedTemplate};
 pub use verdict::{Mechanism, Verdict};

@@ -18,6 +18,7 @@ use underradar_netsim::stack::tcp::TcpEvent;
 use underradar_netsim::time::SimDuration;
 use underradar_protocols::http::{HttpRequest, HttpResponse};
 
+use crate::probe::{Evidence, Probe};
 use crate::verdict::{Mechanism, Verdict};
 
 const TIMER_NEXT_SAMPLE: u64 = 1;
@@ -35,6 +36,27 @@ pub enum SampleOutcome {
     TimedOut,
 }
 
+/// Sample counts by outcome class (named replacement for the old
+/// `(ok, reset, refused, timeout)` tuple).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DdosTally {
+    /// The server answered with any HTTP status (not network censorship).
+    pub ok: usize,
+    /// Connection reset.
+    pub reset: usize,
+    /// Connection refused.
+    pub refused: usize,
+    /// Timed out.
+    pub timed_out: usize,
+}
+
+impl DdosTally {
+    /// Total samples counted.
+    pub fn total(&self) -> usize {
+        self.ok + self.reset + self.refused + self.timed_out
+    }
+}
+
 /// An HTTP-flood measurement of one target.
 pub struct DdosProbe {
     target: Ipv4Addr,
@@ -46,6 +68,9 @@ pub struct DdosProbe {
     buf: Vec<u8>,
     /// Outcome of each sample, in order.
     pub samples: Vec<SampleOutcome>,
+    /// Extra attempts granted to samples that time out.
+    retries: u32,
+    retries_used: u32,
 }
 
 impl DdosProbe {
@@ -60,6 +85,8 @@ impl DdosProbe {
             current: None,
             buf: Vec::new(),
             samples: Vec::new(),
+            retries: 0,
+            retries_used: 0,
         }
     }
 
@@ -69,53 +96,32 @@ impl DdosProbe {
         self
     }
 
-    /// Whether all samples completed.
-    pub fn is_finished(&self) -> bool {
-        self.samples.len() >= self.samples_wanted
+    /// Extra attempts for samples that time out (builder style; like the
+    /// scan method's retry rounds, this keeps random loss from reading as
+    /// censorship). Default 0: every outcome is recorded as observed.
+    pub fn with_retries(mut self, retries: u32) -> DdosProbe {
+        self.retries = retries;
+        self
     }
 
-    /// Sample counts: (ok, reset, refused, timeout).
-    pub fn tally(&self) -> (usize, usize, usize, usize) {
-        let mut t = (0, 0, 0, 0);
+    /// Sample counts by outcome class.
+    pub fn tally(&self) -> DdosTally {
+        let mut t = DdosTally::default();
         for s in &self.samples {
             match s {
-                SampleOutcome::Status(code) if (200..400).contains(code) => t.0 += 1,
-                SampleOutcome::Status(_) => t.0 += 1, // server answered; not network censorship
-                SampleOutcome::Reset => t.1 += 1,
-                SampleOutcome::Refused => t.2 += 1,
-                SampleOutcome::TimedOut => t.3 += 1,
+                // Any HTTP status means the server answered; an error page
+                // is not network censorship.
+                SampleOutcome::Status(_) => t.ok += 1,
+                SampleOutcome::Reset => t.reset += 1,
+                SampleOutcome::Refused => t.refused += 1,
+                SampleOutcome::TimedOut => t.timed_out += 1,
             }
         }
         t
     }
 
-    /// Aggregate verdict over the samples: systematic interference must
-    /// dominate the sample set, not appear once.
-    pub fn verdict(&self) -> Verdict {
-        if self.samples.is_empty() {
-            return Verdict::Inconclusive("no samples completed".to_string());
-        }
-        let n = self.samples.len() as f64;
-        let (ok, reset, refused, timeout) = self.tally();
-        if ok as f64 / n >= 0.8 {
-            return Verdict::Reachable;
-        }
-        if reset as f64 / n >= 0.5 {
-            return Verdict::Censored(Mechanism::RstInjection);
-        }
-        if timeout as f64 / n >= 0.5 {
-            return Verdict::Censored(Mechanism::Blackhole);
-        }
-        if refused as f64 / n >= 0.5 {
-            return Verdict::Censored(Mechanism::PortBlocked);
-        }
-        Verdict::Inconclusive(format!(
-            "mixed outcomes: {ok} ok / {reset} reset / {refused} refused / {timeout} timeout"
-        ))
-    }
-
     fn fire(&mut self, api: &mut HostApi<'_, '_>) {
-        if self.is_finished() {
+        if Probe::is_finished(self) {
             return;
         }
         self.buf.clear();
@@ -123,11 +129,67 @@ impl DdosProbe {
     }
 
     fn record(&mut self, api: &mut HostApi<'_, '_>, outcome: SampleOutcome) {
-        self.samples.push(outcome);
         self.current = None;
-        if !self.is_finished() {
+        if outcome == SampleOutcome::TimedOut && self.retries_used < self.retries {
+            // Re-attempt instead of recording: a lone timeout is more
+            // likely loss than censorship.
+            self.retries_used += 1;
+            api.set_timer(self.pace, TIMER_NEXT_SAMPLE);
+            return;
+        }
+        self.samples.push(outcome);
+        if !Probe::is_finished(self) {
             api.set_timer(self.pace, TIMER_NEXT_SAMPLE);
         }
+    }
+}
+
+impl Probe for DdosProbe {
+    fn label(&self) -> &'static str {
+        "ddos"
+    }
+
+    /// Whether all samples completed.
+    fn is_finished(&self) -> bool {
+        self.samples.len() >= self.samples_wanted
+    }
+
+    /// Aggregate verdict over the samples: systematic interference must
+    /// dominate the sample set, not appear once.
+    fn verdict(&self) -> Verdict {
+        if self.samples.is_empty() {
+            return Verdict::Inconclusive("no samples completed".to_string());
+        }
+        let n = self.samples.len() as f64;
+        let t = self.tally();
+        if t.ok as f64 / n >= 0.8 {
+            return Verdict::Reachable;
+        }
+        if t.reset as f64 / n >= 0.5 {
+            return Verdict::Censored(Mechanism::RstInjection);
+        }
+        if t.timed_out as f64 / n >= 0.5 {
+            return Verdict::Censored(Mechanism::Blackhole);
+        }
+        if t.refused as f64 / n >= 0.5 {
+            return Verdict::Censored(Mechanism::PortBlocked);
+        }
+        Verdict::Inconclusive(format!(
+            "mixed outcomes: {} ok / {} reset / {} refused / {} timeout",
+            t.ok, t.reset, t.refused, t.timed_out
+        ))
+    }
+
+    fn evidence(&self) -> Evidence {
+        let t = self.tally();
+        vec![
+            ("samples", self.samples.len().to_string()),
+            ("ok", t.ok.to_string()),
+            ("reset", t.reset.to_string()),
+            ("refused", t.refused.to_string()),
+            ("timed_out", t.timed_out.to_string()),
+            ("retries_used", self.retries_used.to_string()),
+        ]
     }
 }
 
@@ -193,8 +255,16 @@ mod tests {
         let (tb, idx) = run_ddos(CensorPolicy::new(), "/watch", 20);
         let probe = tb.client_task::<DdosProbe>(idx).expect("probe");
         assert!(probe.is_finished());
-        let (ok, reset, refused, timeout) = probe.tally();
-        assert_eq!((ok, reset, refused, timeout), (20, 0, 0, 0));
+        assert_eq!(
+            probe.tally(),
+            DdosTally {
+                ok: 20,
+                reset: 0,
+                refused: 0,
+                timed_out: 0
+            }
+        );
+        assert_eq!(probe.tally().total(), 20);
         assert_eq!(probe.verdict(), Verdict::Reachable);
     }
 
@@ -203,8 +273,7 @@ mod tests {
         let policy = CensorPolicy::new().block_keyword("falun");
         let (tb, idx) = run_ddos(policy, "/falun-gong", 10);
         let probe = tb.client_task::<DdosProbe>(idx).expect("probe");
-        let (_, reset, _, _) = probe.tally();
-        assert!(reset >= 5, "resets: {:?}", probe.samples);
+        assert!(probe.tally().reset >= 5, "resets: {:?}", probe.samples);
         assert_eq!(probe.verdict(), Verdict::Censored(Mechanism::RstInjection));
     }
 

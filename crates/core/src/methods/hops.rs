@@ -21,6 +21,9 @@ use underradar_netsim::time::SimDuration;
 use underradar_netsim::wire::icmp::{IcmpKind, IcmpRepr};
 use underradar_netsim::wire::tcp::TcpFlags;
 
+use crate::probe::{Evidence, Probe};
+use crate::verdict::Verdict;
+
 const TIMER_NEXT: u64 = 1;
 const TIMER_DONE: u64 = 2;
 const BASE_SPORT: u16 = 46000;
@@ -42,6 +45,7 @@ pub struct HopProbe {
     port: u16,
     max_ttl: u8,
     next_ttl: u8,
+    pace: SimDuration,
     /// Replies per probed TTL.
     pub replies: BTreeMap<u8, HopReply>,
     finished: bool,
@@ -55,14 +59,16 @@ impl HopProbe {
             port,
             max_ttl: max_ttl.max(1),
             next_ttl: 1,
+            pace: SimDuration::from_millis(100),
             replies: BTreeMap::new(),
             finished: false,
         }
     }
 
-    /// Whether the sweep completed (all TTLs probed, grace elapsed).
-    pub fn is_finished(&self) -> bool {
-        self.finished
+    /// Adjust probe pacing (builder style).
+    pub fn with_pace(mut self, pace: SimDuration) -> HopProbe {
+        self.pace = pace;
+        self
     }
 
     /// Hop distance to the target: the smallest TTL whose probe reached it.
@@ -112,12 +118,54 @@ impl HopProbe {
         )
         .with_ttl(ttl);
         api.raw_send(probe);
-        api.set_timer(SimDuration::from_millis(100), TIMER_NEXT);
+        api.set_timer(self.pace, TIMER_NEXT);
     }
 
     fn ttl_of_sport(sport: u16) -> Option<u8> {
         let delta = sport.wrapping_sub(BASE_SPORT);
         (1..=255).contains(&delta).then_some(delta as u8)
+    }
+}
+
+impl Probe for HopProbe {
+    fn label(&self) -> &'static str {
+        "hops"
+    }
+
+    /// Whether the sweep completed (all TTLs probed, grace elapsed).
+    fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Hop discovery is calibration, not a censorship measurement: a
+    /// completed sweep that reached the target reads reachable; a silent
+    /// target within `max_ttl` cannot be distinguished from a short sweep.
+    fn verdict(&self) -> Verdict {
+        if !self.finished {
+            return Verdict::Inconclusive("hop sweep in progress".to_string());
+        }
+        if self.hops_to_target().is_some() {
+            Verdict::Reachable
+        } else {
+            Verdict::Inconclusive("target silent within max TTL".to_string())
+        }
+    }
+
+    fn evidence(&self) -> Evidence {
+        vec![
+            ("max_ttl", self.max_ttl.to_string()),
+            ("routers", self.path().len().to_string()),
+            (
+                "hops_to_target",
+                self.hops_to_target()
+                    .map_or("-".to_string(), |h| h.to_string()),
+            ),
+            (
+                "calibrated_reply_ttl",
+                self.calibrated_reply_ttl()
+                    .map_or("-".to_string(), |t| t.to_string()),
+            ),
+        ]
     }
 }
 

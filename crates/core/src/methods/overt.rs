@@ -14,6 +14,7 @@ use underradar_netsim::time::SimDuration;
 use underradar_protocols::dns::{DnsMessage, DnsName, QType, Rcode};
 use underradar_protocols::http::{HttpRequest, HttpResponse};
 
+use crate::probe::{Evidence, Probe};
 use crate::verdict::{Mechanism, Verdict};
 
 const TIMER_DNS_TIMEOUT: u64 = 1;
@@ -76,8 +77,31 @@ impl OvertProbe {
         }
     }
 
+    fn start_fetch(&mut self, api: &mut HostApi<'_, '_>, ip: Ipv4Addr) {
+        self.phase = Phase::Fetching;
+        self.resolved = Some(ip);
+        self.http_conn = Some(api.tcp_connect(ip, 80));
+    }
+
+    fn start_report(&mut self, api: &mut HostApi<'_, '_>) {
+        self.phase = Phase::Reporting;
+        self.report_conn = Some(api.tcp_connect(self.collector, 443));
+    }
+}
+
+impl Probe for OvertProbe {
+    fn label(&self) -> &'static str {
+        "overt"
+    }
+
+    /// Finished once the collector upload completed (every overt run ends
+    /// with a report, whatever the outcome).
+    fn is_finished(&self) -> bool {
+        self.phase == Phase::Done
+    }
+
     /// The measurement's conclusion.
-    pub fn verdict(&self) -> Verdict {
+    fn verdict(&self) -> Verdict {
         // Conflicting DNS answers = injection (first response raced in).
         if self.dns_answers.len() > 1 && self.dns_answers.windows(2).any(|w| w[0] != w[1]) {
             return Verdict::Censored(Mechanism::DnsPoison);
@@ -101,15 +125,18 @@ impl OvertProbe {
         Verdict::Inconclusive("no response collected".to_string())
     }
 
-    fn start_fetch(&mut self, api: &mut HostApi<'_, '_>, ip: Ipv4Addr) {
-        self.phase = Phase::Fetching;
-        self.resolved = Some(ip);
-        self.http_conn = Some(api.tcp_connect(ip, 80));
-    }
-
-    fn start_report(&mut self, api: &mut HostApi<'_, '_>) {
-        self.phase = Phase::Reporting;
-        self.report_conn = Some(api.tcp_connect(self.collector, 443));
+    fn evidence(&self) -> Evidence {
+        vec![
+            ("dns_answers", self.dns_answers.len().to_string()),
+            (
+                "http_status",
+                self.http_status.map_or("-".to_string(), |s| s.to_string()),
+            ),
+            ("nxdomain", self.nxdomain.to_string()),
+            ("got_reset", self.got_reset.to_string()),
+            ("timed_out", self.timed_out.to_string()),
+            ("reported", self.reported.to_string()),
+        ]
     }
 }
 

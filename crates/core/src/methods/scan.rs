@@ -19,6 +19,7 @@ use underradar_netsim::packet::Packet;
 use underradar_netsim::time::SimDuration;
 use underradar_netsim::wire::tcp::TcpFlags;
 
+use crate::probe::{Evidence, Probe};
 use crate::verdict::{Mechanism, Verdict};
 
 const TIMER_NEXT_PROBE: u64 = 1;
@@ -84,50 +85,12 @@ impl SynScanProbe {
         self
     }
 
-    /// Whether the scan has sent all probes and the grace period elapsed.
-    pub fn is_finished(&self) -> bool {
-        self.finished
-    }
-
     /// Final state of one port (filtered if never answered).
     pub fn port_state(&self, port: u16) -> PortState {
         self.results
             .get(&port)
             .copied()
             .unwrap_or(PortState::Filtered)
-    }
-
-    /// The measurement's conclusion, per §3.1's rule: an expected-open port
-    /// that is closed or filtered means censorship.
-    pub fn verdict(&self) -> Verdict {
-        if !self.finished {
-            return Verdict::Inconclusive("scan still in progress".to_string());
-        }
-        if self.expected_open.is_empty() {
-            return Verdict::Inconclusive("no expected-open ports configured".to_string());
-        }
-        let mut any_open = false;
-        let mut any_filtered = false;
-        let mut any_closed = false;
-        for &p in &self.expected_open {
-            match self.port_state(p) {
-                PortState::Open => any_open = true,
-                PortState::Filtered => any_filtered = true,
-                PortState::Closed => any_closed = true,
-            }
-        }
-        if any_open && !any_filtered && !any_closed {
-            Verdict::Reachable
-        } else if any_filtered && !any_open {
-            // Everything expected is silent: packets are being dropped.
-            Verdict::Censored(Mechanism::Blackhole)
-        } else if any_closed && !any_open {
-            // RST where a service must exist: injected or forced closed.
-            Verdict::Censored(Mechanism::RstInjection)
-        } else {
-            // Some expected ports open, others blocked: port-level blocking.
-            Verdict::Censored(Mechanism::PortBlocked)
-        }
     }
 
     fn send_next(&mut self, api: &mut HostApi<'_, '_>) {
@@ -163,6 +126,67 @@ impl SynScanProbe {
     fn sport_to_port(&self, sport: u16) -> Option<u16> {
         let idx = sport.wrapping_sub(self.base_sport) as usize;
         self.ports.get(idx).copied()
+    }
+}
+
+impl Probe for SynScanProbe {
+    fn label(&self) -> &'static str {
+        "scan"
+    }
+
+    /// Whether the scan has sent all probes and the grace period elapsed.
+    fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    /// The measurement's conclusion, per §3.1's rule: an expected-open port
+    /// that is closed or filtered means censorship.
+    fn verdict(&self) -> Verdict {
+        if !self.finished {
+            return Verdict::Inconclusive("scan still in progress".to_string());
+        }
+        if self.expected_open.is_empty() {
+            return Verdict::Inconclusive("no expected-open ports configured".to_string());
+        }
+        let mut any_open = false;
+        let mut any_filtered = false;
+        let mut any_closed = false;
+        for &p in &self.expected_open {
+            match self.port_state(p) {
+                PortState::Open => any_open = true,
+                PortState::Filtered => any_filtered = true,
+                PortState::Closed => any_closed = true,
+            }
+        }
+        if any_open && !any_filtered && !any_closed {
+            Verdict::Reachable
+        } else if any_filtered && !any_open {
+            // Everything expected is silent: packets are being dropped.
+            Verdict::Censored(Mechanism::Blackhole)
+        } else if any_closed && !any_open {
+            // RST where a service must exist: injected or forced closed.
+            Verdict::Censored(Mechanism::RstInjection)
+        } else {
+            // Some expected ports open, others blocked: port-level blocking.
+            Verdict::Censored(Mechanism::PortBlocked)
+        }
+    }
+
+    fn evidence(&self) -> Evidence {
+        let (mut open, mut closed, mut filtered) = (0usize, 0usize, 0usize);
+        for &p in &self.ports {
+            match self.port_state(p) {
+                PortState::Open => open += 1,
+                PortState::Closed => closed += 1,
+                PortState::Filtered => filtered += 1,
+            }
+        }
+        vec![
+            ("ports_probed", self.ports.len().to_string()),
+            ("open", open.to_string()),
+            ("closed", closed.to_string()),
+            ("filtered", filtered.to_string()),
+        ]
     }
 }
 

@@ -24,6 +24,7 @@ use underradar_protocols::dns::{DnsMessage, DnsName, QType, Rcode, RecordData};
 use underradar_protocols::smtp::SmtpClientMachine;
 use underradar_spam::measurement_spam;
 
+use crate::probe::{Evidence, Probe};
 use crate::verdict::{Mechanism, Verdict};
 
 const TIMER_DNS_TIMEOUT: u64 = 1;
@@ -98,8 +99,44 @@ impl SpamProbe {
         }
     }
 
+    fn observe(&mut self, resp: &DnsMessage) -> DnsObservation {
+        let a_records = resp.a_records();
+        let mx_records: Vec<DnsName> = resp
+            .answers
+            .iter()
+            .filter_map(|r| match &r.data {
+                RecordData::Mx { exchange, .. } => Some(exchange.clone()),
+                _ => None,
+            })
+            .collect();
+        DnsObservation {
+            query_id: resp.id,
+            a_for_mx: resp.id == MX_QUERY_ID && mx_records.is_empty() && !a_records.is_empty(),
+            a_records,
+            mx_records,
+        }
+    }
+}
+
+impl Probe for SpamProbe {
+    fn label(&self) -> &'static str {
+        "spam"
+    }
+
+    /// Finished once any terminal signal arrived: delivery, an SMTP
+    /// failure, an injection tell, or a DNS dead end.
+    fn is_finished(&self) -> bool {
+        self.delivered
+            || self.got_reset
+            || self.timed_out
+            || self.refused
+            || self.nxdomain
+            || self.dns_timeout
+            || self.observations.iter().any(|o| o.a_for_mx)
+    }
+
     /// The measurement's conclusion.
-    pub fn verdict(&self) -> Verdict {
+    fn verdict(&self) -> Verdict {
         // Injection tells, in order of strength.
         if self.observations.iter().any(|o| o.a_for_mx) {
             return Verdict::Censored(Mechanism::DnsPoison);
@@ -137,22 +174,20 @@ impl SpamProbe {
         Verdict::Inconclusive("measurement incomplete".to_string())
     }
 
-    fn observe(&mut self, resp: &DnsMessage) -> DnsObservation {
-        let a_records = resp.a_records();
-        let mx_records: Vec<DnsName> = resp
-            .answers
-            .iter()
-            .filter_map(|r| match &r.data {
-                RecordData::Mx { exchange, .. } => Some(exchange.clone()),
-                _ => None,
-            })
-            .collect();
-        DnsObservation {
-            query_id: resp.id,
-            a_for_mx: resp.id == MX_QUERY_ID && mx_records.is_empty() && !a_records.is_empty(),
-            a_records,
-            mx_records,
-        }
+    fn evidence(&self) -> Evidence {
+        vec![
+            ("dns_observations", self.observations.len().to_string()),
+            (
+                "a_for_mx",
+                self.observations.iter().any(|o| o.a_for_mx).to_string(),
+            ),
+            ("delivered", self.delivered.to_string()),
+            ("got_reset", self.got_reset.to_string()),
+            ("timed_out", self.timed_out.to_string()),
+            ("refused", self.refused.to_string()),
+            ("nxdomain", self.nxdomain.to_string()),
+            ("dns_timeout", self.dns_timeout.to_string()),
+        ]
     }
 }
 

@@ -26,6 +26,7 @@ use underradar_netsim::packet::Packet;
 use underradar_netsim::time::SimDuration;
 use underradar_netsim::wire::tcp::TcpFlags;
 
+use crate::probe::{Evidence, Probe};
 use crate::verdict::{Mechanism, Verdict};
 
 /// Events the measurer-controlled server records.
@@ -86,20 +87,6 @@ impl MimicServer {
             .any(|e| matches!(e, ServerEvent::Syn(..)))
     }
 
-    /// The measurement verdict, read from the server's point of view.
-    pub fn verdict(&self) -> Verdict {
-        if !self.saw_syn() {
-            return Verdict::Censored(Mechanism::Blackhole);
-        }
-        if self.rst_seen {
-            return Verdict::Censored(Mechanism::RstInjection);
-        }
-        if !self.received.is_empty() {
-            return Verdict::Reachable;
-        }
-        Verdict::Inconclusive("handshake only; no data arrived".to_string())
-    }
-
     fn reply(
         &self,
         api: &mut HostApi<'_, '_>,
@@ -114,6 +101,46 @@ impl MimicServer {
             pkt = pkt.with_ttl(ttl);
         }
         api.raw_send(pkt);
+    }
+}
+
+impl Probe for MimicServer {
+    fn label(&self) -> &'static str {
+        "stateful"
+    }
+
+    /// The server half is where the stateful verdict is read; it is
+    /// "finished" whenever its observations are conclusive (even a silent
+    /// run concludes blackhole — no SYN arrived at all).
+    fn is_finished(&self) -> bool {
+        !matches!(self.verdict(), Verdict::Inconclusive(_))
+    }
+
+    /// The measurement verdict, read from the server's point of view.
+    fn verdict(&self) -> Verdict {
+        if !self.saw_syn() {
+            return Verdict::Censored(Mechanism::Blackhole);
+        }
+        if self.rst_seen {
+            return Verdict::Censored(Mechanism::RstInjection);
+        }
+        if !self.received.is_empty() {
+            return Verdict::Reachable;
+        }
+        Verdict::Inconclusive("handshake only; no data arrived".to_string())
+    }
+
+    fn evidence(&self) -> Evidence {
+        vec![
+            ("saw_syn", self.saw_syn().to_string()),
+            ("was_reset", self.was_reset().to_string()),
+            ("received_bytes", self.received.len().to_string()),
+            ("events", self.events.len().to_string()),
+            (
+                "reply_ttl",
+                self.reply_ttl.map_or("-".to_string(), |t| t.to_string()),
+            ),
+        ]
     }
 }
 
@@ -195,10 +222,9 @@ pub struct StatefulMimicry {
     /// Split the payload into two segments (exercises the censor's
     /// reassembler).
     pub split_payload: bool,
+    step_gap: SimDuration,
     step: u32,
 }
-
-const STEP_GAP: SimDuration = SimDuration::from_millis(50);
 
 impl StatefulMimicry {
     /// Build the client half.
@@ -219,8 +245,15 @@ impl StatefulMimicry {
             client_iss: 0x1357_9bdf,
             payload: payload.to_vec(),
             split_payload: false,
+            step_gap: SimDuration::from_millis(50),
             step: 0,
         }
+    }
+
+    /// Adjust the gap between spoofed conversation steps (builder style).
+    pub fn with_pace(mut self, pace: SimDuration) -> StatefulMimicry {
+        self.step_gap = pace;
+        self
     }
 
     /// Split the payload across two segments (builder style).
@@ -243,10 +276,36 @@ impl StatefulMimicry {
     }
 }
 
+impl Probe for StatefulMimicry {
+    fn label(&self) -> &'static str {
+        "stateful"
+    }
+
+    /// Whether every spoofed conversation step has been sent.
+    fn is_finished(&self) -> bool {
+        self.step >= if self.split_payload { 3 } else { 2 }
+    }
+
+    /// The client half drives the conversation blind — replies go to the
+    /// spoofed neighbor, never here. The verdict is always read from the
+    /// [`MimicServer`] half.
+    fn verdict(&self) -> Verdict {
+        Verdict::Inconclusive("blind spoofed client; read the MimicServer verdict".to_string())
+    }
+
+    fn evidence(&self) -> Evidence {
+        vec![
+            ("steps_sent", self.step.to_string()),
+            ("payload_bytes", self.payload.len().to_string()),
+            ("split_payload", self.split_payload.to_string()),
+        ]
+    }
+}
+
 impl HostTask for StatefulMimicry {
     fn on_start(&mut self, api: &mut HostApi<'_, '_>) {
         api.raw_send(self.spoofed(self.client_iss, 0, TcpFlags::syn(), vec![]));
-        api.set_timer(STEP_GAP, 1);
+        api.set_timer(self.step_gap, 1);
     }
 
     fn on_timer(&mut self, api: &mut HostApi<'_, '_>, _token: u64) {
@@ -257,14 +316,14 @@ impl HostTask for StatefulMimicry {
             1 => {
                 // Blind ACK completes the spoofed handshake.
                 api.raw_send(self.spoofed(data_seq, srv_ack, TcpFlags::ack(), vec![]));
-                api.set_timer(STEP_GAP, 2);
+                api.set_timer(self.step_gap, 2);
             }
             2 => {
                 if self.split_payload && self.payload.len() >= 2 {
                     let mid = self.payload.len() / 2;
                     let first = self.payload[..mid].to_vec();
                     api.raw_send(self.spoofed(data_seq, srv_ack, TcpFlags::psh_ack(), first));
-                    api.set_timer(STEP_GAP, 3);
+                    api.set_timer(self.step_gap, 3);
                 } else {
                     api.raw_send(self.spoofed(
                         data_seq,
@@ -321,17 +380,31 @@ impl RoutedMimicryNet {
     /// Number of router hops from the server to the cover client.
     pub const HOPS_TO_COVER: u8 = 3;
 
-    /// Build the routed network.
+    /// Build the routed network, deriving the surveillance ruleset from
+    /// the policy.
     pub fn build(seed: u64, policy: underradar_censor::CensorPolicy) -> RoutedMimicryNet {
+        use underradar_netsim::addr::Cidr;
+        use underradar_surveil::system::default_surveillance_rules;
+
+        let home = Cidr::new(Ipv4Addr::new(10, 0, 0, 0), 8);
+        let rules = default_surveillance_rules(home, &policy.dns_blocked, &policy.keywords, None);
+        Self::build_with_rules(seed, policy, rules)
+    }
+
+    /// Build the routed network with a pre-parsed surveillance ruleset
+    /// (lets campaigns cache the ruleset per policy across trials).
+    pub fn build_with_rules(
+        seed: u64,
+        policy: underradar_censor::CensorPolicy,
+        rules: Vec<underradar_ids::rule::Rule>,
+    ) -> RoutedMimicryNet {
         use underradar_censor::TapCensor;
         use underradar_netsim::addr::Cidr;
         use underradar_netsim::host::Host;
         use underradar_netsim::link::LinkConfig;
         use underradar_netsim::switch::Switch;
         use underradar_netsim::topology::TopologyBuilder;
-        use underradar_surveil::system::{
-            default_surveillance_rules, SurveillanceConfig, SurveillanceNode,
-        };
+        use underradar_surveil::system::{SurveillanceConfig, SurveillanceNode};
 
         let client_ip = Ipv4Addr::new(10, 0, 1, 2);
         let cover_ip = Ipv4Addr::new(10, 0, 1, 77);
@@ -350,7 +423,6 @@ impl RoutedMimicryNet {
         let mserver = topo.add_host(mserver_host);
 
         let censor = topo.add_node(Box::new(TapCensor::new("censor", policy.clone())));
-        let rules = default_surveillance_rules(home, &policy.dns_blocked, &policy.keywords, None);
         let surveillance = topo.add_node(Box::new(SurveillanceNode::new(
             "mvr",
             SurveillanceConfig::with_rules(rules),

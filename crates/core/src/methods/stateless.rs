@@ -22,6 +22,7 @@ use underradar_netsim::time::SimDuration;
 use underradar_netsim::wire::tcp::TcpFlags;
 use underradar_protocols::dns::{DnsMessage, DnsName, QType, Rcode};
 
+use crate::probe::{Evidence, Probe};
 use crate::verdict::{Mechanism, Verdict};
 
 const TIMER_DEADLINE: u64 = 1;
@@ -63,9 +64,21 @@ impl StatelessDnsMimicry {
             deadline_passed: false,
         }
     }
+}
+
+impl Probe for StatelessDnsMimicry {
+    fn label(&self) -> &'static str {
+        "stateless-dns"
+    }
+
+    /// Finished once any terminal signal arrived: an answer, a denial, or
+    /// the response deadline.
+    fn is_finished(&self) -> bool {
+        self.deadline_passed || self.a_for_mx || self.nxdomain || !self.answers.is_empty()
+    }
 
     /// The measurement's conclusion.
-    pub fn verdict(&self) -> Verdict {
+    fn verdict(&self) -> Verdict {
         if self.a_for_mx {
             return Verdict::Censored(Mechanism::DnsPoison);
         }
@@ -86,6 +99,16 @@ impl StatelessDnsMimicry {
             return Verdict::Censored(Mechanism::Blackhole);
         }
         Verdict::Inconclusive("awaiting responses".to_string())
+    }
+
+    fn evidence(&self) -> Evidence {
+        vec![
+            ("cover_sources", self.cover.len().to_string()),
+            ("answers", self.answers.len().to_string()),
+            ("a_for_mx", self.a_for_mx.to_string()),
+            ("nxdomain", self.nxdomain.to_string()),
+            ("deadline_passed", self.deadline_passed.to_string()),
+        ]
     }
 }
 
@@ -174,9 +197,20 @@ impl StatelessSynMimicry {
             deadline_passed: false,
         }
     }
+}
+
+impl Probe for StatelessSynMimicry {
+    fn label(&self) -> &'static str {
+        "stateless-syn"
+    }
+
+    /// Finished once the real SYN drew any answer or the deadline passed.
+    fn is_finished(&self) -> bool {
+        self.deadline_passed || self.syn_ack || self.rst
+    }
 
     /// The measurement's conclusion.
-    pub fn verdict(&self) -> Verdict {
+    fn verdict(&self) -> Verdict {
         if self.syn_ack {
             Verdict::Reachable
         } else if self.rst {
@@ -186,6 +220,15 @@ impl StatelessSynMimicry {
         } else {
             Verdict::Inconclusive("awaiting replies".to_string())
         }
+    }
+
+    fn evidence(&self) -> Evidence {
+        vec![
+            ("cover_sources", self.cover.len().to_string()),
+            ("syn_ack", self.syn_ack.to_string()),
+            ("rst", self.rst.to_string()),
+            ("deadline_passed", self.deadline_passed.to_string()),
+        ]
     }
 }
 

@@ -26,6 +26,7 @@ use std::net::Ipv4Addr;
 use std::rc::Rc;
 
 use underradar_censor::{CensorAction, CensorPolicy, InlineCensor, TapCensor};
+use underradar_ids::rule::Rule;
 use underradar_netsim::addr::Cidr;
 use underradar_netsim::host::{Host, HostTask};
 use underradar_netsim::link::LinkConfig;
@@ -34,7 +35,7 @@ use underradar_netsim::sim::Simulator;
 use underradar_netsim::switch::Switch;
 use underradar_netsim::time::{SimDuration, SimTime};
 use underradar_netsim::topology::TopologyBuilder;
-use underradar_protocols::dns::{DnsName, DnsServer, ZoneBuilder};
+use underradar_protocols::dns::{DnsName, DnsServer, Record, ZoneBuilder};
 use underradar_protocols::email::EmailMessage;
 use underradar_protocols::http::HttpServer;
 use underradar_protocols::smtp::SmtpServerService;
@@ -70,6 +71,7 @@ impl TargetSite {
 }
 
 /// Testbed construction parameters.
+#[derive(Clone)]
 pub struct TestbedConfig {
     /// RNG seed (everything downstream is deterministic in it).
     pub seed: u64,
@@ -112,54 +114,63 @@ impl Default for TestbedConfig {
     }
 }
 
-/// The assembled testbed.
-pub struct Testbed {
-    /// The simulator (run it, then inspect).
-    pub sim: Simulator,
-    /// The measurement client host.
-    pub client: NodeId,
-    /// Cover hosts on the same access network.
-    pub cover: Vec<NodeId>,
-    /// The resolver host.
-    pub resolver: NodeId,
-    /// The off-path censor node.
-    pub censor: NodeId,
-    /// The inline censor node.
-    pub inline_censor: NodeId,
-    /// The surveillance node.
-    pub surveillance: NodeId,
-    /// Target sites.
-    pub targets: Vec<TargetSite>,
-    /// Per-target inboxes of mail delivered to the MX.
-    pub inboxes: HashMap<String, Rc<RefCell<Vec<EmailMessage>>>>,
-    /// The measurement client's address.
-    pub client_ip: Ipv4Addr,
-    /// Cover host addresses.
-    pub cover_ips: Vec<Ipv4Addr>,
-    /// The resolver's address.
-    pub resolver_ip: Ipv4Addr,
-    /// OONI-style collector address.
-    pub collector_ip: Ipv4Addr,
-    /// The measurer-controlled server (for stateful mimicry).
-    pub mserver: NodeId,
-    /// Its address.
-    pub mserver_ip: Ipv4Addr,
+const CLIENT_IP: Ipv4Addr = Ipv4Addr::new(10, 0, 1, 2);
+const RESOLVER_IP: Ipv4Addr = Ipv4Addr::new(10, 0, 2, 53);
+const COLLECTOR_IP: Ipv4Addr = Ipv4Addr::new(198, 51, 100, 99);
+const MSERVER_IP: Ipv4Addr = Ipv4Addr::new(198, 51, 100, 200);
+
+/// The expensive, seed-independent parts of a [`TestbedConfig`]: the
+/// resolver zone and the parsed surveillance ruleset (string-formatting
+/// and parsing the Snort-style rules dominates testbed construction).
+///
+/// A campaign prepares one template per censor policy and instantiates a
+/// fresh testbed per trial seed from it, instead of re-deriving the same
+/// zone and ruleset for every trial. The template holds no simulator
+/// state, so it is `Send + Sync` and shards can share it by reference.
+pub struct TestbedTemplate {
+    config: TestbedConfig,
+    zone: Vec<Record>,
+    rules: Vec<Rule>,
 }
 
-impl Testbed {
-    /// The access-network prefix clients live in.
-    pub fn home_net() -> Cidr {
-        Cidr::new(Ipv4Addr::new(10, 0, 0, 0), 8)
+impl TestbedTemplate {
+    /// Derive the policy-dependent parts once.
+    pub fn prepare(config: TestbedConfig) -> TestbedTemplate {
+        let mut zone = ZoneBuilder::new();
+        for t in &config.targets {
+            zone = zone
+                .a(&t.domain, t.web_ip)
+                .mx(&t.domain, 10, &t.mx_name)
+                .a(&t.mx_name, t.mx_ip);
+        }
+        let rules = default_surveillance_rules(
+            Testbed::home_net(),
+            &config.policy.dns_blocked,
+            &config.policy.keywords,
+            Some(COLLECTOR_IP),
+        );
+        TestbedTemplate {
+            config,
+            zone: zone.build(),
+            rules,
+        }
     }
 
-    /// Assemble the testbed.
-    pub fn build(config: TestbedConfig) -> Testbed {
-        let client_ip = Ipv4Addr::new(10, 0, 1, 2);
-        let resolver_ip = Ipv4Addr::new(10, 0, 2, 53);
-        let collector_ip = Ipv4Addr::new(198, 51, 100, 99);
-        let mserver_ip = Ipv4Addr::new(198, 51, 100, 200);
+    /// The configuration the template was prepared from.
+    pub fn config(&self) -> &TestbedConfig {
+        &self.config
+    }
 
-        let mut topo = TopologyBuilder::new(config.seed);
+    /// Assemble a testbed from the prepared parts, with `seed` replacing
+    /// the config's seed (each trial gets its own).
+    pub fn instantiate(&self, seed: u64) -> Testbed {
+        let config = &self.config;
+        let client_ip = CLIENT_IP;
+        let resolver_ip = RESOLVER_IP;
+        let collector_ip = COLLECTOR_IP;
+        let mserver_ip = MSERVER_IP;
+
+        let mut topo = TopologyBuilder::new(seed);
         if config.capture {
             topo.enable_capture();
         }
@@ -174,16 +185,9 @@ impl Testbed {
             cover_ips.push(ip);
         }
 
-        // Resolver with a zone covering every target.
-        let mut zone = ZoneBuilder::new();
-        for t in &config.targets {
-            zone = zone
-                .a(&t.domain, t.web_ip)
-                .mx(&t.domain, 10, &t.mx_name)
-                .a(&t.mx_name, t.mx_ip);
-        }
+        // Resolver serving the pre-built zone.
         let mut resolver_host = Host::new("resolver", resolver_ip);
-        resolver_host.add_udp_service(53, Box::new(DnsServer::new(zone.build())));
+        resolver_host.add_udp_service(53, Box::new(DnsServer::new(self.zone.clone())));
         let resolver = topo.add_host(resolver_host);
 
         // --- monitors ---
@@ -191,13 +195,7 @@ impl Testbed {
         tap_censor.set_rst_teardown(config.censor_rst_teardown);
         let censor = topo.add_node(Box::new(tap_censor));
 
-        let rules = default_surveillance_rules(
-            Self::home_net(),
-            &config.policy.dns_blocked,
-            &config.policy.keywords,
-            Some(collector_ip),
-        );
-        let mut surv_config = SurveillanceConfig::with_rules(rules);
+        let mut surv_config = SurveillanceConfig::with_rules(self.rules.clone());
         surv_config.alert_first = config.surveillance_alert_first;
         let surveillance = topo.add_node(Box::new(SurveillanceNode::new("mvr", surv_config)));
 
@@ -290,7 +288,7 @@ impl Testbed {
         // home prefix returns via sw2's inline port.
         topo.route(sw1, Cidr::new(Ipv4Addr::new(93, 184, 0, 0), 16), p1);
         topo.route(sw1, Cidr::new(Ipv4Addr::new(198, 51, 100, 0), 24), p1);
-        topo.route(sw2, Self::home_net(), p2);
+        topo.route(sw2, Testbed::home_net(), p2);
 
         let sim = topo.finish();
         Testbed {
@@ -301,7 +299,7 @@ impl Testbed {
             censor,
             inline_censor,
             surveillance,
-            targets: config.targets,
+            targets: config.targets.clone(),
             inboxes,
             client_ip,
             cover_ips,
@@ -310,6 +308,55 @@ impl Testbed {
             mserver,
             mserver_ip,
         }
+    }
+}
+
+/// The assembled testbed.
+pub struct Testbed {
+    /// The simulator (run it, then inspect).
+    pub sim: Simulator,
+    /// The measurement client host.
+    pub client: NodeId,
+    /// Cover hosts on the same access network.
+    pub cover: Vec<NodeId>,
+    /// The resolver host.
+    pub resolver: NodeId,
+    /// The off-path censor node.
+    pub censor: NodeId,
+    /// The inline censor node.
+    pub inline_censor: NodeId,
+    /// The surveillance node.
+    pub surveillance: NodeId,
+    /// Target sites.
+    pub targets: Vec<TargetSite>,
+    /// Per-target inboxes of mail delivered to the MX.
+    pub inboxes: HashMap<String, Rc<RefCell<Vec<EmailMessage>>>>,
+    /// The measurement client's address.
+    pub client_ip: Ipv4Addr,
+    /// Cover host addresses.
+    pub cover_ips: Vec<Ipv4Addr>,
+    /// The resolver's address.
+    pub resolver_ip: Ipv4Addr,
+    /// OONI-style collector address.
+    pub collector_ip: Ipv4Addr,
+    /// The measurer-controlled server (for stateful mimicry).
+    pub mserver: NodeId,
+    /// Its address.
+    pub mserver_ip: Ipv4Addr,
+}
+
+impl Testbed {
+    /// The access-network prefix clients live in.
+    pub fn home_net() -> Cidr {
+        Cidr::new(Ipv4Addr::new(10, 0, 0, 0), 8)
+    }
+
+    /// Assemble the testbed. One-shot path; campaigns that build many
+    /// testbeds for the same policy should [`TestbedTemplate::prepare`]
+    /// once and [`TestbedTemplate::instantiate`] per seed instead.
+    pub fn build(config: TestbedConfig) -> Testbed {
+        let seed = config.seed;
+        TestbedTemplate::prepare(config).instantiate(seed)
     }
 
     fn spawn_on(&mut self, node: NodeId, at: SimTime, task: Box<dyn HostTask>) -> usize {
@@ -609,6 +656,58 @@ mod tests {
         let before = snap.counters.clone();
         tb.export_telemetry(&tel);
         assert_eq!(tel.snapshot().counters, before);
+    }
+
+    #[test]
+    fn template_is_shareable_and_matches_direct_build() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TestbedTemplate>();
+
+        let config = || TestbedConfig {
+            policy: CensorPolicy::new().block_keyword("falun"),
+            seed: 77,
+            ..TestbedConfig::default()
+        };
+        let template = TestbedTemplate::prepare(config());
+        let run = |mut tb: Testbed| {
+            struct Get {
+                target: Ipv4Addr,
+                reset: bool,
+            }
+            impl HostTask for Get {
+                fn on_start(&mut self, api: &mut HostApi<'_, '_>) {
+                    api.tcp_connect(self.target, 80);
+                }
+                fn on_tcp(&mut self, api: &mut HostApi<'_, '_>, conn: ConnId, ev: TcpEvent) {
+                    match ev {
+                        TcpEvent::Connected => {
+                            api.tcp_send(conn, b"GET /falun HTTP/1.0\r\nHost: x\r\n\r\n")
+                        }
+                        TcpEvent::Reset => self.reset = true,
+                        _ => {}
+                    }
+                }
+            }
+            let web = tb.target("bbc.com").expect("t").web_ip;
+            tb.spawn_on_client(
+                SimTime::ZERO,
+                Box::new(Get {
+                    target: web,
+                    reset: false,
+                }),
+            );
+            tb.run_secs(10);
+            (
+                tb.client_task::<Get>(0).expect("t").reset,
+                tb.censor_actions().len(),
+                tb.surveillance().stats().observed,
+            )
+        };
+        assert_eq!(
+            run(template.instantiate(77)),
+            run(Testbed::build(config())),
+            "template path reproduces the direct-build path exactly"
+        );
     }
 
     #[test]

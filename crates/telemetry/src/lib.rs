@@ -237,6 +237,29 @@ impl Telemetry {
         }
     }
 
+    /// A fresh sub-registry, enabled iff this handle is enabled. Scopes
+    /// isolate absolute-total exports (`set_counter`-style mirroring) from
+    /// one another: record each scenario, shard, or trial into its own
+    /// scope and fold finished scopes back with [`Telemetry::absorb`] so
+    /// totals accumulate instead of overwriting.
+    pub fn scope(&self) -> Telemetry {
+        if self.is_enabled() {
+            Telemetry::enabled()
+        } else {
+            Telemetry::disabled()
+        }
+    }
+
+    /// Fold a finished scope's totals into this handle (counters add,
+    /// gauges overwrite, histograms bucket-add, spans/events append).
+    /// Absorbing in a fixed order keeps merged registries deterministic
+    /// regardless of which worker produced each scope.
+    pub fn absorb(&self, sub: &Telemetry) {
+        if self.is_enabled() {
+            self.merge_registry(&sub.snapshot());
+        }
+    }
+
     /// Fold an already-snapshotted registry into this live handle
     /// (deterministic sub-shard merging, e.g. an experiment's internal
     /// `run_sharded` sweep).
@@ -478,6 +501,27 @@ mod tests {
         assert_eq!(merged.gauge("g"), -1);
         assert_eq!(merged.histogram("h").unwrap().count(), 1);
         assert_eq!(merged.spans.len(), 1);
+    }
+
+    #[test]
+    fn scope_and_absorb_accumulate_absolute_totals() {
+        let parent = Telemetry::enabled();
+        for _ in 0..3 {
+            let sub = parent.scope();
+            assert!(sub.is_enabled());
+            sub.set_counter("x.total", 5); // absolute total per scope
+            parent.absorb(&sub);
+        }
+        assert_eq!(parent.snapshot().counter("x.total"), 15);
+    }
+
+    #[test]
+    fn disabled_parent_yields_disabled_scope() {
+        let parent = Telemetry::disabled();
+        let sub = parent.scope();
+        assert!(!sub.is_enabled());
+        parent.absorb(&sub); // no-op, must not panic
+        assert!(parent.snapshot().is_empty());
     }
 
     #[test]

@@ -24,6 +24,7 @@
 
 pub mod population;
 pub mod syria;
+pub mod targets;
 pub mod zipf;
 
 pub use population::{PopulationConfig, PopulationTraffic, TimedPacket};

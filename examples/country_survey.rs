@@ -10,12 +10,7 @@
 //! cargo run --example country_survey
 //! ```
 
-use underradar::censor::CensorPolicy;
-use underradar::core::methods::ddos::DdosProbe;
-use underradar::core::methods::spam::SpamProbe;
-use underradar::core::testbed::{Testbed, TestbedConfig};
-use underradar::netsim::time::{SimDuration, SimTime};
-use underradar::protocols::dns::DnsName;
+use underradar::prelude::*;
 
 fn main() {
     // The "country": DNS-blocks twitter, keyword-blocks falun.

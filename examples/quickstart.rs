@@ -6,15 +6,7 @@
 //! cargo run --example quickstart
 //! ```
 
-use underradar::censor::CensorPolicy;
-use underradar::core::methods::overt::OvertProbe;
-use underradar::core::methods::scan::SynScanProbe;
-use underradar::core::ports::top_ports;
-use underradar::core::risk::RiskReport;
-use underradar::core::testbed::{TargetSite, Testbed, TestbedConfig};
-use underradar::netsim::addr::Cidr;
-use underradar::netsim::time::SimTime;
-use underradar::protocols::dns::DnsName;
+use underradar::prelude::*;
 
 fn main() {
     // The censor blackholes twitter.com's web server and poisons its DNS.

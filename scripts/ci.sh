@@ -24,4 +24,12 @@ cargo test --offline --release -q -p underradar-ids --lib one_million_flow_churn
 echo "==> telemetry perf smoke (no-op sink overhead bound)"
 cargo bench --offline -p underradar-bench --bench perf -- telemetry
 
+echo "==> campaign determinism smoke (sequential vs 4-shard byte identity)"
+cargo build --offline --release -p underradar-bench --bin exp_campaign
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+./target/release/exp_campaign --json --shards 1 > "$tmpdir/campaign_1.json"
+./target/release/exp_campaign --json --shards 4 > "$tmpdir/campaign_4.json"
+cmp "$tmpdir/campaign_1.json" "$tmpdir/campaign_4.json"
+
 echo "CI green"

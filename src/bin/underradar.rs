@@ -16,6 +16,7 @@ use underradar::censor::CensorPolicy;
 use underradar::core::methods::hops::HopProbe;
 use underradar::core::methods::spam::SpamProbe;
 use underradar::core::methods::stateful::RoutedMimicryNet;
+use underradar::core::probe::Probe;
 use underradar::core::risk::RiskReport;
 use underradar::core::testbed::{Testbed, TestbedConfig};
 use underradar::netsim::host::Host;

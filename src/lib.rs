@@ -25,16 +25,12 @@
 //! * [`core`] — the measurement techniques themselves, the Figure-1
 //!   testbed, verdicts, and risk reports.
 //!
+//! Most applications only need [`prelude`]:
+//!
 //! ## Quickstart
 //!
 //! ```
-//! use underradar::censor::CensorPolicy;
-//! use underradar::core::methods::scan::SynScanProbe;
-//! use underradar::core::ports::top_ports;
-//! use underradar::core::risk::RiskReport;
-//! use underradar::core::testbed::{TargetSite, Testbed, TestbedConfig};
-//! use underradar::netsim::addr::Cidr;
-//! use underradar::netsim::time::SimTime;
+//! use underradar::prelude::*;
 //!
 //! // A censor that blackholes twitter.com's web server.
 //! let target = TargetSite::numbered("twitter.com", 0).web_ip;
@@ -63,3 +59,30 @@ pub use underradar_spam as spam;
 pub use underradar_spoof as spoof;
 pub use underradar_surveil as surveil;
 pub use underradar_workloads as workloads;
+
+pub mod prelude {
+    //! One-stop imports for driving measurements: the testbed, the unified
+    //! [`Probe`] trait with every method that implements it, verdicts and
+    //! risk reports, and the campaign engine.
+
+    pub use underradar_campaign::{
+        engine as campaign_engine, CampaignReport, CampaignSpec, CellStat, MethodKind, NamedPolicy,
+        RetryPolicy, TrialResult,
+    };
+    pub use underradar_censor::CensorPolicy;
+    pub use underradar_core::methods::ddos::{DdosProbe, DdosTally};
+    pub use underradar_core::methods::hops::HopProbe;
+    pub use underradar_core::methods::overt::OvertProbe;
+    pub use underradar_core::methods::scan::SynScanProbe;
+    pub use underradar_core::methods::spam::SpamProbe;
+    pub use underradar_core::methods::stateful::{MimicServer, RoutedMimicryNet, StatefulMimicry};
+    pub use underradar_core::methods::stateless::{StatelessDnsMimicry, StatelessSynMimicry};
+    pub use underradar_core::ports::top_ports;
+    pub use underradar_core::probe::{Evidence, Probe};
+    pub use underradar_core::risk::RiskReport;
+    pub use underradar_core::testbed::{TargetSite, Testbed, TestbedConfig};
+    pub use underradar_core::verdict::{Mechanism, Verdict};
+    pub use underradar_netsim::addr::Cidr;
+    pub use underradar_netsim::time::{SimDuration, SimTime};
+    pub use underradar_protocols::dns::DnsName;
+}

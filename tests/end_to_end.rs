@@ -9,6 +9,7 @@ use underradar::core::methods::scan::SynScanProbe;
 use underradar::core::methods::spam::SpamProbe;
 use underradar::core::methods::stateless::{StatelessDnsMimicry, StatelessSynMimicry};
 use underradar::core::ports::top_ports;
+use underradar::core::probe::Probe;
 use underradar::core::testbed::{TargetSite, Testbed, TestbedConfig};
 use underradar::core::verdict::Mechanism;
 use underradar::netsim::addr::Cidr;

@@ -4,6 +4,7 @@
 
 use underradar::censor::CensorPolicy;
 use underradar::core::methods::ddos::DdosProbe;
+use underradar::core::probe::Probe;
 use underradar::core::testbed::{Testbed, TestbedConfig};
 use underradar::ids::engine::DetectionEngine;
 use underradar::ids::parser::{parse_ruleset, VarTable};

@@ -7,6 +7,7 @@ use underradar::censor::CensorPolicy;
 use underradar::core::methods::overt::OvertProbe;
 use underradar::core::methods::scan::SynScanProbe;
 use underradar::core::ports::top_ports;
+use underradar::core::probe::Probe;
 use underradar::core::testbed::{TargetSite, Testbed, TestbedConfig};
 use underradar::netsim::time::{SimDuration, SimTime};
 use underradar::protocols::dns::DnsName;

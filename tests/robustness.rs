@@ -7,6 +7,7 @@ use underradar::core::methods::scan::SynScanProbe;
 use underradar::core::methods::spam::SpamProbe;
 use underradar::core::methods::stateless::StatelessDnsMimicry;
 use underradar::core::ports::top_ports;
+use underradar::core::probe::Probe;
 use underradar::core::risk::RiskReport;
 use underradar::core::testbed::{TargetSite, Testbed, TestbedConfig};
 use underradar::netsim::addr::Cidr;
