@@ -6,6 +6,11 @@
 //!
 //! * `--shards N` — worker threads (default 1). Output is byte-identical
 //!   for every `N`, which `scripts/ci.sh` checks (1 vs 4).
+//! * `--impair` — enable the adversarial client-link impairment knobs
+//!   (reorder 0.2 with 2 ms displacement, duplicate 0.1). Deterministic:
+//!   every impairment draw comes from the per-trial simulator RNG in
+//!   simulated-time order, so the 1-vs-4-shard byte identity must hold
+//!   here too (`scripts/ci.sh` checks both).
 //! * `--json` — one JSON object `{"experiment", "report", "telemetry"}`
 //!   where `report` is the structured campaign report (cells + trials).
 //! * `--telemetry` (or `UNDERRADAR_TELEMETRY=1`) — text report plus the
@@ -35,7 +40,10 @@ fn parse_shards(args: &[String]) -> usize {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let shards = parse_shards(&args);
-    let spec = paper_campaign(4);
+    let mut spec = paper_campaign(4);
+    if args.iter().any(|a| a == "--impair") {
+        spec = spec.client_link_reorder(0.2).client_link_duplicate(0.1);
+    }
     match underradar_bench::cli::output_mode(args.iter().cloned()) {
         OutputMode::Text => {
             let report = engine::run(&spec, shards, &Telemetry::disabled());

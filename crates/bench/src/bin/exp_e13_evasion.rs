@@ -1,0 +1,10 @@
+//! Regenerates the e13_evasion experiment report (see DESIGN.md §4).
+//! `--json` emits the report plus its telemetry registry as one JSON
+//! object; `--telemetry` (or `UNDERRADAR_TELEMETRY=1`) appends a text
+//! rendering of the registry.
+fn main() {
+    underradar_bench::cli::exp_main(
+        "e13_evasion",
+        underradar_bench::experiments::e13_evasion::run_with,
+    );
+}

@@ -1,0 +1,427 @@
+//! E13 — censor-vs-endpoint divergence under adversarial channel
+//! impairments (§4.1 insertion/evasion).
+//!
+//! The paper's §4.1 tricks work precisely because a monitor in the
+//! middle and the real endpoint can disagree about a TCP stream: a
+//! TTL-limited segment dies after the tap (*insertion* — the monitor
+//! reassembles bytes the endpoint never saw), and a monitor with a
+//! bounded hold-back buffer drops what the endpoint happily buffers
+//! (*evasion* — the endpoint sees bytes the monitor missed).
+//!
+//! This experiment replays identical flows past both vantage points and
+//! scores the divergence three ways:
+//!
+//! 1. **In-bound impairments** (reordering within the hold-back window,
+//!    duplicates, overlapping retransmits): monitor and endpoint must
+//!    agree byte-for-byte — zero divergence, zero verdict flips.
+//! 2. **Insertion** (TTL-limited keyword segment seen only by the
+//!    monitor, innocuous retransmit accepted by the endpoint): the
+//!    monitor's stream diverges and its keyword verdict flips.
+//! 3. **Evasion** (hold-back budget exhausted so the monitor drops the
+//!    keyword segment the endpoint buffers): the endpoint's stream
+//!    diverges and the monitor misses the keyword.
+//!
+//! Finally a campaign cell runs with the client-link impairment knobs
+//! enabled and checks the verdicts match the impairment-free run:
+//! in-bound channel noise must not change measurement outcomes.
+
+use std::net::Ipv4Addr;
+
+use underradar_censor::CensorPolicy;
+use underradar_ids::stream::{seq_le, seq_lt, Direction, FlowKey, StreamReassembler};
+use underradar_netsim::wire::tcp::TcpFlags;
+use underradar_netsim::{Packet, SimRng};
+
+use crate::table::{heading, mark, Table};
+
+const CLIENT: Ipv4Addr = Ipv4Addr::new(10, 0, 1, 2);
+const SERVER: Ipv4Addr = Ipv4Addr::new(93, 184, 0, 10);
+const SPORT: u16 = 4000;
+const DPORT: u16 = 80;
+const KEYWORD: &[u8] = b"falun";
+
+/// Who observes a scheduled segment: both vantage points, only the
+/// monitor (a TTL-limited packet that dies after the tap), or only the
+/// endpoint (a packet lost on the tap's mirror port).
+#[derive(Clone, Copy, PartialEq)]
+enum Sees {
+    Both,
+    MonitorOnly,
+    EndpointOnly,
+}
+
+/// Reference endpoint: reassembles with the same windowed sequence
+/// arithmetic as the monitor but an effectively unbounded out-of-order
+/// buffer (a real TCP stack holds a full receive window, far more than
+/// the monitor's hold-back budget).
+struct Endpoint {
+    expected: u32,
+    data: Vec<u8>,
+    held: Vec<(u32, Vec<u8>)>,
+}
+
+impl Endpoint {
+    fn new(isn: u32) -> Endpoint {
+        Endpoint {
+            expected: isn,
+            data: Vec::new(),
+            held: Vec::new(),
+        }
+    }
+
+    fn accept(&mut self, seq: u32, payload: &[u8]) {
+        let end = seq.wrapping_add(payload.len() as u32);
+        if seq_le(end, self.expected) {
+            return;
+        }
+        if seq_lt(seq, self.expected) {
+            let trim = self.expected.wrapping_sub(seq) as usize;
+            self.data.extend_from_slice(&payload[trim..]);
+            self.expected = end;
+        } else if seq == self.expected {
+            self.data.extend_from_slice(payload);
+            self.expected = end;
+        } else {
+            self.held.push((seq, payload.to_vec()));
+        }
+    }
+
+    fn receive(&mut self, seq: u32, payload: &[u8]) {
+        if payload.is_empty() {
+            return;
+        }
+        self.accept(seq, payload);
+        while let Some(pos) = self
+            .held
+            .iter()
+            .position(|(s, _)| seq_le(*s, self.expected))
+        {
+            let (s, p) = self.held.swap_remove(pos);
+            self.accept(s, &p);
+        }
+    }
+}
+
+struct Divergence {
+    monitor_only: usize,
+    endpoint_only: usize,
+    monitor_hit: bool,
+    endpoint_hit: bool,
+    ooo_dropped: u64,
+}
+
+impl Divergence {
+    fn diverged(&self) -> bool {
+        self.monitor_only > 0 || self.endpoint_only > 0
+    }
+
+    fn verdict_flip(&self) -> bool {
+        self.monitor_hit != self.endpoint_hit
+    }
+}
+
+fn contains(hay: &[u8], needle: &[u8]) -> bool {
+    hay.windows(needle.len()).any(|w| w == needle)
+}
+
+/// Replay one schedule of `(seq, payload, sees)` segments past a fresh
+/// monitor (the shared tap/IDS reassembler) and a fresh endpoint, and
+/// score the divergence between the two reconstructed streams.
+fn replay(isn: u32, schedule: &[(u32, Vec<u8>, Sees)]) -> Divergence {
+    let mut monitor = StreamReassembler::new();
+    let syn_seq = isn.wrapping_sub(1);
+    let syn = Packet::tcp(
+        CLIENT,
+        SERVER,
+        SPORT,
+        DPORT,
+        syn_seq,
+        0,
+        TcpFlags::syn(),
+        vec![],
+    );
+    monitor.process(&syn).expect("syn tracked");
+    let syn_ack = Packet::tcp(
+        SERVER,
+        CLIENT,
+        DPORT,
+        SPORT,
+        900,
+        isn,
+        TcpFlags::syn_ack(),
+        vec![],
+    );
+    monitor.process(&syn_ack).expect("syn-ack tracked");
+    let ack = Packet::tcp(
+        CLIENT,
+        SERVER,
+        SPORT,
+        DPORT,
+        isn,
+        901,
+        TcpFlags::ack(),
+        vec![],
+    );
+    let ctx = monitor.process(&ack).expect("ack tracked");
+    let key: FlowKey = ctx.key;
+
+    let mut endpoint = Endpoint::new(isn);
+    for (seq, payload, sees) in schedule {
+        if *sees != Sees::EndpointOnly {
+            let pkt = Packet::tcp(
+                CLIENT,
+                SERVER,
+                SPORT,
+                DPORT,
+                *seq,
+                901,
+                TcpFlags::psh_ack(),
+                payload.clone(),
+            );
+            monitor.process(&pkt);
+        }
+        if *sees != Sees::MonitorOnly {
+            endpoint.receive(*seq, payload);
+        }
+    }
+
+    let monitor_stream = monitor.stream_of(&key, Direction::ToServer).to_vec();
+    let lcp = monitor_stream
+        .iter()
+        .zip(endpoint.data.iter())
+        .take_while(|(a, b)| a == b)
+        .count();
+    Divergence {
+        monitor_only: monitor_stream.len() - lcp,
+        endpoint_only: endpoint.data.len() - lcp,
+        monitor_hit: contains(&monitor_stream, KEYWORD),
+        endpoint_hit: contains(&endpoint.data, KEYWORD),
+        ooo_dropped: monitor.stats().ooo_dropped,
+    }
+}
+
+/// A random keyword-bearing flow scheduled with in-bound impairments:
+/// bounded reordering, duplicates, and overlapping retransmits.
+fn impaired_schedule(rng: &mut SimRng, isn: u32) -> Vec<(u32, Vec<u8>, Sees)> {
+    let len = 256 + rng.index(768);
+    let mut stream: Vec<u8> = (0..len).map(|i| b'a' + ((i * 7 + 3) % 23) as u8).collect();
+    let at = rng.index(len - KEYWORD.len());
+    stream[at..at + KEYWORD.len()].copy_from_slice(KEYWORD);
+
+    // Segment, then shuffle by bounded rank displacement (well inside
+    // the monitor's hold-back budget) with occasional duplicates and
+    // overlapping re-sends.
+    let mut segs: Vec<(u32, Vec<u8>)> = Vec::new();
+    let mut off = 0usize;
+    while off < stream.len() {
+        let take = (1 + rng.index(128)).min(stream.len() - off);
+        segs.push((
+            isn.wrapping_add(off as u32),
+            stream[off..off + take].to_vec(),
+        ));
+        off += take;
+    }
+    let mut ranked: Vec<(usize, u32, Vec<u8>)> = Vec::new();
+    for (i, (seq, payload)) in segs.iter().enumerate() {
+        ranked.push((i * 4 + rng.index(8), *seq, payload.clone()));
+        if rng.chance(0.15) {
+            ranked.push((i * 4 + rng.index(8), *seq, payload.clone()));
+        }
+        if i > 0 && rng.chance(0.15) {
+            // Overlapping retransmit reaching back into delivered bytes.
+            let start = seq.wrapping_sub(isn) as usize;
+            let back = 1 + rng.index(start.min(24));
+            let take = (back + 1 + rng.index(16)).min(stream.len() - (start - back));
+            ranked.push((
+                i * 4 + rng.index(8),
+                isn.wrapping_add((start - back) as u32),
+                stream[start - back..start - back + take].to_vec(),
+            ));
+        }
+    }
+    ranked.sort_by_key(|(rank, _, _)| *rank);
+    // Lead with the first in-order byte so the monitor anchors its
+    // expected sequence at the ISN rather than mid-stream.
+    let mut schedule = vec![(isn, stream[0..1].to_vec(), Sees::Both)];
+    schedule.extend(
+        ranked
+            .into_iter()
+            .map(|(_, seq, payload)| (seq, payload, Sees::Both)),
+    );
+    schedule
+}
+
+/// §4.1 insertion: a TTL-limited keyword segment dies after the tap, and
+/// the retransmit the endpoint accepts carries innocuous bytes the
+/// monitor discards as a duplicate.
+fn insertion_schedule(isn: u32) -> Vec<(u32, Vec<u8>, Sees)> {
+    vec![
+        (isn, b"GET /".to_vec(), Sees::Both),
+        (isn.wrapping_add(5), b"falun".to_vec(), Sees::MonitorOnly),
+        (isn.wrapping_add(5), b"files".to_vec(), Sees::Both),
+        (isn.wrapping_add(10), b" HTTP/1.0".to_vec(), Sees::Both),
+    ]
+}
+
+/// Evasion by hold-back exhaustion: junk segments beyond a small gap
+/// fill the monitor's out-of-order budget, so the keyword segment behind
+/// them is dropped by the monitor but buffered by the endpoint; filling
+/// the gap then reveals the divergence.
+fn evasion_schedule(isn: u32) -> Vec<(u32, Vec<u8>, Sees)> {
+    let mut schedule = vec![(isn, b"GET /".to_vec(), Sees::Both)];
+    let gap = isn.wrapping_add(5);
+    let after = isn.wrapping_add(15);
+    for j in 0..4u32 {
+        schedule.push((after.wrapping_add(j * 1024), vec![b'x'; 1024], Sees::Both));
+    }
+    schedule.push((after.wrapping_add(4096), KEYWORD.to_vec(), Sees::Both));
+    schedule.push((gap, b"0123456789".to_vec(), Sees::Both));
+    schedule
+}
+
+/// Run E13 with a disabled telemetry handle.
+pub fn run() -> String {
+    run_with(&underradar_telemetry::Telemetry::disabled())
+}
+
+/// Run E13 and render its report, recording telemetry into `tel`.
+pub fn run_with(tel: &underradar_telemetry::Telemetry) -> String {
+    let mut out = heading(
+        "E13",
+        "§4.1 insertion/evasion",
+        "monitor and endpoint agree under in-bound impairments; \
+         divergence requires TTL-limiting or exceeding the hold-back bound",
+    );
+
+    // Part 1: in-bound impairment schedules must not diverge.
+    let trials = 32usize;
+    let mut rng = SimRng::seed_from_u64(0xE13_0001);
+    let mut divergent = 0usize;
+    let mut flips = 0usize;
+    let mut dropped = 0u64;
+    for i in 0..trials {
+        let isn = 0x4000_0000u32.wrapping_mul(i as u32).wrapping_add(101);
+        let d = replay(isn, &impaired_schedule(&mut rng, isn));
+        if d.diverged() {
+            divergent += 1;
+        }
+        if d.verdict_flip() {
+            flips += 1;
+        }
+        dropped += d.ooo_dropped;
+        if !d.endpoint_hit {
+            // The keyword is always embedded; the endpoint must see it.
+            flips += 1;
+        }
+    }
+    out.push_str("in-bound impairments (reorder/duplicate/overlap within hold-back):\n");
+    let mut t1 = Table::new(&[
+        "trials",
+        "divergent streams",
+        "verdict flips",
+        "monitor drops",
+    ]);
+    t1.row(&[
+        trials.to_string(),
+        divergent.to_string(),
+        flips.to_string(),
+        dropped.to_string(),
+    ]);
+    out.push_str(&t1.render());
+    let in_bound_ok = divergent == 0 && flips == 0 && dropped == 0;
+
+    // Part 2 + 3: crafted divergence, one row per attack.
+    out.push_str("\ncrafted divergence (monitor-only vs endpoint-only bytes):\n");
+    let insertion = replay(0x7fff_ff00, &insertion_schedule(0x7fff_ff00));
+    let evasion = replay(0x0000_0065, &evasion_schedule(0x0000_0065));
+    let mut t2 = Table::new(&[
+        "attack",
+        "monitor-only B",
+        "endpoint-only B",
+        "monitor kw",
+        "endpoint kw",
+        "verdict flip",
+    ]);
+    for (name, d) in [
+        ("insertion (TTL-limited)", &insertion),
+        ("evasion (hold-back flood)", &evasion),
+    ] {
+        t2.row(&[
+            name.to_string(),
+            d.monitor_only.to_string(),
+            d.endpoint_only.to_string(),
+            mark(d.monitor_hit).to_string(),
+            mark(d.endpoint_hit).to_string(),
+            mark(d.verdict_flip()).to_string(),
+        ]);
+    }
+    out.push_str(&t2.render());
+    let insertion_ok =
+        insertion.monitor_hit && !insertion.endpoint_hit && insertion.monitor_only > 0;
+    let evasion_ok = !evasion.monitor_hit
+        && evasion.endpoint_hit
+        && evasion.endpoint_only > 0
+        && evasion.ooo_dropped > 0;
+
+    // Part 4: campaign verdicts are impairment-invariant in bound.
+    let spec = |name: &str| {
+        underradar_campaign::CampaignSpec::new(name, 29)
+            .target("twitter.com")
+            .methods([
+                underradar_campaign::MethodKind::Overt,
+                underradar_campaign::MethodKind::Scan,
+            ])
+            .policy(underradar_campaign::NamedPolicy::new(
+                "control",
+                CensorPolicy::new(),
+            ))
+            .policy(
+                underradar_campaign::NamedPolicy::new(
+                    "keyword-rst",
+                    CensorPolicy::new().block_keyword("falun"),
+                )
+                .with_probe_path("/falun"),
+            )
+            .trials_per_cell(2)
+            .run_secs(30)
+    };
+    let clean = underradar_campaign::engine::run(&spec("e13-clean"), 1, tel);
+    let impaired_spec = spec("e13-impaired")
+        .client_link_reorder(0.2)
+        .client_link_duplicate(0.1);
+    let impaired = underradar_campaign::engine::run(&impaired_spec, 1, tel);
+    let mut verdicts_match = clean.trials.len() == impaired.trials.len();
+    let mut matched = 0usize;
+    for (a, b) in clean.trials.iter().zip(impaired.trials.iter()) {
+        if format!("{:?}", a.verdict) == format!("{:?}", b.verdict) {
+            matched += 1;
+        } else {
+            verdicts_match = false;
+        }
+    }
+    out.push_str("\ncampaign cell with client-link reorder=0.2 duplicate=0.1 vs clean:\n");
+    let mut t3 = Table::new(&["trials", "verdicts unchanged", "all correct (clean)"]);
+    t3.row(&[
+        clean.trials.len().to_string(),
+        format!("{matched}/{}", clean.trials.len()),
+        mark(clean.trials.iter().all(|t| t.verdict_correct)).to_string(),
+    ]);
+    out.push_str(&t3.render());
+
+    let pass = in_bound_ok && insertion_ok && evasion_ok && verdicts_match;
+    out.push_str(&format!(
+        "\nresult: divergence is zero in bound and nonzero exactly under \
+         TTL-limiting or hold-back overflow: {}\n\n",
+        if pass { "PASSED" } else { "FAILED" }
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn e13_passes() {
+        let report = super::run();
+        assert!(report.contains("PASSED"), "{report}");
+    }
+}

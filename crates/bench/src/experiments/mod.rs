@@ -17,6 +17,7 @@ pub mod e09_mvr;
 pub mod e10_spoofability;
 pub mod e11_ethics_load;
 pub mod e12_risk_matrix;
+pub mod e13_evasion;
 
 /// A named experiment entry point. The function records metrics into the
 /// given [`Telemetry`] handle (a disabled handle costs one branch per
@@ -24,7 +25,7 @@ pub mod e12_risk_matrix;
 pub type Experiment = (&'static str, fn(&Telemetry) -> String);
 
 /// Every experiment, in report order: `(name, run_with)`.
-pub const ALL: [Experiment; 13] = [
+pub const ALL: [Experiment; 14] = [
     ("e01_testbed", e01_testbed::run_with),
     ("e02_scan", e02_scan::run_with),
     ("e03_fig2_spam_cdf", e03_fig2_spam_cdf::run_with),
@@ -37,6 +38,7 @@ pub const ALL: [Experiment; 13] = [
     ("e10_spoofability", e10_spoofability::run_with),
     ("e11_ethics_load", e11_ethics_load::run_with),
     ("e12_risk_matrix", e12_risk_matrix::run_with),
+    ("e13_evasion", e13_evasion::run_with),
     ("a1_ablations", a1_ablations::run_with),
 ];
 

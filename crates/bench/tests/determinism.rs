@@ -4,7 +4,7 @@
 //! sequential and sharded (`run_sharded`) execution paths.
 //!
 //! Uses the cheaper experiments so the double-run stays fast; the sharded
-//! path is the same code `run_all_with_telemetry` uses for all thirteen.
+//! path is the same code `run_all_with_telemetry` uses for all fourteen.
 
 use underradar_bench::experiments::{collect, collect_sequential, telemetry_json, Experiment, ALL};
 
@@ -58,6 +58,9 @@ fn campaign_sequential_and_sharded_agree_byte_for_byte() {
 
     // Flat + routed methods across two policies so the sharded path
     // crosses policy-prep and method boundaries, not just trial repeats.
+    // The client-link impairment knobs are on: every reorder/duplicate/
+    // corrupt draw comes from the per-trial simulator RNG in simulated-
+    // time order, so shard scheduling must not change a single byte.
     let blocked = CensorPolicy::new().block_domain(&DnsName::parse("twitter.com").expect("n"));
     let spec = CampaignSpec::new("determinism", 42)
         .targets(["twitter.com", "bbc.com"])
@@ -65,6 +68,9 @@ fn campaign_sequential_and_sharded_agree_byte_for_byte() {
         .policy(NamedPolicy::new("control", CensorPolicy::new()))
         .policy(NamedPolicy::new("dns-block", blocked))
         .trials_per_cell(2)
+        .client_link_reorder(0.2)
+        .client_link_duplicate(0.1)
+        .client_link_corrupt(0.05)
         .run_secs(30);
     let sequential_tel = Telemetry::enabled();
     let sequential = engine::run(&spec, 1, &sequential_tel);

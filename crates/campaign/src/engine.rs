@@ -69,6 +69,9 @@ fn prepare(spec: &CampaignSpec) -> Vec<PolicyPrep<'_>> {
                 censor_rst_teardown: true,
                 capture: false,
                 client_link_loss: spec.client_link_loss,
+                client_link_reorder: spec.client_link_reorder,
+                client_link_duplicate: spec.client_link_duplicate,
+                client_link_corrupt: spec.client_link_corrupt,
             });
             let routed_rules = default_surveillance_rules(
                 Testbed::home_net(),

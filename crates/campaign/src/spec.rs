@@ -135,6 +135,13 @@ pub struct CampaignSpec {
     pub warmup: bool,
     /// Packet-loss fraction on the client access link (0.0 = ideal).
     pub client_link_loss: f64,
+    /// Reorder probability on the client access link (bounded 2 ms
+    /// displacement; 0.0 = strict per-direction FIFO).
+    pub client_link_reorder: f64,
+    /// Duplication probability on the client access link.
+    pub client_link_duplicate: f64,
+    /// Single-byte corruption probability on the client access link.
+    pub client_link_corrupt: f64,
     /// Simulated seconds per attempt (before retry backoff extensions).
     pub run_secs: u64,
 }
@@ -154,6 +161,9 @@ impl CampaignSpec {
             spoofed_cover: 0,
             warmup: true,
             client_link_loss: 0.0,
+            client_link_reorder: 0.0,
+            client_link_duplicate: 0.0,
+            client_link_corrupt: 0.0,
             run_secs: 60,
         }
     }
@@ -221,6 +231,24 @@ impl CampaignSpec {
     /// Set the client access-link loss fraction.
     pub fn client_link_loss(mut self, loss: f64) -> CampaignSpec {
         self.client_link_loss = loss;
+        self
+    }
+
+    /// Set the client access-link reorder probability.
+    pub fn client_link_reorder(mut self, reorder: f64) -> CampaignSpec {
+        self.client_link_reorder = reorder;
+        self
+    }
+
+    /// Set the client access-link duplication probability.
+    pub fn client_link_duplicate(mut self, duplicate: f64) -> CampaignSpec {
+        self.client_link_duplicate = duplicate;
+        self
+    }
+
+    /// Set the client access-link corruption probability.
+    pub fn client_link_corrupt(mut self, corrupt: f64) -> CampaignSpec {
+        self.client_link_corrupt = corrupt;
         self
     }
 

@@ -131,15 +131,22 @@ impl TapCensor {
         if !flow_ctx.appended {
             return;
         }
-        // Feed only the new bytes to this direction's persistent cursor:
-        // keywords straddling segment boundaries still complete, without
-        // rescanning the buffered stream per segment.
+        // Feed only the newly reassembled tail to this direction's
+        // persistent cursor: keywords straddling segment boundaries still
+        // complete, without rescanning the buffered stream per segment.
+        // The tail — not the raw segment — is what the hold-back queue
+        // actually appended (it may splice in held out-of-order segments
+        // or drop an overlap-trimmed prefix).
+        let view = self
+            .reassembler
+            .stream_of(&flow_ctx.key, flow_ctx.direction);
+        let tail = &view[view.len() - flow_ctx.new_bytes.min(view.len())..];
         let cursor = self
             .cursors
             .entry((flow_ctx.key, flow_ctx.direction))
             .or_default();
         let mut hits: Vec<usize> = Vec::new();
-        self.keywords.feed(cursor, &seg.payload, |idx| {
+        self.keywords.feed(cursor, tail, |idx| {
             if !hits.contains(&idx) {
                 hits.push(idx);
             }

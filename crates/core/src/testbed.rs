@@ -92,6 +92,13 @@ pub struct TestbedConfig {
     /// Packet-loss probability on the client's access link (failure
     /// injection; measurements must degrade gracefully, not lie).
     pub client_link_loss: f64,
+    /// Reorder probability on the client's access link: selected packets
+    /// are displaced by up to 2 ms and may arrive after later packets.
+    pub client_link_reorder: f64,
+    /// Duplication probability on the client's access link.
+    pub client_link_duplicate: f64,
+    /// Single-byte corruption probability on the client's access link.
+    pub client_link_corrupt: f64,
 }
 
 impl Default for TestbedConfig {
@@ -110,6 +117,9 @@ impl Default for TestbedConfig {
             censor_rst_teardown: true,
             capture: false,
             client_link_loss: 0.0,
+            client_link_reorder: 0.0,
+            client_link_duplicate: 0.0,
+            client_link_corrupt: 0.0,
         }
     }
 }
@@ -209,7 +219,11 @@ impl TestbedTemplate {
             client,
             client_ip,
             sw1,
-            LinkConfig::default().with_loss(config.client_link_loss),
+            LinkConfig::default()
+                .with_loss(config.client_link_loss)
+                .with_reorder(config.client_link_reorder, SimDuration::from_millis(2))
+                .with_duplicate(config.client_link_duplicate)
+                .with_corrupt(config.client_link_corrupt),
         )
         .expect("client attach");
         for (node, ip) in cover.iter().zip(cover_ips.iter()) {

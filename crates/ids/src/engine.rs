@@ -179,6 +179,13 @@ impl DetectionEngine {
         tel.set_counter(&format!("{prefix}.segments"), r.segments);
         tel.set_counter(&format!("{prefix}.bytes_appended"), r.bytes_appended);
         tel.set_counter(&format!("{prefix}.bytes_copied"), r.bytes_copied());
+        tel.set_counter(&format!("{prefix}.reassembly.ooo_held"), r.ooo_held);
+        tel.set_counter(&format!("{prefix}.reassembly.ooo_dropped"), r.ooo_dropped);
+        tel.set_counter(
+            &format!("{prefix}.reassembly.overlap_trimmed"),
+            r.overlap_trimmed,
+        );
+        tel.set_counter(&format!("{prefix}.reassembly.dup_ignored"), r.dup_ignored);
         tel.set_gauge(
             &format!("{prefix}.flows.live"),
             self.reassembler.flow_count() as i64,
@@ -201,14 +208,20 @@ impl DetectionEngine {
         let payload = packet.body.payload();
         if let Some(ctx) = &flow_ctx {
             if ctx.appended {
-                self.stats.ac_bytes_scanned += payload.len() as u64;
+                // Feed the newly reassembled tail, not the raw segment:
+                // with hold-back and overlap trimming the appended bytes
+                // can differ from this segment's payload in both content
+                // and length.
+                let view = self.reassembler.stream_of(&ctx.key, ctx.direction);
+                let tail = &view[view.len() - ctx.new_bytes.min(view.len())..];
+                self.stats.ac_bytes_scanned += tail.len() as u64;
                 let st = self
                     .flow_streams
                     .entry((ctx.key, ctx.direction))
                     .or_default();
                 let StreamMatchState { ac, seen } = st;
                 let prefilter_rule = &self.prefilter_rule;
-                self.prefilter.feed(ac, payload, |p| {
+                self.prefilter.feed(ac, tail, |p| {
                     let rule_idx = prefilter_rule[p];
                     if !seen.contains(&rule_idx) {
                         seen.push(rule_idx);
@@ -706,5 +719,46 @@ mod tests {
             seq = seq.wrapping_add(1);
         }
         assert_eq!(fired, 1);
+    }
+
+    #[test]
+    fn stream_rule_catches_keyword_delivered_out_of_order() {
+        // The keyword's halves arrive reordered; the hold-back queue
+        // reassembles them and the cursor sees the spliced tail — no
+        // segment carries "falun" on its own.
+        let mut e = engine(
+            r#"alert tcp any any -> any 80 (msg:"kw-stream"; flow:established,to_server; content:"falun"; sid:62;)"#,
+        );
+        let syn = Packet::tcp(C, S, 4000, 80, 100, 0, TcpFlags::syn(), vec![]);
+        let syn_ack = Packet::tcp(S, C, 80, 4000, 500, 101, TcpFlags::syn_ack(), vec![]);
+        let ack = Packet::tcp(C, S, 4000, 80, 101, 501, TcpFlags::ack(), vec![]);
+        let _ = e.process(t(0), &syn);
+        let _ = e.process(t(0), &syn_ack);
+        let _ = e.process(t(0), &ack);
+        let late = Packet::tcp(
+            C,
+            S,
+            4000,
+            80,
+            107,
+            501,
+            TcpFlags::psh_ack(),
+            b"lun HTTP".to_vec(),
+        );
+        assert!(e.process(t(0), &late).is_empty(), "held: gap before it");
+        let first = Packet::tcp(
+            C,
+            S,
+            4000,
+            80,
+            101,
+            501,
+            TcpFlags::psh_ack(),
+            b"GET fa".to_vec(),
+        );
+        let alerts = e.process(t(0), &first);
+        assert_eq!(alerts.len(), 1, "keyword found across reordered segments");
+        assert_eq!(alerts[0].sid, 62);
+        assert_eq!(e.reassembly_stats().ooo_held, 1);
     }
 }

@@ -16,6 +16,13 @@
 //! teardown never scan, and [`FlowContext`] is a small `Copy` summary —
 //! consumers borrow the buffered stream via
 //! [`StreamReassembler::stream_of`] instead of receiving a clone.
+//!
+//! Out-of-order segments are *held back* (bounded by [`MAX_OOO_BUFFER`])
+//! until the gap before them fills, overlapping retransmits contribute
+//! only their unseen suffix, and all sequence comparisons are windowed —
+//! so channel impairments within the hold-back bound cost nothing, while
+//! everything beyond it is counted ([`ReassemblyStats`]) rather than
+//! silently skewing verdicts.
 
 use std::net::Ipv4Addr;
 use underradar_netsim::hash::FxHashMap;
@@ -28,8 +35,27 @@ use crate::lru::OrderQueue;
 /// (the monitor has bounded per-flow memory — §2.1's storage argument).
 pub const MAX_DIR_BUFFER: usize = 8 * 1024;
 
+/// Per-direction cap on *held* out-of-order bytes awaiting a gap fill.
+/// Segments beyond this (or displaced further than [`MAX_DIR_BUFFER`]
+/// ahead of the expected sequence) are dropped and counted — the bound
+/// past which channel impairments become stream divergence.
+pub const MAX_OOO_BUFFER: usize = 4 * 1024;
+
 /// Cap on tracked flows; least-recently-created flows are evicted.
 pub const MAX_FLOWS: usize = 100_000;
+
+/// `a < b` in windowed 32-bit TCP sequence space (RFC 1982-style
+/// wrap-around comparison: correct for distances under 2^31).
+#[inline]
+pub fn seq_lt(a: u32, b: u32) -> bool {
+    (a.wrapping_sub(b) as i32) < 0
+}
+
+/// `a <= b` in windowed 32-bit TCP sequence space.
+#[inline]
+pub fn seq_le(a: u32, b: u32) -> bool {
+    (a.wrapping_sub(b) as i32) <= 0
+}
 
 /// Canonical flow identifier: endpoint pair ordered so both directions map
 /// to the same key.
@@ -63,8 +89,11 @@ pub enum Direction {
     ToClient,
 }
 
+/// One direction's reassembly state: the in-order window plus the
+/// bounded hold-back queue. Public so benches and property harnesses can
+/// drive the buffer directly; [`StreamReassembler`] is the normal entry.
 #[derive(Debug, Default)]
-struct DirBuffer {
+pub struct DirBuffer {
     next_seq: Option<u32>,
     /// Raw byte storage; the live window is `data[start..]`.
     data: Vec<u8>,
@@ -73,25 +102,103 @@ struct DirBuffer {
     /// the window size, so each buffered byte is moved at most once.
     start: usize,
     fin_seen: bool,
+    /// Hold-back queue: out-of-order segments waiting for the gap before
+    /// them to fill. Unsorted (drained by windowed-seq scan); bounded by
+    /// [`MAX_OOO_BUFFER`] bytes.
+    held: Vec<(u32, Vec<u8>)>,
+    /// Total payload bytes across `held`.
+    held_bytes: usize,
 }
 
 impl DirBuffer {
-    /// Append in-order payload; out-of-order segments are ignored (the
-    /// sender will retransmit). Returns whether bytes were appended.
-    fn push(&mut self, seq: u32, payload: &[u8], stats: &mut ReassemblyStats) -> bool {
+    /// Offer a segment. In-order payload is appended; a segment landing
+    /// beyond the expected sequence is *held* (up to [`MAX_OOO_BUFFER`]
+    /// bytes) until the gap fills; a retransmit overlapping already-seen
+    /// bytes contributes only its unseen suffix; fully-stale segments are
+    /// ignored. All comparisons are windowed, so flows crossing the 2^32
+    /// sequence wrap don't desync. Returns the number of bytes newly
+    /// appended to the in-order stream (including any held segments this
+    /// one unblocked).
+    #[inline]
+    pub fn push(&mut self, seq: u32, payload: &[u8], stats: &mut ReassemblyStats) -> usize {
         if payload.is_empty() {
-            return false;
+            return 0;
         }
-        match self.next_seq {
-            Some(expected) if seq == expected => {
-                self.next_seq = Some(expected.wrapping_add(payload.len() as u32));
-            }
-            Some(_) => return false,
-            None => {
-                // Mid-stream pickup (monitor started late): accept and sync.
-                self.next_seq = Some(seq.wrapping_add(payload.len() as u32));
-            }
+        // In-order fast path: nothing held and the segment lands exactly
+        // at the expected sequence — the overwhelmingly common case on
+        // healthy links, kept free of the dispatch below.
+        if self.next_seq == Some(seq) && self.held.is_empty() {
+            self.append_in_order(payload, stats);
+            return payload.len();
         }
+        if self.next_seq.is_none() {
+            // Mid-stream pickup (monitor started late): accept and sync.
+            self.next_seq = Some(seq);
+        }
+        let mut appended = self.accept(seq, payload, stats);
+        if appended > 0 && !self.held.is_empty() {
+            appended += self.drain_held(stats);
+        }
+        appended
+    }
+
+    /// Apply one segment against the current expected sequence: append,
+    /// trim-and-append, hold, or drop. Returns bytes appended in order.
+    fn accept(&mut self, seq: u32, payload: &[u8], stats: &mut ReassemblyStats) -> usize {
+        let expected = self.next_seq.expect("push set next_seq");
+        let end = seq.wrapping_add(payload.len() as u32);
+        if seq_le(end, expected) {
+            // Every byte already seen: a pure duplicate / stale retransmit.
+            stats.dup_ignored += 1;
+            return 0;
+        }
+        if seq_lt(seq, expected) {
+            // Partial overlap (repacketized retransmit): keep the unseen
+            // suffix instead of dropping the whole segment.
+            let trim = expected.wrapping_sub(seq) as usize;
+            stats.overlap_trimmed += 1;
+            self.append_in_order(&payload[trim..], stats);
+            return payload.len() - trim;
+        }
+        if seq == expected {
+            self.append_in_order(payload, stats);
+            return payload.len();
+        }
+        // Future segment: hold it while it stays within the displacement
+        // window and the hold-back byte budget.
+        let offset = seq.wrapping_sub(expected) as usize;
+        if offset <= MAX_DIR_BUFFER && self.held_bytes + payload.len() <= MAX_OOO_BUFFER {
+            stats.ooo_held += 1;
+            self.held_bytes += payload.len();
+            self.held.push((seq, payload.to_vec()));
+        } else {
+            stats.ooo_dropped += 1;
+        }
+        0
+    }
+
+    /// After an in-order append, apply every held segment the new expected
+    /// sequence has reached (repeatedly — one drain can unblock the next).
+    fn drain_held(&mut self, stats: &mut ReassemblyStats) -> usize {
+        let mut total = 0;
+        loop {
+            let expected = self.next_seq.expect("in-order data present");
+            let Some(idx) = self.held.iter().position(|(s, _)| seq_le(*s, expected)) else {
+                break;
+            };
+            let (seq, payload) = self.held.swap_remove(idx);
+            self.held_bytes -= payload.len();
+            total += self.accept(seq, &payload, stats);
+        }
+        total
+    }
+
+    /// Extend the stream with bytes known to start at the expected
+    /// sequence, advancing it and maintaining the bounded window.
+    #[inline]
+    fn append_in_order(&mut self, payload: &[u8], stats: &mut ReassemblyStats) {
+        let expected = self.next_seq.expect("in-order append");
+        self.next_seq = Some(expected.wrapping_add(payload.len() as u32));
         self.data.extend_from_slice(payload);
         stats.bytes_appended += payload.len() as u64;
         let live = self.data.len() - self.start;
@@ -103,11 +210,10 @@ impl DirBuffer {
             self.data.drain(..self.start);
             self.start = 0;
         }
-        true
     }
 
     /// The buffered window (bounded tail of the direction's stream).
-    fn view(&self) -> &[u8] {
+    pub fn view(&self) -> &[u8] {
         &self.data[self.start..]
     }
 }
@@ -130,8 +236,9 @@ struct Flow {
 ///
 /// Deliberately small and `Copy`: the buffered stream itself is *not*
 /// cloned per segment — read it through [`StreamReassembler::stream_of`],
-/// and match incrementally by feeding this segment's payload (exactly the
-/// `new_bytes` appended) to a persistent [`crate::aho::AcStreamState`].
+/// and match incrementally by feeding the last `new_bytes` of that view
+/// (the newly reassembled tail) to a persistent
+/// [`crate::aho::AcStreamState`].
 #[derive(Debug, Clone, Copy)]
 pub struct FlowContext {
     /// The flow key.
@@ -140,10 +247,11 @@ pub struct FlowContext {
     pub direction: Direction,
     /// Whether the three-way handshake completed.
     pub established: bool,
-    /// Whether this segment's payload was appended in order.
+    /// Whether this segment extended the in-order stream.
     pub appended: bool,
-    /// Bytes newly appended to this direction's stream (the segment's
-    /// payload length when `appended`, else 0).
+    /// Bytes newly appended to this direction's stream. May exceed the
+    /// segment's payload length (the segment unblocked held out-of-order
+    /// data) or fall short of it (an already-seen prefix was trimmed).
     pub new_bytes: usize,
     /// Length of the buffered (windowed) stream after this segment.
     pub stream_len: usize,
@@ -173,6 +281,15 @@ pub struct ReassemblyStats {
     pub bytes_appended: u64,
     /// Bytes moved by window compaction (amortized ≤ 1 per appended byte).
     pub bytes_compacted: u64,
+    /// Out-of-order segments held back awaiting a gap fill.
+    pub ooo_held: u64,
+    /// Out-of-order segments dropped: displaced beyond [`MAX_DIR_BUFFER`]
+    /// or past the [`MAX_OOO_BUFFER`] hold-back budget.
+    pub ooo_dropped: u64,
+    /// Retransmits whose already-seen prefix was trimmed (suffix kept).
+    pub overlap_trimmed: u64,
+    /// Segments ignored because every byte was already seen.
+    pub dup_ignored: u64,
 }
 
 impl ReassemblyStats {
@@ -343,7 +460,7 @@ impl StreamReassembler {
             Direction::ToServer => &mut flow.c2s,
             Direction::ToClient => &mut flow.s2c,
         };
-        let appended = buf.push(seg.seq, &seg.payload, &mut self.stats);
+        let new_bytes = buf.push(seg.seq, &seg.payload, &mut self.stats);
         // Advance expected seq past FINs so retransmitted FINs don't desync.
         if seg.flags.has_fin() {
             buf.fin_seen = true;
@@ -378,8 +495,8 @@ impl StreamReassembler {
             key,
             direction,
             established,
-            appended,
-            new_bytes: if appended { seg.payload.len() } else { 0 },
+            appended: new_bytes > 0,
+            new_bytes,
             stream_len,
             torn_down: close_complete,
         })
@@ -493,17 +610,208 @@ mod tests {
     }
 
     #[test]
-    fn out_of_order_segments_ignored_until_retransmit() {
+    fn out_of_order_segment_held_until_gap_fills() {
         let mut r = StreamReassembler::new();
         handshake(&mut r);
-        let skip = pkt(C, S, 4000, 80, 150, TcpFlags::psh_ack(), b"later");
-        let ctx = r.process(&skip).expect("skip");
-        assert!(!ctx.appended, "gap: not appended");
+        // Arrives 5 bytes early: held, not appended.
+        let early = pkt(C, S, 4000, 80, 106, TcpFlags::psh_ack(), b"later");
+        let ctx = r.process(&early).expect("early");
+        assert!(!ctx.appended, "gap: held back, not appended");
         assert_eq!(ctx.new_bytes, 0);
-        let inorder = pkt(C, S, 4000, 80, 101, TcpFlags::psh_ack(), b"first");
-        let ctx = r.process(&inorder).expect("inorder");
+        assert_eq!(r.stats().ooo_held, 1);
+        // The gap fill releases both: one segment, ten reassembled bytes.
+        let fill = pkt(C, S, 4000, 80, 101, TcpFlags::psh_ack(), b"first");
+        let ctx = r.process(&fill).expect("fill");
         assert!(ctx.appended);
-        assert_eq!(stream_vec(&r, &ctx), b"first");
+        assert_eq!(ctx.new_bytes, 10, "fill plus the held segment");
+        assert_eq!(stream_vec(&r, &ctx), b"firstlater");
+        assert_eq!(r.stats().ooo_dropped, 0);
+    }
+
+    #[test]
+    fn reorder_within_holdback_reconstructs_exactly() {
+        // Three segments delivered 2,3,1: the stream still comes out whole.
+        let mut r = StreamReassembler::new();
+        handshake(&mut r);
+        let _ = r.process(&pkt(C, S, 4000, 80, 106, TcpFlags::psh_ack(), b"bbbbb"));
+        let _ = r.process(&pkt(C, S, 4000, 80, 111, TcpFlags::psh_ack(), b"ccccc"));
+        let ctx = r
+            .process(&pkt(C, S, 4000, 80, 101, TcpFlags::psh_ack(), b"aaaaa"))
+            .expect("ctx");
+        assert_eq!(ctx.new_bytes, 15);
+        assert_eq!(stream_vec(&r, &ctx), b"aaaaabbbbbccccc");
+        assert_eq!(r.stats().ooo_held, 2);
+    }
+
+    #[test]
+    fn partial_overlap_appends_only_the_unseen_suffix() {
+        let mut r = StreamReassembler::new();
+        handshake(&mut r);
+        let _ = r.process(&pkt(C, S, 4000, 80, 101, TcpFlags::psh_ack(), b"abcdef"));
+        // Repacketized retransmit: covers [104, 112) while [101, 107) is
+        // already reassembled — only "ghi" is new.
+        let ctx = r
+            .process(&pkt(C, S, 4000, 80, 104, TcpFlags::psh_ack(), b"defghi"))
+            .expect("ctx");
+        assert!(ctx.appended);
+        assert_eq!(ctx.new_bytes, 3, "unseen suffix only");
+        assert_eq!(stream_vec(&r, &ctx), b"abcdefghi");
+        assert_eq!(r.stats().overlap_trimmed, 1);
+    }
+
+    #[test]
+    fn pure_duplicates_are_ignored_and_counted() {
+        let mut r = StreamReassembler::new();
+        handshake(&mut r);
+        let d = pkt(C, S, 4000, 80, 101, TcpFlags::psh_ack(), b"payload");
+        let _ = r.process(&d);
+        let ctx = r.process(&d).expect("dup");
+        assert!(!ctx.appended);
+        assert_eq!(ctx.new_bytes, 0);
+        assert_eq!(stream_vec(&r, &ctx), b"payload", "stream unchanged");
+        assert_eq!(r.stats().dup_ignored, 1);
+    }
+
+    #[test]
+    fn sequence_wrap_does_not_desync() {
+        // A flow whose payload crosses the 2^32 sequence wrap: windowed
+        // comparisons keep appending where exact arithmetic would desync.
+        let mut r = StreamReassembler::new();
+        let start = u32::MAX - 4; // 5 bytes before the wrap
+        let d1 = pkt(C, S, 4000, 80, start, TcpFlags::psh_ack(), b"abcde");
+        let ctx = r.process(&d1).expect("pre-wrap");
+        assert!(ctx.appended);
+        // Next expected seq is 0 (wrapped). A duplicate of the pre-wrap
+        // bytes must be recognized as stale, not future.
+        let dup = pkt(C, S, 4000, 80, start, TcpFlags::psh_ack(), b"abcde");
+        let ctx = r.process(&dup).expect("dup");
+        assert!(!ctx.appended, "pre-wrap retransmit is stale");
+        let d2 = pkt(C, S, 4000, 80, 0, TcpFlags::psh_ack(), b"fghij");
+        let ctx = r.process(&d2).expect("post-wrap");
+        assert!(ctx.appended);
+        assert_eq!(stream_vec(&r, &ctx), b"abcdefghij");
+        // An overlapping retransmit straddling the wrap keeps its suffix.
+        let straddle = pkt(
+            C,
+            S,
+            4000,
+            80,
+            u32::MAX - 1,
+            TcpFlags::psh_ack(),
+            b"deFGHIJKL",
+        );
+        let ctx = r.process(&straddle).expect("straddle");
+        assert_eq!(ctx.new_bytes, 2);
+        assert_eq!(stream_vec(&r, &ctx), b"abcdefghijKL");
+    }
+
+    #[test]
+    fn holdback_budget_drops_and_counts_excess() {
+        let mut r = StreamReassembler::new();
+        handshake(&mut r);
+        // Fill the hold-back budget with a gap at the front.
+        let mut seq = 201u32;
+        let chunk = 1024;
+        for _ in 0..(MAX_OOO_BUFFER / chunk) {
+            let d = pkt(C, S, 4000, 80, seq, TcpFlags::psh_ack(), &vec![b'h'; chunk]);
+            let ctx = r.process(&d).expect("held");
+            assert!(!ctx.appended);
+            seq = seq.wrapping_add(chunk as u32);
+        }
+        assert_eq!(r.stats().ooo_held, (MAX_OOO_BUFFER / chunk) as u64);
+        // The budget is full: the next out-of-order byte is dropped.
+        let over = pkt(C, S, 4000, 80, seq, TcpFlags::psh_ack(), b"x");
+        let _ = r.process(&over);
+        assert_eq!(r.stats().ooo_dropped, 1);
+        // A segment displaced beyond the window is dropped outright.
+        let far = pkt(
+            C,
+            S,
+            4000,
+            80,
+            101 + MAX_DIR_BUFFER as u32 + 1,
+            TcpFlags::psh_ack(),
+            b"x",
+        );
+        let _ = r.process(&far);
+        assert_eq!(r.stats().ooo_dropped, 2);
+        // In-order data still flows and releases everything held.
+        let fill = pkt(C, S, 4000, 80, 101, TcpFlags::psh_ack(), &[b'f'; 100]);
+        let ctx = r.process(&fill).expect("fill");
+        assert_eq!(ctx.new_bytes, 100 + MAX_OOO_BUFFER);
+    }
+
+    /// ISSUE satellite: for arbitrary segmentation, duplication, bounded
+    /// reordering and overlapping retransmit schedules within the hold-back
+    /// bound, the monitor's reconstructed stream equals what the endpoint
+    /// (receiving the same bytes in order) would see — byte for byte.
+    #[test]
+    fn monitor_stream_matches_endpoint_under_impairment_schedules() {
+        use underradar_netsim::testprop::cases;
+        cases(64, 0xD1CE_BEEF, |g| {
+            let total = g.usize_in(64, 2048);
+            let stream: Vec<u8> = (0..total).map(|_| g.u8()).collect();
+            let isn = g.u32(); // exercise arbitrary (incl. wrapping) bases
+                               // Cut the stream into segments.
+            let mut segs = Vec::new();
+            let mut off = 0usize;
+            while off < total {
+                let len = g.usize_in(1, 1 + (total - off).min(256));
+                segs.push((off, len));
+                off += len;
+            }
+            // Delivery schedule: bounded displacement (hold-back-sized),
+            // occasional duplicates and overlapping re-sends.
+            let mut schedule: Vec<(usize, usize, usize)> = Vec::new(); // (rank, off, len)
+            for (i, &(off, len)) in segs.iter().enumerate() {
+                let rank = i * 4 + g.usize_in(0, 8); // displacement ≤ 2 slots
+                schedule.push((rank, off, len));
+                if g.usize_in(0, 8) == 0 {
+                    schedule.push((rank + g.usize_in(0, 8), off, len)); // duplicate
+                }
+                if off > 0 && g.usize_in(0, 8) == 0 {
+                    // Overlapping retransmit reaching back a few bytes.
+                    let back = g.usize_in(1, off.min(32) + 1);
+                    schedule.push((rank + g.usize_in(0, 4), off - back, len.min(back + 16)));
+                }
+            }
+            schedule.sort_by_key(|&(rank, off, _)| (rank, off));
+            let mut r = StreamReassembler::new();
+            let wrap = |o: usize| isn.wrapping_add(o as u32);
+            // Sync the monitor at the stream base, as a SYN would.
+            let _ = r.process(&pkt(
+                C,
+                S,
+                4000,
+                80,
+                wrap(0),
+                TcpFlags::psh_ack(),
+                &stream[..1],
+            ));
+            let mut ctx = None;
+            let mut reassembled = 1usize;
+            for &(_, off, len) in &schedule {
+                let end = (off + len).min(total);
+                let p = pkt(
+                    C,
+                    S,
+                    4000,
+                    80,
+                    wrap(off),
+                    TcpFlags::psh_ack(),
+                    &stream[off..end],
+                );
+                let c = r.process(&p).expect("tcp");
+                reassembled += c.new_bytes;
+                ctx = Some(c);
+            }
+            let ctx = ctx.expect("nonempty schedule");
+            let got = r.stream_of(&ctx.key, ctx.direction);
+            let want = &stream[total - got.len()..];
+            assert_eq!(got, want, "monitor window diverged from endpoint stream");
+            assert_eq!(reassembled, total, "every byte reassembled exactly once");
+            assert_eq!(r.stats().ooo_dropped, 0, "schedule stayed within bounds");
+        });
     }
 
     #[test]

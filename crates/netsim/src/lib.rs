@@ -65,7 +65,7 @@ pub use host::{
     ConnId, Host, HostApi, HostTask, RawHandler, RawVerdict, Service, ServiceApi, UdpApi,
     UdpService, HOST_IFACE,
 };
-pub use link::{Link, LinkConfig};
+pub use link::{Link, LinkConfig, TxDelivery, TxOutcome};
 pub use node::{IfaceId, Node, NodeCtx, NodeId};
 pub use packet::{IcmpSegment, Packet, PacketBody, TcpSegment, UdpDatagram};
 pub use rng::SimRng;

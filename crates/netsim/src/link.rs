@@ -3,6 +3,12 @@
 //! A link joins two (node, interface) endpoints full-duplex. Each direction
 //! applies, in order: random loss, store-and-forward serialization at the
 //! configured bandwidth, propagation latency, and optional uniform jitter.
+//!
+//! Jitter models delay *variance*, not covert reordering: per-direction
+//! delivery times are clamped monotone (FIFO). Actual reordering — along
+//! with duplication and payload corruption — is an explicit adversarial
+//! impairment knob, drawn from the link's RNG in simulated-time order so
+//! seeded runs stay byte-identical regardless of sharding.
 
 use crate::node::{IfaceId, NodeId};
 use crate::rng::SimRng;
@@ -32,6 +38,17 @@ pub struct LinkConfig {
     pub loss: f64,
     /// Uniform extra delay in `[0, jitter)` added per packet.
     pub jitter: SimDuration,
+    /// Probability in `[0, 1]` that a packet is reordered: it escapes the
+    /// FIFO clamp and is displaced by up to [`LinkConfig::reorder_extra`],
+    /// letting later packets overtake it.
+    pub reorder: f64,
+    /// Displacement bound for reordered packets: uniform extra delay in
+    /// `[0, reorder_extra)` on top of the packet's natural delivery time.
+    pub reorder_extra: SimDuration,
+    /// Probability in `[0, 1]` that a packet is delivered twice.
+    pub duplicate: f64,
+    /// Probability in `[0, 1]` that one payload byte is flipped in transit.
+    pub corrupt: f64,
 }
 
 impl Default for LinkConfig {
@@ -43,6 +60,10 @@ impl Default for LinkConfig {
             bandwidth_bps: 1_000_000_000,
             loss: 0.0,
             jitter: SimDuration::ZERO,
+            reorder: 0.0,
+            reorder_extra: SimDuration::ZERO,
+            duplicate: 0.0,
+            corrupt: 0.0,
         }
     }
 }
@@ -55,6 +76,10 @@ impl LinkConfig {
             bandwidth_bps: 0,
             loss: 0.0,
             jitter: SimDuration::ZERO,
+            reorder: 0.0,
+            reorder_extra: SimDuration::ZERO,
+            duplicate: 0.0,
+            corrupt: 0.0,
         }
     }
 
@@ -82,6 +107,26 @@ impl LinkConfig {
         self
     }
 
+    /// Builder: set the reorder probability (clamped to `[0, 1]`) and the
+    /// displacement bound for reordered packets.
+    pub fn with_reorder(mut self, reorder: f64, extra: SimDuration) -> Self {
+        self.reorder = reorder.clamp(0.0, 1.0);
+        self.reorder_extra = extra;
+        self
+    }
+
+    /// Builder: set the duplication probability (clamped to `[0, 1]`).
+    pub fn with_duplicate(mut self, duplicate: f64) -> Self {
+        self.duplicate = duplicate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Builder: set the corruption probability (clamped to `[0, 1]`).
+    pub fn with_corrupt(mut self, corrupt: f64) -> Self {
+        self.corrupt = corrupt.clamp(0.0, 1.0);
+        self
+    }
+
     /// Time to serialize `bytes` onto the wire at this bandwidth.
     pub fn serialize_time(&self, bytes: usize) -> SimDuration {
         if self.bandwidth_bps == 0 {
@@ -93,11 +138,25 @@ impl LinkConfig {
     }
 }
 
+/// A scheduled delivery, with any impairments the link applied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TxDelivery {
+    /// Arrival time of the (first) copy.
+    pub at: SimTime,
+    /// The reorder knob selected this packet: it bypassed the FIFO clamp
+    /// and later packets may overtake it.
+    pub reordered: bool,
+    /// One payload byte should be flipped in transit.
+    pub corrupt: bool,
+    /// A second copy arrives at this time (the duplicate knob fired).
+    pub duplicate_at: Option<SimTime>,
+}
+
 /// The outcome of offering a packet to a link direction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TxOutcome {
-    /// The packet will arrive at the given time.
-    Deliver(SimTime),
+    /// The packet will arrive as described.
+    Deliver(TxDelivery),
     /// The packet was lost.
     Lost,
 }
@@ -113,6 +172,8 @@ pub struct Link {
     pub config: LinkConfig,
     next_free_ab: SimTime,
     next_free_ba: SimTime,
+    last_arrival_ab: SimTime,
+    last_arrival_ba: SimTime,
 }
 
 impl Link {
@@ -124,6 +185,8 @@ impl Link {
             config,
             next_free_ab: SimTime::ZERO,
             next_free_ba: SimTime::ZERO,
+            last_arrival_ab: SimTime::ZERO,
+            last_arrival_ba: SimTime::ZERO,
         }
     }
 
@@ -139,8 +202,10 @@ impl Link {
     }
 
     /// Offer a packet of `bytes` length for transmission from `(node, iface)`
-    /// at time `now`. Applies loss, serialization, latency and jitter, and
-    /// advances the direction's transmitter-busy horizon.
+    /// at time `now`. Applies loss, serialization, latency, jitter and the
+    /// impairment knobs, and advances the direction's transmitter-busy
+    /// horizon. Delivery times are FIFO-clamped per direction unless the
+    /// reorder knob selects the packet for bounded displacement.
     pub fn transmit(
         &mut self,
         node: NodeId,
@@ -153,10 +218,10 @@ impl Link {
             return TxOutcome::Lost;
         }
         let from_a = self.a.node == node && self.a.iface == iface;
-        let next_free = if from_a {
-            &mut self.next_free_ab
+        let (next_free, last_arrival) = if from_a {
+            (&mut self.next_free_ab, &mut self.last_arrival_ab)
         } else {
-            &mut self.next_free_ba
+            (&mut self.next_free_ba, &mut self.last_arrival_ba)
         };
         let start = now.max(*next_free);
         let serialize = self.config.serialize_time(bytes);
@@ -166,7 +231,35 @@ impl Link {
         } else {
             SimDuration::from_nanos(rng.range_u64(0, self.config.jitter.as_nanos()))
         };
-        TxOutcome::Deliver(start + serialize + self.config.latency + jitter)
+        let base = start + serialize + self.config.latency + jitter;
+        let reordered = rng.chance(self.config.reorder);
+        let at = if reordered {
+            // Displaced past its natural slot; deliberately NOT advancing
+            // the FIFO horizon, so later packets may overtake it.
+            let extra = if self.config.reorder_extra == SimDuration::ZERO {
+                SimDuration::ZERO
+            } else {
+                SimDuration::from_nanos(rng.range_u64(0, self.config.reorder_extra.as_nanos()))
+            };
+            base + extra
+        } else {
+            // FIFO clamp: jitter varies delay but never reorders a direction.
+            let at = base.max(*last_arrival);
+            *last_arrival = at;
+            at
+        };
+        let duplicate_at = if rng.chance(self.config.duplicate) {
+            Some(at)
+        } else {
+            None
+        };
+        let corrupt = rng.chance(self.config.corrupt);
+        TxOutcome::Deliver(TxDelivery {
+            at,
+            reordered,
+            corrupt,
+            duplicate_at,
+        })
     }
 }
 
@@ -207,7 +300,7 @@ mod tests {
         let mut l = link(cfg);
         let mut rng = SimRng::seed_from_u64(0);
         match l.transmit(NodeId(0), IfaceId(0), 1_000, SimTime::ZERO, &mut rng) {
-            TxOutcome::Deliver(t) => assert_eq!(t, SimTime::from_nanos(11_000_000)),
+            TxOutcome::Deliver(d) => assert_eq!(d.at, SimTime::from_nanos(11_000_000)),
             TxOutcome::Lost => panic!("lossless link dropped a packet"),
         }
     }
@@ -220,11 +313,11 @@ mod tests {
         let mut l = link(cfg);
         let mut rng = SimRng::seed_from_u64(0);
         let t1 = match l.transmit(NodeId(0), IfaceId(0), 5, SimTime::ZERO, &mut rng) {
-            TxOutcome::Deliver(t) => t,
+            TxOutcome::Deliver(d) => d.at,
             _ => panic!("lost"),
         };
         let t2 = match l.transmit(NodeId(0), IfaceId(0), 5, SimTime::ZERO, &mut rng) {
-            TxOutcome::Deliver(t) => t,
+            TxOutcome::Deliver(d) => d.at,
             _ => panic!("lost"),
         };
         assert_eq!(t1, SimTime::from_nanos(5_000_000));
@@ -245,7 +338,7 @@ mod tests {
         let _ = l.transmit(NodeId(0), IfaceId(0), 1_000, SimTime::ZERO, &mut rng);
         // The reverse direction is idle, so a packet departs immediately.
         match l.transmit(NodeId(1), IfaceId(0), 1, SimTime::ZERO, &mut rng) {
-            TxOutcome::Deliver(t) => assert_eq!(t, SimTime::from_nanos(1_000_000)),
+            TxOutcome::Deliver(d) => assert_eq!(d.at, SimTime::from_nanos(1_000_000)),
             _ => panic!("lost"),
         }
     }
@@ -303,11 +396,87 @@ mod tests {
         let mut rng = SimRng::seed_from_u64(5);
         for _ in 0..1000 {
             match l.transmit(NodeId(0), IfaceId(0), 10, SimTime::ZERO, &mut rng) {
-                TxOutcome::Deliver(t) => {
-                    assert!(t.as_nanos() < 2_000_000, "jitter exceeded bound: {t}")
+                TxOutcome::Deliver(d) => {
+                    assert!(
+                        d.at.as_nanos() < 2_000_000,
+                        "jitter exceeded bound: {}",
+                        d.at
+                    )
                 }
                 TxOutcome::Lost => panic!("lossless"),
             }
         }
+    }
+
+    #[test]
+    fn max_jitter_never_reorders_a_direction() {
+        // Regression: two back-to-back segments under maximal jitter must
+        // still arrive in order — jitter is delay variance, not reordering.
+        for seed in 0..64 {
+            let cfg = LinkConfig::default().with_jitter(SimDuration::from_millis(50));
+            let mut l = link(cfg);
+            let mut rng = SimRng::seed_from_u64(seed);
+            let mut last = SimTime::ZERO;
+            for _ in 0..20 {
+                match l.transmit(NodeId(0), IfaceId(0), 100, SimTime::ZERO, &mut rng) {
+                    TxOutcome::Deliver(d) => {
+                        assert!(d.at >= last, "same-link reorder: {} < {last}", d.at);
+                        assert!(!d.reordered && !d.corrupt && d.duplicate_at.is_none());
+                        last = d.at;
+                    }
+                    TxOutcome::Lost => panic!("lossless"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reorder_knob_displaces_within_bound_and_lets_others_pass() {
+        let cfg = LinkConfig::ideal()
+            .with_latency(SimDuration::from_millis(1))
+            .with_reorder(1.0, SimDuration::from_millis(3));
+        let mut l = link(cfg);
+        let mut rng = SimRng::seed_from_u64(7);
+        for _ in 0..200 {
+            match l.transmit(NodeId(0), IfaceId(0), 10, SimTime::ZERO, &mut rng) {
+                TxOutcome::Deliver(d) => {
+                    assert!(d.reordered);
+                    // Natural slot is 1 ms; displacement adds < 3 ms on top.
+                    assert!(d.at >= SimTime::from_nanos(1_000_000));
+                    assert!(
+                        d.at.as_nanos() < 4_000_000,
+                        "displacement unbounded: {}",
+                        d.at
+                    );
+                }
+                TxOutcome::Lost => panic!("lossless"),
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_and_corrupt_knobs_mark_deliveries() {
+        let cfg = LinkConfig::ideal().with_duplicate(1.0).with_corrupt(1.0);
+        let mut l = link(cfg);
+        let mut rng = SimRng::seed_from_u64(3);
+        match l.transmit(NodeId(0), IfaceId(0), 10, SimTime::ZERO, &mut rng) {
+            TxOutcome::Deliver(d) => {
+                assert_eq!(d.duplicate_at, Some(d.at));
+                assert!(d.corrupt);
+            }
+            TxOutcome::Lost => panic!("lossless"),
+        }
+    }
+
+    #[test]
+    fn zero_impairment_knobs_draw_no_rng() {
+        // Backward compatibility: with the new knobs at their defaults, the
+        // RNG stream is untouched, so existing seeded traces are unchanged.
+        let mut l = link(LinkConfig::default());
+        let mut rng = SimRng::seed_from_u64(9);
+        let _ = l.transmit(NodeId(0), IfaceId(0), 10, SimTime::ZERO, &mut rng);
+        let after = rng.next_u64();
+        let mut fresh = SimRng::seed_from_u64(9);
+        assert_eq!(after, fresh.next_u64(), "default transmit consumed rng");
     }
 }

@@ -93,6 +93,17 @@ impl PacketBody {
             PacketBody::Raw { payload, .. } => payload,
         }
     }
+
+    /// Mutable access to the application payload bytes (used by link-level
+    /// corruption to flip a byte in transit).
+    pub fn payload_mut(&mut self) -> &mut Vec<u8> {
+        match self {
+            PacketBody::Tcp(t) => &mut t.payload,
+            PacketBody::Udp(u) => &mut u.payload,
+            PacketBody::Icmp(i) => &mut i.payload,
+            PacketBody::Raw { payload, .. } => payload,
+        }
+    }
 }
 
 /// An IPv4 packet flowing through the simulator.

@@ -47,6 +47,9 @@ struct SimMetrics {
     link_transmits: Counter,
     link_tx_bytes: Counter,
     link_drops: Counter,
+    link_reordered: Counter,
+    link_duplicates: Counter,
+    link_corrupted: Counter,
     queue_depth: HistogramHandle,
 }
 
@@ -60,6 +63,9 @@ impl SimMetrics {
             link_transmits: Counter::disabled(),
             link_tx_bytes: Counter::disabled(),
             link_drops: Counter::disabled(),
+            link_reordered: Counter::disabled(),
+            link_duplicates: Counter::disabled(),
+            link_corrupted: Counter::disabled(),
             queue_depth: HistogramHandle::disabled(),
         }
     }
@@ -73,6 +79,9 @@ impl SimMetrics {
             link_transmits: tel.counter("netsim.link.transmits"),
             link_tx_bytes: tel.counter("netsim.link.tx_bytes"),
             link_drops: tel.counter("netsim.link.drops"),
+            link_reordered: tel.counter("netsim.link.reordered"),
+            link_duplicates: tel.counter("netsim.link.duplicates"),
+            link_corrupted: tel.counter("netsim.link.corrupted"),
             queue_depth: tel.histogram("netsim.queue.depth"),
         }
     }
@@ -426,8 +435,10 @@ impl Simulator {
     }
 
     /// Put a packet on the link wired to `(node, iface)` at time `when`.
-    /// Unwired interfaces silently drop (an unplugged cable).
-    fn transmit(&mut self, node: NodeId, iface: IfaceId, packet: Packet, when: SimTime) {
+    /// Unwired interfaces silently drop (an unplugged cable). Link
+    /// impairments (corruption, duplication) are applied here so every
+    /// delivered copy — and the capture — reflects what crossed the wire.
+    fn transmit(&mut self, node: NodeId, iface: IfaceId, mut packet: Packet, when: SimTime) {
         let Some(link_id) = self
             .wiring
             .get(node.0)
@@ -443,10 +454,21 @@ impl Simulator {
         };
         let wire_len = packet.wire_len();
         match link.transmit(node, iface, wire_len, when, &mut self.rng) {
-            TxOutcome::Deliver(at) => {
+            TxOutcome::Deliver(d) => {
                 if self.metrics.live {
                     self.metrics.link_transmits.incr();
                     self.metrics.link_tx_bytes.add(wire_len as u64);
+                    if d.reordered {
+                        self.metrics.link_reordered.incr();
+                    }
+                }
+                if d.corrupt {
+                    let payload = packet.body.payload_mut();
+                    if !payload.is_empty() {
+                        let idx = self.rng.index(payload.len());
+                        payload[idx] ^= 0x55;
+                        self.metrics.link_corrupted.incr();
+                    }
                 }
                 if let Some(cap) = &mut self.capture {
                     cap.record(CapturedPacket {
@@ -458,14 +480,41 @@ impl Simulator {
                         packet: packet.clone(),
                     });
                 }
+                let duplicate = d.duplicate_at.map(|dup_at| (dup_at, packet.clone()));
                 self.queue.push(
-                    at,
+                    d.at,
                     EventKind::Deliver {
                         node: peer.node,
                         iface: peer.iface,
                         packet,
                     },
                 );
+                if let Some((dup_at, copy)) = duplicate {
+                    self.metrics.link_duplicates.incr();
+                    if self.metrics.live {
+                        self.metrics.link_tx_bytes.add(wire_len as u64);
+                    }
+                    if let Some(cap) = &mut self.capture {
+                        cap.record(CapturedPacket {
+                            time: when,
+                            from_node: node,
+                            from_iface: iface,
+                            to_node: peer.node,
+                            to_iface: peer.iface,
+                            packet: copy.clone(),
+                        });
+                    }
+                    // Pushed after the original at the same timestamp, so the
+                    // FIFO tie-break delivers the copy second.
+                    self.queue.push(
+                        dup_at,
+                        EventKind::Deliver {
+                            node: peer.node,
+                            iface: peer.iface,
+                            packet: copy,
+                        },
+                    );
+                }
             }
             TxOutcome::Lost => {
                 self.metrics.link_drops.incr();
@@ -836,6 +885,63 @@ mod tests {
             .expect("send");
         sim.run_to_completion().expect("run");
         assert_eq!(tel.snapshot().counter("netsim.link.drops"), 1);
+    }
+
+    #[test]
+    fn duplicate_knob_delivers_every_packet_twice() {
+        use underradar_telemetry::Telemetry;
+        let tel = Telemetry::enabled();
+        let mut sim = Simulator::new(1);
+        let a = sim.add_node(Box::new(Echo::new("a", false)));
+        let b = sim.add_node(Box::new(Echo::new("b", false)));
+        sim.wire(
+            a,
+            IfaceId(0),
+            b,
+            IfaceId(0),
+            LinkConfig::default().with_duplicate(1.0),
+        )
+        .expect("wire");
+        sim.set_telemetry(tel.clone());
+        sim.enable_capture();
+        let p = Packet::udp(A_IP, B_IP, 1, 2, b"once".to_vec());
+        sim.send_from(a, IfaceId(0), p, SimTime::ZERO)
+            .expect("send");
+        sim.run_to_completion().expect("run");
+        let bnode = sim.node_ref::<Echo>(b).expect("b");
+        assert_eq!(bnode.received.len(), 2, "original plus duplicate");
+        assert_eq!(bnode.received[0].1, bnode.received[1].1);
+        assert_eq!(sim.capture().expect("cap").len(), 2, "both copies captured");
+        assert_eq!(tel.snapshot().counter("netsim.link.duplicates"), 1);
+    }
+
+    #[test]
+    fn corrupt_knob_flips_exactly_one_payload_byte() {
+        use underradar_telemetry::Telemetry;
+        let tel = Telemetry::enabled();
+        let mut sim = Simulator::new(2);
+        let a = sim.add_node(Box::new(Echo::new("a", false)));
+        let b = sim.add_node(Box::new(Echo::new("b", false)));
+        sim.wire(
+            a,
+            IfaceId(0),
+            b,
+            IfaceId(0),
+            LinkConfig::default().with_corrupt(1.0),
+        )
+        .expect("wire");
+        sim.set_telemetry(tel.clone());
+        let sent = b"payload-bytes".to_vec();
+        let p = Packet::udp(A_IP, B_IP, 1, 2, sent.clone());
+        sim.send_from(a, IfaceId(0), p, SimTime::ZERO)
+            .expect("send");
+        sim.run_to_completion().expect("run");
+        let bnode = sim.node_ref::<Echo>(b).expect("b");
+        assert_eq!(bnode.received.len(), 1);
+        let got = bnode.received[0].1.body.payload();
+        let diffs = sent.iter().zip(got.iter()).filter(|(s, g)| s != g).count();
+        assert_eq!(diffs, 1, "exactly one byte flipped");
+        assert_eq!(tel.snapshot().counter("netsim.link.corrupted"), 1);
     }
 
     #[test]

@@ -21,8 +21,8 @@ UNDERRADAR_TELEMETRY=1 cargo test --offline -q --workspace
 echo "==> full-scale churn acceptance (release-only sizing)"
 cargo test --offline --release -q -p underradar-ids --lib one_million_flow_churn
 
-echo "==> telemetry perf smoke (no-op sink overhead bound)"
-cargo bench --offline -p underradar-bench --bench perf -- telemetry
+echo "==> perf smoke (no-op sink + reassembly hold-back overhead bounds)"
+cargo bench --offline -p underradar-bench --bench perf -- telemetry reassembly_holdback
 
 echo "==> campaign determinism smoke (sequential vs 4-shard byte identity)"
 cargo build --offline --release -p underradar-bench --bin exp_campaign
@@ -31,5 +31,14 @@ trap 'rm -rf "$tmpdir"' EXIT
 ./target/release/exp_campaign --json --shards 1 > "$tmpdir/campaign_1.json"
 ./target/release/exp_campaign --json --shards 4 > "$tmpdir/campaign_4.json"
 cmp "$tmpdir/campaign_1.json" "$tmpdir/campaign_4.json"
+
+echo "==> impairment determinism smoke (reorder/duplicate knobs, 1 vs 4 shards)"
+./target/release/exp_campaign --impair --json --shards 1 > "$tmpdir/campaign_impair_1.json"
+./target/release/exp_campaign --impair --json --shards 4 > "$tmpdir/campaign_impair_4.json"
+cmp "$tmpdir/campaign_impair_1.json" "$tmpdir/campaign_impair_4.json"
+if cmp -s "$tmpdir/campaign_1.json" "$tmpdir/campaign_impair_1.json"; then
+  echo "impairment knobs had no effect on the campaign output" >&2
+  exit 1
+fi
 
 echo "CI green"

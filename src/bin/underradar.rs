@@ -2,7 +2,7 @@
 //! against the simulated testbed.
 //!
 //! ```text
-//! underradar experiments [E1..E12|all]     regenerate paper tables/figures
+//! underradar experiments [E1..E13|all]     regenerate paper tables/figures
 //! underradar survey --domains a,b,c [--block d] [--keyword k]
 //!                                          run a stealthy survey
 //! underradar pcap <out.pcap>               write a sample capture for Wireshark
@@ -25,7 +25,7 @@ use underradar::protocols::dns::DnsName;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  underradar experiments [e1..e12|a1|all]\n  underradar survey --domains a,b,c \
+        "usage:\n  underradar experiments [e1..e13|a1|all]\n  underradar survey --domains a,b,c \
          [--block domain]... [--keyword kw]...\n  underradar pcap <out.pcap>\n  underradar calibrate"
     );
     ExitCode::from(2)
@@ -61,9 +61,10 @@ fn experiments(which: &str) -> ExitCode {
         "e10" => exp::e10_spoofability::run(),
         "e11" => exp::e11_ethics_load::run(),
         "e12" => exp::e12_risk_matrix::run(),
+        "e13" => exp::e13_evasion::run(),
         "a1" => exp::a1_ablations::run(),
         other => {
-            eprintln!("unknown experiment '{other}' (e1..e12 or all)");
+            eprintln!("unknown experiment '{other}' (e1..e13 or all)");
             return ExitCode::from(2);
         }
     };
