@@ -15,11 +15,24 @@
 //!   where `report` is the structured campaign report (cells + trials).
 //! * `--telemetry` (or `UNDERRADAR_TELEMETRY=1`) — text report plus the
 //!   merged registry's text rendering.
+//! * `--trace` (or `UNDERRADAR_TRACE=1`) — text report plus the flight
+//!   recorder: every stage decision as JSON lines (sorted keys,
+//!   byte-identical for any shard count) and the explainer's per-trial
+//!   causal chains.
+//! * `--trace-diff A B` — run with the flight recorder and print the
+//!   first divergent stage decision between trial `A`'s and trial `B`'s
+//!   trace segments (campaign markers excluded — they name the trials and
+//!   would differ trivially).
+//! * `--profile` — print a wall-clock profile footer (prepare/run/score
+//!   stage timings) to stderr; stdout stays deterministic.
 
 use underradar_bench::cli::OutputMode;
 use underradar_bench::experiments::campaign::paper_campaign;
+use underradar_bench::runner::StageClock;
 use underradar_campaign::engine;
-use underradar_telemetry::Telemetry;
+use underradar_campaign::report::CampaignReport;
+use underradar_campaign::spec::CampaignSpec;
+use underradar_telemetry::{trace, Telemetry, TraceRecord, DEFAULT_TRACE_CAPACITY};
 
 fn parse_shards(args: &[String]) -> usize {
     let mut shards = 1usize;
@@ -37,32 +50,104 @@ fn parse_shards(args: &[String]) -> usize {
     shards.max(1)
 }
 
+/// `--trace-diff A B`: the two trial indices to diff, when present.
+fn parse_trace_diff(args: &[String]) -> Option<(u64, u64)> {
+    let pos = args.iter().position(|a| a == "--trace-diff")?;
+    let a = args.get(pos + 1)?.parse().ok()?;
+    let b = args.get(pos + 2)?.parse().ok()?;
+    Some((a, b))
+}
+
+/// Trial `index`'s stage decisions: its trace segment minus the campaign
+/// markers (which carry the trial identity and would differ trivially).
+fn trial_decisions(records: &[TraceRecord], index: u64) -> Option<Vec<TraceRecord>> {
+    trace::split_trials(records)
+        .into_iter()
+        .find(|seg| {
+            seg.first()
+                .is_some_and(|r| r.kind == "trial_start" && r.field_u64("trial") == Some(index))
+        })
+        .map(|seg| {
+            seg.iter()
+                .filter(|r| r.stage != "campaign")
+                .cloned()
+                .collect()
+        })
+}
+
+fn run_trace_diff(spec: &CampaignSpec, shards: usize, a: u64, b: u64) {
+    let tel = Telemetry::with_trace(DEFAULT_TRACE_CAPACITY);
+    let _ = engine::run(spec, shards, &tel);
+    let snap = tel.snapshot();
+    let left = trial_decisions(&snap.trace, a)
+        .unwrap_or_else(|| panic!("trial {a} not found in the campaign trace"));
+    let right = trial_decisions(&snap.trace, b)
+        .unwrap_or_else(|| panic!("trial {b} not found in the campaign trace"));
+    println!("trace diff: trial {a} (a) vs trial {b} (b)");
+    print!(
+        "{}",
+        trace::render_diff(trace::diff(&left, &right).as_ref())
+    );
+}
+
+fn run_campaign(
+    spec: &CampaignSpec,
+    shards: usize,
+    tel: &Telemetry,
+    clock: &StageClock,
+) -> CampaignReport {
+    clock.time("run", || engine::run(spec, shards, tel))
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let shards = parse_shards(&args);
-    let mut spec = paper_campaign(4);
+    let profile = args.iter().any(|a| a == "--profile");
+    let clock = StageClock::default();
+    let mut spec = clock.time("prepare", || paper_campaign(4));
     if args.iter().any(|a| a == "--impair") {
         spec = spec.client_link_reorder(0.2).client_link_duplicate(0.1);
     }
+    if let Some((a, b)) = parse_trace_diff(&args) {
+        run_trace_diff(&spec, shards, a, b);
+        return;
+    }
     match underradar_bench::cli::output_mode(args.iter().cloned()) {
         OutputMode::Text => {
-            let report = engine::run(&spec, shards, &Telemetry::disabled());
-            print!("{}", report.render_text());
+            let report = run_campaign(&spec, shards, &Telemetry::disabled(), &clock);
+            print!("{}", clock.time("score", || report.render_text()));
         }
         OutputMode::TextWithTelemetry => {
             let tel = Telemetry::enabled();
-            let report = engine::run(&spec, shards, &tel);
+            let report = run_campaign(&spec, shards, &tel, &clock);
             print!("{}", report.render_text());
             println!("--- telemetry ---");
-            print!("{}", tel.snapshot().render_text());
+            print!("{}", clock.time("score", || tel.snapshot().render_text()));
         }
         OutputMode::Json => {
             let tel = Telemetry::enabled();
-            let report = engine::run(&spec, shards, &tel);
+            let report = run_campaign(&spec, shards, &tel, &clock);
             println!(
                 "{{\"experiment\":\"campaign\",\"report\":{},\"telemetry\":{}}}",
                 report.to_json(),
-                tel.snapshot().to_json()
+                clock.time("score", || tel.snapshot().to_json())
+            );
+        }
+        OutputMode::Trace => {
+            let tel = Telemetry::with_trace(DEFAULT_TRACE_CAPACITY);
+            let report = run_campaign(&spec, shards, &tel, &clock);
+            let out = clock.time("score", || {
+                underradar_bench::cli::render_trace(&report.render_text(), &tel.snapshot())
+            });
+            print!("{out}");
+        }
+    }
+    if profile {
+        eprintln!("--- profile ---");
+        for (stage, total, calls) in clock.rows() {
+            eprintln!(
+                "stage {stage}: {:.3}s over {calls} calls",
+                total.as_secs_f64()
             );
         }
     }

@@ -7,9 +7,15 @@
 //!   `{"experiment": .., "report": .., "telemetry": <registry>}` suitable
 //!   for piping into analysis tooling;
 //! * `--telemetry` (or `UNDERRADAR_TELEMETRY=1`) — print the report
-//!   followed by the registry's text rendering.
+//!   followed by the registry's text rendering;
+//! * `--trace` (or `UNDERRADAR_TRACE=1`) — run with the flight recorder
+//!   live and print the report, then the trace as JSON lines, then the
+//!   explainer's causal chains. The report section is byte-identical to
+//!   the default mode's output.
 
-use underradar_telemetry::{json, Telemetry, TELEMETRY_ENV};
+use underradar_telemetry::{
+    json, trace, Telemetry, DEFAULT_TRACE_CAPACITY, TELEMETRY_ENV, TRACE_ENV,
+};
 
 /// How the binary was asked to present its output.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -20,24 +26,44 @@ pub enum OutputMode {
     TextWithTelemetry,
     /// One JSON object carrying the report and the registry.
     Json,
+    /// Report plus the flight-recorder trace (JSON lines) and the
+    /// explainer's per-trial causal chains.
+    Trace,
 }
 
-/// Decide the output mode from flags plus the telemetry env var.
+/// Decide the output mode from flags plus the telemetry/trace env vars.
 pub fn output_mode<I: IntoIterator<Item = String>>(args: I) -> OutputMode {
-    mode_from(std::env::var(TELEMETRY_ENV).ok(), args)
+    mode_from(
+        std::env::var(TELEMETRY_ENV).ok(),
+        std::env::var(TRACE_ENV).ok(),
+        args,
+    )
 }
 
-/// [`output_mode`] with the env var's value passed explicitly (testable
-/// regardless of the ambient environment).
-fn mode_from<I: IntoIterator<Item = String>>(env: Option<String>, args: I) -> OutputMode {
-    let mut mode = if env.is_some_and(|v| !v.is_empty() && v != "0") {
+fn env_set(v: Option<String>) -> bool {
+    v.is_some_and(|v| !v.is_empty() && v != "0")
+}
+
+/// [`output_mode`] with the env vars' values passed explicitly (testable
+/// regardless of the ambient environment). `--trace` outranks the other
+/// flags: a trace already subsumes the registry, and the JSON envelope
+/// deliberately excludes trace records.
+fn mode_from<I: IntoIterator<Item = String>>(
+    tel_env: Option<String>,
+    trace_env: Option<String>,
+    args: I,
+) -> OutputMode {
+    let mut mode = if env_set(trace_env) {
+        OutputMode::Trace
+    } else if env_set(tel_env) {
         OutputMode::TextWithTelemetry
     } else {
         OutputMode::Text
     };
     for arg in args {
         match arg.as_str() {
-            "--json" => mode = OutputMode::Json,
+            "--trace" => mode = OutputMode::Trace,
+            "--json" if mode != OutputMode::Trace => mode = OutputMode::Json,
             "--telemetry" if mode == OutputMode::Text => mode = OutputMode::TextWithTelemetry,
             _ => {}
         }
@@ -78,7 +104,23 @@ pub fn exp_main(name: &str, run: fn(&Telemetry) -> String) {
             let report = run(&tel);
             println!("{}", render_json(name, &report, &tel.snapshot()));
         }
+        OutputMode::Trace => {
+            let tel = Telemetry::with_trace(DEFAULT_TRACE_CAPACITY);
+            let report = run(&tel);
+            print!("{}", render_trace(&report, &tel.snapshot()));
+        }
     }
+}
+
+/// Render the `--trace` output: the unchanged report, the trace as JSON
+/// lines, then the explainer's causal chains.
+pub fn render_trace(report: &str, registry: &underradar_telemetry::Registry) -> String {
+    let mut out = String::from(report);
+    out.push_str("--- trace ---\n");
+    out.push_str(&registry.trace_jsonl());
+    out.push_str("--- explain ---\n");
+    out.push_str(&trace::render_chains(&trace::explain(&registry.trace)));
+    out
 }
 
 #[cfg(test)]
@@ -91,28 +133,67 @@ mod tests {
 
     #[test]
     fn json_flag_wins() {
-        assert_eq!(mode_from(None, args(&[])), OutputMode::Text);
-        assert_eq!(mode_from(None, args(&["--json"])), OutputMode::Json);
+        assert_eq!(mode_from(None, None, args(&[])), OutputMode::Text);
+        assert_eq!(mode_from(None, None, args(&["--json"])), OutputMode::Json);
         assert_eq!(
-            mode_from(None, args(&["--telemetry"])),
+            mode_from(None, None, args(&["--telemetry"])),
             OutputMode::TextWithTelemetry
         );
         assert_eq!(
-            mode_from(None, args(&["--telemetry", "--json"])),
+            mode_from(None, None, args(&["--telemetry", "--json"])),
             OutputMode::Json
         );
     }
 
     #[test]
     fn env_var_enables_telemetry_output() {
-        let on = |v: &str| mode_from(Some(v.to_string()), args(&[]));
+        let on = |v: &str| mode_from(Some(v.to_string()), None, args(&[]));
         assert_eq!(on("1"), OutputMode::TextWithTelemetry);
         assert_eq!(on("0"), OutputMode::Text);
         assert_eq!(on(""), OutputMode::Text);
         assert_eq!(
-            mode_from(Some("1".to_string()), args(&["--json"])),
+            mode_from(Some("1".to_string()), None, args(&["--json"])),
             OutputMode::Json
         );
+    }
+
+    #[test]
+    fn trace_flag_and_env_outrank_other_modes() {
+        assert_eq!(mode_from(None, None, args(&["--trace"])), OutputMode::Trace);
+        assert_eq!(
+            mode_from(None, None, args(&["--trace", "--json"])),
+            OutputMode::Trace
+        );
+        assert_eq!(
+            mode_from(None, None, args(&["--json", "--trace"])),
+            OutputMode::Trace
+        );
+        assert_eq!(
+            mode_from(None, Some("1".to_string()), args(&[])),
+            OutputMode::Trace
+        );
+        assert_eq!(
+            mode_from(None, Some("0".to_string()), args(&[])),
+            OutputMode::Text
+        );
+    }
+
+    #[test]
+    fn trace_rendering_starts_with_the_unchanged_report() {
+        let tel = Telemetry::with_trace(8);
+        tel.tracer().record(underradar_telemetry::TraceRecord {
+            t_ns: 5,
+            seq: 0,
+            stage: "stream",
+            kind: "ooo_held",
+            flow: None,
+            fields: vec![],
+        });
+        let out = render_trace("report line\n", &tel.snapshot());
+        assert!(out.starts_with("report line\n--- trace ---\n"));
+        assert!(out.contains("{\"kind\":\"ooo_held\""));
+        assert!(out.contains("--- explain ---\n"));
+        assert!(out.contains("because=stream.ooo_held@t=5ns"));
     }
 
     #[test]

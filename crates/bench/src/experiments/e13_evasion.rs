@@ -31,6 +31,7 @@ use underradar_censor::CensorPolicy;
 use underradar_ids::stream::{seq_le, seq_lt, Direction, FlowKey, StreamReassembler};
 use underradar_netsim::wire::tcp::TcpFlags;
 use underradar_netsim::{Packet, SimRng};
+use underradar_telemetry::{trace, Tracer};
 
 use crate::table::{heading, mark, Table};
 
@@ -128,7 +129,16 @@ fn contains(hay: &[u8], needle: &[u8]) -> bool {
 /// monitor (the shared tap/IDS reassembler) and a fresh endpoint, and
 /// score the divergence between the two reconstructed streams.
 fn replay(isn: u32, schedule: &[(u32, Vec<u8>, Sees)]) -> Divergence {
+    replay_traced(isn, schedule, Tracer::disabled())
+}
+
+/// [`replay`] with the monitor's flight recorder attached. There is no
+/// simulator clock in this replay, so the trace's sim-time is the
+/// schedule position of the segment that triggered the decision.
+fn replay_traced(isn: u32, schedule: &[(u32, Vec<u8>, Sees)], tracer: Tracer) -> Divergence {
+    let traced = tracer.is_live();
     let mut monitor = StreamReassembler::new();
+    monitor.set_tracer(tracer);
     let syn_seq = isn.wrapping_sub(1);
     let syn = Packet::tcp(
         CLIENT,
@@ -166,7 +176,10 @@ fn replay(isn: u32, schedule: &[(u32, Vec<u8>, Sees)]) -> Divergence {
     let key: FlowKey = ctx.key;
 
     let mut endpoint = Endpoint::new(isn);
-    for (seq, payload, sees) in schedule {
+    for (i, (seq, payload, sees)) in schedule.iter().enumerate() {
+        if traced {
+            monitor.set_now(i as u64);
+        }
         if *sees != Sees::EndpointOnly {
             let pkt = Packet::tcp(
                 CLIENT,
@@ -363,7 +376,38 @@ pub fn run_with(tel: &underradar_telemetry::Telemetry) -> String {
         && evasion.endpoint_only > 0
         && evasion.ooo_dropped > 0;
 
-    // Part 4: campaign verdicts are impairment-invariant in bound.
+    // Part 4: the flight recorder narrates the insertion flip. Replay the
+    // clean pair (same schedule without the TTL-limited segment) and the
+    // insertion pair with tracing on, and diff the monitor's decision
+    // streams: the first divergent decision *is* the attack — the monitor
+    // discarding the endpoint's real bytes as a duplicate of the
+    // inserted keyword segment it alone saw.
+    let isn = 0x7fff_ff00u32;
+    let clean_sched: Vec<(u32, Vec<u8>, Sees)> = insertion_schedule(isn)
+        .into_iter()
+        .filter(|(_, _, sees)| *sees != Sees::MonitorOnly)
+        .collect();
+    let clean_tracer = Tracer::with_capacity(256);
+    let _ = replay_traced(isn, &clean_sched, clean_tracer.clone());
+    let attack_tracer = Tracer::with_capacity(256);
+    let _ = replay_traced(isn, &insertion_schedule(isn), attack_tracer.clone());
+    let divergence = trace::diff(&clean_tracer.records(), &attack_tracer.records());
+    out.push_str(
+        "\ntrace diff, clean pair (a) vs TTL-insertion pair (b); \
+         sim-time = schedule position:\n",
+    );
+    out.push_str(&trace::render_diff(divergence.as_ref()));
+    let diff_ok = divergence
+        .as_ref()
+        .and_then(|d| d.right.as_ref())
+        .is_some_and(|r| {
+            r.stage == "stream"
+                && r.kind == "dup_ignored"
+                && r.field_u64("seq_lo") == Some(u64::from(isn.wrapping_add(5)))
+                && r.field_u64("seq_hi") == Some(u64::from(isn.wrapping_add(10)))
+        });
+
+    // Part 5: campaign verdicts are impairment-invariant in bound.
     let spec = |name: &str| {
         underradar_campaign::CampaignSpec::new(name, 29)
             .target("twitter.com")
@@ -408,7 +452,7 @@ pub fn run_with(tel: &underradar_telemetry::Telemetry) -> String {
     ]);
     out.push_str(&t3.render());
 
-    let pass = in_bound_ok && insertion_ok && evasion_ok && verdicts_match;
+    let pass = in_bound_ok && insertion_ok && evasion_ok && diff_ok && verdicts_match;
     out.push_str(&format!(
         "\nresult: divergence is zero in bound and nonzero exactly under \
          TTL-limiting or hold-back overflow: {}\n\n",

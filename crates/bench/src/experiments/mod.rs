@@ -86,6 +86,22 @@ pub fn run_all_with_telemetry() -> Vec<ExperimentResult> {
     collect(&ALL)
 }
 
+/// [`collect`] with wall-clock profiling: each experiment's prepare
+/// (telemetry scope build), run (experiment body), and score (registry
+/// snapshot) stages are timed on the shared [`crate::runner::StageClock`],
+/// and the returned [`crate::runner::RunProfile`] carries per-worker
+/// busy/idle splits. Results are byte-identical to [`collect`].
+pub fn collect_profiled(
+    experiments: &[Experiment],
+) -> (Vec<ExperimentResult>, crate::runner::RunProfile) {
+    crate::runner::run_sharded_profiled(experiments, 0, |&(name, run), _, clock| {
+        let tel = clock.time("prepare", Telemetry::enabled);
+        let report = clock.time("run", || run(&tel));
+        let registry = clock.time("score", || tel.snapshot());
+        (name, report, registry)
+    })
+}
+
 /// Render `BENCH_telemetry.json`: every experiment's registry in run
 /// order, plus a merged view folding all of them together (counters add,
 /// gauges overwrite, histograms bucket-add). Deterministic: same inputs,

@@ -7,8 +7,10 @@
 //! This is how `run_all` regenerates all tables in parallel and how sweeps
 //! like E6's cover-count scan use all cores.
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 /// Identity of one trial within a sharded run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -83,6 +85,171 @@ where
         .collect()
 }
 
+/// Wall-clock accumulator for named work stages (`prepare`, `run`,
+/// `score`, …). Shared across workers; lock contention is per stage
+/// completion, not per sample, so it does not perturb what it measures.
+#[derive(Debug, Default)]
+pub struct StageClock {
+    stages: Mutex<BTreeMap<&'static str, (Duration, u64)>>,
+}
+
+impl StageClock {
+    /// Time `f` under `stage`, accumulating elapsed wall time and a call
+    /// count.
+    pub fn time<R>(&self, stage: &'static str, f: impl FnOnce() -> R) -> R {
+        let start = Instant::now();
+        let out = f();
+        let elapsed = start.elapsed();
+        let mut stages = self.stages.lock().expect("stage clock poisoned");
+        let entry = stages.entry(stage).or_insert((Duration::ZERO, 0));
+        entry.0 += elapsed;
+        entry.1 += 1;
+        out
+    }
+
+    /// Accumulated `(stage, total, calls)` rows in stage-name order.
+    pub fn rows(&self) -> Vec<(&'static str, Duration, u64)> {
+        self.stages
+            .lock()
+            .expect("stage clock poisoned")
+            .iter()
+            .map(|(&stage, &(total, calls))| (stage, total, calls))
+            .collect()
+    }
+}
+
+/// One worker thread's wall-clock accounting over a profiled run.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkerProfile {
+    /// Time spent inside trial closures.
+    pub busy: Duration,
+    /// Lifetime minus busy: cursor contention plus tail starvation while
+    /// other workers drain the last items.
+    pub idle: Duration,
+    /// Trials this worker executed.
+    pub trials: u64,
+}
+
+/// Wall-clock profile of one [`run_sharded_profiled`] call. Timings are
+/// real time, not simulated time — render them to stderr or behind an
+/// explicit flag, never into deterministic report output.
+#[derive(Debug)]
+pub struct RunProfile {
+    /// End-to-end wall time of the sharded region.
+    pub wall: Duration,
+    /// Per-worker busy/idle split, in spawn order.
+    pub workers: Vec<WorkerProfile>,
+    /// Per-stage totals from the run's [`StageClock`].
+    pub stages: Vec<(&'static str, Duration, u64)>,
+}
+
+impl RunProfile {
+    /// Render the profile footer: run wall time, each worker's busy/idle
+    /// split, and per-stage totals.
+    pub fn render_footer(&self) -> String {
+        let mut out = format!(
+            "--- profile ---\nwall {:.3}s across {} workers\n",
+            self.wall.as_secs_f64(),
+            self.workers.len()
+        );
+        for (i, w) in self.workers.iter().enumerate() {
+            out.push_str(&format!(
+                "worker {i}: busy {:.3}s idle {:.3}s trials {}\n",
+                w.busy.as_secs_f64(),
+                w.idle.as_secs_f64(),
+                w.trials
+            ));
+        }
+        for (stage, total, calls) in &self.stages {
+            out.push_str(&format!(
+                "stage {stage}: {:.3}s over {calls} calls\n",
+                total.as_secs_f64()
+            ));
+        }
+        out
+    }
+}
+
+/// [`run_sharded`] plus wall-clock profiling: the closure also receives a
+/// [`StageClock`] for timing its internal stages, and the return carries a
+/// [`RunProfile`] with per-worker busy/idle splits. Results are identical
+/// to the unprofiled path — the instrumentation reads clocks around the
+/// closure, never inside the work.
+pub fn run_sharded_profiled<I, T, F>(items: &[I], master_seed: u64, f: F) -> (Vec<T>, RunProfile)
+where
+    I: Sync,
+    T: Send,
+    F: Fn(&I, TrialSpec, &StageClock) -> T + Sync,
+{
+    let n = items.len();
+    let clock = StageClock::default();
+    let run_start = Instant::now();
+    if n == 0 {
+        return (
+            Vec::new(),
+            RunProfile {
+                wall: run_start.elapsed(),
+                workers: Vec::new(),
+                stages: clock.rows(),
+            },
+        );
+    }
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n);
+    let cursor = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
+    let profiles: Mutex<Vec<WorkerProfile>> = Mutex::new(Vec::with_capacity(workers));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let born = Instant::now();
+                let mut busy = Duration::ZERO;
+                let mut trials = 0u64;
+                loop {
+                    let index = cursor.fetch_add(1, Ordering::Relaxed);
+                    if index >= n {
+                        break;
+                    }
+                    let spec = TrialSpec {
+                        index,
+                        seed: trial_seed(master_seed, index),
+                    };
+                    let start = Instant::now();
+                    let out = f(&items[index], spec, &clock);
+                    busy += start.elapsed();
+                    trials += 1;
+                    results.lock().expect("runner poisoned: a trial panicked")[index] = Some(out);
+                }
+                let lifetime = born.elapsed();
+                profiles
+                    .lock()
+                    .expect("runner poisoned: a trial panicked")
+                    .push(WorkerProfile {
+                        busy,
+                        idle: lifetime.saturating_sub(busy),
+                        trials,
+                    });
+            });
+        }
+    });
+    let out = results
+        .into_inner()
+        .expect("runner poisoned: a trial panicked")
+        .into_iter()
+        .map(|slot| slot.expect("every index visited exactly once"))
+        .collect();
+    let profile = RunProfile {
+        wall: run_start.elapsed(),
+        workers: profiles
+            .into_inner()
+            .expect("runner poisoned: a trial panicked"),
+        stages: clock.rows(),
+    };
+    (out, profile)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -116,6 +283,24 @@ mod tests {
         let none: Vec<u8> = Vec::new();
         assert!(run_sharded(&none, 0, |_, _| 0u8).is_empty());
         assert_eq!(run_sharded(&[7u8], 0, |&x, _| x), vec![7]);
+    }
+
+    #[test]
+    fn profiled_run_matches_plain_run_and_accounts_every_trial() {
+        let items: Vec<u64> = (0..48).collect();
+        let plain = run_sharded(&items, 7, |&i, spec| i.wrapping_add(spec.seed));
+        let (profiled, profile) = run_sharded_profiled(&items, 7, |&i, spec, clock| {
+            clock.time("run", || i.wrapping_add(spec.seed))
+        });
+        assert_eq!(plain, profiled, "profiling never changes results");
+        let executed: u64 = profile.workers.iter().map(|w| w.trials).sum();
+        assert_eq!(executed, items.len() as u64);
+        let (stage, _, calls) = profile.stages[0];
+        assert_eq!((stage, calls), ("run", items.len() as u64));
+        let footer = profile.render_footer();
+        assert!(footer.starts_with("--- profile ---\nwall "));
+        assert!(footer.contains("worker 0: busy "));
+        assert!(footer.contains("stage run: "));
     }
 
     #[test]

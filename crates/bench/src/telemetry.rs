@@ -49,12 +49,22 @@ pub fn finish_testbed(tb: &Testbed, sub: &Telemetry, parent: &Telemetry) {
     absorb(parent, sub);
 }
 
-/// Attach a fresh scope to a routed-mimicry net's scheduler. Finish with
-/// [`finish_routed`].
+/// Attach a fresh scope to a routed-mimicry net's scheduler (and, when
+/// the scope carries a flight-recorder trace, to the net's censor and
+/// surveillance stages). Finish with [`finish_routed`].
 pub fn instrument_routed(net: &mut RoutedMimicryNet, parent: &Telemetry) -> Telemetry {
     let sub = scope(parent);
     if sub.is_enabled() {
+        let tracer = sub.tracer();
         net.sim.set_telemetry(sub.clone());
+        if tracer.is_live() {
+            if let Some(tap) = net.sim.node_mut::<TapCensor>(net.censor) {
+                tap.set_tracer(tracer.clone());
+            }
+            if let Some(surv) = net.sim.node_mut::<SurveillanceNode>(net.surveillance) {
+                surv.set_tracer(tracer);
+            }
+        }
     }
     sub
 }

@@ -88,6 +88,57 @@ fn campaign_sequential_and_sharded_agree_byte_for_byte() {
     );
 }
 
+/// ISSUE satellite: the flight recorder must be as deterministic as the
+/// report — a traced campaign run yields byte-identical trace JSONL (and
+/// explainer chains) whether it runs sequentially or across 4 workers.
+#[test]
+fn campaign_trace_is_byte_identical_across_shard_counts() {
+    use underradar_campaign::{engine, CampaignSpec, MethodKind, NamedPolicy};
+    use underradar_censor::CensorPolicy;
+    use underradar_protocols::dns::DnsName;
+    use underradar_telemetry::{trace, Telemetry, DEFAULT_TRACE_CAPACITY};
+
+    let blocked = CensorPolicy::new()
+        .block_domain(&DnsName::parse("twitter.com").expect("n"))
+        .block_keyword("falun");
+    let spec = CampaignSpec::new("trace-determinism", 7)
+        .targets(["twitter.com", "bbc.com"])
+        .methods([MethodKind::Overt, MethodKind::Scan])
+        .policy(NamedPolicy::new("control", CensorPolicy::new()))
+        .policy(NamedPolicy::new("blocked", blocked))
+        .trials_per_cell(2)
+        .run_secs(30);
+    let run = |shards: usize| {
+        let tel = Telemetry::with_trace(DEFAULT_TRACE_CAPACITY);
+        let report = engine::run(&spec, shards, &tel);
+        let snap = tel.snapshot();
+        let chains = trace::render_chains(&trace::explain(&snap.trace));
+        (report.render_text(), snap.trace_jsonl(), chains)
+    };
+    let (report_1, jsonl_1, chains_1) = run(1);
+    let (report_4, jsonl_4, chains_4) = run(4);
+    assert_eq!(report_1, report_4, "report differs under sharding");
+    assert_eq!(jsonl_1, jsonl_4, "trace JSONL differs under sharding");
+    assert_eq!(chains_1, chains_4, "explainer chains differ under sharding");
+    // And the trace actually recorded the pipeline: stream-stage records
+    // exist, the blocked cells produced censor actions, and every line
+    // parses as a JSON object with the mandatory keys.
+    assert!(!jsonl_1.is_empty(), "traced campaign produced no records");
+    assert!(jsonl_1.lines().count() > 16);
+    for line in jsonl_1.lines() {
+        assert!(
+            line.starts_with('{') && line.ends_with('}'),
+            "bad row: {line}"
+        );
+        for key in ["\"kind\":", "\"stage\":", "\"t_ns\":"] {
+            assert!(line.contains(key), "row missing {key}: {line}");
+        }
+    }
+    assert!(jsonl_1.contains("\"stage\":\"campaign\""));
+    assert!(jsonl_1.contains("\"kind\":\"verdict\""));
+    assert!(jsonl_1.contains("\"stage\":\"censor\""));
+}
+
 #[test]
 fn e09_registry_covers_the_surveillance_pipeline() {
     let exps: Vec<Experiment> = ALL

@@ -22,7 +22,7 @@ use underradar_netsim::host::Host;
 use underradar_netsim::time::{SimDuration, SimTime};
 use underradar_protocols::dns::QType;
 use underradar_surveil::system::{default_surveillance_rules, SurveillanceNode};
-use underradar_telemetry::{Registry, Telemetry};
+use underradar_telemetry::{FieldValue, Registry, Telemetry, TraceRecord};
 
 use crate::report::{CampaignReport, TrialResult};
 use crate::seed;
@@ -88,16 +88,46 @@ fn prepare(spec: &CampaignSpec) -> Vec<PolicyPrep<'_>> {
         .collect()
 }
 
+/// What kind of telemetry scope each worker should build. `Telemetry` is
+/// an `Rc` handle and cannot cross threads, so workers rebuild per-trial
+/// scopes from this `Copy` snapshot of the caller's handle.
+#[derive(Clone, Copy)]
+struct ScopeConfig {
+    enabled: bool,
+    trace: Option<usize>,
+}
+
+impl ScopeConfig {
+    fn of(tel: &Telemetry) -> ScopeConfig {
+        ScopeConfig {
+            enabled: tel.is_enabled(),
+            trace: tel.trace_capacity(),
+        }
+    }
+
+    fn scope(self) -> Telemetry {
+        match self.trace {
+            Some(capacity) => Telemetry::with_trace(capacity),
+            None if self.enabled => Telemetry::enabled(),
+            None => Telemetry::disabled(),
+        }
+    }
+
+    fn tracing(self) -> bool {
+        self.trace.is_some()
+    }
+}
+
 /// Run the campaign across `workers` threads (1 = sequential baseline)
 /// and merge all per-trial telemetry into `tel` in trial-index order.
 /// Output is byte-identical for any worker count.
 pub fn run(spec: &CampaignSpec, workers: usize, tel: &Telemetry) -> CampaignReport {
     let preps = prepare(spec);
     let trials = spec.expand();
-    let telemetry_enabled = tel.is_enabled();
+    let cfg = ScopeConfig::of(tel);
     let outcomes = shard::run_sharded(trials.len(), workers, |i| {
         let trial = &trials[i];
-        run_trial(spec, &preps[trial.policy_idx], trial, telemetry_enabled)
+        run_trial(spec, &preps[trial.policy_idx], trial, cfg)
     });
     for (_, registry) in &outcomes {
         tel.merge_registry(registry);
@@ -115,18 +145,29 @@ fn run_trial(
     spec: &CampaignSpec,
     prep: &PolicyPrep<'_>,
     trial: &Trial,
-    telemetry_enabled: bool,
+    cfg: ScopeConfig,
 ) -> (TrialResult, Registry) {
     let mut acc = Registry::new();
+    if cfg.tracing() {
+        // A trial-start marker first, so the merged trace splits into
+        // contiguous per-trial segments (the explainer keys off these).
+        acc.trace.push(campaign_record(
+            0,
+            "trial_start",
+            vec![
+                ("trial", (trial.index as u64).into()),
+                ("method", trial.method.label().to_string().into()),
+                ("policy", prep.named.name.clone().into()),
+                ("target", trial_target(prep, trial).into()),
+            ],
+        ));
+    }
     let mut attempt = 0u32;
     loop {
         let attempt_seed = seed::attempt_seed(trial.seed, attempt);
         let horizon = spec.run_secs + spec.retry.backoff_secs * attempt as u64;
-        let scope = if telemetry_enabled {
-            Telemetry::enabled()
-        } else {
-            Telemetry::disabled()
-        };
+        let horizon_ns = horizon.saturating_mul(1_000_000_000);
+        let scope = cfg.scope();
         let mut result = execute(spec, prep, trial, attempt_seed, horizon, &scope);
         acc.merge(&scope.snapshot());
         let inconclusive = matches!(result.verdict, Verdict::Inconclusive(_));
@@ -144,9 +185,56 @@ fn run_trial(
             if inconclusive {
                 bump(&mut acc, "campaign.inconclusive_final", 1);
             }
+            if cfg.tracing() {
+                acc.trace.push(campaign_record(
+                    horizon_ns,
+                    "verdict",
+                    vec![
+                        ("verdict", result.verdict.to_string().into()),
+                        ("retries", u64::from(attempt).into()),
+                    ],
+                ));
+            }
             return (result, acc);
         }
+        if cfg.tracing() {
+            // The retry decision itself is a trace-worthy event: it changes
+            // the seed and grants backoff horizon, so a verdict that flips
+            // across attempts is explained by this record.
+            acc.trace.push(campaign_record(
+                horizon_ns,
+                "retry",
+                vec![
+                    ("attempt", u64::from(attempt + 1).into()),
+                    ("backoff_secs", spec.retry.backoff_secs.into()),
+                ],
+            ));
+        }
         attempt += 1;
+    }
+}
+
+fn trial_target(prep: &PolicyPrep<'_>, trial: &Trial) -> String {
+    prep.template
+        .config()
+        .targets
+        .get(trial.target_idx)
+        .map(|t| t.domain.to_string())
+        .unwrap_or_default()
+}
+
+fn campaign_record(
+    t_ns: u64,
+    kind: &'static str,
+    fields: Vec<(&'static str, FieldValue)>,
+) -> TraceRecord {
+    TraceRecord {
+        t_ns,
+        seq: 0,
+        stage: "campaign",
+        kind,
+        flow: None,
+        fields,
     }
 }
 
@@ -340,7 +428,16 @@ fn execute_routed(
         prep.named.policy.clone(),
         prep.routed_rules.clone(),
     );
+    let tracer = scope.tracer();
     net.sim.set_telemetry(scope.clone());
+    if tracer.is_live() {
+        if let Some(tap) = net.sim.node_mut::<TapCensor>(net.censor) {
+            tap.set_tracer(tracer.clone());
+        }
+        if let Some(surv) = net.sim.node_mut::<SurveillanceNode>(net.surveillance) {
+            surv.set_tracer(tracer);
+        }
+    }
     match trial.method {
         MethodKind::Hops => {
             let probe = HopProbe::new(net.cover_ip, HOP_PORT, HOP_MAX_TTL);

@@ -15,6 +15,7 @@ use underradar_netsim::hash::FxHashSet;
 use underradar_ids::stream::{FlowKey, StreamReassembler};
 use underradar_netsim::node::{IfaceId, Node, NodeCtx};
 use underradar_netsim::packet::Packet;
+use underradar_netsim::telemetry::{TraceRecord, Tracer};
 use underradar_netsim::wire::tcp::TcpFlags;
 
 use crate::policy::{CensorAction, CensorActionKind, CensorPolicy};
@@ -41,6 +42,7 @@ pub struct InlineCensor {
     fired_urls: FxHashSet<FlowKey>,
     actions: Vec<CensorAction>,
     stats: InlineCensorStats,
+    tracer: Tracer,
 }
 
 impl InlineCensor {
@@ -55,7 +57,16 @@ impl InlineCensor {
             fired_urls: FxHashSet::default(),
             actions: Vec::new(),
             stats: InlineCensorStats::default(),
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attach a flight-recorder trace. Records one decision per drop or
+    /// block (stage `censor`); the private reassembler records its own
+    /// stream decisions.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.reassembler.set_tracer(tracer.clone());
+        self.tracer = tracer;
     }
 
     /// Logged actions (ground truth for experiments).
@@ -98,9 +109,22 @@ impl Node for InlineCensor {
     }
 
     fn receive(&mut self, ctx: &mut NodeCtx<'_>, iface: IfaceId, packet: Packet) {
+        if self.tracer.is_live() {
+            self.reassembler.set_now(ctx.now().as_nanos());
+        }
         // IP blackhole.
         if self.policy.is_ip_blocked(packet.dst) {
             self.stats.ip_drops += 1;
+            if self.tracer.is_live() {
+                self.tracer.record(TraceRecord {
+                    t_ns: ctx.now().as_nanos(),
+                    seq: 0,
+                    stage: "censor",
+                    kind: "ip_drop",
+                    flow: Some(packet.trace_flow()),
+                    fields: vec![("dst", packet.dst.to_string().into())],
+                });
+            }
             self.actions.push(CensorAction {
                 time: ctx.now(),
                 kind: CensorActionKind::IpDrop { dst: packet.dst },
@@ -112,6 +136,16 @@ impl Node for InlineCensor {
         if let Some(port) = packet.dst_port() {
             if self.policy.is_port_blocked(packet.dst, port) {
                 self.stats.port_drops += 1;
+                if self.tracer.is_live() {
+                    self.tracer.record(TraceRecord {
+                        t_ns: ctx.now().as_nanos(),
+                        seq: 0,
+                        stage: "censor",
+                        kind: "port_drop",
+                        flow: Some(packet.trace_flow()),
+                        fields: vec![("port", u64::from(port).into())],
+                    });
+                }
                 self.actions.push(CensorAction {
                     time: ctx.now(),
                     kind: CensorActionKind::PortDrop {
@@ -139,6 +173,16 @@ impl Node for InlineCensor {
                     if let Some(frag) = self.policy.matching_url(stream) {
                         self.fired_urls.insert(flow_ctx.key);
                         self.stats.url_blocks += 1;
+                        if self.tracer.is_live() {
+                            self.tracer.record(TraceRecord {
+                                t_ns: ctx.now().as_nanos(),
+                                seq: 0,
+                                stage: "censor",
+                                kind: "url_block",
+                                flow: Some(packet.trace_flow()),
+                                fields: vec![("url", frag.to_string().into())],
+                            });
+                        }
                         self.actions.push(CensorAction {
                             time: ctx.now(),
                             kind: CensorActionKind::UrlBlock {

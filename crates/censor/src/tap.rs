@@ -14,6 +14,7 @@ use underradar_ids::aho::{AcStreamState, AhoCorasick};
 use underradar_ids::stream::{Direction, FlowKey, StreamReassembler};
 use underradar_netsim::node::{IfaceId, Node, NodeCtx};
 use underradar_netsim::packet::Packet;
+use underradar_netsim::telemetry::{TraceRecord, Tracer};
 use underradar_netsim::wire::tcp::TcpFlags;
 
 use crate::dns::DnsInjector;
@@ -50,6 +51,7 @@ pub struct TapCensor {
     fired: FxHashMap<FlowKey, Vec<usize>>,
     actions: Vec<CensorAction>,
     stats: TapCensorStats,
+    tracer: Tracer,
 }
 
 impl TapCensor {
@@ -73,7 +75,17 @@ impl TapCensor {
             fired: FxHashMap::default(),
             actions: Vec::new(),
             stats: TapCensorStats::default(),
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attach a flight-recorder trace. The censor records one decision per
+    /// injected action (stage `censor`), and its private reassembler records
+    /// its own stream decisions, so a trace shows *why* the censor saw (or
+    /// missed) a keyword.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.reassembler.set_tracer(tracer.clone());
+        self.tracer = tracer;
     }
 
     /// Disable RST-teardown in the censor's own reassembler (ablation: a
@@ -184,6 +196,16 @@ impl TapCensor {
             ctx.send(iface, rst_to_server);
             ctx.send(iface, rst_to_client);
             self.stats.rst_injections += 1;
+            if self.tracer.is_live() {
+                self.tracer.record(TraceRecord {
+                    t_ns: ctx.now().as_nanos(),
+                    seq: 0,
+                    stage: "censor",
+                    kind: "rst_pair",
+                    flow: Some(pkt.trace_flow()),
+                    fields: vec![("keyword", kw.clone().into())],
+                });
+            }
             self.actions.push(CensorAction {
                 time: ctx.now(),
                 kind: CensorActionKind::KeywordRst {
@@ -202,11 +224,27 @@ impl Node for TapCensor {
 
     fn receive(&mut self, ctx: &mut NodeCtx<'_>, iface: IfaceId, packet: Packet) {
         self.stats.observed += 1;
+        if self.tracer.is_live() {
+            self.reassembler.set_now(ctx.now().as_nanos());
+        }
 
         // DNS injection.
         if let Some((forged, qname, qtype)) = self.injector.inspect(&self.policy, &packet) {
             ctx.send(iface, forged);
             self.stats.dns_injections += 1;
+            if self.tracer.is_live() {
+                self.tracer.record(TraceRecord {
+                    t_ns: ctx.now().as_nanos(),
+                    seq: 0,
+                    stage: "censor",
+                    kind: "dns_injection",
+                    flow: Some(packet.trace_flow()),
+                    fields: vec![
+                        ("name", qname.to_string().into()),
+                        ("qtype", u64::from(qtype.number()).into()),
+                    ],
+                });
+            }
             self.actions.push(CensorAction {
                 time: ctx.now(),
                 kind: CensorActionKind::DnsInjection {

@@ -442,9 +442,24 @@ impl Testbed {
 
     /// Attach a telemetry handle to the simulator so the scheduler's live
     /// counters (events, link transmits/drops, queue depths) record into
-    /// it as the simulation runs.
+    /// it as the simulation runs. When the handle carries a flight-recorder
+    /// trace, the tracer is also pushed into every decision stage — link
+    /// scheduler, censors, and the surveillance pipeline — so one trace
+    /// holds the full causal chain.
     pub fn set_telemetry(&mut self, tel: underradar_netsim::telemetry::Telemetry) {
+        let tracer = tel.tracer();
         self.sim.set_telemetry(tel);
+        if tracer.is_live() {
+            if let Some(tap) = self.sim.node_mut::<TapCensor>(self.censor) {
+                tap.set_tracer(tracer.clone());
+            }
+            if let Some(inline) = self.sim.node_mut::<InlineCensor>(self.inline_censor) {
+                inline.set_tracer(tracer.clone());
+            }
+            if let Some(surv) = self.sim.node_mut::<SurveillanceNode>(self.surveillance) {
+                surv.set_tracer(tracer);
+            }
+        }
     }
 
     /// Mirror the whole testbed's state into `tel`: scheduler totals plus

@@ -29,6 +29,7 @@ use std::net::Ipv4Addr;
 use underradar_netsim::hash::FxHashMap;
 
 use underradar_netsim::packet::Packet;
+use underradar_netsim::telemetry::{TraceRecord, Tracer};
 use underradar_netsim::time::{SimDuration, SimTime};
 
 use crate::aho::{AcStreamState, AhoCorasick};
@@ -86,6 +87,8 @@ pub struct DetectionEngine {
     flow_alerted: FxHashMap<FlowKey, Vec<u32>>,
     log: AlertLog,
     stats: EngineStats,
+    /// Flight recorder for rule-match decisions; disabled by default.
+    tracer: Tracer,
 }
 
 impl DetectionEngine {
@@ -122,12 +125,20 @@ impl DetectionEngine {
             flow_alerted: FxHashMap::default(),
             log: AlertLog::new(),
             stats: EngineStats::default(),
+            tracer: Tracer::disabled(),
         }
     }
 
     /// Disable RST-teardown in the reassembler (ablation knob).
     pub fn set_rst_teardown(&mut self, on: bool) {
         self.reassembler.rst_teardown = on;
+    }
+
+    /// Attach a flight-recorder handle; rule matches record under the
+    /// `engine` stage and the reassembler's decisions under `stream`.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.reassembler.set_tracer(tracer.clone());
+        self.tracer = tracer;
     }
 
     /// The alert log.
@@ -200,6 +211,9 @@ impl DetectionEngine {
     /// the log).
     pub fn process(&mut self, now: SimTime, packet: &Packet) -> Vec<Alert> {
         self.stats.packets += 1;
+        if self.tracer.is_live() {
+            self.reassembler.set_now(now.as_nanos());
+        }
         let flow_ctx = self.reassembler.process(packet);
 
         // Feed newly appended stream bytes to the flow's persistent
@@ -333,6 +347,32 @@ impl DetectionEngine {
                 classtype: rule.classtype.clone(),
             };
             self.stats.alerts += 1;
+            if self.tracer.is_live() {
+                // Byte offset of the matched fast pattern within the
+                // buffered stream window (the window search is paid only
+                // while tracing).
+                let offset = rule
+                    .fast_pattern()
+                    .and_then(|c| {
+                        let needle: &[u8] = &c.pattern;
+                        stream
+                            .windows(needle.len().max(1))
+                            .position(|w| w.eq_ignore_ascii_case(needle))
+                    })
+                    .unwrap_or(0) as u64;
+                self.tracer.record(TraceRecord {
+                    t_ns: now.as_nanos(),
+                    seq: 0,
+                    stage: "engine",
+                    kind: "rule_match",
+                    flow: Some(packet.trace_flow()),
+                    fields: vec![
+                        ("sid", u64::from(rule.sid).into()),
+                        ("offset", offset.into()),
+                        ("msg", rule.msg.clone().into()),
+                    ],
+                });
+            }
             self.log.push(alert.clone());
             fired.push(alert);
         }

@@ -28,6 +28,7 @@ use std::net::Ipv4Addr;
 use underradar_netsim::hash::FxHashMap;
 
 use underradar_netsim::packet::{Packet, TcpSegment};
+use underradar_netsim::telemetry::{TraceFlow, TraceRecord, Tracer};
 
 use crate::lru::OrderQueue;
 
@@ -316,6 +317,13 @@ pub struct StreamReassembler {
     /// alert dedup). Only populated when `track_removals` is on.
     removed: Vec<FlowKey>,
     track_removals: bool,
+    /// Flight recorder for reassembly decisions (hold/drop/trim/dup/evict).
+    /// Disabled by default: one branch per processed segment.
+    tracer: Tracer,
+    /// Simulated time stamped onto trace records. `process` has no time
+    /// parameter, so time-aware callers (engine, censors) push the clock in
+    /// via [`StreamReassembler::set_now`] when tracing is live.
+    now_ns: u64,
 }
 
 impl Default for StreamReassembler {
@@ -334,7 +342,25 @@ impl StreamReassembler {
             stats: ReassemblyStats::default(),
             removed: Vec::new(),
             track_removals: false,
+            tracer: Tracer::disabled(),
+            now_ns: 0,
         }
+    }
+
+    /// Attach a flight-recorder handle (disabled handles cost one branch
+    /// per segment).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// The attached flight-recorder handle.
+    pub fn tracer(&self) -> Tracer {
+        self.tracer.clone()
+    }
+
+    /// Set the simulated time stamped onto subsequent trace records.
+    pub fn set_now(&mut self, t_ns: u64) {
+        self.now_ns = t_ns;
     }
 
     /// Record torn-down flow keys so a consumer can drop its own per-flow
@@ -460,7 +486,15 @@ impl StreamReassembler {
             Direction::ToServer => &mut flow.c2s,
             Direction::ToClient => &mut flow.s2c,
         };
+        let stats_before = if self.tracer.is_live() {
+            Some(self.stats)
+        } else {
+            None
+        };
         let new_bytes = buf.push(seg.seq, &seg.payload, &mut self.stats);
+        if let Some(before) = stats_before {
+            trace_reassembly(&self.tracer, self.now_ns, &before, &self.stats, pkt, seg);
+        }
         // Advance expected seq past FINs so retransmitted FINs don't desync.
         if seg.flags.has_fin() {
             buf.fin_seen = true;
@@ -531,9 +565,62 @@ impl StreamReassembler {
         if let Some(oldest) = self.order.front() {
             if self.teardown(&oldest) {
                 self.stats.evicted += 1;
+                if self.tracer.is_live() {
+                    self.tracer.record(TraceRecord {
+                        t_ns: self.now_ns,
+                        seq: 0,
+                        stage: "stream",
+                        kind: "evicted",
+                        flow: Some(TraceFlow {
+                            src: oldest.lo.0,
+                            src_port: oldest.lo.1,
+                            dst: oldest.hi.0,
+                            dst_port: oldest.hi.1,
+                        }),
+                        fields: Vec::new(),
+                    });
+                }
             }
         }
     }
+}
+
+/// Emit one flight-recorder record per reassembly decision the segment
+/// triggered (stats deltas across the [`DirBuffer::push`]): segments held
+/// out of order, dropped past the hold-back budget, overlap-trimmed
+/// retransmits, and fully-duplicate discards. A gap-filling segment can
+/// drain held segments whose accepts also decide — those count here too,
+/// attributed to the triggering packet.
+fn trace_reassembly(
+    tracer: &Tracer,
+    t_ns: u64,
+    before: &ReassemblyStats,
+    after: &ReassemblyStats,
+    pkt: &Packet,
+    seg: &TcpSegment,
+) {
+    let flow = Some(pkt.trace_flow());
+    let seq_lo = seg.seq as u64;
+    let seq_hi = seg.seq.wrapping_add(seg.payload.len() as u32) as u64;
+    let emit = |kind: &'static str, n: u64| {
+        for _ in 0..n {
+            tracer.record(TraceRecord {
+                t_ns,
+                seq: 0,
+                stage: "stream",
+                kind,
+                flow,
+                fields: vec![("seq_lo", seq_lo.into()), ("seq_hi", seq_hi.into())],
+            });
+        }
+    };
+    emit("ooo_held", after.ooo_held - before.ooo_held);
+    emit("ooo_dropped", after.ooo_dropped - before.ooo_dropped);
+    emit(
+        "overlap_trimmed",
+        after.overlap_trimmed - before.overlap_trimmed,
+    );
+    emit("dup_ignored", after.dup_ignored - before.dup_ignored);
 }
 
 fn direction_of(flow: &Flow, pkt: &Packet, seg: &TcpSegment) -> Direction {
@@ -811,6 +898,81 @@ mod tests {
             assert_eq!(got, want, "monitor window diverged from endpoint stream");
             assert_eq!(reassembled, total, "every byte reassembled exactly once");
             assert_eq!(r.stats().ooo_dropped, 0, "schedule stayed within bounds");
+        });
+    }
+
+    /// ISSUE satellite: for any delivery schedule, the flight recorder's
+    /// stream-stage record count equals the sum of the stage's decision
+    /// counters — the trace is complete by construction, never sampled.
+    #[test]
+    fn trace_record_count_equals_stage_decision_counters() {
+        use underradar_netsim::testprop::cases;
+        cases(48, 0x7AC3_0001, |g| {
+            let total = g.usize_in(64, 2048);
+            let stream: Vec<u8> = (0..total).map(|_| g.u8()).collect();
+            let isn = g.u32();
+            let mut segs = Vec::new();
+            let mut off = 0usize;
+            while off < total {
+                let len = g.usize_in(1, 1 + (total - off).min(256));
+                segs.push((off, len));
+                off += len;
+            }
+            // Unbounded displacement on purpose: this schedule may overflow
+            // the hold-back budget, so every decision kind can fire.
+            let mut schedule: Vec<(usize, usize, usize)> = Vec::new();
+            for (i, &(off, len)) in segs.iter().enumerate() {
+                let rank = i * 4 + g.usize_in(0, 40);
+                schedule.push((rank, off, len));
+                if g.usize_in(0, 6) == 0 {
+                    schedule.push((rank + g.usize_in(0, 12), off, len));
+                }
+                if off > 0 && g.usize_in(0, 6) == 0 {
+                    let back = g.usize_in(1, off.min(32) + 1);
+                    schedule.push((rank + g.usize_in(0, 6), off - back, len.min(back + 16)));
+                }
+            }
+            schedule.sort_by_key(|&(rank, off, _)| (rank, off));
+            let mut r = StreamReassembler::new();
+            let tracer = Tracer::with_capacity(1 << 16); // never evicts here
+            r.set_tracer(tracer.clone());
+            let wrap = |o: usize| isn.wrapping_add(o as u32);
+            let _ = r.process(&pkt(
+                C,
+                S,
+                4000,
+                80,
+                wrap(0),
+                TcpFlags::psh_ack(),
+                &stream[..1],
+            ));
+            for (i, &(_, off, len)) in schedule.iter().enumerate() {
+                r.set_now(i as u64);
+                let end = (off + len).min(total);
+                let p = pkt(
+                    C,
+                    S,
+                    4000,
+                    80,
+                    wrap(off),
+                    TcpFlags::psh_ack(),
+                    &stream[off..end],
+                );
+                let _ = r.process(&p);
+            }
+            let s = r.stats();
+            let decisions =
+                s.ooo_held + s.ooo_dropped + s.overlap_trimmed + s.dup_ignored + s.evicted;
+            assert_eq!(
+                tracer.records().len() as u64 + tracer.dropped(),
+                decisions,
+                "one trace record per reassembly decision"
+            );
+            assert_eq!(tracer.dropped(), 0, "capacity chosen to avoid eviction");
+            assert!(
+                tracer.records().iter().all(|rec| rec.stage == "stream"),
+                "only stream-stage records on this path"
+            );
         });
     }
 

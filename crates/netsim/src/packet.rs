@@ -219,6 +219,17 @@ impl Packet {
         }
     }
 
+    /// The flow key the flight recorder attaches to decision records for
+    /// this packet (ports 0 when the body has none).
+    pub fn trace_flow(&self) -> underradar_telemetry::TraceFlow {
+        underradar_telemetry::TraceFlow {
+            src: self.src,
+            src_port: self.src_port().unwrap_or(0),
+            dst: self.dst,
+            dst_port: self.dst_port().unwrap_or(0),
+        }
+    }
+
     /// Source transport port, if the body has one.
     pub fn src_port(&self) -> Option<u16> {
         match &self.body {

@@ -32,7 +32,7 @@ use crate::node::{Emit, IfaceId, Node, NodeCtx, NodeId};
 use crate::packet::Packet;
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
-use underradar_telemetry::{Counter, HistogramHandle, Telemetry};
+use underradar_telemetry::{Counter, HistogramHandle, Telemetry, TraceRecord, Tracer};
 
 /// Default cap on processed events, a guard against runaway packet storms.
 pub const DEFAULT_EVENT_BUDGET: u64 = 50_000_000;
@@ -87,6 +87,31 @@ impl SimMetrics {
     }
 }
 
+/// A link-stage flight-recorder record: an impairment draw that fired.
+/// `seq` is the scheduler's transmit counter; `cap` (when a capture is
+/// attached) is the index this packet occupies in it.
+fn link_record(
+    when: SimTime,
+    seq: u64,
+    kind: &'static str,
+    packet: &Packet,
+    capture: Option<&Capture>,
+) -> TraceRecord {
+    let mut fields: Vec<(&'static str, underradar_telemetry::FieldValue)> = Vec::with_capacity(2);
+    fields.push(("bytes", (packet.wire_len() as u64).into()));
+    if let Some(cap) = capture {
+        fields.push(("cap", (cap.len() as u64).into()));
+    }
+    TraceRecord {
+        t_ns: when.as_nanos(),
+        seq,
+        stage: "link",
+        kind,
+        flow: Some(packet.trace_flow()),
+        fields,
+    }
+}
+
 /// The discrete-event network simulator.
 pub struct Simulator {
     nodes: Vec<Option<Box<dyn Node>>>,
@@ -105,6 +130,10 @@ pub struct Simulator {
     emits: Vec<Emit>,
     telemetry: Telemetry,
     metrics: SimMetrics,
+    tracer: Tracer,
+    /// Running transmit attempt counter (1-based); stamps link-stage
+    /// flight-recorder records so they correlate with the pcap capture.
+    tx_seq: u64,
 }
 
 impl Simulator {
@@ -126,6 +155,8 @@ impl Simulator {
             emits: Vec::new(),
             telemetry: Telemetry::disabled(),
             metrics: SimMetrics::disabled(),
+            tracer: Tracer::disabled(),
+            tx_seq: 0,
         }
     }
 
@@ -135,7 +166,14 @@ impl Simulator {
     /// boolean check per event.
     pub fn set_telemetry(&mut self, tel: Telemetry) {
         self.metrics = SimMetrics::resolve(&tel);
+        self.tracer = tel.tracer();
         self.telemetry = tel;
+    }
+
+    /// The resolved flight-recorder handle (disabled unless the attached
+    /// telemetry was built with tracing).
+    pub fn tracer(&self) -> Tracer {
+        self.tracer.clone()
     }
 
     /// The attached telemetry handle (disabled unless
@@ -453,6 +491,7 @@ impl Simulator {
             return;
         };
         let wire_len = packet.wire_len();
+        self.tx_seq += 1;
         match link.transmit(node, iface, wire_len, when, &mut self.rng) {
             TxOutcome::Deliver(d) => {
                 if self.metrics.live {
@@ -462,12 +501,30 @@ impl Simulator {
                         self.metrics.link_reordered.incr();
                     }
                 }
+                if self.tracer.is_live() && d.reordered {
+                    self.tracer.record(link_record(
+                        when,
+                        self.tx_seq,
+                        "reordered",
+                        &packet,
+                        self.capture.as_ref(),
+                    ));
+                }
                 if d.corrupt {
                     let payload = packet.body.payload_mut();
                     if !payload.is_empty() {
                         let idx = self.rng.index(payload.len());
                         payload[idx] ^= 0x55;
                         self.metrics.link_corrupted.incr();
+                        if self.tracer.is_live() {
+                            self.tracer.record(link_record(
+                                when,
+                                self.tx_seq,
+                                "corrupted",
+                                &packet,
+                                self.capture.as_ref(),
+                            ));
+                        }
                     }
                 }
                 if let Some(cap) = &mut self.capture {
@@ -494,6 +551,15 @@ impl Simulator {
                     if self.metrics.live {
                         self.metrics.link_tx_bytes.add(wire_len as u64);
                     }
+                    if self.tracer.is_live() {
+                        self.tracer.record(link_record(
+                            when,
+                            self.tx_seq,
+                            "duplicated",
+                            &copy,
+                            self.capture.as_ref(),
+                        ));
+                    }
                     if let Some(cap) = &mut self.capture {
                         cap.record(CapturedPacket {
                             time: when,
@@ -518,6 +584,10 @@ impl Simulator {
             }
             TxOutcome::Lost => {
                 self.metrics.link_drops.incr();
+                if self.tracer.is_live() {
+                    self.tracer
+                        .record(link_record(when, self.tx_seq, "dropped", &packet, None));
+                }
             }
         }
     }

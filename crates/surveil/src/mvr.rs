@@ -12,7 +12,9 @@
 //!
 //! The measurement techniques of §3 aim to be discarded at step 2.
 
+use underradar_netsim::hash::FxHashSet;
 use underradar_netsim::packet::Packet;
+use underradar_netsim::telemetry::{TraceRecord, Tracer};
 use underradar_netsim::time::SimTime;
 
 use crate::classify::{Classifier, ClassifierConfig, TrafficClass};
@@ -91,6 +93,19 @@ pub struct Mvr {
     classifier: Classifier,
     volumes: [ClassVolume; TrafficClass::COUNT],
     discard_mask: [bool; TrafficClass::COUNT],
+    tracer: Tracer,
+    /// Dedup set for trace records: one record per (flow, class, verdict).
+    /// Bounds trace volume under floods — a 10k-packet P2P burst is one
+    /// decision, not 10k — while still recording the moment a flow's
+    /// classification (and hence its retention fate) changes.
+    traced: FxHashSet<(
+        std::net::Ipv4Addr,
+        u16,
+        std::net::Ipv4Addr,
+        u16,
+        usize,
+        bool,
+    )>,
 }
 
 impl Mvr {
@@ -106,7 +121,16 @@ impl Mvr {
             classifier,
             volumes: [ClassVolume::default(); TrafficClass::COUNT],
             discard_mask,
+            tracer: Tracer::disabled(),
+            traced: FxHashSet::default(),
         }
+    }
+
+    /// Attach a flight-recorder trace (stage `mvr`): one retain/discard
+    /// record per (flow, class, verdict), carrying the classifying traffic
+    /// class.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Process a packet through stage 1.
@@ -116,13 +140,45 @@ impl Mvr {
         let vol = &mut self.volumes[class.index()];
         vol.packets += 1;
         vol.bytes += bytes;
-        if self.discard_mask[class.index()] {
+        let decision = if self.discard_mask[class.index()] {
             MvrDecision::Discard(class)
         } else {
             vol.retained_packets += 1;
             vol.retained_bytes += bytes;
             MvrDecision::Retain(class)
+        };
+        if self.tracer.is_live() {
+            self.trace_decision(now, pkt, decision);
         }
+        decision
+    }
+
+    fn trace_decision(&mut self, now: SimTime, pkt: &Packet, decision: MvrDecision) {
+        let flow = pkt.trace_flow();
+        let class = decision.class();
+        let key = (
+            flow.src,
+            flow.src_port,
+            flow.dst,
+            flow.dst_port,
+            class.index(),
+            decision.retained(),
+        );
+        if !self.traced.insert(key) {
+            return;
+        }
+        self.tracer.record(TraceRecord {
+            t_ns: now.as_nanos(),
+            seq: 0,
+            stage: "mvr",
+            kind: if decision.retained() {
+                "retain"
+            } else {
+                "discard"
+            },
+            flow: Some(flow),
+            fields: vec![("class", class.to_string().into())],
+        });
     }
 
     /// Per-class accounting, in [`TrafficClass::ALL`] order.

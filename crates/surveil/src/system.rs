@@ -24,6 +24,7 @@ use underradar_ids::rule::Rule;
 use underradar_netsim::addr::Cidr;
 use underradar_netsim::node::{IfaceId, Node, NodeCtx};
 use underradar_netsim::packet::Packet;
+use underradar_netsim::telemetry::Tracer;
 use underradar_netsim::time::SimTime;
 use underradar_protocols::dns::DnsName;
 
@@ -156,6 +157,15 @@ impl SurveillanceSystem {
             alert_first: config.alert_first,
             stats: SurveillanceStats::default(),
         }
+    }
+
+    /// Attach a flight-recorder trace to the pipeline stages: MVR
+    /// retain/discard decisions (stage `mvr`) and signature-engine rule
+    /// matches (stage `engine`, including its reassembler's stream
+    /// decisions).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.mvr.set_tracer(tracer.clone());
+        self.engine.set_tracer(tracer);
     }
 
     /// Process one observed packet through the pipeline.
@@ -302,6 +312,11 @@ impl SurveillanceNode {
     /// The inner system.
     pub fn system(&self) -> &SurveillanceSystem {
         &self.system
+    }
+
+    /// Attach a flight-recorder trace to the inner system's stages.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.system.set_tracer(tracer);
     }
 }
 

@@ -40,10 +40,12 @@ pub mod hist;
 pub mod json;
 pub mod registry;
 pub mod sink;
+pub mod trace;
 
 pub use hist::{Histogram, BUCKET_COUNT};
 pub use registry::{Event, FieldValue, Registry, SpanRecord};
 pub use sink::{EventSink, MemorySink, NoopSink};
+pub use trace::{TraceBuf, TraceFlow, TraceRecord, Tracer, DEFAULT_TRACE_CAPACITY, TRACE_ENV};
 
 use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
@@ -59,6 +61,7 @@ struct Inner {
     spans: Vec<SpanRecord>,
     events: Vec<Event>,
     sink: Box<dyn EventSink>,
+    trace: Option<Rc<RefCell<TraceBuf>>>,
 }
 
 /// A cheaply-cloneable recording handle. Either live (shared registry) or
@@ -98,18 +101,35 @@ impl Telemetry {
                 spans: Vec::new(),
                 events: Vec::new(),
                 sink,
+                trace: None,
             }))),
         }
     }
 
+    /// A live handle with the flight recorder attached: decision records
+    /// go into a per-handle ring of `capacity` records (oldest evicted
+    /// deterministically, counted in `telemetry.trace.dropped`).
+    pub fn with_trace(capacity: usize) -> Self {
+        let tel = Telemetry::enabled();
+        if let Some(inner) = &tel.inner {
+            inner.borrow_mut().trace = Some(Rc::new(RefCell::new(TraceBuf::new(capacity))));
+        }
+        tel
+    }
+
     /// Enabled iff the `UNDERRADAR_TELEMETRY` environment variable is set
     /// to a non-empty value other than `0`; disabled otherwise. CI runs
-    /// the suite both ways.
+    /// the suite both ways. Setting `UNDERRADAR_TRACE` likewise attaches
+    /// the flight recorder (and implies telemetry).
     pub fn from_env() -> Self {
-        let on = std::env::var_os(TELEMETRY_ENV)
-            .map(|v| !v.is_empty() && v != *"0")
-            .unwrap_or(false);
-        if on {
+        let env_on = |name: &str| {
+            std::env::var_os(name)
+                .map(|v| !v.is_empty() && v != *"0")
+                .unwrap_or(false)
+        };
+        if env_on(TRACE_ENV) {
+            Telemetry::with_trace(DEFAULT_TRACE_CAPACITY)
+        } else if env_on(TELEMETRY_ENV) {
             Telemetry::enabled()
         } else {
             Telemetry::disabled()
@@ -120,6 +140,24 @@ impl Telemetry {
     #[inline]
     pub fn is_enabled(&self) -> bool {
         self.inner.is_some()
+    }
+
+    /// The flight recorder's ring capacity, when tracing is attached.
+    pub fn trace_capacity(&self) -> Option<usize> {
+        self.inner
+            .as_ref()
+            .and_then(|inner| inner.borrow().trace.as_ref().map(|b| b.borrow().capacity()))
+    }
+
+    /// Resolve the flight-recorder handle. Disabled (one branch per
+    /// decision site) unless this handle was built with
+    /// [`Telemetry::with_trace`]; hot paths resolve once and reuse it.
+    pub fn tracer(&self) -> Tracer {
+        Tracer(
+            self.inner
+                .as_ref()
+                .and_then(|inner| inner.borrow().trace.clone()),
+        )
     }
 
     /// Resolve (creating on first use) a counter handle. Handles for the
@@ -243,10 +281,10 @@ impl Telemetry {
     /// scope and fold finished scopes back with [`Telemetry::absorb`] so
     /// totals accumulate instead of overwriting.
     pub fn scope(&self) -> Telemetry {
-        if self.is_enabled() {
-            Telemetry::enabled()
-        } else {
-            Telemetry::disabled()
+        match self.trace_capacity() {
+            Some(capacity) => Telemetry::with_trace(capacity),
+            None if self.is_enabled() => Telemetry::enabled(),
+            None => Telemetry::disabled(),
         }
     }
 
@@ -262,7 +300,10 @@ impl Telemetry {
 
     /// Fold an already-snapshotted registry into this live handle
     /// (deterministic sub-shard merging, e.g. an experiment's internal
-    /// `run_sharded` sweep).
+    /// `run_sharded` sweep). Spans and events are re-sorted by
+    /// (sim-time, name) after the append, so the merged order never
+    /// depends on absorb call order; trace records append in merge order
+    /// (trial grouping is the point) without the live ring bound.
     pub fn merge_registry(&self, other: &Registry) {
         let Some(inner) = &self.inner else { return };
         for (name, v) in &other.counters {
@@ -278,21 +319,45 @@ impl Telemetry {
         }
         let mut inner = inner.borrow_mut();
         inner.spans.extend(other.spans.iter().cloned());
+        inner
+            .spans
+            .sort_by(|a, b| (a.start_ns, &a.name).cmp(&(b.start_ns, &b.name)));
         inner.events.extend(other.events.iter().cloned());
+        inner
+            .events
+            .sort_by(|a, b| (a.t_ns, &a.kind).cmp(&(b.t_ns, &b.kind)));
+        if !other.trace.is_empty() {
+            if let Some(buf) = &inner.trace {
+                buf.borrow_mut().extend_unbounded(&other.trace);
+            }
+        }
     }
 
-    /// An owned snapshot of everything recorded so far.
+    /// An owned snapshot of everything recorded so far. When the flight
+    /// recorder is attached, the snapshot carries its records and mirrors
+    /// the eviction count into the `telemetry.trace.dropped` counter.
     pub fn snapshot(&self) -> Registry {
         let Some(inner) = &self.inner else {
             return Registry::new();
         };
         let inner = inner.borrow();
+        let mut counters: BTreeMap<String, u64> = inner
+            .counters
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        let trace = match &inner.trace {
+            Some(buf) => {
+                let buf = buf.borrow();
+                *counters
+                    .entry("telemetry.trace.dropped".to_string())
+                    .or_insert(0) += buf.dropped();
+                buf.records().cloned().collect()
+            }
+            None => Vec::new(),
+        };
         Registry {
-            counters: inner
-                .counters
-                .iter()
-                .map(|(k, v)| (k.clone(), v.get()))
-                .collect(),
+            counters,
             gauges: inner
                 .gauges
                 .iter()
@@ -305,6 +370,7 @@ impl Telemetry {
                 .collect(),
             spans: inner.spans.clone(),
             events: inner.events.clone(),
+            trace,
         }
     }
 }

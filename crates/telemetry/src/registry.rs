@@ -5,6 +5,7 @@ use std::collections::BTreeMap;
 
 use crate::hist::Histogram;
 use crate::json;
+use crate::trace::TraceRecord;
 
 /// A structured event captured at a simulated-time instant.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -80,8 +81,11 @@ impl SpanRecord {
 ///
 /// Snapshots merge deterministically: counters add, gauges take the merged
 /// snapshot's value (last write wins, in merge order), histograms add
-/// bucket-wise, spans and events append in merge order. Two shard sets
-/// merged in the same order therefore serialize byte-identically.
+/// bucket-wise, spans and events append and then re-sort by
+/// (sim-time, name) so the result is independent of merge call order, and
+/// flight-recorder trace records append in merge order (the campaign
+/// engine merges per-trial registries in trial-index order, which keeps
+/// trial segments contiguous and shard-invariant).
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Registry {
     /// Monotonic counters by name.
@@ -90,10 +94,15 @@ pub struct Registry {
     pub gauges: BTreeMap<String, i64>,
     /// Log-bucketed histograms by name.
     pub histograms: BTreeMap<String, Histogram>,
-    /// Completed spans in recording order.
+    /// Completed spans, sorted by (start time, name) after merges.
     pub spans: Vec<SpanRecord>,
-    /// Structured events in recording order.
+    /// Structured events, sorted by (time, kind) after merges.
     pub events: Vec<Event>,
+    /// Flight-recorder decision records in recording/merge order.
+    /// Deliberately excluded from [`Registry::to_json`] so non-trace
+    /// output stays byte-identical whether or not tracing ran; render
+    /// with [`Registry::trace_jsonl`].
+    pub trace: Vec<TraceRecord>,
 }
 
 impl Registry {
@@ -114,7 +123,12 @@ impl Registry {
             self.histograms.entry(name.clone()).or_default().merge(h);
         }
         self.spans.extend(other.spans.iter().cloned());
+        self.spans
+            .sort_by(|a, b| (a.start_ns, &a.name).cmp(&(b.start_ns, &b.name)));
         self.events.extend(other.events.iter().cloned());
+        self.events
+            .sort_by(|a, b| (a.t_ns, &a.kind).cmp(&(b.t_ns, &b.kind)));
+        self.trace.extend(other.trace.iter().cloned());
     }
 
     /// Whether nothing has been recorded.
@@ -124,6 +138,7 @@ impl Registry {
             && self.histograms.is_empty()
             && self.spans.is_empty()
             && self.events.is_empty()
+            && self.trace.is_empty()
     }
 
     /// A counter's value (0 when absent).
@@ -242,6 +257,12 @@ impl Registry {
         out
     }
 
+    /// The flight-recorder trace as JSON lines, one sorted-key object per
+    /// decision record, in recording/merge order.
+    pub fn trace_jsonl(&self) -> String {
+        crate::trace::to_jsonl(&self.trace)
+    }
+
     /// The events as JSON lines, one event per line (the structured stream
     /// a sink receives live).
     pub fn to_jsonl(&self) -> String {
@@ -283,6 +304,9 @@ impl Registry {
         }
         if !self.events.is_empty() {
             out.push_str(&format!("events  {} recorded\n", self.events.len()));
+        }
+        if !self.trace.is_empty() {
+            out.push_str(&format!("trace   {} records\n", self.trace.len()));
         }
         out
     }
@@ -361,6 +385,56 @@ mod tests {
     #[test]
     fn equal_registries_serialize_identically() {
         assert_eq!(sample().to_json(), sample().to_json());
+    }
+
+    #[test]
+    fn merge_order_of_spans_and_events_is_canonical() {
+        // Two registries with interleaved sim-times: whichever is merged
+        // first, the result sorts to the same (time, name) order.
+        let mk = |name: &str, t: u64| {
+            let mut r = Registry::new();
+            r.spans.push(SpanRecord {
+                name: name.into(),
+                start_ns: t,
+                end_ns: t + 1,
+            });
+            r.events.push(Event {
+                t_ns: t,
+                kind: name.into(),
+                fields: vec![],
+            });
+            r
+        };
+        let a = mk("alpha", 20);
+        let b = mk("beta", 10);
+        let mut ab = Registry::new();
+        ab.merge(&a);
+        ab.merge(&b);
+        let mut ba = Registry::new();
+        ba.merge(&b);
+        ba.merge(&a);
+        assert_eq!(ab.to_json(), ba.to_json(), "merge order must not matter");
+        assert_eq!(ab.spans[0].name, "beta", "sorted by (start_ns, name)");
+        assert_eq!(ab.events[0].kind, "beta", "sorted by (t_ns, kind)");
+    }
+
+    #[test]
+    fn trace_records_merge_in_order_and_stay_out_of_json() {
+        use crate::trace::TraceRecord;
+        let mut a = Registry::new();
+        a.trace.push(TraceRecord {
+            t_ns: 1,
+            seq: 0,
+            stage: "mvr",
+            kind: "retain",
+            flow: None,
+            fields: vec![],
+        });
+        let b = a.clone();
+        a.merge(&b);
+        assert_eq!(a.trace.len(), 2);
+        assert!(!a.to_json().contains("retain"), "trace excluded from JSON");
+        assert_eq!(a.trace_jsonl().lines().count(), 2);
     }
 
     #[test]

@@ -102,6 +102,23 @@ impl PopulationTraffic {
                 last.time.as_nanos(),
             );
         }
+        // Provenance: when the flight recorder is live, one workload-stage
+        // record names the traffic that fed the pipeline, so a trial's
+        // causal chain starts from what was generated, not mid-stream.
+        let tracer = tel.tracer();
+        if tracer.is_live() {
+            tracer.record(underradar_telemetry::TraceRecord {
+                t_ns: stream.first().map(|t| t.time.as_nanos()).unwrap_or(0),
+                seq: 0,
+                stage: "workload",
+                kind: "population_generated",
+                flow: None,
+                fields: vec![
+                    ("packets", (stream.len() as u64).into()),
+                    ("bytes", bytes.into()),
+                ],
+            });
+        }
     }
 
     /// Generate the population's packet stream, sorted by time.
@@ -420,6 +437,23 @@ mod tests {
             assert_eq!(x.time, y.time);
             assert_eq!(x.packet, y.packet);
         }
+    }
+
+    #[test]
+    fn export_telemetry_records_workload_provenance_when_traced() {
+        let stream = generate(5);
+        let tel = underradar_telemetry::Telemetry::with_trace(16);
+        PopulationTraffic::export_telemetry(&stream, &tel);
+        let records = tel.tracer().records();
+        assert_eq!(records.len(), 1, "one provenance record per stream");
+        let r = &records[0];
+        assert_eq!((r.stage, r.kind), ("workload", "population_generated"));
+        assert_eq!(r.field_u64("packets"), Some(stream.len() as u64));
+        assert_eq!(r.t_ns, stream[0].time.as_nanos());
+        // Untraced telemetry records nothing and costs one branch.
+        let plain = underradar_telemetry::Telemetry::enabled();
+        PopulationTraffic::export_telemetry(&stream, &plain);
+        assert!(plain.tracer().records().is_empty());
     }
 
     #[test]

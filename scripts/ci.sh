@@ -21,13 +21,26 @@ UNDERRADAR_TELEMETRY=1 cargo test --offline -q --workspace
 echo "==> full-scale churn acceptance (release-only sizing)"
 cargo test --offline --release -q -p underradar-ids --lib one_million_flow_churn
 
-echo "==> perf smoke (no-op sink + reassembly hold-back overhead bounds)"
-cargo bench --offline -p underradar-bench --bench perf -- telemetry reassembly_holdback
+echo "==> perf bench + snapshot schema (all acceptance bounds; BENCH_perf.json drift)"
+# The committed snapshot pins the bench *schema* — the set of quoted
+# strings (bench names + JSON keys); timings drift run to run and are
+# not compared. An unfiltered bench run rewrites the file in place, so
+# stash the committed copy first and restore it after the check.
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+cp BENCH_perf.json "$tmpdir/BENCH_perf.committed.json"
+cargo bench --offline -p underradar-bench --bench perf
+grep -o '"[^"]*"' "$tmpdir/BENCH_perf.committed.json" | sort > "$tmpdir/schema_committed"
+grep -o '"[^"]*"' BENCH_perf.json | sort > "$tmpdir/schema_fresh"
+if ! diff -u "$tmpdir/schema_committed" "$tmpdir/schema_fresh"; then
+  echo "BENCH_perf.json schema drifted: re-run 'cargo bench --bench perf' and commit the new snapshot" >&2
+  cp "$tmpdir/BENCH_perf.committed.json" BENCH_perf.json
+  exit 1
+fi
+cp "$tmpdir/BENCH_perf.committed.json" BENCH_perf.json
 
 echo "==> campaign determinism smoke (sequential vs 4-shard byte identity)"
 cargo build --offline --release -p underradar-bench --bin exp_campaign
-tmpdir="$(mktemp -d)"
-trap 'rm -rf "$tmpdir"' EXIT
 ./target/release/exp_campaign --json --shards 1 > "$tmpdir/campaign_1.json"
 ./target/release/exp_campaign --json --shards 4 > "$tmpdir/campaign_4.json"
 cmp "$tmpdir/campaign_1.json" "$tmpdir/campaign_4.json"
@@ -40,5 +53,33 @@ if cmp -s "$tmpdir/campaign_1.json" "$tmpdir/campaign_impair_1.json"; then
   echo "impairment knobs had no effect on the campaign output" >&2
   exit 1
 fi
+
+echo "==> flight-recorder smoke (--trace: report unchanged, shard-stable, chains non-empty)"
+./target/release/exp_campaign --shards 1 > "$tmpdir/campaign_plain.txt"
+./target/release/exp_campaign --trace --shards 1 > "$tmpdir/campaign_trace_1.txt"
+./target/release/exp_campaign --trace --shards 4 > "$tmpdir/campaign_trace_4.txt"
+# Tracing is additive: the traced output must start with the exact bytes
+# of the untraced report (so leaving --trace off can never change results),
+# and must itself be byte-identical across shard counts.
+plain_bytes=$(wc -c < "$tmpdir/campaign_plain.txt")
+head -c "$plain_bytes" "$tmpdir/campaign_trace_1.txt" | cmp - "$tmpdir/campaign_plain.txt"
+cmp "$tmpdir/campaign_trace_1.txt" "$tmpdir/campaign_trace_4.txt"
+# Every non-Inconclusive verdict must come with a non-empty causal chain:
+# the explainer may answer "because=no-recorded-decisions" only for
+# inconclusive trials.
+awk '
+  /^--- explain ---$/ { in_explain = 1; next }
+  in_explain && /^trial=/ {
+    chains++
+    if ($0 !~ /verdict=inconclusive/ && $0 ~ /because=no-recorded-decisions/) {
+      print "unexplained verdict: " $0; bad = 1
+    }
+  }
+  END {
+    if (chains == 0) { print "no explainer chains in traced output"; exit 1 }
+    print "explainer chains: " chains
+    exit bad
+  }
+' "$tmpdir/campaign_trace_1.txt"
 
 echo "CI green"
