@@ -22,6 +22,7 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 use underradar_ids::aho::{find_sub, AhoCorasick};
+use underradar_ids::dfa::PrefilterDfa;
 use underradar_ids::engine::DetectionEngine;
 use underradar_ids::parser::{parse_ruleset, VarTable};
 use underradar_ids::stream::{DirBuffer, ReassemblyStats, StreamReassembler, MAX_DIR_BUFFER};
@@ -95,15 +96,102 @@ fn ruleset(n: usize) -> Vec<underradar_ids::rule::Rule> {
     parse_ruleset(&text, &VarTable::new()).expect("bench ruleset parses")
 }
 
+/// `alerts` content alert rules plus `passes` content pass rules — the
+/// mixed shape real policies carry. Pass patterns share no bytes with
+/// [`sample_payload`], so on innocuous traffic they cost only prefilter
+/// table size, never per-packet evaluations.
+fn mixed_ruleset(alerts: usize, passes: usize) -> Vec<underradar_ids::rule::Rule> {
+    let mut text = String::new();
+    for i in 0..alerts {
+        text.push_str(&format!(
+            "alert tcp any any -> any any (msg:\"kw{i}\"; content:\"pattern-{i}-zzz\"; nocase; sid:{};)\n",
+            1000 + i
+        ));
+    }
+    for i in 0..passes {
+        text.push_str(&format!(
+            "pass tcp any any -> any any (msg:\"ok{i}\"; content:\"allow-{i}-qqq\"; nocase; sid:{};)\n",
+            9000 + i
+        ));
+    }
+    parse_ruleset(&text, &VarTable::new()).expect("bench ruleset parses")
+}
+
 fn bench_engine() {
     println!("ids_engine");
+    let mut gate_ns = f64::MAX;
     for rules in [10usize, 100, 500] {
         let payload = sample_payload(512);
         let mut engine = DetectionEngine::new(ruleset(rules));
         let pkt = Packet::tcp(SRC, DST, 40000, 80, 1, 1, TcpFlags::psh_ack(), payload);
-        let ns = measure(2_000, || engine.process(SimTime::ZERO, black_box(&pkt)));
+        // Best of 3 medians for the gated row, so a scheduler hiccup in
+        // one batch can't fail the acceptance bound below.
+        let mut ns = measure(2_000, || engine.process(SimTime::ZERO, black_box(&pkt)));
+        if rules == 500 {
+            for _ in 0..2 {
+                ns = ns.min(measure(2_000, || {
+                    engine.process(SimTime::ZERO, black_box(&pkt))
+                }));
+            }
+            gate_ns = ns;
+        }
         report(&format!("process_512B_{rules}rules"), ns, Some(512));
     }
+    // The headline acceptance bound of the dense-DFA rewrite: 500 content
+    // rules at ≥ 1 GB/s of packet payload (the seed's Aho–Corasick walk
+    // managed ~290 MB/s here).
+    let gbps = 512.0 / gate_ns;
+    println!(
+        "  {:<44} {gbps:>11.2} GB/s (≥ 1.0 bound)",
+        "process_512B_500rules throughput"
+    );
+    assert!(
+        gbps >= 1.0,
+        "acceptance: the engine must sustain ≥ 1 GB/s over 500 content \
+         rules on 512 B packets (got {gbps:.2} GB/s)"
+    );
+
+    // Pass-rule scaling: 50 content pass rules ride the same prefilter
+    // scan, so on innocuous traffic they must not scale per-packet cost.
+    // Both engines are sampled back-to-back per round and the bound is
+    // the best *paired* ratio, as elsewhere, to cancel clock drift.
+    let payload = sample_payload(512);
+    let pkt = Packet::tcp(SRC, DST, 40000, 80, 1, 1, TcpFlags::psh_ack(), payload);
+    let mut alerts_only = DetectionEngine::new(mixed_ruleset(500, 0));
+    let mut with_passes = DetectionEngine::new(mixed_ruleset(500, 50));
+    let mut base_ns = f64::MAX;
+    let mut pass_ns = f64::MAX;
+    let mut ratio = f64::MAX;
+    for _ in 0..3 {
+        let b = measure(2_000, || {
+            alerts_only.process(SimTime::ZERO, black_box(&pkt))
+        });
+        let p = measure(2_000, || {
+            with_passes.process(SimTime::ZERO, black_box(&pkt))
+        });
+        base_ns = base_ns.min(b);
+        pass_ns = pass_ns.min(p);
+        ratio = ratio.min(p / b);
+    }
+    report("process_512B_500alert_0pass", base_ns, Some(512));
+    report("process_512B_500alert_50pass", pass_ns, Some(512));
+    let overhead = ratio - 1.0;
+    println!(
+        "  {:<44} {:>11.2}%",
+        "50-pass-rule overhead (innocuous traffic)",
+        overhead * 100.0
+    );
+    assert!(
+        overhead <= 0.15,
+        "acceptance: 50 prefiltered pass rules must not scale per-packet \
+         cost on innocuous traffic (got {:.2}% over alert-only)",
+        overhead * 100.0
+    );
+    assert_eq!(
+        with_passes.stats().pass_evaluations,
+        0,
+        "no pass rule may reach evaluation without a prefilter hit"
+    );
 }
 
 fn bench_aho_vs_naive() {
@@ -115,6 +203,15 @@ fn bench_aho_vs_naive() {
     let ac = AhoCorasick::new(&patterns);
     let ns = measure(500, || ac.matching_patterns(black_box(&hay)));
     report("aho_corasick_200pat_4KB", ns, Some(hay.len() as u64));
+    // The dense byte-classed DFA the engine actually runs: same automaton,
+    // flattened rows plus a root-row skip loop instead of fail-link chasing.
+    let dfa = PrefilterDfa::new(&patterns.iter().map(|(p, _)| p.clone()).collect::<Vec<_>>());
+    let ns = measure(2_000, || {
+        let mut hits = 0usize;
+        dfa.scan(black_box(&hay), |_, _| hits += 1);
+        hits
+    });
+    report("dense_dfa_200pat_4KB", ns, Some(hay.len() as u64));
     let ns = measure(20, || {
         let mut hits = 0usize;
         for (p, nocase) in &patterns {

@@ -10,7 +10,7 @@
 use std::any::Any;
 use underradar_netsim::hash::FxHashMap;
 
-use underradar_ids::aho::{AcStreamState, AhoCorasick};
+use underradar_ids::dfa::{PrefilterDfa, DFA_START};
 use underradar_ids::stream::{Direction, FlowKey, StreamReassembler};
 use underradar_netsim::node::{IfaceId, Node, NodeCtx};
 use underradar_netsim::packet::Packet;
@@ -42,11 +42,12 @@ pub struct TapCensor {
     policy: CensorPolicy,
     reassembler: StreamReassembler,
     injector: DnsInjector,
-    /// One automaton over all policy keywords (case-insensitive), matched
-    /// incrementally against each flow direction.
-    keywords: AhoCorasick,
+    /// One dense DFA over all policy keywords (case-insensitive — the
+    /// DFA's case folding is exact here), matched incrementally against
+    /// each flow direction.
+    keywords: PrefilterDfa,
     /// Persistent matcher cursor per live flow direction.
-    cursors: FxHashMap<(FlowKey, Direction), AcStreamState>,
+    cursors: FxHashMap<(FlowKey, Direction), u32>,
     /// Keyword indexes already RST per flow — one strike per flow.
     fired: FxHashMap<FlowKey, Vec<usize>>,
     actions: Vec<CensorAction>,
@@ -58,10 +59,10 @@ impl TapCensor {
     /// Build from a policy.
     pub fn new(name: &str, policy: CensorPolicy) -> TapCensor {
         let injector = DnsInjector::new(&policy);
-        let patterns: Vec<(Vec<u8>, bool)> = policy
+        let patterns: Vec<Vec<u8>> = policy
             .keywords
             .iter()
-            .map(|kw| (kw.as_bytes().to_vec(), true))
+            .map(|kw| kw.as_bytes().to_vec())
             .collect();
         let mut reassembler = StreamReassembler::new();
         reassembler.track_removals(true);
@@ -70,7 +71,7 @@ impl TapCensor {
             policy,
             reassembler,
             injector,
-            keywords: AhoCorasick::new(&patterns),
+            keywords: PrefilterDfa::new(&patterns),
             cursors: FxHashMap::default(),
             fired: FxHashMap::default(),
             actions: Vec::new(),
@@ -156,9 +157,9 @@ impl TapCensor {
         let cursor = self
             .cursors
             .entry((flow_ctx.key, flow_ctx.direction))
-            .or_default();
+            .or_insert(DFA_START);
         let mut hits: Vec<usize> = Vec::new();
-        self.keywords.feed(cursor, tail, |idx| {
+        self.keywords.feed(cursor, tail, |idx, _end| {
             if !hits.contains(&idx) {
                 hits.push(idx);
             }

@@ -1,12 +1,20 @@
 //! Aho–Corasick multi-pattern string matching, implemented from scratch.
 //!
-//! This is the engine's *fast pattern matcher*: one automaton over the
-//! distinguishing content of every rule lets a single pass over a payload
-//! shortlist the rules worth full evaluation, which is how Snort scales to
-//! large subscription rulesets.
+//! A *fast pattern matcher*: one automaton over the distinguishing
+//! content of every rule lets a single pass over a payload shortlist the
+//! rules worth full evaluation, which is how Snort scales to large
+//! subscription rulesets.
 //!
 //! Supports per-pattern case-insensitivity by folding input bytes during the
 //! scan for insensitive patterns (two automata: sensitive and folded).
+//!
+//! This module is the **reference implementation** (plus the
+//! [`find_sub`] substring helper used by rule verification). The
+//! detection engine's and tap censor's hot paths run
+//! [`crate::dfa::PrefilterDfa`] instead — the same automaton flattened
+//! into a dense byte-classed DFA with a blocked skip loop, roughly an
+//! order of magnitude faster (see `DESIGN.md` §12); its oracle tests
+//! check it against the naive semantics this module also embodies.
 
 use std::collections::VecDeque;
 

@@ -2,23 +2,38 @@
 //! streams.
 //!
 //! Architecture mirrors Snort's: a multi-pattern *fast pattern* prefilter
-//! (one Aho–Corasick automaton over each rule's first positive content)
-//! shortlists candidate rules per packet; candidates are then verified
-//! against all header and payload predicates. `pass` rules suppress the
-//! packet entirely (Snort's pass-over-alert ordering). `flow`-qualified
-//! rules match against the reassembled stream rather than the single
-//! segment, with per-flow alert dedup so a keyword firing once does not
-//! re-fire on every later segment of the same flow.
+//! (a dense byte-classed DFA, [`crate::dfa`], over each rule's first
+//! positive content — pass rules included) shortlists candidate rules per
+//! packet; rules with no usable fast pattern are bucketed by protocol and
+//! destination port so header predicates cull them before any payload
+//! work. Candidates are then verified against all header and payload
+//! predicates. `pass` rules suppress the packet entirely (Snort's
+//! pass-over-alert ordering). `flow`-qualified rules match against the
+//! reassembled stream rather than the single segment, with per-flow alert
+//! dedup so a keyword firing once does not re-fire on every later segment
+//! of the same flow.
+//!
+//! The hot path makes no per-packet allocations: the candidate shortlist
+//! is an engine-owned epoch-stamped set ([`CandidateSet`]) — inserting is
+//! a stamp compare, clearing is an epoch bump — sorted before evaluation
+//! so rule order (and alert output) is deterministic.
 //!
 //! Stream matching is incremental: each flow direction carries a
-//! persistent [`AcStreamState`] cursor into the prefilter automaton, and
-//! each in-order segment feeds only its *new* bytes — keywords straddling
-//! segment boundaries are still found, without rescanning the buffered
-//! window on every packet (the seed rescanned the full direction buffer,
-//! and cloned it into the flow context, per segment). Candidate rules are
-//! then verified against the borrowed window from
-//! [`StreamReassembler::stream_of`]. Per-flow matcher and dedup state is
-//! dropped in lockstep with reassembler teardowns, so engine memory is
+//! persistent `u32` DFA cursor, and each in-order segment feeds only its
+//! *new* bytes — keywords straddling segment boundaries are still found,
+//! without rescanning the buffered window on every packet. A stream
+//! rule whose fast pattern has appeared joins the direction's `seen`
+//! list, which holds only rules that can still fire: a rule is *retired*
+//! the moment its sid enters the per-flow dedup set, and the dedup check
+//! runs *before* evaluation, so an already-alerted flow stops paying full
+//! window scans per segment (the earlier design re-verified the whole
+//! growing window on every later segment — O(window × segments)).
+//!
+//! The prefilter DFA is case-folded; hits for case-*sensitive* fast
+//! patterns are confirmed against the exact bytes at the match offset
+//! before a rule becomes a candidate, so candidate sets match what the
+//! two-automata Aho–Corasick produced. Per-flow matcher and dedup state
+//! is dropped in lockstep with reassembler teardowns, so engine memory is
 //! bounded by live flows. One consequence of teardown-before-evaluation:
 //! a stream rule can no longer fire on the RST segment itself — by then
 //! the buffer is gone, which is precisely the monitor blindness the
@@ -28,13 +43,13 @@ use std::net::Ipv4Addr;
 
 use underradar_netsim::hash::FxHashMap;
 
-use underradar_netsim::packet::Packet;
+use underradar_netsim::packet::{Packet, PacketBody};
 use underradar_netsim::telemetry::{TraceRecord, Tracer};
 use underradar_netsim::time::{SimDuration, SimTime};
 
-use crate::aho::{AcStreamState, AhoCorasick};
 use crate::alert::{Alert, AlertLog};
-use crate::rule::{FlowOption, Rule, RuleAction, ThresholdKind};
+use crate::dfa::{PrefilterDfa, DFA_START};
+use crate::rule::{FlowOption, PortSpec, Proto, Rule, RuleAction, ThresholdKind};
 use crate::stream::{Direction, FlowContext, FlowKey, StreamReassembler};
 
 /// Engine statistics.
@@ -42,13 +57,15 @@ use crate::stream::{Direction, FlowContext, FlowKey, StreamReassembler};
 pub struct EngineStats {
     /// Packets processed.
     pub packets: u64,
-    /// Rules fully evaluated (post-prefilter).
+    /// Alert/log rules fully evaluated (post-prefilter, post-dedup).
     pub evaluations: u64,
     /// Alerts raised.
     pub alerts: u64,
     /// Packets suppressed by `pass` rules.
     pub passed: u64,
-    /// Bytes fed through the Aho–Corasick prefilter (per-packet scans plus
+    /// Pass rules fully evaluated (post-prefilter/grouping).
+    pub pass_evaluations: u64,
+    /// Bytes fed through the fast-pattern prefilter (per-packet scans plus
     /// incremental stream cursor feeds).
     pub ac_bytes_scanned: u64,
 }
@@ -60,31 +77,167 @@ struct ThresholdState {
     alerted_in_window: u32,
 }
 
-/// Per-flow-direction incremental match state: the automaton cursor plus
-/// the rules whose fast pattern has appeared anywhere in the stream.
-#[derive(Debug, Default)]
+/// Per-flow-direction incremental match state: the DFA cursor plus the
+/// stream rules whose fast pattern has appeared and that can still fire
+/// (sorted by rule index; retired on per-flow alert dedup).
+#[derive(Debug)]
 struct StreamMatchState {
-    ac: AcStreamState,
-    seen: Vec<usize>,
+    cursor: u32,
+    seen: Vec<u32>,
+}
+
+impl Default for StreamMatchState {
+    fn default() -> StreamMatchState {
+        StreamMatchState {
+            cursor: DFA_START,
+            seen: Vec::new(),
+        }
+    }
+}
+
+/// One prefilter pattern's bookkeeping: the rule it shortlists and, for
+/// case-sensitive patterns, the exact bytes to confirm (the DFA itself
+/// matches case-folded).
+#[derive(Debug)]
+struct PatternMeta {
+    rule: u32,
+    exact: Option<Vec<u8>>,
+}
+
+/// Rules with no usable fast pattern, bucketed by the header predicates
+/// that are cheap to key on: protocol and (for TCP/UDP with literal
+/// destination ports) the destination port. A packet pulls one port
+/// bucket plus its protocol's generic list instead of evaluating every
+/// unfiltered rule.
+#[derive(Debug, Default)]
+struct RuleGroups {
+    tcp_by_port: FxHashMap<u16, Vec<u32>>,
+    udp_by_port: FxHashMap<u16, Vec<u32>>,
+    /// TCP rules whose destination port is not a literal (any/range/not)
+    /// or that are bidirectional.
+    tcp_any: Vec<u32>,
+    udp_any: Vec<u32>,
+    /// Rules that can match a portless ICMP packet.
+    icmp: Vec<u32>,
+    /// Rules that can match a raw (unhandled-protocol) packet: `ip` rules
+    /// whose port predicates admit "no port".
+    raw: Vec<u32>,
+}
+
+impl RuleGroups {
+    fn add(&mut self, idx: u32, rule: &Rule) {
+        // A packet with no ports (ICMP/raw) satisfies a port predicate
+        // only if the spec admits `None`; evaluate that exactly rather
+        // than enumerating spec shapes.
+        let portless_ok = rule.src_port.matches(None) && rule.dst_port.matches(None);
+        let tcp = matches!(rule.proto, Proto::Tcp | Proto::Ip);
+        let udp = matches!(rule.proto, Proto::Udp | Proto::Ip);
+        if tcp {
+            Self::add_ported(&mut self.tcp_by_port, &mut self.tcp_any, idx, rule);
+        }
+        if udp {
+            Self::add_ported(&mut self.udp_by_port, &mut self.udp_any, idx, rule);
+        }
+        if matches!(rule.proto, Proto::Icmp | Proto::Ip) && portless_ok {
+            self.icmp.push(idx);
+        }
+        if rule.proto == Proto::Ip && portless_ok {
+            self.raw.push(idx);
+        }
+    }
+
+    fn add_ported(
+        by_port: &mut FxHashMap<u16, Vec<u32>>,
+        any: &mut Vec<u32>,
+        idx: u32,
+        rule: &Rule,
+    ) {
+        if rule.bidirectional {
+            // Reverse-direction matching keys on the *source* port spec;
+            // keep it out of the port buckets.
+            any.push(idx);
+            return;
+        }
+        match &rule.dst_port {
+            PortSpec::One(p) => by_port.entry(*p).or_default().push(idx),
+            PortSpec::List(ps) => {
+                for p in ps {
+                    let bucket = by_port.entry(*p).or_default();
+                    if bucket.last() != Some(&idx) {
+                        bucket.push(idx);
+                    }
+                }
+            }
+            _ => any.push(idx),
+        }
+    }
+
+    /// The (port bucket, generic list) pair this packet can match.
+    fn buckets(&self, packet: &Packet) -> (Option<&Vec<u32>>, &Vec<u32>) {
+        let port = packet.dst_port();
+        match &packet.body {
+            PacketBody::Tcp(_) => (port.and_then(|p| self.tcp_by_port.get(&p)), &self.tcp_any),
+            PacketBody::Udp(_) => (port.and_then(|p| self.udp_by_port.get(&p)), &self.udp_any),
+            PacketBody::Icmp(_) => (None, &self.icmp),
+            PacketBody::Raw { .. } => (None, &self.raw),
+        }
+    }
+}
+
+/// A reusable epoch-stamped rule-index set: `insert` is O(1) with no
+/// allocation in steady state, `begin` clears by bumping the epoch.
+#[derive(Debug, Default)]
+struct CandidateSet {
+    epoch: u64,
+    stamp: Vec<u64>,
+    list: Vec<u32>,
+}
+
+impl CandidateSet {
+    fn with_universe(n: usize) -> CandidateSet {
+        CandidateSet {
+            epoch: 0,
+            stamp: vec![0; n],
+            list: Vec::with_capacity(n.min(64)),
+        }
+    }
+
+    fn begin(&mut self) {
+        self.epoch += 1;
+        self.list.clear();
+    }
+
+    #[inline]
+    fn insert(&mut self, idx: u32) {
+        let slot = &mut self.stamp[idx as usize];
+        if *slot != self.epoch {
+            *slot = self.epoch;
+            self.list.push(idx);
+        }
+    }
 }
 
 /// A Snort-like detection engine over a fixed ruleset.
 pub struct DetectionEngine {
     rules: Vec<Rule>,
-    /// Prefilter automaton over fast patterns; `prefilter_rule[i]` is the
-    /// rule index for automaton pattern `i`.
-    prefilter: AhoCorasick,
-    prefilter_rule: Vec<usize>,
-    /// Rules with no usable fast pattern: always evaluated.
-    unfiltered: Vec<usize>,
-    /// Indexes of pass rules (checked first).
-    pass_rules: Vec<usize>,
+    /// Fast-pattern prefilter over every rule with a usable fast pattern —
+    /// alert *and* pass; `patterns[i]` describes automaton pattern `i`.
+    prefilter: PrefilterDfa,
+    patterns: Vec<PatternMeta>,
+    /// Rules with no usable fast pattern, culled by proto/port grouping.
+    groups: RuleGroups,
+    /// `rule.flow` non-empty (matches the reassembled stream).
+    is_stream: Vec<bool>,
+    /// `rule.action == Pass`.
+    is_pass: Vec<bool>,
     reassembler: StreamReassembler,
     thresholds: FxHashMap<(u32, Ipv4Addr), ThresholdState>,
     /// Incremental prefilter state per live flow direction.
     flow_streams: FxHashMap<(FlowKey, Direction), StreamMatchState>,
     /// Stream-rule dedup: sids already alerted per live flow.
     flow_alerted: FxHashMap<FlowKey, Vec<u32>>,
+    /// Reused per-packet candidate shortlist (no per-packet allocation).
+    candidates: CandidateSet,
     log: AlertLog,
     stats: EngineStats,
     /// Flight recorder for rule-match decisions; disabled by default.
@@ -94,30 +247,34 @@ pub struct DetectionEngine {
 impl DetectionEngine {
     /// Compile an engine from a ruleset.
     pub fn new(rules: Vec<Rule>) -> DetectionEngine {
+        let mut folded: Vec<Vec<u8>> = Vec::new();
         let mut patterns = Vec::new();
-        let mut prefilter_rule = Vec::new();
-        let mut unfiltered = Vec::new();
-        let mut pass_rules = Vec::new();
+        let mut groups = RuleGroups::default();
+        let mut is_stream = vec![false; rules.len()];
+        let mut is_pass = vec![false; rules.len()];
         for (idx, rule) in rules.iter().enumerate() {
-            if rule.action == RuleAction::Pass {
-                pass_rules.push(idx);
-                continue;
-            }
+            is_stream[idx] = !rule.flow.is_empty();
+            is_pass[idx] = rule.action == RuleAction::Pass;
             match rule.fast_pattern() {
                 Some(c) => {
-                    patterns.push((c.pattern.clone(), c.nocase));
-                    prefilter_rule.push(idx);
+                    folded.push(c.pattern.to_ascii_lowercase());
+                    patterns.push(PatternMeta {
+                        rule: idx as u32,
+                        exact: (!c.nocase).then(|| c.pattern.clone()),
+                    });
                 }
-                None => unfiltered.push(idx),
+                None => groups.add(idx as u32, rule),
             }
         }
         let mut reassembler = StreamReassembler::new();
         reassembler.track_removals(true);
         DetectionEngine {
-            prefilter: AhoCorasick::new(&patterns),
-            prefilter_rule,
-            unfiltered,
-            pass_rules,
+            prefilter: PrefilterDfa::new(&folded),
+            patterns,
+            groups,
+            is_stream,
+            is_pass,
+            candidates: CandidateSet::with_universe(rules.len()),
             rules,
             reassembler,
             thresholds: FxHashMap::default(),
@@ -162,6 +319,12 @@ impl DetectionEngine {
         self.flow_streams.len()
     }
 
+    /// Total stream rules currently pending across live flow directions
+    /// (introspection: bounded growth is the point of seen-retirement).
+    pub fn pending_stream_rules(&self) -> usize {
+        self.flow_streams.values().map(|s| s.seen.len()).sum()
+    }
+
     /// The compiled rules.
     pub fn rules(&self) -> &[Rule] {
         &self.rules
@@ -180,7 +343,16 @@ impl DetectionEngine {
         tel.set_counter(&format!("{prefix}.evaluations"), s.evaluations);
         tel.set_counter(&format!("{prefix}.alerts"), s.alerts);
         tel.set_counter(&format!("{prefix}.passed"), s.passed);
+        tel.set_counter(&format!("{prefix}.pass_evaluations"), s.pass_evaluations);
         tel.set_counter(&format!("{prefix}.ac_bytes_scanned"), s.ac_bytes_scanned);
+        tel.set_gauge(
+            &format!("{prefix}.prefilter.patterns"),
+            self.prefilter.pattern_count() as i64,
+        );
+        tel.set_gauge(
+            &format!("{prefix}.prefilter.states"),
+            self.prefilter.state_count() as i64,
+        );
         let r = self.reassembler.stats();
         tel.set_counter(&format!("{prefix}.flows.created"), r.flows_created);
         tel.set_counter(&format!("{prefix}.flows.evicted"), r.evicted);
@@ -229,16 +401,48 @@ impl DetectionEngine {
                 let view = self.reassembler.stream_of(&ctx.key, ctx.direction);
                 let tail = &view[view.len() - ctx.new_bytes.min(view.len())..];
                 self.stats.ac_bytes_scanned += tail.len() as u64;
+                let base = view.len() - tail.len();
                 let st = self
                     .flow_streams
                     .entry((ctx.key, ctx.direction))
                     .or_default();
-                let StreamMatchState { ac, seen } = st;
-                let prefilter_rule = &self.prefilter_rule;
-                self.prefilter.feed(ac, tail, |p| {
-                    let rule_idx = prefilter_rule[p];
-                    if !seen.contains(&rule_idx) {
-                        seen.push(rule_idx);
+                let patterns = &self.patterns;
+                let is_stream = &self.is_stream;
+                let is_pass = &self.is_pass;
+                let rules = &self.rules;
+                let alerted = self.flow_alerted.get(&ctx.key);
+                let StreamMatchState { cursor, seen } = st;
+                self.prefilter.feed(cursor, tail, |pat, end| {
+                    let m = &patterns[pat];
+                    let idx = m.rule as usize;
+                    if !is_stream[idx] {
+                        return;
+                    }
+                    // Case-sensitive patterns: confirm the exact bytes in
+                    // the window (the DFA matched case-folded). If the
+                    // window no longer reaches back to the match start
+                    // (front-trimmed), admit it — over-admission only adds
+                    // a candidate that full verification rejects.
+                    if let Some(exact) = &m.exact {
+                        let end_abs = base + end;
+                        if let Some(start) = end_abs.checked_sub(exact.len()) {
+                            if &view[start..end_abs] != exact.as_slice() {
+                                return;
+                            }
+                        }
+                    }
+                    // Already-alerted rules can never fire again on this
+                    // flow; keep them out of `seen` so they stop costing
+                    // anything per segment.
+                    if !is_pass[idx] {
+                        if let Some(sids) = alerted {
+                            if sids.contains(&rules[idx].sid) {
+                                return;
+                            }
+                        }
+                    }
+                    if let Err(pos) = seen.binary_search(&m.rule) {
+                        seen.insert(pos, m.rule);
                     }
                 });
             }
@@ -256,8 +460,51 @@ impl DetectionEngine {
             None => &[],
         };
 
+        // Candidate shortlist: prefilter over this packet's payload, stream
+        // rules whose fast pattern has appeared in the flow (incremental),
+        // and the proto/port groups for patternless rules. Sorted so rules
+        // evaluate in rule order — alert output is order-deterministic.
+        self.stats.ac_bytes_scanned += payload.len() as u64;
+        self.candidates.begin();
+        {
+            let patterns = &self.patterns;
+            let cand = &mut self.candidates;
+            self.prefilter.scan(payload, |pat, end| {
+                let m = &patterns[pat];
+                if let Some(exact) = &m.exact {
+                    let start = end - exact.len();
+                    if &payload[start..end] != exact.as_slice() {
+                        return;
+                    }
+                }
+                cand.insert(m.rule);
+            });
+            if let Some(ctx) = &flow_ctx {
+                if let Some(st) = self.flow_streams.get(&(ctx.key, ctx.direction)) {
+                    for &idx in &st.seen {
+                        cand.insert(idx);
+                    }
+                }
+            }
+            let (ported, generic) = self.groups.buckets(packet);
+            if let Some(bucket) = ported {
+                for &idx in bucket {
+                    cand.insert(idx);
+                }
+            }
+            for &idx in generic {
+                cand.insert(idx);
+            }
+        }
+        self.candidates.list.sort_unstable();
+
         // Pass rules win over everything.
-        for &idx in &self.pass_rules {
+        for i in 0..self.candidates.list.len() {
+            let idx = self.candidates.list[i] as usize;
+            if !self.is_pass[idx] {
+                continue;
+            }
+            self.stats.pass_evaluations += 1;
             let rule = &self.rules[idx];
             if Self::rule_matches(rule, packet, flow_ctx.as_ref(), stream) {
                 self.stats.passed += 1;
@@ -265,40 +512,41 @@ impl DetectionEngine {
             }
         }
 
-        // Candidate set: prefilter over this packet's payload, rules whose
-        // fast pattern has appeared in the flow's stream (incremental), and
-        // rules with no fast pattern.
-        self.stats.ac_bytes_scanned += payload.len() as u64;
-        let mut candidates: Vec<usize> = self
-            .prefilter
-            .matching_patterns(payload)
-            .into_iter()
-            .map(|p| self.prefilter_rule[p])
-            .collect();
-        if let Some(ctx) = &flow_ctx {
-            if let Some(st) = self.flow_streams.get(&(ctx.key, ctx.direction)) {
-                candidates.extend_from_slice(&st.seen);
-            }
-        }
-        candidates.extend_from_slice(&self.unfiltered);
-        candidates.sort_unstable();
-        candidates.dedup();
-
         let mut fired = Vec::new();
-        for idx in candidates {
-            self.stats.evaluations += 1;
+        for i in 0..self.candidates.list.len() {
+            let idx = self.candidates.list[i] as usize;
+            if self.is_pass[idx] {
+                continue;
+            }
             let rule = &self.rules[idx];
+            // Per-flow dedup for stream-matched rules, checked *before*
+            // evaluation: an already-alerted flow must not pay a full
+            // stream scan per segment.
+            if self.is_stream[idx] {
+                if let Some(ctx) = &flow_ctx {
+                    if let Some(sids) = self.flow_alerted.get(&ctx.key) {
+                        if sids.contains(&rule.sid) {
+                            continue;
+                        }
+                    }
+                }
+            }
+            self.stats.evaluations += 1;
             if !Self::rule_matches(rule, packet, flow_ctx.as_ref(), stream) {
                 continue;
             }
-            // Per-flow dedup for stream-matched rules.
-            if !rule.flow.is_empty() {
+            if self.is_stream[idx] {
                 if let Some(ctx) = &flow_ctx {
-                    let sids = self.flow_alerted.entry(ctx.key).or_default();
-                    if sids.contains(&rule.sid) {
-                        continue;
+                    self.flow_alerted.entry(ctx.key).or_default().push(rule.sid);
+                    // Retire the rule from both directions' pending lists:
+                    // it can never fire again on this flow.
+                    for dir in [Direction::ToServer, Direction::ToClient] {
+                        if let Some(st) = self.flow_streams.get_mut(&(ctx.key, dir)) {
+                            if let Ok(pos) = st.seen.binary_search(&(idx as u32)) {
+                                st.seen.remove(pos);
+                            }
+                        }
                     }
-                    sids.push(rule.sid);
                 }
             }
             // Threshold suppression.
@@ -348,16 +596,20 @@ impl DetectionEngine {
             };
             self.stats.alerts += 1;
             if self.tracer.is_live() {
-                // Byte offset of the matched fast pattern within the
-                // buffered stream window (the window search is paid only
-                // while tracing).
+                // Byte offset of the matched fast pattern — within the
+                // buffered stream window for stream rules, the packet
+                // payload otherwise (the search is paid only while
+                // tracing). Case sensitivity follows the content's
+                // `nocase` modifier.
                 let offset = rule
                     .fast_pattern()
                     .and_then(|c| {
-                        let needle: &[u8] = &c.pattern;
-                        stream
-                            .windows(needle.len().max(1))
-                            .position(|w| w.eq_ignore_ascii_case(needle))
+                        let hay: &[u8] = if rule.flow.is_empty() {
+                            payload
+                        } else {
+                            stream
+                        };
+                        crate::aho::find_sub(hay, &c.pattern, c.nocase, 0)
                     })
                     .unwrap_or(0) as u64;
                 self.tracer.record(TraceRecord {
@@ -426,6 +678,17 @@ mod tests {
         SimTime::ZERO + SimDuration::from_secs(secs)
     }
 
+    /// Three-way handshake on `C:4000 -> S:80`; returns the next seq.
+    fn handshake(e: &mut DetectionEngine) -> u32 {
+        let syn = Packet::tcp(C, S, 4000, 80, 100, 0, TcpFlags::syn(), vec![]);
+        let syn_ack = Packet::tcp(S, C, 80, 4000, 500, 101, TcpFlags::syn_ack(), vec![]);
+        let ack = Packet::tcp(C, S, 4000, 80, 101, 501, TcpFlags::ack(), vec![]);
+        assert!(e.process(t(0), &syn).is_empty());
+        assert!(e.process(t(0), &syn_ack).is_empty());
+        assert!(e.process(t(0), &ack).is_empty());
+        101
+    }
+
     #[test]
     fn keyword_rule_fires_on_packet_payload() {
         let mut e =
@@ -457,17 +720,27 @@ mod tests {
     }
 
     #[test]
+    fn case_sensitive_prefilter_hit_requires_exact_bytes() {
+        // The DFA matches case-folded; the engine must confirm exact bytes
+        // for case-sensitive patterns before evaluating the rule at all.
+        let mut e = engine(r#"alert tcp any any -> any 80 (msg:"cs"; content:"Falun"; sid:2;)"#);
+        let wrong = Packet::tcp(C, S, 1, 80, 0, 0, TcpFlags::psh_ack(), b"FALUN".to_vec());
+        assert!(e.process(t(0), &wrong).is_empty());
+        assert_eq!(
+            e.stats().evaluations,
+            0,
+            "folded-only occurrence never becomes a candidate"
+        );
+        let right = Packet::tcp(C, S, 1, 80, 0, 0, TcpFlags::psh_ack(), b"Falun".to_vec());
+        assert_eq!(e.process(t(0), &right).len(), 1);
+    }
+
+    #[test]
     fn stream_rule_catches_split_keyword() {
         let mut e = engine(
             r#"alert tcp any any -> any 80 (msg:"kw-stream"; flow:established,to_server; content:"falun"; sid:2;)"#,
         );
-        // Handshake.
-        let syn = Packet::tcp(C, S, 4000, 80, 100, 0, TcpFlags::syn(), vec![]);
-        let syn_ack = Packet::tcp(S, C, 80, 4000, 500, 101, TcpFlags::syn_ack(), vec![]);
-        let ack = Packet::tcp(C, S, 4000, 80, 101, 501, TcpFlags::ack(), vec![]);
-        assert!(e.process(t(0), &syn).is_empty());
-        assert!(e.process(t(0), &syn_ack).is_empty());
-        assert!(e.process(t(0), &ack).is_empty());
+        handshake(&mut e);
         // Keyword split across two segments: per-segment matching cannot
         // see it, stream matching can.
         let d1 = Packet::tcp(
@@ -508,6 +781,37 @@ mod tests {
     }
 
     #[test]
+    fn dedup_skips_evaluation_after_first_alert() {
+        // The quadratic-flow regression test: after a stream rule alerts,
+        // later segments must not re-evaluate it — no per-segment scan of
+        // the growing window, even when the keyword keeps appearing.
+        let mut e = engine(
+            r#"alert tcp any any -> any 80 (msg:"kw-stream"; flow:established,to_server; content:"falun"; sid:70;)"#,
+        );
+        let mut seq = handshake(&mut e);
+        let hit = b"falun ".to_vec();
+        let first = Packet::tcp(C, S, 4000, 80, seq, 501, TcpFlags::psh_ack(), hit.clone());
+        seq += hit.len() as u32;
+        assert_eq!(e.process(t(0), &first).len(), 1);
+        let after_alert = e.stats().evaluations;
+        assert_eq!(
+            e.pending_stream_rules(),
+            0,
+            "alerted rule retired from the pending list"
+        );
+        for _ in 0..1000 {
+            let d = Packet::tcp(C, S, 4000, 80, seq, 501, TcpFlags::psh_ack(), hit.clone());
+            seq += hit.len() as u32;
+            assert!(e.process(t(0), &d).is_empty());
+        }
+        assert_eq!(
+            e.stats().evaluations,
+            after_alert,
+            "evaluations flat across 1000 post-alert segments"
+        );
+    }
+
+    #[test]
     fn established_required_rule_ignores_bare_segments() {
         let mut e = engine(
             r#"alert tcp any any -> any 80 (msg:"est"; flow:established; content:"x"; sid:3;)"#,
@@ -537,6 +841,86 @@ mod tests {
             b"falun".to_vec(),
         );
         assert_eq!(e.process(t(0), &other).len(), 1);
+    }
+
+    #[test]
+    fn pass_rules_with_content_are_prefiltered() {
+        // 50 pass rules with distinct content predicates must cost nothing
+        // on innocuous traffic: their patterns ride the same prefilter scan
+        // (ac_bytes_scanned is rule-count-independent) and none is
+        // evaluated unless its pattern appears.
+        let mut text = String::new();
+        for i in 0..50 {
+            text.push_str(&format!(
+                "pass tcp any any -> any any (msg:\"ok{i}\"; content:\"allowlisted-{i}-end\"; sid:{};)\n",
+                200 + i
+            ));
+        }
+        text.push_str("alert tcp any any -> any 80 (msg:\"kw\"; content:\"falun\"; sid:300;)\n");
+        let mut e = engine(&text);
+        let innocuous = Packet::tcp(C, S, 1, 80, 0, 0, TcpFlags::psh_ack(), b"plain".to_vec());
+        for _ in 0..10 {
+            assert!(e.process(t(0), &innocuous).is_empty());
+        }
+        assert_eq!(
+            e.stats().pass_evaluations,
+            0,
+            "no pass rule evaluated without its pattern appearing"
+        );
+        // 10 per-packet payload scans plus one stream feed (only the first
+        // segment appends; the rest are duplicates): rule-count-free.
+        assert_eq!(
+            e.stats().ac_bytes_scanned,
+            11 * b"plain".len() as u64,
+            "prefilter cost is payload bytes, independent of rule count"
+        );
+        // A matching pass pattern still suppresses.
+        let allow = Packet::tcp(
+            C,
+            S,
+            1,
+            80,
+            0,
+            0,
+            TcpFlags::psh_ack(),
+            b"falun allowlisted-7-end".to_vec(),
+        );
+        assert!(e.process(t(0), &allow).is_empty());
+        assert_eq!(e.stats().passed, 1);
+        assert_eq!(e.stats().pass_evaluations, 1);
+    }
+
+    #[test]
+    fn patternless_rules_grouped_by_port() {
+        let mut e = engine(
+            "alert tcp any any -> any 80 (msg:\"http\"; sid:80;)\n\
+             alert tcp any any -> any 443 (msg:\"tls\"; sid:81;)",
+        );
+        let to81 = Packet::tcp(C, S, 1, 81, 0, 0, TcpFlags::psh_ack(), b"x".to_vec());
+        assert!(e.process(t(0), &to81).is_empty());
+        assert_eq!(
+            e.stats().evaluations,
+            0,
+            "wrong-port packet pulls no bucket"
+        );
+        let to80 = Packet::tcp(C, S, 1, 80, 0, 0, TcpFlags::psh_ack(), b"x".to_vec());
+        assert_eq!(e.process(t(0), &to80)[0].sid, 80);
+        assert_eq!(e.stats().evaluations, 1, "only the port-80 bucket ran");
+    }
+
+    #[test]
+    fn port_constrained_rule_cannot_match_portless_packet() {
+        // An icmp rule with a literal port predicate can never match (ICMP
+        // has no ports); the groups cull it before evaluation.
+        let mut e = engine(r#"alert icmp any any -> any 80 (msg:"impossible"; sid:82;)"#);
+        let ping = Packet::icmp(
+            C,
+            S,
+            underradar_netsim::wire::icmp::IcmpKind::EchoRequest { ident: 1, seq: 1 },
+            vec![],
+        );
+        assert!(e.process(t(0), &ping).is_empty());
+        assert_eq!(e.stats().evaluations, 0);
     }
 
     #[test]
@@ -656,6 +1040,22 @@ mod tests {
     }
 
     #[test]
+    fn ip_rule_matches_raw_protocol_packet() {
+        let mut e = engine(r#"alert ip any any -> any any (msg:"any ip"; sid:42;)"#);
+        let raw = Packet {
+            src: C,
+            dst: S,
+            ttl: 64,
+            ident: 7,
+            body: PacketBody::Raw {
+                protocol: 99,
+                payload: b"p2p-chunk".to_vec(),
+            },
+        };
+        assert_eq!(e.process(t(0), &raw)[0].sid, 42);
+    }
+
+    #[test]
     fn negated_content_rule() {
         let mut e = engine(
             r#"alert tcp any any -> any 80 (msg:"no host header"; content:"GET "; content:!"Host:"; sid:50;)"#,
@@ -689,12 +1089,7 @@ mod tests {
         let mut e = engine(
             r#"alert tcp any any -> any 80 (msg:"kw-stream"; flow:established,to_server; content:"falun"; sid:60;)"#,
         );
-        let syn = Packet::tcp(C, S, 4000, 80, 100, 0, TcpFlags::syn(), vec![]);
-        let syn_ack = Packet::tcp(S, C, 80, 4000, 500, 101, TcpFlags::syn_ack(), vec![]);
-        let ack = Packet::tcp(C, S, 4000, 80, 101, 501, TcpFlags::ack(), vec![]);
-        let _ = e.process(t(0), &syn);
-        let _ = e.process(t(0), &syn_ack);
-        let _ = e.process(t(0), &ack);
+        handshake(&mut e);
         let d = Packet::tcp(
             C,
             S,
@@ -745,14 +1140,8 @@ mod tests {
         let mut e = engine(
             r#"alert tcp any any -> any 80 (msg:"kw-stream"; flow:established,to_server; content:"falun"; sid:61;)"#,
         );
-        let syn = Packet::tcp(C, S, 4000, 80, 100, 0, TcpFlags::syn(), vec![]);
-        let syn_ack = Packet::tcp(S, C, 80, 4000, 500, 101, TcpFlags::syn_ack(), vec![]);
-        let ack = Packet::tcp(C, S, 4000, 80, 101, 501, TcpFlags::ack(), vec![]);
-        let _ = e.process(t(0), &syn);
-        let _ = e.process(t(0), &syn_ack);
-        let _ = e.process(t(0), &ack);
+        let mut seq = handshake(&mut e);
         let mut fired = 0;
-        let mut seq = 101u32;
         for b in b"xfalunx" {
             let d = Packet::tcp(C, S, 4000, 80, seq, 501, TcpFlags::psh_ack(), vec![*b]);
             fired += e.process(t(0), &d).len();
@@ -769,12 +1158,7 @@ mod tests {
         let mut e = engine(
             r#"alert tcp any any -> any 80 (msg:"kw-stream"; flow:established,to_server; content:"falun"; sid:62;)"#,
         );
-        let syn = Packet::tcp(C, S, 4000, 80, 100, 0, TcpFlags::syn(), vec![]);
-        let syn_ack = Packet::tcp(S, C, 80, 4000, 500, 101, TcpFlags::syn_ack(), vec![]);
-        let ack = Packet::tcp(C, S, 4000, 80, 101, 501, TcpFlags::ack(), vec![]);
-        let _ = e.process(t(0), &syn);
-        let _ = e.process(t(0), &syn_ack);
-        let _ = e.process(t(0), &ack);
+        handshake(&mut e);
         let late = Packet::tcp(
             C,
             S,
@@ -800,5 +1184,64 @@ mod tests {
         assert_eq!(alerts.len(), 1, "keyword found across reordered segments");
         assert_eq!(alerts[0].sid, 62);
         assert_eq!(e.reassembly_stats().ooo_held, 1);
+    }
+
+    #[test]
+    fn trace_offset_respects_case_sensitivity() {
+        // A case-sensitive rule whose pattern also appears earlier in the
+        // wrong case: the recorded offset must point at the exact-case
+        // occurrence (the old search used eq_ignore_ascii_case always).
+        let mut e = engine(
+            r#"alert tcp any any -> any 80 (msg:"cs-stream"; flow:established,to_server; content:"Falun"; sid:90;)"#,
+        );
+        let tracer = Tracer::with_capacity(16);
+        e.set_tracer(tracer.clone());
+        handshake(&mut e);
+        let d = Packet::tcp(
+            C,
+            S,
+            4000,
+            80,
+            101,
+            501,
+            TcpFlags::psh_ack(),
+            b"FALUN -- Falun".to_vec(),
+        );
+        assert_eq!(e.process(t(0), &d).len(), 1);
+        let rec = tracer
+            .records()
+            .into_iter()
+            .find(|r| r.kind == "rule_match")
+            .expect("rule_match traced");
+        assert_eq!(
+            rec.field_u64("offset"),
+            Some(9),
+            "offset names the exact-case occurrence, not the folded one"
+        );
+    }
+
+    #[test]
+    fn trace_offset_for_nocase_rule_finds_first_folded_occurrence() {
+        let mut e =
+            engine(r#"alert tcp any any -> any 80 (msg:"nc"; content:"falun"; nocase; sid:91;)"#);
+        let tracer = Tracer::with_capacity(16);
+        e.set_tracer(tracer.clone());
+        let d = Packet::tcp(
+            C,
+            S,
+            4000,
+            80,
+            0,
+            0,
+            TcpFlags::psh_ack(),
+            b"xx FALUN".to_vec(),
+        );
+        assert_eq!(e.process(t(0), &d).len(), 1);
+        let rec = tracer
+            .records()
+            .into_iter()
+            .find(|r| r.kind == "rule_match")
+            .expect("rule_match traced");
+        assert_eq!(rec.field_u64("offset"), Some(3));
     }
 }

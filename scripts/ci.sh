@@ -21,6 +21,12 @@ UNDERRADAR_TELEMETRY=1 cargo test --offline -q --workspace
 echo "==> full-scale churn acceptance (release-only sizing)"
 cargo test --offline --release -q -p underradar-ids --lib one_million_flow_churn
 
+echo "==> engine equivalence (grouped/DFA hot path vs reference semantics)"
+# Property-driven: random rulesets and packet schedules through the
+# production engine and a naive evaluate-everything reference; alert
+# output must be byte-identical (see crates/ids/tests/engine_equiv.rs).
+cargo test --offline --release -q -p underradar-ids --test engine_equiv
+
 echo "==> perf bench + snapshot schema (all acceptance bounds; BENCH_perf.json drift)"
 # The committed snapshot pins the bench *schema* — the set of quoted
 # strings (bench names + JSON keys); timings drift run to run and are
