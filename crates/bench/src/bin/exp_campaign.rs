@@ -25,13 +25,30 @@
 //!   would differ trivially).
 //! * `--profile` — print a wall-clock profile footer (prepare/run/score
 //!   stage timings) to stderr; stdout stays deterministic.
+//! * `--service` — run through the durable run service
+//!   (`underradar-runner`): work-stealing scheduling, streaming rows, and
+//!   (with `--checkpoint`) a crash-safe journal. The text report is
+//!   byte-identical to the plain engine's at any `--shards` value.
+//! * `--checkpoint PATH` — journal every completed trial to `PATH`
+//!   (implies `--service`). A killed run resumed with the same flags
+//!   skips journaled trials and produces byte-identical final output.
+//! * `--synthetic N` — replace the paper matrix with an `N`-trial
+//!   synthetic scale matrix (cheap scan trials; for million-trial
+//!   service runs).
+//! * `--jsonl` — emit one JSON row per trial. In service mode rows
+//!   stream the moment each trial completes (completion order; each row
+//!   carries its `index`); otherwise they print in index order after the
+//!   run.
+
+use std::path::PathBuf;
 
 use underradar_bench::cli::OutputMode;
-use underradar_bench::experiments::campaign::paper_campaign;
+use underradar_bench::experiments::campaign::{paper_campaign, synthetic_campaign};
 use underradar_bench::runner::StageClock;
 use underradar_campaign::engine;
 use underradar_campaign::report::CampaignReport;
 use underradar_campaign::spec::CampaignSpec;
+use underradar_runner::{run_service, JsonlSink, NullSink, RowSink, RunConfig};
 use underradar_telemetry::{trace, Telemetry, TraceRecord, DEFAULT_TRACE_CAPACITY};
 
 fn parse_shards(args: &[String]) -> usize {
@@ -48,6 +65,21 @@ fn parse_shards(args: &[String]) -> usize {
         }
     }
     shards.max(1)
+}
+
+/// The value following `--flag` (or inline `--flag=value`), when present.
+fn parse_value(args: &[String], flag: &str) -> Option<String> {
+    let inline = format!("{flag}=");
+    let mut it = args.iter();
+    let mut found = None;
+    while let Some(arg) = it.next() {
+        if arg == flag {
+            found = it.next().cloned();
+        } else if let Some(v) = arg.strip_prefix(&inline) {
+            found = Some(v.to_string());
+        }
+    }
+    found
 }
 
 /// `--trace-diff A B`: the two trial indices to diff, when present.
@@ -99,12 +131,89 @@ fn run_campaign(
     clock.time("run", || engine::run(spec, shards, tel))
 }
 
+/// Collects `(index, row)` pairs so service-mode `--json` can emit rows
+/// in index order even though they complete out of order.
+#[derive(Default)]
+struct IndexedSink {
+    rows: Vec<(usize, String)>,
+}
+
+impl RowSink for IndexedSink {
+    fn row(&mut self, result: &underradar_campaign::TrialResult) -> std::io::Result<()> {
+        self.rows.push((result.index, result.to_json_row()));
+        Ok(())
+    }
+}
+
+/// `--service`: the durable run path. Rows stream in completion order
+/// under `--jsonl`; every other mode's stdout is byte-identical to the
+/// plain engine's report for any `--shards` value.
+fn run_service_mode(spec: &CampaignSpec, cfg: &RunConfig, mode: OutputMode, clock: &StageClock) {
+    let run = |tel: &Telemetry, sink: &mut dyn RowSink| {
+        let outcome = clock
+            .time("run", || run_service(spec, cfg, tel, sink))
+            .unwrap_or_else(|e| {
+                eprintln!("service run failed: {e}");
+                std::process::exit(1);
+            });
+        eprintln!(
+            "service: {} executed, {} restored, {} resumed retries, {} journal bytes truncated",
+            outcome.executed, outcome.restored, outcome.resumed_retries, outcome.journal_truncated
+        );
+        outcome
+    };
+    match mode {
+        OutputMode::Text => {
+            let outcome = run(&Telemetry::disabled(), &mut NullSink);
+            print!("{}", clock.time("score", || outcome.report.render_text()));
+        }
+        OutputMode::TextWithTelemetry => {
+            let tel = Telemetry::enabled();
+            let outcome = run(&tel, &mut NullSink);
+            print!("{}", outcome.report.render_text());
+            println!("--- telemetry ---");
+            print!("{}", clock.time("score", || tel.snapshot().render_text()));
+        }
+        OutputMode::Json => {
+            let tel = Telemetry::enabled();
+            let mut sink = IndexedSink::default();
+            let outcome = run(&tel, &mut sink);
+            sink.rows.sort();
+            let rows: Vec<String> = sink.rows.into_iter().map(|(_, row)| row).collect();
+            println!(
+                "{{\"experiment\":\"campaign\",\"name\":\"{}\",\"trials\":[{}],\"telemetry\":{}}}",
+                outcome.report.name,
+                rows.join(","),
+                clock.time("score", || tel.snapshot().to_json())
+            );
+        }
+        OutputMode::Jsonl => {
+            let stdout = std::io::stdout();
+            let mut sink = JsonlSink::new(std::io::BufWriter::new(stdout.lock()));
+            run(&Telemetry::disabled(), &mut sink);
+        }
+        OutputMode::Trace => {
+            let tel = Telemetry::with_trace(DEFAULT_TRACE_CAPACITY);
+            let outcome = run(&tel, &mut NullSink);
+            let out = clock.time("score", || {
+                underradar_bench::cli::render_trace(&outcome.report.render_text(), &tel.snapshot())
+            });
+            print!("{out}");
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let shards = parse_shards(&args);
     let profile = args.iter().any(|a| a == "--profile");
+    let checkpoint = parse_value(&args, "--checkpoint").map(PathBuf::from);
+    let service = args.iter().any(|a| a == "--service") || checkpoint.is_some();
     let clock = StageClock::default();
-    let mut spec = clock.time("prepare", || paper_campaign(4));
+    let mut spec = clock.time("prepare", || match parse_value(&args, "--synthetic") {
+        Some(n) => synthetic_campaign(n.parse().expect("--synthetic needs a trial count")),
+        None => paper_campaign(4),
+    });
     if args.iter().any(|a| a == "--impair") {
         spec = spec.client_link_reorder(0.2).client_link_duplicate(0.1);
     }
@@ -112,34 +221,54 @@ fn main() {
         run_trace_diff(&spec, shards, a, b);
         return;
     }
-    match underradar_bench::cli::output_mode(args.iter().cloned()) {
-        OutputMode::Text => {
-            let report = run_campaign(&spec, shards, &Telemetry::disabled(), &clock);
-            print!("{}", clock.time("score", || report.render_text()));
+    let mode = underradar_bench::cli::output_mode(args.iter().cloned());
+    if service {
+        let mut cfg = RunConfig::new(shards);
+        if let Some(path) = checkpoint {
+            cfg = cfg.checkpoint(path);
         }
-        OutputMode::TextWithTelemetry => {
-            let tel = Telemetry::enabled();
-            let report = run_campaign(&spec, shards, &tel, &clock);
-            print!("{}", report.render_text());
-            println!("--- telemetry ---");
-            print!("{}", clock.time("score", || tel.snapshot().render_text()));
-        }
-        OutputMode::Json => {
-            let tel = Telemetry::enabled();
-            let report = run_campaign(&spec, shards, &tel, &clock);
-            println!(
-                "{{\"experiment\":\"campaign\",\"report\":{},\"telemetry\":{}}}",
-                report.to_json(),
-                clock.time("score", || tel.snapshot().to_json())
-            );
-        }
-        OutputMode::Trace => {
-            let tel = Telemetry::with_trace(DEFAULT_TRACE_CAPACITY);
-            let report = run_campaign(&spec, shards, &tel, &clock);
-            let out = clock.time("score", || {
-                underradar_bench::cli::render_trace(&report.render_text(), &tel.snapshot())
-            });
-            print!("{out}");
+        run_service_mode(&spec, &cfg, mode, &clock);
+    } else {
+        match mode {
+            OutputMode::Text => {
+                let report = run_campaign(&spec, shards, &Telemetry::disabled(), &clock);
+                print!("{}", clock.time("score", || report.render_text()));
+            }
+            OutputMode::TextWithTelemetry => {
+                let tel = Telemetry::enabled();
+                let report = run_campaign(&spec, shards, &tel, &clock);
+                print!("{}", report.render_text());
+                println!("--- telemetry ---");
+                print!("{}", clock.time("score", || tel.snapshot().render_text()));
+            }
+            OutputMode::Json => {
+                let tel = Telemetry::enabled();
+                let report = run_campaign(&spec, shards, &tel, &clock);
+                println!(
+                    "{{\"experiment\":\"campaign\",\"report\":{},\"telemetry\":{}}}",
+                    report.to_json(),
+                    clock.time("score", || tel.snapshot().to_json())
+                );
+            }
+            OutputMode::Jsonl => {
+                let report = run_campaign(&spec, shards, &Telemetry::disabled(), &clock);
+                let out = clock.time("score", || {
+                    report
+                        .trials
+                        .iter()
+                        .map(|t| t.to_json_row() + "\n")
+                        .collect::<String>()
+                });
+                print!("{out}");
+            }
+            OutputMode::Trace => {
+                let tel = Telemetry::with_trace(DEFAULT_TRACE_CAPACITY);
+                let report = run_campaign(&spec, shards, &tel, &clock);
+                let out = clock.time("score", || {
+                    underradar_bench::cli::render_trace(&report.render_text(), &tel.snapshot())
+                });
+                print!("{out}");
+            }
         }
     }
     if profile {

@@ -6,6 +6,9 @@
 //! * `--json` — run with telemetry enabled and print one JSON object
 //!   `{"experiment": .., "report": .., "telemetry": <registry>}` suitable
 //!   for piping into analysis tooling;
+//! * `--jsonl` — stream one JSON object per row: generic experiments emit
+//!   a row per report line plus a trailing telemetry row; campaign-backed
+//!   binaries emit true per-trial verdict rows;
 //! * `--telemetry` (or `UNDERRADAR_TELEMETRY=1`) — print the report
 //!   followed by the registry's text rendering;
 //! * `--trace` (or `UNDERRADAR_TRACE=1`) — run with the flight recorder
@@ -26,6 +29,11 @@ pub enum OutputMode {
     TextWithTelemetry,
     /// One JSON object carrying the report and the registry.
     Json,
+    /// One JSON object per row, streamed as rows complete. Campaign-backed
+    /// binaries emit true per-trial rows (`exp_campaign --service --jsonl`
+    /// streams them the moment each trial finishes); generic experiments
+    /// emit one row per report line plus a trailing telemetry row.
+    Jsonl,
     /// Report plus the flight-recorder trace (JSON lines) and the
     /// explainer's per-trial causal chains.
     Trace,
@@ -63,7 +71,10 @@ fn mode_from<I: IntoIterator<Item = String>>(
     for arg in args {
         match arg.as_str() {
             "--trace" => mode = OutputMode::Trace,
-            "--json" if mode != OutputMode::Trace => mode = OutputMode::Json,
+            "--jsonl" if mode != OutputMode::Trace => mode = OutputMode::Jsonl,
+            "--json" if !matches!(mode, OutputMode::Trace | OutputMode::Jsonl) => {
+                mode = OutputMode::Json
+            }
             "--telemetry" if mode == OutputMode::Text => mode = OutputMode::TextWithTelemetry,
             _ => {}
         }
@@ -86,6 +97,34 @@ pub fn render_json(name: &str, report: &str, registry: &underradar_telemetry::Re
     out
 }
 
+/// Render the `--jsonl` stream for a generic experiment: one JSON object
+/// per report line (self-describing, pipeline-friendly) followed by one
+/// telemetry object. Campaign-backed binaries emit true per-trial rows
+/// instead (see `exp_campaign`).
+pub fn render_jsonl(name: &str, report: &str, registry: &underradar_telemetry::Registry) -> String {
+    let mut out = String::new();
+    for (i, line) in report.lines().enumerate() {
+        out.push('{');
+        json::push_key(&mut out, "experiment");
+        json::push_str_value(&mut out, name);
+        out.push(',');
+        json::push_key(&mut out, "line");
+        out.push_str(&i.to_string());
+        out.push(',');
+        json::push_key(&mut out, "text");
+        json::push_str_value(&mut out, line);
+        out.push_str("}\n");
+    }
+    out.push('{');
+    json::push_key(&mut out, "experiment");
+    json::push_str_value(&mut out, name);
+    out.push(',');
+    json::push_key(&mut out, "telemetry");
+    out.push_str(&registry.to_json());
+    out.push_str("}\n");
+    out
+}
+
 /// The whole body of an `exp_*` binary.
 pub fn exp_main(name: &str, run: fn(&Telemetry) -> String) {
     match output_mode(std::env::args().skip(1)) {
@@ -103,6 +142,11 @@ pub fn exp_main(name: &str, run: fn(&Telemetry) -> String) {
             let tel = Telemetry::enabled();
             let report = run(&tel);
             println!("{}", render_json(name, &report, &tel.snapshot()));
+        }
+        OutputMode::Jsonl => {
+            let tel = Telemetry::enabled();
+            let report = run(&tel);
+            print!("{}", render_jsonl(name, &report, &tel.snapshot()));
         }
         OutputMode::Trace => {
             let tel = Telemetry::with_trace(DEFAULT_TRACE_CAPACITY);
@@ -143,6 +187,46 @@ mod tests {
             mode_from(None, None, args(&["--telemetry", "--json"])),
             OutputMode::Json
         );
+    }
+
+    #[test]
+    fn jsonl_flag_outranks_json_but_not_trace() {
+        assert_eq!(mode_from(None, None, args(&["--jsonl"])), OutputMode::Jsonl);
+        assert_eq!(
+            mode_from(None, None, args(&["--json", "--jsonl"])),
+            OutputMode::Jsonl
+        );
+        assert_eq!(
+            mode_from(None, None, args(&["--jsonl", "--json"])),
+            OutputMode::Jsonl
+        );
+        assert_eq!(
+            mode_from(None, None, args(&["--jsonl", "--trace"])),
+            OutputMode::Trace
+        );
+        assert_eq!(
+            mode_from(None, None, args(&["--trace", "--jsonl"])),
+            OutputMode::Trace
+        );
+    }
+
+    #[test]
+    fn jsonl_rendering_is_one_object_per_line_plus_telemetry() {
+        let tel = Telemetry::enabled();
+        tel.count("x", 2);
+        let out = render_jsonl("e00", "alpha\nbeta \"q\"\n", &tel.snapshot());
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(
+            lines[0],
+            "{\"experiment\":\"e00\",\"line\":0,\"text\":\"alpha\"}"
+        );
+        assert_eq!(
+            lines[1],
+            "{\"experiment\":\"e00\",\"line\":1,\"text\":\"beta \\\"q\\\"\"}"
+        );
+        assert!(lines[2].starts_with("{\"experiment\":\"e00\",\"telemetry\":{"));
+        assert!(lines[2].contains("\"counters\":{\"x\":2}"));
     }
 
     #[test]

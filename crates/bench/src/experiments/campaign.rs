@@ -47,6 +47,21 @@ pub fn paper_campaign(trials_per_cell: usize) -> CampaignSpec {
         .run_secs(180)
 }
 
+/// A synthetic scale matrix for service-mode stress runs: `trials` cheap
+/// SYN-scan trials of one policy column against one target. Each trial is
+/// a full deterministic testbed simulation, but the cheapest one we have,
+/// so million-trial campaigns (`exp_campaign --service --synthetic N`)
+/// finish in minutes while exercising the scheduler, journal, and
+/// streaming paths at population scale.
+pub fn synthetic_campaign(trials: usize) -> CampaignSpec {
+    CampaignSpec::new("synthetic-scale", 2015)
+        .target("twitter.com")
+        .method(MethodKind::Scan)
+        .policy(NamedPolicy::new("control", CensorPolicy::new()))
+        .trials_per_cell(trials)
+        .run_secs(20)
+}
+
 /// Run the paper campaign on `shards` workers and render the text view.
 pub fn run_with_shards(tel: &Telemetry, shards: usize) -> String {
     let spec = paper_campaign(4);
@@ -62,6 +77,12 @@ pub fn run_with(tel: &Telemetry) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn synthetic_campaign_scales_linearly_in_trials() {
+        assert_eq!(synthetic_campaign(1_000).trial_count(), 1_000);
+        assert_eq!(synthetic_campaign(3).trial_count(), 3);
+    }
 
     #[test]
     fn paper_campaign_is_at_least_500_trials_across_all_methods() {

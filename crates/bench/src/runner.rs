@@ -24,18 +24,13 @@ pub struct TrialSpec {
     pub seed: u64,
 }
 
-/// SplitMix64 — scrambles (master, index) into a well-mixed per-trial seed.
-fn splitmix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    let mut z = x;
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
-
-/// The seed trial `index` receives under `master_seed`.
+/// The seed trial `index` receives under `master_seed`. Derivation uses
+/// the workspace's single shared SplitMix64 finalizer
+/// ([`underradar_netsim::rng::splitmix64_mix`]) — the same function
+/// `campaign::seed` builds on — so the two paths cannot silently drift.
 pub fn trial_seed(master_seed: u64, index: usize) -> u64 {
-    splitmix64(master_seed ^ splitmix64(index as u64))
+    use underradar_netsim::rng::splitmix64_mix;
+    splitmix64_mix(master_seed ^ splitmix64_mix(index as u64))
 }
 
 /// Run `f` over every item on a shared pool of `std::thread` workers and
@@ -276,6 +271,21 @@ mod tests {
         assert_eq!(uniq.len(), a.len(), "trial seeds do not collide");
         let c = run_sharded(&items, 43, |_, spec| spec.seed);
         assert_ne!(a, c, "different master seed diverges");
+    }
+
+    #[test]
+    fn trial_seeds_agree_with_the_campaign_engine() {
+        // Both crates derive (master, index) seeds through the one shared
+        // splitmix64 finalizer; this pins that they stay byte-identical.
+        for master in [0u64, 1, 42, u64::MAX] {
+            for index in [0usize, 1, 7, 511, 1_000_000] {
+                assert_eq!(
+                    trial_seed(master, index),
+                    underradar_campaign::seed::trial_seed(master, index),
+                    "seed drift at ({master}, {index})"
+                );
+            }
+        }
     }
 
     #[test]

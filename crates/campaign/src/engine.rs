@@ -1,8 +1,14 @@
 //! The campaign engine: expands a [`CampaignSpec`] into trials, caches a
-//! built [`TestbedTemplate`] (and routed ruleset) per policy, shards
-//! trials across worker threads, retries `Inconclusive` verdicts with
-//! backoff in *simulated* time, and merges per-trial telemetry registries
-//! back into the caller's handle in trial-index order.
+//! built [`TestbedTemplate`] (and routed ruleset) per policy, schedules
+//! trials across worker threads with work stealing ([`crate::steal`]),
+//! retries `Inconclusive` verdicts with backoff in *simulated* time, and
+//! merges per-trial telemetry registries back into the caller's handle in
+//! trial-index order.
+//!
+//! The retry loop is split at attempt boundaries ([`run_trial_attempt`])
+//! so a durable run service (`underradar-runner`) can journal a retry
+//! decision — with the registry accumulated so far — and resume the trial
+//! at the exact attempt it was about to run.
 
 use underradar_censor::TapCensor;
 use underradar_core::methods::ddos::DdosProbe;
@@ -26,8 +32,8 @@ use underradar_telemetry::{FieldValue, Registry, Telemetry, TraceRecord};
 
 use crate::report::{CampaignReport, TrialResult};
 use crate::seed;
-use crate::shard;
 use crate::spec::{CampaignSpec, MethodKind, NamedPolicy, Trial};
+use crate::steal;
 
 /// UDP port hop probes aim at (classic traceroute base port).
 const HOP_PORT: u16 = 33434;
@@ -44,13 +50,16 @@ const DDOS_SAMPLES: usize = 20;
 /// template (zone + parsed IDS rules built once) and the routed-topology
 /// ruleset. All fields are `Send + Sync`, so worker threads borrow one
 /// prep instead of re-parsing rules per trial.
-struct PolicyPrep<'a> {
+pub struct PolicyPrep<'a> {
     named: &'a NamedPolicy,
     template: TestbedTemplate,
     routed_rules: Vec<Rule>,
 }
 
-fn prepare(spec: &CampaignSpec) -> Vec<PolicyPrep<'_>> {
+/// Build one [`PolicyPrep`] per policy column, in spec order. The vector
+/// is indexed by [`Trial::policy_idx`]; external drivers (the runner
+/// service) call this once and borrow the preps across worker threads.
+pub fn prepare(spec: &CampaignSpec) -> Vec<PolicyPrep<'_>> {
     let targets: Vec<TargetSite> = spec
         .targets
         .iter()
@@ -92,20 +101,22 @@ fn prepare(spec: &CampaignSpec) -> Vec<PolicyPrep<'_>> {
 /// an `Rc` handle and cannot cross threads, so workers rebuild per-trial
 /// scopes from this `Copy` snapshot of the caller's handle.
 #[derive(Clone, Copy)]
-struct ScopeConfig {
+pub struct ScopeConfig {
     enabled: bool,
     trace: Option<usize>,
 }
 
 impl ScopeConfig {
-    fn of(tel: &Telemetry) -> ScopeConfig {
+    /// Snapshot the caller's telemetry handle into a `Send + Copy` config.
+    pub fn of(tel: &Telemetry) -> ScopeConfig {
         ScopeConfig {
             enabled: tel.is_enabled(),
             trace: tel.trace_capacity(),
         }
     }
 
-    fn scope(self) -> Telemetry {
+    /// Build a fresh per-trial scope matching the snapshotted handle.
+    pub fn scope(self) -> Telemetry {
         match self.trace {
             Some(capacity) => Telemetry::with_trace(capacity),
             None if self.enabled => Telemetry::enabled(),
@@ -113,7 +124,8 @@ impl ScopeConfig {
         }
     }
 
-    fn tracing(self) -> bool {
+    /// Whether per-trial scopes carry a flight-recorder trace ring.
+    pub fn tracing(self) -> bool {
         self.trace.is_some()
     }
 }
@@ -125,7 +137,7 @@ pub fn run(spec: &CampaignSpec, workers: usize, tel: &Telemetry) -> CampaignRepo
     let preps = prepare(spec);
     let trials = spec.expand();
     let cfg = ScopeConfig::of(tel);
-    let outcomes = shard::run_sharded(trials.len(), workers, |i| {
+    let outcomes = steal::run_chunked(trials.len(), workers, |i| {
         let trial = &trials[i];
         run_trial(spec, &preps[trial.policy_idx], trial, cfg)
     });
@@ -138,17 +150,54 @@ pub fn run(spec: &CampaignSpec, workers: usize, tel: &Telemetry) -> CampaignRepo
     }
 }
 
+/// What one attempt of a trial decided: a final result, or a retry with
+/// the attempt number to run next.
+pub enum AttemptOutcome {
+    /// The verdict is final (conclusive, or the retry budget is spent).
+    Done(Box<TrialResult>),
+    /// The verdict was `Inconclusive` with budget remaining; re-run with
+    /// `next_attempt`. The accumulated registry passed to
+    /// [`run_trial_attempt`] already holds this attempt's telemetry and
+    /// must travel with the trial (the runner journals it so resumed runs
+    /// keep byte-identical merged telemetry).
+    Retry {
+        /// Attempt number for the next call to [`run_trial_attempt`].
+        next_attempt: u32,
+    },
+}
+
 /// One trial with retries: re-instantiate the world from a derived seed
 /// whenever the verdict is `Inconclusive`, granting `backoff_secs` extra
 /// simulated seconds per attempt, up to `max_retries`.
-fn run_trial(
+pub fn run_trial(
     spec: &CampaignSpec,
     prep: &PolicyPrep<'_>,
     trial: &Trial,
     cfg: ScopeConfig,
 ) -> (TrialResult, Registry) {
     let mut acc = Registry::new();
-    if cfg.tracing() {
+    let mut attempt = 0u32;
+    loop {
+        match run_trial_attempt(spec, prep, trial, attempt, &mut acc, cfg) {
+            AttemptOutcome::Done(result) => return (*result, acc),
+            AttemptOutcome::Retry { next_attempt } => attempt = next_attempt,
+        }
+    }
+}
+
+/// Run exactly one attempt of a trial, accumulating its telemetry (and
+/// trace markers) into `acc`. Attempt 0 pushes the trial-start marker;
+/// callers resuming a journaled retry pass the journaled `acc` and the
+/// journaled attempt number, which reproduces the uninterrupted stream.
+pub fn run_trial_attempt(
+    spec: &CampaignSpec,
+    prep: &PolicyPrep<'_>,
+    trial: &Trial,
+    attempt: u32,
+    acc: &mut Registry,
+    cfg: ScopeConfig,
+) -> AttemptOutcome {
+    if attempt == 0 && cfg.tracing() {
         // A trial-start marker first, so the merged trace splits into
         // contiguous per-trial segments (the explainer keys off these).
         acc.trace.push(campaign_record(
@@ -162,55 +211,54 @@ fn run_trial(
             ],
         ));
     }
-    let mut attempt = 0u32;
-    loop {
-        let attempt_seed = seed::attempt_seed(trial.seed, attempt);
-        let horizon = spec.run_secs + spec.retry.backoff_secs * attempt as u64;
-        let horizon_ns = horizon.saturating_mul(1_000_000_000);
-        let scope = cfg.scope();
-        let mut result = execute(spec, prep, trial, attempt_seed, horizon, &scope);
-        acc.merge(&scope.snapshot());
-        let inconclusive = matches!(result.verdict, Verdict::Inconclusive(_));
-        if !inconclusive || attempt >= spec.retry.max_retries {
-            result.retries = attempt;
-            bump(&mut acc, "campaign.trials", 1);
-            bump(&mut acc, "campaign.retries", attempt as u64);
-            let label = trial.method.label();
-            bump(&mut acc, &format!("campaign.method.{label}.trials"), 1);
-            bump(
-                &mut acc,
-                &format!("campaign.method.{label}.retries"),
-                attempt as u64,
-            );
-            if inconclusive {
-                bump(&mut acc, "campaign.inconclusive_final", 1);
-            }
-            if cfg.tracing() {
-                acc.trace.push(campaign_record(
-                    horizon_ns,
-                    "verdict",
-                    vec![
-                        ("verdict", result.verdict.to_string().into()),
-                        ("retries", u64::from(attempt).into()),
-                    ],
-                ));
-            }
-            return (result, acc);
+    let attempt_seed = seed::attempt_seed(trial.seed, attempt);
+    let horizon = spec.run_secs + spec.retry.backoff_secs * attempt as u64;
+    let horizon_ns = horizon.saturating_mul(1_000_000_000);
+    let scope = cfg.scope();
+    let mut result = execute(spec, prep, trial, attempt_seed, horizon, &scope);
+    acc.merge(&scope.snapshot());
+    let inconclusive = matches!(result.verdict, Verdict::Inconclusive(_));
+    if !inconclusive || attempt >= spec.retry.max_retries {
+        result.retries = attempt;
+        bump(acc, "campaign.trials", 1);
+        bump(acc, "campaign.retries", attempt as u64);
+        let label = trial.method.label();
+        bump(acc, &format!("campaign.method.{label}.trials"), 1);
+        bump(
+            acc,
+            &format!("campaign.method.{label}.retries"),
+            attempt as u64,
+        );
+        if inconclusive {
+            bump(acc, "campaign.inconclusive_final", 1);
         }
         if cfg.tracing() {
-            // The retry decision itself is a trace-worthy event: it changes
-            // the seed and grants backoff horizon, so a verdict that flips
-            // across attempts is explained by this record.
             acc.trace.push(campaign_record(
                 horizon_ns,
-                "retry",
+                "verdict",
                 vec![
-                    ("attempt", u64::from(attempt + 1).into()),
-                    ("backoff_secs", spec.retry.backoff_secs.into()),
+                    ("verdict", result.verdict.to_string().into()),
+                    ("retries", u64::from(attempt).into()),
                 ],
             ));
         }
-        attempt += 1;
+        return AttemptOutcome::Done(Box::new(result));
+    }
+    if cfg.tracing() {
+        // The retry decision itself is a trace-worthy event: it changes
+        // the seed and grants backoff horizon, so a verdict that flips
+        // across attempts is explained by this record.
+        acc.trace.push(campaign_record(
+            horizon_ns,
+            "retry",
+            vec![
+                ("attempt", u64::from(attempt + 1).into()),
+                ("backoff_secs", spec.retry.backoff_secs.into()),
+            ],
+        ));
+    }
+    AttemptOutcome::Retry {
+        next_attempt: attempt + 1,
     }
 }
 

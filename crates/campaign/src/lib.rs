@@ -5,8 +5,9 @@
 //!
 //! A deterministic **campaign engine** for running measurement studies at
 //! scale: a declarative [`CampaignSpec`] (targets × methods × censor
-//! policies × trial seeds) expands into a work matrix, shards trials
-//! across OS threads, caches built testbed templates per policy, retries
+//! policies × trial seeds) expands into a work matrix, schedules trials
+//! across OS threads with work stealing ([`steal`]), caches built testbed
+//! templates per policy, retries
 //! `Inconclusive` trials with bounded backoff in *simulated* time, and
 //! aggregates per-method accuracy/risk matrices plus merged telemetry.
 //!
@@ -37,8 +38,8 @@
 pub mod engine;
 pub mod report;
 pub mod seed;
-pub mod shard;
 pub mod spec;
+pub mod steal;
 
-pub use report::{CampaignReport, CellStat, TrialResult};
+pub use report::{CampaignReport, CellStat, StreamReport, TrialResult};
 pub use spec::{CampaignSpec, MethodKind, NamedPolicy, RetryPolicy, Trial};

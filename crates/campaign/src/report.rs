@@ -41,6 +41,31 @@ pub struct TrialResult {
     pub evidence: Evidence,
 }
 
+impl TrialResult {
+    /// Render this trial as one deterministic JSON object — the exact
+    /// per-trial element of [`CampaignReport::to_json`]'s `trials` array,
+    /// also emitted standalone as a JSONL row by streaming sinks.
+    pub fn to_json_row(&self) -> String {
+        format!(
+            "{{\"index\":{},\"method\":\"{}\",\"policy\":\"{}\",\"target\":\"{}\",\"seed\":{},\"verdict\":\"{}\",\"correct\":{},\"evaded\":{},\"alerts\":{},\"attributed\":{},\"pursued\":{},\"anonymity_set\":{},\"retries\":{}}}",
+            self.index,
+            self.method.label(),
+            esc(&self.policy),
+            esc(&self.target),
+            self.seed,
+            esc(&self.verdict.to_string()),
+            self.verdict_correct,
+            self.evaded,
+            self.alerts_on_client,
+            self.attributed,
+            self.pursued,
+            self.anonymity_set
+                .map_or("null".to_string(), |n| n.to_string()),
+            self.retries
+        )
+    }
+}
+
 /// Aggregates for one (method, policy) cell of the campaign matrix.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CellStat {
@@ -140,23 +165,7 @@ impl CampaignReport {
             if i > 0 {
                 out.push(',');
             }
-            out.push_str(&format!(
-                "{{\"index\":{},\"method\":\"{}\",\"policy\":\"{}\",\"target\":\"{}\",\"seed\":{},\"verdict\":\"{}\",\"correct\":{},\"evaded\":{},\"alerts\":{},\"attributed\":{},\"pursued\":{},\"anonymity_set\":{},\"retries\":{}}}",
-                t.index,
-                t.method.label(),
-                esc(&t.policy),
-                esc(&t.target),
-                t.seed,
-                esc(&t.verdict.to_string()),
-                t.verdict_correct,
-                t.evaded,
-                t.alerts_on_client,
-                t.attributed,
-                t.pursued,
-                t.anonymity_set
-                    .map_or("null".to_string(), |n| n.to_string()),
-                t.retries
-            ));
+            out.push_str(&t.to_json_row());
         }
         out.push_str("]}");
         out
@@ -176,6 +185,95 @@ impl CampaignReport {
             "method", "policy", "trials", "correct", "evades", "inconclusive", "retries"
         ));
         for c in self.cells() {
+            out.push_str(&format!(
+                "{:<14} {:<14} {:>6} {:>8} {:>7} {:>13} {:>8}\n",
+                c.method, c.policy, c.trials, c.correct, c.evaded, c.inconclusive, c.retries
+            ));
+        }
+        out
+    }
+}
+
+/// Bounded-memory incremental aggregation of trial results: the cell
+/// matrix and campaign totals of a [`CampaignReport`], built by absorbing
+/// one [`TrialResult`] at a time in *any* order (completion order under
+/// work stealing included) without retaining the trials themselves.
+///
+/// Every aggregate is commutative, so for the same set of trials
+/// [`StreamReport::render_text`] is byte-identical to
+/// [`CampaignReport::render_text`] — the invariant that lets a streaming
+/// run service print the same summary as the in-memory engine.
+#[derive(Debug, Clone)]
+pub struct StreamReport {
+    /// Campaign name from the spec.
+    pub name: String,
+    trials: usize,
+    retries: u64,
+    inconclusive: usize,
+    cells: BTreeMap<(&'static str, String), CellStat>,
+}
+
+impl StreamReport {
+    /// An empty aggregator for the named campaign.
+    pub fn new(name: &str) -> StreamReport {
+        StreamReport {
+            name: name.to_string(),
+            trials: 0,
+            retries: 0,
+            inconclusive: 0,
+            cells: BTreeMap::new(),
+        }
+    }
+
+    /// Fold one completed trial into the totals and its (method, policy)
+    /// cell. Safe to call in any order; every statistic is commutative.
+    pub fn absorb(&mut self, t: &TrialResult) {
+        self.trials += 1;
+        self.retries += t.retries as u64;
+        let inconclusive = matches!(t.verdict, Verdict::Inconclusive(_));
+        self.inconclusive += inconclusive as usize;
+        let cell = self
+            .cells
+            .entry((t.method.label(), t.policy.clone()))
+            .or_insert_with(|| CellStat {
+                method: t.method.label(),
+                policy: t.policy.clone(),
+                trials: 0,
+                correct: 0,
+                evaded: 0,
+                inconclusive: 0,
+                retries: 0,
+            });
+        cell.trials += 1;
+        cell.correct += t.verdict_correct as usize;
+        cell.evaded += t.evaded as usize;
+        cell.inconclusive += inconclusive as usize;
+        cell.retries += t.retries as u64;
+    }
+
+    /// Trials absorbed so far.
+    pub fn trial_count(&self) -> usize {
+        self.trials
+    }
+
+    /// Per-(method, policy) aggregates in the same order as
+    /// [`CampaignReport::cells`].
+    pub fn cells(&self) -> Vec<CellStat> {
+        self.cells.values().cloned().collect()
+    }
+
+    /// The same matrix summary [`CampaignReport::render_text`] produces
+    /// for these trials, byte for byte.
+    pub fn render_text(&self) -> String {
+        let mut out = format!(
+            "campaign '{}': {} trials, {} retries, {} inconclusive after retry\n",
+            self.name, self.trials, self.retries, self.inconclusive
+        );
+        out.push_str(&format!(
+            "{:<14} {:<14} {:>6} {:>8} {:>7} {:>13} {:>8}\n",
+            "method", "policy", "trials", "correct", "evades", "inconclusive", "retries"
+        ));
+        for c in self.cells.values() {
             out.push_str(&format!(
                 "{:<14} {:<14} {:>6} {:>8} {:>7} {:>13} {:>8}\n",
                 c.method, c.policy, c.trials, c.correct, c.evaded, c.inconclusive, c.retries
@@ -248,6 +346,43 @@ mod tests {
         assert_eq!(cells[1].retries, 2);
         assert_eq!(report.total_retries(), 3);
         assert_eq!(report.inconclusive_final(), 1);
+    }
+
+    #[test]
+    fn stream_report_matches_batch_report_in_any_absorb_order() {
+        let trials = vec![
+            trial(MethodKind::Scan, "control", Verdict::Reachable, 0),
+            trial(
+                MethodKind::Scan,
+                "kw",
+                Verdict::Inconclusive("timeout".into()),
+                2,
+            ),
+            trial(MethodKind::Ddos, "control", Verdict::Reachable, 1),
+            trial(MethodKind::Spam, "kw", Verdict::Reachable, 0),
+        ];
+        let batch = CampaignReport {
+            name: "s".to_string(),
+            trials: trials.clone(),
+        };
+        // Absorb in reverse (a completion order stealing could produce).
+        let mut stream = StreamReport::new("s");
+        for t in trials.iter().rev() {
+            stream.absorb(t);
+        }
+        assert_eq!(stream.render_text(), batch.render_text());
+        assert_eq!(stream.cells(), batch.cells());
+        assert_eq!(stream.trial_count(), 4);
+    }
+
+    #[test]
+    fn json_row_is_exactly_the_envelope_trial_element() {
+        let t = trial(MethodKind::Scan, "control", Verdict::Reachable, 0);
+        let report = CampaignReport {
+            name: "r".to_string(),
+            trials: vec![t.clone()],
+        };
+        assert!(report.to_json().contains(&t.to_json_row()));
     }
 
     #[test]

@@ -3,11 +3,12 @@
 //! so sharded and sequential runs agree byte-for-byte.
 
 /// SplitMix64 finalizer — decorrelates seeds that differ in few bits.
-pub fn splitmix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    x ^ (x >> 31)
+///
+/// Delegates to the workspace's single shared definition in
+/// [`underradar_netsim::rng::splitmix64_mix`] (also used by
+/// `bench::runner`), so the two seed-derivation paths cannot drift.
+pub fn splitmix64(x: u64) -> u64 {
+    underradar_netsim::rng::splitmix64_mix(x)
 }
 
 /// The seed for trial `index` of a campaign with `master_seed`.

@@ -263,6 +263,61 @@ impl CampaignSpec {
         self.policies.len() * self.methods.len() * self.targets.len() * self.trials_per_cell
     }
 
+    /// Structural fingerprint of everything that shapes trial outcomes:
+    /// seed, matrix axes, retry budget, link impairments, and each policy
+    /// column's censor configuration. A checkpoint journal records this in
+    /// its header so a resume against an edited spec is rejected instead
+    /// of silently mixing incompatible trial streams.
+    pub fn fingerprint(&self) -> u64 {
+        fn mix(h: &mut u64, v: u64) {
+            *h = seed::splitmix64(*h ^ seed::splitmix64(v));
+        }
+        fn mix_str(h: &mut u64, s: &str) {
+            mix(h, s.len() as u64);
+            for chunk in s.as_bytes().chunks(8) {
+                let mut word = [0u8; 8];
+                word[..chunk.len()].copy_from_slice(chunk);
+                mix(h, u64::from_le_bytes(word));
+            }
+        }
+        let mut h = seed::splitmix64(0xF1_4C_E5_0E);
+        mix(&mut h, self.master_seed);
+        mix(&mut h, self.targets.len() as u64);
+        for t in &self.targets {
+            mix_str(&mut h, t);
+        }
+        mix(&mut h, self.methods.len() as u64);
+        for m in &self.methods {
+            mix_str(&mut h, m.label());
+        }
+        mix(&mut h, self.policies.len() as u64);
+        for p in &self.policies {
+            mix_str(&mut h, &p.name);
+            mix_str(&mut h, &p.probe_path);
+            mix_str(&mut h, &p.policy.keywords.join("\n"));
+            for d in &p.policy.dns_blocked {
+                mix_str(&mut h, &d.to_string());
+            }
+            mix(&mut h, u64::from(u32::from(p.policy.dns_poison_ip)));
+            mix(&mut h, p.policy.dns_nxdomain as u64);
+            mix(&mut h, p.policy.ip_blocked.len() as u64);
+            mix(&mut h, p.policy.port_blocked.len() as u64);
+            mix_str(&mut h, &p.policy.url_blocked.join("\n"));
+        }
+        mix(&mut h, self.trials_per_cell as u64);
+        mix(&mut h, u64::from(self.retry.max_retries));
+        mix(&mut h, self.retry.backoff_secs);
+        mix(&mut h, self.cover_hosts as u64);
+        mix(&mut h, self.spoofed_cover as u64);
+        mix(&mut h, self.warmup as u64);
+        mix(&mut h, self.client_link_loss.to_bits());
+        mix(&mut h, self.client_link_reorder.to_bits());
+        mix(&mut h, self.client_link_duplicate.to_bits());
+        mix(&mut h, self.client_link_corrupt.to_bits());
+        mix(&mut h, self.run_secs);
+        h
+    }
+
     /// Expand into the full trial matrix in canonical order:
     /// policy → method → target → repeat. Seeds depend only on
     /// `(master_seed, index)`, never on execution order.
@@ -339,6 +394,46 @@ mod tests {
             assert_eq!(t.index, i);
             assert_eq!(t.seed, seed::trial_seed(11, i));
         }
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_sensitive_to_every_axis() {
+        let base = spec();
+        assert_eq!(base.fingerprint(), spec().fingerprint(), "stable");
+        let variants = [
+            CampaignSpec::new("t", 12)
+                .targets(["a.com", "b.com", "c.com"])
+                .methods([MethodKind::Scan, MethodKind::Spam])
+                .policy(NamedPolicy::new("control", CensorPolicy::new()))
+                .policy(NamedPolicy::new(
+                    "kw",
+                    CensorPolicy::new().block_keyword("x"),
+                ))
+                .trials_per_cell(2),
+            spec().target("d.com"),
+            spec().method(MethodKind::Overt),
+            spec().trials_per_cell(3),
+            spec().run_secs(999),
+            spec().client_link_loss(0.01),
+            spec().retry(RetryPolicy {
+                max_retries: 5,
+                backoff_secs: 30,
+            }),
+        ];
+        for (i, v) in variants.iter().enumerate() {
+            assert_ne!(base.fingerprint(), v.fingerprint(), "variant {i}");
+        }
+        // Policy *content* matters, not just the name.
+        let kw_swap = CampaignSpec::new("t", 11)
+            .targets(["a.com", "b.com", "c.com"])
+            .methods([MethodKind::Scan, MethodKind::Spam])
+            .policy(NamedPolicy::new("control", CensorPolicy::new()))
+            .policy(NamedPolicy::new(
+                "kw",
+                CensorPolicy::new().block_keyword("y"),
+            ))
+            .trials_per_cell(2);
+        assert_ne!(base.fingerprint(), kw_swap.fingerprint());
     }
 
     #[test]

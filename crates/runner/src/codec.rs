@@ -1,0 +1,200 @@
+//! Binary serialization of [`TrialResult`] for the checkpoint journal.
+//!
+//! Builds on the primitive writers/reader of
+//! [`underradar_telemetry::codec`]; the journal wraps these bytes in a
+//! length-prefixed, checksummed record, so this codec only needs exact
+//! round-tripping (`decode == original`, field for field) and clean
+//! failures on garbage that survives the checksum.
+
+use underradar_campaign::{MethodKind, TrialResult};
+use underradar_core::verdict::{Mechanism, Verdict};
+use underradar_telemetry::codec::{intern_static, put_str, put_u32, put_u64, CodecError, Reader};
+
+fn put_bool(out: &mut Vec<u8>, v: bool) {
+    out.push(v as u8);
+}
+
+fn read_bool(r: &mut Reader<'_>) -> Result<bool, CodecError> {
+    match r.u8()? {
+        0 => Ok(false),
+        1 => Ok(true),
+        t => Err(CodecError::BadTag(t)),
+    }
+}
+
+fn mechanism_tag(m: Mechanism) -> u8 {
+    match m {
+        Mechanism::RstInjection => 0,
+        Mechanism::DnsPoison => 1,
+        Mechanism::Blackhole => 2,
+        Mechanism::PortBlocked => 3,
+        Mechanism::UrlBlocked => 4,
+    }
+}
+
+fn mechanism_from(tag: u8) -> Result<Mechanism, CodecError> {
+    Ok(match tag {
+        0 => Mechanism::RstInjection,
+        1 => Mechanism::DnsPoison,
+        2 => Mechanism::Blackhole,
+        3 => Mechanism::PortBlocked,
+        4 => Mechanism::UrlBlocked,
+        t => return Err(CodecError::BadTag(t)),
+    })
+}
+
+fn method_from(label: &str) -> Result<MethodKind, CodecError> {
+    MethodKind::ALL
+        .into_iter()
+        .find(|m| m.label() == label)
+        .ok_or(CodecError::BadUtf8)
+}
+
+/// Append one trial result to `out`.
+pub fn encode_trial_result(out: &mut Vec<u8>, t: &TrialResult) {
+    put_u64(out, t.index as u64);
+    put_str(out, t.method.label());
+    put_str(out, &t.policy);
+    put_str(out, &t.target);
+    put_u64(out, t.seed);
+    match &t.verdict {
+        Verdict::Censored(m) => {
+            out.push(0);
+            out.push(mechanism_tag(*m));
+        }
+        Verdict::Reachable => out.push(1),
+        Verdict::Inconclusive(why) => {
+            out.push(2);
+            put_str(out, why);
+        }
+    }
+    put_bool(out, t.verdict_correct);
+    put_bool(out, t.evaded);
+    put_u64(out, t.alerts_on_client as u64);
+    put_bool(out, t.attributed);
+    put_bool(out, t.pursued);
+    match t.anonymity_set {
+        None => out.push(0),
+        Some(n) => {
+            out.push(1);
+            put_u64(out, n as u64);
+        }
+    }
+    put_u32(out, t.retries);
+    put_u32(out, t.evidence.len() as u32);
+    for (k, v) in &t.evidence {
+        put_str(out, k);
+        put_str(out, v);
+    }
+}
+
+/// Decode one trial result from the reader's current position. Evidence
+/// keys are restored through the shared `&'static str` intern pool.
+pub fn read_trial_result(r: &mut Reader<'_>) -> Result<TrialResult, CodecError> {
+    let index = r.u64()? as usize;
+    let method = method_from(&r.str()?)?;
+    let policy = r.str()?;
+    let target = r.str()?;
+    let seed = r.u64()?;
+    let verdict = match r.u8()? {
+        0 => Verdict::Censored(mechanism_from(r.u8()?)?),
+        1 => Verdict::Reachable,
+        2 => Verdict::Inconclusive(r.str()?),
+        t => return Err(CodecError::BadTag(t)),
+    };
+    let verdict_correct = read_bool(r)?;
+    let evaded = read_bool(r)?;
+    let alerts_on_client = r.u64()? as usize;
+    let attributed = read_bool(r)?;
+    let pursued = read_bool(r)?;
+    let anonymity_set = match r.u8()? {
+        0 => None,
+        1 => Some(r.u64()? as usize),
+        t => return Err(CodecError::BadTag(t)),
+    };
+    let retries = r.u32()?;
+    let mut evidence = Vec::new();
+    for _ in 0..r.u32()? {
+        let k = intern_static(&r.str()?);
+        evidence.push((k, r.str()?));
+    }
+    Ok(TrialResult {
+        index,
+        method,
+        policy,
+        target,
+        seed,
+        verdict,
+        verdict_correct,
+        evaded,
+        alerts_on_client,
+        attributed,
+        pursued,
+        anonymity_set,
+        retries,
+        evidence,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(verdict: Verdict) -> TrialResult {
+        TrialResult {
+            index: 511,
+            method: MethodKind::StatelessDns,
+            policy: "keyword-rst".into(),
+            target: "site-007.example.net".into(),
+            seed: u64::MAX - 3,
+            verdict,
+            verdict_correct: false,
+            evaded: true,
+            alerts_on_client: 12,
+            attributed: true,
+            pursued: false,
+            anonymity_set: Some(31),
+            retries: 2,
+            evidence: vec![("cover", "4".into()), ("why", "spoofed \"set\"".into())],
+        }
+    }
+
+    #[test]
+    fn round_trip_covers_every_verdict_shape() {
+        for verdict in [
+            Verdict::Reachable,
+            Verdict::Censored(Mechanism::DnsPoison),
+            Verdict::Censored(Mechanism::UrlBlocked),
+            Verdict::Inconclusive("lost 3 of 4 samples".into()),
+        ] {
+            let t = sample(verdict);
+            let mut bytes = Vec::new();
+            encode_trial_result(&mut bytes, &t);
+            let mut r = Reader::new(&bytes);
+            let back = read_trial_result(&mut r).expect("decodes");
+            assert_eq!(r.remaining(), 0);
+            assert_eq!(back.to_json_row(), t.to_json_row());
+            assert_eq!(back.evidence, t.evidence);
+            assert_eq!(back.method, t.method);
+            assert_eq!(back.verdict, t.verdict);
+        }
+    }
+
+    #[test]
+    fn truncations_fail_cleanly() {
+        let mut bytes = Vec::new();
+        encode_trial_result(&mut bytes, &sample(Verdict::Reachable));
+        for cut in 0..bytes.len() {
+            let mut r = Reader::new(&bytes[..cut]);
+            assert!(read_trial_result(&mut r).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn every_method_label_round_trips() {
+        for m in MethodKind::ALL {
+            assert_eq!(method_from(m.label()).expect("known"), m);
+        }
+        assert!(method_from("no-such-method").is_err());
+    }
+}

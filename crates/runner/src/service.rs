@@ -1,0 +1,336 @@
+//! The durable run service: work-stealing workers, a completion-order
+//! committer, and an optional checkpoint journal — composed so the final
+//! report and merged telemetry are **byte-identical** to
+//! `campaign::engine::run` at any worker count, interrupted or not.
+//!
+//! ## Architecture
+//!
+//! ```text
+//!  workers (scope threads)            committer (calling thread)
+//!  ┌─────────────────────┐  Msg  ┌──────────────────────────────┐
+//!  │ pop own deque       │ ────▶ │ journal.append_{complete,     │
+//!  │  └ steal half       │ chan  │                retry}         │
+//!  │   └ retry tail      │       │ sink.row (completion order)   │
+//!  │    └ exit           │       │ StreamReport / StreamMerger   │
+//!  └─────────────────────┘       └──────────────────────────────┘
+//! ```
+//!
+//! Workers drain their own deque front-first, steal half of the richest
+//! victim's deque when empty, then service the global **retry tail**:
+//! trials whose attempt came back `Inconclusive` are not retried inline
+//! (that would pin a straggler to one worker) but re-enqueued at the tail
+//! with their accumulated registry and next attempt number, so conclusive
+//! work finishes first and backoff budgets survive both stealing and
+//! resume. A worker exits only after deques *and* retry tail are empty at
+//! its own check — and every retry enqueue precedes the enqueuer's next
+//! check, so no retry is ever stranded.
+//!
+//! The committer runs on the calling thread (so a [`RowSink`] need not be
+//! `Send`): it journals each decision, streams the verdict row, and folds
+//! the result into a [`StreamReport`] and the telemetry delta into a
+//! [`StreamMerger`] keyed by trial index — both order-independent, which
+//! is where completion-order scheduling and index-order determinism meet.
+//!
+//! ## Resume
+//!
+//! With a checkpoint path, completed trials replayed from the journal are
+//! absorbed directly (their journaled rows are **not** re-emitted to the
+//! sink — they streamed before the interruption), journaled retries seed
+//! the retry tail, and only the remaining frontier is scheduled. Memory
+//! stays bounded by the in-flight channel, never by campaign size.
+
+use std::collections::VecDeque;
+use std::path::PathBuf;
+use std::sync::mpsc;
+use std::sync::Mutex;
+
+use underradar_campaign::engine::{self, AttemptOutcome, PolicyPrep, ScopeConfig};
+use underradar_campaign::{CampaignSpec, StreamReport, Trial, TrialResult};
+use underradar_telemetry::{Registry, StreamMerger, Telemetry};
+
+use crate::journal::{Journal, JournalError, Replay};
+use crate::sink::RowSink;
+
+/// Tuning for one service run.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Worker threads (1 = sequential; still exercises the full
+    /// journal/stream path).
+    pub workers: usize,
+    /// Checkpoint journal path; `None` runs without durability.
+    pub checkpoint: Option<PathBuf>,
+    /// Journal fsync cadence in records (see [`Journal::set_fsync_every`]).
+    pub fsync_every: u64,
+    /// Steal-batch size in trials (0 = automatic).
+    pub chunk: usize,
+}
+
+impl RunConfig {
+    /// A config with `workers` threads and no checkpointing.
+    pub fn new(workers: usize) -> RunConfig {
+        RunConfig {
+            workers,
+            checkpoint: None,
+            fsync_every: 64,
+            chunk: 0,
+        }
+    }
+
+    /// Enable the checkpoint journal at `path`.
+    pub fn checkpoint(mut self, path: PathBuf) -> RunConfig {
+        self.checkpoint = Some(path);
+        self
+    }
+
+    /// Set the journal fsync cadence in records.
+    pub fn fsync_every(mut self, n: u64) -> RunConfig {
+        self.fsync_every = n;
+        self
+    }
+}
+
+/// What a service run did, beyond its report.
+#[derive(Debug)]
+pub struct ServiceOutcome {
+    /// The campaign report, built incrementally (renders byte-identically
+    /// to the batch engine's report).
+    pub report: StreamReport,
+    /// Trials completed by *this* process.
+    pub executed: usize,
+    /// Trials restored from the journal instead of re-run.
+    pub restored: usize,
+    /// Journaled retries whose accumulated state seeded the retry tail.
+    pub resumed_retries: usize,
+    /// Bytes of damaged journal tail discarded during recovery.
+    pub journal_truncated: u64,
+}
+
+/// A trial waiting on the retry tail: its next attempt and the registry
+/// its finished attempts accumulated.
+struct RetryTask {
+    index: usize,
+    attempt: u32,
+    acc: Registry,
+}
+
+/// What a worker tells the committer.
+enum Msg {
+    /// Trial `index` reached a final verdict; `acc` is its complete
+    /// telemetry delta (all attempts).
+    Done {
+        index: usize,
+        result: Box<TrialResult>,
+        acc: Box<Registry>,
+    },
+    /// Trial `index` will run `next_attempt` later; `acc` snapshots the
+    /// registry accumulated so far, for the journal.
+    Retry {
+        index: usize,
+        next_attempt: u32,
+        acc: Box<Registry>,
+    },
+}
+
+/// Run `spec` as a durable service: schedule with work stealing, stream
+/// rows into `sink` as trials complete, journal to `cfg.checkpoint`, and
+/// merge telemetry into `tel`. Resumes automatically when the journal
+/// already holds progress for this spec.
+pub fn run_service(
+    spec: &CampaignSpec,
+    cfg: &RunConfig,
+    tel: &Telemetry,
+    sink: &mut dyn RowSink,
+) -> Result<ServiceOutcome, JournalError> {
+    let trials = spec.expand();
+    let (mut journal, replay) = match &cfg.checkpoint {
+        Some(path) => {
+            let (mut j, replay) =
+                Journal::open_or_create(path, spec.fingerprint(), trials.len() as u64)?;
+            j.set_fsync_every(cfg.fsync_every);
+            (Some(j), replay)
+        }
+        None => (None, Replay::default()),
+    };
+
+    let mut report = StreamReport::new(&spec.name);
+    let mut merger = StreamMerger::new();
+    for (index, (result, delta)) in &replay.completed {
+        report.absorb(result);
+        merger.absorb(*index, delta);
+    }
+
+    // The remaining frontier: every trial with no complete record. Trials
+    // with a journaled retry resume mid-attempt via the retry tail; the
+    // rest start from attempt 0.
+    let mut remaining: Vec<usize> = Vec::new();
+    let mut seeded: VecDeque<RetryTask> = VecDeque::new();
+    for trial in &trials {
+        let index = trial.index;
+        if replay.completed.contains_key(&(index as u64)) {
+            continue;
+        }
+        if let Some((attempt, acc)) = replay.retries.get(&(index as u64)) {
+            seeded.push_back(RetryTask {
+                index,
+                attempt: *attempt,
+                acc: acc.clone(),
+            });
+        } else {
+            remaining.push(index);
+        }
+    }
+    let expected = remaining.len() + seeded.len();
+    let restored = replay.completed.len();
+    let resumed_retries = seeded.len();
+
+    if expected > 0 {
+        let preps = engine::prepare(spec);
+        let scope_cfg = ScopeConfig::of(tel);
+        let workers = cfg.workers.clamp(1, expected);
+        let deques = underradar_campaign::steal::Deques::split(remaining.len(), workers, cfg.chunk);
+        let retry_tail = Mutex::new(seeded);
+        let (tx, rx) = mpsc::sync_channel::<Msg>(workers * 4);
+
+        std::thread::scope(|scope| -> Result<(), JournalError> {
+            for w in 0..workers {
+                let tx = tx.clone();
+                let deques = &deques;
+                let retry_tail = &retry_tail;
+                let remaining = &remaining;
+                let trials = &trials;
+                let preps = &preps;
+                scope.spawn(move || {
+                    worker_loop(
+                        w, spec, trials, preps, scope_cfg, deques, remaining, retry_tail, &tx,
+                    );
+                });
+            }
+            drop(tx);
+            // Committer: the calling thread absorbs completions until
+            // every remaining trial has a final verdict.
+            let mut done = 0usize;
+            while done < expected {
+                let msg = rx.recv().expect("workers ended with trials outstanding");
+                match msg {
+                    Msg::Done { index, result, acc } => {
+                        if let Some(j) = journal.as_mut() {
+                            j.append_complete(index as u64, &result, &acc)?;
+                        }
+                        sink.row(&result)?;
+                        report.absorb(&result);
+                        merger.absorb(index as u64, &acc);
+                        done += 1;
+                    }
+                    Msg::Retry {
+                        index,
+                        next_attempt,
+                        acc,
+                    } => {
+                        if let Some(j) = journal.as_mut() {
+                            j.append_retry(index as u64, next_attempt, &acc)?;
+                        }
+                    }
+                }
+            }
+            Ok(())
+        })?;
+    }
+
+    if let Some(j) = journal.as_mut() {
+        j.sync()?;
+    }
+    sink.flush()?;
+    tel.merge_registry(&merger.finish());
+    Ok(ServiceOutcome {
+        report,
+        executed: expected,
+        restored,
+        resumed_retries,
+        journal_truncated: replay.truncated_bytes,
+    })
+}
+
+/// One worker: drain own deque, steal, then service the retry tail. Each
+/// unit of work is a *single attempt*; inconclusive attempts re-enqueue
+/// at the tail rather than looping inline.
+#[allow(clippy::too_many_arguments)]
+fn worker_loop(
+    w: usize,
+    spec: &CampaignSpec,
+    trials: &[Trial],
+    preps: &[PolicyPrep<'_>],
+    scope_cfg: ScopeConfig,
+    deques: &underradar_campaign::steal::Deques,
+    remaining: &[usize],
+    retry_tail: &Mutex<VecDeque<RetryTask>>,
+    tx: &mpsc::SyncSender<Msg>,
+) {
+    loop {
+        if let Some(chunk) = deques.pop(w).or_else(|| deques.steal(w)) {
+            for &index in &remaining[chunk.start..chunk.end] {
+                attempt_once(
+                    spec,
+                    trials,
+                    preps,
+                    scope_cfg,
+                    retry_tail,
+                    tx,
+                    index,
+                    0,
+                    Registry::new(),
+                );
+            }
+            continue;
+        }
+        let task = retry_tail.lock().expect("retry tail poisoned").pop_front();
+        match task {
+            Some(t) => attempt_once(
+                spec, trials, preps, scope_cfg, retry_tail, tx, t.index, t.attempt, t.acc,
+            ),
+            // Deques and retry tail both empty at this check: any retry
+            // enqueued concurrently is followed by its enqueuer's own
+            // check, so exiting here strands nothing.
+            None => return,
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn attempt_once(
+    spec: &CampaignSpec,
+    trials: &[Trial],
+    preps: &[PolicyPrep<'_>],
+    scope_cfg: ScopeConfig,
+    retry_tail: &Mutex<VecDeque<RetryTask>>,
+    tx: &mpsc::SyncSender<Msg>,
+    index: usize,
+    attempt: u32,
+    mut acc: Registry,
+) {
+    let trial = &trials[index];
+    let prep = &preps[trial.policy_idx];
+    match engine::run_trial_attempt(spec, prep, trial, attempt, &mut acc, scope_cfg) {
+        AttemptOutcome::Done(result) => {
+            let _ = tx.send(Msg::Done {
+                index,
+                result,
+                acc: Box::new(acc),
+            });
+        }
+        AttemptOutcome::Retry { next_attempt } => {
+            let _ = tx.send(Msg::Retry {
+                index,
+                next_attempt,
+                acc: Box::new(acc.clone()),
+            });
+            retry_tail
+                .lock()
+                .expect("retry tail poisoned")
+                .push_back(RetryTask {
+                    index,
+                    attempt: next_attempt,
+                    acc,
+                });
+        }
+    }
+}

@@ -1,0 +1,263 @@
+//! End-to-end determinism and durability tests for the run service.
+//!
+//! The contract under test: service output (final report text, cell
+//! stats, merged telemetry JSON, trace JSONL) is byte-identical to the
+//! batch engine's, at any worker count, with or without checkpointing,
+//! and across a resume at **every** checkpoint boundary.
+
+use std::path::PathBuf;
+
+use underradar_campaign::{engine, CampaignSpec, MethodKind, NamedPolicy, RetryPolicy};
+use underradar_censor::CensorPolicy;
+use underradar_runner::{run_service, JournalError, RunConfig, VecSink};
+use underradar_telemetry::Telemetry;
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("underradar-service-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+/// A small matrix mixing flat and routed methods across two policies.
+fn spec() -> CampaignSpec {
+    CampaignSpec::new("service-e2e", 2015)
+        .targets(["twitter.com", "bbc.com"])
+        .methods([MethodKind::Scan, MethodKind::Overt, MethodKind::Hops])
+        .policy(NamedPolicy::new("control", CensorPolicy::new()))
+        .policy(NamedPolicy::new(
+            "dns-blocking",
+            CensorPolicy::new().block_keyword("twitter"),
+        ))
+        .trials_per_cell(2)
+        .run_secs(30)
+}
+
+/// A lossy matrix that actually exercises the retry tail: heavy client
+/// link loss drives `Inconclusive` verdicts into the backoff path.
+fn lossy_spec() -> CampaignSpec {
+    CampaignSpec::new("service-lossy", 6)
+        .targets(["twitter.com"])
+        .method(MethodKind::Spam)
+        .policy(NamedPolicy::new("control", CensorPolicy::new()))
+        .trials_per_cell(6)
+        .retry(RetryPolicy {
+            max_retries: 2,
+            backoff_secs: 30,
+        })
+        .client_link_loss(0.4)
+        .warmup(false)
+        .run_secs(40)
+}
+
+/// Everything the determinism contract covers, as comparable strings.
+fn fingerprint_run(spec: &CampaignSpec, cfg: &RunConfig) -> (String, String, String, Vec<String>) {
+    let tel = Telemetry::with_trace(4096);
+    let mut sink = VecSink::new();
+    let outcome = run_service(spec, cfg, &tel, &mut sink).expect("service run");
+    let snap = tel.snapshot();
+    let mut rows = sink.rows;
+    rows.sort();
+    (
+        outcome.report.render_text(),
+        snap.to_json(),
+        snap.trace_jsonl(),
+        rows,
+    )
+}
+
+#[test]
+fn service_matches_the_batch_engine_byte_for_byte() {
+    let spec = spec();
+    let tel = Telemetry::with_trace(4096);
+    let batch = engine::run(&spec, 2, &tel);
+    let batch_snap = tel.snapshot();
+
+    let (report, tel_json, trace, rows) = fingerprint_run(&spec, &RunConfig::new(3));
+    assert_eq!(report, batch.render_text());
+    assert_eq!(tel_json, batch_snap.to_json());
+    assert_eq!(trace, batch_snap.trace_jsonl());
+    // Sorted rows are exactly the envelope's trial rows.
+    let mut batch_rows: Vec<String> = batch.trials.iter().map(|t| t.to_json_row()).collect();
+    batch_rows.sort();
+    assert_eq!(rows, batch_rows);
+}
+
+#[test]
+fn one_and_many_workers_agree_with_and_without_checkpointing() {
+    let spec = spec();
+    let baseline = fingerprint_run(&spec, &RunConfig::new(1));
+    for workers in [2, 8] {
+        assert_eq!(
+            fingerprint_run(&spec, &RunConfig::new(workers)),
+            baseline,
+            "{workers} workers"
+        );
+    }
+    let path = tmp("workers");
+    assert_eq!(
+        fingerprint_run(&spec, &RunConfig::new(4).checkpoint(path.clone())),
+        baseline,
+        "checkpointed run"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn retries_survive_the_tail_queue_and_match_the_engine() {
+    let spec = lossy_spec();
+    let tel = Telemetry::enabled();
+    let batch = engine::run(&spec, 1, &tel);
+    let retried: u64 = batch.trials.iter().map(|t| u64::from(t.retries)).sum();
+    assert!(retried > 0, "lossy spec must exercise retries");
+
+    let tel2 = Telemetry::enabled();
+    let mut sink = VecSink::new();
+    let outcome = run_service(&spec, &RunConfig::new(4), &tel2, &mut sink).expect("service run");
+    assert_eq!(outcome.report.render_text(), batch.render_text());
+    assert_eq!(tel2.snapshot().to_json(), tel.snapshot().to_json());
+}
+
+/// Interrupt a journaled run after every record boundary and resume;
+/// assert each resumed run's report, telemetry, and trace are
+/// byte-identical to the uninterrupted baseline. Returns the boundary
+/// count so callers can assert coverage.
+fn assert_resume_at_every_boundary(name: &str, spec: &CampaignSpec) -> usize {
+    let baseline = fingerprint_run(spec, &RunConfig::new(1));
+    let trials = spec.trial_count();
+
+    // Run once to completion with fsync after every record, then replay
+    // prefixes of the finished journal as kill points.
+    let path = tmp(name);
+    let tel = Telemetry::with_trace(4096);
+    let mut sink = VecSink::new();
+    let cfg = RunConfig::new(2).checkpoint(path.clone()).fsync_every(1);
+    run_service(spec, &cfg, &tel, &mut sink).expect("full run");
+    let full = std::fs::read(&path).expect("journal bytes");
+
+    // Every record boundary in the journal is a legal kill point. Walk
+    // the framing to enumerate them.
+    let mut boundaries = vec![underradar_runner::journal::HEADER_LEN as usize];
+    let mut pos = underradar_runner::journal::HEADER_LEN as usize;
+    while pos + 8 <= full.len() {
+        let len =
+            u32::from_le_bytes([full[pos], full[pos + 1], full[pos + 2], full[pos + 3]]) as usize;
+        pos += 8 + len;
+        boundaries.push(pos);
+    }
+    assert_eq!(*boundaries.last().expect("nonempty"), full.len());
+    assert!(boundaries.len() > trials, "journal holds every completion");
+
+    for (i, &cut) in boundaries.iter().enumerate() {
+        std::fs::write(&path, &full[..cut]).expect("truncate to boundary");
+        let tel = Telemetry::with_trace(4096);
+        let mut sink = VecSink::new();
+        let outcome = run_service(spec, &cfg, &tel, &mut sink).expect("resumed run");
+        assert_eq!(outcome.restored + outcome.executed, trials, "boundary {i}");
+        let snap = tel.snapshot();
+        assert_eq!(outcome.report.render_text(), baseline.0, "boundary {i}");
+        assert_eq!(snap.to_json(), baseline.1, "boundary {i}");
+        assert_eq!(snap.trace_jsonl(), baseline.2, "boundary {i}");
+    }
+    let _ = std::fs::remove_file(&path);
+    boundaries.len()
+}
+
+/// The resume property test (satellite 4): every checkpoint boundary of a
+/// small campaign is a safe kill point.
+#[test]
+fn resume_at_every_checkpoint_boundary_is_byte_identical() {
+    let spec = CampaignSpec::new("service-resume", 11)
+        .targets(["twitter.com"])
+        .methods([MethodKind::Scan, MethodKind::StatelessSyn])
+        .policy(NamedPolicy::new("control", CensorPolicy::new()))
+        .trials_per_cell(3)
+        .run_secs(20);
+    assert_resume_at_every_boundary("boundaries", &spec);
+}
+
+/// The same property over a campaign with retry records in the journal:
+/// killing between a retry handoff and its completion must resume the
+/// trial mid-attempt with its backoff budget and accumulated telemetry
+/// intact, not restart it from attempt 0.
+#[test]
+fn resume_mid_retry_preserves_backoff_budgets() {
+    let spec = lossy_spec();
+    let trials = spec.trial_count();
+    let boundaries = assert_resume_at_every_boundary("midretry", &spec);
+    // completions + header + at least one retry handoff record.
+    assert!(
+        boundaries > trials + 1,
+        "journal must contain retry records ({boundaries} boundaries, {trials} trials)"
+    );
+}
+
+/// Mid-record kills (satellite 3, end to end): cut the journal at
+/// arbitrary *non*-boundary offsets — recovery truncates to the last
+/// valid frontier, never panics, never double-counts a trial.
+#[test]
+fn mid_record_kill_recovers_without_double_counting() {
+    let spec = CampaignSpec::new("service-kill", 23)
+        .targets(["twitter.com"])
+        .method(MethodKind::Scan)
+        .policy(NamedPolicy::new("control", CensorPolicy::new()))
+        .trials_per_cell(4)
+        .run_secs(20);
+    let baseline = fingerprint_run(&spec, &RunConfig::new(1));
+    let trials = spec.trial_count();
+
+    let path = tmp("midrecord");
+    let cfg = RunConfig::new(2).checkpoint(path.clone()).fsync_every(1);
+    let tel = Telemetry::with_trace(4096);
+    run_service(&spec, &cfg, &tel, &mut VecSink::new()).expect("full run");
+    let full = std::fs::read(&path).expect("journal bytes");
+
+    let header = underradar_runner::journal::HEADER_LEN as usize;
+    let step = ((full.len() - header) / 13).max(1);
+    for cut in (header..full.len()).step_by(step) {
+        std::fs::write(&path, &full[..cut]).expect("mid-record cut");
+        let tel = Telemetry::with_trace(4096);
+        let outcome = run_service(&spec, &cfg, &tel, &mut VecSink::new()).expect("recovered run");
+        assert_eq!(outcome.restored + outcome.executed, trials, "cut {cut}");
+        assert_eq!(
+            outcome.report.trial_count(),
+            trials,
+            "cut {cut}: no loss, no double-count"
+        );
+        assert_eq!(outcome.report.render_text(), baseline.0, "cut {cut}");
+        assert_eq!(tel.snapshot().to_json(), baseline.1, "cut {cut}");
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn resuming_a_finished_run_executes_nothing() {
+    let spec = spec();
+    let path = tmp("finished");
+    let cfg = RunConfig::new(2).checkpoint(path.clone());
+    let tel = Telemetry::with_trace(4096);
+    run_service(&spec, &cfg, &tel, &mut VecSink::new()).expect("full run");
+
+    let tel2 = Telemetry::with_trace(4096);
+    let mut sink = VecSink::new();
+    let outcome = run_service(&spec, &cfg, &tel2, &mut sink).expect("no-op resume");
+    assert_eq!(outcome.executed, 0);
+    assert_eq!(outcome.restored, spec.trial_count());
+    assert!(sink.rows.is_empty(), "restored rows are not re-emitted");
+    assert_eq!(tel2.snapshot().to_json(), tel.snapshot().to_json());
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn a_journal_from_a_different_spec_is_refused() {
+    let path = tmp("wrongspec");
+    let cfg = RunConfig::new(1).checkpoint(path.clone());
+    let tel = Telemetry::disabled();
+    run_service(&spec(), &cfg, &tel, &mut VecSink::new()).expect("first spec");
+    let other = spec().run_secs(31);
+    match run_service(&other, &cfg, &tel, &mut VecSink::new()) {
+        Err(JournalError::SpecMismatch { .. }) => {}
+        other => panic!("expected SpecMismatch, got {other:?}"),
+    }
+    let _ = std::fs::remove_file(&path);
+}

@@ -111,6 +111,26 @@ impl Histogram {
         &self.buckets
     }
 
+    /// Reconstruct a histogram from serialized parts (the journal codec's
+    /// decode path). `min` is as reported by [`Histogram::min`] — 0 for an
+    /// empty histogram — and is restored to the internal sentinel when
+    /// `count == 0`, so decode(encode(h)) == h for every histogram.
+    pub fn from_parts(
+        count: u64,
+        sum: u64,
+        min: u64,
+        max: u64,
+        buckets: [u64; BUCKET_COUNT],
+    ) -> Histogram {
+        Histogram {
+            count,
+            sum,
+            min: if count == 0 { u64::MAX } else { min },
+            max,
+            buckets,
+        }
+    }
+
     /// Whether no observations have been recorded.
     pub fn is_empty(&self) -> bool {
         self.count == 0

@@ -36,15 +36,18 @@
 #![warn(missing_docs)]
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
+pub mod codec;
 pub mod hist;
 pub mod json;
 pub mod registry;
 pub mod sink;
+pub mod stream;
 pub mod trace;
 
 pub use hist::{Histogram, BUCKET_COUNT};
 pub use registry::{Event, FieldValue, Registry, SpanRecord};
 pub use sink::{EventSink, MemorySink, NoopSink};
+pub use stream::StreamMerger;
 pub use trace::{TraceBuf, TraceFlow, TraceRecord, Tracer, DEFAULT_TRACE_CAPACITY, TRACE_ENV};
 
 use std::cell::{Cell, RefCell};

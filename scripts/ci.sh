@@ -88,4 +88,31 @@ awk '
   }
 ' "$tmpdir/campaign_trace_1.txt"
 
+echo "==> run-service smoke (service vs plain engine; 1 vs 8 workers byte identity)"
+./target/release/exp_campaign --service --shards 1 > "$tmpdir/service_1.txt" 2>/dev/null
+./target/release/exp_campaign --service --shards 8 > "$tmpdir/service_8.txt" 2>/dev/null
+cmp "$tmpdir/campaign_plain.txt" "$tmpdir/service_1.txt"
+cmp "$tmpdir/service_1.txt" "$tmpdir/service_8.txt"
+
+echo "==> crash-resume smoke (SIGKILL mid-run, resume from journal, byte identity vs clean run)"
+# A synthetic matrix big enough that the kill lands mid-run (~5s clean on
+# CI hardware); the resumed run must both restore journaled trials and
+# execute the remainder, and its stdout must match the uninterrupted run.
+n=30000
+./target/release/exp_campaign --service --synthetic "$n" --shards 4 > "$tmpdir/service_clean.txt" 2>/dev/null
+./target/release/exp_campaign --service --synthetic "$n" --shards 4 \
+  --checkpoint "$tmpdir/ckpt.journal" > /dev/null 2>&1 &
+victim=$!
+sleep 1.5
+kill -9 "$victim" 2>/dev/null || true
+wait "$victim" 2>/dev/null || true
+./target/release/exp_campaign --service --synthetic "$n" --shards 4 \
+  --checkpoint "$tmpdir/ckpt.journal" > "$tmpdir/service_resumed.txt" 2> "$tmpdir/service_resumed.err"
+cmp "$tmpdir/service_clean.txt" "$tmpdir/service_resumed.txt"
+grep -E 'service: [0-9]+ executed, [0-9]+ restored' "$tmpdir/service_resumed.err"
+if grep -qE 'service: 0 executed|service: [0-9]+ executed, 0 restored' "$tmpdir/service_resumed.err"; then
+  echo "crash-resume smoke did not exercise a mid-run kill (adjust n or the sleep)" >&2
+  exit 1
+fi
+
 echo "CI green"
