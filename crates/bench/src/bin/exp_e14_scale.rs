@@ -1,0 +1,8 @@
+//! E14 binary: population-scale monitor core.
+
+fn main() {
+    underradar_bench::cli::exp_main(
+        "e14_scale",
+        underradar_bench::experiments::e14_scale::run_with,
+    );
+}

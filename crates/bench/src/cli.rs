@@ -39,47 +39,149 @@ pub enum OutputMode {
     Trace,
 }
 
+/// Typed accumulation of the output flags. Each `--json` / `--jsonl` /
+/// `--telemetry` / `--trace` occurrence (or its env-var equivalent) sets
+/// an independent bit; [`OutputSpec::mode`] resolves any combination with
+/// one precedence order — trace ≻ jsonl ≻ json ≻ telemetry ≻ text — so
+/// flag order never matters and every combination is defined. A trace
+/// subsumes the registry, and the JSON envelopes deliberately exclude
+/// trace records, which is why trace outranks everything.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OutputSpec {
+    json: bool,
+    jsonl: bool,
+    telemetry: bool,
+    trace: bool,
+}
+
+impl OutputSpec {
+    /// A spec with no flags set (plain-text report).
+    pub fn new() -> OutputSpec {
+        OutputSpec::default()
+    }
+
+    /// Request the `--json` envelope.
+    pub fn json(mut self, on: bool) -> OutputSpec {
+        self.json = on;
+        self
+    }
+
+    /// Request the `--jsonl` row stream.
+    pub fn jsonl(mut self, on: bool) -> OutputSpec {
+        self.jsonl = on;
+        self
+    }
+
+    /// Request the `--telemetry` text appendix.
+    pub fn telemetry(mut self, on: bool) -> OutputSpec {
+        self.telemetry = on;
+        self
+    }
+
+    /// Request the `--trace` flight-recorder dump.
+    pub fn trace(mut self, on: bool) -> OutputSpec {
+        self.trace = on;
+        self
+    }
+
+    /// Parse a spec from CLI arguments plus the ambient telemetry/trace
+    /// env vars.
+    pub fn from_cli<I: IntoIterator<Item = String>>(args: I) -> OutputSpec {
+        Self::from_parts(
+            std::env::var(TELEMETRY_ENV).ok(),
+            std::env::var(TRACE_ENV).ok(),
+            args,
+        )
+    }
+
+    /// [`OutputSpec::from_cli`] with the env vars' values passed
+    /// explicitly (testable regardless of the ambient environment).
+    pub fn from_parts<I: IntoIterator<Item = String>>(
+        tel_env: Option<String>,
+        trace_env: Option<String>,
+        args: I,
+    ) -> OutputSpec {
+        let mut spec = OutputSpec::new()
+            .telemetry(env_set(tel_env))
+            .trace(env_set(trace_env));
+        for arg in args {
+            match arg.as_str() {
+                "--json" => spec.json = true,
+                "--jsonl" => spec.jsonl = true,
+                "--telemetry" => spec.telemetry = true,
+                "--trace" => spec.trace = true,
+                _ => {}
+            }
+        }
+        spec
+    }
+
+    /// Resolve the accumulated flags into one output mode.
+    pub fn mode(self) -> OutputMode {
+        if self.trace {
+            OutputMode::Trace
+        } else if self.jsonl {
+            OutputMode::Jsonl
+        } else if self.json {
+            OutputMode::Json
+        } else if self.telemetry {
+            OutputMode::TextWithTelemetry
+        } else {
+            OutputMode::Text
+        }
+    }
+
+    /// The telemetry handle an experiment should run under: disabled for
+    /// plain text, trace-carrying for `--trace`, enabled otherwise.
+    pub fn telemetry_handle(self) -> Telemetry {
+        match self.mode() {
+            OutputMode::Text => Telemetry::disabled(),
+            OutputMode::Trace => Telemetry::with_trace(DEFAULT_TRACE_CAPACITY),
+            _ => Telemetry::enabled(),
+        }
+    }
+
+    /// Render the complete stdout for this spec — the single place the
+    /// mode-to-bytes mapping lives. Byte-identical to what each mode has
+    /// always printed (pinned by the CLI golden test).
+    pub fn render(
+        self,
+        name: &str,
+        report: &str,
+        registry: &underradar_telemetry::Registry,
+    ) -> String {
+        match self.mode() {
+            OutputMode::Text => report.to_string(),
+            OutputMode::TextWithTelemetry => {
+                format!("{report}--- telemetry ---\n{}", registry.render_text())
+            }
+            OutputMode::Json => {
+                let mut out = render_json(name, report, registry);
+                out.push('\n');
+                out
+            }
+            OutputMode::Jsonl => render_jsonl(name, report, registry),
+            OutputMode::Trace => render_trace(report, registry),
+        }
+    }
+}
+
 /// Decide the output mode from flags plus the telemetry/trace env vars.
 pub fn output_mode<I: IntoIterator<Item = String>>(args: I) -> OutputMode {
-    mode_from(
-        std::env::var(TELEMETRY_ENV).ok(),
-        std::env::var(TRACE_ENV).ok(),
-        args,
-    )
+    OutputSpec::from_cli(args).mode()
 }
 
 fn env_set(v: Option<String>) -> bool {
     v.is_some_and(|v| !v.is_empty() && v != "0")
 }
 
-/// [`output_mode`] with the env vars' values passed explicitly (testable
-/// regardless of the ambient environment). `--trace` outranks the other
-/// flags: a trace already subsumes the registry, and the JSON envelope
-/// deliberately excludes trace records.
+#[cfg(test)]
 fn mode_from<I: IntoIterator<Item = String>>(
     tel_env: Option<String>,
     trace_env: Option<String>,
     args: I,
 ) -> OutputMode {
-    let mut mode = if env_set(trace_env) {
-        OutputMode::Trace
-    } else if env_set(tel_env) {
-        OutputMode::TextWithTelemetry
-    } else {
-        OutputMode::Text
-    };
-    for arg in args {
-        match arg.as_str() {
-            "--trace" => mode = OutputMode::Trace,
-            "--jsonl" if mode != OutputMode::Trace => mode = OutputMode::Jsonl,
-            "--json" if !matches!(mode, OutputMode::Trace | OutputMode::Jsonl) => {
-                mode = OutputMode::Json
-            }
-            "--telemetry" if mode == OutputMode::Text => mode = OutputMode::TextWithTelemetry,
-            _ => {}
-        }
-    }
-    mode
+    OutputSpec::from_parts(tel_env, trace_env, args).mode()
 }
 
 /// Render the `--json` envelope for one experiment.
@@ -127,33 +229,10 @@ pub fn render_jsonl(name: &str, report: &str, registry: &underradar_telemetry::R
 
 /// The whole body of an `exp_*` binary.
 pub fn exp_main(name: &str, run: fn(&Telemetry) -> String) {
-    match output_mode(std::env::args().skip(1)) {
-        OutputMode::Text => {
-            print!("{}", run(&Telemetry::disabled()));
-        }
-        OutputMode::TextWithTelemetry => {
-            let tel = Telemetry::enabled();
-            let report = run(&tel);
-            print!("{report}");
-            println!("--- telemetry ---");
-            print!("{}", tel.snapshot().render_text());
-        }
-        OutputMode::Json => {
-            let tel = Telemetry::enabled();
-            let report = run(&tel);
-            println!("{}", render_json(name, &report, &tel.snapshot()));
-        }
-        OutputMode::Jsonl => {
-            let tel = Telemetry::enabled();
-            let report = run(&tel);
-            print!("{}", render_jsonl(name, &report, &tel.snapshot()));
-        }
-        OutputMode::Trace => {
-            let tel = Telemetry::with_trace(DEFAULT_TRACE_CAPACITY);
-            let report = run(&tel);
-            print!("{}", render_trace(&report, &tel.snapshot()));
-        }
-    }
+    let spec = OutputSpec::from_cli(std::env::args().skip(1));
+    let tel = spec.telemetry_handle();
+    let report = run(&tel);
+    print!("{}", spec.render(name, &report, &tel.snapshot()));
 }
 
 /// Render the `--trace` output: the unchanged report, the trace as JSON

@@ -18,6 +18,7 @@ pub mod e10_spoofability;
 pub mod e11_ethics_load;
 pub mod e12_risk_matrix;
 pub mod e13_evasion;
+pub mod e14_scale;
 
 /// A named experiment entry point. The function records metrics into the
 /// given [`Telemetry`] handle (a disabled handle costs one branch per
@@ -25,7 +26,7 @@ pub mod e13_evasion;
 pub type Experiment = (&'static str, fn(&Telemetry) -> String);
 
 /// Every experiment, in report order: `(name, run_with)`.
-pub const ALL: [Experiment; 14] = [
+pub const ALL: [Experiment; 15] = [
     ("e01_testbed", e01_testbed::run_with),
     ("e02_scan", e02_scan::run_with),
     ("e03_fig2_spam_cdf", e03_fig2_spam_cdf::run_with),
@@ -39,6 +40,7 @@ pub const ALL: [Experiment; 14] = [
     ("e11_ethics_load", e11_ethics_load::run_with),
     ("e12_risk_matrix", e12_risk_matrix::run_with),
     ("e13_evasion", e13_evasion::run_with),
+    ("e14_scale", e14_scale::run_with),
     ("a1_ablations", a1_ablations::run_with),
 ];
 

@@ -81,6 +81,7 @@ pub fn prepare(spec: &CampaignSpec) -> Vec<PolicyPrep<'_>> {
                 client_link_reorder: spec.client_link_reorder,
                 client_link_duplicate: spec.client_link_duplicate,
                 client_link_corrupt: spec.client_link_corrupt,
+                monitor_reassembly: spec.monitor_reassembly,
             });
             let routed_rules = default_surveillance_rules(
                 Testbed::home_net(),

@@ -2,6 +2,7 @@
 //! deterministic trial matrix.
 
 use underradar_censor::CensorPolicy;
+use underradar_ids::stream::ReassemblyConfig;
 
 use crate::seed;
 
@@ -144,6 +145,11 @@ pub struct CampaignSpec {
     pub client_link_corrupt: f64,
     /// Simulated seconds per attempt (before retry backoff extensions).
     pub run_secs: u64,
+    /// Monitor reassembly limits (flow-table capacity, per-direction
+    /// window/hold-back caps) shared by the censors and the surveillance
+    /// engine. Shapes which flows monitors still track, so it is part of
+    /// the fingerprint.
+    pub monitor_reassembly: ReassemblyConfig,
 }
 
 impl CampaignSpec {
@@ -165,6 +171,7 @@ impl CampaignSpec {
             client_link_duplicate: 0.0,
             client_link_corrupt: 0.0,
             run_secs: 60,
+            monitor_reassembly: ReassemblyConfig::default(),
         }
     }
 
@@ -258,6 +265,12 @@ impl CampaignSpec {
         self
     }
 
+    /// Set the monitor reassembly limits.
+    pub fn monitor_reassembly(mut self, cfg: ReassemblyConfig) -> CampaignSpec {
+        self.monitor_reassembly = cfg;
+        self
+    }
+
     /// Total trials the matrix expands to.
     pub fn trial_count(&self) -> usize {
         self.policies.len() * self.methods.len() * self.targets.len() * self.trials_per_cell
@@ -315,6 +328,9 @@ impl CampaignSpec {
         mix(&mut h, self.client_link_duplicate.to_bits());
         mix(&mut h, self.client_link_corrupt.to_bits());
         mix(&mut h, self.run_secs);
+        mix(&mut h, self.monitor_reassembly.max_flows as u64);
+        mix(&mut h, self.monitor_reassembly.limits.window as u64);
+        mix(&mut h, self.monitor_reassembly.limits.holdback as u64);
         h
     }
 
@@ -418,6 +434,10 @@ mod tests {
             spec().retry(RetryPolicy {
                 max_retries: 5,
                 backoff_secs: 30,
+            }),
+            spec().monitor_reassembly(ReassemblyConfig {
+                max_flows: 7,
+                ..ReassemblyConfig::default()
             }),
         ];
         for (i, v) in variants.iter().enumerate() {

@@ -10,9 +10,8 @@
 //! fails fast (rather than hanging until timeout).
 
 use std::any::Any;
-use underradar_netsim::hash::FxHashSet;
 
-use underradar_ids::stream::{FlowKey, StreamReassembler};
+use underradar_ids::stream::{FlowId, ReassemblyConfig, StreamReassembler};
 use underradar_netsim::node::{IfaceId, Node, NodeCtx};
 use underradar_netsim::packet::Packet;
 use underradar_netsim::telemetry::{TraceRecord, Tracer};
@@ -33,32 +32,56 @@ pub struct InlineCensorStats {
     pub url_blocks: u64,
 }
 
+/// Per-flow "already blocked a URL" marker, dense by [`FlowId::index`].
+/// Valid only while the generation matches the presented handle — a
+/// recycled arena slot reads as unfired without any teardown bookkeeping,
+/// so the inline censor needs no removal log at all.
+#[derive(Debug, Clone, Copy, Default)]
+struct UrlFired {
+    gen: u32,
+    fired: bool,
+}
+
 /// A two-port inline censor. Wire interface 0 toward the clients and
 /// interface 1 toward the wider network.
 pub struct InlineCensor {
     name: String,
     policy: CensorPolicy,
     reassembler: StreamReassembler,
-    fired_urls: FxHashSet<FlowKey>,
+    fired_urls: Vec<UrlFired>,
     actions: Vec<CensorAction>,
     stats: InlineCensorStats,
     tracer: Tracer,
 }
 
 impl InlineCensor {
-    /// Build from a policy.
+    /// Build from a policy with default reassembly limits.
     pub fn new(name: &str, policy: CensorPolicy) -> InlineCensor {
-        let mut reassembler = StreamReassembler::new();
-        reassembler.track_removals(true);
+        Self::with_reassembly(name, policy, ReassemblyConfig::default())
+    }
+
+    /// Build from a policy with explicit reassembly limits (flow-table
+    /// capacity and per-direction buffering caps).
+    pub fn with_reassembly(
+        name: &str,
+        policy: CensorPolicy,
+        cfg: ReassemblyConfig,
+    ) -> InlineCensor {
         InlineCensor {
             name: name.to_string(),
             policy,
-            reassembler,
-            fired_urls: FxHashSet::default(),
+            reassembler: StreamReassembler::with_config(cfg),
+            fired_urls: Vec::new(),
             actions: Vec::new(),
             stats: InlineCensorStats::default(),
             tracer: Tracer::disabled(),
         }
+    }
+
+    fn url_fired(&self, id: FlowId) -> bool {
+        self.fired_urls
+            .get(id.index())
+            .is_some_and(|f| f.fired && f.gen == id.generation())
     }
 
     /// Attach a flight-recorder trace. Records one decision per drop or
@@ -95,6 +118,10 @@ impl InlineCensor {
             "censor.inline.live_flows",
             self.reassembler.flow_count() as i64,
         );
+        tel.set_counter(
+            "censor.inline.flows.evicted",
+            self.reassembler.stats().evicted,
+        );
         crate::policy::export_actions(tel, "censor.inline", &self.actions);
     }
 
@@ -106,6 +133,12 @@ impl InlineCensor {
 impl Node for InlineCensor {
     fn name(&self) -> &str {
         &self.name
+    }
+
+    // Forwarding draws no randomness, so same-instant deliveries can be
+    // coalesced into one dispatch (order within the batch is preserved).
+    fn wants_batch(&self) -> bool {
+        true
     }
 
     fn receive(&mut self, ctx: &mut NodeCtx<'_>, iface: IfaceId, packet: Packet) {
@@ -163,15 +196,17 @@ impl Node for InlineCensor {
         if let Some(seg) = packet.as_tcp() {
             let seg = seg.clone();
             if let Some(flow_ctx) = self.reassembler.process(&packet) {
-                for key in self.reassembler.take_removed() {
-                    self.fired_urls.remove(&key);
-                }
-                if flow_ctx.appended && !self.fired_urls.contains(&flow_ctx.key) {
-                    let stream = self
-                        .reassembler
-                        .stream_of(&flow_ctx.key, flow_ctx.direction);
+                let id = flow_ctx.id.filter(|_| flow_ctx.appended);
+                if let Some(id) = id.filter(|&id| !self.url_fired(id)) {
+                    let stream = self.reassembler.stream_of_id(id, flow_ctx.direction);
                     if let Some(frag) = self.policy.matching_url(stream) {
-                        self.fired_urls.insert(flow_ctx.key);
+                        if id.index() >= self.fired_urls.len() {
+                            self.fired_urls.resize(id.index() + 1, UrlFired::default());
+                        }
+                        self.fired_urls[id.index()] = UrlFired {
+                            gen: id.generation(),
+                            fired: true,
+                        };
                         self.stats.url_blocks += 1;
                         if self.tracer.is_live() {
                             self.tracer.record(TraceRecord {

@@ -8,10 +8,9 @@
 //! the behaviour the measurement techniques detect.
 
 use std::any::Any;
-use underradar_netsim::hash::FxHashMap;
 
 use underradar_ids::dfa::{PrefilterDfa, DFA_START};
-use underradar_ids::stream::{Direction, FlowKey, StreamReassembler};
+use underradar_ids::stream::{Direction, FlowId, ReassemblyConfig, StreamReassembler};
 use underradar_netsim::node::{IfaceId, Node, NodeCtx};
 use underradar_netsim::packet::Packet;
 use underradar_netsim::telemetry::{TraceRecord, Tracer};
@@ -36,6 +35,32 @@ pub struct TapCensorStats {
     pub dns_injections: u64,
 }
 
+/// Dense per-flow censor state, indexed by the reassembler's
+/// [`FlowId::index`]. Meaningful only while `live` with a matching
+/// generation; a recycled arena slot is reset in place on first touch.
+#[derive(Debug)]
+struct TapFlowState {
+    gen: u32,
+    live: bool,
+    /// Persistent matcher cursor per direction.
+    c2s: u32,
+    s2c: u32,
+    /// Keyword indexes already RST on this flow — one strike per flow.
+    fired: Vec<usize>,
+}
+
+impl Default for TapFlowState {
+    fn default() -> TapFlowState {
+        TapFlowState {
+            gen: 0,
+            live: false,
+            c2s: DFA_START,
+            s2c: DFA_START,
+            fired: Vec::new(),
+        }
+    }
+}
+
 /// An off-path censor node. Attach its interface 0 to a switch tap port.
 pub struct TapCensor {
     name: String,
@@ -46,25 +71,32 @@ pub struct TapCensor {
     /// DFA's case folding is exact here), matched incrementally against
     /// each flow direction.
     keywords: PrefilterDfa,
-    /// Persistent matcher cursor per live flow direction.
-    cursors: FxHashMap<(FlowKey, Direction), u32>,
-    /// Keyword indexes already RST per flow — one strike per flow.
-    fired: FxHashMap<FlowKey, Vec<usize>>,
+    /// Per-flow cursors and strike lists, dense by [`FlowId::index`].
+    flow_states: Vec<TapFlowState>,
+    /// Slots currently live (telemetry / leak introspection).
+    live_states: usize,
     actions: Vec<CensorAction>,
     stats: TapCensorStats,
     tracer: Tracer,
 }
 
 impl TapCensor {
-    /// Build from a policy.
+    /// Build from a policy with default reassembly limits.
     pub fn new(name: &str, policy: CensorPolicy) -> TapCensor {
+        Self::with_reassembly(name, policy, ReassemblyConfig::default())
+    }
+
+    /// Build from a policy with explicit reassembly limits (flow-table
+    /// capacity and per-direction buffering caps) — the monitor-resource
+    /// knobs population-scale experiments sweep.
+    pub fn with_reassembly(name: &str, policy: CensorPolicy, cfg: ReassemblyConfig) -> TapCensor {
         let injector = DnsInjector::new(&policy);
         let patterns: Vec<Vec<u8>> = policy
             .keywords
             .iter()
             .map(|kw| kw.as_bytes().to_vec())
             .collect();
-        let mut reassembler = StreamReassembler::new();
+        let mut reassembler = StreamReassembler::with_config(cfg);
         reassembler.track_removals(true);
         TapCensor {
             name: name.to_string(),
@@ -72,12 +104,32 @@ impl TapCensor {
             reassembler,
             injector,
             keywords: PrefilterDfa::new(&patterns),
-            cursors: FxHashMap::default(),
-            fired: FxHashMap::default(),
+            flow_states: Vec::new(),
+            live_states: 0,
             actions: Vec::new(),
             stats: TapCensorStats::default(),
             tracer: Tracer::disabled(),
         }
+    }
+
+    /// The state slot for `id`, creating or recycling it in place.
+    fn ensure_state(&mut self, id: FlowId) -> &mut TapFlowState {
+        let idx = id.index();
+        if idx >= self.flow_states.len() {
+            self.flow_states.resize_with(idx + 1, TapFlowState::default);
+        }
+        let st = &mut self.flow_states[idx];
+        if !st.live || st.gen != id.generation() {
+            if !st.live {
+                self.live_states += 1;
+            }
+            st.gen = id.generation();
+            st.live = true;
+            st.c2s = DFA_START;
+            st.s2c = DFA_START;
+            st.fired.clear();
+        }
+        st
     }
 
     /// Attach a flight-recorder trace. The censor records one decision per
@@ -125,7 +177,8 @@ impl TapCensor {
             "censor.tap.live_flows",
             self.reassembler.flow_count() as i64,
         );
-        tel.set_gauge("censor.tap.cursors", self.cursors.len() as i64);
+        tel.set_gauge("censor.tap.cursors", self.live_states as i64);
+        tel.set_counter("censor.tap.flows.evicted", self.reassembler.stats().evicted);
         crate::policy::export_actions(tel, "censor.tap", &self.actions);
     }
 
@@ -136,28 +189,33 @@ impl TapCensor {
         };
         // Drop matcher state in lockstep with reassembler teardowns — this
         // is exactly the forgetting the paper's RST mimicry (§4.1) induces.
-        for key in self.reassembler.take_removed() {
-            self.cursors.remove(&(key, Direction::ToServer));
-            self.cursors.remove(&(key, Direction::ToClient));
-            self.fired.remove(&key);
+        for (_key, id) in self.reassembler.take_removed() {
+            if let Some(st) = self.flow_states.get_mut(id.index()) {
+                if st.live && st.gen == id.generation() {
+                    st.live = false;
+                    st.fired.clear();
+                    self.live_states -= 1;
+                }
+            }
         }
         if !flow_ctx.appended {
             return;
         }
+        let id = flow_ctx.id.expect("appended bytes imply a live flow");
+        self.ensure_state(id);
         // Feed only the newly reassembled tail to this direction's
         // persistent cursor: keywords straddling segment boundaries still
         // complete, without rescanning the buffered stream per segment.
         // The tail — not the raw segment — is what the hold-back queue
         // actually appended (it may splice in held out-of-order segments
         // or drop an overlap-trimmed prefix).
-        let view = self
-            .reassembler
-            .stream_of(&flow_ctx.key, flow_ctx.direction);
+        let view = self.reassembler.stream_of_id(id, flow_ctx.direction);
         let tail = &view[view.len() - flow_ctx.new_bytes.min(view.len())..];
-        let cursor = self
-            .cursors
-            .entry((flow_ctx.key, flow_ctx.direction))
-            .or_insert(DFA_START);
+        let st = &mut self.flow_states[id.index()];
+        let cursor = match flow_ctx.direction {
+            Direction::ToServer => &mut st.c2s,
+            Direction::ToClient => &mut st.s2c,
+        };
         let mut hits: Vec<usize> = Vec::new();
         self.keywords.feed(cursor, tail, |idx, _end| {
             if !hits.contains(&idx) {
@@ -166,11 +224,10 @@ impl TapCensor {
         });
         for idx in hits {
             let kw = &self.policy.keywords[idx];
-            let fired = self.fired.entry(flow_ctx.key).or_default();
-            if fired.contains(&idx) {
+            if st.fired.contains(&idx) {
                 continue;
             }
-            fired.push(idx);
+            st.fired.push(idx);
             // Inject the GFC RST pair: one at each endpoint, sequenced off
             // the observed segment so both stacks accept them.
             let next_client_seq = seg.seq.wrapping_add(seg.payload.len() as u32);
@@ -221,6 +278,12 @@ impl TapCensor {
 impl Node for TapCensor {
     fn name(&self) -> &str {
         &self.name
+    }
+
+    // Inspection draws no randomness, so same-instant deliveries can be
+    // coalesced into one dispatch.
+    fn wants_batch(&self) -> bool {
+        true
     }
 
     fn receive(&mut self, ctx: &mut NodeCtx<'_>, iface: IfaceId, packet: Packet) {

@@ -27,6 +27,7 @@ use std::rc::Rc;
 
 use underradar_censor::{CensorAction, CensorPolicy, InlineCensor, TapCensor};
 use underradar_ids::rule::Rule;
+use underradar_ids::stream::ReassemblyConfig;
 use underradar_netsim::addr::Cidr;
 use underradar_netsim::host::{Host, HostTask};
 use underradar_netsim::link::LinkConfig;
@@ -99,6 +100,11 @@ pub struct TestbedConfig {
     pub client_link_duplicate: f64,
     /// Single-byte corruption probability on the client's access link.
     pub client_link_corrupt: f64,
+    /// Reassembly limits shared by every monitor (both censors and the
+    /// surveillance engine): flow-table capacity and per-direction
+    /// buffering caps. Population-scale experiments sweep these to bound
+    /// per-flow monitor memory.
+    pub monitor_reassembly: ReassemblyConfig,
 }
 
 impl Default for TestbedConfig {
@@ -120,6 +126,7 @@ impl Default for TestbedConfig {
             client_link_reorder: 0.0,
             client_link_duplicate: 0.0,
             client_link_corrupt: 0.0,
+            monitor_reassembly: ReassemblyConfig::default(),
         }
     }
 }
@@ -201,19 +208,24 @@ impl TestbedTemplate {
         let resolver = topo.add_host(resolver_host);
 
         // --- monitors ---
-        let mut tap_censor = TapCensor::new("censor", config.policy.clone());
+        let mut tap_censor =
+            TapCensor::with_reassembly("censor", config.policy.clone(), config.monitor_reassembly);
         tap_censor.set_rst_teardown(config.censor_rst_teardown);
         let censor = topo.add_node(Box::new(tap_censor));
 
         let mut surv_config = SurveillanceConfig::with_rules(self.rules.clone());
         surv_config.alert_first = config.surveillance_alert_first;
+        surv_config.reassembly = config.monitor_reassembly;
         let surveillance = topo.add_node(Box::new(SurveillanceNode::new("mvr", surv_config)));
 
         // --- switches and inline censor ---
         let sw1 = topo.add_switch(Switch::new("sw1"));
         let sw2 = topo.add_switch(Switch::new("sw2"));
-        let inline_censor =
-            topo.add_node(Box::new(InlineCensor::new("inline", config.policy.clone())));
+        let inline_censor = topo.add_node(Box::new(InlineCensor::with_reassembly(
+            "inline",
+            config.policy.clone(),
+            config.monitor_reassembly,
+        )));
 
         topo.attach_host(
             client,
@@ -685,6 +697,56 @@ mod tests {
         let before = snap.counters.clone();
         tb.export_telemetry(&tel);
         assert_eq!(tel.snapshot().counters, before);
+    }
+
+    #[test]
+    fn monitor_reassembly_knob_reaches_every_monitor() {
+        use underradar_ids::stream::ReassemblyConfig;
+        use underradar_netsim::telemetry::Telemetry;
+        struct Get {
+            target: Ipv4Addr,
+        }
+        impl HostTask for Get {
+            fn on_start(&mut self, api: &mut HostApi<'_, '_>) {
+                api.tcp_connect(self.target, 80);
+            }
+            fn on_tcp(&mut self, api: &mut HostApi<'_, '_>, conn: ConnId, ev: TcpEvent) {
+                if let TcpEvent::Connected = ev {
+                    api.tcp_send(conn, b"GET / HTTP/1.0\r\nHost: x\r\n\r\n");
+                }
+            }
+        }
+        let config = TestbedConfig {
+            monitor_reassembly: ReassemblyConfig {
+                max_flows: 1,
+                ..ReassemblyConfig::default()
+            },
+            ..TestbedConfig::default()
+        };
+        let mut tb = Testbed::build(config);
+        let webs: Vec<Ipv4Addr> = ["bbc.com", "example.org", "twitter.com"]
+            .iter()
+            .map(|d| tb.target(d).expect("target").web_ip)
+            .collect();
+        for (i, web) in webs.into_iter().enumerate() {
+            tb.spawn_on_client(
+                SimTime::ZERO + SimDuration::from_secs(i as u64),
+                Box::new(Get { target: web }),
+            );
+        }
+        tb.run_secs(10);
+        let tel = Telemetry::enabled();
+        tb.export_telemetry(&tel);
+        let snap = tel.snapshot();
+        // Three concurrent-ish web flows through a capacity-1 table must
+        // evict in each monitor's reassembler.
+        for counter in [
+            "censor.tap.flows.evicted",
+            "censor.inline.flows.evicted",
+            "ids.engine.flows.evicted",
+        ] {
+            assert!(snap.counter(counter) > 0, "{counter} saw no evictions");
+        }
     }
 
     #[test]

@@ -32,12 +32,24 @@
 //! The prefilter DFA is case-folded; hits for case-*sensitive* fast
 //! patterns are confirmed against the exact bytes at the match offset
 //! before a rule becomes a candidate, so candidate sets match what the
-//! two-automata Aho–Corasick produced. Per-flow matcher and dedup state
-//! is dropped in lockstep with reassembler teardowns, so engine memory is
-//! bounded by live flows. One consequence of teardown-before-evaluation:
-//! a stream rule can no longer fire on the RST segment itself — by then
-//! the buffer is gone, which is precisely the monitor blindness the
-//! paper's §4.1 mimicry relies on.
+//! two-automata Aho–Corasick produced.
+//!
+//! Per-flow matcher and dedup state lives in a *dense side table* indexed
+//! by the reassembler's [`FlowId::index`]: no `(key, direction)` hash per
+//! packet — the flow context carries the handle and the engine
+//! dereferences. Slots store the generation they were initialized for, so
+//! recycled flow slots start clean by construction; the teardown log is
+//! still drained each packet to keep the live-state count exact, and
+//! engine memory stays bounded by the flow table's high-water mark. One
+//! consequence of teardown-before-evaluation: a stream rule can no longer
+//! fire on the RST segment itself — by then the buffer is gone, which is
+//! precisely the monitor blindness the paper's §4.1 mimicry relies on.
+//!
+//! [`DetectionEngine::process_batch`] is the scale entry point: it runs a
+//! same-instant packet run through the identical per-packet pipeline but
+//! appends alerts into one caller-owned buffer and hoists per-call
+//! bookkeeping (trace clock, teardown drain scheduling) out of the loop —
+//! byte-identical verdicts to per-packet [`DetectionEngine::process`].
 
 use std::net::Ipv4Addr;
 
@@ -50,7 +62,7 @@ use underradar_netsim::time::{SimDuration, SimTime};
 use crate::alert::{Alert, AlertLog};
 use crate::dfa::{PrefilterDfa, DFA_START};
 use crate::rule::{FlowOption, PortSpec, Proto, Rule, RuleAction, ThresholdKind};
-use crate::stream::{Direction, FlowContext, FlowKey, StreamReassembler};
+use crate::stream::{Direction, FlowContext, FlowId, ReassemblyConfig, StreamReassembler};
 
 /// Engine statistics.
 #[derive(Debug, Clone, Copy, Default)]
@@ -92,6 +104,41 @@ impl Default for StreamMatchState {
             cursor: DFA_START,
             seen: Vec::new(),
         }
+    }
+}
+
+/// Dense per-flow engine state, indexed by [`FlowId::index`]. A slot is
+/// meaningful only while `live` is set and `gen` matches the presented
+/// handle's generation; a recycled arena index carries a bumped
+/// generation and is reset in place on first touch, so stale matcher or
+/// dedup state can never leak into a new flow. The table's length is
+/// bounded by the reassembler flow table's high-water mark, and cleared
+/// slots keep their `Vec` capacities — steady-state churn allocates
+/// nothing.
+#[derive(Debug, Default)]
+struct FlowEngineState {
+    gen: u32,
+    live: bool,
+    c2s: StreamMatchState,
+    s2c: StreamMatchState,
+    /// Stream-rule dedup: sids already alerted on this flow.
+    alerted: Vec<u32>,
+}
+
+impl FlowEngineState {
+    fn dir(&self, dir: Direction) -> &StreamMatchState {
+        match dir {
+            Direction::ToServer => &self.c2s,
+            Direction::ToClient => &self.s2c,
+        }
+    }
+
+    fn clear(&mut self) {
+        self.c2s.cursor = DFA_START;
+        self.c2s.seen.clear();
+        self.s2c.cursor = DFA_START;
+        self.s2c.seen.clear();
+        self.alerted.clear();
     }
 }
 
@@ -232,10 +279,11 @@ pub struct DetectionEngine {
     is_pass: Vec<bool>,
     reassembler: StreamReassembler,
     thresholds: FxHashMap<(u32, Ipv4Addr), ThresholdState>,
-    /// Incremental prefilter state per live flow direction.
-    flow_streams: FxHashMap<(FlowKey, Direction), StreamMatchState>,
-    /// Stream-rule dedup: sids already alerted per live flow.
-    flow_alerted: FxHashMap<FlowKey, Vec<u32>>,
+    /// Dense per-flow matcher and dedup state, indexed by
+    /// [`FlowId::index`]; no per-packet key hash after flow setup.
+    flow_states: Vec<FlowEngineState>,
+    /// Slots in `flow_states` currently live (leak-test introspection).
+    live_states: usize,
     /// Reused per-packet candidate shortlist (no per-packet allocation).
     candidates: CandidateSet,
     log: AlertLog,
@@ -245,8 +293,14 @@ pub struct DetectionEngine {
 }
 
 impl DetectionEngine {
-    /// Compile an engine from a ruleset.
+    /// Compile an engine from a ruleset with default reassembly limits.
     pub fn new(rules: Vec<Rule>) -> DetectionEngine {
+        Self::with_reassembly(rules, ReassemblyConfig::default())
+    }
+
+    /// Compile an engine with explicit reassembly limits (flow-table
+    /// capacity and per-direction buffer/hold-back windows).
+    pub fn with_reassembly(rules: Vec<Rule>, cfg: ReassemblyConfig) -> DetectionEngine {
         let mut folded: Vec<Vec<u8>> = Vec::new();
         let mut patterns = Vec::new();
         let mut groups = RuleGroups::default();
@@ -266,7 +320,7 @@ impl DetectionEngine {
                 None => groups.add(idx as u32, rule),
             }
         }
-        let mut reassembler = StreamReassembler::new();
+        let mut reassembler = StreamReassembler::with_config(cfg);
         reassembler.track_removals(true);
         DetectionEngine {
             prefilter: PrefilterDfa::new(&folded),
@@ -278,12 +332,48 @@ impl DetectionEngine {
             rules,
             reassembler,
             thresholds: FxHashMap::default(),
-            flow_streams: FxHashMap::default(),
-            flow_alerted: FxHashMap::default(),
+            flow_states: Vec::new(),
+            live_states: 0,
             log: AlertLog::new(),
             stats: EngineStats::default(),
             tracer: Tracer::disabled(),
         }
+    }
+
+    /// The live state slot for `id`, if one was created for exactly this
+    /// flow (index *and* generation match). Over the bare table so
+    /// callers can hold other field borrows.
+    fn state_in(states: &[FlowEngineState], id: FlowId) -> Option<&FlowEngineState> {
+        let st = states.get(id.index())?;
+        (st.live && st.gen == id.generation()).then_some(st)
+    }
+
+    /// The state slot for `id`, creating or recycling it in place. Takes
+    /// the fields rather than `&mut self` so callers can hold disjoint
+    /// borrows (e.g. a stream view from the reassembler).
+    fn ensure_state<'a>(
+        states: &'a mut Vec<FlowEngineState>,
+        live_states: &mut usize,
+        id: FlowId,
+    ) -> &'a mut FlowEngineState {
+        let idx = id.index();
+        if idx >= states.len() {
+            states.resize_with(idx + 1, FlowEngineState::default);
+        }
+        let st = &mut states[idx];
+        if !st.live || st.gen != id.generation() {
+            // A live slot under a different generation means the arena
+            // recycled the index before this packet's removal log was
+            // drained (evict-and-create in one insert): the old flow's
+            // liveness transfers to the new one, net zero.
+            if !st.live {
+                *live_states += 1;
+            }
+            st.gen = id.generation();
+            st.live = true;
+            st.clear();
+        }
+        st
     }
 
     /// Disable RST-teardown in the reassembler (ablation knob).
@@ -313,16 +403,40 @@ impl DetectionEngine {
         self.reassembler.stats()
     }
 
-    /// Number of per-flow-direction matcher states currently held
-    /// (introspection for leak tests; bounded by 2 × live flows).
+    /// Flows currently tracked by the reassembler's arena table.
+    pub fn live_flows(&self) -> usize {
+        self.reassembler.flow_count()
+    }
+
+    /// Number of per-flow matcher states currently live (introspection
+    /// for leak tests; bounded by live flows).
     pub fn flow_state_count(&self) -> usize {
-        self.flow_streams.len()
+        self.live_states
     }
 
     /// Total stream rules currently pending across live flow directions
     /// (introspection: bounded growth is the point of seen-retirement).
     pub fn pending_stream_rules(&self) -> usize {
-        self.flow_streams.values().map(|s| s.seen.len()).sum()
+        self.flow_states
+            .iter()
+            .filter(|s| s.live)
+            .map(|s| s.c2s.seen.len() + s.s2c.seen.len())
+            .sum()
+    }
+
+    /// Approximate bytes held by per-flow engine state and the flow
+    /// table (memory-budget introspection for population-scale runs).
+    pub fn flow_memory_bytes(&self) -> usize {
+        let side = self.flow_states.capacity() * std::mem::size_of::<FlowEngineState>()
+            + self
+                .flow_states
+                .iter()
+                .map(|s| {
+                    (s.c2s.seen.capacity() + s.s2c.seen.capacity() + s.alerted.capacity())
+                        * std::mem::size_of::<u32>()
+                })
+                .sum::<usize>();
+        side + self.reassembler.table_bytes()
     }
 
     /// The compiled rules.
@@ -375,13 +489,43 @@ impl DetectionEngine {
         );
         tel.set_gauge(
             &format!("{prefix}.flow_match_states"),
-            self.flow_streams.len() as i64,
+            self.live_states as i64,
+        );
+        tel.set_gauge(
+            &format!("{prefix}.flows.capacity"),
+            self.reassembler.flow_capacity().min(i64::MAX as usize) as i64,
+        );
+        tel.set_gauge(
+            &format!("{prefix}.flows.table_bytes"),
+            self.flow_memory_bytes() as i64,
         );
     }
 
     /// Process one packet; returns the alerts it raised (also appended to
     /// the log).
     pub fn process(&mut self, now: SimTime, packet: &Packet) -> Vec<Alert> {
+        let mut fired = Vec::new();
+        self.process_into(now, packet, &mut fired);
+        fired
+    }
+
+    /// Process a same-instant packet run, appending every alert to `out`.
+    ///
+    /// Verdict-identical to calling [`DetectionEngine::process`] per
+    /// packet — same alerts, stats, telemetry, traces — but the per-call
+    /// output allocation is amortized into one caller-owned buffer. This
+    /// is the engine half of the scale path: the netsim side coalesces
+    /// same-instant deliveries ([`Node::receive_batch`]) and hands the
+    /// whole run here in one dispatch.
+    ///
+    /// [`Node::receive_batch`]: underradar_netsim::node::Node::receive_batch
+    pub fn process_batch(&mut self, now: SimTime, packets: &[Packet], out: &mut Vec<Alert>) {
+        for packet in packets {
+            self.process_into(now, packet, out);
+        }
+    }
+
+    fn process_into(&mut self, now: SimTime, packet: &Packet, out: &mut Vec<Alert>) {
         self.stats.packets += 1;
         if self.tracer.is_live() {
             self.reassembler.set_now(now.as_nanos());
@@ -394,24 +538,28 @@ impl DetectionEngine {
         let payload = packet.body.payload();
         if let Some(ctx) = &flow_ctx {
             if ctx.appended {
+                let id = ctx.id.expect("appended bytes imply a live flow");
                 // Feed the newly reassembled tail, not the raw segment:
                 // with hold-back and overlap trimming the appended bytes
                 // can differ from this segment's payload in both content
                 // and length.
-                let view = self.reassembler.stream_of(&ctx.key, ctx.direction);
+                let view = self.reassembler.stream_of_id(id, ctx.direction);
                 let tail = &view[view.len() - ctx.new_bytes.min(view.len())..];
                 self.stats.ac_bytes_scanned += tail.len() as u64;
                 let base = view.len() - tail.len();
-                let st = self
-                    .flow_streams
-                    .entry((ctx.key, ctx.direction))
-                    .or_default();
+                let st = Self::ensure_state(&mut self.flow_states, &mut self.live_states, id);
+                let FlowEngineState {
+                    c2s, s2c, alerted, ..
+                } = st;
+                let StreamMatchState { cursor, seen } = match ctx.direction {
+                    Direction::ToServer => c2s,
+                    Direction::ToClient => s2c,
+                };
+                let alerted: &Vec<u32> = alerted;
                 let patterns = &self.patterns;
                 let is_stream = &self.is_stream;
                 let is_pass = &self.is_pass;
                 let rules = &self.rules;
-                let alerted = self.flow_alerted.get(&ctx.key);
-                let StreamMatchState { cursor, seen } = st;
                 self.prefilter.feed(cursor, tail, |pat, end| {
                     let m = &patterns[pat];
                     let idx = m.rule as usize;
@@ -434,12 +582,8 @@ impl DetectionEngine {
                     // Already-alerted rules can never fire again on this
                     // flow; keep them out of `seen` so they stop costing
                     // anything per segment.
-                    if !is_pass[idx] {
-                        if let Some(sids) = alerted {
-                            if sids.contains(&rules[idx].sid) {
-                                return;
-                            }
-                        }
+                    if !is_pass[idx] && alerted.contains(&rules[idx].sid) {
+                        return;
                     }
                     if let Err(pos) = seen.binary_search(&m.rule) {
                         seen.insert(pos, m.rule);
@@ -447,16 +591,25 @@ impl DetectionEngine {
                 });
             }
         }
-        for key in self.reassembler.take_removed() {
-            self.flow_streams.remove(&(key, Direction::ToServer));
-            self.flow_streams.remove(&(key, Direction::ToClient));
-            self.flow_alerted.remove(&key);
+        for (_key, id) in self.reassembler.take_removed() {
+            if let Some(st) = self.flow_states.get_mut(id.index()) {
+                if st.live && st.gen == id.generation() {
+                    st.live = false;
+                    st.clear();
+                    self.live_states -= 1;
+                }
+            }
         }
 
         // The reassembled window for this segment's direction — borrowed,
-        // never cloned.
+        // never cloned. A torn-down flow's handle is stale by now, so the
+        // arena's generation check yields the empty window, matching the
+        // removed-flow behavior of the old key lookup.
         let stream: &[u8] = match &flow_ctx {
-            Some(ctx) => self.reassembler.stream_of(&ctx.key, ctx.direction),
+            Some(ctx) => match ctx.id {
+                Some(id) => self.reassembler.stream_of_id(id, ctx.direction),
+                None => &[],
+            },
             None => &[],
         };
 
@@ -480,8 +633,8 @@ impl DetectionEngine {
                 cand.insert(m.rule);
             });
             if let Some(ctx) = &flow_ctx {
-                if let Some(st) = self.flow_streams.get(&(ctx.key, ctx.direction)) {
-                    for &idx in &st.seen {
+                if let Some(st) = ctx.id.and_then(|id| Self::state_in(&self.flow_states, id)) {
+                    for &idx in &st.dir(ctx.direction).seen {
                         cand.insert(idx);
                     }
                 }
@@ -508,11 +661,10 @@ impl DetectionEngine {
             let rule = &self.rules[idx];
             if Self::rule_matches(rule, packet, flow_ctx.as_ref(), stream) {
                 self.stats.passed += 1;
-                return Vec::new();
+                return;
             }
         }
 
-        let mut fired = Vec::new();
         for i in 0..self.candidates.list.len() {
             let idx = self.candidates.list[i] as usize;
             if self.is_pass[idx] {
@@ -524,8 +676,8 @@ impl DetectionEngine {
             // stream scan per segment.
             if self.is_stream[idx] {
                 if let Some(ctx) = &flow_ctx {
-                    if let Some(sids) = self.flow_alerted.get(&ctx.key) {
-                        if sids.contains(&rule.sid) {
+                    if let Some(st) = ctx.id.and_then(|id| Self::state_in(&self.flow_states, id)) {
+                        if st.alerted.contains(&rule.sid) {
                             continue;
                         }
                     }
@@ -536,14 +688,25 @@ impl DetectionEngine {
                 continue;
             }
             if self.is_stream[idx] {
+                // Record dedup state only for flows that are still live:
+                // a rule firing on the teardown segment itself has no flow
+                // left to dedup against (the next flow on the 4-tuple gets
+                // a fresh generation regardless).
                 if let Some(ctx) = &flow_ctx {
-                    self.flow_alerted.entry(ctx.key).or_default().push(rule.sid);
-                    // Retire the rule from both directions' pending lists:
-                    // it can never fire again on this flow.
-                    for dir in [Direction::ToServer, Direction::ToClient] {
-                        if let Some(st) = self.flow_streams.get_mut(&(ctx.key, dir)) {
-                            if let Ok(pos) = st.seen.binary_search(&(idx as u32)) {
-                                st.seen.remove(pos);
+                    if !ctx.torn_down {
+                        if let Some(id) = ctx.id {
+                            let st = Self::ensure_state(
+                                &mut self.flow_states,
+                                &mut self.live_states,
+                                id,
+                            );
+                            st.alerted.push(rule.sid);
+                            // Retire the rule from both directions' pending
+                            // lists: it can never fire again on this flow.
+                            for s in [&mut st.c2s, &mut st.s2c] {
+                                if let Ok(pos) = s.seen.binary_search(&(idx as u32)) {
+                                    s.seen.remove(pos);
+                                }
                             }
                         }
                     }
@@ -626,9 +789,8 @@ impl DetectionEngine {
                 });
             }
             self.log.push(alert.clone());
-            fired.push(alert);
+            out.push(alert);
         }
-        fired
     }
 
     fn rule_matches(
@@ -1218,6 +1380,172 @@ mod tests {
             Some(9),
             "offset names the exact-case occurrence, not the folded one"
         );
+    }
+
+    #[test]
+    fn batch_processing_matches_per_packet_verdicts() {
+        // process_batch must be verdict- and stats-identical to a
+        // per-packet loop over the same traffic: same alerts in the same
+        // order, same counters, same flow-state footprint.
+        let rules = r#"alert tcp any any -> any 80 (msg:"kw-stream"; flow:established,to_server; content:"falun"; sid:500;)
+alert tcp any any -> any 80 (msg:"kw-pkt"; content:"tulip"; nocase; sid:501;)
+pass tcp 10.0.9.9 any -> any any (msg:"trusted"; sid:502;)"#;
+        let mut per_packet = engine(rules);
+        let mut batched = engine(rules);
+        let trusted = Ipv4Addr::new(10, 0, 9, 9);
+        let mut packets = vec![
+            Packet::tcp(C, S, 4000, 80, 100, 0, TcpFlags::syn(), vec![]),
+            Packet::tcp(S, C, 80, 4000, 500, 101, TcpFlags::syn_ack(), vec![]),
+            Packet::tcp(C, S, 4000, 80, 101, 501, TcpFlags::ack(), vec![]),
+            Packet::tcp(
+                C,
+                S,
+                4000,
+                80,
+                101,
+                501,
+                TcpFlags::psh_ack(),
+                b"fal".to_vec(),
+            ),
+            Packet::tcp(
+                C,
+                S,
+                4000,
+                80,
+                104,
+                501,
+                TcpFlags::psh_ack(),
+                b"un!".to_vec(),
+            ),
+            Packet::tcp(C, S, 4001, 80, 0, 0, TcpFlags::psh_ack(), b"TULIP".to_vec()),
+            Packet::tcp(
+                trusted,
+                S,
+                1,
+                80,
+                0,
+                0,
+                TcpFlags::psh_ack(),
+                b"tulip".to_vec(),
+            ),
+            Packet::tcp(C, S, 4000, 80, 107, 501, TcpFlags::rst(), vec![]),
+        ];
+        // Also exercise slot recycling inside one batch: a fresh flow on
+        // the recycled 4-tuple re-fires the stream rule.
+        packets.extend([
+            Packet::tcp(C, S, 4000, 80, 900, 0, TcpFlags::syn(), vec![]),
+            Packet::tcp(S, C, 80, 4000, 300, 901, TcpFlags::syn_ack(), vec![]),
+            Packet::tcp(C, S, 4000, 80, 901, 301, TcpFlags::ack(), vec![]),
+            Packet::tcp(
+                C,
+                S,
+                4000,
+                80,
+                901,
+                301,
+                TcpFlags::psh_ack(),
+                b"falun".to_vec(),
+            ),
+        ]);
+        let mut loop_alerts = Vec::new();
+        for p in &packets {
+            loop_alerts.extend(per_packet.process(t(0), p));
+        }
+        let mut batch_alerts = Vec::new();
+        batched.process_batch(t(0), &packets, &mut batch_alerts);
+        let sids: Vec<u32> = batch_alerts.iter().map(|a| a.sid).collect();
+        assert_eq!(sids, vec![500, 501, 500], "stream, packet, recycled-flow");
+        assert_eq!(
+            loop_alerts.iter().map(|a| a.sid).collect::<Vec<_>>(),
+            sids,
+            "batched verdicts identical to per-packet"
+        );
+        let (a, b) = (per_packet.stats(), batched.stats());
+        assert_eq!(a.packets, b.packets);
+        assert_eq!(a.evaluations, b.evaluations);
+        assert_eq!(a.alerts, b.alerts);
+        assert_eq!(a.passed, b.passed);
+        assert_eq!(a.ac_bytes_scanned, b.ac_bytes_scanned);
+        assert_eq!(per_packet.flow_state_count(), batched.flow_state_count());
+    }
+
+    #[test]
+    fn recycled_flow_slot_starts_clean() {
+        // Arena slot reuse: after teardown the same index is handed to the
+        // next flow under a new generation. The dense side table must not
+        // leak the old flow's dedup set into it — and flow_state_count must
+        // return to zero once the recycled flow also tears down.
+        let mut e = engine(
+            r#"alert tcp any any -> any 80 (msg:"kw"; flow:established,to_server; content:"falun"; sid:700;)"#,
+        );
+        for round in 0..5u32 {
+            let seq = 100 + round * 1000;
+            let syn = Packet::tcp(C, S, 4000, 80, seq, 0, TcpFlags::syn(), vec![]);
+            let syn_ack = Packet::tcp(S, C, 80, 4000, 500, seq + 1, TcpFlags::syn_ack(), vec![]);
+            let ack = Packet::tcp(C, S, 4000, 80, seq + 1, 501, TcpFlags::ack(), vec![]);
+            let data = Packet::tcp(
+                C,
+                S,
+                4000,
+                80,
+                seq + 1,
+                501,
+                TcpFlags::psh_ack(),
+                b"falun".to_vec(),
+            );
+            let rst = Packet::tcp(C, S, 4000, 80, seq + 6, 501, TcpFlags::rst(), vec![]);
+            let _ = e.process(t(0), &syn);
+            let _ = e.process(t(0), &syn_ack);
+            let _ = e.process(t(0), &ack);
+            assert_eq!(
+                e.process(t(0), &data).len(),
+                1,
+                "round {round}: recycled slot must not inherit dedup"
+            );
+            let _ = e.process(t(0), &rst);
+            assert_eq!(e.flow_state_count(), 0, "round {round}: state released");
+        }
+        assert_eq!(e.stats().alerts, 5);
+    }
+
+    #[test]
+    fn engine_honors_reassembly_config() {
+        // A two-flow table: the third concurrent flow evicts the oldest,
+        // and the evicted flow's matcher state goes with it.
+        let rules = parse_ruleset(
+            r#"alert tcp any any -> any 80 (msg:"kw"; flow:established,to_server; content:"falun"; sid:800;)"#,
+            &VarTable::new(),
+        )
+        .expect("rules parse");
+        let mut e = DetectionEngine::with_reassembly(
+            rules,
+            crate::stream::ReassemblyConfig {
+                max_flows: 2,
+                ..Default::default()
+            },
+        );
+        for port in 0..3u16 {
+            let syn = Packet::tcp(C, S, 4100 + port, 80, 100, 0, TcpFlags::syn(), vec![]);
+            let syn_ack = Packet::tcp(S, C, 80, 4100 + port, 500, 101, TcpFlags::syn_ack(), vec![]);
+            let ack = Packet::tcp(C, S, 4100 + port, 80, 101, 501, TcpFlags::ack(), vec![]);
+            let data = Packet::tcp(
+                C,
+                S,
+                4100 + port,
+                80,
+                101,
+                501,
+                TcpFlags::psh_ack(),
+                b"falun".to_vec(),
+            );
+            let _ = e.process(t(0), &syn);
+            let _ = e.process(t(0), &syn_ack);
+            let _ = e.process(t(0), &ack);
+            assert_eq!(e.process(t(0), &data).len(), 1);
+        }
+        assert_eq!(e.reassembly_stats().evicted, 1, "third flow evicted one");
+        assert_eq!(e.flow_state_count(), 2, "evicted flow's state released");
+        assert!(e.flow_memory_bytes() > 0);
     }
 
     #[test]

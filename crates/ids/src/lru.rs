@@ -1,201 +1,35 @@
-//! O(1) insertion-order bookkeeping for flow eviction.
+//! O(1) insertion-order bookkeeping — moved to the shared netsim arena.
 //!
-//! The reassembler evicts the least-recently-*created* flow when its table
-//! is full. [`OrderQueue`] is an intrusive doubly-linked list over a slab:
-//! push, arbitrary removal (by the node id stored in the flow) and
-//! pop-oldest are all O(1), and the structure never retains entries for
-//! flows that have been torn down — memory is bounded by the number of
-//! live flows (the seed implementation kept a `Vec` of every key ever
-//! inserted and paid O(n) per eviction).
+//! The intrusive slab-backed order queue that lived here was extracted
+//! into [`underradar_netsim::slab`] so flow tables, reassembly
+//! bookkeeping, and MVR class state share one audited implementation.
+//! The ported [`OrderQueue`] hands out generational [`OrderId`] handles
+//! instead of raw `u32` node ids: a stale handle (already removed, or its
+//! slot since recycled) is detected and removal through it is a no-op,
+//! where the old raw ids could alias a recycled slot.
+//!
+//! This module re-exports the shared types so IDS-side callers keep a
+//! natural path; the reassembler itself now uses the higher-level
+//! [`underradar_netsim::flow::FlowTable`], which threads the same
+//! intrusive-order pattern through its arena slots.
 
-/// Sentinel for "no node".
-const NIL: u32 = u32::MAX;
-
-#[derive(Debug, Clone)]
-struct Node<K> {
-    key: Option<K>,
-    prev: u32,
-    next: u32,
-}
-
-/// A FIFO queue over copyable keys with O(1) removal from the middle.
-///
-/// `push_back` returns a stable node id; store it alongside the keyed value
-/// and hand it back to [`OrderQueue::remove`] when the value is dropped.
-#[derive(Debug, Clone, Default)]
-pub struct OrderQueue<K> {
-    nodes: Vec<Node<K>>,
-    free: Vec<u32>,
-    head: u32,
-    tail: u32,
-    len: usize,
-}
-
-impl<K: Copy> OrderQueue<K> {
-    /// An empty queue.
-    pub fn new() -> OrderQueue<K> {
-        OrderQueue {
-            nodes: Vec::new(),
-            free: Vec::new(),
-            head: NIL,
-            tail: NIL,
-            len: 0,
-        }
-    }
-
-    /// Number of queued keys.
-    pub fn len(&self) -> usize {
-        self.len
-    }
-
-    /// Whether the queue is empty.
-    pub fn is_empty(&self) -> bool {
-        self.len == 0
-    }
-
-    /// Append `key` as the newest entry; returns its node id.
-    pub fn push_back(&mut self, key: K) -> u32 {
-        let id = match self.free.pop() {
-            Some(id) => {
-                self.nodes[id as usize] = Node {
-                    key: Some(key),
-                    prev: self.tail,
-                    next: NIL,
-                };
-                id
-            }
-            None => {
-                let id = self.nodes.len() as u32;
-                self.nodes.push(Node {
-                    key: Some(key),
-                    prev: self.tail,
-                    next: NIL,
-                });
-                id
-            }
-        };
-        if self.tail != NIL {
-            self.nodes[self.tail as usize].next = id;
-        } else {
-            self.head = id;
-        }
-        self.tail = id;
-        self.len += 1;
-        id
-    }
-
-    /// The oldest key, if any.
-    pub fn front(&self) -> Option<K> {
-        if self.head == NIL {
-            None
-        } else {
-            self.nodes[self.head as usize].key
-        }
-    }
-
-    /// Remove and return the oldest key.
-    pub fn pop_front(&mut self) -> Option<K> {
-        if self.head == NIL {
-            return None;
-        }
-        let id = self.head;
-        let key = self.nodes[id as usize].key;
-        self.unlink(id);
-        key
-    }
-
-    /// Remove the entry with node id `id` (as returned by `push_back`).
-    /// Removing an already-removed id is a no-op.
-    pub fn remove(&mut self, id: u32) {
-        if (id as usize) < self.nodes.len() && self.nodes[id as usize].key.is_some() {
-            self.unlink(id);
-        }
-    }
-
-    fn unlink(&mut self, id: u32) {
-        let (prev, next) = {
-            let n = &mut self.nodes[id as usize];
-            n.key = None;
-            (n.prev, n.next)
-        };
-        if prev != NIL {
-            self.nodes[prev as usize].next = next;
-        } else {
-            self.head = next;
-        }
-        if next != NIL {
-            self.nodes[next as usize].prev = prev;
-        } else {
-            self.tail = prev;
-        }
-        self.free.push(id);
-        self.len -= 1;
-    }
-
-    /// Total slab capacity (live + free-listed slots) — assertable bound in
-    /// leak tests: capacity never exceeds the high-water mark of live flows.
-    pub fn slab_size(&self) -> usize {
-        self.nodes.len()
-    }
-}
+pub use underradar_netsim::slab::{OrderId, OrderQueue, Slab, SlabKey};
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    /// The re-exported queue keeps the original module's contract: FIFO
+    /// order, O(1) middle removal, slab bounded by peak live entries.
     #[test]
-    fn fifo_order() {
+    fn reexported_queue_keeps_lru_contract() {
         let mut q = OrderQueue::new();
-        for i in 0..5u32 {
-            q.push_back(i);
-        }
-        assert_eq!(q.len(), 5);
-        for i in 0..5u32 {
-            assert_eq!(q.front(), Some(i));
-            assert_eq!(q.pop_front(), Some(i));
-        }
-        assert_eq!(q.pop_front(), None);
-        assert!(q.is_empty());
-    }
-
-    #[test]
-    fn middle_removal_preserves_order() {
-        let mut q = OrderQueue::new();
-        let ids: Vec<u32> = (0..5u32).map(|i| q.push_back(i)).collect();
+        let ids: Vec<OrderId<u32>> = (0..5u32).map(|k| q.push_back(k)).collect();
         q.remove(ids[2]);
-        q.remove(ids[0]);
-        assert_eq!(q.len(), 3);
-        assert_eq!(q.pop_front(), Some(1));
-        assert_eq!(q.pop_front(), Some(3));
-        assert_eq!(q.pop_front(), Some(4));
-    }
-
-    #[test]
-    fn removal_is_idempotent_and_slots_recycle() {
-        let mut q = OrderQueue::new();
-        let a = q.push_back(10u32);
-        q.remove(a);
-        q.remove(a);
-        assert!(q.is_empty());
-        // Churn: slab stays at the live high-water mark.
-        for round in 0..100u32 {
-            let id = q.push_back(round);
-            q.remove(id);
-        }
-        assert!(q.slab_size() <= 1, "slab recycled: {}", q.slab_size());
-    }
-
-    #[test]
-    fn interleaved_churn_stays_bounded() {
-        let mut q = OrderQueue::new();
-        let mut live = std::collections::VecDeque::new();
-        for i in 0..10_000u32 {
-            live.push_back(q.push_back(i));
-            if live.len() > 16 {
-                q.remove(live.pop_front().expect("nonempty"));
-            }
-        }
-        assert_eq!(q.len(), 16);
-        assert!(q.slab_size() <= 17, "slab: {}", q.slab_size());
+        q.remove(ids[2]); // idempotent
+        assert_eq!(q.len(), 4);
+        assert_eq!(q.pop_front(), Some(0));
+        assert_eq!(q.front(), Some(1));
+        assert!(q.slab_size() <= 5);
     }
 }

@@ -11,38 +11,42 @@
 //!
 //! The reassembler is built for line-rate streaming: processing a segment
 //! never copies more than that segment's payload (amortized — the bounded
-//! per-direction window compacts in large strides), flow bookkeeping is an
-//! O(1) intrusive order queue ([`crate::lru::OrderQueue`]) so eviction and
-//! teardown never scan, and [`FlowContext`] is a small `Copy` summary —
-//! consumers borrow the buffered stream via
-//! [`StreamReassembler::stream_of`] instead of receiving a clone.
+//! per-direction window compacts in large strides), and flow bookkeeping
+//! lives in an arena-backed [`FlowTable`]: one hash lookup when a segment
+//! arrives, index dereferences for everything else, O(1) oldest-first
+//! eviction. Every [`FlowContext`] carries the flow's generational
+//! [`FlowId`] so consumers (the engine's per-flow matcher state, censor
+//! verdict caches) can keep their own state in dense side tables indexed
+//! by [`FlowId::index`] instead of re-hashing the key per packet.
 //!
-//! Out-of-order segments are *held back* (bounded by [`MAX_OOO_BUFFER`])
-//! until the gap before them fills, overlapping retransmits contribute
-//! only their unseen suffix, and all sequence comparisons are windowed —
-//! so channel impairments within the hold-back bound cost nothing, while
-//! everything beyond it is counted ([`ReassemblyStats`]) rather than
-//! silently skewing verdicts.
+//! Out-of-order segments are *held back* (bounded by
+//! [`DirLimits::holdback`]) until the gap before them fills, overlapping
+//! retransmits contribute only their unseen suffix, and all sequence
+//! comparisons are windowed — so channel impairments within the hold-back
+//! bound cost nothing, while everything beyond it is counted
+//! ([`ReassemblyStats`]) rather than silently skewing verdicts.
 
 use std::net::Ipv4Addr;
-use underradar_netsim::hash::FxHashMap;
 
+use underradar_netsim::flow::FlowTable;
+pub use underradar_netsim::flow::{FlowId, FlowKey};
 use underradar_netsim::packet::{Packet, TcpSegment};
 use underradar_netsim::telemetry::{TraceFlow, TraceRecord, Tracer};
 
-use crate::lru::OrderQueue;
-
-/// Per-direction cap on buffered stream bytes; older bytes are discarded
-/// (the monitor has bounded per-flow memory — §2.1's storage argument).
+/// Default per-direction cap on buffered stream bytes; older bytes are
+/// discarded (the monitor has bounded per-flow memory — §2.1's storage
+/// argument). Override via [`DirLimits::window`].
 pub const MAX_DIR_BUFFER: usize = 8 * 1024;
 
-/// Per-direction cap on *held* out-of-order bytes awaiting a gap fill.
-/// Segments beyond this (or displaced further than [`MAX_DIR_BUFFER`]
-/// ahead of the expected sequence) are dropped and counted — the bound
-/// past which channel impairments become stream divergence.
+/// Default per-direction cap on *held* out-of-order bytes awaiting a gap
+/// fill. Segments beyond this (or displaced further than the window ahead
+/// of the expected sequence) are dropped and counted — the bound past
+/// which channel impairments become stream divergence. Override via
+/// [`DirLimits::holdback`].
 pub const MAX_OOO_BUFFER: usize = 4 * 1024;
 
-/// Cap on tracked flows; least-recently-created flows are evicted.
+/// Default cap on tracked flows; least-recently-created flows are
+/// evicted. Override via [`ReassemblyConfig::max_flows`].
 pub const MAX_FLOWS: usize = 100_000;
 
 /// `a < b` in windowed 32-bit TCP sequence space (RFC 1982-style
@@ -58,29 +62,6 @@ pub fn seq_le(a: u32, b: u32) -> bool {
     (a.wrapping_sub(b) as i32) <= 0
 }
 
-/// Canonical flow identifier: endpoint pair ordered so both directions map
-/// to the same key.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct FlowKey {
-    /// Lower endpoint (by (ip, port) ordering).
-    pub lo: (Ipv4Addr, u16),
-    /// Higher endpoint.
-    pub hi: (Ipv4Addr, u16),
-}
-
-impl FlowKey {
-    /// Build from a packet's endpoints (TCP only).
-    pub fn of(pkt: &Packet, seg: &TcpSegment) -> FlowKey {
-        let a = (pkt.src, seg.src_port);
-        let b = (pkt.dst, seg.dst_port);
-        if a <= b {
-            FlowKey { lo: a, hi: b }
-        } else {
-            FlowKey { lo: b, hi: a }
-        }
-    }
-}
-
 /// Which way a segment is heading relative to the connection initiator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Direction {
@@ -88,6 +69,46 @@ pub enum Direction {
     ToServer,
     /// From the responder back to the initiator.
     ToClient,
+}
+
+/// Per-direction buffering limits: the in-order window and the
+/// out-of-order hold-back budget, both in bytes. A monitor's per-flow
+/// memory ceiling is roughly `2 * (window + holdback)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DirLimits {
+    /// Cap on buffered in-order stream bytes (the matcher's lookback).
+    pub window: usize,
+    /// Cap on held out-of-order bytes awaiting a gap fill.
+    pub holdback: usize,
+}
+
+impl Default for DirLimits {
+    fn default() -> Self {
+        DirLimits {
+            window: MAX_DIR_BUFFER,
+            holdback: MAX_OOO_BUFFER,
+        }
+    }
+}
+
+/// Construction-time reassembler knobs (surfaced through
+/// `TestbedConfig` so experiments can sweep them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReassemblyConfig {
+    /// Flow-table capacity; oldest flows are evicted beyond it. 0 means
+    /// unbounded.
+    pub max_flows: usize,
+    /// Per-direction buffering limits.
+    pub limits: DirLimits,
+}
+
+impl Default for ReassemblyConfig {
+    fn default() -> Self {
+        ReassemblyConfig {
+            max_flows: MAX_FLOWS,
+            limits: DirLimits::default(),
+        }
+    }
 }
 
 /// One direction's reassembly state: the in-order window plus the
@@ -99,13 +120,14 @@ pub struct DirBuffer {
     /// Raw byte storage; the live window is `data[start..]`.
     data: Vec<u8>,
     /// Logical start of the live window. Advanced when the window exceeds
-    /// [`MAX_DIR_BUFFER`]; storage is compacted only once `start` crosses
-    /// the window size, so each buffered byte is moved at most once.
+    /// [`DirLimits::window`]; storage is compacted only once `start`
+    /// crosses the window size, so each buffered byte is moved at most
+    /// once.
     start: usize,
     fin_seen: bool,
     /// Hold-back queue: out-of-order segments waiting for the gap before
     /// them to fill. Unsorted (drained by windowed-seq scan); bounded by
-    /// [`MAX_OOO_BUFFER`] bytes.
+    /// [`DirLimits::holdback`] bytes.
     held: Vec<(u32, Vec<u8>)>,
     /// Total payload bytes across `held`.
     held_bytes: usize,
@@ -113,15 +135,21 @@ pub struct DirBuffer {
 
 impl DirBuffer {
     /// Offer a segment. In-order payload is appended; a segment landing
-    /// beyond the expected sequence is *held* (up to [`MAX_OOO_BUFFER`]
-    /// bytes) until the gap fills; a retransmit overlapping already-seen
+    /// beyond the expected sequence is *held* (up to the hold-back
+    /// budget) until the gap fills; a retransmit overlapping already-seen
     /// bytes contributes only its unseen suffix; fully-stale segments are
     /// ignored. All comparisons are windowed, so flows crossing the 2^32
     /// sequence wrap don't desync. Returns the number of bytes newly
     /// appended to the in-order stream (including any held segments this
     /// one unblocked).
     #[inline]
-    pub fn push(&mut self, seq: u32, payload: &[u8], stats: &mut ReassemblyStats) -> usize {
+    pub fn push(
+        &mut self,
+        seq: u32,
+        payload: &[u8],
+        limits: DirLimits,
+        stats: &mut ReassemblyStats,
+    ) -> usize {
         if payload.is_empty() {
             return 0;
         }
@@ -129,23 +157,29 @@ impl DirBuffer {
         // at the expected sequence — the overwhelmingly common case on
         // healthy links, kept free of the dispatch below.
         if self.next_seq == Some(seq) && self.held.is_empty() {
-            self.append_in_order(payload, stats);
+            self.append_in_order(payload, limits, stats);
             return payload.len();
         }
         if self.next_seq.is_none() {
             // Mid-stream pickup (monitor started late): accept and sync.
             self.next_seq = Some(seq);
         }
-        let mut appended = self.accept(seq, payload, stats);
+        let mut appended = self.accept(seq, payload, limits, stats);
         if appended > 0 && !self.held.is_empty() {
-            appended += self.drain_held(stats);
+            appended += self.drain_held(limits, stats);
         }
         appended
     }
 
     /// Apply one segment against the current expected sequence: append,
     /// trim-and-append, hold, or drop. Returns bytes appended in order.
-    fn accept(&mut self, seq: u32, payload: &[u8], stats: &mut ReassemblyStats) -> usize {
+    fn accept(
+        &mut self,
+        seq: u32,
+        payload: &[u8],
+        limits: DirLimits,
+        stats: &mut ReassemblyStats,
+    ) -> usize {
         let expected = self.next_seq.expect("push set next_seq");
         let end = seq.wrapping_add(payload.len() as u32);
         if seq_le(end, expected) {
@@ -158,17 +192,17 @@ impl DirBuffer {
             // suffix instead of dropping the whole segment.
             let trim = expected.wrapping_sub(seq) as usize;
             stats.overlap_trimmed += 1;
-            self.append_in_order(&payload[trim..], stats);
+            self.append_in_order(&payload[trim..], limits, stats);
             return payload.len() - trim;
         }
         if seq == expected {
-            self.append_in_order(payload, stats);
+            self.append_in_order(payload, limits, stats);
             return payload.len();
         }
         // Future segment: hold it while it stays within the displacement
         // window and the hold-back byte budget.
         let offset = seq.wrapping_sub(expected) as usize;
-        if offset <= MAX_DIR_BUFFER && self.held_bytes + payload.len() <= MAX_OOO_BUFFER {
+        if offset <= limits.window && self.held_bytes + payload.len() <= limits.holdback {
             stats.ooo_held += 1;
             self.held_bytes += payload.len();
             self.held.push((seq, payload.to_vec()));
@@ -180,7 +214,7 @@ impl DirBuffer {
 
     /// After an in-order append, apply every held segment the new expected
     /// sequence has reached (repeatedly — one drain can unblock the next).
-    fn drain_held(&mut self, stats: &mut ReassemblyStats) -> usize {
+    fn drain_held(&mut self, limits: DirLimits, stats: &mut ReassemblyStats) -> usize {
         let mut total = 0;
         loop {
             let expected = self.next_seq.expect("in-order data present");
@@ -189,7 +223,7 @@ impl DirBuffer {
             };
             let (seq, payload) = self.held.swap_remove(idx);
             self.held_bytes -= payload.len();
-            total += self.accept(seq, &payload, stats);
+            total += self.accept(seq, &payload, limits, stats);
         }
         total
     }
@@ -197,16 +231,16 @@ impl DirBuffer {
     /// Extend the stream with bytes known to start at the expected
     /// sequence, advancing it and maintaining the bounded window.
     #[inline]
-    fn append_in_order(&mut self, payload: &[u8], stats: &mut ReassemblyStats) {
+    fn append_in_order(&mut self, payload: &[u8], limits: DirLimits, stats: &mut ReassemblyStats) {
         let expected = self.next_seq.expect("in-order append");
         self.next_seq = Some(expected.wrapping_add(payload.len() as u32));
         self.data.extend_from_slice(payload);
         stats.bytes_appended += payload.len() as u64;
         let live = self.data.len() - self.start;
-        if live > MAX_DIR_BUFFER {
-            self.start += live - MAX_DIR_BUFFER;
+        if live > limits.window {
+            self.start += live - limits.window;
         }
-        if self.start >= MAX_DIR_BUFFER {
+        if self.start >= limits.window {
             stats.bytes_compacted += (self.data.len() - self.start) as u64;
             self.data.drain(..self.start);
             self.start = 0;
@@ -229,21 +263,23 @@ struct Flow {
     synack_seen: bool,
     c2s: DirBuffer,
     s2c: DirBuffer,
-    /// Node id in the creation-order queue (for O(1) teardown).
-    order_id: u32,
 }
 
 /// What the reassembler reports about the flow a segment belongs to.
 ///
 /// Deliberately small and `Copy`: the buffered stream itself is *not*
-/// cloned per segment — read it through [`StreamReassembler::stream_of`],
-/// and match incrementally by feeding the last `new_bytes` of that view
-/// (the newly reassembled tail) to a persistent
-/// [`crate::aho::AcStreamState`].
+/// cloned per segment — read it through [`StreamReassembler::stream_of_id`]
+/// (an index dereference, no hash), and match incrementally by feeding
+/// the last `new_bytes` of that view (the newly reassembled tail) to a
+/// persistent [`crate::aho::AcStreamState`].
 #[derive(Debug, Clone, Copy)]
 pub struct FlowContext {
     /// The flow key.
     pub key: FlowKey,
+    /// The flow's table handle. `None` for a RST against an untracked
+    /// flow. Stale once `torn_down` is set (the slot is already freed),
+    /// but still usable as a side-table index for the dying flow's state.
+    pub id: Option<FlowId>,
     /// Direction of this segment.
     pub direction: Direction,
     /// Whether the three-way handshake completed.
@@ -284,8 +320,8 @@ pub struct ReassemblyStats {
     pub bytes_compacted: u64,
     /// Out-of-order segments held back awaiting a gap fill.
     pub ooo_held: u64,
-    /// Out-of-order segments dropped: displaced beyond [`MAX_DIR_BUFFER`]
-    /// or past the [`MAX_OOO_BUFFER`] hold-back budget.
+    /// Out-of-order segments dropped: displaced beyond the window or past
+    /// the hold-back budget.
     pub ooo_dropped: u64,
     /// Retransmits whose already-seen prefix was trimmed (suffix kept).
     pub overlap_trimmed: u64,
@@ -305,17 +341,17 @@ impl ReassemblyStats {
 /// The stream reassembler.
 #[derive(Debug)]
 pub struct StreamReassembler {
-    flows: FxHashMap<FlowKey, Flow>,
-    /// Creation order for eviction; O(1) push/remove/pop, never retains
-    /// torn-down flows.
-    order: OrderQueue<FlowKey>,
+    /// Arena-backed flow state: hash once at setup/teardown, index
+    /// dereferences per segment, O(1) oldest-first eviction.
+    flows: FlowTable<Flow>,
+    limits: DirLimits,
     /// Tear down flows on RST (the real-IDS default, and the paper's
     /// exploited behaviour). When `false`, RSTs are ignored — the ablation.
     pub rst_teardown: bool,
     stats: ReassemblyStats,
     /// Teardown log for consumers carrying per-flow state (matcher cursors,
     /// alert dedup). Only populated when `track_removals` is on.
-    removed: Vec<FlowKey>,
+    removed: Vec<(FlowKey, FlowId)>,
     track_removals: bool,
     /// Flight recorder for reassembly decisions (hold/drop/trim/dup/evict).
     /// Disabled by default: one branch per processed segment.
@@ -333,11 +369,16 @@ impl Default for StreamReassembler {
 }
 
 impl StreamReassembler {
-    /// A reassembler with RST teardown on.
+    /// A reassembler with RST teardown on and default limits.
     pub fn new() -> StreamReassembler {
+        Self::with_config(ReassemblyConfig::default())
+    }
+
+    /// A reassembler with explicit capacity and buffering limits.
+    pub fn with_config(cfg: ReassemblyConfig) -> StreamReassembler {
         StreamReassembler {
-            flows: FxHashMap::default(),
-            order: OrderQueue::new(),
+            flows: FlowTable::new(cfg.max_flows),
+            limits: cfg.limits,
             rst_teardown: true,
             stats: ReassemblyStats::default(),
             removed: Vec::new(),
@@ -345,6 +386,16 @@ impl StreamReassembler {
             tracer: Tracer::disabled(),
             now_ns: 0,
         }
+    }
+
+    /// The per-direction buffering limits in force.
+    pub fn limits(&self) -> DirLimits {
+        self.limits
+    }
+
+    /// The flow-table eviction threshold.
+    pub fn flow_capacity(&self) -> usize {
+        self.flows.capacity()
     }
 
     /// Attach a flight-recorder handle (disabled handles cost one branch
@@ -363,7 +414,7 @@ impl StreamReassembler {
         self.now_ns = t_ns;
     }
 
-    /// Record torn-down flow keys so a consumer can drop its own per-flow
+    /// Record torn-down flows so a consumer can drop its own per-flow
     /// state in lockstep. The consumer must call
     /// [`StreamReassembler::take_removed`] regularly or the log grows.
     pub fn track_removals(&mut self, on: bool) {
@@ -373,8 +424,9 @@ impl StreamReassembler {
         }
     }
 
-    /// Drain the teardown log (keys removed since the last call).
-    pub fn take_removed(&mut self) -> Vec<FlowKey> {
+    /// Drain the teardown log (flows removed since the last call, with
+    /// the handle each held while live).
+    pub fn take_removed(&mut self) -> Vec<(FlowKey, FlowId)> {
         std::mem::take(&mut self.removed)
     }
 
@@ -388,21 +440,51 @@ impl StreamReassembler {
         self.flows.len()
     }
 
-    /// Size of the order-queue bookkeeping (live entries). Always equal to
-    /// [`StreamReassembler::flow_count`] — the leak-regression invariant.
+    /// Walk the intrusive creation-order list and count live entries.
+    /// Always equal to [`StreamReassembler::flow_count`] — the
+    /// leak-regression invariant. O(live flows); test/diagnostic only.
     pub fn order_len(&self) -> usize {
-        self.order.len()
+        self.flows.linked_len()
+    }
+
+    /// Approximate bytes of flow-table backing storage (slab slots plus
+    /// the setup hash index; excludes per-direction buffer heap). The
+    /// per-flow memory-budget figure the scale experiment reports.
+    pub fn table_bytes(&self) -> usize {
+        self.flows.approx_bytes()
+    }
+
+    /// Total slab slots (live + free): bounded by the live high-water
+    /// mark, never by total churn. Dense side tables indexed by
+    /// [`FlowId::index`] need at most this many entries.
+    pub fn slab_size(&self) -> usize {
+        self.flows.slab_size()
     }
 
     /// Whether a flow is currently tracked.
     pub fn is_tracked(&self, key: &FlowKey) -> bool {
-        self.flows.contains_key(key)
+        self.flows.lookup(key).is_some()
+    }
+
+    /// The handle for a tracked flow.
+    pub fn flow_id(&self, key: &FlowKey) -> Option<FlowId> {
+        self.flows.lookup(key)
     }
 
     /// The buffered stream window for a flow direction (empty if the flow
-    /// is not tracked). Borrowed — no copy.
+    /// is not tracked). Borrowed — no copy. Hashes the key; per-packet
+    /// consumers should prefer [`StreamReassembler::stream_of_id`].
     pub fn stream_of(&self, key: &FlowKey, direction: Direction) -> &[u8] {
-        match self.flows.get(key) {
+        match self.flows.lookup(key) {
+            Some(id) => self.stream_of_id(id, direction),
+            None => &[],
+        }
+    }
+
+    /// The buffered stream window behind a flow handle (empty if stale).
+    /// An index dereference — the per-packet path.
+    pub fn stream_of_id(&self, id: FlowId, direction: Direction) -> &[u8] {
+        match self.flows.get(id) {
             Some(flow) => match direction {
                 Direction::ToServer => flow.c2s.view(),
                 Direction::ToClient => flow.s2c.view(),
@@ -421,18 +503,23 @@ impl StreamReassembler {
         // RST teardown: report the segment against the dying flow, then
         // forget it.
         if seg.flags.has_rst() && self.rst_teardown {
-            let ctx = match self.flows.get(&key) {
-                Some(flow) => FlowContext {
-                    key,
-                    direction: direction_of(flow, pkt, seg),
-                    established: flow.established,
-                    appended: false,
-                    new_bytes: 0,
-                    stream_len: 0,
-                    torn_down: true,
-                },
+            let ctx = match self.flows.lookup(&key) {
+                Some(id) => {
+                    let flow = self.flows.get(id).expect("looked-up handle is live");
+                    FlowContext {
+                        key,
+                        id: Some(id),
+                        direction: direction_of(flow, pkt, seg),
+                        established: flow.established,
+                        appended: false,
+                        new_bytes: 0,
+                        stream_len: 0,
+                        torn_down: true,
+                    }
+                }
                 None => FlowContext {
                     key,
+                    id: None,
                     direction: Direction::ToServer,
                     established: false,
                     appended: false,
@@ -447,28 +534,51 @@ impl StreamReassembler {
             return Some(ctx);
         }
 
-        if !self.flows.contains_key(&key) {
-            // New flow. Initiator inference: a bare SYN marks a real open;
-            // otherwise treat the observed sender as the client.
-            self.evict_if_full();
-            let order_id = self.order.push_back(key);
-            let mut flow = Flow {
-                client: (pkt.src, seg.src_port),
-                established: false,
-                syn_seen: seg.flags.has_syn() && !seg.flags.has_ack(),
-                synack_seen: false,
-                c2s: DirBuffer::default(),
-                s2c: DirBuffer::default(),
-                order_id,
-            };
-            if flow.syn_seen {
-                flow.c2s.next_seq = Some(seg.seq.wrapping_add(1));
+        let id = match self.flows.lookup(&key) {
+            Some(id) => id,
+            None => {
+                // New flow. Initiator inference: a bare SYN marks a real
+                // open; otherwise treat the observed sender as the client.
+                let mut flow = Flow {
+                    client: (pkt.src, seg.src_port),
+                    established: false,
+                    syn_seen: seg.flags.has_syn() && !seg.flags.has_ack(),
+                    synack_seen: false,
+                    c2s: DirBuffer::default(),
+                    s2c: DirBuffer::default(),
+                };
+                if flow.syn_seen {
+                    flow.c2s.next_seq = Some(seg.seq.wrapping_add(1));
+                }
+                let (id, evicted) = self.flows.insert(key, flow);
+                self.stats.flows_created += 1;
+                if let Some((evicted_id, evicted_key, _)) = evicted {
+                    self.stats.evicted += 1;
+                    if self.track_removals {
+                        self.removed.push((evicted_key, evicted_id));
+                    }
+                    if self.tracer.is_live() {
+                        self.tracer.record(TraceRecord {
+                            t_ns: self.now_ns,
+                            seq: 0,
+                            stage: "stream",
+                            kind: "evicted",
+                            flow: Some(TraceFlow {
+                                src: evicted_key.lo.0,
+                                src_port: evicted_key.lo.1,
+                                dst: evicted_key.hi.0,
+                                dst_port: evicted_key.hi.1,
+                            }),
+                            fields: Vec::new(),
+                        });
+                    }
+                }
+                id
             }
-            self.flows.insert(key, flow);
-            self.stats.flows_created += 1;
-        }
+        };
 
-        let flow = self.flows.get_mut(&key).expect("flow just ensured");
+        let limits = self.limits;
+        let flow = self.flows.get_mut(id).expect("flow just ensured");
         let direction = direction_of(flow, pkt, seg);
 
         // Handshake tracking.
@@ -491,7 +601,7 @@ impl StreamReassembler {
         } else {
             None
         };
-        let new_bytes = buf.push(seg.seq, &seg.payload, &mut self.stats);
+        let new_bytes = buf.push(seg.seq, &seg.payload, limits, &mut self.stats);
         if let Some(before) = stats_before {
             trace_reassembly(&self.tracer, self.now_ns, &before, &self.stats, pkt, seg);
         }
@@ -527,6 +637,7 @@ impl StreamReassembler {
 
         Some(FlowContext {
             key,
+            id: Some(id),
             direction,
             established,
             appended: new_bytes > 0,
@@ -546,41 +657,15 @@ impl StreamReassembler {
 
     /// Drop a flow and all its bookkeeping. Returns whether it existed.
     fn teardown(&mut self, key: &FlowKey) -> bool {
-        match self.flows.remove(key) {
-            Some(flow) => {
-                self.order.remove(flow.order_id);
+        match self.flows.lookup(key) {
+            Some(id) => {
+                self.flows.remove(id);
                 if self.track_removals {
-                    self.removed.push(*key);
+                    self.removed.push((*key, id));
                 }
                 true
             }
             None => false,
-        }
-    }
-
-    fn evict_if_full(&mut self) {
-        if self.flows.len() < MAX_FLOWS {
-            return;
-        }
-        if let Some(oldest) = self.order.front() {
-            if self.teardown(&oldest) {
-                self.stats.evicted += 1;
-                if self.tracer.is_live() {
-                    self.tracer.record(TraceRecord {
-                        t_ns: self.now_ns,
-                        seq: 0,
-                        stage: "stream",
-                        kind: "evicted",
-                        flow: Some(TraceFlow {
-                            src: oldest.lo.0,
-                            src_port: oldest.lo.1,
-                            dst: oldest.hi.0,
-                            dst_port: oldest.hi.1,
-                        }),
-                        fields: Vec::new(),
-                    });
-                }
-            }
         }
     }
 }
@@ -683,6 +768,20 @@ mod tests {
         assert_eq!(stream_vec(&r, &ctx), b"GET /falun HTTP/1.0");
         assert_eq!(ctx.stream_len, 19);
         assert!(ctx.established);
+    }
+
+    #[test]
+    fn context_handle_gives_dense_stream_access() {
+        let mut r = StreamReassembler::new();
+        handshake(&mut r);
+        let d = pkt(C, S, 4000, 80, 101, TcpFlags::psh_ack(), b"dense");
+        let ctx = r.process(&d).expect("ctx");
+        let id = ctx.id.expect("live flow carries its handle");
+        assert_eq!(r.stream_of_id(id, ctx.direction), b"dense");
+        assert_eq!(r.flow_id(&ctx.key), Some(id), "handle is stable");
+        // After teardown the handle goes stale and reads as empty.
+        let _ = r.process(&pkt(C, S, 4000, 80, 106, TcpFlags::rst(), b""));
+        assert!(r.stream_of_id(id, ctx.direction).is_empty());
     }
 
     #[test]
@@ -826,6 +925,40 @@ mod tests {
         let fill = pkt(C, S, 4000, 80, 101, TcpFlags::psh_ack(), &[b'f'; 100]);
         let ctx = r.process(&fill).expect("fill");
         assert_eq!(ctx.new_bytes, 100 + MAX_OOO_BUFFER);
+    }
+
+    /// ISSUE satellite: the hold-back cap and flow-table capacity are
+    /// construction-time knobs, not baked-in constants.
+    #[test]
+    fn limits_and_capacity_are_configurable() {
+        let cfg = ReassemblyConfig {
+            max_flows: 2,
+            limits: DirLimits {
+                window: 64,
+                holdback: 16,
+            },
+        };
+        let mut r = StreamReassembler::with_config(cfg);
+        assert_eq!(r.limits(), cfg.limits);
+        assert_eq!(r.flow_capacity(), 2);
+        // An out-of-order segment over the reduced hold-back budget drops
+        // where the default budget would have held it.
+        let _ = r.process(&pkt(C, S, 4000, 80, 100, TcpFlags::psh_ack(), b"a"));
+        let over = pkt(C, S, 4000, 80, 110, TcpFlags::psh_ack(), &[b'x'; 17]);
+        let _ = r.process(&over);
+        assert_eq!(r.stats().ooo_dropped, 1, "17 bytes > 16-byte hold-back");
+        let within = pkt(C, S, 4000, 80, 110, TcpFlags::psh_ack(), &[b'x'; 16]);
+        let _ = r.process(&within);
+        assert_eq!(r.stats().ooo_held, 1, "16 bytes fit the budget");
+        // The in-order window trims to 64 bytes.
+        let bulk = pkt(C, S, 4000, 80, 101, TcpFlags::psh_ack(), &[b'y'; 200]);
+        let ctx = r.process(&bulk).expect("bulk");
+        assert!(ctx.stream_len <= 64);
+        // A third flow evicts the oldest: capacity 2 is enforced.
+        let _ = r.process(&pkt(C, S, 4001, 80, 1, TcpFlags::syn(), b""));
+        let _ = r.process(&pkt(C, S, 4002, 80, 1, TcpFlags::syn(), b""));
+        assert_eq!(r.flow_count(), 2);
+        assert_eq!(r.stats().evicted, 1);
     }
 
     /// ISSUE satellite: for arbitrary segmentation, duplication, bounded
@@ -991,6 +1124,7 @@ mod tests {
         let ctx = r.process(&rst).expect("rst ctx");
         assert!(ctx.established, "context reflects the flow that died");
         assert!(ctx.torn_down);
+        assert!(ctx.id.is_some(), "dying flow still names its handle");
         assert!(!r.is_tracked(&key), "flow forgotten after RST");
         assert_eq!(r.stats().rst_teardowns, 1);
         assert_eq!(r.order_len(), 0, "order bookkeeping freed with the flow");
@@ -1158,8 +1292,9 @@ mod tests {
                 .as_tcp()
                 .expect("t"),
         );
+        let id = r.flow_id(&key).expect("tracked");
         let _ = r.process(&pkt(C, S, 4000, 80, 101, TcpFlags::rst(), b""));
-        assert_eq!(r.take_removed(), vec![key]);
+        assert_eq!(r.take_removed(), vec![(key, id)]);
         assert!(r.take_removed().is_empty(), "log drained");
     }
 
@@ -1227,6 +1362,10 @@ mod tests {
         }
         assert_eq!(r.order_len(), r.flow_count());
         assert!(r.flow_count() <= MAX_FLOWS);
+        assert!(
+            r.slab_size() <= MAX_FLOWS,
+            "slab bounded by the live high-water mark, not churn"
+        );
         let stats = r.stats();
         assert_eq!(stats.flows_created, u64::from(total));
         assert_eq!(

@@ -89,7 +89,7 @@ impl ReferenceEngine {
 
     fn process(&mut self, now: SimTime, packet: &Packet) -> Vec<Alert> {
         let flow_ctx = self.reassembler.process(packet);
-        for key in self.reassembler.take_removed() {
+        for (key, _id) in self.reassembler.take_removed() {
             self.flow_alerted.remove(&key);
         }
         let stream: &[u8] = match &flow_ctx {
@@ -109,13 +109,23 @@ impl ReferenceEngine {
                 continue;
             }
             // Old ordering: dedup checked only after a successful match.
+            // One deliberate divergence from the literal pre-rebuild code:
+            // an alert with no live flow behind it (the teardown segment
+            // itself, or an RST on an untracked 4-tuple) records no dedup
+            // entry. The old engine pushed the sid under the dead flow's
+            // key, leaking a suppression onto the *next* flow reusing that
+            // 4-tuple — contradicting its own fresh-flow invariant. The
+            // generational flow table fixes this by construction, so the
+            // oracle models the fixed semantics.
             if !rule.flow.is_empty() {
                 if let Some(ctx) = &flow_ctx {
                     let sids = self.flow_alerted.entry(ctx.key).or_default();
                     if sids.contains(&rule.sid) {
                         continue;
                     }
-                    sids.push(rule.sid);
+                    if ctx.id.is_some() && !ctx.torn_down {
+                        sids.push(rule.sid);
+                    }
                 }
             }
             if let Some(t) = rule.threshold {

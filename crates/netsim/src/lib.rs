@@ -39,6 +39,7 @@ pub mod addr;
 pub mod capture;
 pub mod error;
 pub mod event;
+pub mod flow;
 pub mod hash;
 pub mod host;
 pub mod link;
@@ -47,6 +48,7 @@ pub mod packet;
 pub mod pcap;
 pub mod rng;
 pub mod sim;
+pub mod slab;
 pub mod stack;
 pub mod switch;
 pub mod testprop;
@@ -60,6 +62,7 @@ pub use addr::Cidr;
 pub use capture::{Capture, CapturedPacket};
 pub use error::{NetsimError, WireError};
 pub use event::{EventQueue, TimerToken};
+pub use flow::{FlowId, FlowKey, FlowTable, FlowTuple};
 pub use hash::{FxHashMap, FxHashSet};
 pub use host::{
     ConnId, Host, HostApi, HostTask, RawHandler, RawVerdict, Service, ServiceApi, UdpApi,
@@ -70,6 +73,7 @@ pub use node::{IfaceId, Node, NodeCtx, NodeId};
 pub use packet::{IcmpSegment, Packet, PacketBody, TcpSegment, UdpDatagram};
 pub use rng::SimRng;
 pub use sim::Simulator;
+pub use slab::{OrderId, OrderQueue, Slab, SlabKey};
 pub use stack::tcp::{TcpConn, TcpEvent, TcpState};
 pub use switch::Switch;
 pub use time::{SimDuration, SimTime};

@@ -99,6 +99,32 @@ pub trait Node: Any {
     /// A packet arrived on `iface`.
     fn receive(&mut self, ctx: &mut NodeCtx<'_>, iface: IfaceId, packet: Packet);
 
+    /// Whether the scheduler may coalesce a run of same-instant deliveries
+    /// to this node into one [`Node::receive_batch`] call.
+    ///
+    /// Only opt in if `receive` never draws from [`NodeCtx::rng`]: batching
+    /// reorders the node's processing relative to the link-impairment draws
+    /// of its own emissions, so an RNG-using node would see a different
+    /// stream. Passive monitors and deterministic forwarders qualify —
+    /// their batched trace is identical to the unbatched one (emits keep
+    /// their order, and batch members were already consecutive in the
+    /// queue).
+    fn wants_batch(&self) -> bool {
+        false
+    }
+
+    /// A consecutive run of packets arrived on `iface` at the same instant.
+    ///
+    /// Only called when [`Node::wants_batch`] returns true. The slice is
+    /// in delivery order; the buffer is owned by the scheduler and reused
+    /// across batches, so implementations must drain it (the default
+    /// forwards each packet to [`Node::receive`]).
+    fn receive_batch(&mut self, ctx: &mut NodeCtx<'_>, iface: IfaceId, packets: &mut Vec<Packet>) {
+        for packet in packets.drain(..) {
+            self.receive(ctx, iface, packet);
+        }
+    }
+
     /// A timer set with [`NodeCtx::set_timer`] fired.
     fn on_timer(&mut self, _ctx: &mut NodeCtx<'_>, _token: TimerToken) {}
 

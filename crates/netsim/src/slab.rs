@@ -1,0 +1,437 @@
+//! Generational slab arena shared by the hot-state containers.
+//!
+//! Extracted from the IDS crate's LRU order queue so flow tables,
+//! reassembly bookkeeping, and MVR class state share one audited
+//! implementation. A [`Slab`] hands out typed generational handles
+//! ([`SlabKey`]): slot indices are recycled through a free list, but each
+//! recycle bumps the slot's generation, so a stale handle can never alias
+//! the slot's next occupant — lookups through it return `None` instead.
+//!
+//! [`OrderQueue`] is the original intrusive doubly-linked list, ported
+//! onto [`Slab`]: O(1) push/pop/remove with no allocation after the slab
+//! warms up, used wherever eviction order must be maintained without
+//! scanning (the pattern [`crate::flow::FlowTable`] generalizes).
+
+use std::marker::PhantomData;
+
+/// A typed generational handle into a [`Slab<T>`].
+///
+/// `Copy` and 8 bytes: an index plus the generation the slot had when the
+/// value was inserted. After the value is removed the slot's generation
+/// advances, so this key — and any copy of it — stops resolving.
+pub struct SlabKey<T> {
+    index: u32,
+    gen: u32,
+    _ty: PhantomData<fn() -> T>,
+}
+
+impl<T> SlabKey<T> {
+    /// The raw slot index. Stable for the value's lifetime; useful for
+    /// indexing dense side tables (pair it with [`SlabKey::generation`]
+    /// to detect reuse).
+    pub fn index(&self) -> usize {
+        self.index as usize
+    }
+
+    /// The generation the slot had when this key was issued.
+    pub fn generation(&self) -> u32 {
+        self.gen
+    }
+
+    /// Reassemble a key from parts previously read off [`SlabKey::index`]
+    /// and [`SlabKey::generation`] (arena composition within the crate).
+    pub(crate) fn from_parts(index: u32, gen: u32) -> SlabKey<T> {
+        SlabKey {
+            index,
+            gen,
+            _ty: PhantomData,
+        }
+    }
+}
+
+// Manual impls: `derive` would bound them on `T`, but the key is just an
+// (index, generation) pair regardless of the slot type.
+impl<T> Clone for SlabKey<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SlabKey<T> {}
+impl<T> PartialEq for SlabKey<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.index == other.index && self.gen == other.gen
+    }
+}
+impl<T> Eq for SlabKey<T> {}
+impl<T> std::hash::Hash for SlabKey<T> {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.index.hash(state);
+        self.gen.hash(state);
+    }
+}
+impl<T> std::fmt::Debug for SlabKey<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SlabKey({}@g{})", self.index, self.gen)
+    }
+}
+
+#[derive(Debug)]
+struct Entry<T> {
+    /// Bumped on removal; a slot's generation counts how many values have
+    /// died in it. (A u32 wraps after 4 billion recycles of one slot —
+    /// beyond any simulated population's churn.)
+    gen: u32,
+    value: Option<T>,
+}
+
+/// A generational slab: dense `Vec` storage, free-list slot reuse, and
+/// stale-handle detection. All operations are O(1); the only allocations
+/// are `Vec` growth when the live count reaches a new high-water mark.
+#[derive(Debug)]
+pub struct Slab<T> {
+    entries: Vec<Entry<T>>,
+    free: Vec<u32>,
+    len: usize,
+}
+
+impl<T> Default for Slab<T> {
+    fn default() -> Self {
+        Slab::new()
+    }
+}
+
+impl<T> Slab<T> {
+    /// An empty slab.
+    pub fn new() -> Slab<T> {
+        Slab {
+            entries: Vec::new(),
+            free: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// An empty slab with room for `cap` values before reallocating.
+    pub fn with_capacity(cap: usize) -> Slab<T> {
+        Slab {
+            entries: Vec::with_capacity(cap),
+            free: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Insert a value, returning its handle. Reuses a free slot if one
+    /// exists (the handle carries the slot's current generation).
+    pub fn insert(&mut self, value: T) -> SlabKey<T> {
+        self.len += 1;
+        if let Some(index) = self.free.pop() {
+            let entry = &mut self.entries[index as usize];
+            debug_assert!(entry.value.is_none());
+            entry.value = Some(value);
+            return SlabKey::from_parts(index, entry.gen);
+        }
+        let index = self.entries.len() as u32;
+        self.entries.push(Entry {
+            gen: 0,
+            value: Some(value),
+        });
+        SlabKey::from_parts(index, 0)
+    }
+
+    /// Remove the value behind `key`. Stale keys (slot already recycled or
+    /// removed) return `None` — removal is idempotent by construction.
+    pub fn remove(&mut self, key: SlabKey<T>) -> Option<T> {
+        let entry = self.entries.get_mut(key.index as usize)?;
+        if entry.gen != key.gen || entry.value.is_none() {
+            return None;
+        }
+        let value = entry.value.take();
+        entry.gen = entry.gen.wrapping_add(1);
+        self.free.push(key.index);
+        self.len -= 1;
+        value
+    }
+
+    /// Shared access to the value behind `key` (`None` if stale).
+    pub fn get(&self, key: SlabKey<T>) -> Option<&T> {
+        let entry = self.entries.get(key.index as usize)?;
+        if entry.gen != key.gen {
+            return None;
+        }
+        entry.value.as_ref()
+    }
+
+    /// Mutable access to the value behind `key` (`None` if stale).
+    pub fn get_mut(&mut self, key: SlabKey<T>) -> Option<&mut T> {
+        let entry = self.entries.get_mut(key.index as usize)?;
+        if entry.gen != key.gen {
+            return None;
+        }
+        entry.value.as_mut()
+    }
+
+    /// Whether `key` still resolves to a live value.
+    pub fn contains(&self, key: SlabKey<T>) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Number of live values.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the slab holds no live values.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Total slots allocated (live + free) — the bookkeeping footprint
+    /// that leak-regression tests bound against the live count.
+    pub fn slab_size(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Bytes of backing storage currently reserved for slot entries (the
+    /// per-flow memory-budget accounting used by the scale experiment).
+    pub fn slot_bytes(&self) -> usize {
+        self.entries.capacity() * std::mem::size_of::<Entry<T>>()
+    }
+
+    /// Iterate over live values in slot order (deterministic, but *not*
+    /// insertion order — pair with an [`OrderQueue`] when order matters).
+    pub fn iter(&self) -> impl Iterator<Item = (SlabKey<T>, &T)> {
+        self.entries.iter().enumerate().filter_map(|(i, e)| {
+            e.value
+                .as_ref()
+                .map(|v| (SlabKey::from_parts(i as u32, e.gen), v))
+        })
+    }
+}
+
+/// Internal node of an [`OrderQueue`]; public only because it names the
+/// queue's handle type ([`OrderId`]). All fields are private.
+#[derive(Debug)]
+pub struct OrderSlot<K> {
+    key: K,
+    prev: Option<OrderId<K>>,
+    next: Option<OrderId<K>>,
+}
+
+/// Handle to an [`OrderQueue`] entry. Generational: removing through a
+/// stale handle is a no-op, so double-removal needs no caller bookkeeping.
+pub type OrderId<K> = SlabKey<OrderSlot<K>>;
+
+/// FIFO queue with O(1) removal from the middle: an intrusive doubly
+/// linked list threaded through a [`Slab`]. Push a key when a value is
+/// created, keep the returned [`OrderId`], and hand it back to
+/// [`OrderQueue::remove`] when the value is dropped; [`OrderQueue::front`]
+/// is then always the oldest live key — the eviction candidate.
+#[derive(Debug)]
+pub struct OrderQueue<K> {
+    slab: Slab<OrderSlot<K>>,
+    head: Option<OrderId<K>>,
+    tail: Option<OrderId<K>>,
+}
+
+impl<K: Copy> Default for OrderQueue<K> {
+    fn default() -> Self {
+        OrderQueue::new()
+    }
+}
+
+impl<K: Copy> OrderQueue<K> {
+    /// An empty queue.
+    pub fn new() -> OrderQueue<K> {
+        OrderQueue {
+            slab: Slab::new(),
+            head: None,
+            tail: None,
+        }
+    }
+
+    /// Append `key`, returning the id used for O(1) removal.
+    pub fn push_back(&mut self, key: K) -> OrderId<K> {
+        let prev = self.tail;
+        let id = self.slab.insert(OrderSlot {
+            key,
+            prev,
+            next: None,
+        });
+        match prev {
+            Some(t) => {
+                if let Some(slot) = self.slab.get_mut(t) {
+                    slot.next = Some(id);
+                }
+            }
+            None => self.head = Some(id),
+        }
+        self.tail = Some(id);
+        id
+    }
+
+    /// The oldest key, if any.
+    pub fn front(&self) -> Option<K> {
+        let head = self.head?;
+        self.slab.get(head).map(|slot| slot.key)
+    }
+
+    /// Remove and return the oldest key.
+    pub fn pop_front(&mut self) -> Option<K> {
+        let head = self.head?;
+        let key = self.slab.get(head).map(|slot| slot.key);
+        self.remove(head);
+        key
+    }
+
+    /// Remove the entry `id` points at. Idempotent: a stale id (already
+    /// removed, or its slot since recycled) is a no-op.
+    pub fn remove(&mut self, id: OrderId<K>) {
+        let Some(slot) = self.slab.remove(id) else {
+            return;
+        };
+        match slot.prev {
+            Some(p) => {
+                if let Some(prev) = self.slab.get_mut(p) {
+                    prev.next = slot.next;
+                }
+            }
+            None => self.head = slot.next,
+        }
+        match slot.next {
+            Some(n) => {
+                if let Some(next) = self.slab.get_mut(n) {
+                    next.prev = slot.prev;
+                }
+            }
+            None => self.tail = slot.prev,
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.slab.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.slab.is_empty()
+    }
+
+    /// Size of the underlying slab (live + free slots): bounded by the
+    /// high-water mark of live entries, never by total churn.
+    pub fn slab_size(&self) -> usize {
+        self.slab.slab_size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut slab: Slab<&'static str> = Slab::new();
+        let a = slab.insert("a");
+        let b = slab.insert("b");
+        assert_eq!(slab.get(a), Some(&"a"));
+        assert_eq!(slab.get(b), Some(&"b"));
+        assert_eq!(slab.len(), 2);
+        assert_eq!(slab.remove(a), Some("a"));
+        assert_eq!(slab.len(), 1);
+        assert_eq!(slab.get(a), None, "removed key stops resolving");
+    }
+
+    #[test]
+    fn stale_handles_never_alias_recycled_slots() {
+        let mut slab: Slab<u32> = Slab::new();
+        let a = slab.insert(1);
+        slab.remove(a);
+        let b = slab.insert(2);
+        assert_eq!(b.index(), a.index(), "slot recycled");
+        assert_ne!(b.generation(), a.generation(), "generation advanced");
+        assert_eq!(slab.get(a), None, "stale key misses");
+        assert_eq!(slab.get(b), Some(&2));
+        assert_eq!(slab.remove(a), None, "stale removal is a no-op");
+        assert_eq!(slab.get(b), Some(&2), "live value untouched by stale key");
+    }
+
+    #[test]
+    fn slab_size_is_bounded_by_high_water_mark() {
+        let mut slab: Slab<u64> = Slab::new();
+        for round in 0..50u64 {
+            let keys: Vec<_> = (0..8).map(|i| slab.insert(round * 8 + i)).collect();
+            for k in keys {
+                slab.remove(k);
+            }
+        }
+        assert_eq!(slab.len(), 0);
+        assert!(slab.slab_size() <= 8, "slots recycled, not leaked");
+    }
+
+    #[test]
+    fn iter_yields_live_values_in_slot_order() {
+        let mut slab: Slab<char> = Slab::new();
+        let a = slab.insert('a');
+        let _b = slab.insert('b');
+        let _c = slab.insert('c');
+        slab.remove(a);
+        let got: Vec<char> = slab.iter().map(|(_, v)| *v).collect();
+        assert_eq!(got, vec!['b', 'c']);
+    }
+
+    #[test]
+    fn fifo_order() {
+        let mut q = OrderQueue::new();
+        q.push_back(1u32);
+        q.push_back(2);
+        q.push_back(3);
+        assert_eq!(q.front(), Some(1));
+        assert_eq!(q.pop_front(), Some(1));
+        assert_eq!(q.pop_front(), Some(2));
+        assert_eq!(q.pop_front(), Some(3));
+        assert_eq!(q.pop_front(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn middle_removal_preserves_order() {
+        let mut q = OrderQueue::new();
+        let ids: Vec<_> = (0..5u32).map(|k| q.push_back(k)).collect();
+        q.remove(ids[2]);
+        q.remove(ids[0]);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop_front(), Some(1));
+        assert_eq!(q.pop_front(), Some(3));
+        assert_eq!(q.pop_front(), Some(4));
+    }
+
+    #[test]
+    fn removal_is_idempotent_and_slots_recycle() {
+        let mut q = OrderQueue::new();
+        let id = q.push_back(7u32);
+        q.remove(id);
+        q.remove(id); // stale: no-op
+        assert!(q.is_empty());
+        let id2 = q.push_back(8);
+        assert_eq!(q.slab_size(), 1, "slot recycled");
+        assert_eq!(q.front(), Some(8));
+        q.remove(id); // stale id from the recycled slot's past life: no-op
+        assert_eq!(q.front(), Some(8), "live entry untouched");
+        q.remove(id2);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn interleaved_churn_stays_bounded() {
+        let mut q = OrderQueue::new();
+        let mut live: Vec<OrderId<u32>> = Vec::new();
+        for i in 0..1000u32 {
+            live.push(q.push_back(i));
+            if live.len() > 16 {
+                let id = live.remove((i as usize * 7) % live.len());
+                q.remove(id);
+            }
+        }
+        assert_eq!(q.len(), live.len());
+        assert!(q.slab_size() <= 17, "slab bounded by peak live entries");
+    }
+}

@@ -12,6 +12,7 @@
 //!
 //! The measurement techniques of §3 aim to be discarded at step 2.
 
+use underradar_netsim::flow::FlowTuple;
 use underradar_netsim::hash::FxHashSet;
 use underradar_netsim::packet::Packet;
 use underradar_netsim::telemetry::{TraceRecord, Tracer};
@@ -98,14 +99,7 @@ pub struct Mvr {
     /// Bounds trace volume under floods — a 10k-packet P2P burst is one
     /// decision, not 10k — while still recording the moment a flow's
     /// classification (and hence its retention fate) changes.
-    traced: FxHashSet<(
-        std::net::Ipv4Addr,
-        u16,
-        std::net::Ipv4Addr,
-        u16,
-        usize,
-        bool,
-    )>,
+    traced: FxHashSet<(FlowTuple, usize, bool)>,
 }
 
 impl Mvr {
@@ -157,10 +151,7 @@ impl Mvr {
         let flow = pkt.trace_flow();
         let class = decision.class();
         let key = (
-            flow.src,
-            flow.src_port,
-            flow.dst,
-            flow.dst_port,
+            FlowTuple::of_packet(pkt),
             class.index(),
             decision.retained(),
         );

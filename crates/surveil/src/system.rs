@@ -21,6 +21,7 @@ use underradar_ids::alert::Alert;
 use underradar_ids::engine::DetectionEngine;
 use underradar_ids::parser::{parse_ruleset, VarTable};
 use underradar_ids::rule::Rule;
+use underradar_ids::stream::ReassemblyConfig;
 use underradar_netsim::addr::Cidr;
 use underradar_netsim::node::{IfaceId, Node, NodeCtx};
 use underradar_netsim::packet::Packet;
@@ -44,6 +45,9 @@ pub struct SurveillanceConfig {
     /// Ablation: run signatures before the MVR discards (default false —
     /// the storage-constrained ordering the paper exploits).
     pub alert_first: bool,
+    /// Reassembly limits for the signature engine (flow-table capacity
+    /// and per-direction buffering caps).
+    pub reassembly: ReassemblyConfig,
 }
 
 impl SurveillanceConfig {
@@ -54,6 +58,7 @@ impl SurveillanceConfig {
             rules,
             analyst: AnalystConfig::default(),
             alert_first: false,
+            reassembly: ReassemblyConfig::default(),
         }
     }
 }
@@ -151,7 +156,7 @@ impl SurveillanceSystem {
     pub fn with_stores(config: SurveillanceConfig, stores: StoreSet) -> SurveillanceSystem {
         SurveillanceSystem {
             mvr: Mvr::new(config.mvr),
-            engine: DetectionEngine::new(config.rules),
+            engine: DetectionEngine::with_reassembly(config.rules, config.reassembly),
             stores,
             analyst: Analyst::new(config.analyst),
             alert_first: config.alert_first,
@@ -323,6 +328,12 @@ impl SurveillanceNode {
 impl Node for SurveillanceNode {
     fn name(&self) -> &str {
         &self.name
+    }
+
+    // Pure observer: no randomness, no injected traffic — same-instant
+    // deliveries coalesce into one dispatch.
+    fn wants_batch(&self) -> bool {
+        true
     }
 
     fn receive(&mut self, ctx: &mut NodeCtx<'_>, _iface: IfaceId, packet: Packet) {

@@ -45,6 +45,19 @@ if ! diff -u "$tmpdir/schema_committed" "$tmpdir/schema_fresh"; then
 fi
 cp "$tmpdir/BENCH_perf.committed.json" BENCH_perf.json
 
+echo "==> e14 population-scale smoke (120k flows; batch + 1-vs-4-shard identity internal)"
+# The experiment itself asserts flow residency under the per-flow byte
+# budget, batched-vs-per-packet verdict identity, and 1-vs-4-shard merged
+# output identity; stdout is deterministic (throughput goes to stderr),
+# so a double run pins report byte-stability too.
+cargo build --offline --release -p underradar-bench --bin exp_e14_scale
+./target/release/exp_e14_scale > "$tmpdir/e14_a.txt" 2>/dev/null
+./target/release/exp_e14_scale > "$tmpdir/e14_b.txt" 2>/dev/null
+cmp "$tmpdir/e14_a.txt" "$tmpdir/e14_b.txt"
+grep -q "batched vs per-packet verdicts: identical" "$tmpdir/e14_a.txt"
+grep -q "shard merged output: byte-identical" "$tmpdir/e14_a.txt"
+grep -q "PASSED" "$tmpdir/e14_a.txt"
+
 echo "==> campaign determinism smoke (sequential vs 4-shard byte identity)"
 cargo build --offline --release -p underradar-bench --bin exp_campaign
 ./target/release/exp_campaign --json --shards 1 > "$tmpdir/campaign_1.json"

@@ -83,6 +83,7 @@ pub mod prelude {
     pub use underradar_core::testbed::{TargetSite, Testbed, TestbedConfig};
     pub use underradar_core::verdict::{Mechanism, Verdict};
     pub use underradar_netsim::addr::Cidr;
+    pub use underradar_netsim::flow::{FlowId, FlowKey, FlowTuple};
     pub use underradar_netsim::time::{SimDuration, SimTime};
     pub use underradar_protocols::dns::DnsName;
 }
