@@ -28,7 +28,7 @@ use underradar_ids::dfa::PrefilterDfa;
 use underradar_ids::engine::DetectionEngine;
 use underradar_ids::parser::{parse_ruleset, VarTable};
 use underradar_ids::stream::{
-    DirBuffer, DirLimits, ReassemblyStats, StreamReassembler, MAX_DIR_BUFFER,
+    DirBuffer, DirLimits, OverlapPolicy, ReassemblyStats, StreamReassembler, MAX_DIR_BUFFER,
 };
 use underradar_netsim::packet::Packet;
 use underradar_netsim::rng::SimRng;
@@ -433,7 +433,13 @@ fn bench_reassembly_holdback() {
             let mut buf = DirBuffer::default();
             let mut stats = ReassemblyStats::default();
             for (seq, p) in &in_order_mss {
-                buf.push(*seq, p, DirLimits::default(), &mut stats);
+                buf.push(
+                    *seq,
+                    p,
+                    DirLimits::default(),
+                    OverlapPolicy::KeepFirst,
+                    &mut stats,
+                );
             }
             buf.view().len()
         });
@@ -479,7 +485,13 @@ fn bench_reassembly_holdback() {
             let mut buf = DirBuffer::default();
             let mut stats = ReassemblyStats::default();
             for (seq, p) in &in_order {
-                buf.push(*seq, p, DirLimits::default(), &mut stats);
+                buf.push(
+                    *seq,
+                    p,
+                    DirLimits::default(),
+                    OverlapPolicy::KeepFirst,
+                    &mut stats,
+                );
             }
             buf.view().len()
         })
@@ -504,7 +516,13 @@ fn bench_reassembly_holdback() {
         let mut stats = ReassemblyStats::default();
         let mut total = 0usize;
         for (seq, p) in &swapped {
-            total += buf.push(*seq, p, DirLimits::default(), &mut stats);
+            total += buf.push(
+                *seq,
+                p,
+                DirLimits::default(),
+                OverlapPolicy::KeepFirst,
+                &mut stats,
+            );
         }
         total
     });
@@ -517,7 +535,13 @@ fn bench_reassembly_holdback() {
     let mut buf = DirBuffer::default();
     let mut total = 0usize;
     for (seq, p) in &swapped {
-        total += buf.push(*seq, p, DirLimits::default(), &mut stats);
+        total += buf.push(
+            *seq,
+            p,
+            DirLimits::default(),
+            OverlapPolicy::KeepFirst,
+            &mut stats,
+        );
     }
     assert_eq!(
         total,
@@ -525,6 +549,118 @@ fn bench_reassembly_holdback() {
         "hold-back reassembles the swapped schedule completely"
     );
     assert_eq!(stats.ooo_dropped, 0, "no drops within the hold-back bound");
+}
+
+/// The endpoint-model upgrade threaded an overlap policy through the
+/// monitor's `DirBuffer::push` so monitor variants can mirror endpoint
+/// reassembly semantics (E13's divergence matrix). The knob must be free
+/// where it is not exercised: on in-order traffic the policy is never
+/// consulted, so keep-last must price identically to keep-first on both
+/// hot paths E13/E14 lean on — the in-order 8 KB reassembly path and the
+/// batched steady-state engine path. Paired best-of ratios, 5% bound.
+fn bench_overlap_policy_guard() {
+    use underradar_ids::stream::ReassemblyConfig;
+    println!("overlap_policy_guard");
+    const SEGS: usize = 512;
+    const MSS: usize = 1448;
+    let in_order: Vec<(u32, Vec<u8>)> = (0..SEGS)
+        .map(|i| (101u32.wrapping_add((i * MSS) as u32), vec![0x61; MSS]))
+        .collect();
+    let mss_payload = (SEGS * MSS) as u64;
+    let buffer_side = |policy: OverlapPolicy| {
+        measure(1_000, || {
+            let mut buf = DirBuffer::default();
+            let mut stats = ReassemblyStats::default();
+            for (seq, p) in &in_order {
+                buf.push(*seq, p, DirLimits::default(), policy, &mut stats);
+            }
+            buf.view().len()
+        })
+    };
+    let mut first_ns = f64::MAX;
+    let mut last_ns = f64::MAX;
+    let mut ratio = f64::MAX;
+    for _ in 0..3 {
+        let f = buffer_side(OverlapPolicy::KeepFirst);
+        let l = buffer_side(OverlapPolicy::KeepLast);
+        first_ns = first_ns.min(f);
+        last_ns = last_ns.min(l);
+        ratio = ratio.min(l / f);
+    }
+    report("in_order_mss_keep_first", first_ns, Some(mss_payload));
+    report("in_order_mss_keep_last", last_ns, Some(mss_payload));
+    let overhead = ratio - 1.0;
+    println!(
+        "  {:<44} {:>11.2}%",
+        "keep-last overhead (in-order 8 KB path)",
+        overhead * 100.0
+    );
+    assert!(
+        overhead <= 0.05,
+        "acceptance: the overlap-policy knob must stay within 5% of \
+         keep-first on the in-order reassembly path (got {:.2}%)",
+        overhead * 100.0
+    );
+
+    // The batched steady-state engine path (the E14 shape): same fleet,
+    // same rules, only the monitor's overlap policy differs. Fresh
+    // engines per sample so the hot rounds are true appends — re-running
+    // a trace would measure the retransmit path, where keep-last pays an
+    // inherent (intended) rewrite memcpy rather than a regression.
+    const FLOWS: usize = 512;
+    const WARM: usize = 4;
+    const HOT: usize = 16;
+    let rounds = fleet_rounds(FLOWS, WARM + HOT, &sample_payload(64));
+    let hot_packets = (FLOWS * HOT) as f64;
+    let engine_side = |overlap: OverlapPolicy| -> f64 {
+        let mut best = f64::MAX;
+        for _ in 0..3 {
+            let mut engine = DetectionEngine::with_reassembly(
+                ruleset(10),
+                ReassemblyConfig {
+                    overlap,
+                    ..ReassemblyConfig::default()
+                },
+            );
+            let mut out = Vec::with_capacity(64);
+            let now = SimTime::ZERO;
+            for round in &rounds[..3 + WARM] {
+                engine.process_batch(now, round, &mut out);
+                out.clear();
+            }
+            let t0 = Instant::now();
+            for round in &rounds[3 + WARM..] {
+                engine.process_batch(now, round, &mut out);
+                out.clear();
+            }
+            best = best.min(t0.elapsed().as_nanos() as f64 / hot_packets);
+        }
+        best
+    };
+    let mut first_ns = f64::MAX;
+    let mut last_ns = f64::MAX;
+    let mut ratio = f64::MAX;
+    for _ in 0..3 {
+        let f = engine_side(OverlapPolicy::KeepFirst);
+        let l = engine_side(OverlapPolicy::KeepLast);
+        first_ns = first_ns.min(f);
+        last_ns = last_ns.min(l);
+        ratio = ratio.min(l / f);
+    }
+    report("batched_64B_keep_first", first_ns, Some(64));
+    report("batched_64B_keep_last", last_ns, Some(64));
+    let overhead = ratio - 1.0;
+    println!(
+        "  {:<44} {:>11.2}%",
+        "keep-last overhead (batched engine path)",
+        overhead * 100.0
+    );
+    assert!(
+        overhead <= 0.05,
+        "acceptance: the overlap-policy knob must stay within 5% of \
+         keep-first on the batched steady-state path (got {:.2}%)",
+        overhead * 100.0
+    );
 }
 
 fn bench_wire_codec() {
@@ -1462,11 +1598,12 @@ fn main() {
         .skip(1)
         .filter(|a| !a.starts_with('-'))
         .collect();
-    let sections: [(&str, fn()); 12] = [
+    let sections: [(&str, fn()); 13] = [
         ("ids_engine", bench_engine),
         ("multipattern", bench_aho_vs_naive),
         ("stream_reassembly", bench_reassembly),
         ("reassembly_holdback", bench_reassembly_holdback),
+        ("overlap_policy_guard", bench_overlap_policy_guard),
         ("codec", bench_wire_codec),
         ("mvr", bench_mvr),
         ("generators", bench_generators),

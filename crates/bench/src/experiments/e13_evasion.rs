@@ -2,35 +2,63 @@
 //! impairments (§4.1 insertion/evasion).
 //!
 //! The paper's §4.1 tricks work precisely because a monitor in the
-//! middle and the real endpoint can disagree about a TCP stream: a
-//! TTL-limited segment dies after the tap (*insertion* — the monitor
-//! reassembles bytes the endpoint never saw), and a monitor with a
-//! bounded hold-back buffer drops what the endpoint happily buffers
-//! (*evasion* — the endpoint sees bytes the monitor missed).
+//! middle and the real endpoint can disagree about a TCP stream. This
+//! experiment replays identical flows past both vantage points — the
+//! monitor is the shared tap/IDS [`StreamReassembler`], the endpoint is
+//! the *real* simulator TCP stack ([`TcpConn`], the same state machine
+//! hosts run) — and sweeps the full divergence matrix: every channel
+//! impairment crossed with every evasion class.
 //!
-//! This experiment replays identical flows past both vantage points and
-//! scores the divergence three ways:
+//! **Impairments** transform the delivery schedule identically at both
+//! vantage points (the tap sits next to the endpoint, so reordering,
+//! duplication and loss-then-retransmit look the same from both chairs;
+//! checksum corruption is dropped by monitor and endpoint alike, so it
+//! degenerates to loss with retransmission). In-bound impairments must
+//! therefore never change a verdict — divergence has to come from the
+//! evasion class, not the channel.
 //!
-//! 1. **In-bound impairments** (reordering within the hold-back window,
-//!    duplicates, overlapping retransmits): monitor and endpoint must
-//!    agree byte-for-byte — zero divergence, zero verdict flips.
-//! 2. **Insertion** (TTL-limited keyword segment seen only by the
-//!    monitor, innocuous retransmit accepted by the endpoint): the
-//!    monitor's stream diverges and its keyword verdict flips.
-//! 3. **Evasion** (hold-back budget exhausted so the monitor drops the
-//!    keyword segment the endpoint buffers): the endpoint's stream
-//!    diverges and the monitor misses the keyword.
+//! **Evasion classes** (rows of the matrix):
 //!
-//! Finally a campaign cell runs with the client-link impairment knobs
-//! enabled and checks the verdicts match the impairment-free run:
-//! in-bound channel noise must not change measurement outcomes.
+//! * *baseline* — keyword-bearing flow, no trickery: zero divergence
+//!   under every impairment.
+//! * *retransmit-insertion* — a TTL-limited keyword segment dies after
+//!   the tap; the retransmit the endpoint accepts carries innocuous
+//!   bytes the monitor discards as a duplicate (keep-first).
+//! * *overlap-ambiguity* — two out-of-order copies of the same range
+//!   with different payloads: the keep-first monitor reassembles the
+//!   first copy, the keep-last endpoint the second.
+//! * *ttl-retransmit* — the mirror image, with the monitor configured
+//!   keep-last: a TTL-limited *retransmit* overwrites bytes on the
+//!   monitor that the endpoint never sees.
+//! * *rst-desync* — an out-of-window RST: the monitor tears the flow
+//!   down (the paper's exploited behaviour), the endpoint answers with a
+//!   challenge ACK and keeps the stream.
+//! * *syn-desync* — a stray mid-stream SYN: the monitor resynchronizes
+//!   its expected sequence to it, the endpoint ignores it, and a decoy
+//!   at the resynced position blinds the monitor to the real bytes.
+//! * *window-evasion* — the keyword arrives further out of order than
+//!   the endpoint's advertised receive window but inside the monitor's
+//!   hold-back bound: the monitor reassembles bytes the endpoint
+//!   dropped.
+//!
+//! For the flips, the monitor's flight recorder narrates causality: a
+//! clean replay (the same schedule minus the attack segments) is diffed
+//! against the attack replay, and the first divergent decision names the
+//! exact mechanism (`dup_ignored` of the real bytes, `ooo_held` of the
+//! conflicting copy, `rst_teardown` of the live flow).
+//!
+//! Finally a campaign cell runs with client-link impairments enabled and
+//! checks verdicts match the impairment-free run, and the same spec run
+//! on 1 and 4 workers yields byte-identical verdicts.
 
 use std::net::Ipv4Addr;
 
 use underradar_censor::CensorPolicy;
-use underradar_ids::stream::{seq_le, seq_lt, Direction, FlowKey, StreamReassembler};
+use underradar_ids::stream::{
+    Direction, FlowKey, OverlapPolicy, ReassemblyConfig, StreamReassembler,
+};
 use underradar_netsim::wire::tcp::TcpFlags;
-use underradar_netsim::{Packet, SimRng};
+use underradar_netsim::{Packet, SimRng, SimTime, TcpConn, TcpEvent};
 use underradar_telemetry::{trace, Tracer};
 
 use crate::table::{heading, mark, Table};
@@ -41,64 +69,117 @@ const SPORT: u16 = 4000;
 const DPORT: u16 = 80;
 const KEYWORD: &[u8] = b"falun";
 
-/// Who observes a scheduled segment: both vantage points, only the
-/// monitor (a TTL-limited packet that dies after the tap), or only the
-/// endpoint (a packet lost on the tap's mirror port).
+/// Who observes a scheduled segment: both vantage points, or only the
+/// monitor (a TTL-limited packet that dies after the tap).
 #[derive(Clone, Copy, PartialEq)]
 enum Sees {
     Both,
     MonitorOnly,
-    EndpointOnly,
 }
 
-/// Reference endpoint: reassembles with the same windowed sequence
-/// arithmetic as the monitor but an effectively unbounded out-of-order
-/// buffer (a real TCP stack holds a full receive window, far more than
-/// the monitor's hold-back budget).
-struct Endpoint {
-    expected: u32,
-    data: Vec<u8>,
-    held: Vec<(u32, Vec<u8>)>,
+/// What kind of segment a schedule item is.
+#[derive(Clone, Copy, PartialEq)]
+enum ItemKind {
+    Data,
+    Rst,
+    Syn,
 }
 
-impl Endpoint {
-    fn new(isn: u32) -> Endpoint {
-        Endpoint {
-            expected: isn,
-            data: Vec::new(),
-            held: Vec::new(),
+/// One scheduled segment. `pinned` items are attack scaffolding whose
+/// relative order the impairment transforms must not disturb; unpinned
+/// items are benign carrier data fair game for the channel.
+#[derive(Clone)]
+struct Item {
+    seq: u32,
+    payload: Vec<u8>,
+    kind: ItemKind,
+    sees: Sees,
+    pinned: bool,
+}
+
+impl Item {
+    fn data(seq: u32, payload: &[u8], sees: Sees, pinned: bool) -> Item {
+        Item {
+            seq,
+            payload: payload.to_vec(),
+            kind: ItemKind::Data,
+            sees,
+            pinned,
         }
     }
+}
 
-    fn accept(&mut self, seq: u32, payload: &[u8]) {
-        let end = seq.wrapping_add(payload.len() as u32);
-        if seq_le(end, self.expected) {
-            return;
+/// Channel impairments, applied identically at both vantage points.
+#[derive(Clone, Copy, PartialEq)]
+enum Impairment {
+    None,
+    Reorder,
+    Duplicate,
+    Loss,
+    Corrupt,
+}
+
+const IMPAIRMENTS: [Impairment; 5] = [
+    Impairment::None,
+    Impairment::Reorder,
+    Impairment::Duplicate,
+    Impairment::Loss,
+    Impairment::Corrupt,
+];
+
+/// Apply one impairment to the unpinned carrier items of a schedule.
+/// Loss and corruption both resolve to "the copy is discarded and a
+/// retransmit arrives later" — a checksum-invalid segment is dropped by
+/// monitor and endpoint alike, so the two are indistinguishable here.
+fn impair(schedule: &[Item], imp: Impairment, rng: &mut SimRng) -> Vec<Item> {
+    let mut items = schedule.to_vec();
+    let unpinned: Vec<usize> = items
+        .iter()
+        .enumerate()
+        .filter(|(_, it)| !it.pinned)
+        .map(|(i, _)| i)
+        .collect();
+    if unpinned.len() < 2 {
+        return items;
+    }
+    match imp {
+        Impairment::None => {}
+        Impairment::Reorder => {
+            // Swap two neighbouring carrier slots.
+            let k = rng.index(unpinned.len() - 1);
+            items.swap(unpinned[k], unpinned[k + 1]);
         }
-        if seq_lt(seq, self.expected) {
-            let trim = self.expected.wrapping_sub(seq) as usize;
-            self.data.extend_from_slice(&payload[trim..]);
-            self.expected = end;
-        } else if seq == self.expected {
-            self.data.extend_from_slice(payload);
-            self.expected = end;
-        } else {
-            self.held.push((seq, payload.to_vec()));
+        Impairment::Duplicate => {
+            let k = unpinned[rng.index(unpinned.len())];
+            let copy = items[k].clone();
+            items.insert(k + 1, copy);
+        }
+        Impairment::Loss | Impairment::Corrupt => {
+            // First transmission gone (lost, or corrupted and dropped on
+            // checksum at both vantage points); the retransmit shows up a
+            // couple of slots later.
+            let k = unpinned[rng.index(unpinned.len())];
+            let it = items.remove(k);
+            let dst = (k + 2).min(items.len());
+            items.insert(dst, it);
         }
     }
+    items
+}
 
-    fn receive(&mut self, seq: u32, payload: &[u8]) {
-        if payload.is_empty() {
-            return;
-        }
-        self.accept(seq, payload);
-        while let Some(pos) = self
-            .held
-            .iter()
-            .position(|(s, _)| seq_le(*s, self.expected))
-        {
-            let (s, p) = self.held.swap_remove(pos);
-            self.accept(s, &p);
+/// Per-replay configuration: the monitor's overlap policy and the
+/// endpoint's advertised receive window.
+#[derive(Clone, Copy)]
+struct ReplayCfg {
+    monitor_overlap: OverlapPolicy,
+    endpoint_rcv_wnd: Option<u32>,
+}
+
+impl Default for ReplayCfg {
+    fn default() -> Self {
+        ReplayCfg {
+            monitor_overlap: OverlapPolicy::KeepFirst,
+            endpoint_rcv_wnd: None,
         }
     }
 }
@@ -125,21 +206,37 @@ fn contains(hay: &[u8], needle: &[u8]) -> bool {
     hay.windows(needle.len()).any(|w| w == needle)
 }
 
-/// Replay one schedule of `(seq, payload, sees)` segments past a fresh
-/// monitor (the shared tap/IDS reassembler) and a fresh endpoint, and
-/// score the divergence between the two reconstructed streams.
-fn replay(isn: u32, schedule: &[(u32, Vec<u8>, Sees)]) -> Divergence {
-    replay_traced(isn, schedule, Tracer::disabled())
+/// Replay one schedule past a fresh monitor (the shared tap/IDS
+/// reassembler) and a fresh endpoint (the real simulator TCP stack,
+/// accepting the connection like any simulated server), and score the
+/// divergence between the monitor's reconstructed stream and the bytes
+/// the endpoint actually delivered to its application.
+fn replay(isn: u32, schedule: &[Item], cfg: ReplayCfg) -> Divergence {
+    replay_traced(isn, schedule, cfg, Tracer::disabled())
 }
 
 /// [`replay`] with the monitor's flight recorder attached. There is no
 /// simulator clock in this replay, so the trace's sim-time is the
 /// schedule position of the segment that triggered the decision.
-fn replay_traced(isn: u32, schedule: &[(u32, Vec<u8>, Sees)], tracer: Tracer) -> Divergence {
+fn replay_traced(isn: u32, schedule: &[Item], cfg: ReplayCfg, tracer: Tracer) -> Divergence {
     let traced = tracer.is_live();
-    let mut monitor = StreamReassembler::new();
+    let mut monitor = StreamReassembler::with_config(ReassemblyConfig {
+        overlap: cfg.monitor_overlap,
+        ..ReassemblyConfig::default()
+    });
     monitor.set_tracer(tracer);
+    let t0 = SimTime::ZERO;
     let syn_seq = isn.wrapping_sub(1);
+
+    // The endpoint under observation: a real accepting TCP connection
+    // (keep-last overlap resolution, like mainstream stacks).
+    let (mut endpoint, _syn_ack) =
+        TcpConn::accept((SERVER, DPORT), (CLIENT, SPORT), syn_seq, 900, t0);
+    if let Some(wnd) = cfg.endpoint_rcv_wnd {
+        endpoint.set_rcv_wnd(wnd);
+    }
+
+    // Handshake past both vantage points.
     let syn = Packet::tcp(
         CLIENT,
         SERVER,
@@ -174,48 +271,239 @@ fn replay_traced(isn: u32, schedule: &[(u32, Vec<u8>, Sees)], tracer: Tracer) ->
     );
     let ctx = monitor.process(&ack).expect("ack tracked");
     let key: FlowKey = ctx.key;
+    let ack_seg = ack.as_tcp().expect("ack is tcp");
+    let _ = endpoint.on_segment(ack_seg, t0);
 
-    let mut endpoint = Endpoint::new(isn);
-    for (i, (seq, payload, sees)) in schedule.iter().enumerate() {
+    let mut endpoint_stream: Vec<u8> = Vec::new();
+    for (i, item) in schedule.iter().enumerate() {
         if traced {
             monitor.set_now(i as u64);
         }
-        if *sees != Sees::EndpointOnly {
-            let pkt = Packet::tcp(
-                CLIENT,
-                SERVER,
-                SPORT,
-                DPORT,
-                *seq,
-                901,
-                TcpFlags::psh_ack(),
-                payload.clone(),
-            );
-            monitor.process(&pkt);
-        }
-        if *sees != Sees::MonitorOnly {
-            endpoint.receive(*seq, payload);
+        let flags = match item.kind {
+            ItemKind::Data => TcpFlags::psh_ack(),
+            ItemKind::Rst => TcpFlags::rst(),
+            ItemKind::Syn => TcpFlags::syn(),
+        };
+        let pkt = Packet::tcp(
+            CLIENT,
+            SERVER,
+            SPORT,
+            DPORT,
+            item.seq,
+            if item.kind == ItemKind::Syn { 0 } else { 901 },
+            flags,
+            item.payload.clone(),
+        );
+        monitor.process(&pkt);
+        if item.sees == Sees::Both {
+            let seg = pkt.as_tcp().expect("scheduled items are tcp");
+            let (_acks, events) = endpoint.on_segment(seg, t0);
+            for ev in events {
+                if let TcpEvent::Data(d) = ev {
+                    endpoint_stream.extend_from_slice(&d);
+                }
+            }
         }
     }
 
     let monitor_stream = monitor.stream_of(&key, Direction::ToServer).to_vec();
     let lcp = monitor_stream
         .iter()
-        .zip(endpoint.data.iter())
+        .zip(endpoint_stream.iter())
         .take_while(|(a, b)| a == b)
         .count();
     Divergence {
         monitor_only: monitor_stream.len() - lcp,
-        endpoint_only: endpoint.data.len() - lcp,
+        endpoint_only: endpoint_stream.len() - lcp,
         monitor_hit: contains(&monitor_stream, KEYWORD),
-        endpoint_hit: contains(&endpoint.data, KEYWORD),
+        endpoint_hit: contains(&endpoint_stream, KEYWORD),
         ooo_dropped: monitor.stats().ooo_dropped,
     }
 }
 
+/// One row of the divergence matrix.
+struct EvasionClass {
+    name: &'static str,
+    isn: u32,
+    cfg: ReplayCfg,
+    /// Expected flip direction under attack: `Some(true)` = monitor sees
+    /// the keyword and the endpoint doesn't (insertion), `Some(false)` =
+    /// the endpoint sees it and the monitor doesn't (evasion), `None` =
+    /// no flip expected (baseline).
+    expect_monitor_hit: Option<bool>,
+    schedule: Vec<Item>,
+}
+
+fn baseline_class(isn: u32) -> EvasionClass {
+    let stream = b"GET /falun HTTP/1.0 host: x";
+    let mut schedule = Vec::new();
+    for (i, chunk) in stream.chunks(6).enumerate() {
+        schedule.push(Item::data(
+            isn.wrapping_add((i * 6) as u32),
+            chunk,
+            Sees::Both,
+            false,
+        ));
+    }
+    EvasionClass {
+        name: "baseline (no evasion)",
+        isn,
+        cfg: ReplayCfg::default(),
+        expect_monitor_hit: None,
+        schedule,
+    }
+}
+
+/// §4.1 insertion: a TTL-limited keyword segment dies after the tap; the
+/// "retransmit" the endpoint accepts carries innocuous bytes the
+/// keep-first monitor discards as a duplicate.
+fn insertion_class(isn: u32) -> EvasionClass {
+    EvasionClass {
+        name: "retransmit-insertion",
+        isn,
+        cfg: ReplayCfg::default(),
+        expect_monitor_hit: Some(true),
+        schedule: vec![
+            Item::data(isn, b"GET /", Sees::Both, false),
+            Item::data(isn.wrapping_add(5), KEYWORD, Sees::MonitorOnly, true),
+            Item::data(isn.wrapping_add(5), b"files", Sees::Both, true),
+            Item::data(isn.wrapping_add(10), b" HTTP", Sees::Both, false),
+            Item::data(isn.wrapping_add(15), b"/1.0x", Sees::Both, false),
+        ],
+    }
+}
+
+/// Overlapping out-of-order retransmits with different payloads: the
+/// keep-first monitor keeps the first copy, the keep-last endpoint the
+/// second. Both copies arrive ahead of a gap that fills last.
+fn overlap_class(isn: u32) -> EvasionClass {
+    EvasionClass {
+        name: "overlap-ambiguity",
+        isn,
+        cfg: ReplayCfg::default(),
+        expect_monitor_hit: Some(true),
+        schedule: vec![
+            Item::data(isn.wrapping_add(5), KEYWORD, Sees::Both, true),
+            Item::data(isn.wrapping_add(5), b"files", Sees::Both, true),
+            Item::data(isn.wrapping_add(10), b" HTTP", Sees::Both, false),
+            Item::data(isn.wrapping_add(15), b"/1.0x", Sees::Both, false),
+            Item::data(isn, b"GET /", Sees::Both, true),
+        ],
+    }
+}
+
+/// TTL-limited retransmit against a keep-last monitor: the legitimate
+/// bytes arrive first, then a TTL-limited copy with the keyword rewrites
+/// them on the monitor alone.
+fn ttl_retransmit_class(isn: u32) -> EvasionClass {
+    EvasionClass {
+        name: "ttl-retransmit (monitor keep-last)",
+        isn,
+        cfg: ReplayCfg {
+            monitor_overlap: OverlapPolicy::KeepLast,
+            endpoint_rcv_wnd: None,
+        },
+        expect_monitor_hit: Some(true),
+        schedule: vec![
+            Item::data(isn, b"GET /", Sees::Both, false),
+            Item::data(isn.wrapping_add(5), b"files", Sees::Both, true),
+            Item::data(isn.wrapping_add(5), KEYWORD, Sees::MonitorOnly, true),
+            Item::data(isn.wrapping_add(10), b" HTTP", Sees::Both, false),
+            Item::data(isn.wrapping_add(15), b"/1.0x", Sees::Both, false),
+        ],
+    }
+}
+
+/// TCB desync by out-of-window RST: the monitor tears the flow down on
+/// any RST (the paper's exploited behaviour); the endpoint validates the
+/// sequence, answers with a challenge ACK, and keeps the stream. The
+/// keyword straddles the RST so the monitor's post-teardown pickup never
+/// reassembles it.
+fn rst_desync_class(isn: u32) -> EvasionClass {
+    EvasionClass {
+        name: "rst-desync",
+        isn,
+        cfg: ReplayCfg::default(),
+        expect_monitor_hit: Some(false),
+        schedule: vec![
+            Item::data(isn, b"GET /fa", Sees::Both, true),
+            Item {
+                seq: isn.wrapping_add(200_000),
+                payload: vec![],
+                kind: ItemKind::Rst,
+                sees: Sees::Both,
+                pinned: true,
+            },
+            Item::data(isn.wrapping_add(7), b"lun", Sees::Both, true),
+            Item::data(isn.wrapping_add(10), b" HTT", Sees::Both, false),
+            Item::data(isn.wrapping_add(14), b"P/1.0", Sees::Both, false),
+        ],
+    }
+}
+
+/// TCB desync by stray mid-stream SYN: the monitor resynchronizes its
+/// expected sequence to the SYN; the endpoint ignores it. A decoy at the
+/// resynced position feeds the monitor innocuous bytes while the real
+/// continuation (stale from the monitor's new viewpoint) carries the
+/// keyword to the endpoint.
+fn syn_desync_class(isn: u32) -> EvasionClass {
+    EvasionClass {
+        name: "syn-desync",
+        isn,
+        cfg: ReplayCfg::default(),
+        expect_monitor_hit: Some(false),
+        schedule: vec![
+            Item::data(isn, b"GET /fal", Sees::Both, true),
+            Item {
+                seq: isn.wrapping_add(4999),
+                payload: vec![],
+                kind: ItemKind::Syn,
+                sees: Sees::Both,
+                pinned: true,
+            },
+            Item::data(isn.wrapping_add(5000), b"XXXXX", Sees::Both, true),
+            Item::data(isn.wrapping_add(8), b"un ", Sees::Both, true),
+            Item::data(isn.wrapping_add(11), b"HTT", Sees::Both, false),
+            Item::data(isn.wrapping_add(14), b"P/1.0", Sees::Both, false),
+        ],
+    }
+}
+
+/// Window evasion: the keyword arrives displaced beyond the endpoint's
+/// advertised receive window (it drops the segment) but inside the
+/// monitor's hold-back bound (it buffers and later reassembles it).
+fn window_evasion_class(isn: u32) -> EvasionClass {
+    let mut schedule = vec![
+        Item::data(isn, b"GET /", Sees::Both, true),
+        Item::data(isn.wrapping_add(6000), KEYWORD, Sees::Both, true),
+    ];
+    let mut off = 5usize;
+    while off < 6000 {
+        let take = 1024.min(6000 - off);
+        schedule.push(Item::data(
+            isn.wrapping_add(off as u32),
+            &vec![b'x'; take],
+            Sees::Both,
+            false,
+        ));
+        off += take;
+    }
+    EvasionClass {
+        name: "window-evasion",
+        isn,
+        cfg: ReplayCfg {
+            monitor_overlap: OverlapPolicy::KeepFirst,
+            endpoint_rcv_wnd: Some(4096),
+        },
+        expect_monitor_hit: Some(true),
+        schedule,
+    }
+}
+
 /// A random keyword-bearing flow scheduled with in-bound impairments:
-/// bounded reordering, duplicates, and overlapping retransmits.
-fn impaired_schedule(rng: &mut SimRng, isn: u32) -> Vec<(u32, Vec<u8>, Sees)> {
+/// bounded reordering, duplicates, and same-byte overlapping
+/// retransmits.
+fn impaired_schedule(rng: &mut SimRng, isn: u32) -> Vec<Item> {
     let len = 256 + rng.index(768);
     let mut stream: Vec<u8> = (0..len).map(|i| b'a' + ((i * 7 + 3) % 23) as u8).collect();
     let at = rng.index(len - KEYWORD.len());
@@ -255,41 +543,26 @@ fn impaired_schedule(rng: &mut SimRng, isn: u32) -> Vec<(u32, Vec<u8>, Sees)> {
     ranked.sort_by_key(|(rank, _, _)| *rank);
     // Lead with the first in-order byte so the monitor anchors its
     // expected sequence at the ISN rather than mid-stream.
-    let mut schedule = vec![(isn, stream[0..1].to_vec(), Sees::Both)];
+    let mut schedule = vec![Item::data(isn, &stream[0..1], Sees::Both, true)];
     schedule.extend(
         ranked
             .into_iter()
-            .map(|(_, seq, payload)| (seq, payload, Sees::Both)),
+            .map(|(_, seq, payload)| Item::data(seq, &payload, Sees::Both, true)),
     );
     schedule
 }
 
-/// §4.1 insertion: a TTL-limited keyword segment dies after the tap, and
-/// the retransmit the endpoint accepts carries innocuous bytes the
-/// monitor discards as a duplicate.
-fn insertion_schedule(isn: u32) -> Vec<(u32, Vec<u8>, Sees)> {
-    vec![
-        (isn, b"GET /".to_vec(), Sees::Both),
-        (isn.wrapping_add(5), b"falun".to_vec(), Sees::MonitorOnly),
-        (isn.wrapping_add(5), b"files".to_vec(), Sees::Both),
-        (isn.wrapping_add(10), b" HTTP/1.0".to_vec(), Sees::Both),
-    ]
-}
-
-/// Evasion by hold-back exhaustion: junk segments beyond a small gap
-/// fill the monitor's out-of-order budget, so the keyword segment behind
-/// them is dropped by the monitor but buffered by the endpoint; filling
-/// the gap then reveals the divergence.
-fn evasion_schedule(isn: u32) -> Vec<(u32, Vec<u8>, Sees)> {
-    let mut schedule = vec![(isn, b"GET /".to_vec(), Sees::Both)];
-    let gap = isn.wrapping_add(5);
-    let after = isn.wrapping_add(15);
-    for j in 0..4u32 {
-        schedule.push((after.wrapping_add(j * 1024), vec![b'x'; 1024], Sees::Both));
-    }
-    schedule.push((after.wrapping_add(4096), KEYWORD.to_vec(), Sees::Both));
-    schedule.push((gap, b"0123456789".to_vec(), Sees::Both));
-    schedule
+/// The clean twin of an attack schedule: the same carrier bytes without
+/// the attack segments (TTL-limited copies, injected RST/SYN, and for
+/// the overlap class the conflicting second copy).
+fn clean_twin(class: &EvasionClass) -> Vec<Item> {
+    class
+        .schedule
+        .iter()
+        .filter(|it| it.sees == Sees::Both && it.kind == ItemKind::Data)
+        .filter(|it| !(class.name == "overlap-ambiguity" && it.payload == b"files"))
+        .cloned()
+        .collect()
 }
 
 /// Run E13 with a disabled telemetry handle.
@@ -302,11 +575,12 @@ pub fn run_with(tel: &underradar_telemetry::Telemetry) -> String {
     let mut out = heading(
         "E13",
         "§4.1 insertion/evasion",
-        "monitor and endpoint agree under in-bound impairments; \
-         divergence requires TTL-limiting or exceeding the hold-back bound",
+        "monitor and endpoint agree under in-bound impairments; every \
+         evasion class flips the keyword verdict under every impairment",
     );
 
-    // Part 1: in-bound impairment schedules must not diverge.
+    // Part 1: in-bound impairment schedules must not diverge — the
+    // monitor's stream equals what the real endpoint stack delivered.
     let trials = 32usize;
     let mut rng = SimRng::seed_from_u64(0xE13_0001);
     let mut divergent = 0usize;
@@ -314,7 +588,7 @@ pub fn run_with(tel: &underradar_telemetry::Telemetry) -> String {
     let mut dropped = 0u64;
     for i in 0..trials {
         let isn = 0x4000_0000u32.wrapping_mul(i as u32).wrapping_add(101);
-        let d = replay(isn, &impaired_schedule(&mut rng, isn));
+        let d = replay(isn, &impaired_schedule(&mut rng, isn), ReplayCfg::default());
         if d.diverged() {
             divergent += 1;
         }
@@ -343,71 +617,120 @@ pub fn run_with(tel: &underradar_telemetry::Telemetry) -> String {
     out.push_str(&t1.render());
     let in_bound_ok = divergent == 0 && flips == 0 && dropped == 0;
 
-    // Part 2 + 3: crafted divergence, one row per attack.
-    out.push_str("\ncrafted divergence (monitor-only vs endpoint-only bytes):\n");
-    let insertion = replay(0x7fff_ff00, &insertion_schedule(0x7fff_ff00));
-    let evasion = replay(0x0000_0065, &evasion_schedule(0x0000_0065));
+    // Part 2: the divergence matrix — every impairment × every evasion
+    // class. The baseline row must never flip; every attack row must
+    // flip in its expected direction under every impairment.
+    let classes = [
+        baseline_class(0x1000_0065),
+        insertion_class(0x7fff_ff00),
+        overlap_class(0x2000_0065),
+        ttl_retransmit_class(0x3000_0065),
+        rst_desync_class(0x4000_0065),
+        syn_desync_class(0x5000_0065),
+        window_evasion_class(0x0000_0065),
+    ];
+    out.push_str("\ndivergence matrix (verdict flip per impairment; kw = none-impaired):\n");
     let mut t2 = Table::new(&[
-        "attack",
-        "monitor-only B",
-        "endpoint-only B",
-        "monitor kw",
-        "endpoint kw",
-        "verdict flip",
+        "evasion class",
+        "none",
+        "reorder",
+        "duplicate",
+        "loss",
+        "corrupt",
+        "mon kw",
+        "ep kw",
     ]);
-    for (name, d) in [
-        ("insertion (TTL-limited)", &insertion),
-        ("evasion (hold-back flood)", &evasion),
-    ] {
-        t2.row(&[
-            name.to_string(),
-            d.monitor_only.to_string(),
-            d.endpoint_only.to_string(),
-            mark(d.monitor_hit).to_string(),
-            mark(d.endpoint_hit).to_string(),
-            mark(d.verdict_flip()).to_string(),
-        ]);
+    let mut cells = 0usize;
+    let mut total_flips = 0usize;
+    let mut matrix_ok = true;
+    for class in classes.iter() {
+        let mut row = vec![class.name.to_string()];
+        let mut none_hits = (false, false);
+        for (j, imp) in IMPAIRMENTS.iter().enumerate() {
+            let mut imp_rng = SimRng::seed_from_u64(0xE13_2000 + (cells as u64) * 31 + j as u64);
+            let schedule = impair(&class.schedule, *imp, &mut imp_rng);
+            let d = replay(class.isn, &schedule, class.cfg);
+            cells += 1;
+            if d.verdict_flip() {
+                total_flips += 1;
+            }
+            let cell_ok = match class.expect_monitor_hit {
+                None => !d.diverged() && !d.verdict_flip() && d.monitor_hit && d.endpoint_hit,
+                Some(mon_hit) => d.verdict_flip() && d.diverged() && d.monitor_hit == mon_hit,
+            };
+            matrix_ok &= cell_ok;
+            row.push(mark(d.verdict_flip()).to_string());
+            if *imp == Impairment::None {
+                none_hits = (d.monitor_hit, d.endpoint_hit);
+            }
+        }
+        row.push(mark(none_hits.0).to_string());
+        row.push(mark(none_hits.1).to_string());
+        t2.row(&row);
     }
     out.push_str(&t2.render());
-    let insertion_ok =
-        insertion.monitor_hit && !insertion.endpoint_hit && insertion.monitor_only > 0;
-    let evasion_ok = !evasion.monitor_hit
-        && evasion.endpoint_hit
-        && evasion.endpoint_only > 0
-        && evasion.ooo_dropped > 0;
+    out.push_str(&format!(
+        "divergence matrix: {cells} cells, {total_flips} verdict flips\n"
+    ));
+    let count_ok = cells == 35 && total_flips == 30;
 
-    // Part 4: the flight recorder narrates the insertion flip. Replay the
-    // clean pair (same schedule without the TTL-limited segment) and the
-    // insertion pair with tracing on, and diff the monitor's decision
-    // streams: the first divergent decision *is* the attack — the monitor
-    // discarding the endpoint's real bytes as a duplicate of the
-    // inserted keyword segment it alone saw.
-    let isn = 0x7fff_ff00u32;
-    let clean_sched: Vec<(u32, Vec<u8>, Sees)> = insertion_schedule(isn)
-        .into_iter()
-        .filter(|(_, _, sees)| *sees != Sees::MonitorOnly)
-        .collect();
-    let clean_tracer = Tracer::with_capacity(256);
-    let _ = replay_traced(isn, &clean_sched, clean_tracer.clone());
-    let attack_tracer = Tracer::with_capacity(256);
-    let _ = replay_traced(isn, &insertion_schedule(isn), attack_tracer.clone());
-    let divergence = trace::diff(&clean_tracer.records(), &attack_tracer.records());
-    out.push_str(
-        "\ntrace diff, clean pair (a) vs TTL-insertion pair (b); \
-         sim-time = schedule position:\n",
+    // Part 3: the overlap knob closes the overlap-ambiguity gap — a
+    // keep-last monitor agrees with the keep-last endpoint.
+    let aligned = replay(
+        0x2000_0065,
+        &overlap_class(0x2000_0065).schedule,
+        ReplayCfg {
+            monitor_overlap: OverlapPolicy::KeepLast,
+            endpoint_rcv_wnd: None,
+        },
     );
-    out.push_str(&trace::render_diff(divergence.as_ref()));
-    let diff_ok = divergence
-        .as_ref()
-        .and_then(|d| d.right.as_ref())
-        .is_some_and(|r| {
-            r.stage == "stream"
-                && r.kind == "dup_ignored"
-                && r.field_u64("seq_lo") == Some(u64::from(isn.wrapping_add(5)))
-                && r.field_u64("seq_hi") == Some(u64::from(isn.wrapping_add(10)))
-        });
+    let knob_ok = !aligned.verdict_flip() && !aligned.diverged();
+    out.push_str(&format!(
+        "\nkeep-last monitor vs keep-last endpoint on the overlap schedule: \
+         divergence {} flip {} (knob closes the gap: {})\n",
+        aligned.monitor_only + aligned.endpoint_only,
+        mark(aligned.verdict_flip()),
+        mark(knob_ok)
+    ));
 
-    // Part 5: campaign verdicts are impairment-invariant in bound.
+    // Part 4: flight-recorder narration. For three flip mechanisms, diff
+    // the monitor's decision stream between the clean twin and the attack
+    // replay: the first divergent decision names the mechanism.
+    let mut narration_ok = true;
+    out.push_str("\nfirst divergent monitor decision, clean twin (a) vs attack (b):\n");
+    for (class, want_kind, offset) in [
+        (&classes[1], "dup_ignored", Some(5u32)),
+        (&classes[2], "ooo_held", Some(5u32)),
+        (&classes[4], "rst_teardown", None),
+    ] {
+        let want_seq_lo = offset.map(|o| class.isn.wrapping_add(o));
+        let clean_tracer = Tracer::with_capacity(256);
+        let _ = replay_traced(
+            class.isn,
+            &clean_twin(class),
+            class.cfg,
+            clean_tracer.clone(),
+        );
+        let attack_tracer = Tracer::with_capacity(256);
+        let _ = replay_traced(class.isn, &class.schedule, class.cfg, attack_tracer.clone());
+        let divergence = trace::diff(&clean_tracer.records(), &attack_tracer.records());
+        out.push_str(&format!("\n[{}]\n", class.name));
+        out.push_str(&trace::render_diff(divergence.as_ref()));
+        let ok = divergence
+            .as_ref()
+            .and_then(|d| d.right.as_ref())
+            .is_some_and(|r| {
+                r.stage == "stream"
+                    && r.kind == want_kind
+                    && want_seq_lo
+                        .map(|lo| r.field_u64("seq_lo") == Some(u64::from(lo)))
+                        .unwrap_or(true)
+            });
+        narration_ok &= ok;
+    }
+
+    // Part 5: campaign verdicts are impairment-invariant in bound, and
+    // shard count does not change them.
     let spec = |name: &str| {
         underradar_campaign::CampaignSpec::new(name, 29)
             .target("twitter.com")
@@ -452,10 +775,32 @@ pub fn run_with(tel: &underradar_telemetry::Telemetry) -> String {
     ]);
     out.push_str(&t3.render());
 
-    let pass = in_bound_ok && insertion_ok && evasion_ok && diff_ok && verdicts_match;
+    let sharded = underradar_campaign::engine::run(&spec("e13-clean"), 4, tel);
+    let shard_identical = clean.trials.len() == sharded.trials.len()
+        && clean
+            .trials
+            .iter()
+            .zip(sharded.trials.iter())
+            .all(|(a, b)| format!("{:?}", a.verdict) == format!("{:?}", b.verdict));
     out.push_str(&format!(
-        "\nresult: divergence is zero in bound and nonzero exactly under \
-         TTL-limiting or hold-back overflow: {}\n\n",
+        "1-vs-4-shard verdicts: {}\n",
+        if shard_identical {
+            "byte-identical"
+        } else {
+            "DIVERGED"
+        }
+    ));
+
+    let pass = in_bound_ok
+        && matrix_ok
+        && count_ok
+        && knob_ok
+        && narration_ok
+        && verdicts_match
+        && shard_identical;
+    out.push_str(&format!(
+        "\nresult: divergence is zero in bound and the full evasion matrix \
+         flips verdicts with narrated causes: {}\n\n",
         if pass { "PASSED" } else { "FAILED" }
     ));
     out

@@ -2,7 +2,7 @@
 //! deterministic trial matrix.
 
 use underradar_censor::CensorPolicy;
-use underradar_ids::stream::ReassemblyConfig;
+use underradar_ids::stream::{OverlapPolicy, ReassemblyConfig};
 
 use crate::seed;
 
@@ -331,6 +331,13 @@ impl CampaignSpec {
         mix(&mut h, self.monitor_reassembly.max_flows as u64);
         mix(&mut h, self.monitor_reassembly.limits.window as u64);
         mix(&mut h, self.monitor_reassembly.limits.holdback as u64);
+        mix(
+            &mut h,
+            match self.monitor_reassembly.overlap {
+                OverlapPolicy::KeepFirst => 0,
+                OverlapPolicy::KeepLast => 1,
+            },
+        );
         h
     }
 
@@ -437,6 +444,10 @@ mod tests {
             }),
             spec().monitor_reassembly(ReassemblyConfig {
                 max_flows: 7,
+                ..ReassemblyConfig::default()
+            }),
+            spec().monitor_reassembly(ReassemblyConfig {
+                overlap: OverlapPolicy::KeepLast,
                 ..ReassemblyConfig::default()
             }),
         ];

@@ -21,16 +21,21 @@
 //!
 //! Out-of-order segments are *held back* (bounded by
 //! [`DirLimits::holdback`]) until the gap before them fills, overlapping
-//! retransmits contribute only their unseen suffix, and all sequence
-//! comparisons are windowed — so channel impairments within the hold-back
-//! bound cost nothing, while everything beyond it is counted
-//! ([`ReassemblyStats`]) rather than silently skewing verdicts.
+//! retransmits are resolved by a configurable [`OverlapPolicy`] (the
+//! Ptacek–Newsham ambiguity: `KeepFirst` keeps the bytes already seen and
+//! contributes only the unseen suffix, `KeepLast` lets a later copy
+//! rewrite them — real endpoints differ, so a monitor's choice is an
+//! evasion surface either way), and all sequence comparisons are
+//! windowed — so channel impairments within the hold-back bound cost
+//! nothing, while everything beyond it is counted ([`ReassemblyStats`])
+//! rather than silently skewing verdicts.
 
 use std::net::Ipv4Addr;
 
 use underradar_netsim::flow::FlowTable;
 pub use underradar_netsim::flow::{FlowId, FlowKey};
 use underradar_netsim::packet::{Packet, TcpSegment};
+pub use underradar_netsim::stack::tcp::OverlapPolicy;
 use underradar_netsim::telemetry::{TraceFlow, TraceRecord, Tracer};
 
 /// Default per-direction cap on buffered stream bytes; older bytes are
@@ -100,6 +105,12 @@ pub struct ReassemblyConfig {
     pub max_flows: usize,
     /// Per-direction buffering limits.
     pub limits: DirLimits,
+    /// How conflicting retransmits over already-seen bytes resolve.
+    /// `KeepFirst` (the monitor default, and the seed's only behaviour)
+    /// trusts the first copy; `KeepLast` mirrors endpoints that accept
+    /// the latest copy, letting experiments align or misalign the monitor
+    /// with the endpoint under test.
+    pub overlap: OverlapPolicy,
 }
 
 impl Default for ReassemblyConfig {
@@ -107,6 +118,7 @@ impl Default for ReassemblyConfig {
         ReassemblyConfig {
             max_flows: MAX_FLOWS,
             limits: DirLimits::default(),
+            overlap: OverlapPolicy::KeepFirst,
         }
     }
 }
@@ -137,17 +149,21 @@ impl DirBuffer {
     /// Offer a segment. In-order payload is appended; a segment landing
     /// beyond the expected sequence is *held* (up to the hold-back
     /// budget) until the gap fills; a retransmit overlapping already-seen
-    /// bytes contributes only its unseen suffix; fully-stale segments are
-    /// ignored. All comparisons are windowed, so flows crossing the 2^32
-    /// sequence wrap don't desync. Returns the number of bytes newly
-    /// appended to the in-order stream (including any held segments this
-    /// one unblocked).
+    /// bytes resolves per `overlap` — [`OverlapPolicy::KeepFirst`]
+    /// contributes only the unseen suffix, [`OverlapPolicy::KeepLast`]
+    /// additionally rewrites the already-buffered bytes it covers (where
+    /// they are still inside the live window). All comparisons are
+    /// windowed, so flows crossing the 2^32 sequence wrap don't desync.
+    /// Returns the number of bytes newly appended to the in-order stream
+    /// (including any held segments this one unblocked); rewritten bytes
+    /// do not count as new.
     #[inline]
     pub fn push(
         &mut self,
         seq: u32,
         payload: &[u8],
         limits: DirLimits,
+        overlap: OverlapPolicy,
         stats: &mut ReassemblyStats,
     ) -> usize {
         if payload.is_empty() {
@@ -164,34 +180,46 @@ impl DirBuffer {
             // Mid-stream pickup (monitor started late): accept and sync.
             self.next_seq = Some(seq);
         }
-        let mut appended = self.accept(seq, payload, limits, stats);
+        let mut appended = self.accept(seq, payload, limits, overlap, stats);
         if appended > 0 && !self.held.is_empty() {
-            appended += self.drain_held(limits, stats);
+            appended += self.drain_held(limits, overlap, stats);
         }
         appended
     }
 
     /// Apply one segment against the current expected sequence: append,
-    /// trim-and-append, hold, or drop. Returns bytes appended in order.
+    /// resolve-overlap-and-append, hold, or drop. Returns bytes appended
+    /// in order.
     fn accept(
         &mut self,
         seq: u32,
         payload: &[u8],
         limits: DirLimits,
+        overlap: OverlapPolicy,
         stats: &mut ReassemblyStats,
     ) -> usize {
         let expected = self.next_seq.expect("push set next_seq");
         let end = seq.wrapping_add(payload.len() as u32);
         if seq_le(end, expected) {
-            // Every byte already seen: a pure duplicate / stale retransmit.
-            stats.dup_ignored += 1;
+            // Every byte already seen: a stale retransmit. KeepFirst
+            // ignores it; KeepLast lets it rewrite the copy on record.
+            if overlap == OverlapPolicy::KeepLast && self.rewrite_overlap(seq, payload) > 0 {
+                stats.overlap_rewritten += 1;
+            } else {
+                stats.dup_ignored += 1;
+            }
             return 0;
         }
         if seq_lt(seq, expected) {
-            // Partial overlap (repacketized retransmit): keep the unseen
-            // suffix instead of dropping the whole segment.
+            // Partial overlap (repacketized retransmit): the unseen suffix
+            // always appends; the already-seen prefix is either discarded
+            // (KeepFirst) or overwrites the buffered copy (KeepLast).
             let trim = expected.wrapping_sub(seq) as usize;
-            stats.overlap_trimmed += 1;
+            if overlap == OverlapPolicy::KeepLast && self.rewrite_overlap(seq, payload) > 0 {
+                stats.overlap_rewritten += 1;
+            } else {
+                stats.overlap_trimmed += 1;
+            }
             self.append_in_order(&payload[trim..], limits, stats);
             return payload.len() - trim;
         }
@@ -212,9 +240,39 @@ impl DirBuffer {
         0
     }
 
+    /// Overwrite already-reassembled bytes the segment covers, where they
+    /// are still inside the live window (bytes compacted past the window
+    /// are gone for good — no policy can resurrect them). Returns the
+    /// number of bytes rewritten.
+    fn rewrite_overlap(&mut self, seq: u32, payload: &[u8]) -> usize {
+        let expected = self.next_seq.expect("rewrite follows accept");
+        let live = self.data.len() - self.start;
+        let win_base = expected.wrapping_sub(live as u32);
+        // Bytes of the payload that precede the expected sequence.
+        let old_len = (expected.wrapping_sub(seq) as usize).min(payload.len());
+        // Clip the old part to the live window.
+        let (skip, win_off) = if seq_lt(seq, win_base) {
+            (win_base.wrapping_sub(seq) as usize, 0usize)
+        } else {
+            (0usize, seq.wrapping_sub(win_base) as usize)
+        };
+        if skip >= old_len {
+            return 0;
+        }
+        let n = old_len - skip;
+        let dst = self.start + win_off;
+        self.data[dst..dst + n].copy_from_slice(&payload[skip..old_len]);
+        n
+    }
+
     /// After an in-order append, apply every held segment the new expected
     /// sequence has reached (repeatedly — one drain can unblock the next).
-    fn drain_held(&mut self, limits: DirLimits, stats: &mut ReassemblyStats) -> usize {
+    fn drain_held(
+        &mut self,
+        limits: DirLimits,
+        overlap: OverlapPolicy,
+        stats: &mut ReassemblyStats,
+    ) -> usize {
         let mut total = 0;
         loop {
             let expected = self.next_seq.expect("in-order data present");
@@ -223,7 +281,7 @@ impl DirBuffer {
             };
             let (seq, payload) = self.held.swap_remove(idx);
             self.held_bytes -= payload.len();
-            total += self.accept(seq, &payload, limits, stats);
+            total += self.accept(seq, &payload, limits, overlap, stats);
         }
         total
     }
@@ -323,8 +381,12 @@ pub struct ReassemblyStats {
     /// Out-of-order segments dropped: displaced beyond the window or past
     /// the hold-back budget.
     pub ooo_dropped: u64,
-    /// Retransmits whose already-seen prefix was trimmed (suffix kept).
+    /// Retransmits whose already-seen prefix was trimmed (suffix kept) —
+    /// the [`OverlapPolicy::KeepFirst`] resolution.
     pub overlap_trimmed: u64,
+    /// Retransmits that overwrote already-buffered bytes — the
+    /// [`OverlapPolicy::KeepLast`] resolution. Always 0 under `KeepFirst`.
+    pub overlap_rewritten: u64,
     /// Segments ignored because every byte was already seen.
     pub dup_ignored: u64,
 }
@@ -345,6 +407,7 @@ pub struct StreamReassembler {
     /// dereferences per segment, O(1) oldest-first eviction.
     flows: FlowTable<Flow>,
     limits: DirLimits,
+    overlap: OverlapPolicy,
     /// Tear down flows on RST (the real-IDS default, and the paper's
     /// exploited behaviour). When `false`, RSTs are ignored — the ablation.
     pub rst_teardown: bool,
@@ -379,6 +442,7 @@ impl StreamReassembler {
         StreamReassembler {
             flows: FlowTable::new(cfg.max_flows),
             limits: cfg.limits,
+            overlap: cfg.overlap,
             rst_teardown: true,
             stats: ReassemblyStats::default(),
             removed: Vec::new(),
@@ -391,6 +455,11 @@ impl StreamReassembler {
     /// The per-direction buffering limits in force.
     pub fn limits(&self) -> DirLimits {
         self.limits
+    }
+
+    /// The overlap-resolution policy in force.
+    pub fn overlap_policy(&self) -> OverlapPolicy {
+        self.overlap
     }
 
     /// The flow-table eviction threshold.
@@ -530,6 +599,19 @@ impl StreamReassembler {
             };
             if self.teardown(&key) {
                 self.stats.rst_teardowns += 1;
+                if self.tracer.is_live() {
+                    // The flight-recorder evidence for the paper's §4.1
+                    // exploit: the monitor stopped looking at this flow
+                    // here, whatever the endpoint decided.
+                    self.tracer.record(TraceRecord {
+                        t_ns: self.now_ns,
+                        seq: 0,
+                        stage: "stream",
+                        kind: "rst_teardown",
+                        flow: Some(pkt.trace_flow()),
+                        fields: vec![("seq_lo", (seg.seq as u64).into())],
+                    });
+                }
             }
             return Some(ctx);
         }
@@ -601,7 +683,7 @@ impl StreamReassembler {
         } else {
             None
         };
-        let new_bytes = buf.push(seg.seq, &seg.payload, limits, &mut self.stats);
+        let new_bytes = buf.push(seg.seq, &seg.payload, limits, self.overlap, &mut self.stats);
         if let Some(before) = stats_before {
             trace_reassembly(&self.tracer, self.now_ns, &before, &self.stats, pkt, seg);
         }
@@ -704,6 +786,10 @@ fn trace_reassembly(
     emit(
         "overlap_trimmed",
         after.overlap_trimmed - before.overlap_trimmed,
+    );
+    emit(
+        "overlap_rewritten",
+        after.overlap_rewritten - before.overlap_rewritten,
     );
     emit("dup_ignored", after.dup_ignored - before.dup_ignored);
 }
@@ -845,6 +931,154 @@ mod tests {
         assert_eq!(r.stats().overlap_trimmed, 1);
     }
 
+    fn keep_last(max_flows: usize) -> StreamReassembler {
+        StreamReassembler::with_config(ReassemblyConfig {
+            max_flows,
+            limits: DirLimits::default(),
+            overlap: OverlapPolicy::KeepLast,
+        })
+    }
+
+    /// The Ptacek–Newsham overlap ambiguity: the same schedule — "falun"
+    /// then a same-range retransmit carrying "files" — reassembles to
+    /// different streams under the two policies. This is the divergence
+    /// surface E13's overlapping-retransmit evasion class exercises.
+    #[test]
+    fn overlap_policy_decides_which_retransmit_copy_wins() {
+        // KeepFirst (default): the first copy is the stream on record.
+        let mut r = StreamReassembler::new();
+        handshake(&mut r);
+        let _ = r.process(&pkt(
+            C,
+            S,
+            4000,
+            80,
+            101,
+            TcpFlags::psh_ack(),
+            b"GET /falun",
+        ));
+        let ctx = r
+            .process(&pkt(C, S, 4000, 80, 106, TcpFlags::psh_ack(), b"files"))
+            .expect("retransmit");
+        assert!(!ctx.appended);
+        assert_eq!(stream_vec(&r, &ctx), b"GET /falun");
+        assert_eq!(r.stats().dup_ignored, 1);
+        assert_eq!(r.stats().overlap_rewritten, 0);
+
+        // KeepLast: the later copy rewrites the buffered bytes.
+        let mut r = keep_last(MAX_FLOWS);
+        handshake(&mut r);
+        let _ = r.process(&pkt(
+            C,
+            S,
+            4000,
+            80,
+            101,
+            TcpFlags::psh_ack(),
+            b"GET /falun",
+        ));
+        let ctx = r
+            .process(&pkt(C, S, 4000, 80, 106, TcpFlags::psh_ack(), b"files"))
+            .expect("retransmit");
+        assert!(!ctx.appended, "rewritten bytes are not new bytes");
+        assert_eq!(stream_vec(&r, &ctx), b"GET /files");
+        assert_eq!(r.stats().overlap_rewritten, 1);
+        assert_eq!(r.stats().dup_ignored, 0);
+    }
+
+    /// KeepLast on a partial overlap: the already-seen prefix rewrites and
+    /// the unseen suffix still appends (one decision, counted once).
+    #[test]
+    fn keep_last_partial_overlap_rewrites_prefix_and_appends_suffix() {
+        let mut r = keep_last(MAX_FLOWS);
+        handshake(&mut r);
+        let _ = r.process(&pkt(C, S, 4000, 80, 101, TcpFlags::psh_ack(), b"abcdef"));
+        // Covers [104, 112): "DEF" rewrites, "ghi" is new.
+        let ctx = r
+            .process(&pkt(C, S, 4000, 80, 104, TcpFlags::psh_ack(), b"DEFghi"))
+            .expect("ctx");
+        assert_eq!(ctx.new_bytes, 3, "suffix only");
+        assert_eq!(stream_vec(&r, &ctx), b"abcDEFghi");
+        let s = r.stats();
+        assert_eq!(s.overlap_rewritten, 1);
+        assert_eq!(s.overlap_trimmed, 0, "one decision, not two");
+    }
+
+    /// KeepLast conflicts held out of order resolve on drain: two copies of
+    /// the same future range, the later one wins once the gap fills.
+    #[test]
+    fn keep_last_resolves_held_out_of_order_conflicts() {
+        let mut r = keep_last(MAX_FLOWS);
+        handshake(&mut r);
+        let _ = r.process(&pkt(C, S, 4000, 80, 106, TcpFlags::psh_ack(), b"falun"));
+        let _ = r.process(&pkt(C, S, 4000, 80, 106, TcpFlags::psh_ack(), b"files"));
+        assert_eq!(r.stats().ooo_held, 2, "both copies held across the gap");
+        let ctx = r
+            .process(&pkt(C, S, 4000, 80, 101, TcpFlags::psh_ack(), b"GET /"))
+            .expect("fill");
+        assert_eq!(stream_vec(&r, &ctx), b"GET /files", "later copy wins");
+        assert_eq!(r.stats().overlap_rewritten, 1);
+    }
+
+    /// A rewrite reaching behind the live window only touches bytes still
+    /// buffered — compacted history cannot be resurrected.
+    #[test]
+    fn keep_last_rewrite_is_clipped_to_the_live_window() {
+        let mut r = StreamReassembler::with_config(ReassemblyConfig {
+            max_flows: MAX_FLOWS,
+            limits: DirLimits {
+                window: 8,
+                holdback: 64,
+            },
+            overlap: OverlapPolicy::KeepLast,
+        });
+        handshake(&mut r);
+        let _ = r.process(&pkt(
+            C,
+            S,
+            4000,
+            80,
+            101,
+            TcpFlags::psh_ack(),
+            b"0123456789ab",
+        ));
+        // Window now holds "456789ab" (last 8). A retransmit of [101, 113)
+        // rewrites only the windowed tail.
+        let ctx = r
+            .process(&pkt(
+                C,
+                S,
+                4000,
+                80,
+                101,
+                TcpFlags::psh_ack(),
+                b"XXXXXXXXXXXX",
+            ))
+            .expect("ctx");
+        assert_eq!(stream_vec(&r, &ctx), b"XXXXXXXX");
+        assert_eq!(r.stats().overlap_rewritten, 1);
+    }
+
+    /// The RST teardown leaves a flight-recorder record naming the decision
+    /// (the §4.1 causal chain's first divergent step for TCB-desync runs).
+    #[test]
+    fn rst_teardown_emits_trace_record() {
+        let mut r = StreamReassembler::new();
+        let tracer = Tracer::with_capacity(16);
+        r.set_tracer(tracer.clone());
+        handshake(&mut r);
+        r.set_now(42);
+        let _ = r.process(&pkt(C, S, 4000, 80, 101, TcpFlags::rst(), b""));
+        let records = tracer.records();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].kind, "rst_teardown");
+        assert_eq!(records[0].stage, "stream");
+        assert_eq!(records[0].t_ns, 42);
+        // An RST against an untracked flow tears nothing down: no record.
+        let _ = r.process(&pkt(C, S, 4999, 80, 7, TcpFlags::rst(), b""));
+        assert_eq!(tracer.records().len(), 1);
+    }
+
     #[test]
     fn pure_duplicates_are_ignored_and_counted() {
         let mut r = StreamReassembler::new();
@@ -937,6 +1171,7 @@ mod tests {
                 window: 64,
                 holdback: 16,
             },
+            overlap: OverlapPolicy::KeepFirst,
         };
         let mut r = StreamReassembler::with_config(cfg);
         assert_eq!(r.limits(), cfg.limits);
@@ -1094,8 +1329,12 @@ mod tests {
                 let _ = r.process(&p);
             }
             let s = r.stats();
-            let decisions =
-                s.ooo_held + s.ooo_dropped + s.overlap_trimmed + s.dup_ignored + s.evicted;
+            let decisions = s.ooo_held
+                + s.ooo_dropped
+                + s.overlap_trimmed
+                + s.overlap_rewritten
+                + s.dup_ignored
+                + s.evicted;
             assert_eq!(
                 tracer.records().len() as u64 + tracer.dropped(),
                 decisions,

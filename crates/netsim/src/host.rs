@@ -32,7 +32,8 @@ use crate::wire::tcp::TcpFlags;
 /// The interface every host uses (hosts are single-homed).
 pub const HOST_IFACE: IfaceId = IfaceId(0);
 
-/// Default retransmission timeout.
+/// Default base (minimum) retransmission timeout. Connections adapt their
+/// actual RTO from RTT samples and back off exponentially; this is the floor.
 pub const DEFAULT_RTO: SimDuration = SimDuration::from_millis(200);
 
 /// Handle to a TCP connection on a host.
@@ -203,7 +204,8 @@ impl HostStack {
             return;
         }
         entry.epoch += 1;
-        let token = ctx.set_timer(self.rto);
+        // The connection's RTO reflects RTT samples and exponential backoff.
+        let token = ctx.set_timer(entry.conn.rto());
         self.timer_map
             .insert(token, TimerPurpose::Rto(cid, entry.epoch));
     }
@@ -219,7 +221,7 @@ impl HostStack {
         let Some(entry) = self.conns.get_mut(&cid) else {
             return;
         };
-        let packets = entry.conn.send(data);
+        let packets = entry.conn.send(data, ctx.now());
         self.flush(ctx, packets);
         self.arm_rto(ctx, cid);
     }
@@ -228,7 +230,7 @@ impl HostStack {
         let Some(entry) = self.conns.get_mut(&cid) else {
             return;
         };
-        let packets = entry.conn.close();
+        let packets = entry.conn.close(ctx.now());
         self.flush(ctx, packets);
         self.arm_rto(ctx, cid);
     }
@@ -328,7 +330,13 @@ impl HostApi<'_, '_> {
     pub fn tcp_connect(&mut self, dst: Ipv4Addr, dst_port: u16) -> ConnId {
         let local_port = self.stack.alloc_ephemeral();
         let iss = self.ctx.rng().next_u32();
-        let (conn, syn) = TcpConn::connect((self.stack.ip, local_port), (dst, dst_port), iss);
+        let (mut conn, syn) = TcpConn::connect(
+            (self.stack.ip, local_port),
+            (dst, dst_port),
+            iss,
+            self.ctx.now(),
+        );
+        conn.set_base_rto(self.stack.rto);
         let cid = self.stack.alloc_conn_id();
         self.stack
             .conn_index
@@ -533,7 +541,8 @@ impl Host {
         self.stack.respond_rst = respond;
     }
 
-    /// Override the retransmission timeout.
+    /// Override the base retransmission timeout applied to new connections
+    /// (the floor under the adaptive, backed-off per-connection RTO).
     pub fn set_rto(&mut self, rto: SimDuration) {
         self.stack.rto = rto;
     }
@@ -693,7 +702,7 @@ impl Host {
             let Some(entry) = self.stack.conns.get_mut(&cid) else {
                 return;
             };
-            let (out, events) = entry.conn.on_segment(seg);
+            let (out, events) = entry.conn.on_segment(seg, ctx.now());
             self.stack.flush(ctx, out);
             self.stack.arm_rto(ctx, cid);
             for e in events {
@@ -708,12 +717,14 @@ impl Host {
         if seg.flags.has_syn() && !seg.flags.has_ack() {
             if let Some(&factory_idx) = self.stack.listeners.get(&seg.dst_port) {
                 let iss = ctx.rng().next_u32();
-                let (conn, syn_ack) = TcpConn::accept(
+                let (mut conn, syn_ack) = TcpConn::accept(
                     (self.stack.ip, seg.dst_port),
                     (pkt.src, seg.src_port),
                     seg.seq,
                     iss,
+                    ctx.now(),
                 );
+                conn.set_base_rto(self.stack.rto);
                 let cid = self.stack.alloc_conn_id();
                 self.stack.conn_index.insert(key, cid);
                 self.stack.conns.insert(
@@ -861,7 +872,7 @@ impl Node for Host {
                 if entry.epoch != epoch || !entry.conn.has_unacked() {
                     return;
                 }
-                let (out, events) = entry.conn.on_rto();
+                let (out, events) = entry.conn.on_rto(ctx.now());
                 self.stack.flush(ctx, out);
                 self.stack.arm_rto(ctx, cid);
                 for e in events {
@@ -1060,7 +1071,9 @@ mod tests {
         sim.node_mut::<Host>(c)
             .expect("client")
             .spawn_task_at(SimTime::ZERO, Box::new(EchoClient::new(SERVER_IP)));
-        sim.run_for(SimDuration::from_secs(10)).expect("run");
+        // With exponential backoff the last retry fires after
+        // 200ms·(2+4+8+16+32+64) ≈ 25s; give the run room for it.
+        sim.run_for(SimDuration::from_secs(30)).expect("run");
         let task = sim
             .node_ref::<Host>(c)
             .expect("client")

@@ -195,6 +195,15 @@ impl Packet {
         self
     }
 
+    /// Override the advertised TCP window (builder style). No-op for
+    /// non-TCP bodies.
+    pub fn with_tcp_window(mut self, window: u16) -> Packet {
+        if let PacketBody::Tcp(seg) = &mut self.body {
+            seg.window = window;
+        }
+        self
+    }
+
     /// The TCP segment, if this is a TCP packet.
     pub fn as_tcp(&self) -> Option<&TcpSegment> {
         match &self.body {

@@ -188,25 +188,27 @@ fn tcp_delivers_stream_in_order() {
         let chunks: Vec<Vec<u8>> = (0..n_chunks).map(|_| g.bytes(1, 300)).collect();
         let c_ip = Ipv4Addr::new(10, 0, 0, 1);
         let s_ip = Ipv4Addr::new(10, 0, 0, 2);
-        let (mut client, syn) = TcpConn::connect((c_ip, 4000), (s_ip, 80), 77);
+        let t0 = SimTime::ZERO;
+        let (mut client, syn) = TcpConn::connect((c_ip, 4000), (s_ip, 80), 77, t0);
         let syn_seg = syn.as_tcp().expect("syn").clone();
-        let (mut server, syn_ack) = TcpConn::accept((s_ip, 80), (c_ip, 4000), syn_seg.seq, 1010);
-        let (ack_out, _) = client.on_segment(syn_ack.as_tcp().expect("sa"));
-        let _ = server.on_segment(ack_out[0].as_tcp().expect("ack"));
+        let (mut server, syn_ack) =
+            TcpConn::accept((s_ip, 80), (c_ip, 4000), syn_seg.seq, 1010, t0);
+        let (ack_out, _) = client.on_segment(syn_ack.as_tcp().expect("sa"), t0);
+        let _ = server.on_segment(ack_out[0].as_tcp().expect("ack"), t0);
 
         let mut sent = Vec::new();
         let mut received = Vec::new();
         for chunk in &chunks {
             sent.extend_from_slice(chunk);
-            for pkt in client.send(chunk) {
-                let (acks, events) = server.on_segment(pkt.as_tcp().expect("data"));
+            for pkt in client.send(chunk, t0) {
+                let (acks, events) = server.on_segment(pkt.as_tcp().expect("data"), t0);
                 for ev in events {
                     if let TcpEvent::Data(d) = ev {
                         received.extend_from_slice(&d);
                     }
                 }
                 for ack in acks {
-                    let _ = client.on_segment(ack.as_tcp().expect("ack"));
+                    let _ = client.on_segment(ack.as_tcp().expect("ack"), t0);
                 }
             }
         }
@@ -221,8 +223,8 @@ fn tcp_survives_arbitrary_segments() {
     cases(128, 0xA00A, |g| {
         let c_ip = Ipv4Addr::new(10, 0, 0, 1);
         let s_ip = Ipv4Addr::new(10, 0, 0, 2);
-        let (mut conn, _syn) = TcpConn::connect((c_ip, 4000), (s_ip, 80), 0);
-        for _ in 0..g.usize_in(0, 30) {
+        let (mut conn, _syn) = TcpConn::connect((c_ip, 4000), (s_ip, 80), 0, SimTime::ZERO);
+        for i in 0..g.usize_in(0, 30) {
             let seg = underradar_netsim::packet::TcpSegment {
                 src_port: 80,
                 dst_port: 4000,
@@ -232,7 +234,7 @@ fn tcp_survives_arbitrary_segments() {
                 window: 1000,
                 payload: g.bytes(0, 64),
             };
-            let _ = conn.on_segment(&seg);
+            let _ = conn.on_segment(&seg, SimTime::from_nanos(i as u64 * 1_000_000));
         }
     });
 }

@@ -117,11 +117,33 @@ struct SourceState {
     is_ddos: bool,
 }
 
+impl SourceState {
+    /// Roll the sliding window: clear behavioural state in place so the
+    /// sets keep their allocations across window resets (a chatty source
+    /// re-fills them every window).
+    fn reset(&mut self, now: SimTime) {
+        self.window_start = now;
+        self.syn_targets.clear();
+        self.smtp_dsts.clear();
+        self.per_target_hits.clear();
+        self.is_scanner = false;
+        self.is_spammer = false;
+        self.is_ddos = false;
+    }
+}
+
 /// The stateful classifier.
+///
+/// Per-source state follows the arena design used for flow bookkeeping:
+/// the hash table maps a source to a dense `u32` slot and the heavy
+/// window state lives in a `Vec` arena — table growth rehashes 4-byte
+/// indices instead of moving three hash sets per source, and slots stay
+/// stable for the classifier's lifetime.
 #[derive(Debug)]
 pub struct Classifier {
     config: ClassifierConfig,
-    sources: FxHashMap<Ipv4Addr, SourceState>,
+    index: FxHashMap<Ipv4Addr, u32>,
+    sources: Vec<SourceState>,
 }
 
 impl Classifier {
@@ -129,18 +151,30 @@ impl Classifier {
     pub fn new(config: ClassifierConfig) -> Classifier {
         Classifier {
             config,
-            sources: FxHashMap::default(),
+            index: FxHashMap::default(),
+            sources: Vec::new(),
         }
+    }
+
+    /// Number of distinct sources with live behavioural state.
+    pub fn source_count(&self) -> usize {
+        self.sources.len()
     }
 
     /// Classify one packet (updates per-source behavioural state).
     pub fn classify(&mut self, now: SimTime, pkt: &Packet) -> TrafficClass {
-        let state = self.sources.entry(pkt.src).or_default();
+        let slot = match self.index.get(&pkt.src) {
+            Some(&i) => i as usize,
+            None => {
+                let i = self.sources.len();
+                self.index.insert(pkt.src, i as u32);
+                self.sources.push(SourceState::default());
+                i
+            }
+        };
+        let state = &mut self.sources[slot];
         if now.saturating_since(state.window_start) > self.config.window {
-            *state = SourceState {
-                window_start: now,
-                ..SourceState::default()
-            };
+            state.reset(now);
         }
 
         match &pkt.body {
@@ -220,8 +254,9 @@ impl Classifier {
     /// Whether a source currently carries a behavioural (malware-ish)
     /// label.
     pub fn source_labels(&self, src: Ipv4Addr) -> (bool, bool, bool) {
-        self.sources
+        self.index
             .get(&src)
+            .map(|&i| &self.sources[i as usize])
             .map(|s| (s.is_scanner, s.is_spammer, s.is_ddos))
             .unwrap_or((false, false, false))
     }

@@ -95,11 +95,14 @@ pub struct Mvr {
     volumes: [ClassVolume; TrafficClass::COUNT],
     discard_mask: [bool; TrafficClass::COUNT],
     tracer: Tracer,
-    /// Dedup set for trace records: one record per (flow, class, verdict).
-    /// Bounds trace volume under floods — a 10k-packet P2P burst is one
-    /// decision, not 10k — while still recording the moment a flow's
-    /// classification (and hence its retention fate) changes.
-    traced: FxHashSet<(FlowTuple, usize, bool)>,
+    /// Dedup sets for trace records, one per class (indexed by
+    /// [`TrafficClass::index`], like `volumes`): one record per
+    /// (flow, class, verdict). Bounds trace volume under floods — a
+    /// 10k-packet P2P burst is one decision, not 10k — while still
+    /// recording the moment a flow's classification (and hence its
+    /// retention fate) changes. Keying the set by (flow, verdict) and the
+    /// array by class keeps the class out of the hashed key.
+    traced: [FxHashSet<(FlowTuple, bool)>; TrafficClass::COUNT],
 }
 
 impl Mvr {
@@ -116,7 +119,7 @@ impl Mvr {
             volumes: [ClassVolume::default(); TrafficClass::COUNT],
             discard_mask,
             tracer: Tracer::disabled(),
-            traced: FxHashSet::default(),
+            traced: std::array::from_fn(|_| FxHashSet::default()),
         }
     }
 
@@ -150,12 +153,8 @@ impl Mvr {
     fn trace_decision(&mut self, now: SimTime, pkt: &Packet, decision: MvrDecision) {
         let flow = pkt.trace_flow();
         let class = decision.class();
-        let key = (
-            FlowTuple::of_packet(pkt),
-            class.index(),
-            decision.retained(),
-        );
-        if !self.traced.insert(key) {
+        let key = (FlowTuple::of_packet(pkt), decision.retained());
+        if !self.traced[class.index()].insert(key) {
             return;
         }
         self.tracer.record(TraceRecord {

@@ -58,6 +58,19 @@ grep -q "batched vs per-packet verdicts: identical" "$tmpdir/e14_a.txt"
 grep -q "shard merged output: byte-identical" "$tmpdir/e14_a.txt"
 grep -q "PASSED" "$tmpdir/e14_a.txt"
 
+echo "==> e13 divergence-matrix smoke (35-cell golden; 1-vs-4-shard verdict identity)"
+# The matrix sweep is fully deterministic (seeded impairments, trace time
+# = schedule position), so a double run pins report byte-stability, the
+# golden line pins the divergence count, and the shard line pins that
+# worker count cannot change campaign verdicts.
+cargo build --offline --release -p underradar-bench --bin exp_e13_evasion
+./target/release/exp_e13_evasion > "$tmpdir/e13_a.txt" 2>/dev/null
+./target/release/exp_e13_evasion > "$tmpdir/e13_b.txt" 2>/dev/null
+cmp "$tmpdir/e13_a.txt" "$tmpdir/e13_b.txt"
+grep -q "divergence matrix: 35 cells, 30 verdict flips" "$tmpdir/e13_a.txt"
+grep -q "1-vs-4-shard verdicts: byte-identical" "$tmpdir/e13_a.txt"
+grep -q "PASSED" "$tmpdir/e13_a.txt"
+
 echo "==> campaign determinism smoke (sequential vs 4-shard byte identity)"
 cargo build --offline --release -p underradar-bench --bin exp_campaign
 ./target/release/exp_campaign --json --shards 1 > "$tmpdir/campaign_1.json"
