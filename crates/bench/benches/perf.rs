@@ -963,6 +963,59 @@ fn bench_runner() {
          service run on the 512-trial matrix (got {:.2}%)",
         overhead * 100.0
     );
+
+    // Progress-snapshot overhead on a 30k-trial synthetic service run:
+    // the `--progress` emitter (committer-side recv_timeout poll, stderr
+    // JSONL, worker busy accounting) must stay within 3% of the silent
+    // run. Single-run paired best-of-3 — each side is a full 30k-trial
+    // campaign, so `measure`'s batch repetition would cost minutes for no
+    // extra signal.
+    use underradar_bench::experiments::campaign::synthetic_campaign;
+    use underradar_runner::ProgressConfig;
+    let spec = synthetic_campaign(30_000);
+    let once = |progress: bool| -> (f64, u64) {
+        let mut cfg = RunConfig::new(4);
+        if progress {
+            cfg = cfg.progress(ProgressConfig {
+                every_trials: 10_000,
+                every_ms: 5_000,
+            });
+        }
+        let t0 = Instant::now();
+        let outcome = run_service(&spec, &cfg, &tel, &mut NullSink).expect("service run");
+        (t0.elapsed().as_nanos() as f64, outcome.profile.snapshots)
+    };
+    let _ = once(false); // warmup
+    let mut silent_ns = f64::MAX;
+    let mut progress_ns = f64::MAX;
+    let mut ratio = f64::MAX;
+    let mut snapshots = 0u64;
+    for _ in 0..3 {
+        let (s, _) = once(false);
+        let (p, snaps) = once(true);
+        silent_ns = silent_ns.min(s);
+        progress_ns = progress_ns.min(p);
+        ratio = ratio.min(p / s);
+        snapshots = snapshots.max(snaps);
+    }
+    report("service_30k_synthetic_silent", silent_ns, None);
+    report("service_30k_synthetic_progress", progress_ns, None);
+    let overhead = ratio - 1.0;
+    println!(
+        "  {:<44} {:>11.2}%",
+        "progress overhead (30k-trial service run)",
+        overhead * 100.0
+    );
+    assert!(
+        snapshots >= 3,
+        "acceptance: progress snapshots must stream during the run (got {snapshots})"
+    );
+    assert!(
+        overhead <= 0.03,
+        "acceptance: progress snapshots must stay within 3% of the silent \
+         service run on the 30k-trial synthetic matrix (got {:.2}%)",
+        overhead * 100.0
+    );
 }
 
 /// The reassembly hot loop with telemetry handles on the per-segment

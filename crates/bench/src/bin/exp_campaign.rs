@@ -25,6 +25,22 @@
 //!   would differ trivially).
 //! * `--profile` — print a wall-clock profile footer (prepare/run/score
 //!   stage timings) to stderr; stdout stays deterministic.
+//! * `--profile-json PATH` — write the stage timings (plus, in service
+//!   mode, per-worker busy/attempt counts and steal/retry totals) to
+//!   `PATH` as sorted-key JSON.
+//! * `--audit` (or `--audit=json`) — run with telemetry enabled and print
+//!   the report followed by the adversary-eye **safety audit**: per-host
+//!   attributability scores reconstructed from the merged `exposure.*`
+//!   registry entries, folded against each cell's declared evasion counts.
+//!   Cells that declared themselves fully evaded while the adversary holds
+//!   attributable events are surfaced as divergences. Byte-identical for
+//!   any `--shards` value and for `--service` vs the plain engine.
+//! * `--progress` (or `--progress=N`, snapshot every `N` trials) — in
+//!   service mode, stream interval snapshots (done/total, rows/sec, ETA,
+//!   per-worker busy fractions, steal/retry counts, journal lag) as JSONL
+//!   on **stderr**; stdout bytes are untouched.
+//! * `--trace-capacity N` (or `UNDERRADAR_TRACE_CAPACITY=N`) — size the
+//!   flight-recorder ring for `--trace` / `--trace-diff` runs.
 //! * `--service` — run through the durable run service
 //!   (`underradar-runner`): work-stealing scheduling, streaming rows, and
 //!   (with `--checkpoint`) a crash-safe journal. The text report is
@@ -42,14 +58,17 @@
 
 use std::path::PathBuf;
 
-use underradar_bench::cli::OutputMode;
+use underradar_bench::cli::{OutputMode, OutputSpec};
 use underradar_bench::experiments::campaign::{paper_campaign, synthetic_campaign};
 use underradar_bench::runner::StageClock;
 use underradar_campaign::engine;
-use underradar_campaign::report::CampaignReport;
+use underradar_campaign::report::{CampaignReport, CellStat};
 use underradar_campaign::spec::CampaignSpec;
-use underradar_runner::{run_service, JsonlSink, NullSink, RowSink, RunConfig};
-use underradar_telemetry::{trace, Telemetry, TraceRecord, DEFAULT_TRACE_CAPACITY};
+use underradar_runner::{
+    run_service, JsonlSink, NullSink, ProgressConfig, RowSink, RunConfig, RunProfile,
+};
+use underradar_surveil::exposure::{DeclaredCell, ExposureLedger, SafetyAudit};
+use underradar_telemetry::{trace, Registry, Telemetry, TraceRecord, DEFAULT_TRACE_CAPACITY};
 
 fn parse_shards(args: &[String]) -> usize {
     let mut shards = 1usize;
@@ -107,8 +126,8 @@ fn trial_decisions(records: &[TraceRecord], index: u64) -> Option<Vec<TraceRecor
         })
 }
 
-fn run_trace_diff(spec: &CampaignSpec, shards: usize, a: u64, b: u64) {
-    let tel = Telemetry::with_trace(DEFAULT_TRACE_CAPACITY);
+fn run_trace_diff(spec: &CampaignSpec, shards: usize, a: u64, b: u64, trace_capacity: usize) {
+    let tel = Telemetry::with_trace(trace_capacity);
     let _ = engine::run(spec, shards, &tel);
     let snap = tel.snapshot();
     let left = trial_decisions(&snap.trace, a)
@@ -145,10 +164,83 @@ impl RowSink for IndexedSink {
     }
 }
 
+/// Reconstruct the campaign-wide exposure ledger from the merged registry,
+/// fold it against the declared per-cell evasion counts, and render the
+/// safety audit (text, or sorted-key JSON under `--audit=json`).
+fn render_audit(cells: &[CellStat], registry: &Registry, json: bool) -> String {
+    let ledger = ExposureLedger::from_registry(registry);
+    let declared: Vec<DeclaredCell> = cells
+        .iter()
+        .map(|c| DeclaredCell {
+            cell: format!("{}/{}", c.method, c.policy),
+            trials: c.trials as u64,
+            evaded: c.evaded as u64,
+        })
+        .collect();
+    let audit = SafetyAudit::build(&ledger, &declared);
+    if json {
+        let mut out = audit.render_json();
+        out.push('\n');
+        out
+    } else {
+        audit.render_text()
+    }
+}
+
+/// `--profile-json PATH`: stage timings plus (in service mode) the run
+/// profile, as sorted-key JSON.
+fn write_profile_json(path: &str, clock: &StageClock, service: Option<&RunProfile>) {
+    let mut out = String::from("{\"service\":");
+    match service {
+        Some(p) => {
+            let join = |v: &[u64]| {
+                v.iter()
+                    .map(|n| n.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",")
+            };
+            out.push_str(&format!(
+                "{{\"prepare_ms\":{},\"retries_seen\":{},\"snapshots\":{},\"steals\":{},\
+                 \"wall_ms\":{},\"worker_attempts\":[{}],\"worker_busy_ns\":[{}]}}",
+                p.prepare_ms,
+                p.retries_seen,
+                p.snapshots,
+                p.steals,
+                p.wall_ms,
+                join(&p.worker_attempts),
+                join(&p.worker_busy_ns)
+            ));
+        }
+        None => out.push_str("null"),
+    }
+    out.push_str(",\"stages\":{");
+    for (i, (stage, total, calls)) in clock.rows().into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\"{stage}\":{{\"calls\":{calls},\"ns\":{}}}",
+            total.as_nanos()
+        ));
+    }
+    out.push_str("}}\n");
+    if let Err(e) = std::fs::write(path, out) {
+        eprintln!("--profile-json {path}: {e}");
+        std::process::exit(1);
+    }
+}
+
 /// `--service`: the durable run path. Rows stream in completion order
 /// under `--jsonl`; every other mode's stdout is byte-identical to the
-/// plain engine's report for any `--shards` value.
-fn run_service_mode(spec: &CampaignSpec, cfg: &RunConfig, mode: OutputMode, clock: &StageClock) {
+/// plain engine's report for any `--shards` value. Returns the run's
+/// wall-clock profile for `--profile-json`.
+fn run_service_mode(
+    spec: &CampaignSpec,
+    cfg: &RunConfig,
+    mode: OutputMode,
+    trace_capacity: usize,
+    clock: &StageClock,
+) -> RunProfile {
     let run = |tel: &Telemetry, sink: &mut dyn RowSink| {
         let outcome = clock
             .time("run", || run_service(spec, cfg, tel, sink))
@@ -166,6 +258,7 @@ fn run_service_mode(spec: &CampaignSpec, cfg: &RunConfig, mode: OutputMode, cloc
         OutputMode::Text => {
             let outcome = run(&Telemetry::disabled(), &mut NullSink);
             print!("{}", clock.time("score", || outcome.report.render_text()));
+            outcome.profile
         }
         OutputMode::TextWithTelemetry => {
             let tel = Telemetry::enabled();
@@ -173,6 +266,7 @@ fn run_service_mode(spec: &CampaignSpec, cfg: &RunConfig, mode: OutputMode, cloc
             print!("{}", outcome.report.render_text());
             println!("--- telemetry ---");
             print!("{}", clock.time("score", || tel.snapshot().render_text()));
+            outcome.profile
         }
         OutputMode::Json => {
             let tel = Telemetry::enabled();
@@ -186,48 +280,116 @@ fn run_service_mode(spec: &CampaignSpec, cfg: &RunConfig, mode: OutputMode, cloc
                 rows.join(","),
                 clock.time("score", || tel.snapshot().to_json())
             );
+            outcome.profile
         }
         OutputMode::Jsonl => {
             let stdout = std::io::stdout();
             let mut sink = JsonlSink::new(std::io::BufWriter::new(stdout.lock()));
-            run(&Telemetry::disabled(), &mut sink);
+            run(&Telemetry::disabled(), &mut sink).profile
         }
         OutputMode::Trace => {
-            let tel = Telemetry::with_trace(DEFAULT_TRACE_CAPACITY);
+            let tel = Telemetry::with_trace(trace_capacity);
             let outcome = run(&tel, &mut NullSink);
             let out = clock.time("score", || {
                 underradar_bench::cli::render_trace(&outcome.report.render_text(), &tel.snapshot())
             });
             print!("{out}");
+            outcome.profile
         }
     }
+}
+
+/// `--audit`: run with telemetry forced on (batch or service), print the
+/// report, then the safety audit reconstructed from the merged registry.
+/// Returns the service profile when the service path ran.
+fn run_audit(
+    spec: &CampaignSpec,
+    shards: usize,
+    service_cfg: Option<&RunConfig>,
+    json: bool,
+    clock: &StageClock,
+) -> Option<RunProfile> {
+    let tel = Telemetry::enabled();
+    let (report_text, cells, profile) = match service_cfg {
+        Some(cfg) => {
+            let outcome = clock
+                .time("run", || run_service(spec, cfg, &tel, &mut NullSink))
+                .unwrap_or_else(|e| {
+                    eprintln!("service run failed: {e}");
+                    std::process::exit(1);
+                });
+            (
+                outcome.report.render_text(),
+                outcome.report.cells(),
+                Some(outcome.profile),
+            )
+        }
+        None => {
+            let report = run_campaign(spec, shards, &tel, clock);
+            (report.render_text(), report.cells(), None)
+        }
+    };
+    print!("{report_text}");
+    println!("--- audit ---");
+    let audit = clock.time("score", || render_audit(&cells, &tel.snapshot(), json));
+    print!("{audit}");
+    profile
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let shards = parse_shards(&args);
     let profile = args.iter().any(|a| a == "--profile");
+    let profile_json = parse_value(&args, "--profile-json");
     let checkpoint = parse_value(&args, "--checkpoint").map(PathBuf::from);
     let service = args.iter().any(|a| a == "--service") || checkpoint.is_some();
+    let audit = args.iter().rev().find_map(|a| match a.as_str() {
+        "--audit" => Some(false),
+        "--audit=json" => Some(true),
+        _ => None,
+    });
+    let progress = args.iter().rev().find_map(|a| {
+        if a == "--progress" {
+            return Some(ProgressConfig::default());
+        }
+        a.strip_prefix("--progress=").map(|v| ProgressConfig {
+            every_trials: v.parse().expect("--progress=N needs a positive integer"),
+            ..ProgressConfig::default()
+        })
+    });
+    let out_spec = OutputSpec::from_cli(args.iter().cloned());
+    let trace_capacity = out_spec
+        .trace_capacity_value()
+        .unwrap_or(DEFAULT_TRACE_CAPACITY);
     let clock = StageClock::default();
     let mut spec = clock.time("prepare", || match parse_value(&args, "--synthetic") {
         Some(n) => synthetic_campaign(n.parse().expect("--synthetic needs a trial count")),
         None => paper_campaign(4),
     });
+    spec = spec.trace_capacity(out_spec.trace_capacity_value());
     if args.iter().any(|a| a == "--impair") {
         spec = spec.client_link_reorder(0.2).client_link_duplicate(0.1);
     }
     if let Some((a, b)) = parse_trace_diff(&args) {
-        run_trace_diff(&spec, shards, a, b);
+        run_trace_diff(&spec, shards, a, b, trace_capacity);
         return;
     }
-    let mode = underradar_bench::cli::output_mode(args.iter().cloned());
+    let mode = out_spec.mode();
+    let mut service_profile = None;
     if service {
         let mut cfg = RunConfig::new(shards);
         if let Some(path) = checkpoint {
             cfg = cfg.checkpoint(path);
         }
-        run_service_mode(&spec, &cfg, mode, &clock);
+        if let Some(p) = progress {
+            cfg = cfg.progress(p);
+        }
+        service_profile = match audit {
+            Some(json) => run_audit(&spec, shards, Some(&cfg), json, &clock),
+            None => Some(run_service_mode(&spec, &cfg, mode, trace_capacity, &clock)),
+        };
+    } else if let Some(json) = audit {
+        run_audit(&spec, shards, None, json, &clock);
     } else {
         match mode {
             OutputMode::Text => {
@@ -262,7 +424,7 @@ fn main() {
                 print!("{out}");
             }
             OutputMode::Trace => {
-                let tel = Telemetry::with_trace(DEFAULT_TRACE_CAPACITY);
+                let tel = Telemetry::with_trace(trace_capacity);
                 let report = run_campaign(&spec, shards, &tel, &clock);
                 let out = clock.time("score", || {
                     underradar_bench::cli::render_trace(&report.render_text(), &tel.snapshot())
@@ -270,6 +432,9 @@ fn main() {
                 print!("{out}");
             }
         }
+    }
+    if let Some(path) = profile_json {
+        write_profile_json(&path, &clock, service_profile.as_ref());
     }
     if profile {
         eprintln!("--- profile ---");

@@ -14,10 +14,13 @@
 //! * `--trace` (or `UNDERRADAR_TRACE=1`) — run with the flight recorder
 //!   live and print the report, then the trace as JSON lines, then the
 //!   explainer's causal chains. The report section is byte-identical to
-//!   the default mode's output.
+//!   the default mode's output;
+//! * `--trace-capacity N` (or `UNDERRADAR_TRACE_CAPACITY=N`) — size the
+//!   flight-recorder ring for traced runs (default 4096 records). The
+//!   knob only tunes the ring: it never turns tracing on by itself.
 
 use underradar_telemetry::{
-    json, trace, Telemetry, DEFAULT_TRACE_CAPACITY, TELEMETRY_ENV, TRACE_ENV,
+    json, trace, Telemetry, DEFAULT_TRACE_CAPACITY, TELEMETRY_ENV, TRACE_CAPACITY_ENV, TRACE_ENV,
 };
 
 /// How the binary was asked to present its output.
@@ -52,6 +55,7 @@ pub struct OutputSpec {
     jsonl: bool,
     telemetry: bool,
     trace: bool,
+    trace_capacity: Option<usize>,
 }
 
 impl OutputSpec {
@@ -84,12 +88,25 @@ impl OutputSpec {
         self
     }
 
+    /// Override the flight-recorder ring capacity (tunes `--trace` runs;
+    /// never turns tracing on by itself).
+    pub fn trace_capacity(mut self, capacity: Option<usize>) -> OutputSpec {
+        self.trace_capacity = capacity;
+        self
+    }
+
+    /// The configured ring capacity override, if any.
+    pub fn trace_capacity_value(self) -> Option<usize> {
+        self.trace_capacity
+    }
+
     /// Parse a spec from CLI arguments plus the ambient telemetry/trace
     /// env vars.
     pub fn from_cli<I: IntoIterator<Item = String>>(args: I) -> OutputSpec {
         Self::from_parts(
             std::env::var(TELEMETRY_ENV).ok(),
             std::env::var(TRACE_ENV).ok(),
+            std::env::var(TRACE_CAPACITY_ENV).ok(),
             args,
         )
     }
@@ -99,19 +116,38 @@ impl OutputSpec {
     pub fn from_parts<I: IntoIterator<Item = String>>(
         tel_env: Option<String>,
         trace_env: Option<String>,
+        capacity_env: Option<String>,
         args: I,
     ) -> OutputSpec {
         let mut spec = OutputSpec::new()
             .telemetry(env_set(tel_env))
-            .trace(env_set(trace_env));
-        for arg in args {
-            match arg.as_str() {
+            .trace(env_set(trace_env))
+            .trace_capacity(trace::capacity_from_env(capacity_env));
+        let args: Vec<String> = args.into_iter().collect();
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
                 "--json" => spec.json = true,
                 "--jsonl" => spec.jsonl = true,
                 "--telemetry" => spec.telemetry = true,
                 "--trace" => spec.trace = true,
-                _ => {}
+                "--trace-capacity" => {
+                    if let Some(v) = args.get(i + 1) {
+                        if let Some(c) = trace::capacity_from_env(Some(v.clone())) {
+                            spec.trace_capacity = Some(c);
+                            i += 1;
+                        }
+                    }
+                }
+                other => {
+                    if let Some(v) = other.strip_prefix("--trace-capacity=") {
+                        if let Some(c) = trace::capacity_from_env(Some(v.to_string())) {
+                            spec.trace_capacity = Some(c);
+                        }
+                    }
+                }
             }
+            i += 1;
         }
         spec
     }
@@ -136,7 +172,9 @@ impl OutputSpec {
     pub fn telemetry_handle(self) -> Telemetry {
         match self.mode() {
             OutputMode::Text => Telemetry::disabled(),
-            OutputMode::Trace => Telemetry::with_trace(DEFAULT_TRACE_CAPACITY),
+            OutputMode::Trace => {
+                Telemetry::with_trace(self.trace_capacity.unwrap_or(DEFAULT_TRACE_CAPACITY))
+            }
             _ => Telemetry::enabled(),
         }
     }
@@ -181,7 +219,7 @@ fn mode_from<I: IntoIterator<Item = String>>(
     trace_env: Option<String>,
     args: I,
 ) -> OutputMode {
-    OutputSpec::from_parts(tel_env, trace_env, args).mode()
+    OutputSpec::from_parts(tel_env, trace_env, None, args).mode()
 }
 
 /// Render the `--json` envelope for one experiment.
@@ -287,6 +325,47 @@ mod tests {
             mode_from(None, None, args(&["--trace", "--jsonl"])),
             OutputMode::Trace
         );
+    }
+
+    #[test]
+    fn trace_capacity_flag_and_env_tune_the_ring() {
+        let spec = OutputSpec::from_parts(
+            None,
+            None,
+            None,
+            args(&["--trace", "--trace-capacity", "128"]),
+        );
+        assert_eq!(spec.trace_capacity_value(), Some(128));
+        assert_eq!(spec.mode(), OutputMode::Trace);
+        let eq =
+            OutputSpec::from_parts(None, None, None, args(&["--trace", "--trace-capacity=64"]));
+        assert_eq!(eq.trace_capacity_value(), Some(64));
+        // Capacity alone never turns tracing on.
+        let plain = OutputSpec::from_parts(None, None, None, args(&["--trace-capacity", "64"]));
+        assert_eq!(plain.mode(), OutputMode::Text);
+        assert_eq!(plain.trace_capacity_value(), Some(64));
+        // The env var seeds the capacity; an explicit flag overrides it.
+        let env = OutputSpec::from_parts(
+            None,
+            Some("1".to_string()),
+            Some("32".to_string()),
+            args(&[]),
+        );
+        assert_eq!(env.trace_capacity_value(), Some(32));
+        assert_eq!(env.mode(), OutputMode::Trace);
+        let both = OutputSpec::from_parts(
+            None,
+            None,
+            Some("32".to_string()),
+            args(&["--trace-capacity", "16"]),
+        );
+        assert_eq!(both.trace_capacity_value(), Some(16));
+        // Invalid or missing values are ignored (and don't eat flags).
+        let bad = OutputSpec::from_parts(None, None, None, args(&["--trace-capacity", "abc"]));
+        assert_eq!(bad.trace_capacity_value(), None);
+        let tail = OutputSpec::from_parts(None, None, None, args(&["--trace-capacity", "--json"]));
+        assert_eq!(tail.trace_capacity_value(), None);
+        assert_eq!(tail.mode(), OutputMode::Json);
     }
 
     #[test]

@@ -10,7 +10,9 @@
 //! decision — with the registry accumulated so far — and resume the trial
 //! at the exact attempt it was about to run.
 
-use underradar_censor::TapCensor;
+use std::collections::{BTreeMap, BTreeSet};
+
+use underradar_censor::{CensorAction, CensorActionKind, TapCensor};
 use underradar_core::methods::ddos::DdosProbe;
 use underradar_core::methods::hops::HopProbe;
 use underradar_core::methods::overt::OvertProbe;
@@ -27,7 +29,10 @@ use underradar_ids::rule::Rule;
 use underradar_netsim::host::Host;
 use underradar_netsim::time::{SimDuration, SimTime};
 use underradar_protocols::dns::QType;
-use underradar_surveil::system::{default_surveillance_rules, SurveillanceNode};
+use underradar_surveil::exposure::{ExposureEventKind, ExposureLedger};
+use underradar_surveil::system::{
+    default_surveillance_rules, SurveillanceNode, SurveillanceSystem,
+};
 use underradar_telemetry::{FieldValue, Registry, Telemetry, TraceRecord};
 
 use crate::report::{CampaignReport, TrialResult};
@@ -116,6 +121,16 @@ impl ScopeConfig {
         }
     }
 
+    /// Override the flight-recorder ring capacity when tracing is active.
+    /// A `None` or a non-tracing config is unchanged — the capacity knob
+    /// tunes the ring, it never turns tracing on.
+    pub fn with_trace_capacity(mut self, capacity: Option<usize>) -> ScopeConfig {
+        if let (Some(_), Some(c)) = (self.trace, capacity) {
+            self.trace = Some(c);
+        }
+        self
+    }
+
     /// Build a fresh per-trial scope matching the snapshotted handle.
     pub fn scope(self) -> Telemetry {
         match self.trace {
@@ -137,7 +152,7 @@ impl ScopeConfig {
 pub fn run(spec: &CampaignSpec, workers: usize, tel: &Telemetry) -> CampaignReport {
     let preps = prepare(spec);
     let trials = spec.expand();
-    let cfg = ScopeConfig::of(tel);
+    let cfg = ScopeConfig::of(tel).with_trace_capacity(spec.trace_capacity);
     let outcomes = steal::run_chunked(trials.len(), workers, |i| {
         let trial = &trials[i];
         run_trial(spec, &preps[trial.policy_idx], trial, cfg)
@@ -293,6 +308,69 @@ fn bump(registry: &mut Registry, name: &str, n: u64) {
     }
 }
 
+/// Fold this trial's adversary-side observations into the per-trial scope
+/// as `exposure.*` registry entries (see `underradar_surveil::exposure`).
+/// Everything here is read from records the adversary actually holds —
+/// censor action log, IDS alert log, retention stores — never from ground
+/// truth, so the resulting ledger is the adversary's view of the campaign.
+fn export_exposure(
+    scope: &Telemetry,
+    method_label: &str,
+    policy_name: &str,
+    actions: &[CensorAction],
+    system: &SurveillanceSystem,
+) {
+    if !scope.is_enabled() {
+        return;
+    }
+    let cell = format!("{method_label}/{policy_name}");
+    let mut ledger = ExposureLedger::new();
+    for action in actions {
+        let kind = match action.kind {
+            CensorActionKind::KeywordRst { .. } | CensorActionKind::DnsInjection { .. } => {
+                ExposureEventKind::Injection
+            }
+            _ => ExposureEventKind::Drop,
+        };
+        ledger.record(
+            &cell,
+            &action.client.to_string(),
+            kind,
+            action.time.as_nanos(),
+        );
+    }
+    // Distinct sensitive flows per source: the alert log's flow tuples.
+    type FlowTuple = (Option<u16>, u32, Option<u16>);
+    let mut flows: BTreeMap<std::net::Ipv4Addr, BTreeSet<FlowTuple>> = BTreeMap::new();
+    for alert in system.engine().log().all() {
+        ledger.record(
+            &cell,
+            &alert.src.to_string(),
+            ExposureEventKind::Alert,
+            alert.time.as_nanos(),
+        );
+        flows.entry(alert.src).or_default().insert((
+            alert.src_port,
+            u32::from(alert.dst),
+            alert.dst_port,
+        ));
+    }
+    for (src, set) in &flows {
+        ledger.add_sensitive_flows(&cell, &src.to_string(), set.len() as u64);
+    }
+    // Bytes of each host's traffic sitting in the content retention store
+    // (trial horizons are far shorter than retention windows, so nothing
+    // has evicted by scoring time).
+    let mut retained: BTreeMap<std::net::Ipv4Addr, u64> = BTreeMap::new();
+    for (_, rec) in system.stores().content.iter() {
+        *retained.entry(rec.src).or_insert(0) += rec.bytes as u64;
+    }
+    for (src, bytes) in &retained {
+        ledger.add_retained(&cell, &src.to_string(), *bytes);
+    }
+    ledger.export(scope);
+}
+
 fn execute(
     spec: &CampaignSpec,
     prep: &PolicyPrep<'_>,
@@ -445,6 +523,13 @@ fn execute_flat(
     let evidence = probe.evidence();
     let risk = RiskReport::evaluate(&tb, &verdict);
     tb.export_telemetry(scope);
+    export_exposure(
+        scope,
+        trial.method.label(),
+        &prep.named.name,
+        &tb.censor_actions(),
+        tb.surveillance(),
+    );
     TrialResult {
         index: trial.index,
         method: trial.method,
@@ -548,6 +633,18 @@ fn execute_routed(
             tap.export_telemetry(scope);
         }
         system.export_telemetry(scope);
+        let tap_actions = net
+            .sim
+            .node_ref::<TapCensor>(net.censor)
+            .map(|tap| tap.actions().to_vec())
+            .unwrap_or_default();
+        export_exposure(
+            scope,
+            trial.method.label(),
+            &prep.named.name,
+            &tap_actions,
+            system,
+        );
     }
     TrialResult {
         index: trial.index,

@@ -350,6 +350,12 @@ impl Journal {
         Ok(())
     }
 
+    /// Records appended since the last fsync (the journal lag a crash
+    /// would cost right now).
+    pub fn unsynced(&self) -> u64 {
+        self.unsynced
+    }
+
     /// Force written records to stable storage.
     pub fn sync(&mut self) -> io::Result<()> {
         if self.unsynced > 0 {

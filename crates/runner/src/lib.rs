@@ -55,5 +55,5 @@ pub mod service;
 pub mod sink;
 
 pub use journal::{Journal, JournalError, Replay};
-pub use service::{run_service, RunConfig, ServiceOutcome};
+pub use service::{run_service, ProgressConfig, RunConfig, RunProfile, ServiceOutcome};
 pub use sink::{JsonlSink, NullSink, RowSink, VecSink};

@@ -40,9 +40,12 @@
 //! stays bounded by the in-flight channel, never by campaign size.
 
 use std::collections::VecDeque;
+use std::io::Write;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 use underradar_campaign::engine::{self, AttemptOutcome, PolicyPrep, ScopeConfig};
 use underradar_campaign::{CampaignSpec, StreamReport, Trial, TrialResult};
@@ -50,6 +53,26 @@ use underradar_telemetry::{Registry, StreamMerger, Telemetry};
 
 use crate::journal::{Journal, JournalError, Replay};
 use crate::sink::RowSink;
+
+/// Cadence of live progress snapshots: a snapshot is emitted when either
+/// threshold is reached since the previous one, whichever comes first.
+#[derive(Debug, Clone, Copy)]
+pub struct ProgressConfig {
+    /// Committed trials between snapshots.
+    pub every_trials: u64,
+    /// Wall milliseconds between snapshots (also the committer's poll
+    /// interval while workers are busy).
+    pub every_ms: u64,
+}
+
+impl Default for ProgressConfig {
+    fn default() -> Self {
+        ProgressConfig {
+            every_trials: 1000,
+            every_ms: 500,
+        }
+    }
+}
 
 /// Tuning for one service run.
 #[derive(Debug, Clone)]
@@ -63,6 +86,9 @@ pub struct RunConfig {
     pub fsync_every: u64,
     /// Steal-batch size in trials (0 = automatic).
     pub chunk: usize,
+    /// Stream interval snapshots as JSONL on **stderr** (stdout bytes are
+    /// untouched, so row/report determinism survives). `None` = silent.
+    pub progress: Option<ProgressConfig>,
 }
 
 impl RunConfig {
@@ -73,6 +99,7 @@ impl RunConfig {
             checkpoint: None,
             fsync_every: 64,
             chunk: 0,
+            progress: None,
         }
     }
 
@@ -87,6 +114,33 @@ impl RunConfig {
         self.fsync_every = n;
         self
     }
+
+    /// Enable progress snapshots with cadence `progress`.
+    pub fn progress(mut self, progress: ProgressConfig) -> RunConfig {
+        self.progress = Some(progress);
+        self
+    }
+}
+
+/// Wall-clock accounting for one service run. Every field is measured
+/// host time, so none of it may feed deterministic output paths — it is
+/// surfaced only through `--profile-json` and `--progress`.
+#[derive(Debug, Clone, Default)]
+pub struct RunProfile {
+    /// Wall milliseconds for the whole run (prepare + execute + commit).
+    pub wall_ms: u64,
+    /// Wall milliseconds spent building policy preps.
+    pub prepare_ms: u64,
+    /// Per-worker busy nanoseconds (time inside trial attempts).
+    pub worker_busy_ns: Vec<u64>,
+    /// Per-worker attempt counts.
+    pub worker_attempts: Vec<u64>,
+    /// Successful steal-half operations across all workers.
+    pub steals: u64,
+    /// Retry handoffs the committer observed.
+    pub retries_seen: u64,
+    /// Progress snapshots emitted (0 when progress is disabled).
+    pub snapshots: u64,
 }
 
 /// What a service run did, beyond its report.
@@ -103,6 +157,8 @@ pub struct ServiceOutcome {
     pub resumed_retries: usize,
     /// Bytes of damaged journal tail discarded during recovery.
     pub journal_truncated: u64,
+    /// Wall-clock profile of this run (never feeds deterministic output).
+    pub profile: RunProfile,
 }
 
 /// A trial waiting on the retry tail: its next attempt and the registry
@@ -111,6 +167,106 @@ struct RetryTask {
     index: usize,
     attempt: u32,
     acc: Registry,
+}
+
+/// Shared worker accounting, updated with relaxed atomics on the hot path
+/// (a fetch_add per attempt — negligible against a simulated trial).
+struct WorkerStats {
+    busy_ns: Vec<AtomicU64>,
+    attempts: Vec<AtomicU64>,
+    steals: AtomicU64,
+}
+
+impl WorkerStats {
+    fn new(workers: usize) -> WorkerStats {
+        WorkerStats {
+            busy_ns: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+            attempts: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+            steals: AtomicU64::new(0),
+        }
+    }
+}
+
+/// The committer's progress bookkeeping: when to emit, what changed.
+struct ProgressState {
+    cfg: ProgressConfig,
+    start: Instant,
+    last_emit: Instant,
+    last_done: u64,
+    snapshots: u64,
+}
+
+impl ProgressState {
+    fn new(cfg: ProgressConfig, start: Instant) -> ProgressState {
+        ProgressState {
+            cfg,
+            start,
+            last_emit: start,
+            last_done: 0,
+            snapshots: 0,
+        }
+    }
+
+    fn due(&self, done: u64) -> bool {
+        done.saturating_sub(self.last_done) >= self.cfg.every_trials.max(1)
+            || self.last_emit.elapsed() >= Duration::from_millis(self.cfg.every_ms)
+    }
+
+    /// Emit one snapshot line to stderr and mirror it into `tel` as
+    /// `runner.progress.*` metrics. Wall-clock values are nondeterministic
+    /// by nature, which is why they only exist when progress is enabled —
+    /// default runs keep registries byte-identical across hosts.
+    #[allow(clippy::too_many_arguments)]
+    fn emit(
+        &mut self,
+        tel: &Telemetry,
+        stats: &WorkerStats,
+        done: u64,
+        total: u64,
+        restored: u64,
+        retries: u64,
+        journal_lag: u64,
+    ) {
+        let elapsed_ms = (self.start.elapsed().as_millis() as u64).max(1);
+        let committed = done.saturating_sub(restored);
+        let rows_per_sec = committed.saturating_mul(1000) / elapsed_ms;
+        let eta_ms = total
+            .saturating_sub(done)
+            .saturating_mul(elapsed_ms)
+            .checked_div(committed)
+            .unwrap_or(0);
+        let elapsed_ns = (self.start.elapsed().as_nanos() as u64).max(1);
+        let busy: Vec<String> = stats
+            .busy_ns
+            .iter()
+            .map(|b| {
+                (b.load(Ordering::Relaxed).saturating_mul(1000) / elapsed_ns)
+                    .min(1000)
+                    .to_string()
+            })
+            .collect();
+        let steals = stats.steals.load(Ordering::Relaxed);
+        let line = format!(
+            "{{\"done\":{done},\"elapsed_ms\":{elapsed_ms},\"eta_ms\":{eta_ms},\
+             \"journal_lag\":{journal_lag},\"restored\":{restored},\"retries\":{retries},\
+             \"rows_per_sec\":{rows_per_sec},\"steals\":{steals},\"total\":{total},\
+             \"worker_busy_permille\":[{}]}}",
+            busy.join(",")
+        );
+        let mut err = std::io::stderr().lock();
+        let _ = writeln!(err, "{line}");
+        if tel.is_enabled() {
+            tel.set_gauge("runner.progress.done", done as i64);
+            tel.set_gauge("runner.progress.total", total as i64);
+            tel.set_gauge("runner.progress.journal_lag", journal_lag as i64);
+            tel.counter("runner.progress.snapshots").incr();
+            tel.observe("runner.progress.rows_per_sec", rows_per_sec);
+            tel.observe("runner.progress.eta_ms", eta_ms);
+        }
+        self.last_emit = Instant::now();
+        self.last_done = done;
+        self.snapshots += 1;
+    }
 }
 
 /// What a worker tells the committer.
@@ -141,6 +297,7 @@ pub fn run_service(
     tel: &Telemetry,
     sink: &mut dyn RowSink,
 ) -> Result<ServiceOutcome, JournalError> {
+    let run_start = Instant::now();
     let trials = spec.expand();
     let (mut journal, replay) = match &cfg.checkpoint {
         Some(path) => {
@@ -183,9 +340,16 @@ pub fn run_service(
     let restored = replay.completed.len();
     let resumed_retries = seeded.len();
 
+    let mut progress = cfg.progress.map(|p| ProgressState::new(p, run_start));
+    let mut retries_seen = 0u64;
+    let mut stats = WorkerStats::new(cfg.workers.clamp(1, expected.max(1)));
+    let mut prepare_ms = 0u64;
+
     if expected > 0 {
+        let prep_start = Instant::now();
         let preps = engine::prepare(spec);
-        let scope_cfg = ScopeConfig::of(tel);
+        prepare_ms = prep_start.elapsed().as_millis() as u64;
+        let scope_cfg = ScopeConfig::of(tel).with_trace_capacity(spec.trace_capacity);
         let workers = cfg.workers.clamp(1, expected);
         let deques = underradar_campaign::steal::Deques::split(remaining.len(), workers, cfg.chunk);
         let retry_tail = Mutex::new(seeded);
@@ -199,20 +363,35 @@ pub fn run_service(
                 let remaining = &remaining;
                 let trials = &trials;
                 let preps = &preps;
+                let stats = &stats;
                 scope.spawn(move || {
                     worker_loop(
                         w, spec, trials, preps, scope_cfg, deques, remaining, retry_tail, &tx,
+                        stats,
                     );
                 });
             }
             drop(tx);
             // Committer: the calling thread absorbs completions until
-            // every remaining trial has a final verdict.
+            // every remaining trial has a final verdict. With progress
+            // enabled it polls on the snapshot cadence so a long-running
+            // trial can't silence the stream.
             let mut done = 0usize;
             while done < expected {
-                let msg = rx.recv().expect("workers ended with trials outstanding");
+                let msg = match &progress {
+                    Some(p) => {
+                        match rx.recv_timeout(Duration::from_millis(p.cfg.every_ms.max(1))) {
+                            Ok(m) => Some(m),
+                            Err(mpsc::RecvTimeoutError::Timeout) => None,
+                            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                                panic!("workers ended with trials outstanding")
+                            }
+                        }
+                    }
+                    None => Some(rx.recv().expect("workers ended with trials outstanding")),
+                };
                 match msg {
-                    Msg::Done { index, result, acc } => {
+                    Some(Msg::Done { index, result, acc }) => {
                         if let Some(j) = journal.as_mut() {
                             j.append_complete(index as u64, &result, &acc)?;
                         }
@@ -221,14 +400,31 @@ pub fn run_service(
                         merger.absorb(index as u64, &acc);
                         done += 1;
                     }
-                    Msg::Retry {
+                    Some(Msg::Retry {
                         index,
                         next_attempt,
                         acc,
-                    } => {
+                    }) => {
                         if let Some(j) = journal.as_mut() {
                             j.append_retry(index as u64, next_attempt, &acc)?;
                         }
+                        retries_seen += 1;
+                    }
+                    None => {}
+                }
+                let total_done = (restored + done) as u64;
+                if let Some(p) = progress.as_mut() {
+                    if p.due(total_done) {
+                        let lag = journal.as_ref().map(|j| j.unsynced()).unwrap_or(0);
+                        p.emit(
+                            tel,
+                            &stats,
+                            total_done,
+                            trials.len() as u64,
+                            restored as u64,
+                            retries_seen,
+                            lag,
+                        );
                     }
                 }
             }
@@ -241,12 +437,35 @@ pub fn run_service(
     }
     sink.flush()?;
     tel.merge_registry(&merger.finish());
+    if let Some(p) = progress.as_mut() {
+        // Always close the stream with a final snapshot: done == total,
+        // journal fully synced.
+        p.emit(
+            tel,
+            &stats,
+            (restored + expected) as u64,
+            trials.len() as u64,
+            restored as u64,
+            retries_seen,
+            0,
+        );
+    }
+    let profile = RunProfile {
+        wall_ms: run_start.elapsed().as_millis() as u64,
+        prepare_ms,
+        worker_busy_ns: stats.busy_ns.iter_mut().map(|b| *b.get_mut()).collect(),
+        worker_attempts: stats.attempts.iter_mut().map(|a| *a.get_mut()).collect(),
+        steals: *stats.steals.get_mut(),
+        retries_seen,
+        snapshots: progress.as_ref().map(|p| p.snapshots).unwrap_or(0),
+    };
     Ok(ServiceOutcome {
         report,
         executed: expected,
         restored,
         resumed_retries,
         journal_truncated: replay.truncated_bytes,
+        profile,
     })
 }
 
@@ -264,10 +483,19 @@ fn worker_loop(
     remaining: &[usize],
     retry_tail: &Mutex<VecDeque<RetryTask>>,
     tx: &mpsc::SyncSender<Msg>,
+    stats: &WorkerStats,
 ) {
     loop {
-        if let Some(chunk) = deques.pop(w).or_else(|| deques.steal(w)) {
+        let popped = deques.pop(w).or_else(|| {
+            let stolen = deques.steal(w);
+            if stolen.is_some() {
+                stats.steals.fetch_add(1, Ordering::Relaxed);
+            }
+            stolen
+        });
+        if let Some(chunk) = popped {
             for &index in &remaining[chunk.start..chunk.end] {
+                let t0 = Instant::now();
                 attempt_once(
                     spec,
                     trials,
@@ -279,14 +507,21 @@ fn worker_loop(
                     0,
                     Registry::new(),
                 );
+                stats.busy_ns[w].fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                stats.attempts[w].fetch_add(1, Ordering::Relaxed);
             }
             continue;
         }
         let task = retry_tail.lock().expect("retry tail poisoned").pop_front();
         match task {
-            Some(t) => attempt_once(
-                spec, trials, preps, scope_cfg, retry_tail, tx, t.index, t.attempt, t.acc,
-            ),
+            Some(t) => {
+                let t0 = Instant::now();
+                attempt_once(
+                    spec, trials, preps, scope_cfg, retry_tail, tx, t.index, t.attempt, t.acc,
+                );
+                stats.busy_ns[w].fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                stats.attempts[w].fetch_add(1, Ordering::Relaxed);
+            }
             // Deques and retry tail both empty at this check: any retry
             // enqueued concurrently is followed by its enqueuer's own
             // check, so exiting here strands nothing.

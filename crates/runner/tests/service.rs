@@ -9,7 +9,7 @@ use std::path::PathBuf;
 
 use underradar_campaign::{engine, CampaignSpec, MethodKind, NamedPolicy, RetryPolicy};
 use underradar_censor::CensorPolicy;
-use underradar_runner::{run_service, JournalError, RunConfig, VecSink};
+use underradar_runner::{run_service, JournalError, ProgressConfig, RunConfig, VecSink};
 use underradar_telemetry::Telemetry;
 
 fn tmp(name: &str) -> PathBuf {
@@ -228,6 +228,66 @@ fn mid_record_kill_recovers_without_double_counting() {
         assert_eq!(tel.snapshot().to_json(), baseline.1, "cut {cut}");
     }
     let _ = std::fs::remove_file(&path);
+}
+
+/// Progress snapshots ride stderr and `runner.progress.*` metrics only:
+/// the report, the rows, and every other registry entry are byte-identical
+/// to a silent run.
+#[test]
+fn progress_snapshots_leave_rows_report_and_registry_unchanged() {
+    let spec = spec();
+    let baseline = fingerprint_run(&spec, &RunConfig::new(2));
+
+    let tel = Telemetry::with_trace(4096);
+    let mut sink = VecSink::new();
+    let cfg = RunConfig::new(2).progress(ProgressConfig {
+        every_trials: 1,
+        every_ms: 10_000,
+    });
+    let outcome = run_service(&spec, &cfg, &tel, &mut sink).expect("progress run");
+    assert_eq!(outcome.report.render_text(), baseline.0);
+    let mut rows = sink.rows;
+    rows.sort();
+    assert_eq!(rows, baseline.3);
+
+    // At least the final snapshot always fires, and it reaches the
+    // registry as runner.progress.* entries.
+    assert!(outcome.profile.snapshots >= 1);
+    let mut snap = tel.snapshot();
+    assert!(snap.counter("runner.progress.snapshots") >= 1);
+    assert_eq!(
+        snap.gauge("runner.progress.done"),
+        spec.trial_count() as i64
+    );
+    // Strip the progress namespace: everything else matches the silent run.
+    snap.counters
+        .retain(|k, _| !k.starts_with("runner.progress."));
+    snap.gauges
+        .retain(|k, _| !k.starts_with("runner.progress."));
+    snap.histograms
+        .retain(|k, _| !k.starts_with("runner.progress."));
+    assert_eq!(snap.to_json(), baseline.1);
+    assert_eq!(snap.trace_jsonl(), baseline.2);
+}
+
+/// The run profile accounts for every attempt and every worker.
+#[test]
+fn service_outcome_carries_a_populated_profile() {
+    let spec = spec();
+    let tel = Telemetry::disabled();
+    let mut sink = VecSink::new();
+    let outcome = run_service(&spec, &RunConfig::new(3), &tel, &mut sink).expect("service run");
+    let p = &outcome.profile;
+    assert_eq!(p.worker_busy_ns.len(), 3);
+    assert_eq!(p.worker_attempts.len(), 3);
+    let attempts: u64 = p.worker_attempts.iter().sum();
+    assert!(
+        attempts >= outcome.executed as u64,
+        "attempts {attempts} cover every executed trial"
+    );
+    assert!(p.worker_busy_ns.iter().sum::<u64>() > 0);
+    assert!(p.wall_ms >= p.prepare_ms);
+    assert_eq!(p.snapshots, 0, "no progress requested");
 }
 
 #[test]

@@ -26,12 +26,14 @@
 
 pub mod analyst;
 pub mod classify;
+pub mod exposure;
 pub mod mvr;
 pub mod store;
 pub mod system;
 
 pub use analyst::{Analyst, AnalystConfig, Investigation};
 pub use classify::{Classifier, TrafficClass};
+pub use exposure::{DeclaredCell, ExposureEventKind, ExposureLedger, HostExposure, SafetyAudit};
 pub use mvr::{Mvr, MvrConfig, MvrDecision};
 pub use store::{ContentRecord, FlowRecord, RetentionStore};
 pub use system::{SurveillanceConfig, SurveillanceNode, SurveillanceSystem};

@@ -111,6 +111,28 @@ impl Histogram {
         &self.buckets
     }
 
+    /// Deterministic quantile estimate from the fixed log buckets: the
+    /// upper bound of the bucket containing the `pct`-th percentile rank
+    /// (`rank = ceil(count * pct / 100)`), clamped into `[min, max]` so
+    /// estimates never leave the observed range. Exact when every
+    /// observation in the quantile bucket equals its bound; otherwise an
+    /// upper estimate within one power of two. 0 when empty.
+    pub fn quantile(&self, pct: u64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (self.count.saturating_mul(pct)).div_ceil(100).max(1);
+        let mut cumulative = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            cumulative += n;
+            if cumulative >= rank {
+                let (_, hi) = Self::bucket_bounds(i);
+                return hi.clamp(self.min(), self.max);
+            }
+        }
+        self.max
+    }
+
     /// Reconstruct a histogram from serialized parts (the journal codec's
     /// decode path). `min` is as reported by [`Histogram::min`] — 0 for an
     /// empty histogram — and is restored to the internal sentinel when
@@ -180,6 +202,45 @@ mod tests {
         }
         a.merge(&b);
         assert_eq!(a, whole);
+    }
+
+    #[test]
+    fn quantiles_are_deterministic_and_clamped() {
+        let empty = Histogram::new();
+        assert_eq!(empty.quantile(50), 0);
+        let mut one = Histogram::new();
+        one.observe(37);
+        for pct in [0u64, 50, 90, 99, 100] {
+            assert_eq!(one.quantile(pct), 37, "single-value clamp at p{pct}");
+        }
+        let mut h = Histogram::new();
+        for v in 1..=100u64 {
+            h.observe(v);
+        }
+        // rank 50 lands in bucket [32,63]; clamped upper bound ≤ max.
+        assert_eq!(h.quantile(50), 63);
+        assert_eq!(h.quantile(99), 100, "top bucket clamps to max");
+        assert!(h.quantile(50) <= h.quantile(90));
+        assert!(h.quantile(90) <= h.quantile(99));
+    }
+
+    #[test]
+    fn quantile_equals_merged_quantile() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut whole = Histogram::new();
+        for v in 0..1000u64 {
+            whole.observe(v * 3);
+            if v % 2 == 0 {
+                a.observe(v * 3);
+            } else {
+                b.observe(v * 3);
+            }
+        }
+        a.merge(&b);
+        for pct in [50u64, 90, 99] {
+            assert_eq!(a.quantile(pct), whole.quantile(pct), "p{pct}");
+        }
     }
 
     #[test]

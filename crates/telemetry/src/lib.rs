@@ -48,7 +48,9 @@ pub use hist::{Histogram, BUCKET_COUNT};
 pub use registry::{Event, FieldValue, Registry, SpanRecord};
 pub use sink::{EventSink, MemorySink, NoopSink};
 pub use stream::StreamMerger;
-pub use trace::{TraceBuf, TraceFlow, TraceRecord, Tracer, DEFAULT_TRACE_CAPACITY, TRACE_ENV};
+pub use trace::{
+    TraceBuf, TraceFlow, TraceRecord, Tracer, DEFAULT_TRACE_CAPACITY, TRACE_CAPACITY_ENV, TRACE_ENV,
+};
 
 use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
@@ -123,7 +125,9 @@ impl Telemetry {
     /// Enabled iff the `UNDERRADAR_TELEMETRY` environment variable is set
     /// to a non-empty value other than `0`; disabled otherwise. CI runs
     /// the suite both ways. Setting `UNDERRADAR_TRACE` likewise attaches
-    /// the flight recorder (and implies telemetry).
+    /// the flight recorder (and implies telemetry); its ring capacity is
+    /// `UNDERRADAR_TRACE_CAPACITY` records when that parses as a positive
+    /// integer, [`DEFAULT_TRACE_CAPACITY`] otherwise.
     pub fn from_env() -> Self {
         let env_on = |name: &str| {
             std::env::var_os(name)
@@ -131,7 +135,9 @@ impl Telemetry {
                 .unwrap_or(false)
         };
         if env_on(TRACE_ENV) {
-            Telemetry::with_trace(DEFAULT_TRACE_CAPACITY)
+            let capacity = trace::capacity_from_env(std::env::var(TRACE_CAPACITY_ENV).ok())
+                .unwrap_or(DEFAULT_TRACE_CAPACITY);
+            Telemetry::with_trace(capacity)
         } else if env_on(TELEMETRY_ENV) {
             Telemetry::enabled()
         } else {
@@ -591,6 +597,35 @@ mod tests {
         assert!(!sub.is_enabled());
         parent.absorb(&sub); // no-op, must not panic
         assert!(parent.snapshot().is_empty());
+    }
+
+    #[test]
+    fn configured_trace_capacity_pins_eviction_counting() {
+        // A 2-record ring keeps the newest records, evicts the oldest
+        // deterministically, and mirrors the eviction count into the
+        // `telemetry.trace.dropped` counter at snapshot time.
+        let tel = Telemetry::with_trace(2);
+        assert_eq!(tel.trace_capacity(), Some(2));
+        let tracer = tel.tracer();
+        for t in 1..=5u64 {
+            tracer.record(TraceRecord {
+                t_ns: t,
+                seq: 0,
+                stage: "link",
+                kind: "drop",
+                flow: None,
+                fields: vec![],
+            });
+        }
+        let snap = tel.snapshot();
+        assert_eq!(snap.counter("telemetry.trace.dropped"), 3);
+        let times: Vec<u64> = snap.trace.iter().map(|r| r.t_ns).collect();
+        assert_eq!(times, vec![4, 5], "newest records survive");
+        // The default-capacity handle reports the documented default.
+        assert_eq!(
+            Telemetry::with_trace(DEFAULT_TRACE_CAPACITY).trace_capacity(),
+            Some(DEFAULT_TRACE_CAPACITY)
+        );
     }
 
     #[test]

@@ -204,6 +204,15 @@ impl Registry {
             json::push_key(&mut out, "max");
             out.push_str(&h.max().to_string());
             out.push(',');
+            json::push_key(&mut out, "p50");
+            out.push_str(&h.quantile(50).to_string());
+            out.push(',');
+            json::push_key(&mut out, "p90");
+            out.push_str(&h.quantile(90).to_string());
+            out.push(',');
+            json::push_key(&mut out, "p99");
+            out.push_str(&h.quantile(99).to_string());
+            out.push(',');
             json::push_key(&mut out, "buckets");
             out.push('[');
             let mut first = true;
@@ -285,12 +294,15 @@ impl Registry {
         }
         for (name, h) in &self.histograms {
             out.push_str(&format!(
-                "hist    {name}: count={} sum={} min={} max={} mean={}\n",
+                "hist    {name}: count={} sum={} min={} max={} mean={} p50={} p90={} p99={}\n",
                 h.count(),
                 h.sum(),
                 h.min(),
                 h.max(),
                 h.mean(),
+                h.quantile(50),
+                h.quantile(90),
+                h.quantile(99),
             ));
         }
         for s in &self.spans {
@@ -366,6 +378,13 @@ mod tests {
         assert!(j.find("\"a.count\":1").unwrap() < j.find("\"b.count\":2").unwrap());
         assert!(j.contains("\"gauges\":{\"depth\":-3}"));
         assert!(j.contains("\"buckets\":[[0,1],[4,1]]"));
+        // Quantiles render between max and buckets, from the fixed buckets:
+        // {0, 5} → p50 is the zero bucket, p90/p99 the [4,7] bucket clamped
+        // to the observed max.
+        assert!(
+            j.contains("\"p50\":0,\"p90\":5,\"p99\":5,\"buckets\""),
+            "{j}"
+        );
         assert!(j.contains("\"flow\":\"a\\\"b\""));
         assert!(j.contains("\"spans\":[{\"name\":\"run\",\"start_ns\":10,\"end_ns\":30}]"));
     }
@@ -451,6 +470,7 @@ mod tests {
         assert!(t.contains("counter a.count = 1"));
         assert!(t.contains("gauge   depth = -3"));
         assert!(t.contains("hist    sizes: count=2"));
+        assert!(t.contains("p50=0 p90=5 p99=5"), "{t}");
         assert!(t.contains("span    run:"));
         assert!(t.contains("events  1 recorded"));
     }

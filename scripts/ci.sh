@@ -120,6 +120,24 @@ echo "==> run-service smoke (service vs plain engine; 1 vs 8 workers byte identi
 cmp "$tmpdir/campaign_plain.txt" "$tmpdir/service_1.txt"
 cmp "$tmpdir/service_1.txt" "$tmpdir/service_8.txt"
 
+echo "==> safety-audit smoke (--audit: double run, 1-vs-4-shard and service-vs-batch identity)"
+# The exposure ledger rides the merged telemetry registry, so the audit
+# inherits the campaign's determinism contract: byte-identical for any
+# shard count and for the durable service vs the plain engine. The paper
+# matrix must also surface at least one declared-vs-observed divergence
+# (a cell that declares itself fully evaded while the adversary holds
+# attributable events).
+./target/release/exp_campaign --audit > "$tmpdir/audit_a.txt" 2>/dev/null
+./target/release/exp_campaign --audit > "$tmpdir/audit_b.txt" 2>/dev/null
+cmp "$tmpdir/audit_a.txt" "$tmpdir/audit_b.txt"
+./target/release/exp_campaign --audit --shards 4 > "$tmpdir/audit_4.txt" 2>/dev/null
+cmp "$tmpdir/audit_a.txt" "$tmpdir/audit_4.txt"
+./target/release/exp_campaign --audit --service --shards 8 > "$tmpdir/audit_svc.txt" 2>/dev/null
+cmp "$tmpdir/audit_a.txt" "$tmpdir/audit_svc.txt"
+grep -q '^divergence: ' "$tmpdir/audit_a.txt"
+# Auditing is additive: the plain report's exact bytes lead the output.
+head -c "$plain_bytes" "$tmpdir/audit_a.txt" | cmp - "$tmpdir/campaign_plain.txt"
+
 echo "==> crash-resume smoke (SIGKILL mid-run, resume from journal, byte identity vs clean run)"
 # A synthetic matrix big enough that the kill lands mid-run (~5s clean on
 # CI hardware); the resumed run must both restore journaled trials and
@@ -140,5 +158,13 @@ if grep -qE 'service: 0 executed|service: [0-9]+ executed, 0 restored' "$tmpdir/
   echo "crash-resume smoke did not exercise a mid-run kill (adjust n or the sleep)" >&2
   exit 1
 fi
+
+echo "==> progress smoke (--progress: snapshots stream on stderr, stdout untouched)"
+# Interval snapshots go to stderr only; stdout must be byte-identical to
+# the silent run of the same matrix (service_clean.txt from above).
+./target/release/exp_campaign --service --synthetic "$n" --shards 4 --progress=5000 \
+  > "$tmpdir/progress_on.txt" 2> "$tmpdir/progress_on.err"
+cmp "$tmpdir/service_clean.txt" "$tmpdir/progress_on.txt"
+grep -q '"rows_per_sec"' "$tmpdir/progress_on.err"
 
 echo "CI green"
